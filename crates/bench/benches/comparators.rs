@@ -1,0 +1,45 @@
+//! E7 — quantified comparators (§3.2).
+//!
+//! `some`- vs `all`-quantified comparisons and set comparators as the
+//! compared sets grow (family size sweep). Expected shape: all variants
+//! scale with |L|·|R| per candidate; `some` short-circuits on success,
+//! `all` on failure, so their relative cost depends on selectivity.
+
+use bench::compile;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{figure1_scaled, Figure1Params};
+use std::hint::black_box;
+use xsql::{eval_select, EvalOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_comparators");
+    let opts = EvalOptions::default();
+    let queries = [
+        ("some_gt", "SELECT X FROM Employee X WHERE X.FamMembers.Age some> 30"),
+        ("all_gt", "SELECT X FROM Employee X WHERE X.FamMembers.Age all> 30"),
+        ("all_eq_all", "SELECT X FROM Employee X \
+          WHERE X.Residence.City =all X.FamMembers.Residence.City"),
+        ("containsEq", "SELECT X FROM Employee X \
+          WHERE X.OwnedVehicles.Color containsEq {'red'}"),
+        ("count_agg", "SELECT X FROM Employee X WHERE count(X.FamMembers) >= 2"),
+    ];
+    for fam in [2usize, 5, 9] {
+        let mut db = figure1_scaled(&Figure1Params {
+            companies: 3,
+            max_fam_members: fam,
+            ..Figure1Params::default()
+        });
+        for (name, src) in queries {
+            let q = compile(&mut db, src);
+            group.bench_with_input(
+                BenchmarkId::new(name, fam),
+                &fam,
+                |b, _| b.iter(|| black_box(eval_select(&db, &q, &opts).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

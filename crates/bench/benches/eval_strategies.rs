@@ -1,0 +1,61 @@
+//! E1 — evaluation strategies on multi-variable join queries.
+//!
+//! The paper specifies query semantics by full-domain substitution
+//! (§3.4) and observes that real evaluation is nested loops (§6.2).
+//! This experiment quantifies the gap: the naive specification engine
+//! vs. the pipelined nested-loop engine vs. naive evaluation restricted
+//! by Theorem 6.1 ranges, over growing Figure 1 instances.
+//!
+//! Expected shape: naive grows ~|domain|^k and is only feasible on the
+//! smallest instance; Theorem 6.1 ranges pull the naive engine down by
+//! orders of magnitude; the pipelined engine wins throughout.
+
+use bench::{compile, scaled_db};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xsql::typing::{theorem61_ranges, Exemptions};
+use xsql::{eval_select, eval_select_ranged, EvalOptions};
+
+const QUERY: &str =
+    "SELECT X FROM Vehicle X WHERE X.Manufacturer[M] and M.President.OwnedVehicles[X]";
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1_eval_strategies");
+    group.sample_size(10);
+
+    for companies in [1usize, 2, 4, 8] {
+        let mut db = scaled_db(companies);
+        let q = compile(&mut db, QUERY);
+        let n = db.individual_count();
+
+        let piped = EvalOptions::default();
+        group.bench_with_input(
+            BenchmarkId::new("pipelined", n),
+            &n,
+            |b, _| b.iter(|| black_box(eval_select(&db, &q, &piped).unwrap())),
+        );
+
+        let ranges = theorem61_ranges(&db, &q, &Exemptions::none())
+            .unwrap()
+            .expect("strictly well-typed");
+        let naive = EvalOptions::naive();
+        group.bench_with_input(
+            BenchmarkId::new("naive_thm61_ranges", n),
+            &n,
+            |b, _| {
+                b.iter(|| black_box(eval_select_ranged(&db, &q, &naive, &ranges).unwrap()))
+            },
+        );
+
+        // The pure §3.4 engine is only feasible on the smallest size.
+        if companies == 1 {
+            group.bench_with_input(BenchmarkId::new("naive_full_domain", n), &n, |b, _| {
+                b.iter(|| black_box(eval_select(&db, &q, &naive).unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E8 — inverted method indexes for head-unbound path expressions.
+//!
+//! The paper's schema-browsing queries (`SELECT X WHERE X.M…`) leave the
+//! head variable unconstrained; without support the engine scans the
+//! whole active domain. The inverted index the engine maintains (in the
+//! spirit of the paper's [BERT89] citation) seeds the walk with only the
+//! objects on which the method can be defined. Expected shape: indexed
+//! time tracks the *matching* population; unindexed time tracks the
+//! whole domain.
+
+use bench::{compile, scaled_db};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xsql::{eval_select, EvalOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8_method_index");
+    // HPpower is defined only on piston engines — a small slice of the
+    // domain.
+    const QUERY: &str = "SELECT X WHERE X.HPpower > 200";
+    for companies in [2usize, 4, 8, 16] {
+        let mut db = scaled_db(companies);
+        let q = compile(&mut db, QUERY);
+        let n = db.individual_count();
+        let on = EvalOptions::default();
+        let off = EvalOptions {
+            use_method_index: false,
+            ..EvalOptions::default()
+        };
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
+            b.iter(|| black_box(eval_select(&db, &q, &on).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("domain_scan", n), &n, |b, _| {
+            b.iter(|| black_box(eval_select(&db, &q, &off).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

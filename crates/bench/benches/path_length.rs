@@ -1,0 +1,55 @@
+//! E2 — path expressions "flatten any nested structure in one sweep"
+//! (§3.1 point 4).
+//!
+//! Evaluation cost of a single path expression as a function of path
+//! length (1–5 steps) and of set-valued fan-out (family sizes), on a
+//! fixed Figure 1 instance. Expected shape: near-linear growth in path
+//! length for scalar chains; multiplicative in fan-out for set-valued
+//! steps.
+
+use bench::{compile, scaled_db};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{figure1_scaled, Figure1Params};
+use std::hint::black_box;
+use xsql::{eval_select, EvalOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2_path_length");
+
+    // Scalar chain of increasing length.
+    let chains = [
+        "SELECT Y FROM Vehicle X WHERE X.Manufacturer[Y]",
+        "SELECT Y FROM Vehicle X WHERE X.Manufacturer.President[Y]",
+        "SELECT Y FROM Vehicle X WHERE X.Manufacturer.President.Residence[Y]",
+        "SELECT Y FROM Vehicle X WHERE X.Manufacturer.President.Residence.City[Y]",
+        "SELECT Y FROM Vehicle X WHERE X.Manufacturer.President.Residence.City[Y] and Y != 'nowhere'",
+    ];
+    let mut db = scaled_db(6);
+    let opts = EvalOptions::default();
+    for (i, src) in chains.iter().enumerate() {
+        let q = compile(&mut db, src);
+        group.bench_with_input(BenchmarkId::new("scalar_chain_steps", i + 1), &i, |b, _| {
+            b.iter(|| black_box(eval_select(&db, &q, &opts).unwrap()))
+        });
+    }
+
+    // Set-valued unnesting with growing fan-out.
+    for fam in [1usize, 3, 6, 9] {
+        let mut db = figure1_scaled(&Figure1Params {
+            companies: 4,
+            max_fam_members: fam,
+            ..Figure1Params::default()
+        });
+        let q = compile(
+            &mut db,
+            "SELECT W FROM Company X WHERE X.Divisions.Employees.FamMembers.Residence.City[W]",
+        );
+        group.bench_with_input(BenchmarkId::new("set_fanout_max_family", fam), &fam, |b, _| {
+            b.iter(|| black_box(eval_select(&db, &q, &opts).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E3 — Theorem 6.1: "this potentially very powerful optimization".
+//!
+//! The naive §3.4 engine with and without range restriction, as range
+//! selectivity varies: the query variable's range (Company) is a fixed,
+//! small class while the total domain grows. Expected shape: the
+//! unrestricted engine scales with |domain|^2, the restricted one with
+//! |Vehicle|·|Company| — the gap widens linearly with domain growth.
+
+use bench::{compile, scaled_db};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xsql::typing::{theorem61_ranges, Exemptions};
+use xsql::{eval_select, eval_select_ranged, EvalOptions};
+
+const QUERY: &str = "SELECT M FROM Vehicle X WHERE X.Manufacturer[M] and M.President[P]";
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3_theorem61");
+    group.sample_size(10);
+    let naive = EvalOptions::naive();
+
+    for companies in [1usize, 2, 3] {
+        let mut db = scaled_db(companies);
+        let q = compile(&mut db, QUERY);
+        let n = db.individual_count();
+        let ranges = theorem61_ranges(&db, &q, &Exemptions::none())
+            .unwrap()
+            .expect("strictly well-typed");
+        group.bench_with_input(BenchmarkId::new("naive_restricted", n), &n, |b, _| {
+            b.iter(|| black_box(eval_select_ranged(&db, &q, &naive, &ranges).unwrap()))
+        });
+        // The unrestricted engine cubes the domain (X, M, P all range
+        // over every individual); only the smallest size is feasible.
+        if companies == 1 {
+            group.bench_with_input(BenchmarkId::new("naive_unrestricted", n), &n, |b, _| {
+                b.iter(|| black_box(eval_select(&db, &q, &naive).unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E6 — static typing analysis cost (§6.2).
+//!
+//! Liberal vs strict well-typing latency as the query grows (number of
+//! path expressions — strict search iterates execution plans, i.e.
+//! permutations). Expected shape: liberal is near-linear in occurrences;
+//! strict grows factorially with the number of paths but stays in the
+//! microsecond range for realistic queries (≤5 paths).
+
+use bench::{compile, scaled_db};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xsql::typing::{extract, liberal, strict, Exemptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6_typing_cost");
+    let mut db = scaled_db(1);
+    let queries = [
+        "SELECT X FROM Vehicle X WHERE X.Manufacturer[M]",
+        "SELECT X FROM Vehicle X WHERE X.Manufacturer[M] and M.President[P]",
+        "SELECT X FROM Vehicle X WHERE X.Manufacturer[M] and M.President[P] and P.Residence[A]",
+        "SELECT X FROM Vehicle X WHERE X.Manufacturer[M] and M.President[P] and P.Residence[A] \
+         and A.City[CY]",
+        "SELECT X FROM Vehicle X WHERE X.Manufacturer[M] and M.President[P] and P.Residence[A] \
+         and A.City[CY] and P.OwnedVehicles[V2]",
+    ];
+    for (i, src) in queries.iter().enumerate() {
+        let q = compile(&mut db, src);
+        let shape = extract(&db, &q).unwrap();
+        group.bench_with_input(BenchmarkId::new("liberal_paths", i + 1), &i, |b, _| {
+            b.iter(|| black_box(liberal(&db, &shape).is_some()))
+        });
+        group.bench_with_input(BenchmarkId::new("strict_paths", i + 1), &i, |b, _| {
+            b.iter(|| black_box(strict(&db, &shape, &Exemptions::none()).is_some()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

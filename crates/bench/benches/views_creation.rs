@@ -1,0 +1,62 @@
+//! E5 — object creation and views (§4).
+//!
+//! Materialization throughput of the CompSalaries view (9) as the
+//! database grows, and the grouped-`{W}` query (8) against its
+//! navigational equivalent. Expected shape: linear in the number of
+//! (company, employee) pairs; the OID-FUNCTION grouping does one pass.
+
+use bench::scaled_db;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xsql::{Outcome, Session};
+
+const VIEW: &str = "CREATE VIEW CompSalaries AS SUBCLASS OF Object \
+     SIGNATURE CompName => String, DivName => String, Salary => Numeral \
+     SELECT CompName = X.Name, DivName = Y.Name, Salary = W.Salary \
+     FROM Company X OID FUNCTION OF X,W \
+     WHERE X.Divisions[Y].Employees[W]";
+
+const GROUPED: &str = "SELECT CompName = Y.Name, People = {W} FROM Company Y \
+     OID FUNCTION OF Y WHERE Y.Divisions.Employees[W] or Y.Divisions.Manager[W]";
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_views_creation");
+    group.sample_size(10);
+
+    for companies in [2usize, 4, 8] {
+        let db = scaled_db(companies);
+        let pairs = companies * 3 * 10;
+        group.bench_with_input(
+            BenchmarkId::new("view_materialization_pairs", pairs),
+            &pairs,
+            |b, _| {
+                b.iter(|| {
+                    let mut s = Session::new(db.clone());
+                    let out = s.run(VIEW).unwrap();
+                    black_box(match out {
+                        Outcome::ViewCreated { count, .. } => count,
+                        _ => unreachable!(),
+                    })
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("grouped_creation_pairs", pairs),
+            &pairs,
+            |b, _| {
+                b.iter(|| {
+                    let mut s = Session::new(db.clone());
+                    let out = s.run(GROUPED).unwrap();
+                    black_box(match out {
+                        Outcome::Created { oids } => oids.len(),
+                        _ => unreachable!(),
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

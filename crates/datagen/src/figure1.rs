@@ -1,0 +1,414 @@
+//! The Figure 1 schema and its instances.
+//!
+//! The schema is transcribed attribute-for-attribute from Figure 1 of
+//! the paper: the IS-A hierarchy (thick arrows) and the aggregation
+//! links (thin arrows), with `*`-suffixed attributes set-valued.
+
+use oodb::{Database, DbBuilder, Oid};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Declares the Figure 1 schema into a builder.
+pub fn declare_schema(b: &mut DbBuilder) {
+    // IS-A hierarchy (thick arrows).
+    b.class("Vehicle");
+    b.subclass("Motorbike", &["Vehicle"]);
+    b.subclass("Bicycle", &["Vehicle"]);
+    b.subclass("Automobile", &["Vehicle"]);
+    b.class("Person");
+    b.subclass("Employee", &["Person"]);
+    b.class("Address");
+    b.class("Company");
+    b.class("Division");
+    b.class("VehicleDrivetrain");
+    b.class("AutoBody");
+    b.class("Engines");
+    b.subclass("PistonEngine", &["Engines"]);
+    b.subclass("TwoStrokeEngine", &["PistonEngine"]);
+    b.subclass("FourStrokeEngine", &["PistonEngine"]);
+    b.subclass("TurboEngine", &["FourStrokeEngine"]);
+    b.subclass("DieselEngine", &["FourStrokeEngine"]);
+    b.class("Transmission");
+
+    // Aggregation (thin arrows); `*` means set-valued.
+    b.attr("Vehicle", "Model", "String");
+    b.attr("Vehicle", "Manufacturer", "Company");
+    b.attr("Vehicle", "Color", "String");
+    b.attr("Vehicle", "Drivetrain", "VehicleDrivetrain");
+    b.attr("Motorbike", "Size", "Numeral");
+    b.attr("Automobile", "Drivetrain", "VehicleDrivetrain");
+    b.attr("Automobile", "Body", "AutoBody");
+
+    b.attr("Person", "Name", "String");
+    b.attr("Person", "Age", "Numeral");
+    b.attr("Person", "Residence", "Address");
+    b.set_attr("Person", "OwnedVehicles", "Vehicle");
+    b.set_attr("Employee", "Qualifications", "String");
+    b.attr("Employee", "Salary", "Numeral");
+    b.set_attr("Employee", "FamMembers", "Person");
+
+    b.attr("Address", "Street", "String");
+    b.attr("Address", "City", "String");
+    b.attr("Address", "State", "String");
+    b.attr("Address", "Phone", "Numeral");
+
+    b.attr("Company", "Name", "String");
+    b.attr("Company", "Headquarters", "Address");
+    b.set_attr("Company", "Divisions", "Division");
+    b.attr("Company", "President", "Person");
+
+    b.attr("Division", "Name", "String");
+    b.attr("Division", "Location", "Address");
+    b.attr("Division", "Function", "String");
+    b.attr("Division", "Manager", "Employee");
+    b.set_attr("Division", "Employees", "Employee");
+
+    b.attr("VehicleDrivetrain", "Engine", "Engines");
+    b.attr("VehicleDrivetrain", "Transmission", "Transmission");
+    b.attr("Transmission", "Kind", "String");
+
+    b.attr("AutoBody", "Chassis", "String");
+    b.attr("AutoBody", "Interior", "String");
+    b.attr("AutoBody", "Doors", "Numeral");
+
+    b.attr("PistonEngine", "HPpower", "Numeral");
+    b.attr("PistonEngine", "CCsize", "Numeral");
+    b.attr("PistonEngine", "CylinderN", "Numeral");
+
+    // §2/§4 attributes the paper uses but Figure 1 omits (footnote 9).
+    b.set_attr("Company", "Retirees", "Person");
+    b.set_attr("Employee", "Dependents", "Person");
+}
+
+/// The small hand-picked instance behind the paper's running examples:
+/// mary123 in New York, uniSQL with john13 as president, an automobile
+/// with a turbo engine, etc.
+pub fn figure1_db() -> Database {
+    let mut b = DbBuilder::new();
+    declare_schema(&mut b);
+
+    let addr_ny = b.obj("addr_ny", "Address");
+    b.set_str(addr_ny, "Street", "5th Avenue");
+    b.set_str(addr_ny, "City", "newyork");
+    b.set_str(addr_ny, "State", "NY");
+    let addr_austin = b.obj("addr_austin", "Address");
+    b.set_str(addr_austin, "City", "austin");
+    b.set_str(addr_austin, "State", "TX");
+    let addr_sf = b.obj("addr_sf", "Address");
+    b.set_str(addr_sf, "City", "sanfrancisco");
+    b.set_str(addr_sf, "State", "CA");
+
+    let mary = b.obj("mary123", "Person");
+    b.set_str(mary, "Name", "Mary");
+    b.set_int(mary, "Age", 34);
+    b.set(mary, "Residence", addr_ny);
+
+    let john = b.obj("john13", "Employee");
+    b.set_str(john, "Name", "John");
+    b.set_int(john, "Age", 45);
+    b.set(john, "Residence", addr_austin);
+    b.set_int(john, "Salary", 90000);
+
+    let anna = b.obj("anna7", "Person");
+    b.set_str(anna, "Name", "Anna");
+    b.set_int(anna, "Age", 22);
+    b.set(anna, "Residence", addr_austin);
+    let tim = b.obj("tim9", "Person");
+    b.set_str(tim, "Name", "Tim");
+    b.set_int(tim, "Age", 17);
+    b.set(tim, "Residence", addr_austin);
+    b.set_many(john, "FamMembers", &[anna, tim]);
+    b.set_many(john, "Dependents", &[tim]);
+
+    let kim = b.obj("kim1", "Employee");
+    b.set_str(kim, "Name", "Kim");
+    b.set_int(kim, "Age", 39);
+    b.set(kim, "Residence", addr_sf);
+    b.set_int(kim, "Salary", 30000);
+    b.set_many(kim, "FamMembers", &[mary]);
+
+    let uni = b.obj("uniSQL", "Company");
+    b.set_str(uni, "Name", "UniSQL");
+    b.set(uni, "Headquarters", addr_austin);
+    b.set(uni, "President", john);
+
+    // Footnote 10: an employee works in just one division of a company.
+    let sales = b.obj("divSales", "Division");
+    b.set_str(sales, "Name", "Sales");
+    b.set_str(sales, "Function", "sales");
+    b.set(sales, "Manager", john);
+    b.set_many(sales, "Employees", &[john]);
+    let eng = b.obj("divEng", "Division");
+    b.set_str(eng, "Name", "Engineering");
+    b.set_str(eng, "Function", "engineering");
+    b.set(eng, "Manager", kim);
+    b.set_many(eng, "Employees", &[kim]);
+    b.set_many(uni, "Divisions", &[sales, eng]);
+
+    let turbo = b.obj("engineT1", "TurboEngine");
+    b.set_int(turbo, "HPpower", 280);
+    b.set_int(turbo, "CCsize", 2998);
+    b.set_int(turbo, "CylinderN", 6);
+    let diesel = b.obj("engineD1", "DieselEngine");
+    b.set_int(diesel, "HPpower", 150);
+
+    let trans = b.obj("trans1", "Transmission");
+    b.set_str(trans, "Kind", "manual");
+    let dt1 = b.obj("dt1", "VehicleDrivetrain");
+    b.set(dt1, "Engine", turbo);
+    b.set(dt1, "Transmission", trans);
+    let dt2 = b.obj("dt2", "VehicleDrivetrain");
+    b.set(dt2, "Engine", diesel);
+
+    let body = b.obj("body1", "AutoBody");
+    b.set_int(body, "Doors", 4);
+
+    let car1 = b.obj("car1", "Automobile");
+    b.set_str(car1, "Model", "Speedster");
+    b.set(car1, "Manufacturer", uni);
+    b.set_str(car1, "Color", "red");
+    b.set(car1, "Drivetrain", dt1);
+    b.set(car1, "Body", body);
+    let car2 = b.obj("car2", "Automobile");
+    b.set_str(car2, "Model", "Hauler");
+    b.set(car2, "Manufacturer", uni);
+    b.set_str(car2, "Color", "blue");
+    b.set(car2, "Drivetrain", dt2);
+    let bike = b.obj("bike1", "Bicycle");
+    b.set_str(bike, "Model", "Roadster");
+    b.set_str(bike, "Color", "green");
+
+    b.set_many(john, "OwnedVehicles", &[car1, car2]);
+    b.set_many(mary, "OwnedVehicles", &[bike]);
+    b.set_many(kim, "OwnedVehicles", &[car2]);
+
+    b.build()
+}
+
+/// Scale parameters for the synthetic Figure 1 population.
+#[derive(Debug, Clone, Copy)]
+pub struct Figure1Params {
+    /// Number of companies.
+    pub companies: usize,
+    /// Divisions per company.
+    pub divisions_per_company: usize,
+    /// Employees per division.
+    pub employees_per_division: usize,
+    /// Vehicles per company (manufactured).
+    pub vehicles_per_company: usize,
+    /// Number of distinct cities (address pool).
+    pub cities: usize,
+    /// Family members per employee (0..=n).
+    pub max_fam_members: usize,
+    /// RNG seed — equal seeds give identical databases.
+    pub seed: u64,
+}
+
+impl Default for Figure1Params {
+    fn default() -> Self {
+        Figure1Params {
+            companies: 10,
+            divisions_per_company: 3,
+            employees_per_division: 10,
+            vehicles_per_company: 5,
+            cities: 20,
+            max_fam_members: 3,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl Figure1Params {
+    /// A parameter set targeting roughly `n` individual objects, for
+    /// size sweeps.
+    pub fn with_total_objects(n: usize) -> Figure1Params {
+        // employees dominate: companies * divisions * employees.
+        let companies = (n / 45).max(1);
+        Figure1Params {
+            companies,
+            ..Figure1Params::default()
+        }
+    }
+}
+
+/// Generates a deterministic scaled instance of the Figure 1 schema.
+pub fn figure1_scaled(p: &Figure1Params) -> Database {
+    let mut b = DbBuilder::new();
+    declare_schema(&mut b);
+    let mut rng = StdRng::seed_from_u64(p.seed);
+
+    let colors = ["red", "blue", "green", "black", "white", "silver"];
+    let cities: Vec<Oid> = (0..p.cities.max(1))
+        .map(|i| {
+            let a = b.obj(&format!("addr{i}"), "Address");
+            b.set_str(a, "City", &format!("city{i}"));
+            b.set_str(a, "State", &format!("state{}", i % 7));
+            a
+        })
+        .collect();
+
+    let mut all_people: Vec<Oid> = Vec::new();
+    for ci in 0..p.companies {
+        let comp = b.obj(&format!("company{ci}"), "Company");
+        b.set_str(comp, "Name", &format!("Company {ci}"));
+        let hq = cities[rng.gen_range(0..cities.len())];
+        b.set(comp, "Headquarters", hq);
+
+        let mut divisions = Vec::new();
+        let mut company_people = Vec::new();
+        for di in 0..p.divisions_per_company {
+            let div = b.obj(&format!("division{ci}_{di}"), "Division");
+            b.set_str(div, "Name", &format!("Division {di}"));
+            b.set_str(div, "Function", ["sales", "engineering", "hr"][di % 3]);
+            let loc = cities[rng.gen_range(0..cities.len())];
+            b.set(div, "Location", loc);
+            let mut employees = Vec::new();
+            for ei in 0..p.employees_per_division {
+                let emp = b.obj(&format!("emp{ci}_{di}_{ei}"), "Employee");
+                b.set_str(emp, "Name", &format!("Emp {ci}-{di}-{ei}"));
+                b.set_int(emp, "Age", rng.gen_range(20..66));
+                b.set_int(emp, "Salary", rng.gen_range(20..200) * 1000);
+                let res = cities[rng.gen_range(0..cities.len())];
+                b.set(emp, "Residence", res);
+                // Family members: plain persons.
+                let fam_n = rng.gen_range(0..=p.max_fam_members);
+                let fam: Vec<Oid> = (0..fam_n)
+                    .map(|fi| {
+                        let fm = b.obj(&format!("fam{ci}_{di}_{ei}_{fi}"), "Person");
+                        b.set_int(fm, "Age", rng.gen_range(1..90));
+                        let fres = if rng.gen_bool(0.5) { res } else { cities[rng.gen_range(0..cities.len())] };
+                        b.set(fm, "Residence", fres);
+                        fm
+                    })
+                    .collect();
+                if !fam.is_empty() {
+                    b.set_many(emp, "FamMembers", &fam);
+                }
+                employees.push(emp);
+                company_people.push(emp);
+            }
+            b.set_many(div, "Employees", &employees);
+            b.set(div, "Manager", employees[rng.gen_range(0..employees.len())]);
+            divisions.push(div);
+        }
+        b.set_many(comp, "Divisions", &divisions);
+        b.set(comp, "President", company_people[rng.gen_range(0..company_people.len())]);
+
+        for vi in 0..p.vehicles_per_company {
+            let kind = ["Automobile", "Motorbike", "Bicycle"][vi % 3];
+            let v = b.obj(&format!("vehicle{ci}_{vi}"), kind);
+            b.set_str(v, "Model", &format!("Model {vi}"));
+            b.set(v, "Manufacturer", comp);
+            b.set_str(v, "Color", colors[rng.gen_range(0..colors.len())]);
+            if kind == "Automobile" {
+                let engine_kind = ["TurboEngine", "DieselEngine", "TwoStrokeEngine"]
+                    [rng.gen_range(0..3)];
+                let e = b.obj(&format!("engine{ci}_{vi}"), engine_kind);
+                b.set_int(e, "HPpower", rng.gen_range(60..400));
+                b.set_int(e, "CylinderN", [3, 4, 6, 8][rng.gen_range(0..4)]);
+                let dt = b.obj(&format!("dt{ci}_{vi}"), "VehicleDrivetrain");
+                b.set(dt, "Engine", e);
+                b.set(v, "Drivetrain", dt);
+            }
+            // An owner from this company's people.
+            let owner = company_people[rng.gen_range(0..company_people.len())];
+            b.add_to(owner, "OwnedVehicles", v);
+        }
+        all_people.extend(company_people);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_instance_has_paper_objects() {
+        let db = figure1_db();
+        for name in ["mary123", "john13", "uniSQL", "car1"] {
+            let o = db.oids().find_sym(name).expect(name);
+            assert!(db.is_instance_of(o, db.builtins().object), "{name}");
+        }
+        let turbo = db.oids().find_sym("TurboEngine").unwrap();
+        let piston = db.oids().find_sym("PistonEngine").unwrap();
+        assert!(db.is_strict_subclass(turbo, piston));
+    }
+
+    #[test]
+    fn scaled_is_deterministic() {
+        let p = Figure1Params {
+            companies: 2,
+            ..Figure1Params::default()
+        };
+        let a = figure1_scaled(&p);
+        let b2 = figure1_scaled(&p);
+        assert_eq!(a.individual_count(), b2.individual_count());
+        assert_eq!(
+            a.state_entries().count(),
+            b2.state_entries().count()
+        );
+    }
+
+    #[test]
+    fn scaled_size_grows() {
+        let small = figure1_scaled(&Figure1Params {
+            companies: 1,
+            ..Figure1Params::default()
+        });
+        let big = figure1_scaled(&Figure1Params {
+            companies: 8,
+            ..Figure1Params::default()
+        });
+        assert!(big.individual_count() > 4 * small.individual_count());
+    }
+}
+
+#[cfg(test)]
+mod sizing_tests {
+    use super::*;
+
+    #[test]
+    fn with_total_objects_tracks_target() {
+        for target in [100usize, 500, 2000] {
+            let p = Figure1Params::with_total_objects(target);
+            let db = figure1_scaled(&p);
+            let n = db.individual_count();
+            // Within a factor of ~2.5 of the requested population.
+            assert!(
+                n * 2 >= target && n <= target * 3 + 200,
+                "target {target}, got {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = figure1_scaled(&Figure1Params {
+            companies: 2,
+            seed: 1,
+            ..Figure1Params::default()
+        });
+        let b = figure1_scaled(&Figure1Params {
+            companies: 2,
+            seed: 2,
+            ..Figure1Params::default()
+        });
+        // Same structure, different random content.
+        assert_eq!(
+            a.instances_of(a.oids().find_sym("Company").unwrap()).len(),
+            b.instances_of(b.oids().find_sym("Company").unwrap()).len()
+        );
+        let salaries = |db: &oodb::Database| -> Vec<String> {
+            let sal = db.oids().find_sym("Salary").unwrap();
+            db.state_entries()
+                .filter(|(_, m, _, _)| *m == sal)
+                .map(|(_, _, _, v)| match v {
+                    oodb::Val::Scalar(o) => db.render(*o),
+                    oodb::Val::Set(_) => unreachable!(),
+                })
+                .collect()
+        };
+        assert_ne!(salaries(&a), salaries(&b));
+    }
+}

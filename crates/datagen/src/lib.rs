@@ -1,0 +1,21 @@
+//! # datagen — deterministic workload generators
+//!
+//! Seeded, scalable instances of the paper's databases:
+//!
+//! * [`figure1`] — the Figure 1 Vehicle/Person/Company schema, both as
+//!   the small hand-picked instance the paper's examples assume and at
+//!   parameterized scale for the benchmarks;
+//! * [`nobel`] — the Nobel-Prize database of §1 (winners spread across
+//!   classes);
+//! * [`university`] — the department/workstudy database of §2/§6.1
+//!   (k-ary methods, multiple inheritance).
+
+#![warn(missing_docs)]
+
+pub mod figure1;
+pub mod nobel;
+pub mod university;
+
+pub use figure1::{figure1_db, figure1_scaled, Figure1Params};
+pub use nobel::nobel_db;
+pub use university::university_db;

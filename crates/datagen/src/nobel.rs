@@ -1,0 +1,68 @@
+//! The Nobel-Prize database of §1: winners are "not necessarily members
+//! of one class … persons or organizations of various types" (UNICEF won
+//! the Peace Prize). `WonNobelPrize` is declared on several unrelated
+//! classes, which is what makes `SELECT X WHERE X.WonNobelPrize`
+//! liberally but not strictly well-typed.
+
+use oodb::{Database, DbBuilder};
+
+/// Builds the Nobel database.
+pub fn nobel_db() -> Database {
+    let mut b = DbBuilder::new();
+    b.class("Person");
+    b.subclass("Scientist", &["Person"]);
+    b.subclass("Writer", &["Person"]);
+    b.class("Organization");
+    b.subclass("ReliefAgency", &["Organization"]);
+    b.class("City");
+
+    b.attr("Person", "Name", "String");
+    b.attr("Organization", "Name", "String");
+    b.set_attr("Scientist", "WonNobelPrize", "String");
+    b.set_attr("Writer", "WonNobelPrize", "String");
+    b.set_attr("ReliefAgency", "WonNobelPrize", "String");
+
+    let marie = b.obj("marieCurie", "Scientist");
+    b.set_str(marie, "Name", "Marie Curie");
+    let physics = b.str("physics");
+    let chemistry = b.str("chemistry");
+    b.set_many(marie, "WonNobelPrize", &[physics, chemistry]);
+
+    let tagore = b.obj("tagore", "Writer");
+    b.set_str(tagore, "Name", "Rabindranath Tagore");
+    let literature = b.str("literature");
+    b.set_many(tagore, "WonNobelPrize", &[literature]);
+
+    let unicef = b.obj("unicef", "ReliefAgency");
+    b.set_str(unicef, "Name", "UNICEF");
+    let peace = b.str("peace");
+    b.set_many(unicef, "WonNobelPrize", &[peace]);
+
+    // Non-winners of each class.
+    let p = b.obj("plainPerson", "Person");
+    b.set_str(p, "Name", "Pat");
+    let s = b.obj("otherScientist", "Scientist");
+    b.set_str(s, "Name", "Sam");
+    let o = b.obj("plainOrg", "Organization");
+    b.set_str(o, "Name", "Acme Club");
+    b.obj("paris", "City");
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn winners_span_classes() {
+        let db = nobel_db();
+        let m = db.oids().find_sym("WonNobelPrize").unwrap();
+        let marie = db.oids().find_sym("marieCurie").unwrap();
+        let unicef = db.oids().find_sym("unicef").unwrap();
+        assert!(db.value(marie, m, &[]).unwrap().is_some());
+        assert!(db.value(unicef, m, &[]).unwrap().is_some());
+        let person = db.oids().find_sym("Person").unwrap();
+        assert!(!db.is_instance_of(unicef, person));
+    }
+}

@@ -1,0 +1,91 @@
+//! The university database of §2/§6.1: the unary `workstudy` method
+//! (`workstudy : semester ==> {student, employee}`), the polymorphic
+//! `earns` method (`employee, project => pay` and `student, course =>
+//! grade`) and the `Workstudy` class under multiple inheritance.
+
+use oodb::{Database, DbBuilder, Val};
+
+/// Builds the university database.
+pub fn university_db() -> Database {
+    let mut b = DbBuilder::new();
+    b.class("Person");
+    b.subclass("Student", &["Person"]);
+    b.subclass("Employee", &["Person"]);
+    b.subclass("Workstudy", &["Student", "Employee"]);
+    b.class("Department");
+    b.class("Semester");
+    b.class("Project");
+    b.class("Course");
+    b.class("Pay");
+    b.class("Grade");
+
+    b.attr("Person", "Name", "String");
+    // workstudy : semester ==> student and ==> employee (§2 "Types"):
+    // two signatures for the same argument types.
+    b.method_sig("Department", "workstudy", &["Semester"], "Student", true);
+    b.method_sig("Department", "workstudy", &["Semester"], "Employee", true);
+    // Polymorphic earns (§6.1).
+    b.method_sig("Employee", "earns", &["Project"], "Pay", false);
+    b.method_sig("Student", "earns", &["Course"], "Grade", false);
+
+    let fall = b.obj("fall92", "Semester");
+    let spring = b.obj("spring92", "Semester");
+    let cs = b.obj("csDept", "Department");
+    let math = b.obj("mathDept", "Department");
+
+    let w1 = b.obj("ws_jane", "Workstudy");
+    b.set_str(w1, "Name", "Jane");
+    let w2 = b.obj("ws_omar", "Workstudy");
+    b.set_str(w2, "Name", "Omar");
+    let s1 = b.obj("stu_li", "Student");
+    b.set_str(s1, "Name", "Li");
+
+    b.set_method_value(cs, "workstudy", &[fall], Val::set([w1, w2]));
+    b.set_method_value(cs, "workstudy", &[spring], Val::set([w1]));
+    b.set_method_value(math, "workstudy", &[fall], Val::set([w2]));
+
+    let proj = b.obj("projDB", "Project");
+    let course = b.obj("course101", "Course");
+    let pay = b.obj("pay1200", "Pay");
+    let grade = b.obj("gradeA", "Grade");
+    b.set_method_value(w1, "earns", &[proj], Val::Scalar(pay));
+    b.set_method_value(w1, "earns", &[course], Val::Scalar(grade));
+    b.set_method_value(s1, "earns", &[course], Val::Scalar(grade));
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workstudy_membership_and_polymorphic_earns() {
+        let db = university_db();
+        let jane = db.oids().find_sym("ws_jane").unwrap();
+        let student = db.oids().find_sym("Student").unwrap();
+        let employee = db.oids().find_sym("Employee").unwrap();
+        assert!(db.is_instance_of(jane, student));
+        assert!(db.is_instance_of(jane, employee));
+
+        let earns = db.oids().find_sym("earns").unwrap();
+        let proj = db.oids().find_sym("projDB").unwrap();
+        let course = db.oids().find_sym("course101").unwrap();
+        // earns is applicable to Jane on both argument types …
+        assert!(db.is_applicable(jane, earns, &[proj]));
+        assert!(db.is_applicable(jane, earns, &[course]));
+        // … but a plain student cannot earn pay from a project.
+        let li = db.oids().find_sym("stu_li").unwrap();
+        assert!(!db.is_applicable(li, earns, &[proj]));
+    }
+
+    #[test]
+    fn kary_method_values() {
+        let db = university_db();
+        let ws = db.oids().find_sym("workstudy").unwrap();
+        let cs = db.oids().find_sym("csDept").unwrap();
+        let fall = db.oids().find_sym("fall92").unwrap();
+        let v = db.value(cs, ws, &[fall]).unwrap().unwrap();
+        assert_eq!(v.len(), 2);
+    }
+}

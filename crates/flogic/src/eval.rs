@@ -1,0 +1,82 @@
+//! Naive first-order evaluation of F-logic formulas over an
+//! [`FStructure`] (active-domain semantics). Exponential in the number
+//! of quantified variables — it is the *specification* side of the
+//! Theorem 3.1 differential tests, not an engine.
+
+use crate::model::FStructure;
+use crate::term::{Formula, Sort};
+use crate::translate::FQuery;
+use oodb::Oid;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Evaluates a query: the set of head-variable tuples for which the body
+/// holds, head variables ranging over their sorts' domains.
+pub fn evaluate(m: &FStructure<'_>, q: &FQuery) -> BTreeSet<Vec<Oid>> {
+    let mut out = BTreeSet::new();
+    let mut v = BTreeMap::new();
+    enumerate(m, &q.head, 0, &mut v, &mut |m, v| {
+        if holds(m, &q.body, v) {
+            let tuple: Vec<Oid> = q.head.iter().map(|(n, _)| v[n]).collect();
+            out.insert(tuple);
+        }
+    });
+    out
+}
+
+fn enumerate(
+    m: &FStructure<'_>,
+    vars: &[(String, Sort)],
+    i: usize,
+    v: &mut BTreeMap<String, Oid>,
+    k: &mut dyn FnMut(&FStructure<'_>, &BTreeMap<String, Oid>),
+) {
+    if i == vars.len() {
+        k(m, v);
+        return;
+    }
+    let (name, sort) = &vars[i];
+    for o in m.domain(*sort) {
+        v.insert(name.clone(), o);
+        enumerate(m, vars, i + 1, v, k);
+    }
+    v.remove(name);
+}
+
+/// Truth of a formula under a valuation (quantified variables range over
+/// the active domain of their sort).
+pub fn holds(m: &FStructure<'_>, f: &Formula, v: &BTreeMap<String, Oid>) -> bool {
+    match f {
+        Formula::True => true,
+        Formula::Atom(a) => m.holds(a, v),
+        Formula::And(fs) => fs.iter().all(|g| holds(m, g, v)),
+        Formula::Or(fs) => fs.iter().any(|g| holds(m, g, v)),
+        Formula::Not(g) => !holds(m, g, v),
+        Formula::Exists(vars, g) => any_valuation(m, vars, 0, &mut v.clone(), g, true),
+        Formula::Forall(vars, g) => !any_valuation(m, vars, 0, &mut v.clone(), g, false),
+    }
+}
+
+/// `positive`: search for a valuation making `g` true; otherwise search
+/// for one making it false (∀ = no counterexample).
+fn any_valuation(
+    m: &FStructure<'_>,
+    vars: &[(String, Sort)],
+    i: usize,
+    v: &mut BTreeMap<String, Oid>,
+    g: &Formula,
+    positive: bool,
+) -> bool {
+    if i == vars.len() {
+        return holds(m, g, v) == positive;
+    }
+    let (name, sort) = &vars[i];
+    for o in m.domain(*sort) {
+        v.insert(name.clone(), o);
+        if any_valuation(m, vars, i + 1, v, g, positive) {
+            v.remove(name);
+            return true;
+        }
+    }
+    v.remove(name);
+    false
+}

@@ -1,0 +1,31 @@
+//! # flogic — F-logic substrate and the Theorem 3.1 translation
+//!
+//! Theorem 3.1 of the paper states that every XSQL query (of the §3
+//! form) has an equivalent first-order query in F-logic \[KLW90\]. This
+//! crate mechanizes the theorem: it provides
+//!
+//! * the fragment of F-logic the translation targets — id-terms, *is-a*
+//!   assertions, scalar/set *data molecules* `t[m@a1,…,ak -> v]` /
+//!   `->>`, and first-order formulas over them;
+//! * a model extraction from an [`oodb::Database`] (the F-structure the
+//!   paper's semantics interprets molecules in, with behavioral
+//!   inheritance already applied to the data);
+//! * a formula evaluator over that structure (active-domain semantics);
+//! * the translator from resolved XSQL queries to F-logic formulas.
+//!
+//! The integration tests differentially check, per Theorem 3.1, that
+//! evaluating the translated formula yields exactly the XSQL answer.
+
+#![warn(missing_docs)]
+
+mod eval;
+mod model;
+mod render;
+mod term;
+mod translate;
+
+pub use eval::evaluate;
+pub use model::FStructure;
+pub use render::{render_formula, render_term};
+pub use term::{Atom, FTerm, Formula, Sort};
+pub use translate::{translate_select, FQuery};

@@ -1,0 +1,132 @@
+//! The F-structure extracted from an `oodb` database.
+//!
+//! F-logic semantics interprets molecules in a structure; for the
+//! purposes of Theorem 3.1 the structure is exactly the database with
+//! behavioral inheritance applied — which is what [`oodb::Database`]'s
+//! `value` judgment computes. This wrapper exposes the three atom
+//! interpretations and the sort domains.
+
+use crate::term::{Atom, CmpOp, FTerm, Sort};
+use oodb::{Database, Oid, OidData};
+use std::collections::BTreeMap;
+
+/// A read-only F-structure over a database.
+pub struct FStructure<'d> {
+    db: &'d Database,
+}
+
+impl<'d> FStructure<'d> {
+    /// Wraps a database.
+    pub fn new(db: &'d Database) -> Self {
+        FStructure { db }
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &'d Database {
+        self.db
+    }
+
+    /// The domain of a sort (active-domain semantics).
+    pub fn domain(&self, sort: Sort) -> Vec<Oid> {
+        match sort {
+            Sort::Individual => self.db.individuals().collect(),
+            Sort::Class => self.db.classes().collect(),
+            Sort::Method => self.db.method_objects().collect(),
+        }
+    }
+
+    /// Resolves a term under a variable valuation.
+    pub fn term(&self, t: &FTerm, v: &BTreeMap<String, Oid>) -> Option<Oid> {
+        match t {
+            FTerm::Oid(o) => Some(*o),
+            FTerm::Var(n, _) => v.get(n).copied(),
+        }
+    }
+
+    /// Numeral-insensitive equality (matching the engine's `oid_eq`).
+    pub fn eq(&self, a: Oid, b: Oid) -> bool {
+        if a == b {
+            return true;
+        }
+        matches!(
+            (self.db.oids().as_number(a), self.db.oids().as_number(b)),
+            (Some(x), Some(y)) if x == y
+        )
+    }
+
+    fn cmp(&self, op: CmpOp, a: Oid, b: Oid) -> bool {
+        match op {
+            CmpOp::Eq => self.eq(a, b),
+            CmpOp::Ne => !self.eq(a, b),
+            _ => {
+                if let (Some(x), Some(y)) =
+                    (self.db.oids().as_number(a), self.db.oids().as_number(b))
+                {
+                    return match op {
+                        CmpOp::Lt => x < y,
+                        CmpOp::Le => x <= y,
+                        CmpOp::Gt => x > y,
+                        CmpOp::Ge => x >= y,
+                        _ => unreachable!(),
+                    };
+                }
+                if let (OidData::Str(x), OidData::Str(y)) =
+                    (self.db.oids().get(a), self.db.oids().get(b))
+                {
+                    return match op {
+                        CmpOp::Lt => x < y,
+                        CmpOp::Le => x <= y,
+                        CmpOp::Gt => x > y,
+                        CmpOp::Ge => x >= y,
+                        _ => unreachable!(),
+                    };
+                }
+                false
+            }
+        }
+    }
+
+    /// Truth of a ground atom under a (total, for the atom) valuation.
+    /// Unresolved variables make the atom false — callers quantify.
+    pub fn holds(&self, atom: &Atom, v: &BTreeMap<String, Oid>) -> bool {
+        match atom {
+            Atom::IsA(o, c) => match (self.term(o, v), self.term(c, v)) {
+                (Some(o), Some(c)) => self.db.is_instance_of(o, c),
+                _ => false,
+            },
+            Atom::StrictSub(a, b) => match (self.term(a, v), self.term(b, v)) {
+                (Some(a), Some(b)) => self.db.is_strict_subclass(a, b),
+                _ => false,
+            },
+            Atom::Data {
+                obj,
+                method,
+                args,
+                value,
+            } => {
+                let (Some(o), Some(m), Some(val)) =
+                    (self.term(obj, v), self.term(method, v), self.term(value, v))
+                else {
+                    return false;
+                };
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    match self.term(a, v) {
+                        Some(x) => argv.push(x),
+                        None => return false,
+                    }
+                }
+                match self.db.value(o, m, &argv) {
+                    Ok(Some(val_set)) => {
+                        val_set.contains(val) || val_set.members().any(|x| self.eq(x, val))
+                    }
+                    _ => false,
+                }
+            }
+            Atom::Cmp(op, a, b) => match (self.term(a, v), self.term(b, v)) {
+                (Some(a), Some(b)) => self.cmp(*op, a, b),
+                _ => false,
+            },
+        }
+    }
+}

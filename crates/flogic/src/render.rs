@@ -1,0 +1,145 @@
+//! Rendering F-logic formulas in the paper's molecular notation.
+
+use crate::term::{Atom, CmpOp, FTerm, Formula, Sort};
+use oodb::Database;
+use std::fmt::Write;
+
+/// Renders a term: constants as the paper writes OIDs, variables with a
+/// sort-indicating prefix (`?x`, `?"m`, `?#c`).
+pub fn render_term(db: &Database, t: &FTerm) -> String {
+    match t {
+        FTerm::Oid(o) => db.render(*o),
+        FTerm::Var(n, s) => match s {
+            Sort::Individual => format!("?{n}"),
+            Sort::Method => format!("?\"{n}"),
+            Sort::Class => format!("?#{n}"),
+        },
+    }
+}
+
+/// Renders a formula in F-logic syntax: data molecules as
+/// `t[m@a,… ->> v]`, is-a as `t : c`, subclass as `c1 :: c2`.
+pub fn render_formula(db: &Database, f: &Formula) -> String {
+    let mut out = String::new();
+    go(db, f, &mut out);
+    out
+}
+
+fn go(db: &Database, f: &Formula, out: &mut String) {
+    match f {
+        Formula::True => out.push_str("true"),
+        Formula::Atom(a) => atom(db, a, out),
+        Formula::And(fs) => {
+            out.push('(');
+            for (i, g) in fs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" ∧ ");
+                }
+                go(db, g, out);
+            }
+            out.push(')');
+        }
+        Formula::Or(fs) => {
+            out.push('(');
+            for (i, g) in fs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" ∨ ");
+                }
+                go(db, g, out);
+            }
+            out.push(')');
+        }
+        Formula::Not(g) => {
+            out.push('¬');
+            go(db, g, out);
+        }
+        Formula::Exists(vs, g) => {
+            quantified(db, "∃", vs, g, out);
+        }
+        Formula::Forall(vs, g) => {
+            quantified(db, "∀", vs, g, out);
+        }
+    }
+}
+
+fn quantified(db: &Database, q: &str, vs: &[(String, Sort)], g: &Formula, out: &mut String) {
+    out.push_str(q);
+    for (i, (n, s)) in vs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", render_term(db, &FTerm::Var(n.clone(), *s)));
+    }
+    out.push('(');
+    go(db, g, out);
+    out.push(')');
+}
+
+fn atom(db: &Database, a: &Atom, out: &mut String) {
+    match a {
+        Atom::IsA(o, c) => {
+            let _ = write!(out, "{} : {}", render_term(db, o), render_term(db, c));
+        }
+        Atom::StrictSub(x, y) => {
+            let _ = write!(out, "{} :: {}", render_term(db, x), render_term(db, y));
+        }
+        Atom::Data {
+            obj,
+            method,
+            args,
+            value,
+        } => {
+            let _ = write!(out, "{}[{}", render_term(db, obj), render_term(db, method));
+            if !args.is_empty() {
+                out.push('@');
+                for (i, arg) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&render_term(db, arg));
+                }
+            }
+            let _ = write!(out, " ->> {}]", render_term(db, value));
+        }
+        Atom::Cmp(op, x, y) => {
+            let sym = match op {
+                CmpOp::Eq => "=",
+                CmpOp::Ne => "≠",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "≤",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => "≥",
+            };
+            let _ = write!(out, "{} {sym} {}", render_term(db, x), render_term(db, y));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb::DbBuilder;
+
+    #[test]
+    fn renders_molecules() {
+        let mut b = DbBuilder::new();
+        b.class("Person");
+        b.attr("Person", "Name", "String");
+        let mary = b.obj("mary123", "Person");
+        let db = b.build();
+        let name = db.oids().find_sym("Name").unwrap();
+        let f = Formula::Atom(Atom::Data {
+            obj: FTerm::Oid(mary),
+            method: FTerm::Oid(name),
+            args: vec![],
+            value: FTerm::ivar("W"),
+        });
+        assert_eq!(render_formula(&db, &f), "mary123[Name ->> ?W]");
+        let person = db.oids().find_sym("Person").unwrap();
+        let f = Formula::exists(
+            vec![("X".into(), Sort::Individual)],
+            Formula::Atom(Atom::IsA(FTerm::ivar("X"), FTerm::Oid(person))),
+        );
+        assert_eq!(render_formula(&db, &f), "∃?X(?X : Person)");
+    }
+}

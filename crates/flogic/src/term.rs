@@ -1,0 +1,200 @@
+//! Terms, atoms and formulas of the targeted F-logic fragment.
+
+use oodb::Oid;
+
+/// Sorts of F-logic variables — the three sub-universes of §2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Sort {
+    /// Individual objects.
+    Individual,
+    /// Class-objects.
+    Class,
+    /// Method-objects.
+    Method,
+}
+
+/// An id-term of the translation: an interned OID constant or a sorted
+/// variable. (Composite id-terms are already interned as OIDs by the
+/// `oodb` layer, so constants suffice here.)
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FTerm {
+    /// A constant.
+    Oid(Oid),
+    /// A variable.
+    Var(String, Sort),
+}
+
+impl FTerm {
+    /// Individual variable shorthand.
+    pub fn ivar(name: impl Into<String>) -> FTerm {
+        FTerm::Var(name.into(), Sort::Individual)
+    }
+}
+
+/// Comparison operators available as builtin predicates (the paper's
+/// comparators over numerals/strings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equality (numeral-insensitive, like the engine).
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+}
+
+/// Atomic formulas.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Atom {
+    /// `t : c` — instance-of (F-logic is-a assertion).
+    IsA(FTerm, FTerm),
+    /// `c1 :: c2`, strict — the `subclassOf` predicate of query (4).
+    StrictSub(FTerm, FTerm),
+    /// Data molecule `t[m@a1,…,ak ->(>) v]`: the method is defined on
+    /// the receiver/arguments and `v` is (a member of) its value. The
+    /// member reading subsumes the scalar one, matching path-step
+    /// satisfaction (§3.1).
+    Data {
+        /// Receiver term.
+        obj: FTerm,
+        /// Method term (may be a method variable — F-logic's
+        /// higher-order syntax with first-order semantics).
+        method: FTerm,
+        /// Argument terms.
+        args: Vec<FTerm>,
+        /// Value term.
+        value: FTerm,
+    },
+    /// Builtin comparison predicate.
+    Cmp(CmpOp, FTerm, FTerm),
+}
+
+/// First-order formulas.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Formula {
+    /// Truth.
+    True,
+    /// An atom.
+    Atom(Atom),
+    /// Conjunction.
+    And(Vec<Formula>),
+    /// Disjunction.
+    Or(Vec<Formula>),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Existential quantification.
+    Exists(Vec<(String, Sort)>, Box<Formula>),
+    /// Universal quantification.
+    Forall(Vec<(String, Sort)>, Box<Formula>),
+}
+
+impl Formula {
+    /// Conjunction, flattening trivial cases.
+    pub fn and(parts: Vec<Formula>) -> Formula {
+        let parts: Vec<Formula> = parts
+            .into_iter()
+            .filter(|f| !matches!(f, Formula::True))
+            .collect();
+        match parts.len() {
+            0 => Formula::True,
+            1 => parts.into_iter().next().unwrap(),
+            _ => Formula::And(parts),
+        }
+    }
+
+    /// Existential closure over `vars` (no-op when empty).
+    pub fn exists(vars: Vec<(String, Sort)>, body: Formula) -> Formula {
+        if vars.is_empty() {
+            body
+        } else {
+            Formula::Exists(vars, Box::new(body))
+        }
+    }
+
+    /// Universal closure over `vars` (no-op when empty).
+    pub fn forall(vars: Vec<(String, Sort)>, body: Formula) -> Formula {
+        if vars.is_empty() {
+            body
+        } else {
+            Formula::Forall(vars, Box::new(body))
+        }
+    }
+
+    /// Free variables of the formula.
+    pub fn free_vars(&self) -> std::collections::BTreeMap<String, Sort> {
+        fn term(t: &FTerm, out: &mut std::collections::BTreeMap<String, Sort>) {
+            if let FTerm::Var(n, s) = t {
+                out.insert(n.clone(), *s);
+            }
+        }
+        fn go(f: &Formula, out: &mut std::collections::BTreeMap<String, Sort>) {
+            match f {
+                Formula::True => {}
+                Formula::Atom(a) => match a {
+                    Atom::IsA(x, y) | Atom::StrictSub(x, y) | Atom::Cmp(_, x, y) => {
+                        term(x, out);
+                        term(y, out);
+                    }
+                    Atom::Data {
+                        obj,
+                        method,
+                        args,
+                        value,
+                    } => {
+                        term(obj, out);
+                        term(method, out);
+                        for a in args {
+                            term(a, out);
+                        }
+                        term(value, out);
+                    }
+                },
+                Formula::And(fs) | Formula::Or(fs) => {
+                    for g in fs {
+                        go(g, out);
+                    }
+                }
+                Formula::Not(g) => go(g, out),
+                Formula::Exists(vs, g) | Formula::Forall(vs, g) => {
+                    let mut inner = std::collections::BTreeMap::new();
+                    go(g, &mut inner);
+                    for (n, s) in inner {
+                        if !vs.iter().any(|(vn, _)| *vn == n) {
+                            out.insert(n, s);
+                        }
+                    }
+                }
+            }
+        }
+        let mut out = std::collections::BTreeMap::new();
+        go(self, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_flattens() {
+        assert_eq!(Formula::and(vec![]), Formula::True);
+        let a = Formula::Atom(Atom::Cmp(CmpOp::Eq, FTerm::ivar("X"), FTerm::ivar("X")));
+        assert_eq!(Formula::and(vec![a.clone()]), a);
+    }
+
+    #[test]
+    fn free_vars_respect_quantifiers() {
+        let body = Formula::Atom(Atom::Cmp(CmpOp::Lt, FTerm::ivar("X"), FTerm::ivar("Y")));
+        let f = Formula::exists(vec![("Y".into(), Sort::Individual)], body);
+        let fv = f.free_vars();
+        assert!(fv.contains_key("X"));
+        assert!(!fv.contains_key("Y"));
+    }
+}

@@ -1,0 +1,408 @@
+//! The Theorem 3.1 translation: resolved XSQL queries → first-order
+//! F-logic queries.
+//!
+//! "There exists an effective procedure P that for any given XSQL query
+//! φ (of the form considered thus far) returns an equivalent first-order
+//! query in F-logic P(φ)." This module is that procedure for the §3/§5
+//! query fragment: path expressions with selectors and method
+//! expressions (including method variables), Boolean connectives,
+//! quantified comparisons, set comparators, and schema predicates.
+//! Aggregates and arithmetic are *not* first-order expressible and are
+//! rejected, as are object-creating clauses (§4 is beyond the theorem's
+//! scope).
+
+use crate::term::{Atom, CmpOp, FTerm, Formula, Sort};
+use xsql::ast;
+use xsql::XsqlError;
+
+/// A first-order F-logic query: answer variables plus a body formula.
+#[derive(Debug, Clone)]
+pub struct FQuery {
+    /// The answer tuple, in SELECT order.
+    pub head: Vec<(String, Sort)>,
+    /// The body.
+    pub body: Formula,
+}
+
+struct Tr {
+    fresh: usize,
+}
+
+impl Tr {
+    fn fresh(&mut self) -> FTerm {
+        self.fresh += 1;
+        FTerm::Var(format!("_f{}", self.fresh), Sort::Individual)
+    }
+
+    fn sort_of(s: ast::VarSort) -> Sort {
+        match s {
+            ast::VarSort::Individual => Sort::Individual,
+            ast::VarSort::Class => Sort::Class,
+            ast::VarSort::Method => Sort::Method,
+        }
+    }
+
+    /// Constants and variables only; composite terms are handled by the
+    /// translator (which owns the database handle).
+    fn term(&mut self, t: &ast::IdTerm) -> Result<FTerm, XsqlError> {
+        match t {
+            ast::IdTerm::Oid(o) => Ok(FTerm::Oid(*o)),
+            ast::IdTerm::Var(v) => Ok(FTerm::Var(v.name.clone(), Self::sort_of(v.sort))),
+            other => Err(XsqlError::Resolve(format!(
+                "term {other:?} is outside the Theorem 3.1 fragment"
+            ))),
+        }
+    }
+
+    fn cmp_op(op: ast::CmpOp) -> CmpOp {
+        match op {
+            ast::CmpOp::Eq => CmpOp::Eq,
+            ast::CmpOp::Ne => CmpOp::Ne,
+            ast::CmpOp::Lt => CmpOp::Lt,
+            ast::CmpOp::Le => CmpOp::Le,
+            ast::CmpOp::Gt => CmpOp::Gt,
+            ast::CmpOp::Ge => CmpOp::Ge,
+        }
+    }
+}
+
+/// Translates a resolved, relation-producing SELECT query into an
+/// F-logic query.
+pub fn translate_select(db: &oodb::Database, q: &ast::SelectQuery) -> Result<FQuery, XsqlError> {
+    let mut tr = Translator {
+        db,
+        inner: Tr { fresh: 0 },
+    };
+    tr.query(q)
+}
+
+struct Translator<'d> {
+    db: &'d oodb::Database,
+    inner: Tr,
+}
+
+impl Translator<'_> {
+    fn query(&mut self, q: &ast::SelectQuery) -> Result<FQuery, XsqlError> {
+        if q.oid_fn.is_some() {
+            return Err(XsqlError::Resolve(
+                "object-creating queries are outside the Theorem 3.1 fragment".into(),
+            ));
+        }
+        let mut conj: Vec<Formula> = Vec::new();
+        for f in &q.from {
+            let obj = self.term(&ast::IdTerm::Var(f.var.clone()), &mut conj)?;
+            let class = self.term(&f.class, &mut conj)?;
+            conj.push(Formula::Atom(Atom::IsA(obj, class)));
+        }
+        conj.push(self.cond(&q.where_clause)?);
+
+        let mut head: Vec<(String, Sort)> = Vec::new();
+        for item in &q.select {
+            match item {
+                ast::SelectItem::Expr(ast::Operand::Path(p)) => {
+                    if p.steps.is_empty() {
+                        if let ast::IdTerm::Var(v) = &p.head {
+                            head.push((v.name.clone(), Tr::sort_of(v.sort)));
+                            continue;
+                        }
+                    }
+                    // A non-variable SELECT path: materialize its value
+                    // into a fresh answer variable.
+                    let v = format!("_ans{}", head.len());
+                    head.push((v.clone(), Sort::Individual));
+                    conj.push(self.path_with_tail(p, FTerm::ivar(v))?);
+                }
+                other => {
+                    return Err(XsqlError::Resolve(format!(
+                        "SELECT item {other:?} is outside the Theorem 3.1 fragment"
+                    )))
+                }
+            }
+        }
+        let body = Formula::and(conj);
+        // Existentially close every non-answer free variable.
+        let mut free = body.free_vars();
+        for (n, _) in &head {
+            free.remove(n);
+        }
+        let ex: Vec<(String, Sort)> = free.into_iter().collect();
+        Ok(FQuery {
+            head,
+            body: Formula::exists(ex, body),
+        })
+    }
+
+    fn term(&mut self, t: &ast::IdTerm, conj: &mut Vec<Formula>) -> Result<FTerm, XsqlError> {
+        match t {
+            ast::IdTerm::PathArg(p) => {
+                // The paper's Z-rewriting: a fresh variable constrained
+                // to the path's value.
+                let z = self.inner.fresh();
+                let f = self.path_with_tail(p, z.clone())?;
+                conj.push(f);
+                Ok(z)
+            }
+            _ => self.inner.term(t),
+        }
+    }
+
+    fn path_with_tail(
+        &mut self,
+        p: &ast::PathExpr,
+        tail: FTerm,
+    ) -> Result<Formula, XsqlError> {
+        let mut conj: Vec<Formula> = Vec::new();
+        let mut exists: Vec<(String, Sort)> = Vec::new();
+        let mut cur = self.term(&p.head, &mut conj)?;
+        if p.steps.is_empty() {
+            conj.push(Formula::Atom(Atom::Cmp(CmpOp::Eq, cur, tail)));
+            return Ok(Formula::exists(exists, Formula::and(conj)));
+        }
+        let n = p.steps.len();
+        for (i, step) in p.steps.iter().enumerate() {
+            let last = i + 1 == n;
+            let ast::Step::Method {
+                method,
+                args,
+                selector,
+            } = step
+            else {
+                return Err(XsqlError::Resolve(
+                    "path variables are outside the Theorem 3.1 fragment".into(),
+                ));
+            };
+            let m = match method {
+                ast::MethodTerm::Name(name) => FTerm::Oid(
+                    self.db
+                        .oids()
+                        .find_sym(name)
+                        .ok_or_else(|| XsqlError::Resolve(format!("`{name}` not interned")))?,
+                ),
+                ast::MethodTerm::Var(v) => FTerm::Var(v.clone(), Sort::Method),
+            };
+            let argv = args
+                .iter()
+                .map(|a| self.term(a, &mut conj))
+                .collect::<Result<Vec<_>, _>>()?;
+            let value = match (selector, last) {
+                (Some(t), _) => {
+                    let s = self.term(t, &mut conj)?;
+                    if last {
+                        conj.push(Formula::Atom(Atom::Cmp(
+                            CmpOp::Eq,
+                            s.clone(),
+                            tail.clone(),
+                        )));
+                    }
+                    s
+                }
+                (None, true) => tail.clone(),
+                (None, false) => {
+                    let v = self.inner.fresh();
+                    if let FTerm::Var(vn, vs) = &v {
+                        exists.push((vn.clone(), *vs));
+                    }
+                    v
+                }
+            };
+            conj.push(Formula::Atom(Atom::Data {
+                obj: cur,
+                method: m,
+                args: argv,
+                value: value.clone(),
+            }));
+            cur = value;
+        }
+        Ok(Formula::exists(exists, Formula::and(conj)))
+    }
+
+    /// φ(x) such that x ranges over the operand's value set.
+    fn operand_pred(
+        &mut self,
+        op: &ast::Operand,
+        x: FTerm,
+    ) -> Result<Formula, XsqlError> {
+        match op {
+            ast::Operand::Path(p) => self.path_with_tail(p, x),
+            ast::Operand::SetLit(ts) => {
+                let mut alts = Vec::new();
+                for t in ts {
+                    let mut conj = Vec::new();
+                    let c = self.term(t, &mut conj)?;
+                    conj.push(Formula::Atom(Atom::Cmp(CmpOp::Eq, x.clone(), c)));
+                    alts.push(Formula::and(conj));
+                }
+                Ok(Formula::Or(alts))
+            }
+            ast::Operand::Union(a, b) => Ok(Formula::Or(vec![
+                self.operand_pred(a, x.clone())?,
+                self.operand_pred(b, x)?,
+            ])),
+            ast::Operand::Intersection(a, b) => Ok(Formula::and(vec![
+                self.operand_pred(a, x.clone())?,
+                self.operand_pred(b, x)?,
+            ])),
+            ast::Operand::Difference(a, b) => Ok(Formula::and(vec![
+                self.operand_pred(a, x.clone())?,
+                Formula::Not(Box::new(self.operand_pred(b, x)?)),
+            ])),
+            other => Err(XsqlError::Resolve(format!(
+                "operand {other:?} is outside the Theorem 3.1 fragment \
+                 (aggregates/arithmetic are not first-order)"
+            ))),
+        }
+    }
+
+    fn cond(&mut self, c: &ast::Cond) -> Result<Formula, XsqlError> {
+        match c {
+            ast::Cond::True => Ok(Formula::True),
+            ast::Cond::Path(p) => {
+                // Stand-alone path: its value is non-empty.
+                let t = self.inner.fresh();
+                let FTerm::Var(n, s) = t.clone() else {
+                    unreachable!()
+                };
+                Ok(Formula::exists(vec![(n, s)], self.path_with_tail(p, t)?))
+            }
+            ast::Cond::Cmp {
+                left,
+                lq,
+                op,
+                rq,
+                right,
+            } => {
+                // A trivial-path operand (a selector — constant or
+                // variable) denotes a singleton: substitute its term
+                // directly. This keeps the translation within
+                // active-domain semantics even for literals that occur
+                // nowhere in the database (e.g. `some> 20`), where a
+                // quantified variable would find no witness.
+                let direct = |op: &ast::Operand| -> Option<FTerm> {
+                    match op {
+                        ast::Operand::Path(p) if p.steps.is_empty() => match &p.head {
+                            ast::IdTerm::Oid(o) => Some(FTerm::Oid(*o)),
+                            ast::IdTerm::Var(v) => {
+                                Some(FTerm::Var(v.name.clone(), Tr::sort_of(v.sort)))
+                            }
+                            _ => None,
+                        },
+                        _ => None,
+                    }
+                };
+                let lq = lq.unwrap_or(ast::Quant::Some);
+                let rq = rq.unwrap_or(ast::Quant::Some);
+                // Left side: direct term or quantified predicate var.
+                let (lterm, lwrap): (FTerm, Option<(String, Sort, Formula)>) =
+                    match direct(left) {
+                        Some(t) => (t, None),
+                        None => {
+                            let lx = self.inner.fresh();
+                            let FTerm::Var(ln, ls) = lx.clone() else {
+                                unreachable!()
+                            };
+                            let fl = self.operand_pred(left, lx.clone())?;
+                            (lx, Some((ln, ls, fl)))
+                        }
+                    };
+                let (rterm, rwrap): (FTerm, Option<(String, Sort, Formula)>) =
+                    match direct(right) {
+                        Some(t) => (t, None),
+                        None => {
+                            let rx = self.inner.fresh();
+                            let FTerm::Var(rn, rs) = rx.clone() else {
+                                unreachable!()
+                            };
+                            let fr = self.operand_pred(right, rx.clone())?;
+                            (rx, Some((rn, rs, fr)))
+                        }
+                    };
+                let cmp = Formula::Atom(Atom::Cmp(Tr::cmp_op(*op), lterm, rterm));
+                // Build Q_l x ∈ L. Q_r y ∈ R. cmp(x,y), skipping the
+                // quantifier for direct sides.
+                let inner = match rwrap {
+                    None => cmp,
+                    Some((rn, rs, fr)) => match rq {
+                        ast::Quant::Some => {
+                            Formula::exists(vec![(rn, rs)], Formula::and(vec![fr, cmp]))
+                        }
+                        ast::Quant::All => Formula::forall(
+                            vec![(rn, rs)],
+                            Formula::Or(vec![Formula::Not(Box::new(fr)), cmp]),
+                        ),
+                    },
+                };
+                Ok(match lwrap {
+                    None => inner,
+                    Some((ln, ls, fl)) => match lq {
+                        ast::Quant::Some => {
+                            Formula::exists(vec![(ln, ls)], Formula::and(vec![fl, inner]))
+                        }
+                        ast::Quant::All => Formula::forall(
+                            vec![(ln, ls)],
+                            Formula::Or(vec![Formula::Not(Box::new(fl)), inner]),
+                        ),
+                    },
+                })
+            }
+            ast::Cond::SetCmp { left, op, right } => {
+                let x = self.inner.fresh();
+                let FTerm::Var(n, s) = x.clone() else {
+                    unreachable!()
+                };
+                let subset_eq = |me: &mut Self,
+                                 a: &ast::Operand,
+                                 b: &ast::Operand,
+                                 x: FTerm,
+                                 n: String,
+                                 s: Sort|
+                 -> Result<Formula, XsqlError> {
+                    let fa = me.operand_pred(a, x.clone())?;
+                    let fb = me.operand_pred(b, x)?;
+                    Ok(Formula::forall(
+                        vec![(n, s)],
+                        Formula::Or(vec![Formula::Not(Box::new(fa)), fb]),
+                    ))
+                };
+                let mk = |me: &mut Self, a: &ast::Operand, b: &ast::Operand| {
+                    let x2 = me.inner.fresh();
+                    let FTerm::Var(n2, s2) = x2.clone() else {
+                        unreachable!()
+                    };
+                    subset_eq(me, a, b, x2, n2, s2)
+                };
+                Ok(match op {
+                    ast::SetCmpOp::SubsetEq => subset_eq(self, left, right, x, n, s)?,
+                    ast::SetCmpOp::ContainsEq => subset_eq(self, right, left, x, n, s)?,
+                    ast::SetCmpOp::Subset => Formula::and(vec![
+                        subset_eq(self, left, right, x, n, s)?,
+                        Formula::Not(Box::new(mk(self, right, left)?)),
+                    ]),
+                    ast::SetCmpOp::Contains => Formula::and(vec![
+                        subset_eq(self, right, left, x, n, s)?,
+                        Formula::Not(Box::new(mk(self, left, right)?)),
+                    ]),
+                })
+            }
+            ast::Cond::SubclassOf { sub, sup } => {
+                let mut conj = Vec::new();
+                let a = self.term(sub, &mut conj)?;
+                let b = self.term(sup, &mut conj)?;
+                conj.push(Formula::Atom(Atom::StrictSub(a, b)));
+                Ok(Formula::and(conj))
+            }
+            ast::Cond::InstanceOf { obj, class } => {
+                let mut conj = Vec::new();
+                let o = self.term(obj, &mut conj)?;
+                let c = self.term(class, &mut conj)?;
+                conj.push(Formula::Atom(Atom::IsA(o, c)));
+                Ok(Formula::and(conj))
+            }
+            ast::Cond::And(a, b) => Ok(Formula::and(vec![self.cond(a)?, self.cond(b)?])),
+            ast::Cond::Or(a, b) => Ok(Formula::Or(vec![self.cond(a)?, self.cond(b)?])),
+            ast::Cond::Not(a) => Ok(Formula::Not(Box::new(self.cond(a)?))),
+            ast::Cond::Update(_) => Err(XsqlError::Resolve(
+                "UPDATE conjuncts are outside the Theorem 3.1 fragment".into(),
+            )),
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Direct tests of the F-logic substrate: molecule satisfaction in the
+//! extracted structure, quantifiers, and translation details.
+
+use flogic::{evaluate, translate_select, Atom, FStructure, FTerm, Formula, Sort};
+use oodb::DbBuilder;
+use std::collections::BTreeMap;
+use xsql::ast::Stmt;
+use xsql::{parse, resolve_stmt};
+
+fn tiny_db() -> oodb::Database {
+    let mut b = DbBuilder::new();
+    b.class("Person");
+    b.subclass("Employee", &["Person"]);
+    b.attr("Person", "Name", "String");
+    b.set_attr("Person", "Knows", "Person");
+    let a = b.obj("alice", "Employee");
+    let c = b.obj("carol", "Person");
+    b.set_str(a, "Name", "Alice");
+    b.set_many(a, "Knows", &[c]);
+    b.build()
+}
+
+#[test]
+fn data_molecule_member_semantics() {
+    let db = tiny_db();
+    let m = FStructure::new(&db);
+    let alice = db.oids().find_sym("alice").unwrap();
+    let carol = db.oids().find_sym("carol").unwrap();
+    let knows = db.oids().find_sym("Knows").unwrap();
+    let v = BTreeMap::new();
+    // alice[Knows ->> carol] holds; carol[Knows ->> alice] does not.
+    let atom = |o, val| Atom::Data {
+        obj: FTerm::Oid(o),
+        method: FTerm::Oid(knows),
+        args: vec![],
+        value: FTerm::Oid(val),
+    };
+    assert!(m.holds(&atom(alice, carol), &v));
+    assert!(!m.holds(&atom(carol, alice), &v));
+}
+
+#[test]
+fn isa_molecule_closed_upward() {
+    let db = tiny_db();
+    let m = FStructure::new(&db);
+    let alice = db.oids().find_sym("alice").unwrap();
+    let person = db.oids().find_sym("Person").unwrap();
+    let v = BTreeMap::new();
+    assert!(m.holds(&Atom::IsA(FTerm::Oid(alice), FTerm::Oid(person)), &v));
+    assert!(m.holds(&Atom::IsA(
+        FTerm::Oid(alice),
+        FTerm::Oid(db.builtins().object)
+    ), &v));
+}
+
+#[test]
+fn quantifiers_over_active_domain() {
+    let db = tiny_db();
+    let m = FStructure::new(&db);
+    let person = db.oids().find_sym("Person").unwrap();
+    // ∃x. x : Person
+    let exists = Formula::exists(
+        vec![("x".into(), Sort::Individual)],
+        Formula::Atom(Atom::IsA(FTerm::ivar("x"), FTerm::Oid(person))),
+    );
+    assert!(flogic::evaluate(
+        &m,
+        &flogic::FQuery {
+            head: vec![],
+            body: exists.clone()
+        }
+    )
+    .contains(&vec![]));
+    // ∀x. x : Person is false — strings/numerals are individuals too.
+    let forall = Formula::forall(
+        vec![("x".into(), Sort::Individual)],
+        Formula::Atom(Atom::IsA(FTerm::ivar("x"), FTerm::Oid(person))),
+    );
+    assert!(evaluate(
+        &m,
+        &flogic::FQuery {
+            head: vec![],
+            body: forall
+        }
+    )
+    .is_empty());
+}
+
+#[test]
+fn translation_produces_data_molecules_per_step() {
+    let mut db = tiny_db();
+    let stmt = parse("SELECT X FROM Person X WHERE X.Knows.Name['Carol']").unwrap();
+    let Stmt::Select(q) = resolve_stmt(&mut db, &stmt).unwrap() else {
+        panic!()
+    };
+    let fq = translate_select(&db, &q).unwrap();
+    assert_eq!(fq.head.len(), 1);
+    // Count Data atoms in the body: one per path step (2).
+    fn count_data(f: &Formula) -> usize {
+        match f {
+            Formula::Atom(Atom::Data { .. }) => 1,
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().map(count_data).sum(),
+            Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => count_data(g),
+            _ => 0,
+        }
+    }
+    assert_eq!(count_data(&fq.body), 2);
+}
+
+#[test]
+fn method_variable_translates_to_method_sorted_var() {
+    let mut db = tiny_db();
+    let stmt = parse("SELECT Y FROM Person X WHERE X.\"Y.Name['Alice']").unwrap();
+    let Stmt::Select(q) = resolve_stmt(&mut db, &stmt).unwrap() else {
+        panic!()
+    };
+    let fq = translate_select(&db, &q).unwrap();
+    assert_eq!(fq.head, vec![("Y".to_string(), Sort::Method)]);
+    let m = FStructure::new(&db);
+    let answers = evaluate(&m, &fq);
+    // X."Y.Name['Alice'] needs an attribute Y whose value's Name is
+    // 'Alice'; alice's only link (Knows) reaches carol, who has no
+    // name, so no attribute qualifies.
+    assert!(answers.is_empty());
+}
+
+#[test]
+fn strict_subclass_atom() {
+    let db = tiny_db();
+    let m = FStructure::new(&db);
+    let person = db.oids().find_sym("Person").unwrap();
+    let employee = db.oids().find_sym("Employee").unwrap();
+    let v = BTreeMap::new();
+    assert!(m.holds(
+        &Atom::StrictSub(FTerm::Oid(employee), FTerm::Oid(person)),
+        &v
+    ));
+    assert!(!m.holds(
+        &Atom::StrictSub(FTerm::Oid(person), FTerm::Oid(person)),
+        &v
+    ));
+}
+
+mod more_equivalence {
+    use flogic::{evaluate, translate_select, FStructure};
+    use oodb::Oid;
+    use std::collections::BTreeSet;
+    use xsql::ast::Stmt;
+    use xsql::{eval_select, parse, resolve_stmt, EvalOptions};
+
+    fn check(db: &mut oodb::Database, src: &str) {
+        let stmt = parse(src).unwrap();
+        let Stmt::Select(q) = resolve_stmt(db, &stmt).unwrap() else {
+            panic!()
+        };
+        let xs: BTreeSet<Vec<Oid>> = eval_select(db, &q, &EvalOptions::default())
+            .unwrap()
+            .iter()
+            .cloned()
+            .collect();
+        let fq = translate_select(db, &q).unwrap();
+        let fl = evaluate(&FStructure::new(db), &fq);
+        assert_eq!(xs, fl, "on {src}");
+    }
+
+    #[test]
+    fn set_comparators_and_operand_set_ops_equivalent() {
+        let mut db = datagen::figure1_db();
+        for src in [
+            "SELECT X FROM Employee X WHERE X.OwnedVehicles.Color containsEq {'red'}",
+            "SELECT X FROM Person X WHERE X.OwnedVehicles.Color subsetEq {'green'}",
+            "SELECT X FROM Employee X WHERE X.OwnedVehicles.Color contains {'red'}",
+            "SELECT X FROM Person X WHERE X.OwnedVehicles.Color union X.Residence.City \
+             containsEq {'green', 'newyork'}",
+            "SELECT X FROM Person X WHERE X.Age >= 34 and not X.Residence.City['austin']",
+        ] {
+            check(&mut db, src);
+        }
+    }
+
+    #[test]
+    fn quantifier_matrix_equivalent() {
+        let mut db = datagen::figure1_db();
+        for op in ["<", "<=", ">", ">=", "=", "!="] {
+            for (lq, rq) in [("", ""), ("some", ""), ("all", ""), ("", "some"), ("", "all"), ("all", "all")] {
+                let src = format!(
+                    "SELECT X, Y FROM Employee X, Employee Y \
+                     WHERE X.FamMembers.Age {lq}{op}{rq} Y.FamMembers.Age"
+                );
+                check(&mut db, &src);
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Ergonomic construction of schemas and instances.
+//!
+//! [`DbBuilder`] wraps a [`Database`] with name-based, panicking helpers so
+//! tests, examples and the workload generators can state schemas at the
+//! same altitude as Figure 1 of the paper. Errors during construction are
+//! programming errors in the fixture, hence the panics; the underlying
+//! `Database` API remains fully `Result`-based.
+
+use crate::database::Database;
+use crate::oid::Oid;
+use crate::value::Val;
+
+/// Builder wrapper. Deref gives access to the underlying database.
+#[derive(Debug, Default)]
+pub struct DbBuilder {
+    db: Database,
+}
+
+impl DbBuilder {
+    /// Starts from a fresh database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts from an existing database.
+    pub fn from_db(db: Database) -> Self {
+        DbBuilder { db }
+    }
+
+    /// Finishes building.
+    pub fn build(self) -> Database {
+        self.db
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the underlying database.
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    // -- OID helpers ----------------------------------------------------
+
+    /// Interns a symbol.
+    pub fn sym(&mut self, name: &str) -> Oid {
+        self.db.oids_mut().sym(name)
+    }
+
+    /// Interns an integer numeral object.
+    pub fn int(&mut self, v: i64) -> Oid {
+        self.db.oids_mut().int(v)
+    }
+
+    /// Interns a real numeral object.
+    pub fn real(&mut self, v: f64) -> Oid {
+        self.db.oids_mut().real(v)
+    }
+
+    /// Interns a string object.
+    pub fn str(&mut self, v: &str) -> Oid {
+        self.db.oids_mut().str(v)
+    }
+
+    // -- Schema ---------------------------------------------------------
+
+    /// Defines a class under `Object`.
+    pub fn class(&mut self, name: &str) -> Oid {
+        self.db.define_class(name, &[]).expect("class")
+    }
+
+    /// Defines a class with explicit superclasses (by name).
+    pub fn subclass(&mut self, name: &str, supers: &[&str]) -> Oid {
+        let sup: Vec<Oid> = supers.iter().map(|s| self.sym(s)).collect();
+        self.db.define_class(name, &sup).expect("subclass")
+    }
+
+    /// Declares a scalar attribute `class.name => result`.
+    pub fn attr(&mut self, class: &str, name: &str, result: &str) -> Oid {
+        let (c, r) = (self.sym(class), self.sym(result));
+        self.db.add_signature(c, name, &[], r, false).expect("attr")
+    }
+
+    /// Declares a set-valued attribute `class.name =>> result`
+    /// (the `*`-marked attributes of Figure 1).
+    pub fn set_attr(&mut self, class: &str, name: &str, result: &str) -> Oid {
+        let (c, r) = (self.sym(class), self.sym(result));
+        self.db.add_signature(c, name, &[], r, true).expect("set_attr")
+    }
+
+    /// Declares a k-ary method signature.
+    pub fn method_sig(
+        &mut self,
+        class: &str,
+        name: &str,
+        args: &[&str],
+        result: &str,
+        set_valued: bool,
+    ) -> Oid {
+        let c = self.sym(class);
+        let a: Vec<Oid> = args.iter().map(|s| self.sym(s)).collect();
+        let r = self.sym(result);
+        self.db
+            .add_signature(c, name, &a, r, set_valued)
+            .expect("method_sig")
+    }
+
+    // -- Instances and state ---------------------------------------------
+
+    /// Creates an individual of one class.
+    pub fn obj(&mut self, name: &str, class: &str) -> Oid {
+        let c = self.sym(class);
+        self.db.new_individual(name, &[c]).expect("obj")
+    }
+
+    /// Creates an individual of several classes (e.g. the workstudy
+    /// example of §6.1).
+    pub fn obj_multi(&mut self, name: &str, classes: &[&str]) -> Oid {
+        let cs: Vec<Oid> = classes.iter().map(|c| self.sym(c)).collect();
+        self.db.new_individual(name, &cs).expect("obj_multi")
+    }
+
+    /// Sets a scalar attribute value.
+    pub fn set(&mut self, recv: Oid, attr: &str, value: Oid) {
+        let m = self.sym(attr);
+        self.db.set_scalar(recv, m, &[], value).expect("set");
+    }
+
+    /// Sets a scalar attribute to a string object.
+    pub fn set_str(&mut self, recv: Oid, attr: &str, value: &str) {
+        let v = self.str(value);
+        self.set(recv, attr, v);
+    }
+
+    /// Sets a scalar attribute to an integer numeral.
+    pub fn set_int(&mut self, recv: Oid, attr: &str, value: i64) {
+        let v = self.int(value);
+        self.set(recv, attr, v);
+    }
+
+    /// Sets a set-valued attribute.
+    pub fn set_many(&mut self, recv: Oid, attr: &str, values: &[Oid]) {
+        let m = self.sym(attr);
+        self.db
+            .set_set(recv, m, &[], values.iter().copied())
+            .expect("set_many");
+    }
+
+    /// Adds one member to a set-valued attribute.
+    pub fn add_to(&mut self, recv: Oid, attr: &str, value: Oid) {
+        let m = self.sym(attr);
+        self.db
+            .insert_into_set(recv, m, &[], value)
+            .expect("add_to");
+    }
+
+    /// Stores a k-ary method value (extensional method, e.g. the stored
+    /// `workstudy : semester ==> student` facts).
+    pub fn set_method_value(&mut self, recv: Oid, method: &str, args: &[Oid], value: Val) {
+        let m = self.sym(method);
+        match value {
+            Val::Scalar(v) => self.db.set_scalar(recv, m, args, v).expect("method value"),
+            Val::Set(s) => self.db.set_set(recv, m, args, s).expect("method value"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_schema() {
+        let mut b = DbBuilder::new();
+        b.class("Person");
+        b.subclass("Employee", &["Person"]);
+        b.attr("Person", "Name", "String");
+        b.set_attr("Employee", "Qualifications", "String");
+        let mary = b.obj("mary123", "Employee");
+        b.set_str(mary, "Name", "Mary");
+        let db = b.build();
+        let person = db.oids().find_sym("Person").unwrap();
+        let employee = db.oids().find_sym("Employee").unwrap();
+        assert!(db.is_strict_subclass(employee, person));
+        assert!(db.is_instance_of(mary, person));
+        let name = db.oids().find_sym("Name").unwrap();
+        let v = db.value(mary, name, &[]).unwrap().unwrap();
+        assert_eq!(db.oids().as_str(v.as_scalar().unwrap()), Some("Mary"));
+    }
+}

@@ -1,0 +1,1274 @@
+//! The object-oriented database engine.
+//!
+//! A [`Database`] holds the OID interner, the class hierarchy (classes are
+//! objects), the instance-of relation, explicitly stored method values
+//! (tuple-object state), and computed methods (methods whose
+//! implementation is a query, §5). It implements the semantic judgments
+//! the paper relies on:
+//!
+//! * *defined / undefined / inapplicable* for attributes and methods (§2);
+//! * behavioral inheritance with overriding and explicit conflict
+//!   resolution (§2 "Inheritance", §6.1);
+//! * structural inheritance — signatures closed over the IS-A DAG (§6.1);
+//! * the active domain enumerations used by the naive query semantics of
+//!   §3.4 (individual-, class- and method-variables range over the three
+//!   sub-universes of objects).
+
+use crate::error::{DbError, DbResult};
+use crate::oid::{Oid, OidData, OidTable};
+use crate::schema::{Builtins, ClassInfo, Signature};
+use crate::value::Val;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Maximum depth of nested computed-method invocation; guards against
+/// accidental recursion in user-defined methods. Each level re-enters
+/// the query evaluator, so the bound is conservative to keep well clear
+/// of the thread stack.
+pub const MAX_INVOKE_DEPTH: usize = 24;
+
+/// Implementation of a computed method (§5: methods are defined similarly
+/// to queries). The XSQL crate installs query-backed implementations;
+/// native Rust closures can be installed too.
+pub trait MethodImpl: Send + Sync {
+    /// Invokes the method in the scope of `recv` with `args`. Returns
+    /// `Ok(None)` when the method is *undefined* on these arguments (a
+    /// null, not an error). `depth` is the current invocation depth.
+    fn invoke(&self, db: &Database, recv: Oid, args: &[Oid], depth: usize)
+        -> DbResult<Option<Val>>;
+
+    /// Invocation for update methods, which may change database state
+    /// (§5, `RaiseMngrSalary`). Defaults to the read-only path.
+    fn invoke_mut(
+        &self,
+        db: &mut Database,
+        recv: Oid,
+        args: &[Oid],
+        depth: usize,
+    ) -> DbResult<Option<Val>> {
+        self.invoke(db, recv, args, depth)
+    }
+
+    /// True if this method has side effects and must go through
+    /// [`Database::invoke_update`].
+    fn is_update(&self) -> bool {
+        false
+    }
+}
+
+type StateKey = (Oid, Oid, Vec<Oid>);
+
+/// An in-memory object-oriented database.
+#[derive(Clone)]
+pub struct Database {
+    oids: OidTable,
+    builtins: Builtins,
+    classes: HashMap<Oid, ClassInfo>,
+    /// Deterministic class enumeration order (definition order).
+    class_order: Vec<Oid>,
+    /// Reflexive-transitive IS-A closure, recomputed on schema edits.
+    ancestors: HashMap<Oid, BTreeSet<Oid>>,
+    /// Direct classes of each registered object.
+    instance_of: HashMap<Oid, BTreeSet<Oid>>,
+    /// Direct extent of each class.
+    extent: HashMap<Oid, BTreeSet<Oid>>,
+    /// Active domain of individual objects (registered individuals plus
+    /// every literal that has appeared in stored state).
+    individuals: BTreeSet<Oid>,
+    /// All method-objects (every name that appears in a signature or in
+    /// stored state). These are the instances of the catalogue class
+    /// `Method`, which method variables range over.
+    method_objects: BTreeSet<Oid>,
+    /// Explicit tuple-object state: (receiver, method, args) -> value.
+    state: BTreeMap<StateKey, Val>,
+    /// Inverted index: method -> receivers with any stored entry for it
+    /// (class-objects included — their instances inherit the default).
+    /// The paper's own reference point is \[BERT89\], "Indexing
+    /// Techniques for Queries on Nested Objects".
+    by_method: HashMap<Oid, BTreeSet<Oid>>,
+    /// Inverted index: (method, value member) -> receivers.
+    by_method_value: HashMap<(Oid, Oid), BTreeSet<Oid>>,
+    /// Computed methods: (defining class, method, arity) -> impl.
+    computed: HashMap<(Oid, Oid, usize), Arc<dyn MethodImpl>>,
+    /// Deterministic enumeration order of computed-method keys.
+    computed_order: Vec<(Oid, Oid, usize)>,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("oids", &self.oids.len())
+            .field("classes", &self.class_order.len())
+            .field("individuals", &self.individuals.len())
+            .field("state_entries", &self.state.len())
+            .field("computed_methods", &self.computed_order.len())
+            .finish()
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// Creates a database with the builtin catalogue: `Object` (root of
+    /// all individuals) with value subclasses `Numeral`, `String`,
+    /// `Boolean`, plus the meta-classes `Class` and `Method` that make
+    /// the system catalogue part of the class hierarchy (§2).
+    pub fn new() -> Self {
+        let mut oids = OidTable::new();
+        let object = oids.sym("Object");
+        let class = oids.sym("Class");
+        let method = oids.sym("Method");
+        let numeral = oids.sym("Numeral");
+        let string = oids.sym("String");
+        let boolean = oids.sym("Boolean");
+        let nil = oids.nil();
+        let builtins = Builtins {
+            object,
+            class,
+            method,
+            numeral,
+            string,
+            boolean,
+            nil,
+        };
+        let mut db = Database {
+            oids,
+            builtins,
+            classes: HashMap::new(),
+            class_order: Vec::new(),
+            ancestors: HashMap::new(),
+            instance_of: HashMap::new(),
+            extent: HashMap::new(),
+            individuals: BTreeSet::new(),
+            method_objects: BTreeSet::new(),
+            state: BTreeMap::new(),
+            by_method: HashMap::new(),
+            by_method_value: HashMap::new(),
+            computed: HashMap::new(),
+            computed_order: Vec::new(),
+        };
+        for (c, supers) in [
+            (object, vec![]),
+            (class, vec![]),
+            (method, vec![]),
+            (numeral, vec![object]),
+            (string, vec![object]),
+            (boolean, vec![object]),
+        ] {
+            db.classes.insert(
+                c,
+                ClassInfo {
+                    supers,
+                    ..ClassInfo::default()
+                },
+            );
+            db.class_order.push(c);
+        }
+        for (c, sups) in [(object, vec![numeral, string, boolean])] {
+            for s in sups {
+                db.classes.get_mut(&c).unwrap().subs.push(s);
+            }
+        }
+        db.recompute_closure();
+        db
+    }
+
+    // ------------------------------------------------------------------
+    // OID access
+    // ------------------------------------------------------------------
+
+    /// Read access to the OID interner.
+    pub fn oids(&self) -> &OidTable {
+        &self.oids
+    }
+
+    /// Write access to the OID interner (interning never invalidates
+    /// existing handles).
+    pub fn oids_mut(&mut self) -> &mut OidTable {
+        &mut self.oids
+    }
+
+    /// The builtin catalogue classes.
+    pub fn builtins(&self) -> Builtins {
+        self.builtins
+    }
+
+    /// Renders an OID for messages/results.
+    pub fn render(&self, o: Oid) -> String {
+        self.oids.render(o)
+    }
+
+    // ------------------------------------------------------------------
+    // Schema: classes and IS-A
+    // ------------------------------------------------------------------
+
+    /// Defines a new class. With no superclasses it is placed directly
+    /// under `Object`, so every class of individuals reaches the root
+    /// (the paper's `Object` "contains all individual objects").
+    pub fn define_class(&mut self, name: &str, supers: &[Oid]) -> DbResult<Oid> {
+        let c = self.oids.sym(name);
+        if self.classes.contains_key(&c) {
+            return Err(DbError::DuplicateClass(name.to_string()));
+        }
+        let supers = if supers.is_empty() {
+            vec![self.builtins.object]
+        } else {
+            supers.to_vec()
+        };
+        for s in &supers {
+            if !self.classes.contains_key(s) {
+                return Err(DbError::UnknownClass(self.render(*s)));
+            }
+        }
+        self.classes.insert(
+            c,
+            ClassInfo {
+                supers: supers.clone(),
+                ..ClassInfo::default()
+            },
+        );
+        self.class_order.push(c);
+        for s in supers {
+            self.classes.get_mut(&s).unwrap().subs.push(c);
+        }
+        self.recompute_closure();
+        Ok(c)
+    }
+
+    /// Adds an IS-A edge `sub -> sup`, rejecting cycles (§2: IS-A is
+    /// acyclic).
+    pub fn add_is_a(&mut self, sub: Oid, sup: Oid) -> DbResult<()> {
+        for c in [sub, sup] {
+            if !self.classes.contains_key(&c) {
+                return Err(DbError::UnknownClass(self.render(c)));
+            }
+        }
+        if sub == sup || self.is_subclass(sup, sub) {
+            return Err(DbError::IsACycle {
+                sub: self.render(sub),
+                sup: self.render(sup),
+            });
+        }
+        if !self.classes[&sub].supers.contains(&sup) {
+            self.classes.get_mut(&sub).unwrap().supers.push(sup);
+            self.classes.get_mut(&sup).unwrap().subs.push(sub);
+            self.recompute_closure();
+        }
+        Ok(())
+    }
+
+    fn recompute_closure(&mut self) {
+        self.ancestors.clear();
+        // Iterative DFS with memoization over the acyclic IS-A graph.
+        let order = self.class_order.clone();
+        for c in order {
+            self.closure_of(c);
+        }
+    }
+
+    fn closure_of(&mut self, c: Oid) -> BTreeSet<Oid> {
+        if let Some(s) = self.ancestors.get(&c) {
+            return s.clone();
+        }
+        let mut acc = BTreeSet::new();
+        acc.insert(c);
+        let supers = self.classes[&c].supers.clone();
+        for s in supers {
+            acc.extend(self.closure_of(s));
+        }
+        self.ancestors.insert(c, acc.clone());
+        acc
+    }
+
+    /// True if `o` is a class-object.
+    pub fn is_class(&self, o: Oid) -> bool {
+        self.classes.contains_key(&o)
+    }
+
+    /// True if `o` is a method-object (appears as a method/attribute
+    /// name anywhere in the schema or state).
+    pub fn is_method_object(&self, o: Oid) -> bool {
+        self.method_objects.contains(&o)
+    }
+
+    /// Reflexive subclass test: `sub` ⊑ `sup`.
+    pub fn is_subclass(&self, sub: Oid, sup: Oid) -> bool {
+        self.ancestors
+            .get(&sub)
+            .is_some_and(|a| a.contains(&sup))
+    }
+
+    /// The *strict* `subclassOf` relation of query (4): `Cl subclassOf
+    /// Cl` is always false.
+    pub fn is_strict_subclass(&self, sub: Oid, sup: Oid) -> bool {
+        sub != sup && self.is_subclass(sub, sup)
+    }
+
+    /// All (non-strict) ancestors of a class, including itself.
+    pub fn ancestors_of(&self, c: Oid) -> impl Iterator<Item = Oid> + '_ {
+        self.ancestors.get(&c).into_iter().flatten().copied()
+    }
+
+    /// All strict descendants of a class (excluding itself), in
+    /// deterministic order.
+    pub fn strict_descendants(&self, c: Oid) -> Vec<Oid> {
+        self.class_order
+            .iter()
+            .copied()
+            .filter(|&d| self.is_strict_subclass(d, c))
+            .collect()
+    }
+
+    /// Deterministic enumeration of all class-objects (the range of
+    /// class variables, §3.1 query (4)).
+    pub fn classes(&self) -> impl Iterator<Item = Oid> + '_ {
+        self.class_order.iter().copied()
+    }
+
+    /// Deterministic enumeration of all method-objects (the range of
+    /// method variables, §3.1 query (3)).
+    pub fn method_objects(&self) -> impl Iterator<Item = Oid> + '_ {
+        self.method_objects.iter().copied()
+    }
+
+    /// Direct superclasses of a class.
+    pub fn direct_supers(&self, c: Oid) -> &[Oid] {
+        self.classes.get(&c).map(|i| i.supers.as_slice()).unwrap_or(&[])
+    }
+
+    // ------------------------------------------------------------------
+    // Schema: signatures (structural inheritance)
+    // ------------------------------------------------------------------
+
+    /// Declares a signature `method : args ~> result` in the scope of
+    /// `class`. The method name becomes a method-object.
+    pub fn add_signature(
+        &mut self,
+        class: Oid,
+        method: &str,
+        args: &[Oid],
+        result: Oid,
+        set_valued: bool,
+    ) -> DbResult<Oid> {
+        if !self.classes.contains_key(&class) {
+            return Err(DbError::UnknownClass(self.render(class)));
+        }
+        for a in args.iter().chain(std::iter::once(&result)) {
+            if !self.classes.contains_key(a) {
+                return Err(DbError::UnknownClass(self.render(*a)));
+            }
+        }
+        let m = self.oids.sym(method);
+        let sig = Signature {
+            method: m,
+            args: args.to_vec(),
+            result,
+            set_valued,
+        };
+        let info = self.classes.get_mut(&class).unwrap();
+        if !info.sigs.contains(&sig) {
+            info.sigs.push(sig);
+        }
+        self.method_objects.insert(m);
+        Ok(m)
+    }
+
+    /// Signatures declared *directly* in `class`.
+    pub fn direct_signatures(&self, class: Oid) -> &[Signature] {
+        self.classes
+            .get(&class)
+            .map(|i| i.sigs.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Structural inheritance (§6.1): the set of signatures of `class`
+    /// consists of all signatures declared in the class and all its
+    /// ancestors — types are always inherited and never overwritten.
+    pub fn all_signatures(&self, class: Oid) -> Vec<(Oid, Signature)> {
+        let mut out = Vec::new();
+        if let Some(anc) = self.ancestors.get(&class) {
+            // Iterate in class_order for determinism.
+            for c in &self.class_order {
+                if anc.contains(c) {
+                    for s in &self.classes[c].sigs {
+                        out.push((*c, s.clone()));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Every `(defining class, signature)` pair for `method` of the
+    /// given arity anywhere in the schema — the candidate type
+    /// expressions for a type assignment (§6.2).
+    pub fn signatures_of_method(&self, method: Oid, arity: usize) -> Vec<(Oid, Signature)> {
+        let mut out = Vec::new();
+        for c in &self.class_order {
+            for s in &self.classes[c].sigs {
+                if s.method == method && s.arity() == arity {
+                    out.push((*c, s.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Declares that `class` resolves the multiple-inheritance conflict
+    /// for `method` in favor of the definition in `from_super` (Meyer's
+    /// explicit-choice rule, §6.1).
+    pub fn resolve_inheritance(&mut self, class: Oid, method: Oid, from_super: Oid) -> DbResult<()> {
+        if !self.classes.contains_key(&class) {
+            return Err(DbError::UnknownClass(self.render(class)));
+        }
+        if !self.is_subclass(class, from_super) {
+            return Err(DbError::WrongSort {
+                oid: self.render(from_super),
+                expected: "superclass of the resolving class",
+            });
+        }
+        self.classes
+            .get_mut(&class)
+            .unwrap()
+            .resolutions
+            .insert(method, from_super);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Instances
+    // ------------------------------------------------------------------
+
+    /// Creates a new named individual object, an instance of each class
+    /// in `classes`.
+    pub fn new_individual(&mut self, name: &str, classes: &[Oid]) -> DbResult<Oid> {
+        let o = self.oids.sym(name);
+        self.register_individual(o, classes)?;
+        Ok(o)
+    }
+
+    /// Registers an existing OID (e.g. an id-term produced by a view's
+    /// id-function, §4.1) as an individual instance of the given classes.
+    pub fn register_individual(&mut self, o: Oid, classes: &[Oid]) -> DbResult<()> {
+        for c in classes {
+            if !self.classes.contains_key(c) {
+                return Err(DbError::UnknownClass(self.render(*c)));
+            }
+        }
+        self.individuals.insert(o);
+        for c in classes {
+            self.instance_of.entry(o).or_default().insert(*c);
+            self.extent.entry(*c).or_default().insert(o);
+        }
+        Ok(())
+    }
+
+    /// Adds `obj` to the direct extent of `class`.
+    pub fn add_instance(&mut self, obj: Oid, class: Oid) -> DbResult<()> {
+        self.register_individual(obj, &[class])
+    }
+
+    /// Removes `obj` from the direct extent of `class` (the converse of
+    /// [`Database::add_instance`]; the paper's model lets class
+    /// membership change over time, §2 "Classes").
+    pub fn remove_instance(&mut self, obj: Oid, class: Oid) {
+        if let Some(s) = self.instance_of.get_mut(&obj) {
+            s.remove(&class);
+        }
+        if let Some(s) = self.extent.get_mut(&class) {
+            s.remove(&obj);
+        }
+    }
+
+    /// Direct classes of an object, including the implied builtin class
+    /// of literal objects (a numeral is an instance of `Numeral`, etc.).
+    pub fn direct_classes(&self, o: Oid) -> Vec<Oid> {
+        let mut out: Vec<Oid> = self
+            .instance_of
+            .get(&o)
+            .into_iter()
+            .flatten()
+            .copied()
+            .collect();
+        match self.oids.get(o) {
+            OidData::Int(_) | OidData::Real(_) => out.push(self.builtins.numeral),
+            OidData::Str(_) => out.push(self.builtins.string),
+            OidData::Bool(_) => out.push(self.builtins.boolean),
+            _ => {}
+        }
+        out
+    }
+
+    /// The instance-of judgment, closed under IS-A: an instance of `C`
+    /// belongs to every superclass of `C` (§2 "Classes"). Class-objects
+    /// are instances of the catalogue class `Class`; method-objects of
+    /// `Method`; `nil` only of `Object`.
+    pub fn is_instance_of(&self, o: Oid, class: Oid) -> bool {
+        if class == self.builtins.class {
+            return self.is_class(o);
+        }
+        if class == self.builtins.method {
+            return self.is_method_object(o);
+        }
+        if class == self.builtins.object && (self.oids.is_nil(o) || self.individuals.contains(&o))
+        {
+            return true;
+        }
+        self.direct_classes(o)
+            .iter()
+            .any(|&d| self.is_subclass(d, class))
+    }
+
+    /// The full extent of `class`: all individuals that are instances of
+    /// it (directly or via IS-A), in deterministic order. For the
+    /// builtin value classes this enumerates the literals in the active
+    /// domain.
+    pub fn instances_of(&self, class: Oid) -> Vec<Oid> {
+        if class == self.builtins.object {
+            return self.individuals.iter().copied().collect();
+        }
+        if class == self.builtins.class {
+            return self.class_order.clone();
+        }
+        if class == self.builtins.method {
+            return self.method_objects.iter().copied().collect();
+        }
+        let mut out = BTreeSet::new();
+        for (&c, ext) in &self.extent {
+            if self.is_subclass(c, class) {
+                out.extend(ext.iter().copied());
+            }
+        }
+        if self.is_subclass(self.builtins.numeral, class)
+            || self.is_subclass(self.builtins.string, class)
+            || self.is_subclass(self.builtins.boolean, class)
+        {
+            for &o in &self.individuals {
+                if self.is_instance_of(o, class) {
+                    out.insert(o);
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// The active domain of individual objects (range of individual
+    /// variables under the naive semantics of §3.4).
+    pub fn individuals(&self) -> impl Iterator<Item = Oid> + '_ {
+        self.individuals.iter().copied()
+    }
+
+    /// Number of individuals in the active domain.
+    pub fn individual_count(&self) -> usize {
+        self.individuals.len()
+    }
+
+    // ------------------------------------------------------------------
+    // State: explicitly stored method values
+    // ------------------------------------------------------------------
+
+    fn note_domain(&mut self, o: Oid) {
+        // Literals entering the state become part of the active domain;
+        // symbols/id-terms must be registered explicitly to avoid
+        // treating class- or method-objects as individuals.
+        match self.oids.get(o) {
+            OidData::Int(_) | OidData::Real(_) | OidData::Str(_) | OidData::Bool(_) => {
+                self.individuals.insert(o);
+            }
+            _ => {}
+        }
+    }
+
+    fn index_insert(&mut self, recv: Oid, method: Oid, val: &Val) {
+        self.by_method.entry(method).or_default().insert(recv);
+        for m in val.members() {
+            self.by_method_value
+                .entry((method, m))
+                .or_default()
+                .insert(recv);
+        }
+    }
+
+    fn index_remove(&mut self, recv: Oid, method: Oid, old: &Val) {
+        for m in old.members() {
+            if let Some(set) = self.by_method_value.get_mut(&(method, m)) {
+                set.remove(&recv);
+            }
+        }
+        // recv stays in by_method iff another entry for (recv, method)
+        // remains (a different argument tuple).
+        let still = self
+            .stored_entries_for(recv, method)
+            .next()
+            .is_some();
+        if !still {
+            if let Some(set) = self.by_method.get_mut(&method) {
+                set.remove(&recv);
+            }
+        }
+    }
+
+    /// Stores a scalar value for `(recv, method, args)`.
+    pub fn set_scalar(&mut self, recv: Oid, method: Oid, args: &[Oid], value: Oid) -> DbResult<()> {
+        self.method_objects.insert(method);
+        self.note_domain(value);
+        for &a in args {
+            self.note_domain(a);
+        }
+        let new = Val::Scalar(value);
+        let old = self
+            .state
+            .insert((recv, method, args.to_vec()), new.clone());
+        if let Some(old) = old {
+            self.index_remove(recv, method, &old);
+        }
+        self.index_insert(recv, method, &new);
+        Ok(())
+    }
+
+    /// Stores a set value for `(recv, method, args)`.
+    pub fn set_set<I: IntoIterator<Item = Oid>>(
+        &mut self,
+        recv: Oid,
+        method: Oid,
+        args: &[Oid],
+        values: I,
+    ) -> DbResult<()> {
+        self.method_objects.insert(method);
+        let set: BTreeSet<Oid> = values.into_iter().collect();
+        for &v in &set {
+            self.note_domain(v);
+        }
+        for &a in args {
+            self.note_domain(a);
+        }
+        let new = Val::Set(set);
+        let old = self
+            .state
+            .insert((recv, method, args.to_vec()), new.clone());
+        if let Some(old) = old {
+            self.index_remove(recv, method, &old);
+        }
+        self.index_insert(recv, method, &new);
+        Ok(())
+    }
+
+    /// Adds one member to a set-valued entry, creating it if absent.
+    pub fn insert_into_set(&mut self, recv: Oid, method: Oid, args: &[Oid], value: Oid) -> DbResult<()> {
+        self.method_objects.insert(method);
+        self.note_domain(value);
+        let key = (recv, method, args.to_vec());
+        match self.state.entry(key) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(Val::set([value]));
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => match e.get_mut() {
+                Val::Set(s) => {
+                    s.insert(value);
+                }
+                Val::Scalar(_) => {
+                    return Err(DbError::ArityOrKindMismatch {
+                        method: self.oids.render(method),
+                        detail: "cannot insert into a scalar-valued entry".into(),
+                    })
+                }
+            },
+        }
+        self.index_insert(recv, method, &Val::Scalar(value));
+        Ok(())
+    }
+
+    /// Removes the stored entry for `(recv, method, args)`, making the
+    /// method undefined there (a null).
+    pub fn remove_value(&mut self, recv: Oid, method: Oid, args: &[Oid]) {
+        if let Some(old) = self.state.remove(&(recv, method, args.to_vec())) {
+            self.index_remove(recv, method, &old);
+        }
+    }
+
+    /// The candidate receivers on which `method` may be *defined*: the
+    /// indexed receivers with stored entries, plus the instances of any
+    /// class-object holding a default for it, plus the instances of
+    /// classes with a computed definition. A sound superset of the
+    /// objects for which [`Database::value`] is `Some` — the evaluator
+    /// uses it to avoid scanning the whole domain for head-unbound path
+    /// expressions (cf. \[BERT89\]).
+    pub fn candidates_with_method(&self, method: Oid) -> BTreeSet<Oid> {
+        let mut out = BTreeSet::new();
+        if let Some(recvs) = self.by_method.get(&method) {
+            for &r in recvs {
+                if self.is_class(r) {
+                    out.extend(self.instances_of(r));
+                    // Subclass class-objects inherit the default too.
+                    for d in self.strict_descendants(r) {
+                        out.insert(d);
+                    }
+                    out.insert(r);
+                } else {
+                    out.insert(r);
+                }
+            }
+        }
+        for &(c, m, _) in &self.computed_order {
+            if m == method {
+                out.extend(self.instances_of(c));
+            }
+        }
+        out
+    }
+
+    /// The receivers whose stored value for `method` contains `value`
+    /// (exact-member lookup in the inverted index; inherited defaults
+    /// are reachable through the class-object receiver).
+    pub fn receivers_by_value(&self, method: Oid, value: Oid) -> BTreeSet<Oid> {
+        self.by_method_value
+            .get(&(method, value))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// As [`Database::candidates_with_method`], further anchored on a
+    /// known value member: a sound superset of the objects `o` with
+    /// `value ∈ o.method(…)`. Exact-value lookups only — numeral
+    /// equality across `Int`/`Real` OIDs is the caller's concern (it
+    /// falls back to the unanchored candidates when both spellings
+    /// could be stored).
+    pub fn candidates_with_method_value(&self, method: Oid, value: Oid) -> BTreeSet<Oid> {
+        let mut out = BTreeSet::new();
+        if let Some(recvs) = self.by_method_value.get(&(method, value)) {
+            for &r in recvs {
+                if self.is_class(r) {
+                    out.extend(self.instances_of(r));
+                    for d in self.strict_descendants(r) {
+                        out.insert(d);
+                    }
+                    out.insert(r);
+                } else {
+                    out.insert(r);
+                }
+            }
+        }
+        for &(c, m, _) in &self.computed_order {
+            if m == method {
+                out.extend(self.instances_of(c));
+            }
+        }
+        out
+    }
+
+    /// Removes an object entirely: its stored state (as receiver), its
+    /// class memberships, and its presence in the active domain.
+    /// References to it from *other* objects' values are left in place —
+    /// like the paper's logical OIDs, the id keeps denoting the (now
+    /// description-less) object.
+    pub fn purge_object(&mut self, o: Oid) {
+        let keys: Vec<(Oid, Vec<Oid>)> = self
+            .state
+            .range((o, Oid::MIN, Vec::new())..)
+            .take_while(|((r, _, _), _)| *r == o)
+            .map(|((_, m, a), _)| (*m, a.clone()))
+            .collect();
+        for (m, a) in keys {
+            self.remove_value(o, m, &a);
+        }
+        if let Some(classes) = self.instance_of.remove(&o) {
+            for c in classes {
+                if let Some(ext) = self.extent.get_mut(&c) {
+                    ext.remove(&o);
+                }
+            }
+        }
+        self.individuals.remove(&o);
+    }
+
+    /// The raw stored value, without inheritance or computed methods.
+    pub fn stored_value(&self, recv: Oid, method: Oid, args: &[Oid]) -> Option<&Val> {
+        self.state.get(&(recv, method, args.to_vec()))
+    }
+
+    /// Iterates all stored state entries (used by the F-logic model
+    /// extraction and by schema browsing).
+    pub fn state_entries(&self) -> impl Iterator<Item = (Oid, Oid, &[Oid], &Val)> + '_ {
+        self.state
+            .iter()
+            .map(|((r, m, a), v)| (*r, *m, a.as_slice(), v))
+    }
+
+    /// Iterates the stored entries of one `(receiver, method)` pair —
+    /// the argument tuples for which the method has an explicit value.
+    /// Used to enumerate unbound method arguments in path expressions.
+    pub fn stored_entries_for(
+        &self,
+        recv: Oid,
+        method: Oid,
+    ) -> impl Iterator<Item = (&[Oid], &Val)> + '_ {
+        self.state
+            .range((recv, method, Vec::new())..)
+            .take_while(move |((r, m, _), _)| *r == recv && *m == method)
+            .map(|((_, _, a), v)| (a.as_slice(), v))
+    }
+
+    // ------------------------------------------------------------------
+    // Computed methods
+    // ------------------------------------------------------------------
+
+    /// Installs a computed method implementation for `(class, method,
+    /// arity)`. Subclasses inherit it behaviorally; redefinition in a
+    /// subclass overrides (§6.1).
+    pub fn define_method(
+        &mut self,
+        class: Oid,
+        method: Oid,
+        arity: usize,
+        imp: Arc<dyn MethodImpl>,
+    ) -> DbResult<()> {
+        if !self.classes.contains_key(&class) {
+            return Err(DbError::UnknownClass(self.render(class)));
+        }
+        self.method_objects.insert(method);
+        let key = (class, method, arity);
+        if !self.computed.contains_key(&key) {
+            self.computed_order.push(key);
+        }
+        self.computed.insert(key, imp);
+        Ok(())
+    }
+
+    /// True if a computed method exists for exactly `(class, method,
+    /// arity)`.
+    pub fn has_computed(&self, class: Oid, method: Oid, arity: usize) -> bool {
+        self.computed.contains_key(&(class, method, arity))
+    }
+
+    /// Finds the computed-method implementation inherited by `recv` for
+    /// `(method, arity)` under behavioral inheritance with overriding:
+    /// among the defining classes that `recv` belongs to, keep the most
+    /// specific ones; a unique survivor wins; several incomparable
+    /// survivors require an explicit resolution on one of `recv`'s
+    /// direct classes, otherwise it is an inheritance conflict (§6.1).
+    fn resolve_computed(
+        &self,
+        recv: Oid,
+        method: Oid,
+        arity: usize,
+    ) -> DbResult<Option<&Arc<dyn MethodImpl>>> {
+        let mut defining: Vec<Oid> = Vec::new();
+        for &(c, m, k) in &self.computed_order {
+            if m == method && k == arity && self.is_instance_of(recv, c) {
+                defining.push(c);
+            }
+        }
+        if defining.is_empty() {
+            return Ok(None);
+        }
+        // Keep most specific classes only (overriding).
+        let minimal: Vec<Oid> = defining
+            .iter()
+            .copied()
+            .filter(|&c| {
+                !defining
+                    .iter()
+                    .any(|&d| d != c && self.is_strict_subclass(d, c))
+            })
+            .collect();
+        let chosen = if minimal.len() == 1 {
+            minimal[0]
+        } else {
+            // Look for an explicit resolution on a direct class of recv.
+            let mut pick = None;
+            for dc in self.direct_classes(recv) {
+                if let Some(info) = self.classes.get(&dc) {
+                    if let Some(&from) = info.resolutions.get(&method) {
+                        if minimal.contains(&from) {
+                            pick = Some(from);
+                            break;
+                        }
+                    }
+                }
+            }
+            match pick {
+                Some(c) => c,
+                None => {
+                    return Err(DbError::InheritanceConflict {
+                        object: self.render(recv),
+                        method: self.render(method),
+                        candidates: minimal.iter().map(|&c| self.render(c)).collect(),
+                    })
+                }
+            }
+        };
+        Ok(self.computed.get(&(chosen, method, arity)))
+    }
+
+    // ------------------------------------------------------------------
+    // The defined/undefined/inapplicable judgments
+    // ------------------------------------------------------------------
+
+    /// The value of `method` on `recv` with `args`, under full lookup:
+    /// explicit state, then behavioral inheritance of default values
+    /// from class-objects (footnote 5: default attributes are inherited
+    /// from superclasses), then computed methods. `Ok(None)` means
+    /// *undefined* (null). Inapplicability is *not* checked here — the
+    /// naive semantics of §3.4 simply finds no satisfying path; use
+    /// [`Database::is_applicable`] for the type-error judgment.
+    pub fn value(&self, recv: Oid, method: Oid, args: &[Oid]) -> DbResult<Option<Val>> {
+        self.value_at_depth(recv, method, args, 0)
+    }
+
+    /// As [`Database::value`], at an explicit invocation depth (computed
+    /// methods evaluating path expressions pass their own depth + 1).
+    pub fn value_at_depth(
+        &self,
+        recv: Oid,
+        method: Oid,
+        args: &[Oid],
+        depth: usize,
+    ) -> DbResult<Option<Val>> {
+        if depth > MAX_INVOKE_DEPTH {
+            return Err(DbError::RecursionLimit {
+                method: self.render(method),
+            });
+        }
+        // 1. Explicit state on the receiver itself.
+        if let Some(v) = self.stored_value(recv, method, args) {
+            return Ok(Some(v.clone()));
+        }
+        // 2. Inherited default value: the value the method has on the
+        //    most specific class-object(s) the receiver belongs to; for
+        //    a class receiver, on its superclasses.
+        if let Some(v) = self.inherited_default(recv, method, args)? {
+            return Ok(Some(v));
+        }
+        // 3. Computed method (behavioral inheritance with overriding).
+        if let Some(imp) = self.resolve_computed(recv, method, args.len())? {
+            let imp = Arc::clone(imp);
+            return imp.invoke(self, recv, args, depth + 1);
+        }
+        Ok(None)
+    }
+
+    /// Behavioral inheritance of stored (default) values: if the method
+    /// has an explicit value on a class the receiver belongs to, the
+    /// receiver inherits the value of the most specific such class;
+    /// incomparable candidates with distinct values are a conflict
+    /// unless explicitly resolved.
+    fn inherited_default(&self, recv: Oid, method: Oid, args: &[Oid]) -> DbResult<Option<Val>> {
+        // Classes to search: for an individual, all classes it belongs
+        // to; for a class-object, its strict ancestors.
+        let search: Vec<Oid> = if self.is_class(recv) {
+            self.ancestors_of(recv).filter(|&c| c != recv).collect()
+        } else {
+            let mut cs = BTreeSet::new();
+            for d in self.direct_classes(recv) {
+                cs.extend(self.ancestors_of(d));
+            }
+            cs.into_iter().collect()
+        };
+        let holders: Vec<Oid> = search
+            .iter()
+            .copied()
+            .filter(|&c| self.state.contains_key(&(c, method, args.to_vec())))
+            .collect();
+        if holders.is_empty() {
+            return Ok(None);
+        }
+        let minimal: Vec<Oid> = holders
+            .iter()
+            .copied()
+            .filter(|&c| {
+                !holders
+                    .iter()
+                    .any(|&d| d != c && self.is_strict_subclass(d, c))
+            })
+            .collect();
+        if minimal.len() == 1 {
+            return Ok(self.stored_value(minimal[0], method, args).cloned());
+        }
+        // Distinct incomparable defaults: identical values are fine,
+        // otherwise require an explicit resolution.
+        let vals: Vec<&Val> = minimal
+            .iter()
+            .map(|&c| self.stored_value(c, method, args).unwrap())
+            .collect();
+        if vals.windows(2).all(|w| w[0] == w[1]) {
+            return Ok(Some(vals[0].clone()));
+        }
+        for dc in self.direct_classes(recv) {
+            if let Some(info) = self.classes.get(&dc) {
+                if let Some(&from) = info.resolutions.get(&method) {
+                    if let Some(c) = minimal.iter().copied().find(|&c| c == from) {
+                        return Ok(self.stored_value(c, method, args).cloned());
+                    }
+                }
+            }
+        }
+        Err(DbError::InheritanceConflict {
+            object: self.render(recv),
+            method: self.render(method),
+            candidates: minimal.iter().map(|&c| self.render(c)).collect(),
+        })
+    }
+
+    /// Invokes an update method (one whose implementation mutates the
+    /// database, §5). Read-only methods may also be invoked this way.
+    pub fn invoke_update(&mut self, recv: Oid, method: Oid, args: &[Oid]) -> DbResult<Option<Val>> {
+        if let Some(v) = self.stored_value(recv, method, args) {
+            return Ok(Some(v.clone()));
+        }
+        let imp = match self.resolve_computed(recv, method, args.len())? {
+            Some(i) => Arc::clone(i),
+            None => return Ok(None),
+        };
+        imp.invoke_mut(self, recv, args, 1)
+    }
+
+    /// The applicability judgment (§2): `method` is applicable to `recv`
+    /// on `args` iff some declared signature covers them — i.e. the
+    /// method *possesses* a type whose receiver class contains `recv`
+    /// and whose argument classes contain the respective `args`. Used by
+    /// the typing system; inapplicability is the paper's type error.
+    pub fn is_applicable(&self, recv: Oid, method: Oid, args: &[Oid]) -> bool {
+        for c in &self.class_order {
+            if !self.is_instance_of(recv, *c) {
+                continue;
+            }
+            for s in &self.classes[c].sigs {
+                if s.method == method
+                    && s.arity() == args.len()
+                    && args
+                        .iter()
+                        .zip(&s.args)
+                        .all(|(&a, &cl)| self.is_instance_of(a, cl))
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Checks that the stored state conforms to the declared signatures:
+    /// every entry `(recv, m, args) -> v` must be covered by a signature
+    /// applicable to `(recv, args)` whose result class contains every
+    /// member of `v`, with matching scalar/set kind. Returns the
+    /// violations (empty = conformant). Theorem 6.1's range restriction
+    /// is sound exactly on conformant databases — the paper assumes data
+    /// respects the schema.
+    pub fn check_conformance(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (recv, m, args, v) in self.state_entries() {
+            let mut covered = false;
+            let mut kind_ok = false;
+            'sigs: for c in &self.class_order {
+                if !self.is_instance_of(recv, *c) {
+                    continue;
+                }
+                for s in &self.classes[c].sigs {
+                    if s.method != m
+                        || s.arity() != args.len()
+                        || !args
+                            .iter()
+                            .zip(&s.args)
+                            .all(|(&a, &cl)| self.is_instance_of(a, cl))
+                    {
+                        continue;
+                    }
+                    covered = true;
+                    if s.set_valued == v.is_set()
+                        && v.members().all(|o| self.is_instance_of(o, s.result))
+                    {
+                        kind_ok = true;
+                        break 'sigs;
+                    }
+                }
+            }
+            if !covered {
+                out.push(format!(
+                    "no applicable signature for `{}` on `{}`",
+                    self.render(m),
+                    self.render(recv)
+                ));
+            } else if !kind_ok {
+                out.push(format!(
+                    "value of `{}` on `{}` violates every applicable signature",
+                    self.render(m),
+                    self.render(recv)
+                ));
+            }
+        }
+        out
+    }
+
+    /// All method names of the given arity that could be *defined* on
+    /// `recv` — candidates when a method variable must be enumerated
+    /// (query (3): `X."Y.City`). Sources: explicit state on the
+    /// receiver, inheritable defaults on its classes, and computed
+    /// methods it inherits.
+    pub fn methods_defined_on(&self, recv: Oid, arity: usize) -> BTreeSet<Oid> {
+        let mut out = BTreeSet::new();
+        for ((r, m, a), _) in self.state.range((recv, Oid::MIN, Vec::new())..) {
+            if *r != recv {
+                break;
+            }
+            if a.len() == arity {
+                out.insert(*m);
+            }
+        }
+        // Defaults on classes the receiver belongs to.
+        let classes: BTreeSet<Oid> = if self.is_class(recv) {
+            self.ancestors_of(recv).filter(|&c| c != recv).collect()
+        } else {
+            let mut cs = BTreeSet::new();
+            for d in self.direct_classes(recv) {
+                cs.extend(self.ancestors_of(d));
+            }
+            cs
+        };
+        for &c in &classes {
+            for ((r, m, a), _) in self.state.range((c, Oid::MIN, Vec::new())..) {
+                if *r != c {
+                    break;
+                }
+                if a.len() == arity {
+                    out.insert(*m);
+                }
+            }
+        }
+        for &(c, m, k) in &self.computed_order {
+            if k == arity && self.is_instance_of(recv, c) {
+                out.insert(m);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Database {
+        let mut db = Database::new();
+        let person = db.define_class("Person", &[]).unwrap();
+        let string = db.builtins().string;
+        db.add_signature(person, "Name", &[], string, false).unwrap();
+        db
+    }
+
+    #[test]
+    fn conformance_flags_uncovered_and_ill_kinded_state() {
+        let mut db = small();
+        let person = db.oids().find_sym("Person").unwrap();
+        let p = db.new_individual("p1", &[person]).unwrap();
+        let name = db.oids().find_sym("Name").unwrap();
+        let v = db.oids_mut().str("Pat");
+        db.set_scalar(p, name, &[], v).unwrap();
+        assert!(db.check_conformance().is_empty());
+        // A value of the wrong kind (set where scalar declared).
+        db.set_set(p, name, &[], [v]).unwrap();
+        assert_eq!(db.check_conformance().len(), 1);
+        db.set_scalar(p, name, &[], v).unwrap();
+        // A method with no signature anywhere.
+        let ghost = db.oids_mut().sym("Ghost");
+        db.set_scalar(p, ghost, &[], v).unwrap();
+        assert_eq!(db.check_conformance().len(), 1);
+        // A value outside the declared result class.
+        let n = db.oids_mut().int(5);
+        db.remove_value(p, ghost, &[]);
+        db.set_scalar(p, name, &[], n).unwrap();
+        assert_eq!(db.check_conformance().len(), 1);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut db = small();
+        let person = db.oids().find_sym("Person").unwrap();
+        let p = db.new_individual("p1", &[person]).unwrap();
+        let name = db.oids().find_sym("Name").unwrap();
+        let v = db.oids_mut().str("Pat");
+        db.set_scalar(p, name, &[], v).unwrap();
+        let snapshot = db.clone();
+        db.remove_value(p, name, &[]);
+        assert!(db.value(p, name, &[]).unwrap().is_none());
+        assert!(snapshot.value(p, name, &[]).unwrap().is_some());
+    }
+
+    #[test]
+    fn remove_instance_shrinks_extent() {
+        let mut db = small();
+        let person = db.oids().find_sym("Person").unwrap();
+        let p = db.new_individual("p1", &[person]).unwrap();
+        assert_eq!(db.instances_of(person).len(), 1);
+        db.remove_instance(p, person);
+        assert!(db.instances_of(person).is_empty());
+        // Still an individual (in the active domain) until fully purged.
+        assert!(db.is_instance_of(p, db.builtins().object));
+    }
+
+    #[test]
+    fn methods_defined_on_includes_all_sources() {
+        let mut db = small();
+        let person = db.oids().find_sym("Person").unwrap();
+        let p = db.new_individual("p1", &[person]).unwrap();
+        let name = db.oids().find_sym("Name").unwrap();
+        let v = db.oids_mut().str("Pat");
+        // Explicit state.
+        db.set_scalar(p, name, &[], v).unwrap();
+        // Class default.
+        let hobby = db.oids_mut().sym("Hobby");
+        db.set_scalar(person, hobby, &[], v).unwrap();
+        let defined = db.methods_defined_on(p, 0);
+        assert!(defined.contains(&name));
+        assert!(defined.contains(&hobby));
+    }
+}
+
+#[cfg(test)]
+mod purge_tests {
+    use super::*;
+
+    #[test]
+    fn purge_removes_state_membership_and_domain() {
+        let mut db = Database::new();
+        let c = db.define_class("Thing", &[]).unwrap();
+        let a = db.new_individual("a", &[c]).unwrap();
+        let b = db.new_individual("b", &[c]).unwrap();
+        let m = db.oids_mut().sym("Link");
+        db.set_scalar(a, m, &[], b).unwrap();
+        db.set_scalar(b, m, &[], a).unwrap();
+        db.purge_object(a);
+        assert!(db.value(a, m, &[]).unwrap().is_none());
+        assert!(!db.is_instance_of(a, c));
+        assert!(!db.individuals().any(|o| o == a));
+        // Dangling reference from b keeps denoting the id (logical OIDs).
+        let v = db.value(b, m, &[]).unwrap().unwrap();
+        assert_eq!(v.as_scalar(), Some(a));
+        // Index no longer lists a as a receiver.
+        assert!(!db.candidates_with_method(m).contains(&a));
+    }
+
+    #[test]
+    fn value_anchored_candidates() {
+        let mut db = Database::new();
+        let c = db.define_class("Thing", &[]).unwrap();
+        let a = db.new_individual("a", &[c]).unwrap();
+        let b = db.new_individual("b", &[c]).unwrap();
+        let m = db.oids_mut().sym("Tag");
+        let red = db.oids_mut().str("red");
+        let blue = db.oids_mut().str("blue");
+        db.set_scalar(a, m, &[], red).unwrap();
+        db.set_scalar(b, m, &[], blue).unwrap();
+        let got = db.candidates_with_method_value(m, red);
+        assert!(got.contains(&a) && !got.contains(&b));
+        // Class defaults expand to instances.
+        let other = db.define_class("Other", &[]).unwrap();
+        let o1 = db.new_individual("o1", &[other]).unwrap();
+        db.set_scalar(other, m, &[], red).unwrap();
+        let got = db.candidates_with_method_value(m, red);
+        assert!(got.contains(&o1));
+    }
+}

@@ -1,0 +1,111 @@
+//! Error type for the object-oriented database engine.
+
+use std::fmt;
+
+/// Errors raised by schema manipulation, state updates and method
+/// invocation.
+///
+/// The paper distinguishes *undefinedness* (a null, not an error) from
+/// *inapplicability* (a type error, §2 "Attributes"); only the latter and
+/// genuine integrity violations surface as `DbError`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum DbError {
+    /// The class named in an operation does not exist.
+    UnknownClass(String),
+    /// A class with this name already exists.
+    DuplicateClass(String),
+    /// Adding this IS-A edge would create a cycle (the IS-A relationship
+    /// is acyclic by definition, §2 "Classes").
+    IsACycle { sub: String, sup: String },
+    /// A method was invoked on an object for which it is not applicable
+    /// (no possessed type covers the receiver/arguments) — the paper's
+    /// notion of a (dynamic) type error.
+    Inapplicable {
+        receiver: String,
+        method: String,
+        arity: usize,
+    },
+    /// Multiple incomparable superclasses supply conflicting inherited
+    /// definitions or default values and no explicit resolution was
+    /// declared (§6.1; the paper adopts Meyer's require-explicit-choice
+    /// rule \[MEY88\]).
+    InheritanceConflict {
+        object: String,
+        method: String,
+        candidates: Vec<String>,
+    },
+    /// Two conflicting descriptions were given for the same object — e.g.
+    /// a scalar attribute assigned two distinct values, the run-time
+    /// error of §4.1's ill-defined query discussion.
+    ConflictingDescription {
+        object: String,
+        method: String,
+        old: String,
+        new: String,
+    },
+    /// A scalar method was given a set value or vice versa.
+    ArityOrKindMismatch { method: String, detail: String },
+    /// The OID given where a class-object was required is not a class
+    /// (or not a method-object where one was required).
+    WrongSort { oid: String, expected: &'static str },
+    /// Invocation of a computed method failed; carries the inner message.
+    MethodFailed { method: String, message: String },
+    /// Recursion limit exceeded while invoking computed methods.
+    RecursionLimit { method: String },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownClass(c) => write!(f, "unknown class `{c}`"),
+            DbError::DuplicateClass(c) => write!(f, "class `{c}` already exists"),
+            DbError::IsACycle { sub, sup } => {
+                write!(f, "IS-A edge `{sub}` -> `{sup}` would create a cycle")
+            }
+            DbError::Inapplicable {
+                receiver,
+                method,
+                arity,
+            } => write!(
+                f,
+                "method `{method}`/{arity} is inapplicable to object `{receiver}` (type error)"
+            ),
+            DbError::InheritanceConflict {
+                object,
+                method,
+                candidates,
+            } => write!(
+                f,
+                "multiple-inheritance conflict for `{method}` on `{object}`: \
+                 candidate definitions in {candidates:?}; declare an explicit resolution"
+            ),
+            DbError::ConflictingDescription {
+                object,
+                method,
+                old,
+                new,
+            } => write!(
+                f,
+                "conflicting descriptions of object `{object}`: `{method}` = `{old}` vs `{new}`"
+            ),
+            DbError::ArityOrKindMismatch { method, detail } => {
+                write!(f, "kind/arity mismatch for `{method}`: {detail}")
+            }
+            DbError::WrongSort { oid, expected } => {
+                write!(f, "`{oid}` is not a {expected}")
+            }
+            DbError::MethodFailed { method, message } => {
+                write!(f, "invocation of `{method}` failed: {message}")
+            }
+            DbError::RecursionLimit { method } => {
+                write!(f, "recursion limit exceeded while invoking `{method}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Convenient result alias used throughout the engine.
+pub type DbResult<T> = Result<T, DbError>;

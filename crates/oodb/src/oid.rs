@@ -1,0 +1,345 @@
+//! Logical object identities.
+//!
+//! Following §2 of the paper, the programmer refers to objects via *logical
+//! object ids* — syntactic terms of the language. A logical OID is either a
+//! symbol (`mary123`, `Person`, `Residence`), a value whose OID "carries
+//! semantic information" (the numeral `20`, the string `"Ford Motor Co."`,
+//! a boolean), the special object `nil` (§5), or an *id-term*
+//! `f(t1,…,tk)` built with an explicit id-function as in \[KW89\] — the
+//! mechanism the paper uses to invent OIDs for view objects (§4).
+//!
+//! All OIDs are interned in an [`OidTable`]; the handle type [`Oid`] is a
+//! `u32` index, so equality, hashing and ordering of OIDs are O(1) and the
+//! structural uniqueness of id-terms ("the value of f(x,w) is unique, if
+//! defined, and does not occur elsewhere in the database", §4.1) holds by
+//! construction.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Interned handle to a logical object id. Copyable, order is the
+/// (deterministic) interning order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Oid(u32);
+
+impl Oid {
+    /// Smallest possible handle; useful as a range lower bound for
+    /// ordered scans keyed by `Oid`.
+    pub const MIN: Oid = Oid(0);
+
+    /// Raw index into the owning [`OidTable`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The interned datum behind an [`Oid`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OidData {
+    /// A symbolic id: individual names, class names, method names. The
+    /// paper deliberately does not isolate attribute names from other
+    /// logical OIDs (§2 "Attributes").
+    Sym(Box<str>),
+    /// An integer numeral object.
+    Int(i64),
+    /// A real numeral object, stored as the bit pattern of a non-NaN
+    /// `f64` so the datum is `Eq + Hash`.
+    Real(u64),
+    /// A string object, written `'newyork'` in XSQL.
+    Str(Box<str>),
+    /// A boolean object.
+    Bool(bool),
+    /// The special object `nil` returned by update methods (§5).
+    Nil,
+    /// An id-term `f(t1,…,tk)`: functor symbol plus argument OIDs.
+    Func(Oid, Box<[Oid]>),
+}
+
+/// Interner for logical OIDs. Owned by [`crate::Database`].
+#[derive(Debug, Default, Clone)]
+pub struct OidTable {
+    data: Vec<OidData>,
+    index: HashMap<OidData, Oid>,
+}
+
+impl OidTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct OIDs interned so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if no OID has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    fn intern(&mut self, d: OidData) -> Oid {
+        if let Some(&o) = self.index.get(&d) {
+            return o;
+        }
+        let o = Oid(u32::try_from(self.data.len()).expect("OID space exhausted"));
+        self.data.push(d.clone());
+        self.index.insert(d, o);
+        o
+    }
+
+    /// Interns a symbolic id.
+    pub fn sym(&mut self, name: &str) -> Oid {
+        if let Some(&o) = self.index.get(&OidData::Sym(name.into())) {
+            return o;
+        }
+        self.intern(OidData::Sym(name.into()))
+    }
+
+    /// Interns an integer numeral object.
+    pub fn int(&mut self, v: i64) -> Oid {
+        self.intern(OidData::Int(v))
+    }
+
+    /// Interns a real numeral object. NaN is rejected (it has no
+    /// equality, hence no object identity).
+    pub fn real(&mut self, v: f64) -> Oid {
+        assert!(!v.is_nan(), "NaN has no object identity");
+        // Normalize -0.0 to 0.0 so numerically equal reals share an OID.
+        let v = if v == 0.0 { 0.0 } else { v };
+        self.intern(OidData::Real(v.to_bits()))
+    }
+
+    /// Interns a string object.
+    pub fn str(&mut self, v: &str) -> Oid {
+        if let Some(&o) = self.index.get(&OidData::Str(v.into())) {
+            return o;
+        }
+        self.intern(OidData::Str(v.into()))
+    }
+
+    /// Interns a boolean object.
+    pub fn bool(&mut self, v: bool) -> Oid {
+        self.intern(OidData::Bool(v))
+    }
+
+    /// The special object `nil`.
+    pub fn nil(&mut self) -> Oid {
+        self.intern(OidData::Nil)
+    }
+
+    /// Interns an id-term `functor(args…)`. `functor` must be a symbol.
+    pub fn func(&mut self, functor: Oid, args: &[Oid]) -> Oid {
+        debug_assert!(
+            matches!(self.get(functor), OidData::Sym(_)),
+            "id-function functor must be a symbol"
+        );
+        self.intern(OidData::Func(functor, args.into()))
+    }
+
+    /// Looks up an already-interned symbol without interning.
+    pub fn find_sym(&self, name: &str) -> Option<Oid> {
+        self.index.get(&OidData::Sym(name.into())).copied()
+    }
+
+    /// Looks up an already-interned id-term `functor(args…)` without
+    /// interning. Used by read-only evaluation: an id-term that was
+    /// never created denotes no object, so the path simply fails (§3.1).
+    pub fn find_func(&self, functor: Oid, args: &[Oid]) -> Option<Oid> {
+        self.index
+            .get(&OidData::Func(functor, args.into()))
+            .copied()
+    }
+
+    /// The datum behind a handle.
+    #[inline]
+    pub fn get(&self, o: Oid) -> &OidData {
+        &self.data[o.index()]
+    }
+
+    /// Numeric value if `o` is a numeral object.
+    pub fn as_number(&self, o: Oid) -> Option<f64> {
+        match self.get(o) {
+            OidData::Int(v) => Some(*v as f64),
+            OidData::Real(b) => Some(f64::from_bits(*b)),
+            _ => None,
+        }
+    }
+
+    /// String value if `o` is a string object.
+    pub fn as_str(&self, o: Oid) -> Option<&str> {
+        match self.get(o) {
+            OidData::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Symbol name if `o` is a symbolic id.
+    pub fn sym_name(&self, o: Oid) -> Option<&str> {
+        match self.get(o) {
+            OidData::Sym(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if `o` denotes `nil`.
+    pub fn is_nil(&self, o: Oid) -> bool {
+        matches!(self.get(o), OidData::Nil)
+    }
+
+    /// Total order used by deterministic result rendering: numerals by
+    /// value, then strings, booleans, symbols, nil, id-terms
+    /// (recursively). Falls back to interning order within a kind where
+    /// no natural order exists.
+    pub fn display_cmp(&self, a: Oid, b: Oid) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        fn rank(d: &OidData) -> u8 {
+            match d {
+                OidData::Int(_) | OidData::Real(_) => 0,
+                OidData::Str(_) => 1,
+                OidData::Bool(_) => 2,
+                OidData::Sym(_) => 3,
+                OidData::Nil => 4,
+                OidData::Func(..) => 5,
+            }
+        }
+        let (da, db) = (self.get(a), self.get(b));
+        match rank(da).cmp(&rank(db)) {
+            Ordering::Equal => {}
+            o => return o,
+        }
+        match (da, db) {
+            (OidData::Str(x), OidData::Str(y)) => x.cmp(y),
+            (OidData::Bool(x), OidData::Bool(y)) => x.cmp(y),
+            (OidData::Sym(x), OidData::Sym(y)) => x.cmp(y),
+            (OidData::Nil, OidData::Nil) => Ordering::Equal,
+            (OidData::Func(f, xs), OidData::Func(g, ys)) => self
+                .display_cmp(*f, *g)
+                .then_with(|| {
+                    for (x, y) in xs.iter().zip(ys.iter()) {
+                        match self.display_cmp(*x, *y) {
+                            Ordering::Equal => continue,
+                            o => return o,
+                        }
+                    }
+                    xs.len().cmp(&ys.len())
+                }),
+            _ => {
+                // Both numerals (possibly mixed int/real).
+                let (x, y) = (self.as_number(a).unwrap(), self.as_number(b).unwrap());
+                x.partial_cmp(&y).unwrap_or(Ordering::Equal).then(a.cmp(&b))
+            }
+        }
+    }
+
+    /// Renders an OID the way the paper writes them: symbols bare,
+    /// strings quoted, numerals plain, id-terms as `f(a,b)`.
+    pub fn render(&self, o: Oid) -> String {
+        let mut s = String::new();
+        self.render_into(o, &mut s);
+        s
+    }
+
+    fn render_into(&self, o: Oid, out: &mut String) {
+        use fmt::Write;
+        match self.get(o) {
+            OidData::Sym(n) => out.push_str(n),
+            OidData::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            OidData::Real(b) => {
+                let _ = write!(out, "{}", f64::from_bits(*b));
+            }
+            OidData::Str(s) => {
+                let _ = write!(out, "'{s}'");
+            }
+            OidData::Bool(v) => {
+                let _ = write!(out, "{v}");
+            }
+            OidData::Nil => out.push_str("nil"),
+            OidData::Func(f, args) => {
+                self.render_into(*f, out);
+                out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    self.render_into(*a, out);
+                }
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = OidTable::new();
+        let a = t.sym("mary123");
+        let b = t.sym("mary123");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_kinds_distinct_oids() {
+        let mut t = OidTable::new();
+        let s = t.sym("20");
+        let n = t.int(20);
+        let st = t.str("20");
+        assert_ne!(s, n);
+        assert_ne!(n, st);
+        assert_ne!(s, st);
+    }
+
+    #[test]
+    fn id_terms_are_structural() {
+        let mut t = OidTable::new();
+        let f = t.sym("secretary");
+        let d = t.sym("dept77");
+        let a = t.func(f, &[d]);
+        let b = t.func(f, &[d]);
+        assert_eq!(a, b);
+        let e = t.sym("dept78");
+        let c = t.func(f, &[e]);
+        assert_ne!(a, c);
+        assert_eq!(t.render(a), "secretary(dept77)");
+    }
+
+    #[test]
+    fn negative_zero_normalized() {
+        let mut t = OidTable::new();
+        assert_eq!(t.real(0.0), t.real(-0.0));
+    }
+
+    #[test]
+    fn numbers_compare_numerically() {
+        let mut t = OidTable::new();
+        let a = t.int(2);
+        let b = t.real(10.0);
+        assert_eq!(t.display_cmp(a, b), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn render_forms() {
+        let mut t = OidTable::new();
+        let s = t.str("newyork");
+        assert_eq!(t.render(s), "'newyork'");
+        let n = t.int(35000);
+        assert_eq!(t.render(n), "35000");
+        let nil = t.nil();
+        assert_eq!(t.render(nil), "nil");
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_rejected() {
+        let mut t = OidTable::new();
+        t.real(f64::NAN);
+    }
+}

@@ -1,0 +1,96 @@
+//! Classes, the IS-A hierarchy and method signatures.
+//!
+//! Classes are themselves objects (§2 "Classes"): a class is identified by
+//! a symbolic OID and may carry attribute values just like individuals.
+//! This module holds the purely schematic part: the IS-A DAG, the declared
+//! signatures, and the explicit multiple-inheritance resolutions required
+//! by the paper's adoption of Meyer's rule (§6.1).
+
+use crate::oid::Oid;
+use std::collections::HashMap;
+
+/// A method signature `M : A1,…,Ak ~> R` declared in the scope of a class
+/// (§2 "Types"). Attributes are 0-ary methods (`args` empty). `set_valued`
+/// distinguishes `=>>`-style (double-arrow) from scalar declarations.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Signature {
+    /// The method-object naming the method.
+    pub method: Oid,
+    /// Argument classes `A1,…,Ak` (not counting the receiver).
+    pub args: Vec<Oid>,
+    /// Result class `R`.
+    pub result: Oid,
+    /// True for `==>` (set-valued), false for `=>` (scalar).
+    pub set_valued: bool,
+}
+
+impl Signature {
+    /// Arity of the method (number of explicit arguments; the receiver
+    /// is the implicit 0th argument, §2 "Types").
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+}
+
+/// Per-class schema record.
+#[derive(Debug, Clone, Default)]
+pub struct ClassInfo {
+    /// Direct superclasses (IS-A edges out of this class).
+    pub supers: Vec<Oid>,
+    /// Direct subclasses (redundant reverse edges, kept for cheap
+    /// downward traversal in schema queries like query (4)).
+    pub subs: Vec<Oid>,
+    /// Signatures declared *directly* in this class. Structural
+    /// inheritance (signature closure over superclasses) is computed in
+    /// [`crate::Database`], never stored, so schema edits stay sound.
+    pub sigs: Vec<Signature>,
+    /// Explicit multiple-inheritance resolutions: for method `m`, inherit
+    /// the behavior/default of the named superclass (§6.1, \[MEY88\]).
+    pub resolutions: HashMap<Oid, Oid>,
+}
+
+/// The distinguished classes every database starts with. The paper makes
+/// the system catalogue part of the class hierarchy (§2 "Attributes"):
+/// `Object` contains all individual objects; `Class` and `Method` classify
+/// the meta-objects, so class- and method-variables are ordinary sorted
+/// variables ranging over their instances.
+#[derive(Debug, Clone, Copy)]
+pub struct Builtins {
+    /// Root class of all individual objects.
+    pub object: Oid,
+    /// Metaclass of class-objects (catalogue).
+    pub class: Oid,
+    /// Metaclass of method-objects (catalogue; attributes included,
+    /// since attributes are 0-ary methods).
+    pub method: Oid,
+    /// Builtin value class of numerals (integers and reals).
+    pub numeral: Oid,
+    /// Builtin value class of strings.
+    pub string: Oid,
+    /// Builtin value class of booleans.
+    pub boolean: Oid,
+    /// The object `nil`.
+    pub nil: Oid,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oid::OidTable;
+
+    #[test]
+    fn signature_arity() {
+        let mut t = OidTable::new();
+        let m = t.sym("workstudy");
+        let sem = t.sym("semester");
+        let stu = t.sym("student");
+        let s = Signature {
+            method: m,
+            args: vec![sem],
+            result: stu,
+            set_valued: true,
+        };
+        assert_eq!(s.arity(), 1);
+        assert!(s.set_valued);
+    }
+}

@@ -1,0 +1,136 @@
+//! Method/attribute values.
+//!
+//! §2 "Attributes": if an attribute is scalar its value is a single
+//! object id; if it is set-valued, the value is a set of object ids.
+//! Set-objects are modelled as tuple-objects with one set-valued
+//! attribute, so this enum is the only value shape in the engine.
+
+use crate::oid::Oid;
+use std::collections::BTreeSet;
+
+/// The value of a (possibly k-ary) method on a receiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Val {
+    /// Value of a scalar method: one object.
+    Scalar(Oid),
+    /// Value of a set-valued method: a set of objects.
+    Set(BTreeSet<Oid>),
+}
+
+impl Val {
+    /// Builds a set value from an iterator.
+    pub fn set<I: IntoIterator<Item = Oid>>(items: I) -> Self {
+        Val::Set(items.into_iter().collect())
+    }
+
+    /// True for `Val::Set`.
+    pub fn is_set(&self) -> bool {
+        matches!(self, Val::Set(_))
+    }
+
+    /// The members: a scalar behaves as the singleton of its object,
+    /// matching how path expressions treat scalar steps (§3.1).
+    pub fn members(&self) -> ValIter<'_> {
+        match self {
+            Val::Scalar(o) => ValIter::One(Some(*o)),
+            Val::Set(s) => ValIter::Many(s.iter()),
+        }
+    }
+
+    /// Number of member objects.
+    pub fn len(&self) -> usize {
+        match self {
+            Val::Scalar(_) => 1,
+            Val::Set(s) => s.len(),
+        }
+    }
+
+    /// True if a set value is empty (a scalar is never empty).
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Val::Scalar(_) => false,
+            Val::Set(s) => s.is_empty(),
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, o: Oid) -> bool {
+        match self {
+            Val::Scalar(v) => *v == o,
+            Val::Set(s) => s.contains(&o),
+        }
+    }
+
+    /// The scalar object, if this is a scalar value.
+    pub fn as_scalar(&self) -> Option<Oid> {
+        match self {
+            Val::Scalar(o) => Some(*o),
+            Val::Set(_) => None,
+        }
+    }
+}
+
+/// Iterator over the member objects of a [`Val`].
+pub enum ValIter<'a> {
+    /// Scalar case.
+    One(Option<Oid>),
+    /// Set case.
+    Many(std::collections::btree_set::Iter<'a, Oid>),
+}
+
+impl Iterator for ValIter<'_> {
+    type Item = Oid;
+    fn next(&mut self) -> Option<Oid> {
+        match self {
+            ValIter::One(o) => o.take(),
+            ValIter::Many(it) => it.next().copied(),
+        }
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            ValIter::One(o) => {
+                let n = usize::from(o.is_some());
+                (n, Some(n))
+            }
+            ValIter::Many(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for ValIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oid::OidTable;
+
+    #[test]
+    fn scalar_members() {
+        let mut t = OidTable::new();
+        let o = t.sym("a");
+        let v = Val::Scalar(o);
+        assert_eq!(v.members().collect::<Vec<_>>(), vec![o]);
+        assert_eq!(v.len(), 1);
+        assert!(!v.is_empty());
+        assert!(v.contains(o));
+        assert_eq!(v.as_scalar(), Some(o));
+    }
+
+    #[test]
+    fn set_members_sorted_unique() {
+        let mut t = OidTable::new();
+        let a = t.sym("a");
+        let b = t.sym("b");
+        let v = Val::set([b, a, b]);
+        assert_eq!(v.len(), 2);
+        assert!(v.contains(a) && v.contains(b));
+        assert_eq!(v.as_scalar(), None);
+    }
+
+    #[test]
+    fn empty_set_is_empty() {
+        let v = Val::set([]);
+        assert!(v.is_empty());
+        assert_eq!(v.members().count(), 0);
+    }
+}

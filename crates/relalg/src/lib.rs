@@ -1,0 +1,17 @@
+//! # relalg — relations as first-class query results
+//!
+//! §2 "Relations" of the SIGMOD'92 XSQL paper argues for having relations
+//! on a par with objects: query answers are *sets of tuples of objects*
+//! (duplicates eliminated, §4 intro), and relations computed by queries
+//! "can be manipulated by relational algebra operators, e.g., UNION,
+//! MINUS" (§3.3). This crate provides that substrate: ordered, duplicate-
+//! free relations of OID tuples with the algebra operators and a
+//! deterministic textual rendering used by the benchmark harness.
+
+#![warn(missing_docs)]
+
+mod relation;
+mod render;
+
+pub use relation::{Relation, RelError, Tuple};
+pub use render::render_table;

@@ -1,0 +1,377 @@
+//! Duplicate-free relations of OID tuples and the algebra over them.
+
+use oodb::Oid;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A tuple of object ids — one row of a query answer (§3.3).
+pub type Tuple = Vec<Oid>;
+
+/// Errors from relational algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// The two operands of UNION/MINUS/INTERSECT have different arities
+    /// (union compatibility, as in SQL).
+    ArityMismatch {
+        /// Arity of the left operand.
+        left: usize,
+        /// Arity of the right operand.
+        right: usize,
+    },
+    /// A projection referenced a column index outside the relation.
+    BadColumn {
+        /// The offending column index.
+        column: usize,
+        /// The relation's arity.
+        arity: usize,
+    },
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::ArityMismatch { left, right } => {
+                write!(f, "arity mismatch: {left} vs {right}")
+            }
+            RelError::BadColumn { column, arity } => {
+                write!(f, "column {column} out of range for arity {arity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+/// A relation: named columns plus an ordered set of tuples. "Tuples
+/// themselves do not have object id's and duplicates are not allowed"
+/// (§4 intro) — the `BTreeSet` enforces both set-ness and a deterministic
+/// iteration order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Relation {
+    columns: Vec<String>,
+    tuples: BTreeSet<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given column names.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(columns: I) -> Self {
+        Relation {
+            columns: columns.into_iter().map(Into::into).collect(),
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// Creates a relation of the given arity with default column names
+    /// `c0, c1, …`.
+    pub fn with_arity(arity: usize) -> Self {
+        Relation::new((0..arity).map(|i| format!("c{i}")))
+    }
+
+    /// Column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Inserts a tuple (duplicates are silently absorbed). Panics if the
+    /// tuple arity does not match — rows are produced by the evaluator,
+    /// so a mismatch is a bug, not user error.
+    pub fn insert(&mut self, t: Tuple) {
+        assert_eq!(t.len(), self.arity(), "tuple arity mismatch");
+        self.tuples.insert(t);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &[Oid]) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Iterates tuples in deterministic (OID) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// The single column of a unary relation as a set — the common case
+    /// `SELECT X` (§3.2 "the result of this query is a set of objects").
+    pub fn as_set(&self) -> BTreeSet<Oid> {
+        assert_eq!(self.arity(), 1, "as_set on non-unary relation");
+        self.tuples.iter().map(|t| t[0]).collect()
+    }
+
+    fn check_compatible(&self, other: &Relation) -> Result<(), RelError> {
+        if self.arity() != other.arity() {
+            return Err(RelError::ArityMismatch {
+                left: self.arity(),
+                right: other.arity(),
+            });
+        }
+        Ok(())
+    }
+
+    /// UNION (§3.3). Keeps the left operand's column names.
+    pub fn union(&self, other: &Relation) -> Result<Relation, RelError> {
+        self.check_compatible(other)?;
+        let mut out = self.clone();
+        out.tuples.extend(other.tuples.iter().cloned());
+        Ok(out)
+    }
+
+    /// MINUS (§3.3).
+    pub fn minus(&self, other: &Relation) -> Result<Relation, RelError> {
+        self.check_compatible(other)?;
+        let mut out = Relation::new(self.columns.clone());
+        out.tuples = self.tuples.difference(&other.tuples).cloned().collect();
+        Ok(out)
+    }
+
+    /// INTERSECT.
+    pub fn intersect(&self, other: &Relation) -> Result<Relation, RelError> {
+        self.check_compatible(other)?;
+        let mut out = Relation::new(self.columns.clone());
+        out.tuples = self.tuples.intersection(&other.tuples).cloned().collect();
+        Ok(out)
+    }
+
+    /// Projection onto the given column indices (duplicates eliminated,
+    /// set semantics).
+    pub fn project(&self, cols: &[usize]) -> Result<Relation, RelError> {
+        for &c in cols {
+            if c >= self.arity() {
+                return Err(RelError::BadColumn {
+                    column: c,
+                    arity: self.arity(),
+                });
+            }
+        }
+        let mut out = Relation::new(cols.iter().map(|&c| self.columns[c].clone()));
+        for t in &self.tuples {
+            out.tuples.insert(cols.iter().map(|&c| t[c]).collect());
+        }
+        Ok(out)
+    }
+
+    /// Selection by predicate.
+    pub fn select<F: Fn(&[Oid]) -> bool>(&self, pred: F) -> Relation {
+        let mut out = Relation::new(self.columns.clone());
+        out.tuples = self
+            .tuples
+            .iter()
+            .filter(|t| pred(t))
+            .cloned()
+            .collect();
+        out
+    }
+
+    /// Cartesian product; columns concatenated.
+    pub fn product(&self, other: &Relation) -> Relation {
+        let mut out = Relation::new(
+            self.columns
+                .iter()
+                .cloned()
+                .chain(other.columns.iter().cloned()),
+        );
+        for a in &self.tuples {
+            for b in &other.tuples {
+                let mut t = a.clone();
+                t.extend_from_slice(b);
+                out.tuples.insert(t);
+            }
+        }
+        out
+    }
+
+    /// Renames the columns (arity must match).
+    pub fn renamed<S: Into<String>, I: IntoIterator<Item = S>>(mut self, columns: I) -> Relation {
+        let cols: Vec<String> = columns.into_iter().map(Into::into).collect();
+        assert_eq!(cols.len(), self.arity(), "rename arity mismatch");
+        self.columns = cols;
+        self
+    }
+}
+
+impl FromIterator<Tuple> for Relation {
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
+        let tuples: BTreeSet<Tuple> = iter.into_iter().collect();
+        let arity = tuples.iter().next().map_or(0, |t| t.len());
+        let mut r = Relation::with_arity(arity);
+        for t in tuples {
+            r.insert(t);
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb::OidTable;
+
+    fn oids(t: &mut OidTable, names: &[&str]) -> Vec<Oid> {
+        names.iter().map(|n| t.sym(n)).collect()
+    }
+
+    #[test]
+    fn duplicates_eliminated() {
+        let mut t = OidTable::new();
+        let v = oids(&mut t, &["a", "b"]);
+        let mut r = Relation::with_arity(2);
+        r.insert(v.clone());
+        r.insert(v);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn union_minus_intersect() {
+        let mut t = OidTable::new();
+        let (a, b, c) = (t.sym("a"), t.sym("b"), t.sym("c"));
+        let r1: Relation = [vec![a], vec![b]].into_iter().collect();
+        let r2: Relation = [vec![b], vec![c]].into_iter().collect();
+        assert_eq!(r1.union(&r2).unwrap().len(), 3);
+        assert_eq!(r1.minus(&r2).unwrap().as_set(), [a].into());
+        assert_eq!(r1.intersect(&r2).unwrap().as_set(), [b].into());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let r1 = Relation::with_arity(1);
+        let r2 = Relation::with_arity(2);
+        assert!(matches!(
+            r1.union(&r2),
+            Err(RelError::ArityMismatch { left: 1, right: 2 })
+        ));
+    }
+
+    #[test]
+    fn project_and_select() {
+        let mut t = OidTable::new();
+        let (a, b, c) = (t.sym("a"), t.sym("b"), t.sym("c"));
+        let r: Relation = [vec![a, b], vec![a, c], vec![b, c]].into_iter().collect();
+        let p = r.project(&[0]).unwrap();
+        assert_eq!(p.len(), 2); // duplicates collapse
+        let s = r.select(|row| row[0] == a);
+        assert_eq!(s.len(), 2);
+        assert!(r.project(&[5]).is_err());
+    }
+
+    #[test]
+    fn product_concatenates() {
+        let mut t = OidTable::new();
+        let (a, b) = (t.sym("a"), t.sym("b"));
+        let r1: Relation = [vec![a]].into_iter().collect();
+        let r2: Relation = [vec![b], vec![a]].into_iter().collect();
+        let p = r1.product(&r2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.arity(), 2);
+    }
+}
+
+impl Relation {
+    /// Equi-join on column pairs: keeps every concatenation of an
+    /// `self`-tuple and an `other`-tuple that agrees on all `(left,
+    /// right)` column index pairs. Hash join on the key columns.
+    pub fn join(&self, other: &Relation, on: &[(usize, usize)]) -> Result<Relation, RelError> {
+        for &(l, r) in on {
+            if l >= self.arity() {
+                return Err(RelError::BadColumn {
+                    column: l,
+                    arity: self.arity(),
+                });
+            }
+            if r >= other.arity() {
+                return Err(RelError::BadColumn {
+                    column: r,
+                    arity: other.arity(),
+                });
+            }
+        }
+        let mut index: std::collections::HashMap<Vec<Oid>, Vec<&Tuple>> =
+            std::collections::HashMap::new();
+        for t in other.iter() {
+            let key: Vec<Oid> = on.iter().map(|&(_, r)| t[r]).collect();
+            index.entry(key).or_default().push(t);
+        }
+        let mut out = Relation::new(
+            self.columns
+                .iter()
+                .cloned()
+                .chain(other.columns.iter().cloned()),
+        );
+        for a in self.iter() {
+            let key: Vec<Oid> = on.iter().map(|&(l, _)| a[l]).collect();
+            if let Some(matches) = index.get(&key) {
+                for b in matches {
+                    let mut row = a.clone();
+                    row.extend_from_slice(b);
+                    out.insert(row);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The tuples ordered by the given column sequence under a caller-
+    /// supplied comparator (e.g. [`oodb::OidTable::display_cmp`] for
+    /// human-meaningful output order).
+    pub fn sorted_by<F>(&self, cols: &[usize], mut cmp: F) -> Vec<Tuple>
+    where
+        F: FnMut(Oid, Oid) -> std::cmp::Ordering,
+    {
+        let mut rows: Vec<Tuple> = self.iter().cloned().collect();
+        rows.sort_by(|a, b| {
+            for &c in cols {
+                match cmp(a[c], b[c]) {
+                    std::cmp::Ordering::Equal => continue,
+                    o => return o,
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        rows
+    }
+}
+
+#[cfg(test)]
+mod join_tests {
+    use super::*;
+    use oodb::OidTable;
+
+    #[test]
+    fn hash_join_matches_keys() {
+        let mut t = OidTable::new();
+        let (a, b, c) = (t.sym("a"), t.sym("b"), t.sym("c"));
+        let (x, y) = (t.sym("x"), t.sym("y"));
+        let r1: Relation = [vec![a, x], vec![b, y], vec![c, x]].into_iter().collect();
+        let r2: Relation = [vec![x, a], vec![y, b]].into_iter().collect();
+        let j = r1.join(&r2, &[(1, 0)]).unwrap();
+        assert_eq!(j.arity(), 4);
+        assert_eq!(j.len(), 3); // (a,x)+(x,a), (b,y)+(y,b), (c,x)+(x,a)
+        assert!(r1.join(&r2, &[(9, 0)]).is_err());
+    }
+
+    #[test]
+    fn sorted_by_orders_rows() {
+        let mut t = OidTable::new();
+        let (n1, n2, n3) = (t.int(3), t.int(1), t.int(2));
+        let r: Relation = [vec![n1], vec![n2], vec![n3]].into_iter().collect();
+        let sorted = r.sorted_by(&[0], |a, b| t.display_cmp(a, b));
+        let vals: Vec<f64> = sorted
+            .iter()
+            .map(|row| t.as_number(row[0]).unwrap())
+            .collect();
+        assert_eq!(vals, vec![1.0, 2.0, 3.0]);
+    }
+}

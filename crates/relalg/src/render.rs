@@ -1,0 +1,117 @@
+//! Deterministic textual rendering of relations — the output format of
+//! the `paper_examples` harness and the examples.
+
+use crate::relation::Relation;
+use oodb::OidTable;
+
+/// Renders a relation as an aligned ASCII table, rows in deterministic
+/// order, OIDs rendered the way the paper writes them.
+pub fn render_table(rel: &Relation, oids: &OidTable) -> String {
+    let header: Vec<String> = rel.columns().to_vec();
+    let rows: Vec<Vec<String>> = rel
+        .iter()
+        .map(|t| t.iter().map(|&o| oids.render(o)).collect())
+        .collect();
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for r in &rows {
+        for (w, cell) in widths.iter_mut().zip(r.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let rule = |out: &mut String| {
+        out.push('+');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('+');
+        }
+        out.push('\n');
+    };
+    let row_line = |out: &mut String, cells: &[String]| {
+        out.push('|');
+        for (i, w) in widths.iter().enumerate().take(ncols) {
+            let cell = cells.get(i).map(String::as_str).unwrap_or("");
+            out.push(' ');
+            out.push_str(cell);
+            out.push_str(&" ".repeat(w - cell.len() + 1));
+            out.push('|');
+        }
+        out.push('\n');
+    };
+    rule(&mut out);
+    row_line(&mut out, &header);
+    rule(&mut out);
+    for r in &rows {
+        row_line(&mut out, r);
+    }
+    rule(&mut out);
+    out.push_str(&format!(
+        "{} tuple{}\n",
+        rows.len(),
+        if rows.len() == 1 { "" } else { "s" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut t = OidTable::new();
+        let a = t.sym("acme");
+        let n = t.int(35000);
+        let mut r = Relation::new(["CompName", "Salary"]);
+        r.insert(vec![a, n]);
+        let s = render_table(&r, &t);
+        assert!(s.contains("CompName"));
+        assert!(s.contains("acme"));
+        assert!(s.contains("35000"));
+        assert!(s.contains("1 tuple"));
+    }
+
+    #[test]
+    fn empty_relation_renders() {
+        let t = OidTable::new();
+        let r = Relation::new(["X"]);
+        let s = render_table(&r, &t);
+        assert!(s.contains("0 tuples"));
+    }
+}
+
+#[cfg(test)]
+mod alignment_tests {
+    use super::*;
+    use crate::relation::Relation;
+    use oodb::OidTable;
+
+    #[test]
+    fn columns_align_across_rows() {
+        let mut t = OidTable::new();
+        let long = t.str("a rather long value");
+        let short = t.int(1);
+        let mut r = Relation::new(["V"]);
+        r.insert(vec![long]);
+        r.insert(vec![short]);
+        let s = render_table(&r, &t);
+        let widths: std::collections::BTreeSet<usize> =
+            s.lines().filter(|l| l.starts_with('|')).map(str::len).collect();
+        assert_eq!(widths.len(), 1, "ragged table:\n{s}");
+    }
+
+    #[test]
+    fn id_terms_render_functionally() {
+        let mut t = OidTable::new();
+        let f = t.sym("CompSalaries");
+        let a = t.sym("uniSQL");
+        let b = t.sym("john13");
+        let o = t.func(f, &[a, b]);
+        let mut r = Relation::new(["V"]);
+        r.insert(vec![o]);
+        let s = render_table(&r, &t);
+        assert!(s.contains("CompSalaries(uniSQL, john13)"), "{s}");
+    }
+}

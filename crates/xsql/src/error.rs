@@ -1,0 +1,98 @@
+//! Error type for the XSQL language pipeline.
+
+use oodb::DbError;
+use std::fmt;
+
+/// Errors from lexing, parsing, resolution, typing or evaluation of
+/// XSQL statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XsqlError {
+    /// Lexical error at a byte offset.
+    Lex {
+        /// Byte offset in the source.
+        offset: usize,
+        /// Human-readable message.
+        message: String,
+    },
+    /// Syntax error at a byte offset.
+    Parse {
+        /// Byte offset in the source.
+        offset: usize,
+        /// Human-readable message.
+        message: String,
+    },
+    /// Static resolution error (sort clashes, unknown constructs).
+    Resolve(String),
+    /// A variable was used where a bound value was required (e.g. inside
+    /// a comparison operand before any generator could bind it).
+    Unbound(String),
+    /// A path expression used in scalar context produced several values
+    /// (§3.3 requires scalar path expressions in the SELECT list).
+    NotScalar(String),
+    /// Ill-defined object-creating query: the id-function assigned the
+    /// same OID two conflicting descriptions (§4.1, "a run-time error").
+    IllDefined(String),
+    /// A view update could not be translated to a database update (no
+    /// one-to-one correspondence, §4.2).
+    ViewUpdate(String),
+    /// The query failed the requested static typing discipline (§6.2).
+    IllTyped(String),
+    /// An aggregate/arithmetic operand was not numeric.
+    NotNumeric(String),
+    /// Error propagated from the database engine.
+    Db(DbError),
+    /// Evaluation exceeded the configured work limit (guards the naive
+    /// engine on large domains).
+    WorkLimit(u64),
+}
+
+impl XsqlError {
+    pub(crate) fn lex(offset: usize, message: &str) -> Self {
+        XsqlError::Lex {
+            offset,
+            message: message.to_string(),
+        }
+    }
+
+    pub(crate) fn parse(offset: usize, message: impl Into<String>) -> Self {
+        XsqlError::Parse {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for XsqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XsqlError::Lex { offset, message } => {
+                write!(f, "lexical error at byte {offset}: {message}")
+            }
+            XsqlError::Parse { offset, message } => {
+                write!(f, "syntax error at byte {offset}: {message}")
+            }
+            XsqlError::Resolve(m) => write!(f, "resolution error: {m}"),
+            XsqlError::Unbound(v) => write!(f, "variable `{v}` is not bound at its use site"),
+            XsqlError::NotScalar(m) => {
+                write!(f, "path expression is not scalar in scalar context: {m}")
+            }
+            XsqlError::IllDefined(m) => write!(f, "ill-defined query (run-time error): {m}"),
+            XsqlError::ViewUpdate(m) => write!(f, "view update not translatable: {m}"),
+            XsqlError::IllTyped(m) => write!(f, "query is not well-typed: {m}"),
+            XsqlError::NotNumeric(m) => write!(f, "non-numeric operand: {m}"),
+            XsqlError::Db(e) => write!(f, "database error: {e}"),
+            XsqlError::WorkLimit(n) => write!(f, "evaluation exceeded work limit of {n} steps"),
+        }
+    }
+}
+
+impl std::error::Error for XsqlError {}
+
+impl From<DbError> for XsqlError {
+    fn from(e: DbError) -> Self {
+        XsqlError::Db(e)
+    }
+}
+
+/// Result alias for the XSQL pipeline.
+pub type XsqlResult<T> = Result<T, XsqlError>;

@@ -1,0 +1,101 @@
+//! Variable bindings with stack discipline for backtracking search.
+
+use oodb::Oid;
+
+/// A substitution of OIDs for variables, maintained as a stack so the
+/// nested-loop evaluator can bind on descent and truncate on backtrack.
+/// Variable names borrow from the (resolved) query AST.
+#[derive(Debug, Default, Clone)]
+pub struct Bindings<'q> {
+    stack: Vec<(&'q str, Oid)>,
+}
+
+/// A mark returned by [`Bindings::mark`]; truncating to it undoes every
+/// binding pushed since.
+#[derive(Debug, Clone, Copy)]
+pub struct Mark(usize);
+
+impl<'q> Bindings<'q> {
+    /// An empty substitution.
+    pub fn new() -> Self {
+        Bindings::default()
+    }
+
+    /// Value bound to `name`, if any. Later bindings shadow earlier ones
+    /// (they never coexist in practice — a variable is bound once per
+    /// branch — but scanning from the top keeps the invariant cheap).
+    pub fn get(&self, name: &str) -> Option<Oid> {
+        self.stack
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, o)| o)
+    }
+
+    /// True if `name` is bound.
+    pub fn is_bound(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Pushes a binding.
+    pub fn push(&mut self, name: &'q str, value: Oid) {
+        self.stack.push((name, value));
+    }
+
+    /// Current stack position.
+    pub fn mark(&self) -> Mark {
+        Mark(self.stack.len())
+    }
+
+    /// Pops bindings back to `mark`.
+    pub fn truncate(&mut self, mark: Mark) {
+        self.stack.truncate(mark.0);
+    }
+
+    /// Number of live bindings.
+    pub fn len(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// True when no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.stack.is_empty()
+    }
+
+    /// Iterates over live bindings (bottom to top).
+    pub fn iter(&self) -> impl Iterator<Item = (&'q str, Oid)> + '_ {
+        self.stack.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb::OidTable;
+
+    #[test]
+    fn push_get_truncate() {
+        let mut t = OidTable::new();
+        let (a, b) = (t.sym("a"), t.sym("b"));
+        let mut bnd = Bindings::new();
+        assert!(bnd.get("X").is_none());
+        bnd.push("X", a);
+        let m = bnd.mark();
+        bnd.push("Y", b);
+        assert_eq!(bnd.get("X"), Some(a));
+        assert_eq!(bnd.get("Y"), Some(b));
+        bnd.truncate(m);
+        assert_eq!(bnd.get("X"), Some(a));
+        assert!(bnd.get("Y").is_none());
+    }
+
+    #[test]
+    fn shadowing_reads_latest() {
+        let mut t = OidTable::new();
+        let (a, b) = (t.sym("a"), t.sym("b"));
+        let mut bnd = Bindings::new();
+        bnd.push("X", a);
+        bnd.push("X", b);
+        assert_eq!(bnd.get("X"), Some(b));
+    }
+}

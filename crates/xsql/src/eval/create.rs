@@ -1,0 +1,190 @@
+//! Object-creating queries (§4.1): `OID FUNCTION OF`.
+//!
+//! Evaluation is two-phase: a read-only solve collects, per id-function
+//! key, the attribute descriptions each satisfying binding contributes;
+//! then the mutation phase interns the id-terms, registers the new
+//! objects and stores their state. Two bindings with the same key that
+//! contribute *different* values to a non-grouped attribute are "two
+//! conflicting descriptions of the same object … an ill-defined query (a
+//! run-time error)" — exactly the paper's semantics.
+
+use super::bindings::Bindings;
+use super::select::{prepare, solve_query};
+use super::value::Cell;
+use super::{Ctx, EvalOptions};
+use crate::ast::*;
+use crate::error::{XsqlError, XsqlResult};
+use oodb::{Database, Oid};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How an attribute of the created objects gets its value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AttrKind {
+    /// Per-binding expression; all bindings with the same key must
+    /// agree.
+    Plain,
+    /// `{W}` accumulation across bindings (§4.1 query (8)).
+    Grouped,
+}
+
+/// Accumulated description of one object-to-be.
+#[derive(Debug, Default)]
+struct Pending {
+    /// attr -> distinct observed value vectors (plain attributes).
+    plain: BTreeMap<String, BTreeSet<Vec<Cell>>>,
+    /// attr -> accumulated members (grouped attributes).
+    grouped: BTreeMap<String, BTreeSet<Cell>>,
+}
+
+/// Runs an object-creating query. `fn_name` is the id-function symbol
+/// (the view name, or a generated one); `class` the class the created
+/// objects become instances of (the view class; `None` for ad-hoc
+/// queries); `sig_set_valued` maps declared attributes to their
+/// set-valuedness when a SIGNATURE clause is available.
+pub fn run_creation(
+    db: &mut Database,
+    q: &SelectQuery,
+    opts: &EvalOptions,
+    fn_name: &str,
+    class: Option<Oid>,
+    sig_set_valued: &BTreeMap<String, bool>,
+) -> XsqlResult<Vec<Oid>> {
+    let spec = q.oid_fn.as_ref().ok_or_else(|| {
+        XsqlError::Resolve("run_creation requires an OID FUNCTION OF clause".into())
+    })?;
+    let key_vars: Vec<&str> = spec.vars.iter().map(|v| v.name.as_str()).collect();
+
+    // Classify the SELECT items.
+    let mut items: Vec<(&str, AttrKind)> = Vec::new();
+    for item in &q.select {
+        match item {
+            SelectItem::Named { attr, value } => match value {
+                SelectValue::Expr(_) => items.push((attr, AttrKind::Plain)),
+                SelectValue::Grouped(_) => items.push((attr, AttrKind::Grouped)),
+            },
+            other => {
+                return Err(XsqlError::Resolve(format!(
+                    "object-creating queries must name their attributes \
+                     (`Attr = expr`); found {other:?}"
+                )))
+            }
+        }
+    }
+
+    // Phase 1: read-only solve, accumulate descriptions per key.
+    let mut pending: BTreeMap<Vec<Oid>, Pending> = BTreeMap::new();
+    {
+        let ctx = Ctx::new(db, opts);
+        let prep = prepare(q);
+        let outer = Bindings::new();
+        solve_query(&ctx, q, &prep, &outer, &mut |ctx2, bnd| {
+            let mut key = Vec::with_capacity(key_vars.len());
+            for v in &key_vars {
+                match bnd.get(v) {
+                    Some(o) => key.push(o),
+                    None => return Err(XsqlError::Unbound((*v).to_string())),
+                }
+            }
+            let entry = pending.entry(key).or_default();
+            for item in &q.select {
+                let SelectItem::Named { attr, value } = item else {
+                    unreachable!()
+                };
+                match value {
+                    SelectValue::Expr(op) => {
+                        let elems = ctx2.operand_value(op, bnd)?;
+                        let cells: Vec<Cell> = elems.into_iter().map(Cell::from).collect();
+                        entry.plain.entry(attr.clone()).or_default().insert(cells);
+                    }
+                    SelectValue::Grouped(v) => {
+                        if let Some(o) = bnd.get(&v.name) {
+                            entry
+                                .grouped
+                                .entry(attr.clone())
+                                .or_default()
+                                .insert(Cell::Obj(o));
+                        }
+                    }
+                }
+            }
+            Ok(())
+        })?;
+    }
+
+    // Phase 2: conflict-check, intern, register, store.
+    let fn_sym = db.oids_mut().sym(fn_name);
+    let mut created = Vec::with_capacity(pending.len());
+    for (key, entry) in pending {
+        let oid = db.oids_mut().func(fn_sym, &key);
+        let classes: Vec<Oid> = class.into_iter().collect();
+        db.register_individual(oid, &classes)?;
+        created.push(oid);
+        for (attr, kind) in &items {
+            let m = db.oids_mut().sym(attr);
+            match kind {
+                AttrKind::Grouped => {
+                    let members = entry.grouped.get(*attr).cloned().unwrap_or_default();
+                    let oids: Vec<Oid> = members
+                        .into_iter()
+                        .map(|c| c.into_oid(db.oids_mut()))
+                        .collect();
+                    db.set_set(oid, m, &[], oids)?;
+                }
+                AttrKind::Plain => {
+                    let observed = entry.plain.get(*attr).cloned().unwrap_or_default();
+                    if observed.len() > 1 {
+                        // §4.1: "two conflicting descriptions of the
+                        // same object … an ill-defined query".
+                        let mut it = observed.iter();
+                        let a = render_cells(db, it.next().unwrap());
+                        let b = render_cells(db, it.next().unwrap());
+                        return Err(XsqlError::IllDefined(format!(
+                            "object {} receives conflicting values for `{attr}`: {a} vs {b}",
+                            db.render(oid)
+                        )));
+                    }
+                    let Some(cells) = observed.into_iter().next() else {
+                        continue;
+                    };
+                    if cells.is_empty() {
+                        // Undefined attribute for this object: a null.
+                        continue;
+                    }
+                    let set_valued = sig_set_valued
+                        .get(*attr)
+                        .copied()
+                        .unwrap_or(cells.len() > 1);
+                    if set_valued {
+                        let oids: Vec<Oid> = cells
+                            .into_iter()
+                            .map(|c| c.into_oid(db.oids_mut()))
+                            .collect();
+                        db.set_set(oid, m, &[], oids)?;
+                    } else {
+                        if cells.len() > 1 {
+                            return Err(XsqlError::IllDefined(format!(
+                                "scalar attribute `{attr}` of {} received {} values",
+                                db.render(oid),
+                                cells.len()
+                            )));
+                        }
+                        let v = cells[0].into_oid(db.oids_mut());
+                        db.set_scalar(oid, m, &[], v)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(created)
+}
+
+fn render_cells(db: &Database, cells: &[Cell]) -> String {
+    let parts: Vec<String> = cells
+        .iter()
+        .map(|c| match c {
+            Cell::Obj(o) => db.render(*o),
+            Cell::Num(n) => format!("{}", n.get()),
+        })
+        .collect();
+    format!("{{{}}}", parts.join(", "))
+}

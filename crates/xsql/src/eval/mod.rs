@@ -1,0 +1,390 @@
+//! Query evaluation.
+//!
+//! Three engines implement the same semantics (differentially tested):
+//!
+//! * **Naive** — the specification of §3.4 verbatim: consider all
+//!   substitutions of OIDs for variables over the active domain of each
+//!   sort, check the FROM and WHERE clauses per substitution. Exponential;
+//!   used as ground truth on small databases.
+//! * **Pipelined** — the nested-loop strategy the paper describes in §6.2
+//!   ("each path expression is evaluated by a sequence of nested loops"):
+//!   conjuncts are scheduled greedily, path expressions act as generators
+//!   that bind variables by traversal, comparisons as filters.
+//! * **Typed** — pipelined plus the Theorem 6.1 optimization: variable
+//!   instantiation restricted to the ranges of a coherent type assignment
+//!   and evaluation ordered by its execution plan (see `crate::typing`).
+
+pub mod bindings;
+pub mod cond;
+pub mod create;
+pub mod method;
+pub mod path;
+pub mod select;
+pub mod update;
+pub mod value;
+pub mod vars;
+pub mod view;
+
+use crate::ast::SelectQuery;
+use crate::error::{XsqlError, XsqlResult};
+use oodb::{Database, Oid};
+use std::cell::Cell as StdCell;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Evaluation strategy (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// §3.4 specification semantics: full domain enumeration.
+    Naive,
+    /// Nested-loop generators/filters with greedy scheduling.
+    #[default]
+    Pipelined,
+}
+
+/// Evaluation options.
+#[derive(Debug, Clone)]
+pub struct EvalOptions {
+    /// Which engine to use.
+    pub strategy: Strategy,
+    /// Hard cap on evaluation steps (ticks); exceeded → `WorkLimit`
+    /// error. Guards the naive engine on non-toy databases.
+    pub work_limit: u64,
+    /// Maximum number of hops a path variable (`X.*P.City`) may take.
+    pub path_var_limit: usize,
+    /// Use the database's inverted method index to seed head-unbound
+    /// path expressions (candidates restricted to objects on which the
+    /// first step's method may be defined — cf. \[BERT89\]). Sound:
+    /// the candidate set is a superset of the satisfying heads. Off in
+    /// benchmarks that measure the unindexed engine.
+    pub use_method_index: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            strategy: Strategy::Pipelined,
+            work_limit: 200_000_000,
+            path_var_limit: 4,
+            use_method_index: true,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// Options selecting the naive §3.4 engine.
+    pub fn naive() -> Self {
+        EvalOptions {
+            strategy: Strategy::Naive,
+            ..EvalOptions::default()
+        }
+    }
+}
+
+/// Per-variable instantiation ranges computed by the typing system
+/// (Theorem 6.1.2: "it suffices to consider only those instantiations o
+/// of X such that o ∈ A(X)"). Maps variable name to the admissible OIDs.
+pub type Ranges = BTreeMap<String, BTreeSet<Oid>>;
+
+/// Shared read-only evaluation context. Public so benchmarks and the
+/// typing system can drive the engine directly; most users go through
+/// [`crate::Session`] or [`eval_select`].
+pub struct Ctx<'d> {
+    /// The database under query.
+    pub db: &'d Database,
+    /// Evaluation options.
+    pub opts: &'d EvalOptions,
+    /// Work counter (ticks).
+    pub work: StdCell<u64>,
+    /// Computed-method invocation depth (recursion guard).
+    pub depth: usize,
+    /// Optional Theorem 6.1 ranges (typed strategy).
+    pub ranges: Option<&'d Ranges>,
+}
+
+impl<'d> Ctx<'d> {
+    /// A fresh context over a database.
+    pub fn new(db: &'d Database, opts: &'d EvalOptions) -> Self {
+        Ctx {
+            db,
+            opts,
+            work: StdCell::new(0),
+            depth: 0,
+            ranges: None,
+        }
+    }
+
+    /// A context whose variable domains are narrowed by Theorem 6.1
+    /// ranges.
+    pub fn with_ranges(db: &'d Database, opts: &'d EvalOptions, ranges: &'d Ranges) -> Self {
+        Ctx {
+            ranges: Some(ranges),
+            ..Ctx::new(db, opts)
+        }
+    }
+
+    /// Accounts one unit of work; errors when the limit is exceeded.
+    #[inline]
+    pub fn tick(&self) -> XsqlResult<()> {
+        let w = self.work.get() + 1;
+        self.work.set(w);
+        if w > self.opts.work_limit {
+            Err(XsqlError::WorkLimit(self.opts.work_limit))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Work performed so far (exposed for benchmarks/diagnostics).
+    pub fn work_done(&self) -> u64 {
+        self.work.get()
+    }
+
+    /// The instantiation domain of a variable: its Theorem 6.1 range if
+    /// one was computed, otherwise the active domain of its sort.
+    pub fn var_domain(&self, name: &str, sort: crate::ast::VarSort) -> Vec<Oid> {
+        if let Some(rs) = self.ranges {
+            if let Some(set) = rs.get(name) {
+                return set.iter().copied().collect();
+            }
+        }
+        self.domain(sort)
+    }
+}
+
+/// Evaluates a resolved SELECT query read-only and returns a relation.
+/// Object-creating queries (with `OID FUNCTION OF`) must go through
+/// [`crate::Session::run`] instead. Errors if the SELECT list produces
+/// computed numerals (aggregates/arithmetic) — those need interning; use
+/// a `Session` for that as well.
+pub fn eval_select(
+    db: &Database,
+    q: &SelectQuery,
+    opts: &EvalOptions,
+) -> XsqlResult<relalg::Relation> {
+    let ctx = Ctx::new(db, opts);
+    select::eval_to_relation(&ctx, q)
+}
+
+/// As [`eval_select`] with Theorem 6.1 ranges restricting variable
+/// instantiation (typed evaluation).
+pub fn eval_select_ranged(
+    db: &Database,
+    q: &SelectQuery,
+    opts: &EvalOptions,
+    ranges: &Ranges,
+) -> XsqlResult<relalg::Relation> {
+    let ctx = Ctx::with_ranges(db, opts, ranges);
+    select::eval_to_relation(&ctx, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::resolve::resolve_stmt;
+    use oodb::DbBuilder;
+
+    /// A miniature Figure 1 instance: two people, a company, vehicles.
+    fn mini_db() -> Database {
+        let mut b = DbBuilder::new();
+        b.class("Person");
+        b.subclass("Employee", &["Person"]);
+        b.class("Address");
+        b.class("Company");
+        b.class("Vehicle");
+        b.subclass("Automobile", &["Vehicle"]);
+        b.attr("Person", "Name", "String");
+        b.attr("Person", "Age", "Numeral");
+        b.attr("Person", "Residence", "Address");
+        b.set_attr("Person", "OwnedVehicles", "Vehicle");
+        b.set_attr("Employee", "FamMembers", "Person");
+        b.attr("Employee", "Salary", "Numeral");
+        b.attr("Address", "City", "String");
+        b.attr("Company", "Name", "String");
+        b.attr("Company", "President", "Person");
+        b.attr("Vehicle", "Manufacturer", "Company");
+        b.attr("Vehicle", "Color", "String");
+
+        let addr_ny = b.obj("addr_ny", "Address");
+        b.set_str(addr_ny, "City", "newyork");
+        let addr_sf = b.obj("addr_sf", "Address");
+        b.set_str(addr_sf, "City", "sanfrancisco");
+
+        let mary = b.obj("mary123", "Employee");
+        b.set_str(mary, "Name", "Mary");
+        b.set_int(mary, "Age", 41);
+        b.set(mary, "Residence", addr_ny);
+        b.set_int(mary, "Salary", 30000);
+
+        let john = b.obj("john13", "Employee");
+        b.set_str(john, "Name", "John");
+        b.set_int(john, "Age", 25);
+        b.set(john, "Residence", addr_sf);
+        b.set_int(john, "Salary", 60000);
+        b.set_many(john, "FamMembers", &[mary]);
+
+        let uni = b.obj("uniSQL", "Company");
+        b.set_str(uni, "Name", "UniSQL");
+        b.set(uni, "President", john);
+
+        let car = b.obj("car1", "Automobile");
+        b.set(car, "Manufacturer", uni);
+        b.set_str(car, "Color", "red");
+        b.set_many(john, "OwnedVehicles", &[car]);
+
+        b.build()
+    }
+
+    fn run(db: &mut Database, src: &str, opts: &EvalOptions) -> relalg::Relation {
+        let stmt = parse(src).unwrap();
+        let stmt = resolve_stmt(db, &stmt).unwrap();
+        match stmt {
+            crate::ast::Stmt::Select(q) => eval_select(db, &q, opts).unwrap(),
+            s => panic!("expected select, got {s:?}"),
+        }
+    }
+
+    fn names(db: &Database, rel: &relalg::Relation) -> Vec<String> {
+        rel.iter().map(|t| db.render(t[0])).collect()
+    }
+
+    #[test]
+    fn ground_path_query() {
+        let mut db = mini_db();
+        let r = run(
+            &mut db,
+            "SELECT Y FROM Person X WHERE X.Residence[Y].City['newyork']",
+            &EvalOptions::default(),
+        );
+        assert_eq!(names(&db, &r), vec!["addr_ny"]);
+    }
+
+    #[test]
+    fn nobel_style_open_query() {
+        let mut db = mini_db();
+        // Which objects have a defined, non-empty FamMembers?
+        let r = run(&mut db, "SELECT X WHERE X.FamMembers", &EvalOptions::default());
+        assert_eq!(names(&db, &r), vec!["john13"]);
+    }
+
+    #[test]
+    fn attribute_variable_query() {
+        let mut db = mini_db();
+        // Query (3): which attribute leads from a person to newyork?
+        let r = run(
+            &mut db,
+            "SELECT Y FROM Person X WHERE X.\"Y.City['newyork']",
+            &EvalOptions::default(),
+        );
+        assert_eq!(names(&db, &r), vec!["Residence"]);
+    }
+
+    #[test]
+    fn quantified_comparison() {
+        let mut db = mini_db();
+        let r = run(
+            &mut db,
+            "SELECT X FROM Employee X WHERE X.FamMembers.Age some> 20",
+            &EvalOptions::default(),
+        );
+        assert_eq!(names(&db, &r), vec!["john13"]);
+    }
+
+    #[test]
+    fn explicit_join() {
+        let mut db = mini_db();
+        let r = run(
+            &mut db,
+            "SELECT X, Y FROM Company X, Automobile Y WHERE Y.Manufacturer[X]",
+            &EvalOptions::default(),
+        );
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn pipelined_matches_naive() {
+        let mut db = mini_db();
+        for q in [
+            "SELECT X FROM Employee X WHERE X.FamMembers.Age some> 20",
+            "SELECT Y FROM Person X WHERE X.Residence[Y].City['newyork']",
+            "SELECT X WHERE X.FamMembers",
+            "SELECT X, Y FROM Company X, Automobile Y WHERE Y.Manufacturer[X]",
+            "SELECT X FROM Person X WHERE not X.FamMembers",
+            "SELECT X FROM Person X WHERE X.Age > 30 or X.Salary > 50000",
+        ] {
+            let fast = run(&mut db, q, &EvalOptions::default());
+            let naive = run(&mut db, q, &EvalOptions::naive());
+            assert_eq!(fast, naive, "strategies disagree on {q}");
+        }
+    }
+
+    #[test]
+    fn subclass_query() {
+        let mut db = mini_db();
+        let r = run(
+            &mut db,
+            "SELECT #X WHERE Automobile subclassOf #X",
+            &EvalOptions::default(),
+        );
+        let mut got = names(&db, &r);
+        got.sort();
+        assert_eq!(got, vec!["Object", "Vehicle"]);
+    }
+
+    #[test]
+    fn aggregate_filter() {
+        let mut db = mini_db();
+        let r = run(
+            &mut db,
+            "SELECT X FROM Employee X WHERE count(X.FamMembers) >= 1 and X.Salary > 35000",
+            &EvalOptions::default(),
+        );
+        assert_eq!(names(&db, &r), vec!["john13"]);
+    }
+
+    #[test]
+    fn path_variable_navigation() {
+        let mut db = mini_db();
+        let r = run(
+            &mut db,
+            "SELECT X FROM Person X WHERE X.*P.City['newyork']",
+            &EvalOptions::default(),
+        );
+        // mary lives in newyork directly; john reaches it through
+        // FamMembers.Residence.City - both sequences are admissible.
+        assert_eq!(names(&db, &r), vec!["mary123", "john13"]);
+    }
+
+    #[test]
+    fn correlated_subquery() {
+        let mut db = mini_db();
+        // Companies whose president's family members are all older than 30.
+        let r = run(
+            &mut db,
+            "SELECT X FROM Company X WHERE 30 <all (SELECT W FROM Person Z \
+             WHERE X.President.FamMembers[Z].Age[W])",
+            &EvalOptions::default(),
+        );
+        assert_eq!(names(&db, &r), vec!["uniSQL"]);
+    }
+
+    #[test]
+    fn work_limit_enforced() {
+        let mut db = mini_db();
+        let stmt = parse("SELECT X, Y, Z FROM Person X, Person Y, Person Z").unwrap();
+        let stmt = resolve_stmt(&mut db, &stmt).unwrap();
+        let opts = EvalOptions {
+            work_limit: 3,
+            ..EvalOptions::default()
+        };
+        match stmt {
+            crate::ast::Stmt::Select(q) => {
+                assert!(matches!(
+                    eval_select(&db, &q, &opts),
+                    Err(XsqlError::WorkLimit(3))
+                ));
+            }
+            _ => unreachable!(),
+        }
+    }
+}

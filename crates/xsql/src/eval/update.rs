@@ -1,0 +1,145 @@
+//! UPDATE execution (§5): `UPDATE CLASS c SET path = expr, …`.
+//!
+//! Each assignment's target path is walked up to (but excluding) its
+//! last step, enumerating any unbound variables; the last step names the
+//! attribute/method entry to write on each reached object. The value
+//! operand is evaluated per binding. Collection is read-only; writes are
+//! applied afterwards, so an update never observes its own effects
+//! within one assignment (the conjunct-level left-to-right order of §5
+//! is preserved across assignments and across UPDATE conjuncts).
+
+use super::bindings::Bindings;
+use super::value::Cell;
+use super::{Ctx, EvalOptions};
+use crate::ast::*;
+use crate::error::{XsqlError, XsqlResult};
+use oodb::{Database, Oid};
+
+/// One pending write.
+#[derive(Debug)]
+struct Write {
+    recv: Oid,
+    method_name: String,
+    args: Vec<Oid>,
+    cells: Vec<Cell>,
+}
+
+/// Executes an update statement under the given base bindings (empty
+/// for a stand-alone statement; the enclosing method's bindings for an
+/// UPDATE conjunct). Returns the number of entries written.
+pub fn exec_update(
+    db: &mut Database,
+    u: &UpdateStmt,
+    base: &[(String, Oid)],
+    opts: &EvalOptions,
+) -> XsqlResult<usize> {
+    // The named class is a scoping declaration; validate it exists.
+    let class_oid = db
+        .oids()
+        .find_sym(&u.class)
+        .filter(|&c| db.is_class(c))
+        .ok_or_else(|| XsqlError::Resolve(format!("unknown class `{}` in UPDATE", u.class)))?;
+    let _ = class_oid;
+
+    let mut written = 0usize;
+    for a in &u.assignments {
+        let writes = collect_writes(db, a, base, opts)?;
+        for w in writes {
+            let m = db.oids_mut().sym(&w.method_name);
+            let set_valued = db
+                .signatures_of_method(m, w.args.len())
+                .iter()
+                .any(|(_, s)| s.set_valued);
+            if set_valued || w.cells.len() > 1 {
+                let oids: Vec<Oid> = w
+                    .cells
+                    .into_iter()
+                    .map(|c| c.into_oid(db.oids_mut()))
+                    .collect();
+                db.set_set(w.recv, m, &w.args, oids)?;
+            } else if let Some(&cell) = w.cells.first() {
+                let v = cell.into_oid(db.oids_mut());
+                db.set_scalar(w.recv, m, &w.args, v)?;
+            } else {
+                // Empty value: the attribute becomes undefined (null).
+                db.remove_value(w.recv, m, &w.args);
+            }
+            written += 1;
+        }
+    }
+    Ok(written)
+}
+
+fn collect_writes(
+    db: &Database,
+    a: &Assignment,
+    base: &[(String, Oid)],
+    opts: &EvalOptions,
+) -> XsqlResult<Vec<Write>> {
+    let Some((last, prefix_steps)) = a.target.steps.split_last() else {
+        return Err(XsqlError::Resolve(
+            "UPDATE target must be a path with at least one step".into(),
+        ));
+    };
+    let Step::Method {
+        method,
+        args,
+        selector,
+    } = last
+    else {
+        return Err(XsqlError::Resolve(
+            "UPDATE target cannot end in a path variable".into(),
+        ));
+    };
+    if selector.is_some() {
+        return Err(XsqlError::Resolve(
+            "UPDATE target's final step cannot carry a selector".into(),
+        ));
+    }
+    let prefix = PathExpr {
+        head: a.target.head.clone(),
+        steps: prefix_steps.to_vec(),
+    };
+
+    let ctx = Ctx::new(db, opts);
+    let mut bnd = Bindings::new();
+    for (n, o) in base {
+        bnd.push(n, *o);
+    }
+    let mut writes = Vec::new();
+    ctx.walk_path(&prefix, &mut bnd, &mut |recv, bnd2| {
+        let method_name = match method {
+            MethodTerm::Name(n) => n.clone(),
+            MethodTerm::Var(v) => {
+                let m = bnd2
+                    .get(v)
+                    .ok_or_else(|| XsqlError::Unbound(v.clone()))?;
+                ctx.db
+                    .oids()
+                    .sym_name(m)
+                    .ok_or_else(|| XsqlError::Resolve("method variable bound to non-symbol".into()))?
+                    .to_string()
+            }
+        };
+        let mut argv = Vec::with_capacity(args.len());
+        for t in args {
+            match ctx.eval_idterm(t, bnd2)? {
+                Some(o) => argv.push(o),
+                None => return Ok(()), // argument denotes nothing: skip
+            }
+        }
+        let cells: Vec<Cell> = ctx
+            .operand_value(&a.value, bnd2)?
+            .into_iter()
+            .map(Cell::from)
+            .collect();
+        writes.push(Write {
+            recv,
+            method_name,
+            args: argv,
+            cells,
+        });
+        Ok(())
+    })?;
+    Ok(writes)
+}

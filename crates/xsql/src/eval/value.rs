@@ -1,0 +1,427 @@
+//! Operand values, quantified comparisons (§3.2), set comparators and
+//! aggregates.
+
+use super::bindings::Bindings;
+use super::Ctx;
+use crate::ast::*;
+use crate::error::{XsqlError, XsqlResult};
+use oodb::{Oid, OidData};
+
+/// One element of an operand value: an existing object or a computed
+/// number (result of an aggregate or arithmetic — numbers only become
+/// objects when something needs to store them, which requires interning).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Elem {
+    /// An object.
+    Obj(Oid),
+    /// A computed numeral (not yet interned).
+    Num(f64),
+}
+
+impl<'d> Ctx<'d> {
+    fn elem_number(&self, e: Elem) -> Option<f64> {
+        match e {
+            Elem::Num(n) => Some(n),
+            Elem::Obj(o) => self.db.oids().as_number(o),
+        }
+    }
+
+    /// Element equality: numerals compare numerically, strings by
+    /// content, everything else by object identity (§2: a numeral's OID
+    /// *is* its value).
+    pub fn elem_eq(&self, a: Elem, b: Elem) -> bool {
+        if let (Some(x), Some(y)) = (self.elem_number(a), self.elem_number(b)) {
+            return x == y;
+        }
+        match (a, b) {
+            (Elem::Obj(x), Elem::Obj(y)) => self.oid_eq(x, y),
+            _ => false,
+        }
+    }
+
+    /// Order comparison; defined on numeral pairs (numeric) and string
+    /// pairs (lexicographic). Anything else is incomparable and the
+    /// comparison is false — a liberal reading: the naive semantics
+    /// quantifies over the whole domain, and "users getting unexpected
+    /// results rather than type errors" is the liberal end of §6's
+    /// spectrum; the typing system is where such errors are caught.
+    fn elem_lt(&self, a: Elem, b: Elem) -> bool {
+        if let (Some(x), Some(y)) = (self.elem_number(a), self.elem_number(b)) {
+            return x < y;
+        }
+        if let (Elem::Obj(x), Elem::Obj(y)) = (a, b) {
+            if let (OidData::Str(s), OidData::Str(t)) =
+                (self.db.oids().get(x), self.db.oids().get(y))
+            {
+                return s < t;
+            }
+        }
+        false
+    }
+
+    fn elem_cmp(&self, op: CmpOp, a: Elem, b: Elem) -> bool {
+        match op {
+            CmpOp::Eq => self.elem_eq(a, b),
+            CmpOp::Ne => !self.elem_eq(a, b),
+            CmpOp::Lt => self.elem_lt(a, b),
+            CmpOp::Gt => self.elem_lt(b, a),
+            CmpOp::Le => self.elem_lt(a, b) || self.elem_eq(a, b),
+            CmpOp::Ge => self.elem_lt(b, a) || self.elem_eq(a, b),
+        }
+    }
+
+    /// Evaluates an operand to its element set under fully-determined
+    /// bindings (the scheduler guarantees variables are bound).
+    pub fn operand_value<'q>(&self, op: &'q Operand, bnd: &Bindings<'q>) -> XsqlResult<Vec<Elem>> {
+        match op {
+            Operand::Path(p) => Ok(self
+                .path_value(p, bnd)?
+                .into_iter()
+                .map(Elem::Obj)
+                .collect()),
+            Operand::Agg(f, p) => {
+                let v = self.path_value(p, bnd)?;
+                self.aggregate(*f, &v)
+            }
+            Operand::SetLit(ts) => {
+                let mut out = Vec::with_capacity(ts.len());
+                for t in ts {
+                    if let Some(o) = self.eval_idterm(t, bnd)? {
+                        let e = Elem::Obj(o);
+                        if !out.iter().any(|&x| self.elem_eq(x, e)) {
+                            out.push(e);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Operand::Subquery(q) => {
+                let (_, rows) = super::select::eval_rows_under(self, q, bnd)?;
+                let mut out = Vec::new();
+                for row in rows {
+                    if row.len() != 1 {
+                        return Err(XsqlError::NotScalar(
+                            "nested subquery must select a single column".into(),
+                        ));
+                    }
+                    let e = row[0].to_elem();
+                    if !out.iter().any(|&x| self.elem_eq(x, e)) {
+                        out.push(e);
+                    }
+                }
+                Ok(out)
+            }
+            Operand::Arith(a, f, b) => {
+                let x = self.scalar_number(a, bnd)?;
+                let y = self.scalar_number(b, bnd)?;
+                let (Some(x), Some(y)) = (x, y) else {
+                    // Undefined operand: the arithmetic value is
+                    // undefined, hence the empty set (like a null).
+                    return Ok(Vec::new());
+                };
+                let r = match f {
+                    ArithOp::Add => x + y,
+                    ArithOp::Sub => x - y,
+                    ArithOp::Mul => x * y,
+                    ArithOp::Div => {
+                        if y == 0.0 {
+                            return Err(XsqlError::NotNumeric("division by zero".into()));
+                        }
+                        x / y
+                    }
+                };
+                Ok(vec![Elem::Num(r)])
+            }
+            Operand::Union(a, b) => {
+                let mut l = self.operand_value(a, bnd)?;
+                for e in self.operand_value(b, bnd)? {
+                    if !l.iter().any(|&x| self.elem_eq(x, e)) {
+                        l.push(e);
+                    }
+                }
+                Ok(l)
+            }
+            Operand::Intersection(a, b) => {
+                let l = self.operand_value(a, bnd)?;
+                let r = self.operand_value(b, bnd)?;
+                Ok(l.into_iter()
+                    .filter(|&e| r.iter().any(|&x| self.elem_eq(x, e)))
+                    .collect())
+            }
+            Operand::Difference(a, b) => {
+                let l = self.operand_value(a, bnd)?;
+                let r = self.operand_value(b, bnd)?;
+                Ok(l.into_iter()
+                    .filter(|&e| !r.iter().any(|&x| self.elem_eq(x, e)))
+                    .collect())
+            }
+        }
+    }
+
+    /// A scalar numeric value of an operand: the single element,
+    /// converted to a number. `Ok(None)` when the operand's value is
+    /// empty (undefined).
+    fn scalar_number<'q>(&self, op: &'q Operand, bnd: &Bindings<'q>) -> XsqlResult<Option<f64>> {
+        let v = self.operand_value(op, bnd)?;
+        match v.len() {
+            0 => Ok(None),
+            1 => self
+                .elem_number(v[0])
+                .map(Some)
+                .ok_or_else(|| XsqlError::NotNumeric("arithmetic on a non-numeral".into())),
+            _ => Err(XsqlError::NotScalar(
+                "arithmetic operand produced several values".into(),
+            )),
+        }
+    }
+
+    /// Aggregate functions over a path value (§3.2: "passing path
+    /// expressions as arguments to aggregate functions, such as sum,
+    /// count, average").
+    pub fn aggregate(
+        &self,
+        f: AggFunc,
+        value: &std::collections::BTreeSet<Oid>,
+    ) -> XsqlResult<Vec<Elem>> {
+        if f == AggFunc::Count {
+            return Ok(vec![Elem::Num(value.len() as f64)]);
+        }
+        let mut nums = Vec::with_capacity(value.len());
+        for &o in value {
+            match self.db.oids().as_number(o) {
+                Some(n) => nums.push(n),
+                None => {
+                    return Err(XsqlError::NotNumeric(format!(
+                        "aggregate over non-numeral `{}`",
+                        self.db.render(o)
+                    )))
+                }
+            }
+        }
+        if nums.is_empty() {
+            // sum over the empty set is 0; the others are undefined.
+            return Ok(if f == AggFunc::Sum {
+                vec![Elem::Num(0.0)]
+            } else {
+                Vec::new()
+            });
+        }
+        let r = match f {
+            AggFunc::Sum => nums.iter().sum(),
+            AggFunc::Avg => nums.iter().sum::<f64>() / nums.len() as f64,
+            AggFunc::Min => nums.iter().cloned().fold(f64::INFINITY, f64::min),
+            AggFunc::Max => nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            AggFunc::Count => unreachable!(),
+        };
+        Ok(vec![Elem::Num(r)])
+    }
+
+    /// The quantified comparison of §3.2: `L [ql] op [qr] R`. A missing
+    /// quantifier defaults to `some` (the paper omits the quantifier
+    /// exactly when the operand is a singleton, where the two readings
+    /// coincide). Universal quantification over an empty set is
+    /// vacuously true.
+    pub fn compare(
+        &self,
+        left: &[Elem],
+        lq: Option<Quant>,
+        op: CmpOp,
+        rq: Option<Quant>,
+        right: &[Elem],
+    ) -> bool {
+        let lq = lq.unwrap_or(Quant::Some);
+        let rq = rq.unwrap_or(Quant::Some);
+        let inner = |a: Elem| -> bool {
+            match rq {
+                Quant::Some => right.iter().any(|&b| self.elem_cmp(op, a, b)),
+                Quant::All => right.iter().all(|&b| self.elem_cmp(op, a, b)),
+            }
+        };
+        match lq {
+            Quant::Some => left.iter().any(|&a| inner(a)),
+            Quant::All => left.iter().all(|&a| inner(a)),
+        }
+    }
+
+    /// Set comparators (§3.2). `contains`/`subset` are proper,
+    /// `containsEq`/`subsetEq` allow equality.
+    pub fn set_compare(&self, left: &[Elem], op: SetCmpOp, right: &[Elem]) -> bool {
+        let subset_eq = |xs: &[Elem], ys: &[Elem]| {
+            xs.iter()
+                .all(|&x| ys.iter().any(|&y| self.elem_eq(x, y)))
+        };
+        match op {
+            SetCmpOp::SubsetEq => subset_eq(left, right),
+            SetCmpOp::Subset => subset_eq(left, right) && !subset_eq(right, left),
+            SetCmpOp::ContainsEq => subset_eq(right, left),
+            SetCmpOp::Contains => subset_eq(right, left) && !subset_eq(left, right),
+        }
+    }
+}
+
+/// A result cell: an object or a computed number awaiting interning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Cell {
+    /// An existing object.
+    Obj(Oid),
+    /// A computed numeral, stored as total-order bits so rows can live
+    /// in ordered sets.
+    Num(OrdF64),
+}
+
+impl Cell {
+    /// Builds a numeric cell.
+    pub fn num(v: f64) -> Cell {
+        Cell::Num(OrdF64::new(v))
+    }
+
+    /// Converts to an operand element.
+    pub fn to_elem(self) -> Elem {
+        match self {
+            Cell::Obj(o) => Elem::Obj(o),
+            Cell::Num(n) => Elem::Num(n.get()),
+        }
+    }
+
+    /// Converts to an OID, interning computed numerals. Values within
+    /// 1e-9 relative tolerance of an integer are snapped to it, so
+    /// `(1 + 10/100) * 90000` stores the numeral object `99000` rather
+    /// than a float artifact (comparisons are numeric either way).
+    pub fn into_oid(self, oids: &mut oodb::OidTable) -> Oid {
+        match self {
+            Cell::Obj(o) => o,
+            Cell::Num(n) => {
+                let v = n.get();
+                let snapped = v.round();
+                let near_int = (v - snapped).abs() <= 1e-9 * v.abs().max(1.0);
+                if near_int && snapped.abs() < i64::MAX as f64 {
+                    oids.int(snapped as i64)
+                } else {
+                    oids.real(v)
+                }
+            }
+        }
+    }
+}
+
+impl From<Elem> for Cell {
+    fn from(e: Elem) -> Cell {
+        match e {
+            Elem::Obj(o) => Cell::Obj(o),
+            Elem::Num(n) => Cell::num(n),
+        }
+    }
+}
+
+/// A totally-ordered f64 (no NaN by construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct OrdF64(u64);
+
+impl OrdF64 {
+    /// Wraps a non-NaN float.
+    pub fn new(v: f64) -> OrdF64 {
+        assert!(!v.is_nan());
+        let bits = v.to_bits();
+        // Flip so the bit pattern orders like the number.
+        let key = if bits >> 63 == 0 {
+            bits | (1 << 63)
+        } else {
+            !bits
+        };
+        OrdF64(key)
+    }
+
+    /// The wrapped float.
+    pub fn get(self) -> f64 {
+        let key = self.0;
+        let bits = if key >> 63 == 1 {
+            key & !(1 << 63)
+        } else {
+            !key
+        };
+        f64::from_bits(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordf64_roundtrip_and_order() {
+        for v in [-3.5, -0.0, 0.0, 1.0, 2.5, 1e18] {
+            assert_eq!(OrdF64::new(v).get(), v);
+        }
+        assert!(OrdF64::new(-1.0) < OrdF64::new(0.0));
+        assert!(OrdF64::new(0.5) < OrdF64::new(2.0));
+        assert!(OrdF64::new(-5.0) < OrdF64::new(-1.0));
+    }
+}
+
+#[cfg(test)]
+mod compare_tests {
+    use super::*;
+    use crate::ast::{CmpOp, Quant, SetCmpOp};
+    use crate::eval::{Ctx, EvalOptions};
+    use oodb::Database;
+
+    fn ctx_db() -> (Database, EvalOptions) {
+        (Database::new(), EvalOptions::default())
+    }
+
+    #[test]
+    fn quantifier_truth_table() {
+        let (mut db, opts) = ctx_db();
+        let (a, b, c) = (
+            db.oids_mut().int(1),
+            db.oids_mut().int(2),
+            db.oids_mut().int(3),
+        );
+        let ctx = Ctx::new(&db, &opts);
+        let l = vec![Elem::Obj(a), Elem::Obj(b)]; // {1,2}
+        let r = vec![Elem::Obj(b), Elem::Obj(c)]; // {2,3}
+        let some = Option::Some(Quant::Some);
+        let all = Option::Some(Quant::All);
+        // some< : 1 < 2 exists.
+        assert!(ctx.compare(&l, some, CmpOp::Lt, None, &r));
+        // all<all : 2 < 2 fails.
+        assert!(!ctx.compare(&l, all, CmpOp::Lt, all, &r));
+        // all< (some on right): every left has a right above it.
+        assert!(ctx.compare(&l, all, CmpOp::Lt, None, &r));
+        // empty-left all: vacuous truth; empty-left some: false.
+        assert!(ctx.compare(&[], all, CmpOp::Lt, None, &r));
+        assert!(!ctx.compare(&[], None, CmpOp::Lt, None, &r));
+        // empty-right all: vacuous.
+        assert!(ctx.compare(&l, None, CmpOp::Lt, all, &[]));
+    }
+
+    #[test]
+    fn set_comparators_proper_vs_eq() {
+        let (mut db, opts) = ctx_db();
+        let (a, b) = (db.oids_mut().int(1), db.oids_mut().int(2));
+        let ctx = Ctx::new(&db, &opts);
+        let small = vec![Elem::Obj(a)];
+        let big = vec![Elem::Obj(a), Elem::Obj(b)];
+        assert!(ctx.set_compare(&big, SetCmpOp::Contains, &small));
+        assert!(!ctx.set_compare(&big, SetCmpOp::Contains, &big));
+        assert!(ctx.set_compare(&big, SetCmpOp::ContainsEq, &big));
+        assert!(ctx.set_compare(&small, SetCmpOp::Subset, &big));
+        assert!(!ctx.set_compare(&small, SetCmpOp::Subset, &small));
+        assert!(ctx.set_compare(&small, SetCmpOp::SubsetEq, &small));
+    }
+
+    #[test]
+    fn mixed_numeral_kinds_equal() {
+        let (mut db, opts) = ctx_db();
+        let i = db.oids_mut().int(2);
+        let r = db.oids_mut().real(2.0);
+        let ctx = Ctx::new(&db, &opts);
+        assert!(ctx.elem_eq(Elem::Obj(i), Elem::Obj(r)));
+        assert!(ctx.elem_eq(Elem::Obj(i), Elem::Num(2.0)));
+        assert!(ctx.set_compare(
+            &[Elem::Obj(i)],
+            SetCmpOp::SubsetEq,
+            &[Elem::Obj(r)]
+        ));
+    }
+}

@@ -1,0 +1,276 @@
+//! Free-variable collection over the resolved AST.
+
+use crate::ast::*;
+use std::collections::BTreeSet;
+
+/// Collects the variables of an id-term into `out`.
+pub fn idterm_vars<'q>(t: &'q IdTerm, out: &mut BTreeSet<&'q str>) {
+    match t {
+        IdTerm::Var(v) => {
+            out.insert(v.name.as_str());
+        }
+        IdTerm::Func(_, args) => {
+            for a in args {
+                idterm_vars(a, out);
+            }
+        }
+        IdTerm::PathArg(p) => path_vars(p, out),
+        _ => {}
+    }
+}
+
+/// Collects the variables of a path expression.
+pub fn path_vars<'q>(p: &'q PathExpr, out: &mut BTreeSet<&'q str>) {
+    idterm_vars(&p.head, out);
+    for s in &p.steps {
+        match s {
+            Step::Method {
+                method,
+                args,
+                selector,
+            } => {
+                if let MethodTerm::Var(name) = method {
+                    out.insert(name.as_str());
+                }
+                for a in args {
+                    idterm_vars(a, out);
+                }
+                if let Some(t) = selector {
+                    idterm_vars(t, out);
+                }
+            }
+            Step::PathVar { selector, .. } => {
+                // A path variable is existential navigation, not a
+                // first-class binding (see `eval::path`).
+                if let Some(t) = selector {
+                    idterm_vars(t, out);
+                }
+            }
+        }
+    }
+}
+
+/// Collects the variables of an operand. Subquery-local variables (its
+/// FROM binders) are *not* free in the outer query.
+pub fn operand_vars<'q>(op: &'q Operand, out: &mut BTreeSet<&'q str>) {
+    match op {
+        Operand::Path(p) => path_vars(p, out),
+        Operand::Agg(_, p) => path_vars(p, out),
+        Operand::SetLit(ts) => {
+            for t in ts {
+                idterm_vars(t, out);
+            }
+        }
+        Operand::Subquery(_) => {
+            // A nested query solves its own variables; variables shared
+            // with the outer query are correlated through the bindings
+            // in effect when the subquery is evaluated. The scheduler
+            // computes that correlation set explicitly (see
+            // `eval::cond::conjunct_vars`), so at this level a subquery
+            // contributes no free variables.
+        }
+        Operand::Arith(a, _, b)
+        | Operand::Union(a, b)
+        | Operand::Intersection(a, b)
+        | Operand::Difference(a, b) => {
+            operand_vars(a, out);
+            operand_vars(b, out);
+        }
+    }
+}
+
+/// Collects the variables occurring inside any nested subquery of an
+/// operand (deeply, including the subquery's own binders). Used by the
+/// scheduler to compute correlation: a subquery conjunct is ready once
+/// the variables it shares with the rest of the outer query are bound.
+pub fn subquery_vars<'q>(op: &'q Operand, out: &mut BTreeSet<&'q str>) {
+    match op {
+        Operand::Subquery(q) => query_vars(q, out),
+        Operand::Arith(a, _, b)
+        | Operand::Union(a, b)
+        | Operand::Intersection(a, b)
+        | Operand::Difference(a, b) => {
+            subquery_vars(a, out);
+            subquery_vars(b, out);
+        }
+        _ => {}
+    }
+}
+
+/// Collects the variables of a condition.
+pub fn cond_vars<'q>(c: &'q Cond, out: &mut BTreeSet<&'q str>) {
+    match c {
+        Cond::True => {}
+        Cond::Path(p) => path_vars(p, out),
+        Cond::Cmp { left, right, .. } => {
+            operand_vars(left, out);
+            operand_vars(right, out);
+        }
+        Cond::SetCmp { left, right, .. } => {
+            operand_vars(left, out);
+            operand_vars(right, out);
+        }
+        Cond::SubclassOf { sub, sup } => {
+            idterm_vars(sub, out);
+            idterm_vars(sup, out);
+        }
+        Cond::InstanceOf { obj, class } => {
+            idterm_vars(obj, out);
+            idterm_vars(class, out);
+        }
+        Cond::And(a, b) | Cond::Or(a, b) => {
+            cond_vars(a, out);
+            cond_vars(b, out);
+        }
+        Cond::Not(a) => cond_vars(a, out),
+        Cond::Update(u) => {
+            for a in &u.assignments {
+                path_vars(&a.target, out);
+                operand_vars(&a.value, out);
+            }
+        }
+    }
+}
+
+/// Collects all variables of a query (FROM binders, SELECT items,
+/// OID-function vars, WHERE).
+pub fn query_vars<'q>(q: &'q SelectQuery, out: &mut BTreeSet<&'q str>) {
+    for f in &q.from {
+        out.insert(f.var.name.as_str());
+        idterm_vars(&f.class, out);
+    }
+    if let Some(spec) = &q.oid_fn {
+        for v in &spec.vars {
+            out.insert(v.name.as_str());
+        }
+    }
+    for item in &q.select {
+        match item {
+            SelectItem::Expr(op) => operand_vars(op, out),
+            SelectItem::Named { value, .. } => match value {
+                SelectValue::Expr(op) => operand_vars(op, out),
+                SelectValue::Grouped(v) => {
+                    out.insert(v.name.as_str());
+                }
+            },
+            SelectItem::MethodResult { args, value, .. } => {
+                for a in args {
+                    idterm_vars(a, out);
+                }
+                operand_vars(value, out);
+            }
+        }
+    }
+    cond_vars(&q.where_clause, out);
+}
+
+/// The sort of each variable, harvested from the resolved AST (the
+/// resolver guarantees consistency).
+pub fn var_sorts<'q>(
+    q: &'q SelectQuery,
+    out: &mut std::collections::BTreeMap<&'q str, VarSort>,
+) {
+    fn idterm<'q>(t: &'q IdTerm, out: &mut std::collections::BTreeMap<&'q str, VarSort>) {
+        match t {
+            IdTerm::Var(v) => {
+                out.insert(v.name.as_str(), v.sort);
+            }
+            IdTerm::Func(_, args) => args.iter().for_each(|a| idterm(a, out)),
+            IdTerm::PathArg(p) => path(p, out),
+            _ => {}
+        }
+    }
+    fn path<'q>(p: &'q PathExpr, out: &mut std::collections::BTreeMap<&'q str, VarSort>) {
+        idterm(&p.head, out);
+        for s in &p.steps {
+            match s {
+                Step::Method {
+                    method,
+                    args,
+                    selector,
+                } => {
+                    if let MethodTerm::Var(name) = method {
+                        out.insert(name.as_str(), VarSort::Method);
+                    }
+                    args.iter().for_each(|a| idterm(a, out));
+                    if let Some(t) = selector {
+                        idterm(t, out);
+                    }
+                }
+                Step::PathVar { selector, .. } => {
+                    if let Some(t) = selector {
+                        idterm(t, out);
+                    }
+                }
+            }
+        }
+    }
+    fn operand<'q>(op: &'q Operand, out: &mut std::collections::BTreeMap<&'q str, VarSort>) {
+        match op {
+            Operand::Path(p) | Operand::Agg(_, p) => path(p, out),
+            Operand::SetLit(ts) => ts.iter().for_each(|t| idterm(t, out)),
+            Operand::Subquery(q) => var_sorts(q, out),
+            Operand::Arith(a, _, b)
+            | Operand::Union(a, b)
+            | Operand::Intersection(a, b)
+            | Operand::Difference(a, b) => {
+                operand(a, out);
+                operand(b, out);
+            }
+        }
+    }
+    fn cond<'q>(c: &'q Cond, out: &mut std::collections::BTreeMap<&'q str, VarSort>) {
+        match c {
+            Cond::True => {}
+            Cond::Path(p) => path(p, out),
+            Cond::Cmp { left, right, .. } | Cond::SetCmp { left, right, .. } => {
+                operand(left, out);
+                operand(right, out);
+            }
+            Cond::SubclassOf { sub, sup } => {
+                idterm(sub, out);
+                idterm(sup, out);
+            }
+            Cond::InstanceOf { obj, class } => {
+                idterm(obj, out);
+                idterm(class, out);
+            }
+            Cond::And(a, b) | Cond::Or(a, b) => {
+                cond(a, out);
+                cond(b, out);
+            }
+            Cond::Not(a) => cond(a, out),
+            Cond::Update(u) => {
+                for a in &u.assignments {
+                    path(&a.target, out);
+                    operand(&a.value, out);
+                }
+            }
+        }
+    }
+    for f in &q.from {
+        out.insert(f.var.name.as_str(), f.var.sort);
+        idterm(&f.class, out);
+    }
+    if let Some(spec) = &q.oid_fn {
+        for v in &spec.vars {
+            out.insert(v.name.as_str(), v.sort);
+        }
+    }
+    for item in &q.select {
+        match item {
+            SelectItem::Expr(op) => operand(op, out),
+            SelectItem::Named { value, .. } => match value {
+                SelectValue::Expr(op) => operand(op, out),
+                SelectValue::Grouped(v) => {
+                    out.insert(v.name.as_str(), v.sort);
+                }
+            },
+            SelectItem::MethodResult { args, value, .. } => {
+                args.iter().for_each(|a| idterm(a, out));
+                operand(value, out);
+            }
+        }
+    }
+    cond(&q.where_clause, out);
+}

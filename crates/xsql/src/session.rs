@@ -1,0 +1,774 @@
+//! The user-facing XSQL session: parse → resolve → execute.
+
+use crate::ast::*;
+use crate::error::{XsqlError, XsqlResult};
+use crate::eval::select::eval_rows;
+use crate::eval::view::{create_view, materialize, update_through_view, ViewDef};
+use crate::eval::{create, method, update, Ctx, EvalOptions};
+use crate::parser::{parse, parse_script};
+use crate::resolve::resolve_stmt;
+use oodb::{Database, Oid};
+use relalg::Relation;
+use std::collections::BTreeMap;
+
+/// The result of executing one XSQL statement.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// A SELECT produced a relation (§3.3).
+    Relation(Relation),
+    /// An object-creating query produced new objects (§4.1).
+    Created {
+        /// OIDs of the created objects (id-terms of the id-function).
+        oids: Vec<Oid>,
+    },
+    /// A view was created and materialized (§4.2).
+    ViewCreated {
+        /// The view's class-object.
+        class: Oid,
+        /// Number of view objects materialized.
+        count: usize,
+    },
+    /// A method was defined via ALTER CLASS (§5).
+    MethodDefined {
+        /// The class whose definition was extended.
+        class: Oid,
+        /// The method-object.
+        method: Oid,
+    },
+    /// An UPDATE wrote this many entries (§5).
+    Updated {
+        /// Number of state entries written.
+        entries: usize,
+    },
+    /// A class was defined (extension DDL).
+    ClassCreated {
+        /// The new class-object.
+        class: Oid,
+    },
+    /// An individual was created (extension DDL).
+    ObjectCreated {
+        /// The new individual.
+        oid: Oid,
+    },
+    /// A signature was declared without a method body.
+    SignatureAdded {
+        /// The extended class.
+        class: Oid,
+        /// The declared method-object.
+        method: Oid,
+    },
+    /// EXPLAIN: the typing report for a query.
+    Explained {
+        /// Rendered report.
+        report: String,
+    },
+}
+
+impl Outcome {
+    /// The relation, if this outcome is one (convenience for tests).
+    pub fn relation(&self) -> Option<&Relation> {
+        match self {
+            Outcome::Relation(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// An XSQL session: a database plus the view catalogue and evaluation
+/// options. The paper's statements are strings; [`Session::run`] is the
+/// whole pipeline.
+///
+/// ```
+/// use oodb::DbBuilder;
+/// use xsql::Session;
+///
+/// let mut b = DbBuilder::new();
+/// b.class("Person");
+/// b.attr("Person", "Name", "String");
+/// let mary = b.obj("mary123", "Person");
+/// b.set_str(mary, "Name", "Mary");
+///
+/// let mut s = Session::new(b.build());
+/// let r = s.query("SELECT X FROM Person X WHERE X.Name['Mary']").unwrap();
+/// assert_eq!(r.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    db: Database,
+    opts: EvalOptions,
+    views: BTreeMap<String, ViewDef>,
+    anon_counter: usize,
+}
+
+impl Session {
+    /// Opens a session over a database with default (pipelined) options.
+    pub fn new(db: Database) -> Session {
+        Session::with_options(db, EvalOptions::default())
+    }
+
+    /// Opens a session with explicit evaluation options.
+    pub fn with_options(db: Database, opts: EvalOptions) -> Session {
+        Session {
+            db,
+            opts,
+            views: BTreeMap::new(),
+            anon_counter: 0,
+        }
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the underlying database.
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Consumes the session, returning the database.
+    pub fn into_db(self) -> Database {
+        self.db
+    }
+
+    /// The evaluation options in force.
+    pub fn options(&self) -> &EvalOptions {
+        &self.opts
+    }
+
+    /// Replaces the evaluation options.
+    pub fn set_options(&mut self, opts: EvalOptions) {
+        self.opts = opts;
+    }
+
+    /// A registered view definition.
+    pub fn view(&self, name: &str) -> Option<&ViewDef> {
+        self.views.get(name)
+    }
+
+    /// Parses, resolves and executes one statement.
+    pub fn run(&mut self, src: &str) -> XsqlResult<Outcome> {
+        let stmt = parse(src)?;
+        let stmt = resolve_stmt(&mut self.db, &stmt)?;
+        self.execute(&stmt)
+    }
+
+    /// Runs a `;`-separated script, returning the outcome of each
+    /// statement. Statements apply as they execute; there is no
+    /// transactional rollback — a failing statement leaves the effects
+    /// of the preceding ones in place (the paper's model has no
+    /// transactions).
+    pub fn run_script(&mut self, src: &str) -> XsqlResult<Vec<Outcome>> {
+        let stmts = parse_script(src)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in &stmts {
+            let s = resolve_stmt(&mut self.db, s)?;
+            out.push(self.execute(&s)?);
+        }
+        Ok(out)
+    }
+
+    /// Runs a statement that must produce a relation.
+    pub fn query(&mut self, src: &str) -> XsqlResult<Relation> {
+        match self.run(src)? {
+            Outcome::Relation(r) => Ok(r),
+            o => Err(XsqlError::Resolve(format!(
+                "statement did not produce a relation: {o:?}"
+            ))),
+        }
+    }
+
+    /// Executes an already-resolved statement.
+    pub fn execute(&mut self, stmt: &Stmt) -> XsqlResult<Outcome> {
+        match stmt {
+            Stmt::Select(q) => self.exec_select(q),
+            Stmt::RelOp { left, op, right } => {
+                let l = self.execute(left)?;
+                let r = self.execute(right)?;
+                let (Outcome::Relation(l), Outcome::Relation(r)) = (l, r) else {
+                    return Err(XsqlError::Resolve(
+                        "relational operators require SELECT operands".into(),
+                    ));
+                };
+                let out = match op {
+                    RelOp::Union => l.union(&r),
+                    RelOp::Minus => l.minus(&r),
+                    RelOp::Intersect => l.intersect(&r),
+                }
+                .map_err(|e| XsqlError::Resolve(e.to_string()))?;
+                Ok(Outcome::Relation(out))
+            }
+            Stmt::CreateView(v) => {
+                if self.views.contains_key(&v.name) {
+                    return Err(XsqlError::Resolve(format!(
+                        "view `{}` already exists",
+                        v.name
+                    )));
+                }
+                let (def, oids) = create_view(&mut self.db, v, &self.opts)?;
+                let class = def.class;
+                self.views.insert(v.name.clone(), def);
+                Ok(Outcome::ViewCreated {
+                    class,
+                    count: oids.len(),
+                })
+            }
+            Stmt::AlterClass(a) => {
+                let (class, m) = method::install_method(&mut self.db, a, &self.opts)?;
+                Ok(Outcome::MethodDefined { class, method: m })
+            }
+            Stmt::AddSignature { class, signature } => {
+                let class_oid = self
+                    .db
+                    .oids()
+                    .find_sym(class)
+                    .filter(|&c| self.db.is_class(c))
+                    .ok_or_else(|| XsqlError::Resolve(format!("unknown class `{class}`")))?;
+                let resolve_class = |db: &Database, n: &str| {
+                    db.oids()
+                        .find_sym(n)
+                        .filter(|&c| db.is_class(c))
+                        .ok_or_else(|| XsqlError::Resolve(format!("unknown class `{n}`")))
+                };
+                let args = signature
+                    .args
+                    .iter()
+                    .map(|n| resolve_class(&self.db, n))
+                    .collect::<XsqlResult<Vec<_>>>()?;
+                let result = resolve_class(&self.db, &signature.result)?;
+                let method = self.db.add_signature(
+                    class_oid,
+                    &signature.method,
+                    &args,
+                    result,
+                    signature.set_valued,
+                )?;
+                Ok(Outcome::SignatureAdded {
+                    class: class_oid,
+                    method,
+                })
+            }
+            Stmt::Update(u) => {
+                let entries = update::exec_update(&mut self.db, u, &[], &self.opts)?;
+                Ok(Outcome::Updated { entries })
+            }
+            Stmt::CreateClass(c) => {
+                let supers = c
+                    .supers
+                    .iter()
+                    .map(|n| {
+                        self.db
+                            .oids()
+                            .find_sym(n)
+                            .filter(|&s| self.db.is_class(s))
+                            .ok_or_else(|| {
+                                XsqlError::Resolve(format!("unknown superclass `{n}`"))
+                            })
+                    })
+                    .collect::<XsqlResult<Vec<_>>>()?;
+                let class = self.db.define_class(&c.name, &supers)?;
+                Ok(Outcome::ClassCreated { class })
+            }
+            Stmt::CreateObject(o) => {
+                let classes = o
+                    .classes
+                    .iter()
+                    .map(|n| {
+                        self.db
+                            .oids()
+                            .find_sym(n)
+                            .filter(|&c| self.db.is_class(c))
+                            .ok_or_else(|| XsqlError::Resolve(format!("unknown class `{n}`")))
+                    })
+                    .collect::<XsqlResult<Vec<_>>>()?;
+                let oid = self.db.new_individual(&o.name, &classes)?;
+                for (attr, op) in &o.sets {
+                    // Attribute initializers are evaluated under empty
+                    // bindings (they may navigate from constants).
+                    let cells: Vec<crate::eval::value::Cell> = {
+                        let ctx = Ctx::new(&self.db, &self.opts);
+                        let bnd = crate::eval::bindings::Bindings::new();
+                        ctx.operand_value(op, &bnd)?
+                            .into_iter()
+                            .map(crate::eval::value::Cell::from)
+                            .collect()
+                    };
+                    let m = self.db.oids_mut().sym(attr);
+                    let set_valued = self
+                        .db
+                        .signatures_of_method(m, 0)
+                        .iter()
+                        .any(|(_, s)| s.set_valued);
+                    if set_valued || cells.len() > 1 {
+                        let oids: Vec<Oid> = cells
+                            .into_iter()
+                            .map(|c| c.into_oid(self.db.oids_mut()))
+                            .collect();
+                        self.db.set_set(oid, m, &[], oids)?;
+                    } else if let Some(&cell) = cells.first() {
+                        let v = cell.into_oid(self.db.oids_mut());
+                        self.db.set_scalar(oid, m, &[], v)?;
+                    }
+                }
+                Ok(Outcome::ObjectCreated { oid })
+            }
+            Stmt::Explain(inner) => {
+                let report = self.explain(inner)?;
+                Ok(Outcome::Explained { report })
+            }
+        }
+    }
+
+    /// Renders the §6 typing report for a statement (used by EXPLAIN).
+    fn explain(&self, stmt: &Stmt) -> XsqlResult<String> {
+        let Stmt::Select(q) = stmt else {
+            return Ok("EXPLAIN applies to SELECT queries".to_string());
+        };
+        use crate::typing::{analyze, extract, ranges_for, Exemptions, Verdict};
+        let mut out = String::new();
+        match analyze(&self.db, q, &Exemptions::none()) {
+            Verdict::StrictlyWellTyped { assignment, plan } => {
+                let shape = extract(&self.db, q).expect("strict implies extractable");
+                out.push_str("strictly well-typed
+");
+                out.push_str(&format!(
+                    "assignment: {}
+",
+                    assignment.render(&self.db, &shape)
+                ));
+                out.push_str(&format!("coherent plan (path order): {plan:?}
+"));
+                let occs = shape.occurrences();
+                let ranges = ranges_for(&self.db, &shape, &assignment, &occs);
+                for (v, classes) in ranges {
+                    if v.starts_with("_anon") {
+                        continue;
+                    }
+                    let names: Vec<String> =
+                        classes.iter().map(|&c| self.db.render(c)).collect();
+                    out.push_str(&format!("range A({v}) = {{{}}}
+", names.join(", ")));
+                }
+            }
+            Verdict::LiberallyWellTyped { assignment } => {
+                let shape = extract(&self.db, q).expect("liberal implies extractable");
+                out.push_str("liberally well-typed (not strictly: no coherent plan)
+");
+                out.push_str(&format!(
+                    "assignment: {}
+",
+                    assignment.render(&self.db, &shape)
+                ));
+            }
+            Verdict::IllTyped => {
+                out.push_str(
+                    "ill-typed: no valid complete assignment with non-empty ranges                      (the query returns no answers on any database with this schema)
+",
+                );
+            }
+            Verdict::OutsideFragment { reason } => {
+                out.push_str(&format!("outside the §6.2 typable fragment: {reason}
+"));
+            }
+        }
+        Ok(out)
+    }
+
+    fn exec_select(&mut self, q: &SelectQuery) -> XsqlResult<Outcome> {
+        if q.oid_fn.is_some() {
+            let fn_name = match q.oid_fn.as_ref().and_then(|s| s.function.clone()) {
+                Some(n) => n,
+                None => {
+                    self.anon_counter += 1;
+                    format!("_oidfn{}", self.anon_counter)
+                }
+            };
+            let oids = create::run_creation(
+                &mut self.db,
+                q,
+                &self.opts,
+                &fn_name,
+                None,
+                &BTreeMap::new(),
+            )?;
+            return Ok(Outcome::Created { oids });
+        }
+        let (columns, rows) = {
+            let ctx = Ctx::new(&self.db, &self.opts);
+            eval_rows(&ctx, q)?
+        };
+        let mut rel = Relation::new(columns);
+        for row in rows {
+            let t: Vec<Oid> = row
+                .into_iter()
+                .map(|c| c.into_oid(self.db.oids_mut()))
+                .collect();
+            rel.insert(t);
+        }
+        Ok(Outcome::Relation(rel))
+    }
+
+    /// Runs a SELECT with the Theorem 6.1 optimization: when the query
+    /// is strictly well-typed, evaluation restricts every variable to
+    /// its range `A(X)` under a coherent assignment; otherwise it falls
+    /// back to plain evaluation (the optimization "is not always
+    /// possible", §6.2). Sound on signature-conformant databases
+    /// ([`oodb::Database::check_conformance`]).
+    pub fn query_typed(&mut self, src: &str) -> XsqlResult<Relation> {
+        let stmt = parse(src)?;
+        let stmt = resolve_stmt(&mut self.db, &stmt)?;
+        let Stmt::Select(q) = &stmt else {
+            return Err(XsqlError::Resolve(
+                "query_typed applies to SELECT statements".into(),
+            ));
+        };
+        if q.oid_fn.is_some() {
+            return Err(XsqlError::Resolve(
+                "query_typed does not run object-creating queries".into(),
+            ));
+        }
+        use crate::typing::{theorem61_ranges, Exemptions};
+        let ranges = theorem61_ranges(&self.db, q, &Exemptions::none())?;
+        let (columns, rows) = {
+            let ranges_ref = ranges.as_ref();
+            let ctx = match ranges_ref {
+                Some(r) => Ctx::with_ranges(&self.db, &self.opts, r),
+                None => Ctx::new(&self.db, &self.opts),
+            };
+            eval_rows(&ctx, q)?
+        };
+        let mut rel = Relation::new(columns);
+        for row in rows {
+            let t: Vec<Oid> = row
+                .into_iter()
+                .map(|c| c.into_oid(self.db.oids_mut()))
+                .collect();
+            rel.insert(t);
+        }
+        Ok(rel)
+    }
+
+    /// Invokes a (possibly update) method on a receiver by name —
+    /// convenience mirroring §5's method-call semantics.
+    pub fn invoke(
+        &mut self,
+        recv: Oid,
+        method: &str,
+        args: &[Oid],
+    ) -> XsqlResult<Option<oodb::Val>> {
+        let m = self
+            .db
+            .oids()
+            .find_sym(method)
+            .ok_or_else(|| XsqlError::Resolve(format!("unknown method `{method}`")))?;
+        Ok(self.db.invoke_update(recv, m, args)?)
+    }
+
+    /// Re-materializes a view after base updates (§4.2 views are
+    /// query-defined; this recomputes the extent and drops stale
+    /// objects).
+    pub fn refresh_view(&mut self, name: &str) -> XsqlResult<usize> {
+        let def = self
+            .views
+            .get(name)
+            .cloned()
+            .ok_or_else(|| XsqlError::Resolve(format!("unknown view `{name}`")))?;
+        let oids = materialize(&mut self.db, &def, &self.opts)?;
+        Ok(oids.len())
+    }
+
+    /// Translates an update on a view object to the underlying database
+    /// (§4.2 "an update made through the view on the Salary attribute …
+    /// can be translated into an update on the database").
+    pub fn update_view(
+        &mut self,
+        view: &str,
+        view_obj: Oid,
+        attr: &str,
+        new_value: Oid,
+    ) -> XsqlResult<()> {
+        let def = self
+            .views
+            .get(view)
+            .cloned()
+            .ok_or_else(|| XsqlError::Resolve(format!("unknown view `{view}`")))?;
+        update_through_view(&mut self.db, &def, view_obj, attr, new_value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb::DbBuilder;
+
+    /// Companies with divisions and employees — the §4 fixture.
+    fn company_db() -> Database {
+        let mut b = DbBuilder::new();
+        b.class("Person");
+        b.subclass("Employee", &["Person"]);
+        b.class("Company");
+        b.class("Division");
+        b.attr("Person", "Name", "String");
+        b.attr("Employee", "Salary", "Numeral");
+        b.set_attr("Employee", "Dependents", "Person");
+        b.attr("Company", "Name", "String");
+        b.set_attr("Company", "Divisions", "Division");
+        b.set_attr("Company", "Retirees", "Person");
+        b.attr("Division", "Name", "String");
+        b.attr("Division", "Manager", "Employee");
+        b.set_attr("Division", "Employees", "Employee");
+
+        let e1 = b.obj("emp1", "Employee");
+        b.set_str(e1, "Name", "Alice");
+        b.set_int(e1, "Salary", 40000);
+        let e2 = b.obj("emp2", "Employee");
+        b.set_str(e2, "Name", "Bob");
+        b.set_int(e2, "Salary", 30000);
+        let e3 = b.obj("emp3", "Employee");
+        b.set_str(e3, "Name", "Carol");
+        b.set_int(e3, "Salary", 50000);
+        let dep = b.obj("kid1", "Person");
+        b.set_many(e1, "Dependents", &[dep]);
+
+        let d1 = b.obj("divSales", "Division");
+        b.set_str(d1, "Name", "Sales");
+        b.set(d1, "Manager", e1);
+        b.set_many(d1, "Employees", &[e1, e2]);
+        let d2 = b.obj("divEng", "Division");
+        b.set_str(d2, "Name", "Engineering");
+        b.set(d2, "Manager", e3);
+        b.set_many(d2, "Employees", &[e3]);
+
+        let c = b.obj("acme", "Company");
+        b.set_str(c, "Name", "Acme");
+        b.set_many(c, "Divisions", &[d1, d2]);
+        let ret = b.obj("oldTimer", "Person");
+        b.set_many(c, "Retirees", &[ret]);
+        b.build()
+    }
+
+    #[test]
+    fn object_creation_per_pair() {
+        let mut s = Session::new(company_db());
+        let out = s
+            .run(
+                "SELECT EmpSalary = W.Salary FROM Company X OID FUNCTION OF X,W \
+                 WHERE X.Divisions.Employees[W]",
+            )
+            .unwrap();
+        match out {
+            Outcome::Created { oids } => assert_eq!(oids.len(), 3),
+            o => panic!("unexpected {o:?}"),
+        }
+    }
+
+    #[test]
+    fn ill_defined_query_detected() {
+        // §4.1: OID FUNCTION OF X only, but EmpSalary varies per W.
+        let mut s = Session::new(company_db());
+        let err = s
+            .run(
+                "SELECT CompName = X.Name, EmpSalary = W.Salary FROM Company X \
+                 OID FUNCTION OF X WHERE X.Divisions.Employees[W]",
+            )
+            .unwrap_err();
+        assert!(matches!(err, XsqlError::IllDefined(_)), "got {err}");
+    }
+
+    #[test]
+    fn grouped_set_attribute() {
+        // Query (8): beneficiaries = retirees + dependents.
+        let mut s = Session::new(company_db());
+        let out = s
+            .run(
+                "SELECT CompName = Y.Name, Beneficiaries = {W} FROM Company Y \
+                 OID FUNCTION OF Y WHERE Y.Retirees[W] \
+                 or Y.Divisions.Employees.Dependents[W]",
+            )
+            .unwrap();
+        let Outcome::Created { oids } = out else {
+            panic!()
+        };
+        assert_eq!(oids.len(), 1);
+        let obj = oids[0];
+        let m = s.db().oids().find_sym("Beneficiaries").unwrap();
+        let v = s.db().value(obj, m, &[]).unwrap().unwrap();
+        assert_eq!(v.len(), 2); // oldTimer + kid1
+    }
+
+    #[test]
+    fn view_create_and_query_through() {
+        let mut s = Session::new(company_db());
+        let out = s
+            .run(
+                "CREATE VIEW CompSalaries AS SUBCLASS OF Object \
+                 SIGNATURE CompName => String, DivName => String, Salary => Numeral \
+                 SELECT CompName = X.Name, DivName = Y.Name, Salary = W.Salary \
+                 FROM Company X OID FUNCTION OF X,W \
+                 WHERE X.Divisions[Y].Employees[W]",
+            )
+            .unwrap();
+        match out {
+            Outcome::ViewCreated { count, .. } => assert_eq!(count, 3),
+            o => panic!("unexpected {o:?}"),
+        }
+        // Query (10)-style: companies with an employee above 35000,
+        // through the view's id-function.
+        let r = s
+            .query(
+                "SELECT X.Name FROM Company X, Employee W \
+                 WHERE CompSalaries(X, W).Salary > 35000",
+            )
+            .unwrap();
+        assert_eq!(r.len(), 1);
+        // The view is also an ordinary class.
+        let r = s
+            .query("SELECT V FROM CompSalaries V WHERE V.Salary > 35000")
+            .unwrap();
+        assert_eq!(r.len(), 2); // Alice 40000, Carol 50000
+    }
+
+    #[test]
+    fn view_update_translates_to_base() {
+        let mut s = Session::new(company_db());
+        s.run(
+            "CREATE VIEW EmpSal AS SUBCLASS OF Object \
+             SIGNATURE Salary => Numeral \
+             SELECT Salary = W.Salary FROM Employee W OID FUNCTION OF W \
+             WHERE W.Salary",
+        )
+        .unwrap();
+        let emp1 = s.db().oids().find_sym("emp1").unwrap();
+        let fn_sym = s.db().oids().find_sym("EmpSal").unwrap();
+        let view_obj = s.db().oids().find_func(fn_sym, &[emp1]).unwrap();
+        let new_sal = s.db_mut().oids_mut().int(99000);
+        s.update_view("EmpSal", view_obj, "Salary", new_sal).unwrap();
+        let sal = s.db().oids().find_sym("Salary").unwrap();
+        let v = s.db().value(emp1, sal, &[]).unwrap().unwrap();
+        assert_eq!(s.db().oids().as_number(v.as_scalar().unwrap()), Some(99000.0));
+    }
+
+    #[test]
+    fn method_definition_and_use() {
+        // Query (12): MngrSalary.
+        let mut s = Session::new(company_db());
+        s.run(
+            "ALTER CLASS Company ADD SIGNATURE MngrSalary : String => Numeral \
+             SELECT (MngrSalary @ Y.Name) = W FROM Company X OID X \
+             WHERE X.Divisions[Y].Manager.Salary[W]",
+        )
+        .unwrap();
+        let acme = s.db().oids().find_sym("acme").unwrap();
+        let sales = s.db_mut().oids_mut().str("Sales");
+        let v = s.invoke(acme, "MngrSalary", &[sales]).unwrap().unwrap();
+        assert_eq!(s.db().oids().as_number(v.as_scalar().unwrap()), Some(40000.0));
+        // And inside a path expression.
+        let r = s
+            .query(
+                "SELECT W FROM Company X WHERE X.(MngrSalary @ 'Engineering')[W]",
+            )
+            .unwrap();
+        assert_eq!(r.len(), 1);
+        let w = *r.as_set().iter().next().unwrap();
+        assert_eq!(s.db().oids().as_number(w), Some(50000.0));
+    }
+
+    #[test]
+    fn update_method_raises_salaries() {
+        // §5: RaiseMngrSalary.
+        let mut s = Session::new(company_db());
+        s.run(
+            "ALTER CLASS Company ADD SIGNATURE MngrSalary : String => Numeral \
+             SELECT (MngrSalary @ Y.Name) = W FROM Company X OID X \
+             WHERE X.Divisions[Y].Manager.Salary[W]",
+        )
+        .unwrap();
+        s.run(
+            "ALTER CLASS Company ADD SIGNATURE RaiseMngrSalary : Numeral => Object \
+             SELECT (RaiseMngrSalary @ W) = nil FROM Company X, Numeral W OID X \
+             WHERE W < 20 and (UPDATE CLASS Company \
+             SET X.Divisions[Y].Manager.Salary = (1 + W/100) * X.(MngrSalary @ Y.Name))",
+        )
+        .unwrap();
+        let acme = s.db().oids().find_sym("acme").unwrap();
+        let pct = s.db_mut().oids_mut().int(10);
+        let v = s.invoke(acme, "RaiseMngrSalary", &[pct]).unwrap().unwrap();
+        assert!(s.db().oids().is_nil(v.as_scalar().unwrap()));
+        // Alice 40000 -> 44000, Carol 50000 -> 55000.
+        let emp1 = s.db().oids().find_sym("emp1").unwrap();
+        let sal = s.db().oids().find_sym("Salary").unwrap();
+        let v = s.db().value(emp1, sal, &[]).unwrap().unwrap();
+        assert_eq!(s.db().oids().as_number(v.as_scalar().unwrap()), Some(44000.0));
+        let emp3 = s.db().oids().find_sym("emp3").unwrap();
+        let v = s.db().value(emp3, sal, &[]).unwrap().unwrap();
+        let got = s.db().oids().as_number(v.as_scalar().unwrap()).unwrap();
+        assert!((got - 55000.0).abs() < 1e-6, "got {got}");
+        // Guard: a raise of 25% is rejected (W < 20 fails) — method
+        // returns undefined.
+        let pct = s.db_mut().oids_mut().int(25);
+        let v = s.invoke(acme, "RaiseMngrSalary", &[pct]).unwrap();
+        assert!(v.is_none());
+    }
+
+    #[test]
+    fn standalone_update() {
+        let mut s = Session::new(company_db());
+        let out = s
+            .run("UPDATE CLASS Employee SET emp2.Salary = 31000")
+            .unwrap();
+        assert!(matches!(out, Outcome::Updated { entries: 1 }));
+        let r = s
+            .query("SELECT X FROM Employee X WHERE X.Salary[31000]")
+            .unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn relational_union_minus() {
+        let mut s = Session::new(company_db());
+        let r = s
+            .query(
+                "SELECT X FROM Employee X WHERE X.Salary > 35000 \
+                 UNION SELECT X FROM Employee X WHERE X.Salary < 35000",
+            )
+            .unwrap();
+        assert_eq!(r.len(), 3);
+        let r = s
+            .query(
+                "SELECT X FROM Employee X \
+                 MINUS SELECT X FROM Employee X WHERE X.Salary > 35000",
+            )
+            .unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn select_aggregate_interned() {
+        let mut s = Session::new(company_db());
+        let r = s
+            .query("SELECT X.Name, count(X.Divisions) FROM Company X")
+            .unwrap();
+        assert_eq!(r.len(), 1);
+        let row = r.iter().next().unwrap();
+        assert_eq!(s.db().oids().as_number(row[1]), Some(2.0));
+    }
+
+    #[test]
+    fn view_refresh_drops_stale() {
+        let mut s = Session::new(company_db());
+        s.run(
+            "CREATE VIEW HighPaid AS SUBCLASS OF Object \
+             SIGNATURE Name => String \
+             SELECT Name = W.Name FROM Employee W OID FUNCTION OF W \
+             WHERE W.Salary > 35000",
+        )
+        .unwrap();
+        let cls = s.db().oids().find_sym("HighPaid").unwrap();
+        assert_eq!(s.db().instances_of(cls).len(), 2);
+        // Alice drops below the bar; refresh removes her view object.
+        s.run("UPDATE CLASS Employee SET emp1.Salary = 20000").unwrap();
+        let n = s.refresh_view("HighPaid").unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(s.db().instances_of(cls).len(), 1);
+    }
+}

@@ -1,0 +1,233 @@
+//! Type assignments, validity, ranges and the liberal well-typing search
+//! (§6.2).
+
+use super::shape::{CmpShape, CmpSide, OccId, QueryShape, Slot};
+use super::types::{declared_types, is_empty_range, is_subrange, Range, TypeExpr};
+use crate::ast::CmpOp;
+use oodb::{Database, Oid, OidData};
+use std::collections::BTreeMap;
+
+/// A complete type assignment: one type expression per method occurrence
+/// (§6.2; distinct occurrences of the same method name may be assigned
+/// different type expressions).
+#[derive(Debug, Clone, Default)]
+pub struct Assignment {
+    /// occurrence -> assigned type expression.
+    pub types: BTreeMap<OccId, TypeExpr>,
+}
+
+impl Assignment {
+    /// Renders for diagnostics.
+    pub fn render(&self, db: &Database, shape: &QueryShape) -> String {
+        let mut parts = Vec::new();
+        for (occ, te) in &self.types {
+            parts.push(format!(
+                "A({}) = {}",
+                shape.step(*occ).method_name,
+                te.render(db)
+            ));
+        }
+        parts.join(", ")
+    }
+}
+
+/// The range `A(X)` of every variable with respect to the assignment
+/// restricted to `occs` (§6.2: `Object`, plus the types assigned to the
+/// variable's occurrences, plus the FROM types).
+pub fn ranges_for(
+    db: &Database,
+    shape: &QueryShape,
+    asg: &Assignment,
+    occs: &[OccId],
+) -> BTreeMap<String, Range> {
+    let mut out: BTreeMap<String, Range> = BTreeMap::new();
+    let object = db.builtins().object;
+    let add = |key: Option<String>, class: Oid, out: &mut BTreeMap<String, Range>| {
+        if let Some(k) = key {
+            let r = out.entry(k).or_default();
+            r.insert(object);
+            r.insert(class);
+        }
+    };
+    // Every variable of the shape gets at least {Object}.
+    for p in &shape.paths {
+        if let Some(k) = p.head.var_key() {
+            out.entry(k).or_default().insert(object);
+        }
+        for s in &p.steps {
+            for slot in s.args.iter().chain(std::iter::once(&s.selector)) {
+                if let Some(k) = slot.var_key() {
+                    out.entry(k).or_default().insert(object);
+                }
+            }
+        }
+    }
+    for (v, c) in &shape.from {
+        add(Some(v.clone()), *c, &mut out);
+    }
+    for occ in occs {
+        let Some(te) = asg.types.get(occ) else {
+            continue;
+        };
+        let step = shape.step(*occ);
+        add(shape.receiver_slot(*occ).var_key(), te.receiver(), &mut out);
+        for (j, slot) in step.args.iter().enumerate() {
+            add(slot.var_key(), te.args[j + 1], &mut out);
+        }
+        add(step.selector.var_key(), te.result, &mut out);
+    }
+    out
+}
+
+/// Per-occurrence validity of the assigned type: g-selector and ground
+/// argument oids must be instances of the types forced on them (§6.2's
+/// second and third validity bullets).
+fn occurrence_consts_valid(db: &Database, shape: &QueryShape, occ: OccId, te: &TypeExpr) -> bool {
+    let step = shape.step(occ);
+    if let Slot::Const(o) = shape.receiver_slot(occ) {
+        if !db.is_instance_of(*o, te.receiver()) {
+            return false;
+        }
+    }
+    for (j, slot) in step.args.iter().enumerate() {
+        if let Slot::Const(o) = slot {
+            if !db.is_instance_of(*o, te.args[j + 1]) {
+                return false;
+            }
+        }
+    }
+    if let Slot::Const(o) = &step.selector {
+        if !db.is_instance_of(*o, te.result) {
+            return false;
+        }
+    }
+    true
+}
+
+/// §6.2's last validity bullet: every comparison must be well defined on
+/// the compared values. Order comparators require both sides to be
+/// (potentially) numerals, or both strings; equality is defined on all
+/// objects.
+fn comparisons_valid(
+    db: &Database,
+    cmps: &[CmpShape],
+    ranges: &BTreeMap<String, Range>,
+) -> bool {
+    #[derive(PartialEq)]
+    enum Kind {
+        Num,
+        Str,
+        Other,
+        Unknown,
+    }
+    let kind_of = |side: &CmpSide| -> Kind {
+        match side {
+            CmpSide::Numeral => Kind::Num,
+            CmpSide::Opaque => Kind::Unknown,
+            CmpSide::Const(o) => match db.oids().get(*o) {
+                OidData::Int(_) | OidData::Real(_) => Kind::Num,
+                OidData::Str(_) => Kind::Str,
+                _ => Kind::Other,
+            },
+            CmpSide::Var(x) => match ranges.get(x) {
+                Some(r) => {
+                    if is_subrange(db, r, db.builtins().numeral) {
+                        Kind::Num
+                    } else if is_subrange(db, r, db.builtins().string) {
+                        Kind::Str
+                    } else {
+                        Kind::Other
+                    }
+                }
+                None => Kind::Unknown,
+            },
+        }
+    };
+    for c in cmps {
+        if matches!(c.op, CmpOp::Eq | CmpOp::Ne) {
+            continue;
+        }
+        let (l, r) = (kind_of(&c.left), kind_of(&c.right));
+        let ok = matches!(
+            (l, r),
+            (Kind::Unknown, _)
+                | (_, Kind::Unknown)
+                | (Kind::Num, Kind::Num)
+                | (Kind::Str, Kind::Str)
+        );
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Enumerates every valid and complete type assignment with non-empty
+/// ranges, invoking `k`; `k` returning `true` stops the search (found).
+pub fn search_assignments(
+    db: &Database,
+    shape: &QueryShape,
+    k: &mut dyn FnMut(&Assignment, &BTreeMap<String, Range>) -> bool,
+) -> bool {
+    let occs = shape.occurrences();
+    // Candidate type expressions per occurrence: the declared signatures
+    // of the method at this arity.
+    let mut candidates: Vec<Vec<TypeExpr>> = Vec::with_capacity(occs.len());
+    for occ in &occs {
+        let step = shape.step(*occ);
+        let cands: Vec<TypeExpr> = declared_types(db, step.method, step.args.len())
+            .into_iter()
+            .filter(|te| occurrence_consts_valid(db, shape, *occ, te))
+            .collect();
+        if cands.is_empty() {
+            return false; // some occurrence has no valid type: ill-typed
+        }
+        candidates.push(cands);
+    }
+    let mut asg = Assignment::default();
+    dfs(db, shape, &occs, &candidates, 0, &mut asg, k)
+}
+
+fn dfs(
+    db: &Database,
+    shape: &QueryShape,
+    occs: &[OccId],
+    candidates: &[Vec<TypeExpr>],
+    i: usize,
+    asg: &mut Assignment,
+    k: &mut dyn FnMut(&Assignment, &BTreeMap<String, Range>) -> bool,
+) -> bool {
+    if i == occs.len() {
+        let ranges = ranges_for(db, shape, asg, occs);
+        if ranges.values().any(|r| is_empty_range(db, r)) {
+            return false;
+        }
+        if !comparisons_valid(db, &shape.comparisons, &ranges) {
+            return false;
+        }
+        return k(asg, &ranges);
+    }
+    for te in &candidates[i] {
+        asg.types.insert(occs[i], te.clone());
+        // Monotone prune: a range that is already empty can only stay
+        // empty as more types are assigned.
+        let partial = ranges_for(db, shape, asg, &occs[..=i]);
+        let viable = !partial.values().any(|r| is_empty_range(db, r));
+        if viable && dfs(db, shape, occs, candidates, i + 1, asg, k) {
+            return true;
+        }
+        asg.types.remove(&occs[i]);
+    }
+    false
+}
+
+/// Liberal well-typing (§6.2): does *some* valid and complete assignment
+/// with non-empty ranges exist?
+pub fn liberal(db: &Database, shape: &QueryShape) -> Option<(Assignment, BTreeMap<String, Range>)> {
+    let mut found = None;
+    search_assignments(db, shape, &mut |asg, ranges| {
+        found = Some((asg.clone(), ranges.clone()));
+        true
+    });
+    found
+}

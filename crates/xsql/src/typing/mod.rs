@@ -1,0 +1,317 @@
+//! The typing system of §6: signatures and structural inheritance,
+//! liberal and strict well-typing, execution plans, coherence,
+//! well-typing with exemptions, and the Theorem 6.1 range optimization.
+//!
+//! The paper's central observation is that "there is more than one way
+//! of settling the issue" of type correctness: a spectrum from the
+//! *liberal* notion (any valid complete assignment with non-empty
+//! ranges) to the *strict* notion (additionally, some execution plan is
+//! coherent with the assignment — every method evaluates with its
+//! arguments bound to oids of the expected types), with *exemptions*
+//! interpolating between them. Typing is metalogical: it never changes
+//! query semantics, only licenses the optimization of Theorem 6.1.
+
+mod assign;
+mod shape;
+mod strict;
+mod types;
+
+pub use assign::{liberal, ranges_for, search_assignments, Assignment};
+pub use shape::{extract, CmpShape, CmpSide, OccId, PathShape, QueryShape, Slot, StepShape};
+pub use strict::{all_plans, coherent, coherent_plans, strict, Exemptions, Plan};
+pub use types::{
+    declared_types, is_empty_range, is_subrange, possesses, range_extent, Range, TypeExpr,
+};
+
+use crate::ast::SelectQuery;
+use crate::error::XsqlResult;
+use crate::eval::Ranges;
+use oodb::Database;
+
+/// The verdict of a typing analysis.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// A valid complete assignment and a coherent plan exist.
+    StrictlyWellTyped {
+        /// The witnessing assignment.
+        assignment: Assignment,
+        /// The coherent plan (order of path-expression indices).
+        plan: Plan,
+    },
+    /// Liberally but not strictly well-typed (the Nobel-Prize
+    /// situation, §1/§6.2).
+    LiberallyWellTyped {
+        /// The witnessing assignment.
+        assignment: Assignment,
+    },
+    /// No valid complete assignment with non-empty ranges exists; a
+    /// (liberal) type analysis already shows the query returns no
+    /// answers regardless of the database contents (§6.2).
+    IllTyped,
+    /// The query uses constructs outside the §6.2 fragment (method
+    /// variables, disjunction, …); typing does not apply, evaluation
+    /// proceeds untyped.
+    OutsideFragment {
+        /// Why.
+        reason: String,
+    },
+}
+
+/// Full typing analysis of a resolved query under the given exemptions.
+pub fn analyze(db: &Database, q: &SelectQuery, ex: &Exemptions) -> Verdict {
+    let shape = match extract(db, q) {
+        Ok(s) => s,
+        Err(e) => {
+            return Verdict::OutsideFragment {
+                reason: e.to_string(),
+            }
+        }
+    };
+    if let Some((assignment, plan)) = strict(db, &shape, ex) {
+        return Verdict::StrictlyWellTyped { assignment, plan };
+    }
+    match liberal(db, &shape) {
+        Some((assignment, _)) => Verdict::LiberallyWellTyped { assignment },
+        None => Verdict::IllTyped,
+    }
+}
+
+/// Theorem 6.1.2: the evaluation ranges of a strictly well-typed query —
+/// each variable may be instantiated only with members of `A(X)`.
+/// Returns `None` when the query is not strictly well-typed (the
+/// optimization is "not always possible even with queries that are
+/// liberally (but not strictly) well-typed").
+pub fn theorem61_ranges(db: &Database, q: &SelectQuery, ex: &Exemptions) -> XsqlResult<Option<Ranges>> {
+    let shape = match extract(db, q) {
+        Ok(s) => s,
+        Err(_) => return Ok(None),
+    };
+    let Some((assignment, _plan)) = strict(db, &shape, ex) else {
+        return Ok(None);
+    };
+    Ok(Some(ranges_from_assignment(db, &shape, &assignment)))
+}
+
+/// Materializes the variable ranges of an assignment into oid sets for
+/// the evaluator (anonymous normalization slots are dropped — they do
+/// not correspond to query variables).
+pub fn ranges_from_assignment(
+    db: &Database,
+    shape: &QueryShape,
+    assignment: &Assignment,
+) -> Ranges {
+    let occs = shape.occurrences();
+    let class_ranges = ranges_for(db, shape, assignment, &occs);
+    let mut out = Ranges::new();
+    for (var, classes) in class_ranges {
+        if var.starts_with("_anon") {
+            continue;
+        }
+        out.insert(var, range_extent(db, &classes));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Stmt;
+    use crate::eval::{eval_select, eval_select_ranged, EvalOptions};
+    use crate::parser::parse;
+    use crate::resolve::resolve_stmt;
+    use oodb::DbBuilder;
+
+    /// The §6.2 schema: Vehicle/Company/Person plus the Association/
+    /// Organization extension of example (19).
+    fn db62() -> Database {
+        let mut b = DbBuilder::new();
+        b.class("Person");
+        b.class("Organization");
+        b.subclass("Company", &["Organization"]);
+        b.class("Vehicle");
+        b.class("Association");
+        b.attr("Vehicle", "Manufacturer", "Company");
+        b.attr("Company", "President", "Person");
+        b.attr("Organization", "President", "Person");
+        b.set_attr("Person", "OwnedVehicles", "Vehicle");
+        b.method_sig("Association", "Member", &["Numeral"], "Organization", false);
+        b.attr("Person", "Name", "String");
+
+        let p = b.obj("pres1", "Person");
+        let c = b.obj("comp1", "Company");
+        let v = b.obj("veh1", "Vehicle");
+        b.set(v, "Manufacturer", c);
+        b.set(c, "President", p);
+        b.set_many(p, "OwnedVehicles", &[v]);
+        let forum = b.obj("OO_Forum", "Association");
+        let yr = b.int(1992);
+        b.set_method_value(forum, "Member", &[yr], oodb::Val::Scalar(c));
+        b.build()
+    }
+
+    fn resolved_query(db: &mut Database, src: &str) -> crate::ast::SelectQuery {
+        let stmt = parse(src).unwrap();
+        match resolve_stmt(db, &stmt).unwrap() {
+            Stmt::Select(q) => q,
+            s => panic!("expected select, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn query_17_strictly_well_typed_with_plan_2_only() {
+        let mut db = db62();
+        // (17): FROM Vehicle X WHERE X.Manufacturer[M]
+        //        and M.President.OwnedVehicles[X]
+        let q = resolved_query(
+            &mut db,
+            "SELECT X FROM Vehicle X WHERE X.Manufacturer[M] \
+             and M.President.OwnedVehicles[X]",
+        );
+        let shape = extract(&db, &q).unwrap();
+        assert_eq!(shape.paths.len(), 2);
+        match analyze(&db, &q, &Exemptions::none()) {
+            Verdict::StrictlyWellTyped { assignment, plan } => {
+                // The only coherent plan runs the first path first
+                // (binding M from the bound X) — the paper's "second
+                // plan".
+                assert_eq!(plan, vec![0, 1]);
+                let others = coherent_plans(&db, &shape, &assignment, &Exemptions::none());
+                assert_eq!(others, vec![vec![0, 1]]);
+            }
+            v => panic!("expected strict, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn assignment_18_not_coherent_with_reverse_plan() {
+        // Mechanizes the paper's discussion: assignment (18) is not
+        // coherent with the plan that evaluates the second path first,
+        // because the restricted range of M is {Object}, not a subrange
+        // of Company.
+        let mut db = db62();
+        let q = resolved_query(
+            &mut db,
+            "SELECT X FROM Vehicle X WHERE X.Manufacturer[M] \
+             and M.President.OwnedVehicles[X]",
+        );
+        let shape = extract(&db, &q).unwrap();
+        let found = strict(&db, &shape, &Exemptions::none()).unwrap();
+        assert!(!coherent(&db, &shape, &found.0, &vec![1, 0], &Exemptions::none()));
+    }
+
+    #[test]
+    fn query_19_single_coherent_plan() {
+        let mut db = db62();
+        // (19): three paths; the only coherent order is third, second,
+        // first (Member binds M to an Organization, President then
+        // applies, Manufacturer last).
+        let q = resolved_query(
+            &mut db,
+            "SELECT X FROM Numeral Year WHERE X.Manufacturer[M] \
+             and M.President.OwnedVehicles[X] \
+             and OO_Forum.(Member @ Year)[M]",
+        );
+        let shape = extract(&db, &q).unwrap();
+        assert_eq!(shape.paths.len(), 3);
+        match analyze(&db, &q, &Exemptions::none()) {
+            Verdict::StrictlyWellTyped { assignment, plan } => {
+                assert_eq!(plan, vec![2, 1, 0], "paper: arcs third->second->first");
+                let all = coherent_plans(&db, &shape, &assignment, &Exemptions::none());
+                assert_eq!(all.len(), 1);
+                // And the assignment matches (20): President typed at
+                // Organization.
+                let pres_occ = OccId { path: 1, step: 0 };
+                let org = db.oids().find_sym("Organization").unwrap();
+                assert_eq!(assignment.types[&pres_occ].receiver(), org);
+            }
+            v => panic!("expected strict, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn nobel_query_liberal_but_not_strict() {
+        let mut b = DbBuilder::new();
+        b.class("Person");
+        b.class("Organization");
+        // WonNobelPrize defined for Person only; the head variable of
+        // `X.WonNobelPrize` has restricted range {Object}.
+        b.set_attr("Person", "WonNobelPrize", "String");
+        b.obj("marie", "Person");
+        let mut db = b.build();
+        let q = resolved_query(&mut db, "SELECT X WHERE X.WonNobelPrize");
+        match analyze(&db, &q, &Exemptions::none()) {
+            Verdict::LiberallyWellTyped { .. } => {}
+            v => panic!("expected liberal-only, got {v:?}"),
+        }
+        // Exempting the receiver (0th argument) of WonNobelPrize makes
+        // it type-correct — exactly the paper's proposal.
+        let ex = Exemptions::none().exempt(OccId { path: 0, step: 0 }, 0);
+        match analyze(&db, &q, &ex) {
+            Verdict::StrictlyWellTyped { .. } => {}
+            v => panic!("expected strict under exemption, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn undeclared_method_is_ill_typed() {
+        let mut db = db62();
+        let q = resolved_query(&mut db, "SELECT X WHERE X.NoSuchAttribute");
+        assert!(matches!(
+            analyze(&db, &q, &Exemptions::none()),
+            Verdict::IllTyped
+        ));
+    }
+
+    #[test]
+    fn empty_range_is_ill_typed() {
+        // X is simultaneously a Vehicle and the receiver of President
+        // (Organization): Person+... no common subclass of Vehicle and
+        // Organization exists -> empty range -> ill-typed.
+        let mut db = db62();
+        let q = resolved_query(
+            &mut db,
+            "SELECT X FROM Vehicle X WHERE X.President",
+        );
+        assert!(matches!(
+            analyze(&db, &q, &Exemptions::none()),
+            Verdict::IllTyped
+        ));
+    }
+
+    #[test]
+    fn outside_fragment_reported() {
+        let mut db = db62();
+        let q = resolved_query(
+            &mut db,
+            "SELECT Y FROM Person X WHERE X.\"Y.Name['bob']",
+        );
+        assert!(matches!(
+            analyze(&db, &q, &Exemptions::none()),
+            Verdict::OutsideFragment { .. }
+        ));
+    }
+
+    #[test]
+    fn theorem61_ranges_preserve_results() {
+        let mut db = db62();
+        let q = resolved_query(
+            &mut db,
+            "SELECT X FROM Vehicle X WHERE X.Manufacturer[M] \
+             and M.President.OwnedVehicles[X]",
+        );
+        let opts = EvalOptions::default();
+        let unrestricted = eval_select(&db, &q, &opts).unwrap();
+        let ranges = theorem61_ranges(&db, &q, &Exemptions::none())
+            .unwrap()
+            .expect("strictly well-typed");
+        let restricted = eval_select_ranged(&db, &q, &opts, &ranges).unwrap();
+        assert_eq!(unrestricted, restricted);
+        assert_eq!(restricted.len(), 1);
+        // The range of M is restricted to companies.
+        let m_range = &ranges["M"];
+        let comp1 = db.oids().find_sym("comp1").unwrap();
+        assert!(m_range.contains(&comp1));
+        let pres1 = db.oids().find_sym("pres1").unwrap();
+        assert!(!m_range.contains(&pres1));
+    }
+}

@@ -1,0 +1,355 @@
+//! Extraction of the §6.2 typable fragment from a resolved query.
+//!
+//! The paper simplifies: WHERE is a conjunction, SELECT a list of
+//! variables, path expressions carry only v-selectors, g-selectors and
+//! method names, and comparison operands are oids or paths ending in a
+//! v-selector. This module normalizes a resolved query into that shape
+//! (adding anonymous selectors where the paper "assumes all selectors
+//! appear") and reports queries outside the fragment.
+
+use crate::ast::*;
+use crate::error::{XsqlError, XsqlResult};
+use crate::eval::cond::flatten_and;
+use oodb::{Database, Oid};
+
+/// A selector/argument slot after normalization.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Slot {
+    /// A variable (by name).
+    Var(String),
+    /// A ground oid.
+    Const(Oid),
+    /// An anonymous selector added during normalization (distinct per
+    /// position; behaves like a fresh variable).
+    Anon(usize),
+}
+
+impl Slot {
+    /// The variable name, if this slot is one (anonymous slots act as
+    /// variables with generated names for range bookkeeping).
+    pub fn var_key(&self) -> Option<String> {
+        match self {
+            Slot::Var(n) => Some(n.clone()),
+            Slot::Anon(i) => Some(format!("_anon{i}")),
+            Slot::Const(_) => None,
+        }
+    }
+}
+
+/// One step of a normalized path: a fixed method, argument slots, and a
+/// (possibly anonymous) selector slot.
+#[derive(Debug, Clone)]
+pub struct StepShape {
+    /// The method-object.
+    pub method: Oid,
+    /// Rendered method name for diagnostics.
+    pub method_name: String,
+    /// Argument slots `A_{i,1},…,A_{i,k}`.
+    pub args: Vec<Slot>,
+    /// The selector slot `Sel_i`.
+    pub selector: Slot,
+}
+
+/// A normalized path expression `Sel_0.(m1@…)[Sel_1].….(mk@…)[Sel_k]`.
+#[derive(Debug, Clone)]
+pub struct PathShape {
+    /// The head selector slot `Sel_0`.
+    pub head: Slot,
+    /// The steps.
+    pub steps: Vec<StepShape>,
+}
+
+/// One side of a comparison, for assignment validity (§6.2's last
+/// bullet: comparisons must be well-defined on the compared ranges).
+#[derive(Debug, Clone)]
+pub enum CmpSide {
+    /// A ground oid.
+    Const(Oid),
+    /// The tail v-selector of a path (range-checked).
+    Var(String),
+    /// An aggregate — always a numeral.
+    Numeral,
+    /// Anything the fragment cannot classify (subqueries, set literals);
+    /// exempted from the well-definedness check.
+    Opaque,
+}
+
+/// A comparison record.
+#[derive(Debug, Clone)]
+pub struct CmpShape {
+    /// Left side.
+    pub left: CmpSide,
+    /// The comparator.
+    pub op: CmpOp,
+    /// Right side.
+    pub right: CmpSide,
+}
+
+/// The typable shape of a query.
+#[derive(Debug, Clone, Default)]
+pub struct QueryShape {
+    /// Normalized path expressions (the units execution plans order).
+    pub paths: Vec<PathShape>,
+    /// FROM constraints: variable name -> class.
+    pub from: Vec<(String, Oid)>,
+    /// Comparisons for the well-definedness condition.
+    pub comparisons: Vec<CmpShape>,
+}
+
+/// A method occurrence: path index, step index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct OccId {
+    /// Index into [`QueryShape::paths`].
+    pub path: usize,
+    /// Step index within the path.
+    pub step: usize,
+}
+
+impl QueryShape {
+    /// All method occurrences, in plan-relevant order.
+    pub fn occurrences(&self) -> Vec<OccId> {
+        let mut out = Vec::new();
+        for (p, path) in self.paths.iter().enumerate() {
+            for s in 0..path.steps.len() {
+                out.push(OccId { path: p, step: s });
+            }
+        }
+        out
+    }
+
+    /// The step of an occurrence.
+    pub fn step(&self, id: OccId) -> &StepShape {
+        &self.paths[id.path].steps[id.step]
+    }
+
+    /// The receiver slot of an occurrence (`Sel_{i-1}`).
+    pub fn receiver_slot(&self, id: OccId) -> &Slot {
+        if id.step == 0 {
+            &self.paths[id.path].head
+        } else {
+            &self.paths[id.path].steps[id.step - 1].selector
+        }
+    }
+}
+
+struct Extractor<'d> {
+    db: &'d Database,
+    shape: QueryShape,
+    anon: usize,
+}
+
+impl Extractor<'_> {
+    fn fresh(&mut self) -> Slot {
+        self.anon += 1;
+        Slot::Anon(self.anon)
+    }
+
+    fn slot(&mut self, t: &IdTerm) -> XsqlResult<Slot> {
+        match t {
+            IdTerm::Oid(o) => Ok(Slot::Const(*o)),
+            IdTerm::Var(v) => Ok(Slot::Var(v.name.clone())),
+            other => Err(unsupported(format!(
+                "selector/argument {other:?} is outside the §6.2 typable fragment"
+            ))),
+        }
+    }
+
+    fn add_path(&mut self, p: &PathExpr) -> XsqlResult<usize> {
+        let head = self.slot(&p.head)?;
+        let mut steps = Vec::with_capacity(p.steps.len());
+        for s in &p.steps {
+            match s {
+                Step::Method {
+                    method: MethodTerm::Name(n),
+                    args,
+                    selector,
+                } => {
+                    let args = args
+                        .iter()
+                        .map(|a| self.slot(a))
+                        .collect::<XsqlResult<Vec<_>>>()?;
+                    let selector = match selector {
+                        Some(t) => self.slot(t)?,
+                        None => self.fresh(),
+                    };
+                    // The resolver pre-interned every method name.
+                    let method = self.db.oids().find_sym(n).ok_or_else(|| {
+                        XsqlError::Resolve(format!("method `{n}` not interned"))
+                    })?;
+                    steps.push(StepShape {
+                        method,
+                        method_name: n.clone(),
+                        args,
+                        selector,
+                    });
+                }
+                Step::Method {
+                    method: MethodTerm::Var(v),
+                    ..
+                } => {
+                    return Err(unsupported(format!(
+                        "method variable \"{v} — §6.2 considers only method names"
+                    )))
+                }
+                Step::PathVar { name, .. } => {
+                    return Err(unsupported(format!(
+                        "path variable *{name} — outside the §6.2 fragment"
+                    )))
+                }
+            }
+        }
+        self.shape.paths.push(PathShape { head, steps });
+        Ok(self.shape.paths.len() - 1)
+    }
+
+    fn cmp_side(&mut self, op: &Operand) -> XsqlResult<CmpSide> {
+        match op {
+            Operand::Path(p) if p.steps.is_empty() => match &p.head {
+                IdTerm::Oid(o) => Ok(CmpSide::Const(*o)),
+                IdTerm::Var(v) => Ok(CmpSide::Var(v.name.clone())),
+                _ => Ok(CmpSide::Opaque),
+            },
+            Operand::Path(p) => {
+                // §6.2 footnote 13: a comparison path either ends in a
+                // v-selector or gets a fresh one appended.
+                let idx = self.add_path(p)?;
+                let last = self.shape.paths[idx].steps.last().unwrap();
+                match last.selector.var_key() {
+                    Some(key) => Ok(CmpSide::Var(key)),
+                    None => Ok(CmpSide::Const(match &last.selector {
+                        Slot::Const(o) => *o,
+                        _ => unreachable!(),
+                    })),
+                }
+            }
+            Operand::Agg(_, p) => {
+                self.add_path(p)?;
+                Ok(CmpSide::Numeral)
+            }
+            Operand::Arith(..) => Ok(CmpSide::Numeral),
+            _ => Ok(CmpSide::Opaque),
+        }
+    }
+}
+
+fn unsupported(msg: String) -> XsqlError {
+    XsqlError::IllTyped(format!("not in the typable fragment: {msg}"))
+}
+
+/// Extracts the typable shape of a resolved query. Errors with
+/// [`XsqlError::IllTyped`] when the query uses constructs outside the
+/// §6.2 fragment (method variables, path variables, disjunction,
+/// negation, id-terms, subqueries in generator positions).
+pub fn extract(db: &Database, q: &SelectQuery) -> XsqlResult<QueryShape> {
+    let mut ex = Extractor {
+        db,
+        shape: QueryShape::default(),
+        anon: 0,
+    };
+    for f in &q.from {
+        match &f.class {
+            IdTerm::Oid(c) => ex.shape.from.push((f.var.name.clone(), *c)),
+            other => {
+                return Err(unsupported(format!(
+                    "FROM range {other:?} is not a class name"
+                )))
+            }
+        }
+    }
+    let mut conjs = Vec::new();
+    flatten_and(&q.where_clause, &mut conjs);
+    for c in conjs {
+        match c {
+            Cond::Path(p) => {
+                ex.add_path(p)?;
+            }
+            Cond::Cmp {
+                left, op, right, ..
+            } => {
+                let l = ex.cmp_side(left)?;
+                let r = ex.cmp_side(right)?;
+                ex.shape.comparisons.push(CmpShape {
+                    left: l,
+                    op: *op,
+                    right: r,
+                });
+            }
+            Cond::SetCmp { left, right, .. } => {
+                // Set comparators: type both sides' paths; membership
+                // comparisons are always well-defined.
+                for side in [left, right] {
+                    if let Operand::Path(p) = side {
+                        if !p.steps.is_empty() {
+                            ex.add_path(p)?;
+                        }
+                    }
+                }
+            }
+            Cond::True => {}
+            other => {
+                return Err(unsupported(format!(
+                    "conjunct {other:?} (§6.2 assumes a conjunctive WHERE clause)"
+                )))
+            }
+        }
+    }
+    Ok(ex.shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::resolve::resolve_stmt;
+    use oodb::DbBuilder;
+
+    fn shape_of(src: &str) -> XsqlResult<QueryShape> {
+        let mut b = DbBuilder::new();
+        b.class("Person");
+        b.attr("Person", "Name", "String");
+        b.attr("Person", "Age", "Numeral");
+        b.set_attr("Person", "Friends", "Person");
+        let mut db = b.build();
+        let stmt = parse(src).unwrap();
+        let Stmt::Select(q) = resolve_stmt(&mut db, &stmt).unwrap() else {
+            panic!()
+        };
+        extract(&db, &q)
+    }
+
+    use crate::ast::Stmt;
+
+    #[test]
+    fn anonymous_selectors_added_where_missing() {
+        let s = shape_of("SELECT X FROM Person X WHERE X.Friends.Name['a']").unwrap();
+        assert_eq!(s.paths.len(), 1);
+        let steps = &s.paths[0].steps;
+        assert!(matches!(steps[0].selector, Slot::Anon(_)));
+        assert!(matches!(steps[1].selector, Slot::Const(_)));
+    }
+
+    #[test]
+    fn comparison_paths_get_tail_selectors() {
+        let s = shape_of("SELECT X FROM Person X WHERE X.Age > 30").unwrap();
+        assert_eq!(s.paths.len(), 1);
+        assert_eq!(s.comparisons.len(), 1);
+        assert!(matches!(s.comparisons[0].left, CmpSide::Var(_)));
+        assert!(matches!(s.comparisons[0].right, CmpSide::Const(_)));
+    }
+
+    #[test]
+    fn fragment_violations_detected() {
+        assert!(shape_of("SELECT Y FROM Person X WHERE X.\"Y.Name['a']").is_err());
+        assert!(shape_of("SELECT X FROM Person X WHERE X.*P.Name['a']").is_err());
+        assert!(shape_of("SELECT X FROM Person X WHERE X.Name['a'] or X.Age > 3").is_err());
+    }
+
+    #[test]
+    fn receiver_slots_chain() {
+        let s = shape_of("SELECT X FROM Person X WHERE X.Friends[Y].Name['a']").unwrap();
+        let occs = s.occurrences();
+        assert_eq!(occs.len(), 2);
+        assert!(matches!(s.receiver_slot(occs[0]), Slot::Var(n) if n == "X"));
+        assert!(matches!(s.receiver_slot(occs[1]), Slot::Var(n) if n == "Y"));
+    }
+}

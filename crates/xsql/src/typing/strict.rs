@@ -1,0 +1,209 @@
+//! Execution plans, assignment restriction, coherence and strict
+//! well-typing (§6.2), including well-typing *with exemptions*.
+
+use super::assign::{ranges_for, search_assignments, Assignment};
+use super::shape::{OccId, QueryShape, Slot};
+use super::types::is_subrange;
+use oodb::Database;
+use std::collections::BTreeSet;
+
+/// An execution plan: a total order on the path expressions of the
+/// WHERE clause (the paper allows partial orders; the total orders are
+/// exactly their linearizations, so searching them loses nothing).
+pub type Plan = Vec<usize>;
+
+/// Argument positions of method occurrences exempted from the coherence
+/// test. "The liberal notion exempts all arguments while the
+/// conservative exempts none" (§6.2); position 0 is the receiver (the
+/// paper's 0th argument — the exemption used for the Nobel-Prize query).
+#[derive(Debug, Clone, Default)]
+pub struct Exemptions {
+    all: bool,
+    set: BTreeSet<(OccId, usize)>,
+}
+
+impl Exemptions {
+    /// The conservative end: nothing exempted (strict well-typing).
+    pub fn none() -> Exemptions {
+        Exemptions::default()
+    }
+
+    /// The liberal end: everything exempted.
+    pub fn all() -> Exemptions {
+        Exemptions {
+            all: true,
+            set: BTreeSet::new(),
+        }
+    }
+
+    /// Exempts one argument position (0 = receiver) of one occurrence.
+    pub fn exempt(mut self, occ: OccId, arg: usize) -> Exemptions {
+        self.set.insert((occ, arg));
+        self
+    }
+
+    /// Is this position exempted?
+    pub fn exempted(&self, occ: OccId, arg: usize) -> bool {
+        self.all || self.set.contains(&(occ, arg))
+    }
+}
+
+/// All plans (permutations of path indices). Query WHERE clauses have a
+/// handful of paths; the factorial is tiny in practice and capped by the
+/// caller's patience.
+pub fn all_plans(n_paths: usize) -> Vec<Plan> {
+    let mut out = Vec::new();
+    let mut cur: Plan = Vec::new();
+    let mut used = vec![false; n_paths];
+    permute(n_paths, &mut cur, &mut used, &mut out);
+    out
+}
+
+fn permute(n: usize, cur: &mut Plan, used: &mut [bool], out: &mut Vec<Plan>) {
+    if cur.len() == n {
+        out.push(cur.clone());
+        return;
+    }
+    for i in 0..n {
+        if !used[i] {
+            used[i] = true;
+            cur.push(i);
+            permute(n, cur, used, out);
+            cur.pop();
+            used[i] = false;
+        }
+    }
+}
+
+/// The occurrences visible to the restriction `A'` of an assignment to
+/// occurrence `at` under `plan` (§6.2): occurrences in path expressions
+/// that precede `at`'s path in the plan, plus occurrences to the left of
+/// `at` within its own path.
+fn restriction_occs(shape: &QueryShape, plan: &Plan, at: OccId) -> Vec<OccId> {
+    let pos = plan
+        .iter()
+        .position(|&p| p == at.path)
+        .expect("plan covers all paths");
+    let mut out = Vec::new();
+    for &p in &plan[..pos] {
+        for s in 0..shape.paths[p].steps.len() {
+            out.push(OccId { path: p, step: s });
+        }
+    }
+    for s in 0..at.step {
+        out.push(OccId {
+            path: at.path,
+            step: s,
+        });
+    }
+    out
+}
+
+/// Coherence of an assignment with a plan (§6.2's two conditions): for
+/// every occurrence, each variable argument's restricted range must be a
+/// subrange of the type the method expects of it, and likewise for the
+/// receiver selector.
+pub fn coherent(
+    db: &Database,
+    shape: &QueryShape,
+    asg: &Assignment,
+    plan: &Plan,
+    ex: &Exemptions,
+) -> bool {
+    for occ in shape.occurrences() {
+        let te = &asg.types[&occ];
+        let visible = restriction_occs(shape, plan, occ);
+        let restricted = ranges_for(db, shape, asg, &visible);
+        // 2b: the receiver.
+        if !ex.exempted(occ, 0) {
+            if let Some(key) = shape.receiver_slot(occ).var_key() {
+                let r = restricted.get(&key).expect("range for every variable");
+                if !is_subrange(db, r, te.receiver()) {
+                    return false;
+                }
+            }
+        }
+        // 2a: each argument.
+        let step = shape.step(occ);
+        for (j, slot) in step.args.iter().enumerate() {
+            if ex.exempted(occ, j + 1) {
+                continue;
+            }
+            if let Slot::Var(_) | Slot::Anon(_) = slot {
+                let key = slot.var_key().unwrap();
+                let r = restricted.get(&key).expect("range for every variable");
+                if !is_subrange(db, r, te.args[j + 1]) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Strict well-typing (§6.2): a valid, complete assignment and a plan
+/// coherent with it, with non-empty ranges. Returns the first coherent
+/// pair — by Theorem 6.1 any coherent pair evaluates the query
+/// identically, so one suffices.
+pub fn strict(
+    db: &Database,
+    shape: &QueryShape,
+    ex: &Exemptions,
+) -> Option<(Assignment, Plan)> {
+    let plans = all_plans(shape.paths.len());
+    let mut found = None;
+    search_assignments(db, shape, &mut |asg, _ranges| {
+        for plan in &plans {
+            if coherent(db, shape, asg, plan, ex) {
+                found = Some((asg.clone(), plan.clone()));
+                return true;
+            }
+        }
+        false
+    });
+    found
+}
+
+/// All coherent plans of a given assignment — used to mechanize Theorem
+/// 6.1.1 (plan invariance).
+pub fn coherent_plans(
+    db: &Database,
+    shape: &QueryShape,
+    asg: &Assignment,
+    ex: &Exemptions,
+) -> Vec<Plan> {
+    all_plans(shape.paths.len())
+        .into_iter()
+        .filter(|p| coherent(db, shape, asg, p, ex))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exemptions_membership() {
+        let occ = OccId { path: 0, step: 1 };
+        let other = OccId { path: 1, step: 0 };
+        let ex = Exemptions::none().exempt(occ, 0).exempt(occ, 2);
+        assert!(ex.exempted(occ, 0));
+        assert!(ex.exempted(occ, 2));
+        assert!(!ex.exempted(occ, 1));
+        assert!(!ex.exempted(other, 0));
+        assert!(Exemptions::all().exempted(other, 7));
+    }
+
+    #[test]
+    fn plan_enumeration_is_exhaustive_and_distinct() {
+        let plans = all_plans(3);
+        assert_eq!(plans.len(), 6);
+        let set: std::collections::BTreeSet<_> = plans.iter().collect();
+        assert_eq!(set.len(), 6);
+        for p in &plans {
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2]);
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Edge-case behaviour of the evaluator: cyclic data, empty-set
+//! quantifier semantics, numeral identity, nil, selector sorts, and
+//! resource guards.
+
+use oodb::{Database, DbBuilder};
+use xsql::{EvalOptions, Session, Strategy, XsqlError};
+
+fn cyclic_db() -> Database {
+    // a -> b -> c -> a through a scalar attribute.
+    let mut b = DbBuilder::new();
+    b.class("Node");
+    b.attr("Node", "Next", "Node");
+    b.attr("Node", "Tag", "String");
+    let n1 = b.obj("a1", "Node");
+    let n2 = b.obj("b2", "Node");
+    let n3 = b.obj("c3", "Node");
+    b.set(n1, "Next", n2);
+    b.set(n2, "Next", n3);
+    b.set(n3, "Next", n1);
+    b.set_str(n1, "Tag", "start");
+    b.build()
+}
+
+#[test]
+fn cyclic_data_fixed_length_paths_terminate() {
+    let mut s = Session::new(cyclic_db());
+    // A fixed-length path across a cycle terminates (path expressions
+    // have a fixed number of steps; cycles in the data are fine).
+    let r = s
+        .query("SELECT X FROM Node X WHERE X.Next.Next.Next[X]")
+        .unwrap();
+    assert_eq!(r.len(), 3); // every node returns to itself in 3 hops
+    let r = s
+        .query("SELECT X FROM Node X WHERE X.Next.Next[X]")
+        .unwrap();
+    assert!(r.is_empty());
+}
+
+#[test]
+fn path_variables_on_cycles_are_bounded() {
+    // Path variables are depth-bounded; cycles don't diverge.
+    let mut s = Session::new(cyclic_db());
+    let r = s
+        .query("SELECT X FROM Node X WHERE X.*P.Tag['start']")
+        .unwrap();
+    // Every node reaches a1 within the default bound of 4 hops.
+    assert_eq!(r.len(), 3);
+    // A bound of zero hops only admits a1 itself (zero-length sequence
+    // then Tag).
+    s.set_options(EvalOptions {
+        path_var_limit: 0,
+        ..EvalOptions::default()
+    });
+    let r = s
+        .query("SELECT X FROM Node X WHERE X.*P.Tag['start']")
+        .unwrap();
+    assert_eq!(r.len(), 1);
+}
+
+#[test]
+fn all_quantifier_vacuous_on_empty() {
+    let mut b = DbBuilder::new();
+    b.class("Person");
+    b.set_attr("Person", "Kids", "Person");
+    b.attr("Person", "Age", "Numeral");
+    let solo = b.obj("solo", "Person");
+    b.set_int(solo, "Age", 30);
+    let parent = b.obj("parent", "Person");
+    b.set_int(parent, "Age", 50);
+    let kid = b.obj("kid", "Person");
+    b.set_int(kid, "Age", 10);
+    b.set_many(parent, "Kids", &[kid]);
+    let mut s = Session::new(b.build());
+    // all> over an empty set is vacuously true: solo and kid qualify.
+    let r = s
+        .query("SELECT X FROM Person X WHERE X.Kids.Age all> 100")
+        .unwrap();
+    assert_eq!(r.len(), 2);
+    // some> over an empty set is false: nobody qualifies.
+    let r = s
+        .query("SELECT X FROM Person X WHERE X.Kids.Age some> 100")
+        .unwrap();
+    assert!(r.is_empty());
+}
+
+#[test]
+fn int_and_real_numerals_compare_numerically() {
+    let mut b = DbBuilder::new();
+    b.class("Item");
+    b.attr("Item", "Weight", "Numeral");
+    let i1 = b.obj("i1", "Item");
+    let w = b.real(2.0);
+    b.set(i1, "Weight", w);
+    let mut s = Session::new(b.build());
+    // The literal 2 (an integer) equals the stored 2.0 (a real): the
+    // OID of a numeral carries its value (§2).
+    let r = s.query("SELECT X FROM Item X WHERE X.Weight = 2").unwrap();
+    assert_eq!(r.len(), 1);
+    let r = s
+        .query("SELECT X FROM Item X WHERE X.Weight[2]")
+        .unwrap();
+    assert_eq!(r.len(), 1, "selectors are numeral-insensitive too");
+}
+
+#[test]
+fn nil_is_a_first_class_object() {
+    let mut db = Database::new();
+    let c = db.define_class("Task", &[]).unwrap();
+    let t = db.new_individual("t1", &[c]).unwrap();
+    let done = db.oids_mut().sym("Result");
+    let nil = db.oids_mut().nil();
+    db.set_scalar(t, done, &[], nil).unwrap();
+    let mut s = Session::new(db);
+    let r = s.query("SELECT X FROM Task X WHERE X.Result[nil]").unwrap();
+    assert_eq!(r.len(), 1);
+}
+
+#[test]
+fn class_objects_not_captured_by_individual_variables() {
+    // Individual variables range over individuals only; a class-valued
+    // position never binds them (§2: the class universe is disjoint).
+    let mut s = Session::new(datagen::figure1_db());
+    let r = s.query("SELECT X WHERE X.Name['UniSQL']").unwrap();
+    assert_eq!(r.len(), 1); // uniSQL the company — not a class
+    // Class variables conversely never capture individuals.
+    let r = s.query("SELECT #C WHERE #C subclassOf Object").unwrap();
+    assert!(r
+        .iter()
+        .all(|t| s.db().is_class(t[0])));
+}
+
+#[test]
+fn work_limit_guards_naive_engine() {
+    let db = datagen::figure1_scaled(&datagen::Figure1Params {
+        companies: 3,
+        ..datagen::Figure1Params::default()
+    });
+    let mut s = Session::with_options(
+        db,
+        EvalOptions {
+            strategy: Strategy::Naive,
+            work_limit: 10_000,
+            ..EvalOptions::default()
+        },
+    );
+    let err = s
+        .query("SELECT X, Y FROM Person X, Person Y WHERE X.Age = Y.Age")
+        .unwrap_err();
+    assert!(matches!(err, XsqlError::WorkLimit(10_000)), "{err}");
+}
+
+#[test]
+fn recursive_method_hits_depth_guard() {
+    // A method defined in terms of itself recurses until the engine's
+    // invocation-depth guard fires — an error, not a hang.
+    let mut s = Session::new(cyclic_db());
+    s.run(
+        "ALTER CLASS Node ADD SIGNATURE Chase => String \
+         SELECT (Chase @) = W FROM Node X OID X WHERE X.Next.Chase[W]",
+    )
+    .unwrap();
+    let a1 = s.db().oids().find_sym("a1").unwrap();
+    let err = s.invoke(a1, "Chase", &[]).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("recursion") || msg.contains("failed"), "{msg}");
+}
+
+#[test]
+fn string_comparisons_are_lexicographic() {
+    let mut s = Session::new(datagen::figure1_db());
+    let r = s
+        .query("SELECT X FROM Person X WHERE X.Name > 'L' and X.Name < 'N'")
+        .unwrap();
+    // Mary only.
+    assert_eq!(r.len(), 1);
+}
+
+#[test]
+fn incomparable_kinds_compare_false_not_error() {
+    // Liberal evaluation: ordering a string against a numeral is simply
+    // false (the typing system flags it statically; §6's liberal end).
+    let mut s = Session::new(datagen::figure1_db());
+    let r = s
+        .query("SELECT X FROM Person X WHERE X.Name > 5")
+        .unwrap();
+    assert!(r.is_empty());
+}
+
+#[test]
+fn division_by_zero_is_an_error() {
+    let mut s = Session::new(datagen::figure1_db());
+    let err = s
+        .query("SELECT X FROM Employee X WHERE X.Salary / 0 > 1")
+        .unwrap_err();
+    assert!(matches!(err, XsqlError::NotNumeric(_)), "{err}");
+}
+
+#[test]
+fn unknown_method_name_yields_empty_not_error() {
+    let mut s = Session::new(datagen::figure1_db());
+    let r = s
+        .query("SELECT X FROM Person X WHERE X.TotallyUnknownAttr")
+        .unwrap();
+    assert!(r.is_empty());
+}
+
+#[test]
+fn deeply_nested_subqueries() {
+    let mut s = Session::new(datagen::figure1_db());
+    let r = s
+        .query(
+            "SELECT X FROM Company X WHERE 0 <all (SELECT W FROM Division Y \
+             WHERE X.Divisions[Y].Manager.Salary[W] \
+             and 1 <all (SELECT V FROM Employee Z WHERE Y.Employees[Z].Age[V]))",
+        )
+        .unwrap();
+    assert_eq!(r.len(), 1);
+}
+
+#[test]
+fn selector_unification_with_func_terms() {
+    // A partially-unbound id-term head unifies against view objects.
+    let mut s = Session::new(datagen::figure1_db());
+    s.run(
+        "CREATE VIEW Pair AS SUBCLASS OF Object SIGNATURE Sal => Numeral \
+         SELECT Sal = W.Salary FROM Company X OID FUNCTION OF X,W \
+         WHERE X.Divisions.Employees[W]",
+    )
+    .unwrap();
+    // Pair(C, E) with C, E variables enumerates the view extent and
+    // binds both components of the id-term.
+    let r = s
+        .query("SELECT C, E FROM Company C, Employee E WHERE Pair(C, E).Sal > 0")
+        .unwrap();
+    assert_eq!(r.len(), 2);
+}
+
+#[test]
+fn shadowed_from_binders_in_subquery() {
+    // A subquery FROM binder with the same name as an outer variable
+    // shadows it for the inner scope (documented convention).
+    let mut s = Session::new(datagen::figure1_db());
+    let r = s
+        .query(
+            "SELECT X FROM Company X WHERE 0 < (SELECT W FROM Employee W \
+             WHERE X.Divisions.Employees[W] and W.Salary[90000])",
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+    // Comparison `0 < {john13}`? john13 is not a numeral: incomparable,
+    // false — so the subquery must select the salary instead for a
+    // meaningful comparison; this asserts the machinery doesn't error.
+    assert!(r.is_empty());
+}
+
+#[test]
+fn boolean_literals_as_objects() {
+    let mut db = Database::new();
+    let c = db.define_class("Flagged", &[]).unwrap();
+    let o = db.new_individual("f1", &[c]).unwrap();
+    let m = db.oids_mut().sym("Active");
+    let t = db.oids_mut().bool(true);
+    db.set_scalar(o, m, &[], t).unwrap();
+    let mut s = Session::new(db);
+    let r = s.query("SELECT X FROM Flagged X WHERE X.Active[true]").unwrap();
+    assert_eq!(r.len(), 1);
+    let r = s.query("SELECT X FROM Flagged X WHERE X.Active[false]").unwrap();
+    assert!(r.is_empty());
+}
+
+#[test]
+fn multi_column_unnesting_cartesian() {
+    // SELECT with two set-valued expressions unnests as a product per
+    // binding.
+    let mut s = Session::new(datagen::figure1_db());
+    let r = s
+        .query("SELECT X.FamMembers, X.OwnedVehicles FROM Employee X WHERE X.Name['John']")
+        .unwrap();
+    // john: 2 family members x 2 vehicles = 4 rows.
+    assert_eq!(r.len(), 4);
+}
+
+#[test]
+fn negative_numeral_paths() {
+    let mut db = Database::new();
+    let c = db.define_class("Account", &[]).unwrap();
+    let o = db.new_individual("acct", &[c]).unwrap();
+    let m = db.oids_mut().sym("Balance");
+    let v = db.oids_mut().int(-250);
+    db.set_scalar(o, m, &[], v).unwrap();
+    let mut s = Session::new(db);
+    let r = s
+        .query("SELECT X FROM Account X WHERE X.Balance < -100")
+        .unwrap();
+    assert_eq!(r.len(), 1);
+    let r = s
+        .query("SELECT X FROM Account X WHERE X.Balance[-250]")
+        .unwrap();
+    assert_eq!(r.len(), 1);
+}
+
+#[test]
+fn select_only_variable_enumerates_domain() {
+    // A variable appearing only in the SELECT list ranges over its
+    // whole sort domain (naive semantics §3.4) — the cartesian query.
+    let mut b = DbBuilder::new();
+    b.class("Pt");
+    b.obj("p1", "Pt");
+    b.obj("p2", "Pt");
+    let mut s = Session::new(b.build());
+    let r = s.query("SELECT X, Y FROM Pt X, Pt Y").unwrap();
+    assert_eq!(r.len(), 4);
+    // And with Y appearing only in the SELECT list.
+    let r = s.query("SELECT Y FROM Pt X").unwrap();
+    assert_eq!(r.len(), 2);
+}
+
+#[test]
+fn parenthesized_relational_algebra() {
+    let mut s = Session::new(datagen::figure1_db());
+    let r = s
+        .query(
+            "SELECT X FROM Person X MINUS (SELECT X FROM Employee X \
+             UNION SELECT X FROM Person X WHERE X.Age < 20)",
+        )
+        .unwrap();
+    // Persons minus (employees ∪ minors): mary123 (34), anna7 (22).
+    assert_eq!(r.len(), 2);
+}
+
+#[test]
+fn scripts_tolerate_comments_and_blank_statements() {
+    let mut s = Session::new(datagen::figure1_db());
+    let outs = s
+        .run_script(
+            "-- leading comment\n\
+             SELECT X FROM Person X; ;; \n\
+             -- middle comment\n\
+             SELECT Y FROM Company Y; -- trailing comment",
+        )
+        .unwrap();
+    assert_eq!(outs.len(), 2);
+}
+
+#[test]
+fn instance_of_predicate() {
+    // The InstanceOf companion predicate (FROM's explicit form).
+    let mut s = Session::new(datagen::figure1_db());
+    let r = s
+        .query("SELECT X FROM Vehicle X WHERE X instanceOf Automobile")
+        .unwrap();
+    assert_eq!(r.len(), 2);
+    let r = s
+        .query("SELECT #C FROM Vehicle X WHERE car1 instanceOf #C and #C subclassOf Vehicle")
+        .unwrap();
+    assert_eq!(r.len(), 1); // Automobile
+}

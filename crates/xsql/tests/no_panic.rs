@@ -1,0 +1,30 @@
+//! Robustness: the lexer and parser must never panic — arbitrary input
+//! produces `Ok` or a located `Err`.
+
+use proptest::prelude::*;
+use xsql::{lex, parse};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+    #[test]
+    fn lexer_total_on_arbitrary_input(src in ".{0,200}") {
+        let _ = lex(&src);
+    }
+
+    #[test]
+    fn parser_total_on_arbitrary_input(src in ".{0,200}") {
+        let _ = parse(&src);
+    }
+
+    /// Near-miss inputs: mutate a valid query by deleting a span.
+    #[test]
+    fn parser_total_on_mutilated_queries(start in 0usize..80, len in 0usize..30) {
+        let base = "SELECT X, Y FROM Company X WHERE X.Divisions[Y].Manager.Salary some> 20000 \
+                    and X.Name =all {'a', 'b'}";
+        let s = start.min(base.len());
+        let e = (start + len).min(base.len());
+        // Only cut on char boundaries (always true here: ASCII).
+        let mutated = format!("{}{}", &base[..s], &base[e..]);
+        let _ = parse(&mutated);
+    }
+}

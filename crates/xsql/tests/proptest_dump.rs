@@ -1,0 +1,100 @@
+//! Property-based dump/restore: for random schemas and data, replaying
+//! the dump yields a database that answers a probe battery identically
+//! and passes conformance.
+
+use oodb::{Database, Oid};
+use proptest::prelude::*;
+use xsql::{dump_script, Session};
+
+fn build(
+    supers: &[(u8, u8)],
+    objs: &[(u8, u8)],
+    scalars: &[(u8, u8, i64)],
+    links: &[(u8, u8, u8)],
+) -> Database {
+    let mut db = Database::new();
+    let classes: Vec<Oid> = (0..4)
+        .map(|i| db.define_class(&format!("K{i}"), &[]).unwrap())
+        .collect();
+    for &(a, b) in supers {
+        let _ = db.add_is_a(classes[(a % 4) as usize], classes[(b % 4) as usize]);
+    }
+    // Signatures: V (numeral), L (set of Object) on every class so data
+    // conforms.
+    let numeral = db.builtins().numeral;
+    let object = db.builtins().object;
+    for &c in &classes {
+        db.add_signature(c, "V", &[], numeral, false).unwrap();
+        db.add_signature(c, "L", &[], object, true).unwrap();
+    }
+    let objects: Vec<Oid> = objs
+        .iter()
+        .enumerate()
+        .map(|(i, &(c, _))| {
+            db.new_individual(&format!("o{i}"), &[classes[(c % 4) as usize]])
+                .unwrap()
+        })
+        .collect();
+    if objects.is_empty() {
+        return db;
+    }
+    let m_v = db.oids_mut().sym("V");
+    let m_l = db.oids_mut().sym("L");
+    for &(o, _, v) in scalars {
+        let obj = objects[(o as usize) % objects.len()];
+        let val = db.oids_mut().int(v);
+        db.set_scalar(obj, m_v, &[], val).unwrap();
+    }
+    for &(o, t, _) in links {
+        let (obj, tgt) = (
+            objects[(o as usize) % objects.len()],
+            objects[(t as usize) % objects.len()],
+        );
+        db.insert_into_set(obj, m_l, &[], tgt).unwrap();
+    }
+    db
+}
+
+fn probe(s: &mut Session) -> Vec<Vec<String>> {
+    [
+        "SELECT X FROM K0 X",
+        "SELECT X FROM K1 X WHERE X.V > 0",
+        "SELECT X, Y FROM K2 X WHERE X.L[Y]",
+        "SELECT X WHERE X.V[3]",
+        "SELECT X FROM K3 X WHERE count(X.L) >= 1",
+    ]
+    .iter()
+    .map(|q| {
+        s.query(q)
+            .unwrap()
+            .iter()
+            .map(|t| {
+                t.iter()
+                    .map(|&o| s.db().render(o))
+                    .collect::<Vec<_>>()
+                    .join("|")
+            })
+            .collect()
+    })
+    .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn dump_restore_preserves_answers(
+        supers in proptest::collection::vec((0u8..4, 0u8..4), 0..5),
+        objs in proptest::collection::vec((0u8..4, 0u8..1), 0..8),
+        scalars in proptest::collection::vec((0u8..8, 0u8..1, -9i64..9), 0..10),
+        links in proptest::collection::vec((0u8..8, 0u8..8, 0u8..1), 0..10),
+    ) {
+        let original = build(&supers, &objs, &scalars, &links);
+        let script = dump_script(&original).unwrap();
+        let mut restored = Session::new(Database::new());
+        restored.run_script(&script)
+            .unwrap_or_else(|e| panic!("replay failed: {e}\n{script}"));
+        let mut orig = Session::new(original);
+        prop_assert_eq!(probe(&mut orig), probe(&mut restored), "script:\n{}", script);
+        prop_assert!(restored.db().check_conformance().is_empty());
+    }
+}

@@ -1,0 +1,70 @@
+//! Bootstrapping a database from nothing but XSQL statements — the DDL
+//! extensions (`CREATE CLASS`, `CREATE OBJECT`, `ADD SIGNATURE`) plus
+//! dump/restore round-tripping.
+//!
+//! ```sh
+//! cargo run --example bootstrap
+//! ```
+
+use oodb::Database;
+use relalg::render_table;
+use xsql::{dump_script, Session};
+
+fn main() {
+    let mut s = Session::new(Database::new());
+    let script = "
+        -- a small library domain, declared entirely in XSQL
+        CREATE CLASS Author;
+        CREATE CLASS Book;
+        CREATE CLASS Novel AS SUBCLASS OF Book;
+        ALTER CLASS Author ADD SIGNATURE Name => String;
+        ALTER CLASS Book ADD SIGNATURE Title => String;
+        ALTER CLASS Book ADD SIGNATURE WrittenBy => Author;
+        ALTER CLASS Book ADD SIGNATURE Year => Numeral;
+        ALTER CLASS Author ADD SIGNATURE Influences =>> Author;
+
+        CREATE OBJECT leguin CLASS Author SET Name = 'Ursula K. Le Guin';
+        CREATE OBJECT borges CLASS Author SET Name = 'Jorge Luis Borges';
+        CREATE OBJECT dispossessed CLASS Novel
+            SET Title = 'The Dispossessed', WrittenBy = leguin, Year = 1974;
+        CREATE OBJECT aleph CLASS Book
+            SET Title = 'The Aleph', WrittenBy = borges, Year = 1945;
+        UPDATE CLASS Author SET leguin.Influences = borges;
+    ";
+    s.run_script(script).unwrap();
+
+    println!("-- Novels and their authors:");
+    let r = s
+        .query("SELECT T, N FROM Novel B WHERE B.Title[T] and B.WrittenBy.Name[N]")
+        .unwrap();
+    println!("{}", render_table(&r, s.db().oids()));
+
+    println!("-- Authors influencing authors of post-1950 books:");
+    let r = s
+        .query(
+            "SELECT N FROM Book B WHERE B.Year > 1950 \
+             and B.WrittenBy.Influences.Name[N]",
+        )
+        .unwrap();
+    println!("{}", render_table(&r, s.db().oids()));
+
+    println!("-- EXPLAIN (typing report):");
+    if let xsql::Outcome::Explained { report } = s
+        .run("EXPLAIN SELECT B FROM Book B WHERE B.WrittenBy[A] and A.Name['x']")
+        .unwrap()
+    {
+        println!("{report}");
+    }
+
+    println!("-- Dump, restore into a fresh session, re-query:");
+    let dump = dump_script(s.db()).unwrap();
+    println!("(dump is {} lines of XSQL)\n", dump.lines().count());
+    let mut fresh = Session::new(Database::new());
+    fresh.run_script(&dump).unwrap();
+    let r = fresh
+        .query("SELECT T FROM Book B WHERE B.WrittenBy.Name['Jorge Luis Borges'] and B.Title[T]")
+        .unwrap();
+    println!("{}", render_table(&r, fresh.db().oids()));
+    assert!(fresh.db().check_conformance().is_empty());
+    println!("restored database conforms to its schema ✓");
+}

@@ -1,0 +1,86 @@
+//! Views and object creation (§4): the CompSalaries view (9), querying
+//! through its id-function (10), the grouped-beneficiaries query (8),
+//! and view-update translation.
+//!
+//! ```sh
+//! cargo run --example company_views
+//! ```
+
+use datagen::figure1_db;
+use relalg::render_table;
+use xsql::{Outcome, Session};
+
+fn main() {
+    let mut s = Session::new(figure1_db());
+
+    println!("== View (9): CompSalaries ==\n");
+    let ddl = "CREATE VIEW CompSalaries AS SUBCLASS OF Object \
+               SIGNATURE CompName => String, DivName => String, Salary => Numeral \
+               SELECT CompName = X.Name, DivName = Y.Name, Salary = W.Salary \
+               FROM Company X OID FUNCTION OF X,W \
+               WHERE X.Divisions[Y].Employees[W]";
+    println!("{ddl}\n");
+    match s.run(ddl).unwrap() {
+        Outcome::ViewCreated { count, .. } => println!("materialized {count} view objects\n"),
+        o => println!("{o:?}"),
+    }
+    let r = s
+        .query("SELECT V.CompName, V.DivName, V.Salary FROM CompSalaries V")
+        .unwrap();
+    println!("{}", render_table(&r, s.db().oids()));
+
+    println!("== Query (10): views and non-views in one query ==\n");
+    let q = "SELECT X.Manufacturer.Name FROM Automobile X, Employee W \
+             WHERE CompSalaries(X.Manufacturer, W).Salary > 35000";
+    println!("   {q}");
+    let r = s.query(q).unwrap();
+    println!("{}", render_table(&r, s.db().oids()));
+
+    println!("== Query (8): grouped beneficiaries ({{W}} plays GROUP BY) ==\n");
+    let q = "SELECT CompName = Y.Name, Beneficiaries = {W} FROM Company Y \
+             OID FUNCTION OF Y \
+             WHERE Y.Retirees[W] or Y.Divisions.Employees.Dependents[W]";
+    println!("   {q}");
+    match s.run(q).unwrap() {
+        Outcome::Created { oids } => {
+            for o in oids {
+                let beneficiaries = s.db().oids().find_sym("Beneficiaries").unwrap();
+                let v = s.db().value(o, beneficiaries, &[]).unwrap();
+                let members: Vec<String> = v
+                    .map(|v| v.members().map(|m| s.db().render(m)).collect())
+                    .unwrap_or_default();
+                println!("   {} -> {:?}", s.db().render(o), members);
+            }
+            println!();
+        }
+        o => println!("{o:?}"),
+    }
+
+    println!("== View update translated to the database (§4.2) ==\n");
+    s.run(
+        "CREATE VIEW EmpSalaries AS SUBCLASS OF Object \
+         SIGNATURE Salary => Numeral \
+         SELECT Salary = W.Salary FROM Employee W OID FUNCTION OF W \
+         WHERE W.Salary",
+    )
+    .unwrap();
+    let kim = s.db().oids().find_sym("kim1").unwrap();
+    let f = s.db().oids().find_sym("EmpSalaries").unwrap();
+    let vobj = s.db().oids().find_func(f, &[kim]).unwrap();
+    let raised = s.db_mut().oids_mut().int(33000);
+    println!("raising kim1's salary to 33000 through view object EmpSalaries(kim1)…");
+    s.update_view("EmpSalaries", vobj, "Salary", raised).unwrap();
+    let r = s
+        .query("SELECT X, W FROM Employee X WHERE X.Salary[W]")
+        .unwrap();
+    println!("{}", render_table(&r, s.db().oids()));
+
+    println!("== The ill-defined query of §4.1 (a run-time error) ==\n");
+    let bad = "SELECT CompName = X.Name, EmpSalary = W.Salary FROM Company X \
+               OID FUNCTION OF X WHERE X.Divisions.Employees[W]";
+    println!("   {bad}");
+    match s.run(bad) {
+        Err(e) => println!("   rejected as expected: {e}"),
+        Ok(o) => println!("   unexpectedly succeeded: {o:?}"),
+    }
+}

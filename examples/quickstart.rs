@@ -1,0 +1,47 @@
+//! Quickstart: build the Figure 1 database of the paper and run the
+//! queries of §3 against it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use datagen::figure1_db;
+use relalg::render_table;
+use xsql::Session;
+
+fn main() {
+    let mut s = Session::new(figure1_db());
+
+    let queries = [
+        (
+            "People living in New York (query form of §3.1)",
+            "SELECT X FROM Person X WHERE X.Residence.City['newyork']",
+        ),
+        (
+            "Names of family members of uniSQL's president",
+            "SELECT W FROM Person X WHERE uniSQL.President.FamMembers.Name[W]",
+        ),
+        (
+            "Engines installed in employee-owned automobiles",
+            "SELECT Z FROM Employee X, Automobile Y \
+             WHERE X.OwnedVehicles[Y].Drivetrain.Engine[Z]",
+        ),
+        (
+            "Employees with a family member over 20 (§3.2)",
+            "SELECT X FROM Employee X WHERE X.FamMembers.Age some> 20",
+        ),
+        (
+            "Company names with employee salaries — a relation (query (5))",
+            "SELECT X.Name, W.Salary FROM Company X WHERE X.Divisions.Employees[W]",
+        ),
+    ];
+
+    for (title, q) in queries {
+        println!("-- {title}");
+        println!("   {q}");
+        match s.query(q) {
+            Ok(rel) => println!("{}", render_table(&rel, s.db().oids())),
+            Err(e) => println!("   error: {e}\n"),
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Schema browsing — the capability the paper's introduction leads
+//! with: "the user needs not know anything about the system tables that
+//! store schema information." Class variables, attribute variables, and
+//! the `subclassOf` predicate explore the schema in XSQL itself.
+//!
+//! ```sh
+//! cargo run --example schema_browsing
+//! ```
+
+use datagen::figure1_db;
+use relalg::render_table;
+use xsql::Session;
+
+fn main() {
+    let mut s = Session::new(figure1_db());
+
+    println!("== The engine-types example of the introduction ==\n");
+
+    println!("-- All engine types that exist (pure schema query):");
+    let q = "SELECT #X WHERE #X subclassOf Engines";
+    println!("   {q}");
+    let r = s.query(q).unwrap();
+    println!("{}", render_table(&r, s.db().oids()));
+
+    println!("-- Engine types currently installed in some vehicle:");
+    let q = "SELECT #C FROM Vehicle V, #C E \
+             WHERE V.Drivetrain.Engine[E] and #C subclassOf PistonEngine";
+    println!("   {q}");
+    let r = s.query(q).unwrap();
+    println!("{}", render_table(&r, s.db().oids()));
+
+    println!("== Query (4): superclasses of TurboEngine ==\n");
+    let q = "SELECT #X WHERE TurboEngine subclassOf #X";
+    println!("   {q}");
+    let r = s.query(q).unwrap();
+    println!("{}", render_table(&r, s.db().oids()));
+
+    println!("== Query (3): attribute variables ==\n");
+    println!("-- Which attribute connects a person to the city 'newyork'?");
+    let q = "SELECT Y FROM Person X WHERE X.\"Y.City['newyork']";
+    println!("   {q}");
+    let r = s.query(q).unwrap();
+    println!("{}", render_table(&r, s.db().oids()));
+
+    println!("-- Which attributes of an automobile lead to a numeral? (browse)");
+    let q = "SELECT Y FROM Automobile X, Numeral N WHERE X.Drivetrain.Engine.\"Y[N]";
+    println!("   {q}");
+    let r = s.query(q).unwrap();
+    println!("{}", render_table(&r, s.db().oids()));
+
+    println!("== The §3.1 template: classes of objects with a property ==\n");
+    let q = "SELECT #X FROM #X Y WHERE Y.Color['red']";
+    println!("   {q}");
+    let r = s.query(q).unwrap();
+    println!("{}", render_table(&r, s.db().oids()));
+
+    println!("== Path variables (sketched extension): reach a city at any depth ==\n");
+    let q = "SELECT X FROM Company X WHERE X.*P.City['austin']";
+    println!("   {q}");
+    let r = s.query(q).unwrap();
+    println!("{}", render_table(&r, s.db().oids()));
+}

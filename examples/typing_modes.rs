@@ -1,0 +1,102 @@
+//! The §6 typing spectrum on the Nobel-Prize database: liberal vs
+//! strict well-typing, exemptions, and the Theorem 6.1 optimization.
+//!
+//! ```sh
+//! cargo run --example typing_modes
+//! ```
+
+use datagen::{figure1_scaled, nobel_db, Figure1Params};
+use oodb::Database;
+use xsql::ast::Stmt;
+use xsql::eval::{self, Ctx, EvalOptions};
+use xsql::typing::{analyze, theorem61_ranges, Exemptions, OccId, Verdict};
+use xsql::{parse, resolve_stmt};
+
+fn resolved(db: &mut Database, src: &str) -> xsql::ast::SelectQuery {
+    let stmt = parse(src).unwrap();
+    match resolve_stmt(db, &stmt).unwrap() {
+        Stmt::Select(q) => q,
+        _ => unreachable!(),
+    }
+}
+
+fn verdict_name(v: &Verdict) -> &'static str {
+    match v {
+        Verdict::StrictlyWellTyped { .. } => "STRICTLY well-typed",
+        Verdict::LiberallyWellTyped { .. } => "LIBERALLY well-typed (not strictly)",
+        Verdict::IllTyped => "ILL-TYPED",
+        Verdict::OutsideFragment { .. } => "outside the typable fragment",
+    }
+}
+
+fn main() {
+    println!("== The Nobel-Prize query (§1) ==\n");
+    let mut db = nobel_db();
+    let q = resolved(&mut db, "SELECT X WHERE X.WonNobelPrize");
+    println!("   SELECT X WHERE X.WonNobelPrize\n");
+    println!(
+        "   conservative (no exemptions): {}",
+        verdict_name(&analyze(&db, &q, &Exemptions::none()))
+    );
+    let ex = Exemptions::none().exempt(OccId { path: 0, step: 0 }, 0);
+    println!(
+        "   exempting WonNobelPrize's 0th argument: {}",
+        verdict_name(&analyze(&db, &q, &ex))
+    );
+    let q2 = resolved(&mut db, "SELECT X FROM Scientist X WHERE X.WonNobelPrize");
+    println!(
+        "   naming the class (FROM Scientist X): {}\n",
+        verdict_name(&analyze(&db, &q2, &Exemptions::none()))
+    );
+
+    println!("== An ill-typed query returns no answers regardless of data ==\n");
+    let q3 = resolved(&mut db, "SELECT X FROM City X WHERE X.WonNobelPrize");
+    println!("   SELECT X FROM City X WHERE X.WonNobelPrize");
+    println!("   verdict: {}\n", verdict_name(&analyze(&db, &q3, &Exemptions::none())));
+
+    println!("== Theorem 6.1 on a scaled Figure 1 database ==\n");
+    // The optimization is measured against the paper's own baseline:
+    // the naive §3.4 semantics, which instantiates every variable over
+    // the whole active domain. Theorem 6.1 lets it instantiate only
+    // within the ranges A(X) of a coherent type assignment.
+    let mut db = figure1_scaled(&Figure1Params {
+        companies: 2,
+        ..Figure1Params::default()
+    });
+    let src = "SELECT M FROM Vehicle X WHERE M.President[P] and X.Manufacturer[M]";
+    let q = resolved(&mut db, src);
+    println!("   {src}");
+    println!("   database: {} individuals\n", db.individual_count());
+    let naive = EvalOptions::naive();
+    let ctx = Ctx::new(&db, &naive);
+    let plain = eval::select::eval_to_relation(&ctx, &q).unwrap();
+    let w_plain = ctx.work_done();
+    let ranges = theorem61_ranges(&db, &q, &Exemptions::none())
+        .unwrap()
+        .expect("strictly well-typed");
+    println!(
+        "   ranges: X in {} vehicles, M in {} companies, P in {} persons",
+        ranges["X"].len(),
+        ranges["M"].len(),
+        ranges["P"].len()
+    );
+    let ctx = Ctx::with_ranges(&db, &naive, &ranges);
+    let typed = eval::select::eval_to_relation(&ctx, &q).unwrap();
+    let w_typed = ctx.work_done();
+    assert_eq!(plain, typed);
+    // And the nested-loop engine with sideways information passing —
+    // the strategy strict typing proves admissible (§6.2) — beats both.
+    let opts = EvalOptions::default();
+    let ctx = Ctx::new(&db, &opts);
+    let piped = eval::select::eval_to_relation(&ctx, &q).unwrap();
+    let w_piped = ctx.work_done();
+    assert_eq!(plain, piped);
+    println!("   answers: {} (identical under all evaluations)\n", plain.len());
+    println!("   naive (§3.4, full domains):        {w_plain:>12} ticks");
+    println!("   naive + Theorem 6.1 ranges:        {w_typed:>12} ticks");
+    println!("   pipelined nested loops (§6.2):     {w_piped:>12} ticks");
+    println!(
+        "   Theorem 6.1 speedup over naive:    {:.1}x",
+        w_plain as f64 / w_typed as f64
+    );
+}

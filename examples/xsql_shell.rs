@@ -1,0 +1,114 @@
+//! An interactive XSQL shell over the Figure 1 database.
+//!
+//! ```sh
+//! cargo run --example xsql_shell
+//! ```
+//!
+//! Statements end with `;`. Try:
+//!
+//! ```text
+//! SELECT X FROM Person X WHERE X.Residence.City['austin'];
+//! SELECT #X WHERE TurboEngine subclassOf #X;
+//! UPDATE CLASS Employee SET kim1.Salary = 45000;
+//! ```
+//!
+//! Meta-commands: `\classes`, `\methods`, `\quit`.
+
+use datagen::figure1_db;
+use relalg::render_table;
+use std::io::{self, BufRead, Write};
+use xsql::{Outcome, Session};
+
+fn main() {
+    let mut s = Session::new(figure1_db());
+    println!("XSQL shell over the Figure 1 database — `;` ends a statement; \\classes, \\methods, \\dump, \\quit.");
+    let stdin = io::stdin();
+    let mut buffer = String::new();
+    print!("xsql> ");
+    io::stdout().flush().unwrap();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        match trimmed {
+            "\\quit" | "\\q" => break,
+            "\\classes" => {
+                let names: Vec<String> =
+                    s.db().classes().map(|c| s.db().render(c)).collect();
+                println!("{}", names.join(", "));
+                print!("xsql> ");
+                io::stdout().flush().unwrap();
+                continue;
+            }
+            "\\dump" => {
+                match xsql::dump_script(s.db()) {
+                    Ok(script) => println!("{script}"),
+                    Err(e) => println!("error: {e}"),
+                }
+                print!("xsql> ");
+                io::stdout().flush().unwrap();
+                continue;
+            }
+            "\\methods" => {
+                let names: Vec<String> =
+                    s.db().method_objects().map(|m| s.db().render(m)).collect();
+                println!("{}", names.join(", "));
+                print!("xsql> ");
+                io::stdout().flush().unwrap();
+                continue;
+            }
+            _ => {}
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        if !buffer.trim_end().ends_with(';') {
+            print!("  ... ");
+            io::stdout().flush().unwrap();
+            continue;
+        }
+        let stmt = buffer.trim().trim_end_matches(';').to_string();
+        buffer.clear();
+        match s.run(&stmt) {
+            Ok(Outcome::Relation(rel)) => {
+                println!("{}", render_table(&rel, s.db().oids()))
+            }
+            Ok(Outcome::Created { oids }) => {
+                println!("created {} object(s):", oids.len());
+                for o in oids.iter().take(20) {
+                    println!("  {}", s.db().render(*o));
+                }
+            }
+            Ok(Outcome::ViewCreated { class, count }) => {
+                println!("view {} created with {count} object(s)", s.db().render(class));
+            }
+            Ok(Outcome::MethodDefined { class, method }) => {
+                println!(
+                    "method {} defined on {}",
+                    s.db().render(method),
+                    s.db().render(class)
+                );
+            }
+            Ok(Outcome::Updated { entries }) => println!("updated {entries} entr(ies)"),
+            Ok(Outcome::ClassCreated { class }) => {
+                println!("class {} created", s.db().render(class));
+            }
+            Ok(Outcome::ObjectCreated { oid }) => {
+                println!("object {} created", s.db().render(oid));
+            }
+            Ok(Outcome::SignatureAdded { class, method }) => {
+                println!(
+                    "signature {} added to {}",
+                    s.db().render(method),
+                    s.db().render(class)
+                );
+            }
+            Ok(Outcome::Explained { report }) => println!("{report}"),
+            Err(e) => println!("error: {e}"),
+        }
+        print!("xsql> ");
+        io::stdout().flush().unwrap();
+    }
+    println!("bye");
+}

@@ -1,0 +1,199 @@
+//! The `xsql-cli` command-line tool: run XSQL scripts or an interactive
+//! session against a fixture or an empty database.
+//!
+//! ```text
+//! xsql-cli [--db empty|figure1|nobel|university] [--typed] [script.xsql ...]
+//! ```
+//!
+//! With script arguments, each file is executed in order and results are
+//! printed; without any, an interactive prompt starts (statements end
+//! with `;`; `\q` quits). `--typed` routes SELECTs through the Theorem
+//! 6.1 range-restricted evaluator when the query is strictly well-typed.
+
+use std::io::{self, BufRead, Write};
+use std::process::ExitCode;
+
+use oodb::Database;
+use relalg::render_table;
+use xsql::{Outcome, Session};
+
+struct Config {
+    db: String,
+    typed: bool,
+    scripts: Vec<String>,
+}
+
+fn parse_args() -> Result<Config, String> {
+    let mut cfg = Config {
+        db: "figure1".to_string(),
+        typed: false,
+        scripts: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--db" => {
+                cfg.db = args
+                    .next()
+                    .ok_or_else(|| "--db requires a value".to_string())?;
+            }
+            "--typed" => cfg.typed = true,
+            "--help" | "-h" => {
+                return Err("usage: xsql-cli [--db empty|figure1|nobel|university] [--typed] \
+                            [script.xsql ...]"
+                    .to_string())
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            path => cfg.scripts.push(path.to_string()),
+        }
+    }
+    Ok(cfg)
+}
+
+fn fixture(name: &str) -> Result<Database, String> {
+    match name {
+        "empty" => Ok(Database::new()),
+        "figure1" => Ok(datagen::figure1_db()),
+        "nobel" => Ok(datagen::nobel_db()),
+        "university" => Ok(datagen::university_db()),
+        other => Err(format!(
+            "unknown fixture `{other}` (expected empty|figure1|nobel|university)"
+        )),
+    }
+}
+
+fn report(s: &Session, out: &Outcome) {
+    match out {
+        Outcome::Relation(rel) => print!("{}", render_table(rel, s.db().oids())),
+        Outcome::Created { oids } => {
+            println!("created {} object(s)", oids.len());
+            for o in oids.iter().take(10) {
+                println!("  {}", s.db().render(*o));
+            }
+        }
+        Outcome::ViewCreated { class, count } => {
+            println!(
+                "view {} created ({count} object(s))",
+                s.db().render(*class)
+            );
+        }
+        Outcome::MethodDefined { class, method } => {
+            println!(
+                "method {} defined on {}",
+                s.db().render(*method),
+                s.db().render(*class)
+            );
+        }
+        Outcome::Updated { entries } => println!("updated {entries} entr(ies)"),
+        Outcome::ClassCreated { class } => {
+            println!("class {} created", s.db().render(*class))
+        }
+        Outcome::ObjectCreated { oid } => {
+            println!("object {} created", s.db().render(*oid))
+        }
+        Outcome::SignatureAdded { class, method } => {
+            println!(
+                "signature {} added to {}",
+                s.db().render(*method),
+                s.db().render(*class)
+            );
+        }
+        Outcome::Explained { report } => println!("{report}"),
+    }
+}
+
+fn run_statement(s: &mut Session, stmt: &str, typed: bool) {
+    let trimmed = stmt.trim();
+    if trimmed.is_empty() {
+        return;
+    }
+    // --typed: try the Theorem 6.1 evaluator for plain SELECTs.
+    if typed && trimmed.to_ascii_lowercase().starts_with("select") {
+        match s.query_typed(trimmed) {
+            Ok(rel) => {
+                print!("{}", render_table(&rel, s.db().oids()));
+                return;
+            }
+            Err(_) => { /* fall through to the general path */ }
+        }
+    }
+    match s.run(trimmed) {
+        Ok(out) => report(s, &out),
+        Err(e) => eprintln!("error: {e}"),
+    }
+}
+
+fn main() -> ExitCode {
+    let cfg = match parse_args() {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let db = match fixture(&cfg.db) {
+        Ok(db) => db,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut session = Session::new(db);
+
+    if !cfg.scripts.is_empty() {
+        for path in &cfg.scripts {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match session.run_script(&src) {
+                Ok(outs) => {
+                    for out in &outs {
+                        report(&session, out);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Interactive mode.
+    println!(
+        "xsql — {} database loaded ({} individuals). Statements end with `;`; \\q quits.",
+        cfg.db,
+        session.db().individual_count()
+    );
+    let stdin = io::stdin();
+    let mut buf = String::new();
+    print!("xsql> ");
+    let _ = io::stdout().flush();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim() == "\\q" || line.trim() == "\\quit" {
+            break;
+        }
+        buf.push_str(&line);
+        buf.push('\n');
+        if buf.trim_end().ends_with(';') {
+            let stmt = buf.trim().trim_end_matches(';').to_string();
+            buf.clear();
+            run_statement(&mut session, &stmt, cfg.typed);
+        } else if !buf.trim().is_empty() {
+            print!("  ... ");
+            let _ = io::stdout().flush();
+            continue;
+        }
+        print!("xsql> ");
+        let _ = io::stdout().flush();
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,28 @@
+//! # xsql-repro — "Querying Object-Oriented Databases" (SIGMOD 1992)
+//!
+//! A full reproduction of Kifer, Kim & Sagiv's XSQL: an object-oriented
+//! database engine (`oodb`), the XSQL query language with extended path
+//! expressions, object creation, views, methods and the §6 typing system
+//! (`xsql`), relations as first-class results (`relalg`), the F-logic
+//! substrate and Theorem 3.1 translation (`flogic`), and deterministic
+//! workload generators (`datagen`).
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-artifact index. Start with [`xsql::Session`]:
+//!
+//! ```
+//! use xsql_repro::datagen::figure1_db;
+//! use xsql_repro::xsql::Session;
+//!
+//! let mut s = Session::new(figure1_db());
+//! let answer = s
+//!     .query("SELECT Y FROM Person X WHERE X.Residence[Y].City['newyork']")
+//!     .unwrap();
+//! assert_eq!(answer.len(), 1);
+//! ```
+
+pub use datagen;
+pub use flogic;
+pub use oodb;
+pub use relalg;
+pub use xsql;

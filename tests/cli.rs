@@ -1,0 +1,85 @@
+//! End-to-end tests of the `xsql` CLI binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_xsql-cli"))
+}
+
+#[test]
+fn runs_a_script_against_figure1() {
+    let dir = std::env::temp_dir().join("xsql_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("q.xsql");
+    std::fs::write(
+        &path,
+        "SELECT X FROM Person X WHERE X.Residence.City['newyork'];",
+    )
+    .unwrap();
+    let out = bin()
+        .args(["--db", "figure1"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("mary123"), "{stdout}");
+}
+
+#[test]
+fn bootstraps_an_empty_database() {
+    let dir = std::env::temp_dir().join("xsql_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("boot.xsql");
+    std::fs::write(
+        &path,
+        "CREATE CLASS T; ALTER CLASS T ADD SIGNATURE V => Numeral; \
+         CREATE OBJECT t1 CLASS T SET V = 7; \
+         SELECT X FROM T X WHERE X.V[7];",
+    )
+    .unwrap();
+    let out = bin().args(["--db", "empty"]).arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("t1"), "{stdout}");
+}
+
+#[test]
+fn interactive_mode_answers_and_quits() {
+    let mut child = bin()
+        .args(["--db", "nobel"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"SELECT X WHERE X.WonNobelPrize;\n\\q\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("unicef"), "{stdout}");
+}
+
+#[test]
+fn rejects_unknown_fixture_and_flag() {
+    let out = bin().args(["--db", "nope"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = bin().args(["--frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn script_errors_set_exit_code() {
+    let dir = std::env::temp_dir().join("xsql_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.xsql");
+    std::fs::write(&path, "SELECT FROM WHERE;").unwrap();
+    let out = bin().arg(&path).output().unwrap();
+    assert!(!out.status.success());
+}

@@ -1,0 +1,96 @@
+//! The engineering DDL extensions: CREATE CLASS / CREATE OBJECT / pure
+//! ALTER CLASS ADD SIGNATURE / EXPLAIN — a session bootstrapping a
+//! database from nothing but XSQL statements.
+
+use oodb::Database;
+use xsql::{Outcome, Session};
+
+#[test]
+fn bootstrap_schema_and_data_in_xsql() {
+    let mut s = Session::new(Database::new());
+    let outs = s
+        .run_script(
+            "CREATE CLASS Person;
+             CREATE CLASS Employee AS SUBCLASS OF Person;
+             ALTER CLASS Person ADD SIGNATURE Name => String;
+             ALTER CLASS Person ADD SIGNATURE Age => Numeral;
+             ALTER CLASS Employee ADD SIGNATURE Salary => Numeral;
+             ALTER CLASS Person ADD SIGNATURE Friends =>> Person;
+             CREATE OBJECT ann CLASS Person SET Name = 'Ann', Age = 31;
+             CREATE OBJECT bob CLASS Employee SET Name = 'Bob', Age = 44, Salary = 52000;
+             UPDATE CLASS Person SET ann.Friends = bob;",
+        )
+        .unwrap();
+    assert!(matches!(outs[0], Outcome::ClassCreated { .. }));
+    assert!(matches!(outs[2], Outcome::SignatureAdded { .. }));
+    assert!(matches!(outs[6], Outcome::ObjectCreated { .. }));
+
+    let r = s
+        .query("SELECT X FROM Person X WHERE X.Age > 40")
+        .unwrap();
+    assert_eq!(r.len(), 1);
+    let r = s
+        .query("SELECT W FROM Person X WHERE ann.Friends.Name[W]")
+        .unwrap();
+    assert_eq!(r.len(), 1);
+    // Everything declared through XSQL conforms.
+    assert!(s.db().check_conformance().is_empty());
+}
+
+#[test]
+fn create_class_duplicate_rejected() {
+    let mut s = Session::new(Database::new());
+    s.run("CREATE CLASS Person").unwrap();
+    assert!(s.run("CREATE CLASS Person").is_err());
+    assert!(s.run("CREATE CLASS Ghost AS SUBCLASS OF Missing").is_err());
+}
+
+#[test]
+fn explain_reports_typing() {
+    let mut s = Session::new(datagen::figure1_db());
+    let Outcome::Explained { report } = s
+        .run("EXPLAIN SELECT W FROM Company X WHERE X.Divisions[Y].Manager.Salary[W]")
+        .unwrap()
+    else {
+        panic!()
+    };
+    assert!(report.contains("strictly well-typed"), "{report}");
+    assert!(report.contains("range A(Y)"), "{report}");
+
+    let Outcome::Explained { report } = s
+        .run("EXPLAIN SELECT X FROM Person X WHERE X.CylinderN")
+        .unwrap()
+    else {
+        panic!()
+    };
+    assert!(report.contains("ill-typed"), "{report}");
+}
+
+#[test]
+fn explain_nobel_is_liberal() {
+    let mut s = Session::new(datagen::nobel_db());
+    let Outcome::Explained { report } =
+        s.run("EXPLAIN SELECT X WHERE X.WonNobelPrize").unwrap()
+    else {
+        panic!()
+    };
+    assert!(report.contains("liberally well-typed"), "{report}");
+}
+
+#[test]
+fn set_valued_initializer() {
+    let mut s = Session::new(Database::new());
+    s.run_script(
+        "CREATE CLASS Team;
+         CREATE CLASS Player;
+         ALTER CLASS Team ADD SIGNATURE Roster =>> Player;
+         CREATE OBJECT p1 CLASS Player;
+         CREATE OBJECT p2 CLASS Player;
+         CREATE OBJECT reds CLASS Team SET Roster = p1 union p2;",
+    )
+    .unwrap();
+    let r = s
+        .query("SELECT P FROM Player P WHERE reds.Roster[P]")
+        .unwrap();
+    assert_eq!(r.len(), 2);
+}

@@ -1,0 +1,111 @@
+//! Error reporting across the pipeline: lexical/syntax offsets,
+//! resolution sort clashes, and session-level failures all surface as
+//! typed, located errors — never panics.
+
+use datagen::figure1_db;
+use xsql::{parse, Session, XsqlError};
+
+#[test]
+fn lex_and_parse_errors_carry_offsets() {
+    match parse("SELECT X FROM Person X WHERE X.Name['unterminated") {
+        Err(XsqlError::Lex { offset, .. }) => assert_eq!(offset, 36),
+        other => panic!("unexpected {other:?}"),
+    }
+    match parse("SELECT X FROM Person X WHERE X..Name") {
+        Err(XsqlError::Parse { offset, .. }) => assert!(offset >= 30),
+        other => panic!("unexpected {other:?}"),
+    }
+    match parse("SELECT") {
+        Err(XsqlError::Parse { .. }) => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    // Reserved words cannot be identifiers.
+    assert!(parse("SELECT X FROM Person X WHERE X.select").is_err());
+}
+
+#[test]
+fn sort_clash_is_a_resolution_error() {
+    let mut s = Session::new(figure1_db());
+    let err = s
+        .run("SELECT X FROM Person X WHERE TurboEngine subclassOf #X")
+        .unwrap_err();
+    assert!(matches!(err, XsqlError::Resolve(_)), "{err}");
+}
+
+#[test]
+fn unknown_constructs_are_reported() {
+    let mut s = Session::new(figure1_db());
+    // Unknown view in refresh/update APIs.
+    assert!(s.refresh_view("NoSuchView").is_err());
+    let o = s.db_mut().oids_mut().int(1);
+    assert!(s.update_view("NoSuchView", o, "X", o).is_err());
+    // Unknown class in DDL.
+    assert!(s.run("CREATE OBJECT thing CLASS Nonexistent").is_err());
+    assert!(s
+        .run("ALTER CLASS Nonexistent ADD SIGNATURE A => String")
+        .is_err());
+    // Unknown result class in a signature.
+    assert!(s
+        .run("ALTER CLASS Person ADD SIGNATURE A => Nonexistent")
+        .is_err());
+}
+
+#[test]
+fn duplicate_view_rejected() {
+    let mut s = Session::new(figure1_db());
+    let ddl = "CREATE VIEW V1 AS SUBCLASS OF Object SIGNATURE A => Numeral \
+               SELECT A = W.Salary FROM Employee W OID FUNCTION OF W";
+    s.run(ddl).unwrap();
+    assert!(s.run(ddl).is_err());
+}
+
+#[test]
+fn update_conjunct_outside_method_rejected() {
+    let mut s = Session::new(figure1_db());
+    let err = s
+        .run(
+            "SELECT X FROM Employee X WHERE X.Salary > 0 \
+             and (UPDATE CLASS Employee SET X.Salary = 1)",
+        )
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("UPDATE"), "{msg}");
+}
+
+#[test]
+fn grouped_select_requires_oid_function() {
+    let mut s = Session::new(figure1_db());
+    let err = s
+        .run("SELECT Xs = {X} FROM Person X")
+        .unwrap_err();
+    assert!(err.to_string().contains("OID FUNCTION"), "{err}");
+}
+
+#[test]
+fn method_result_item_requires_alter_class() {
+    let mut s = Session::new(figure1_db());
+    let err = s.run("SELECT (M @ X) = X FROM Person X").unwrap_err();
+    assert!(err.to_string().contains("ALTER CLASS"), "{err}");
+}
+
+#[test]
+fn arity_mismatch_in_relational_ops() {
+    let mut s = Session::new(figure1_db());
+    let err = s
+        .run("SELECT X FROM Person X UNION SELECT X, Y FROM Company X, Division Y")
+        .unwrap_err();
+    assert!(err.to_string().contains("arity"), "{err}");
+}
+
+#[test]
+fn signature_arity_mismatch_in_method_definition() {
+    let mut s = Session::new(figure1_db());
+    // Declared unary, defined 0-ary.
+    let err = s
+        .run(
+            "ALTER CLASS Company ADD SIGNATURE M1 : String => Numeral \
+             SELECT (M1 @) = 5 FROM Company X OID X",
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("argument"), "{err}");
+}

@@ -1,0 +1,184 @@
+//! Figure 1 fidelity: the schema encodes exactly the IS-A and
+//! aggregation structure the figure draws, and the model-level
+//! judgments of §2 behave as specified (defined/undefined/inapplicable,
+//! default-value inheritance, classes as objects).
+
+use datagen::{figure1_db, figure1_scaled, Figure1Params};
+use oodb::{DbError, Oid};
+
+#[test]
+fn isa_hierarchy_matches_figure() {
+    let db = figure1_db();
+    let c = |n: &str| db.oids().find_sym(n).unwrap();
+    // Thick arrows of the figure.
+    for (sub, sup) in [
+        ("Motorbike", "Vehicle"),
+        ("Bicycle", "Vehicle"),
+        ("Automobile", "Vehicle"),
+        ("Employee", "Person"),
+        ("PistonEngine", "Engines"),
+        ("TwoStrokeEngine", "PistonEngine"),
+        ("FourStrokeEngine", "PistonEngine"),
+        ("TurboEngine", "FourStrokeEngine"),
+        ("DieselEngine", "FourStrokeEngine"),
+    ] {
+        assert!(
+            db.is_strict_subclass(c(sub), c(sup)),
+            "{sub} subclassOf {sup}"
+        );
+    }
+    // Non-edges.
+    assert!(!db.is_subclass(c("TurboEngine"), c("DieselEngine")));
+    assert!(!db.is_subclass(c("Vehicle"), c("Person")));
+    // IS-A is acyclic: adding the reverse edge fails.
+    let mut db2 = figure1_db();
+    let (v, a) = (c("Vehicle"), c("Automobile"));
+    assert!(matches!(
+        db2.add_is_a(v, a),
+        Err(DbError::IsACycle { .. })
+    ));
+}
+
+#[test]
+fn attribute_signatures_match_figure() {
+    let db = figure1_db();
+    let c = |n: &str| db.oids().find_sym(n).unwrap();
+    // Scalar vs set-valued (the `*` suffix in the figure).
+    let check = |class: &str, attr: &str, set: bool| {
+        let sigs = db.all_signatures(c(class));
+        let m = c(attr);
+        let found = sigs
+            .iter()
+            .find(|(_, s)| s.method == m && s.arity() == 0)
+            .unwrap_or_else(|| panic!("{class}.{attr} missing"));
+        assert_eq!(found.1.set_valued, set, "{class}.{attr}");
+    };
+    check("Person", "Name", false);
+    check("Person", "OwnedVehicles", true);
+    check("Employee", "Qualifications", true);
+    check("Employee", "FamMembers", true);
+    check("Company", "Divisions", true);
+    check("Division", "Employees", true);
+    check("Vehicle", "Manufacturer", false);
+    check("PistonEngine", "CylinderN", false);
+    // Structural inheritance: Employee sees Person's attributes.
+    let emp_sigs = db.all_signatures(c("Employee"));
+    assert!(emp_sigs
+        .iter()
+        .any(|(cls, s)| *cls == c("Person") && s.method == c("Residence")));
+}
+
+#[test]
+fn defined_undefined_inapplicable() {
+    let db = figure1_db();
+    let mary = db.oids().find_sym("mary123").unwrap();
+    let bike = db.oids().find_sym("bike1").unwrap();
+    let name = db.oids().find_sym("Name").unwrap();
+    let salary = db.oids().find_sym("Salary").unwrap();
+    let manufacturer = db.oids().find_sym("Manufacturer").unwrap();
+    // Defined.
+    assert!(db.value(mary, name, &[]).unwrap().is_some());
+    // Undefined but applicable: bike1 has no Manufacturer value (a
+    // null, not an error).
+    assert!(db.value(bike, manufacturer, &[]).unwrap().is_none());
+    assert!(db.is_applicable(bike, manufacturer, &[]));
+    // Inapplicable: Salary on a plain person — the §2 type error.
+    assert!(!db.is_applicable(mary, salary, &[]));
+    // The value is nevertheless just undefined at the data level
+    // (typing is metalogical).
+    assert!(db.value(mary, salary, &[]).unwrap().is_none());
+}
+
+#[test]
+fn default_value_inheritance_from_class_objects() {
+    // Classes are objects (§2): give Vehicle a default attribute value;
+    // instances inherit it, an explicit value overrides, and a subclass
+    // default is more specific.
+    let mut db = figure1_db();
+    let vehicle = db.oids().find_sym("Vehicle").unwrap();
+    let auto = db.oids().find_sym("Automobile").unwrap();
+    let wheels = db.oids_mut().sym("DefaultWheels");
+    let two = db.oids_mut().int(2);
+    let four = db.oids_mut().int(4);
+    db.set_scalar(vehicle, wheels, &[], two).unwrap();
+    let bike = db.oids().find_sym("bike1").unwrap();
+    let car = db.oids().find_sym("car1").unwrap();
+    // bike inherits 2 from Vehicle.
+    let v = db.value(bike, wheels, &[]).unwrap().unwrap();
+    assert_eq!(db.oids().as_number(v.as_scalar().unwrap()), Some(2.0));
+    // Automobile declares a more specific default.
+    db.set_scalar(auto, wheels, &[], four).unwrap();
+    let v = db.value(car, wheels, &[]).unwrap().unwrap();
+    assert_eq!(db.oids().as_number(v.as_scalar().unwrap()), Some(4.0));
+    // An explicit value on the object wins.
+    let three = db.oids_mut().int(3);
+    db.set_scalar(car, wheels, &[], three).unwrap();
+    let v = db.value(car, wheels, &[]).unwrap().unwrap();
+    assert_eq!(db.oids().as_number(v.as_scalar().unwrap()), Some(3.0));
+}
+
+#[test]
+fn multiple_inheritance_conflict_requires_resolution() {
+    // Two incomparable superclasses with different defaults: error
+    // until the subclass declares a resolution (Meyer's rule, §6.1).
+    let mut db = figure1_db();
+    let a = db.define_class("Amphibious", &[]).unwrap();
+    let b = db.define_class("Roadworthy", &[]).unwrap();
+    let both: Vec<Oid> = vec![a, b];
+    let ab = db.define_class("AmphibiousCar", &both).unwrap();
+    let m = db.oids_mut().sym("Medium");
+    let water = db.oids_mut().str("water");
+    let road = db.oids_mut().str("road");
+    db.set_scalar(a, m, &[], water).unwrap();
+    db.set_scalar(b, m, &[], road).unwrap();
+    let duck = db.new_individual("duck1", &[ab]).unwrap();
+    assert!(matches!(
+        db.value(duck, m, &[]),
+        Err(DbError::InheritanceConflict { .. })
+    ));
+    db.resolve_inheritance(ab, m, a).unwrap();
+    let v = db.value(duck, m, &[]).unwrap().unwrap();
+    assert_eq!(db.oids().as_str(v.as_scalar().unwrap()), Some("water"));
+}
+
+#[test]
+fn scaled_instances_respect_schema() {
+    let db = figure1_scaled(&Figure1Params {
+        companies: 3,
+        ..Figure1Params::default()
+    });
+    let company = db.oids().find_sym("Company").unwrap();
+    let employee = db.oids().find_sym("Employee").unwrap();
+    assert_eq!(db.instances_of(company).len(), 3);
+    assert_eq!(db.instances_of(employee).len(), 3 * 3 * 10);
+    // Every division's manager is one of its employees.
+    let division = db.oids().find_sym("Division").unwrap();
+    let manager = db.oids().find_sym("Manager").unwrap();
+    let employees = db.oids().find_sym("Employees").unwrap();
+    for d in db.instances_of(division) {
+        let m = db.value(d, manager, &[]).unwrap().unwrap();
+        let es = db.value(d, employees, &[]).unwrap().unwrap();
+        assert!(es.contains(m.as_scalar().unwrap()));
+    }
+}
+
+#[test]
+fn fixture_databases_conform_to_their_schemas() {
+    // Theorem 6.1's range restriction is sound on signature-conformant
+    // data; all shipped fixtures must conform.
+    for (name, db) in [
+        ("figure1", figure1_db()),
+        (
+            "figure1_scaled",
+            figure1_scaled(&Figure1Params {
+                companies: 2,
+                ..Figure1Params::default()
+            }),
+        ),
+        ("nobel", datagen::nobel_db()),
+        ("university", datagen::university_db()),
+    ] {
+        let violations = db.check_conformance();
+        assert!(violations.is_empty(), "{name}: {violations:?}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Theorem 3.1, mechanized: for each query in the §3/§5 fragment, the
+//! F-logic translation evaluates to exactly the XSQL answer — on the
+//! Figure 1 instance, the Nobel database, and (property-based) on random
+//! queries over random small databases.
+
+use datagen::{figure1_db, nobel_db};
+use flogic::{evaluate, translate_select, FStructure};
+use oodb::{Database, DbBuilder, Oid};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use xsql::ast::Stmt;
+use xsql::{eval_select, parse, resolve_stmt, EvalOptions};
+
+/// Runs one query both ways and compares answer sets.
+fn check_equiv(db: &mut Database, src: &str) {
+    let stmt = parse(src).unwrap();
+    let Stmt::Select(q) = resolve_stmt(db, &stmt).unwrap() else {
+        panic!("not a select")
+    };
+    let xsql_rel = eval_select(db, &q, &EvalOptions::default()).unwrap();
+    let xsql_rows: BTreeSet<Vec<Oid>> = xsql_rel.iter().cloned().collect();
+
+    let fq = translate_select(db, &q).unwrap();
+    let m = FStructure::new(db);
+    let flogic_rows = evaluate(&m, &fq);
+
+    assert_eq!(
+        xsql_rows, flogic_rows,
+        "Theorem 3.1 violated on query: {src}"
+    );
+}
+
+#[test]
+fn figure1_queries_equivalent() {
+    let mut db = figure1_db();
+    for q in [
+        "SELECT Y FROM Person X WHERE X.Residence[Y].City['newyork']",
+        "SELECT X FROM Employee X WHERE X.FamMembers.Age some> 20",
+        "SELECT X FROM Person X WHERE X.Residence.City =all X.FamMembers.Residence.City",
+        "SELECT X, Y FROM Company X WHERE X.Divisions.Employees[Y]",
+        "SELECT Z FROM Employee X, Automobile Y WHERE X.OwnedVehicles[Y].Drivetrain.Engine[Z]",
+        "SELECT #X WHERE TurboEngine subclassOf #X",
+        "SELECT X FROM Person X WHERE not X.FamMembers",
+        "SELECT X FROM Person X WHERE X.Age > 30 or X.Residence.City['newyork']",
+        "SELECT X FROM Employee X WHERE X.OwnedVehicles.Color containsEq {'red', 'blue'}",
+        "SELECT Y FROM Person X WHERE X.\"Y.City['newyork']",
+        "SELECT X FROM Vehicle X WHERE X.Manufacturer[M] and M.President.OwnedVehicles[X]",
+        "SELECT W FROM Person X WHERE uniSQL.President.FamMembers.Name[W]",
+    ] {
+        check_equiv(&mut db, q);
+    }
+}
+
+#[test]
+fn nobel_queries_equivalent() {
+    let mut db = nobel_db();
+    for q in [
+        "SELECT X WHERE X.WonNobelPrize",
+        "SELECT X FROM Scientist X WHERE X.WonNobelPrize['peace']",
+        "SELECT X, W FROM Organization X WHERE X.WonNobelPrize[W]",
+    ] {
+        check_equiv(&mut db, q);
+    }
+}
+
+#[test]
+fn kary_method_molecule_equivalent() {
+    let mut db = datagen::university_db();
+    for q in [
+        "SELECT W FROM Department X, Semester S WHERE X.(workstudy @ S)[W]",
+        "SELECT X FROM Department X WHERE X.(workstudy @ fall92)",
+    ] {
+        check_equiv(&mut db, q);
+    }
+}
+
+#[test]
+fn aggregates_rejected_by_translation() {
+    let mut db = figure1_db();
+    let stmt = parse("SELECT X FROM Employee X WHERE count(X.FamMembers) > 1").unwrap();
+    let Stmt::Select(q) = resolve_stmt(&mut db, &stmt).unwrap() else {
+        panic!()
+    };
+    assert!(translate_select(&db, &q).is_err());
+}
+
+// ---------------------------------------------------------------------
+// Property-based differential testing: random small databases, random
+// fragment queries.
+// ---------------------------------------------------------------------
+
+/// A small random database over a fixed 2-class schema.
+fn random_db(edges: &[(u8, u8)], ages: &[(u8, u8)]) -> Database {
+    let mut b = DbBuilder::new();
+    b.class("Node");
+    b.attr("Node", "Age", "Numeral");
+    b.set_attr("Node", "Next", "Node");
+    let nodes: Vec<Oid> = (0..8).map(|i| b.obj(&format!("n{i}"), "Node")).collect();
+    for &(x, y) in edges {
+        let (x, y) = (nodes[(x % 8) as usize], nodes[(y % 8) as usize]);
+        b.add_to(x, "Next", y);
+    }
+    for &(x, a) in ages {
+        let n = nodes[(x % 8) as usize];
+        b.set_int(n, "Age", i64::from(a % 50));
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn theorem_3_1_on_random_graphs(
+        edges in proptest::collection::vec((0u8..8, 0u8..8), 0..14),
+        ages in proptest::collection::vec((0u8..8, 0u8..50), 0..8),
+        qsel in 0usize..6,
+        threshold in 0u8..50,
+    ) {
+        let mut db = random_db(&edges, &ages);
+        let queries = [
+            "SELECT X FROM Node X WHERE X.Next".to_string(),
+            "SELECT X, Y FROM Node X WHERE X.Next[Y]".to_string(),
+            "SELECT X FROM Node X WHERE X.Next.Next[X]".to_string(),
+            format!("SELECT X FROM Node X WHERE X.Next.Age some> {threshold}"),
+            format!("SELECT X FROM Node X WHERE X.Age =all X.Next.Age and X.Age > {threshold}"),
+            "SELECT X FROM Node X WHERE not X.Next.Next".to_string(),
+        ];
+        check_equiv(&mut db, &queries[qsel]);
+    }
+}

@@ -1,0 +1,136 @@
+//! §5: methods in path expressions — the MngrSalary definition (12),
+//! the nested-subquery query (13), selectors on method arguments, and
+//! the RaiseMngrSalary update method.
+
+use datagen::figure1_db;
+use xsql::Session;
+
+const MNGR_SALARY: &str = "ALTER CLASS Company ADD SIGNATURE MngrSalary : String => Numeral \
+     SELECT (MngrSalary @ Y.Name) = W FROM Company X OID X \
+     WHERE X.Divisions[Y].Manager.Salary[W]";
+
+const RAISE: &str = "ALTER CLASS Company ADD SIGNATURE RaiseMngrSalary : Numeral => Object \
+     SELECT (RaiseMngrSalary @ W) = nil FROM Company X, Numeral W OID X \
+     WHERE W < 20 and (UPDATE CLASS Company \
+     SET X.Divisions[Y].Manager.Salary = (1 + W/100) * X.(MngrSalary @ Y.Name))";
+
+#[test]
+fn q12_method_definition_and_invocation() {
+    let mut s = Session::new(figure1_db());
+    s.run(MNGR_SALARY).unwrap();
+    let uni = s.db().oids().find_sym("uniSQL").unwrap();
+    let sales = s.db_mut().oids_mut().str("Sales");
+    // Sales is managed by john13 (90000).
+    let v = s.invoke(uni, "MngrSalary", &[sales]).unwrap().unwrap();
+    assert_eq!(s.db().oids().as_number(v.as_scalar().unwrap()), Some(90000.0));
+    // Unknown division name: undefined (a null), not an error.
+    let nowhere = s.db_mut().oids_mut().str("Nowhere");
+    assert!(s.invoke(uni, "MngrSalary", &[nowhere]).unwrap().is_none());
+}
+
+#[test]
+fn q13_nested_subquery_with_method() {
+    let mut s = Session::new(figure1_db());
+    s.run(MNGR_SALARY).unwrap();
+    // Vehicles made by companies paying ALL their division managers
+    // over $25,000 (both john13/90000 and kim1/30000 qualify).
+    let r = s
+        .query(
+            "SELECT X FROM Vehicle X WHERE 25000 <all (SELECT W FROM Division Y \
+             WHERE X.Manufacturer.(MngrSalary @ Y.Name)[W])",
+        )
+        .unwrap();
+    assert_eq!(r.len(), 3); // car1, car2, and... bicycles have no manufacturer
+    // With a higher bar, kim1's 30000 disqualifies the company — but the
+    // all-quantifier over an empty set keeps unmanufactured vehicles.
+    let r = s
+        .query(
+            "SELECT X FROM Vehicle X WHERE 50000 <all (SELECT W FROM Division Y \
+             WHERE X.Manufacturer.(MngrSalary @ Y.Name)[W])",
+        )
+        .unwrap();
+    // bike1 has no Manufacturer: the subquery is empty, <all vacuously
+    // true (the paper's semantics: "a set that contains only numerals
+    // greater than…").
+    let names: Vec<String> = r.iter().map(|t| s.db().render(t[0])).collect();
+    assert_eq!(names, vec!["bike1"]);
+}
+
+#[test]
+fn method_argument_as_selector_constant() {
+    // §5: "(MngrSalary @ 'Advertizing')" — a ground argument.
+    let mut s = Session::new(figure1_db());
+    s.run(MNGR_SALARY).unwrap();
+    let r = s
+        .query("SELECT W FROM Company X WHERE X.(MngrSalary @ 'Engineering')[W]")
+        .unwrap();
+    assert_eq!(r.len(), 1);
+    let w = *r.as_set().iter().next().unwrap();
+    assert_eq!(s.db().oids().as_number(w), Some(30000.0)); // kim1 manages Engineering
+}
+
+#[test]
+fn raise_mngr_salary_update_method() {
+    let mut s = Session::new(figure1_db());
+    s.run(MNGR_SALARY).unwrap();
+    s.run(RAISE).unwrap();
+    let uni = s.db().oids().find_sym("uniSQL").unwrap();
+    let ten = s.db_mut().oids_mut().int(10);
+    let v = s.invoke(uni, "RaiseMngrSalary", &[ten]).unwrap().unwrap();
+    assert!(s.db().oids().is_nil(v.as_scalar().unwrap()));
+    let sal = s.db().oids().find_sym("Salary").unwrap();
+    let john = s.db().oids().find_sym("john13").unwrap();
+    let kim = s.db().oids().find_sym("kim1").unwrap();
+    let jv = s.db().value(john, sal, &[]).unwrap().unwrap();
+    let kv = s.db().value(kim, sal, &[]).unwrap().unwrap();
+    let j = s.db().oids().as_number(jv.as_scalar().unwrap()).unwrap();
+    let k = s.db().oids().as_number(kv.as_scalar().unwrap()).unwrap();
+    assert!((j - 99000.0).abs() < 1e-6, "john {j}");
+    assert!((k - 33000.0).abs() < 1e-6, "kim {k}");
+}
+
+#[test]
+fn raise_guard_rejects_huge_increases() {
+    // "W < 20 (to guard against huge salary increases)".
+    let mut s = Session::new(figure1_db());
+    s.run(MNGR_SALARY).unwrap();
+    s.run(RAISE).unwrap();
+    let uni = s.db().oids().find_sym("uniSQL").unwrap();
+    let fifty = s.db_mut().oids_mut().int(50);
+    let v = s.invoke(uni, "RaiseMngrSalary", &[fifty]).unwrap();
+    assert!(v.is_none());
+    // Salaries unchanged.
+    let sal = s.db().oids().find_sym("Salary").unwrap();
+    let john = s.db().oids().find_sym("john13").unwrap();
+    let jv = s.db().value(john, sal, &[]).unwrap().unwrap();
+    assert_eq!(s.db().oids().as_number(jv.as_scalar().unwrap()), Some(90000.0));
+}
+
+#[test]
+fn behavioral_inheritance_of_query_methods() {
+    // A method defined on Vehicle is inherited by Automobile instances;
+    // redefining it on Automobile overrides (§6.1).
+    let mut s = Session::new(figure1_db());
+    s.run(
+        "ALTER CLASS Vehicle ADD SIGNATURE Tag => String \
+         SELECT (Tag @) = 'vehicle' FROM Vehicle X OID X",
+    )
+    .unwrap();
+    let car1 = s.db().oids().find_sym("car1").unwrap();
+    let v = s.invoke(car1, "Tag", &[]).unwrap().unwrap();
+    assert_eq!(s.db().oids().as_str(v.as_scalar().unwrap()), Some("vehicle"));
+    s.run(
+        "ALTER CLASS Automobile ADD SIGNATURE Tag => String \
+         SELECT (Tag @) = 'automobile' FROM Automobile X OID X",
+    )
+    .unwrap();
+    let v = s.invoke(car1, "Tag", &[]).unwrap().unwrap();
+    assert_eq!(
+        s.db().oids().as_str(v.as_scalar().unwrap()),
+        Some("automobile")
+    );
+    // A bicycle still sees the Vehicle definition.
+    let bike = s.db().oids().find_sym("bike1").unwrap();
+    let v = s.invoke(bike, "Tag", &[]).unwrap().unwrap();
+    assert_eq!(s.db().oids().as_str(v.as_scalar().unwrap()), Some("vehicle"));
+}

@@ -1,0 +1,142 @@
+//! §4.1: object-creating queries against the Figure 1 database —
+//! queries (7), (8), the OID FUNCTION variants, and the ill-defined
+//! query.
+
+use datagen::figure1_db;
+use oodb::Val;
+use xsql::{Outcome, Session, XsqlError};
+
+#[test]
+fn oid_function_of_two_vars() {
+    // One result object per (company, employee) pair.
+    let mut s = Session::new(figure1_db());
+    let out = s
+        .run(
+            "SELECT EmpSalary = W.Salary FROM Company X OID FUNCTION OF X,W \
+             WHERE X.Divisions.Employees[W]",
+        )
+        .unwrap();
+    let Outcome::Created { oids } = out else {
+        panic!()
+    };
+    assert_eq!(oids.len(), 2); // (uniSQL, john13), (uniSQL, kim1)
+    // Each created object carries the salary of its employee.
+    let m = s.db().oids().find_sym("EmpSalary").unwrap();
+    for o in oids {
+        let v = s.db().value(o, m, &[]).unwrap().unwrap();
+        assert!(v.as_scalar().is_some());
+    }
+}
+
+#[test]
+fn oid_function_of_one_var_when_functional() {
+    // §4.1: "If each employee works for only one company" — id-function
+    // of W alone, one tuple per employee.
+    let mut s = Session::new(figure1_db());
+    let out = s
+        .run(
+            "SELECT EmpSalary = W.Salary FROM Company X OID FUNCTION OF W \
+             WHERE X.Divisions.Employees[W]",
+        )
+        .unwrap();
+    let Outcome::Created { oids } = out else {
+        panic!()
+    };
+    assert_eq!(oids.len(), 2);
+}
+
+#[test]
+fn ill_defined_query_is_runtime_error() {
+    // §4.1: OID FUNCTION OF X with per-W salaries — "two conflicting
+    // descriptions of the same object … a run-time error".
+    let mut s = Session::new(figure1_db());
+    let err = s
+        .run(
+            "SELECT CompName = X.Name, EmpSalary = W.Salary FROM Company X \
+             OID FUNCTION OF X WHERE X.Divisions.Employees[W]",
+        )
+        .unwrap_err();
+    assert!(matches!(err, XsqlError::IllDefined(_)), "{err}");
+}
+
+#[test]
+fn q07_set_attribute_from_path() {
+    // Query (7): Employees = Y.Divisions.Employees is a set value.
+    let mut s = Session::new(figure1_db());
+    let out = s
+        .run(
+            "SELECT CompName = Y.Name, Employees = Y.Divisions.Employees \
+             FROM Company Y OID FUNCTION OF Y",
+        )
+        .unwrap();
+    let Outcome::Created { oids } = out else {
+        panic!()
+    };
+    assert_eq!(oids.len(), 1);
+    let m = s.db().oids().find_sym("Employees").unwrap();
+    let v = s.db().value(oids[0], m, &[]).unwrap().unwrap();
+    assert!(matches!(v, Val::Set(ref set) if set.len() == 2));
+}
+
+#[test]
+fn q08_grouped_beneficiaries() {
+    // Query (8): {W} accumulates retirees and dependents — the paper
+    // notes OID FUNCTION OF plays the role of GROUP BY.
+    let mut s = Session::new(figure1_db());
+    // Add a retiree to uniSQL.
+    {
+        let db = s.db_mut();
+        let person = db.oids().find_sym("Person").unwrap();
+        let ret = db.new_individual("retiree1", &[person]).unwrap();
+        let uni = db.oids().find_sym("uniSQL").unwrap();
+        let m = db.oids_mut().sym("Retirees");
+        db.insert_into_set(uni, m, &[], ret).unwrap();
+    }
+    let out = s
+        .run(
+            "SELECT CompName = Y.Name, Beneficiaries = {W} FROM Company Y \
+             OID FUNCTION OF Y \
+             WHERE Y.Retirees[W] or Y.Divisions.Employees.Dependents[W]",
+        )
+        .unwrap();
+    let Outcome::Created { oids } = out else {
+        panic!()
+    };
+    assert_eq!(oids.len(), 1);
+    let m = s.db().oids().find_sym("Beneficiaries").unwrap();
+    let v = s.db().value(oids[0], m, &[]).unwrap().unwrap();
+    // retiree1 + tim9 (john's dependent).
+    let members: Vec<String> = v.members().map(|o| s.db().render(o)).collect();
+    assert_eq!(members.len(), 2, "{members:?}");
+}
+
+#[test]
+fn created_objects_are_idterm_objects() {
+    // The id-function is symbolic: f(x,w) is unique per key and equal
+    // on re-runs (the [KW89] construction).
+    let mut s = Session::new(figure1_db());
+    let run = "SELECT EmpSalary = W.Salary FROM Company X OID FUNCTION OF X,W \
+               WHERE X.Divisions.Employees[W]";
+    let Outcome::Created { oids: first } = s.run(run).unwrap() else {
+        panic!()
+    };
+    // Named OID functions are generated fresh per anonymous query, so
+    // re-running creates new objects under a new function symbol.
+    let Outcome::Created { oids: second } = s.run(run).unwrap() else {
+        panic!()
+    };
+    assert_eq!(first.len(), second.len());
+    assert!(first.iter().all(|o| !second.contains(o)));
+}
+
+#[test]
+fn empty_where_creates_per_binding() {
+    let mut s = Session::new(figure1_db());
+    let out = s
+        .run("SELECT PName = X.Name FROM Employee X OID FUNCTION OF X")
+        .unwrap();
+    let Outcome::Created { oids } = out else {
+        panic!()
+    };
+    assert_eq!(oids.len(), 2); // john13, kim1
+}

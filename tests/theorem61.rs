@@ -1,0 +1,141 @@
+//! Theorem 6.1, mechanized on scaled Figure 1 databases:
+//!
+//! 1. evaluating a strictly well-typed query is *plan-invariant* — any
+//!    coherent (assignment, plan) pair yields the same result, equal to
+//!    the unrestricted evaluation;
+//! 2. instantiation may be *restricted to the ranges* `A(X)` without
+//!    changing the answer — and measurably reduces evaluation work.
+
+use datagen::{figure1_scaled, Figure1Params};
+use oodb::Database;
+use xsql::ast::Stmt;
+use xsql::eval::{self, Ctx, EvalOptions};
+use xsql::typing::{
+    coherent_plans, extract, ranges_from_assignment, search_assignments, strict, Exemptions,
+};
+use xsql::{eval_select, eval_select_ranged, parse, resolve_stmt};
+
+fn resolved(db: &mut Database, src: &str) -> xsql::ast::SelectQuery {
+    let stmt = parse(src).unwrap();
+    match resolve_stmt(db, &stmt).unwrap() {
+        Stmt::Select(q) => q,
+        s => panic!("expected select, got {s:?}"),
+    }
+}
+
+const QUERIES: &[&str] = &[
+    "SELECT X FROM Vehicle X WHERE X.Manufacturer[M] and M.President.OwnedVehicles[X]",
+    "SELECT W FROM Company X WHERE X.Divisions[Y].Manager.Salary[W] and W > 100000",
+    "SELECT X, Y FROM Company X WHERE X.Divisions[D].Employees[Y] and Y.Age > 40",
+    "SELECT X FROM Employee X WHERE X.Residence[A].City[C] and X.FamMembers[F] \
+     and F.Residence[A2].City[C]",
+];
+
+#[test]
+fn part1_plan_invariance_and_assignment_invariance() {
+    let mut db = figure1_scaled(&Figure1Params {
+        companies: 3,
+        ..Figure1Params::default()
+    });
+    for src in QUERIES {
+        let q = resolved(&mut db, src);
+        let shape = extract(&db, &q).unwrap();
+        let baseline = eval_select(&db, &q, &EvalOptions::default()).unwrap();
+        // Every valid complete assignment that admits a coherent plan
+        // must give the same (restricted) result.
+        let mut tried = 0;
+        search_assignments(&db, &shape, &mut |asg, _| {
+            let plans = coherent_plans(&db, &shape, asg, &Exemptions::none());
+            if !plans.is_empty() {
+                let ranges = ranges_from_assignment(&db, &shape, asg);
+                let restricted =
+                    eval_select_ranged(&db, &q, &EvalOptions::default(), &ranges).unwrap();
+                assert_eq!(restricted, baseline, "assignment changes answer on {src}");
+                tried += 1;
+            }
+            false // keep enumerating all assignments
+        });
+        assert!(tried >= 1, "no coherent assignment for {src}");
+    }
+}
+
+#[test]
+fn part2_range_restriction_preserves_answers() {
+    let mut db = figure1_scaled(&Figure1Params {
+        companies: 4,
+        ..Figure1Params::default()
+    });
+    for src in QUERIES {
+        let q = resolved(&mut db, src);
+        let shape = extract(&db, &q).unwrap();
+        let (asg, _plan) = strict(&db, &shape, &Exemptions::none()).expect("strict");
+        let ranges = ranges_from_assignment(&db, &shape, &asg);
+        let baseline = eval_select(&db, &q, &EvalOptions::default()).unwrap();
+        let restricted = eval_select_ranged(&db, &q, &EvalOptions::default(), &ranges).unwrap();
+        assert_eq!(baseline, restricted, "range restriction changes {src}");
+    }
+}
+
+#[test]
+fn range_restriction_reduces_work() {
+    // The optimization claim: restricting variable instantiation to
+    // A(X) strictly reduces evaluation work on a query whose variable
+    // would otherwise range over the whole domain.
+    let mut db = figure1_scaled(&Figure1Params {
+        companies: 6,
+        ..Figure1Params::default()
+    });
+    // M occurs only in the WHERE clause; untyped evaluation must
+    // consider every individual for it at some point.
+    let q = resolved(
+        &mut db,
+        "SELECT M FROM Vehicle X WHERE M.President[P] and X.Manufacturer[M]",
+    );
+    let shape = extract(&db, &q).unwrap();
+    let (asg, _) = strict(&db, &shape, &Exemptions::none()).expect("strict");
+    let ranges = ranges_from_assignment(&db, &shape, &asg);
+
+    let opts = EvalOptions::default();
+    let ctx_plain = Ctx::new(&db, &opts);
+    let r1 = eval::select::eval_to_relation(&ctx_plain, &q).unwrap();
+    let w_plain = ctx_plain.work_done();
+
+    let ctx_ranged = Ctx::with_ranges(&db, &opts, &ranges);
+    let r2 = eval::select::eval_to_relation(&ctx_ranged, &q).unwrap();
+    let w_ranged = ctx_ranged.work_done();
+
+    assert_eq!(r1, r2);
+    assert!(
+        w_ranged <= w_plain,
+        "typed evaluation did more work ({w_ranged} > {w_plain})"
+    );
+}
+
+#[test]
+fn liberal_only_query_admits_no_ranges() {
+    // The Nobel query is liberally but not strictly well-typed: the
+    // Theorem 6.1 optimization "is not always possible even with queries
+    // that are liberally (but not strictly) well-typed".
+    let mut db = datagen::nobel_db();
+    let q = resolved(&mut db, "SELECT X WHERE X.WonNobelPrize");
+    let ranges = xsql::typing::theorem61_ranges(&db, &q, &Exemptions::none()).unwrap();
+    assert!(ranges.is_none());
+}
+
+#[test]
+fn session_query_typed_agrees_with_plain() {
+    let mut s = xsql::Session::new(figure1_scaled(&Figure1Params {
+        companies: 3,
+        ..Figure1Params::default()
+    }));
+    for src in QUERIES {
+        let plain = s.query(src).unwrap();
+        let typed = s.query_typed(src).unwrap();
+        assert_eq!(plain, typed, "query_typed changed {src}");
+    }
+    // Liberal-only queries fall back to plain evaluation.
+    let mut s = xsql::Session::new(datagen::nobel_db());
+    let plain = s.query("SELECT X WHERE X.WonNobelPrize").unwrap();
+    let typed = s.query_typed("SELECT X WHERE X.WonNobelPrize").unwrap();
+    assert_eq!(plain, typed);
+}

@@ -1,0 +1,269 @@
+//! §6 integration tests: signatures, structural inheritance, liberal vs
+//! strict well-typing, execution plans, exemptions — on the Figure 1,
+//! Nobel and university databases.
+
+use datagen::{figure1_db, nobel_db, university_db};
+use oodb::Database;
+use xsql::ast::Stmt;
+use xsql::typing::{
+    analyze, coherent, coherent_plans, declared_types, extract, is_subrange, possesses, strict,
+    Exemptions, OccId, Range, TypeExpr, Verdict,
+};
+use xsql::{parse, resolve_stmt};
+
+fn resolved(db: &mut Database, src: &str) -> xsql::ast::SelectQuery {
+    let stmt = parse(src).unwrap();
+    match resolve_stmt(db, &stmt).unwrap() {
+        Stmt::Select(q) => q,
+        s => panic!("expected select, got {s:?}"),
+    }
+}
+
+#[test]
+fn structural_inheritance_earns() {
+    // §6.1: in Workstudy, earns possesses both declared types — the
+    // intersection semantics of multiple structural inheritance.
+    let db = university_db();
+    let earns = db.oids().find_sym("earns").unwrap();
+    let ws = db.oids().find_sym("Workstudy").unwrap();
+    let project = db.oids().find_sym("Project").unwrap();
+    let course = db.oids().find_sym("Course").unwrap();
+    let pay = db.oids().find_sym("Pay").unwrap();
+    let grade = db.oids().find_sym("Grade").unwrap();
+    let te_pay = TypeExpr {
+        args: vec![ws, project],
+        result: pay,
+        set_valued: false,
+    };
+    let te_grade = TypeExpr {
+        args: vec![ws, course],
+        result: grade,
+        set_valued: false,
+    };
+    assert!(possesses(&db, earns, &te_pay));
+    assert!(possesses(&db, earns, &te_grade));
+    // But a workstudy earning a Grade from a Project is not possessed.
+    let te_bad = TypeExpr {
+        args: vec![ws, project],
+        result: grade,
+        set_valued: false,
+    };
+    assert!(!possesses(&db, earns, &te_bad));
+}
+
+#[test]
+fn workstudy_double_signature_combined() {
+    // workstudy : semester ==> {student, employee}: both signatures are
+    // declared, and each is possessed.
+    let db = university_db();
+    let m = db.oids().find_sym("workstudy").unwrap();
+    let tys = declared_types(&db, m, 1);
+    assert_eq!(tys.len(), 2);
+}
+
+#[test]
+fn strictly_typed_figure1_query() {
+    let mut db = figure1_db();
+    let q = resolved(
+        &mut db,
+        "SELECT W FROM Company X WHERE X.Divisions[Y].Manager.Salary[W]",
+    );
+    match analyze(&db, &q, &Exemptions::none()) {
+        Verdict::StrictlyWellTyped { assignment, .. } => {
+            let shape = extract(&db, &q).unwrap();
+            // Y's range includes Division.
+            let occs = shape.occurrences();
+            let ranges = xsql::typing::ranges_for(&db, &shape, &assignment, &occs);
+            let division = db.oids().find_sym("Division").unwrap();
+            assert!(ranges["Y"].contains(&division));
+        }
+        v => panic!("expected strict, got {v:?}"),
+    }
+}
+
+#[test]
+fn nobel_exemption_spectrum() {
+    let mut db = nobel_db();
+    let q = resolved(&mut db, "SELECT X WHERE X.WonNobelPrize");
+    // Conservative: not strictly well-typed.
+    assert!(matches!(
+        analyze(&db, &q, &Exemptions::none()),
+        Verdict::LiberallyWellTyped { .. }
+    ));
+    // Exempting the 0th argument of WonNobelPrize: type-correct.
+    let ex = Exemptions::none().exempt(OccId { path: 0, step: 0 }, 0);
+    assert!(matches!(
+        analyze(&db, &q, &ex),
+        Verdict::StrictlyWellTyped { .. }
+    ));
+    // The fully liberal exemption set behaves like liberal typing.
+    assert!(matches!(
+        analyze(&db, &q, &Exemptions::all()),
+        Verdict::StrictlyWellTyped { .. }
+    ));
+}
+
+#[test]
+fn specifying_the_class_restores_strictness() {
+    // The conservative alternative the paper describes: name the classes
+    // for which WonNobelPrize is defined.
+    let mut db = nobel_db();
+    let q = resolved(&mut db, "SELECT X FROM Scientist X WHERE X.WonNobelPrize");
+    assert!(matches!(
+        analyze(&db, &q, &Exemptions::none()),
+        Verdict::StrictlyWellTyped { .. }
+    ));
+}
+
+#[test]
+fn mistyped_comparison_rejected() {
+    // Comparing a salary with a string is not well-defined under any
+    // assignment: ill-typed.
+    let mut db = figure1_db();
+    let q = resolved(
+        &mut db,
+        "SELECT X FROM Employee X WHERE X.Salary > X.Name",
+    );
+    assert!(matches!(
+        analyze(&db, &q, &Exemptions::none()),
+        Verdict::IllTyped
+    ));
+}
+
+#[test]
+fn mary_residence_salary_type_error() {
+    // §3.1: "mary123.Residence.Salary … is a type error, since the
+    // result of Residence is an Address, but Salary is not an attribute
+    // of that class."
+    let mut db = figure1_db();
+    let q = resolved(&mut db, "SELECT W FROM Person X WHERE mary123.Residence.Salary[W]");
+    assert!(matches!(
+        analyze(&db, &q, &Exemptions::none()),
+        Verdict::IllTyped
+    ));
+    // And evaluation (which typing does not affect — it is metalogical)
+    // simply returns no answers.
+    let mut s = xsql::Session::new(figure1_db());
+    let r = s
+        .query("SELECT W FROM Person X WHERE mary123.Residence.Salary[W]")
+        .unwrap();
+    assert!(r.is_empty());
+}
+
+#[test]
+fn plan_coherence_on_figure1_cycle_query() {
+    // The (17) pattern on the Figure 1 schema: Vehicle -> Manufacturer
+    // -> President -> OwnedVehicles.
+    let mut db = figure1_db();
+    let q = resolved(
+        &mut db,
+        "SELECT X FROM Vehicle X WHERE X.Manufacturer[M] \
+         and M.President.OwnedVehicles[X]",
+    );
+    let shape = extract(&db, &q).unwrap();
+    let (asg, plan) = strict(&db, &shape, &Exemptions::none()).expect("strict");
+    assert_eq!(plan, vec![0, 1]);
+    assert!(!coherent(&db, &shape, &asg, &vec![1, 0], &Exemptions::none()));
+    assert_eq!(
+        coherent_plans(&db, &shape, &asg, &Exemptions::none()),
+        vec![vec![0, 1]]
+    );
+}
+
+#[test]
+fn subrange_and_object_default() {
+    let db = figure1_db();
+    let object = db.builtins().object;
+    let vehicle = db.oids().find_sym("Vehicle").unwrap();
+    let auto = db.oids().find_sym("Automobile").unwrap();
+    let mut r = Range::new();
+    r.insert(object);
+    assert!(!is_subrange(&db, &r, vehicle));
+    r.insert(auto);
+    assert!(is_subrange(&db, &r, vehicle));
+}
+
+#[test]
+fn all_plans_enumeration_counts() {
+    use xsql::typing::all_plans;
+    assert_eq!(all_plans(0).len(), 1); // the empty plan
+    assert_eq!(all_plans(1).len(), 1);
+    assert_eq!(all_plans(3).len(), 6);
+    assert_eq!(all_plans(4).len(), 24);
+}
+
+#[test]
+fn kary_method_occurrence_typed() {
+    // The university workstudy method: strict typing of a k-ary
+    // occurrence with a FROM-bound argument.
+    let mut db = university_db();
+    let q = resolved(
+        &mut db,
+        "SELECT W FROM Department X, Semester S WHERE X.(workstudy @ S)[W]",
+    );
+    match analyze(&db, &q, &Exemptions::none()) {
+        Verdict::StrictlyWellTyped { assignment, .. } => {
+            let shape = extract(&db, &q).unwrap();
+            let occs = shape.occurrences();
+            assert_eq!(occs.len(), 1);
+            let te = &assignment.types[&occs[0]];
+            assert_eq!(te.arity(), 1);
+            assert!(te.set_valued);
+        }
+        v => panic!("expected strict, got {v:?}"),
+    }
+}
+
+#[test]
+fn polymorphic_earns_assignment_depends_on_argument_class() {
+    let mut db = university_db();
+    // earns with a Project argument must be typed at Employee=>Pay.
+    let q = resolved(
+        &mut db,
+        "SELECT W FROM Workstudy X, Project P WHERE X.(earns @ P)[W]",
+    );
+    match analyze(&db, &q, &Exemptions::none()) {
+        Verdict::StrictlyWellTyped { assignment, .. } => {
+            let shape = extract(&db, &q).unwrap();
+            let occ = shape.occurrences()[0];
+            let pay = db.oids().find_sym("Pay").unwrap();
+            assert_eq!(assignment.types[&occ].result, pay);
+        }
+        v => panic!("expected strict, got {v:?}"),
+    }
+    // With a Course argument, the Grade signature is forced instead.
+    let q = resolved(
+        &mut db,
+        "SELECT W FROM Workstudy X, Course C WHERE X.(earns @ C)[W]",
+    );
+    match analyze(&db, &q, &Exemptions::none()) {
+        Verdict::StrictlyWellTyped { assignment, .. } => {
+            let shape = extract(&db, &q).unwrap();
+            let occ = shape.occurrences()[0];
+            let grade = db.oids().find_sym("Grade").unwrap();
+            assert_eq!(assignment.types[&occ].result, grade);
+        }
+        v => panic!("expected strict, got {v:?}"),
+    }
+}
+
+#[test]
+fn distinct_occurrences_get_distinct_types() {
+    // §6.2: "Distinct occurrences of the same method name may be
+    // assigned different type expressions" — earns twice, once per
+    // argument class.
+    let mut db = university_db();
+    let q = resolved(
+        &mut db,
+        "SELECT W, V FROM Workstudy X, Project P, Course C \
+         WHERE X.(earns @ P)[W] and X.(earns @ C)[V]",
+    );
+    match analyze(&db, &q, &Exemptions::none()) {
+        Verdict::StrictlyWellTyped { assignment, .. } => {
+            let tys: Vec<_> = assignment.types.values().collect();
+            assert_eq!(tys.len(), 2);
+            assert_ne!(tys[0], tys[1]);
+        }
+        v => panic!("expected strict, got {v:?}"),
+    }
+}
