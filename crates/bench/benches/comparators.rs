@@ -15,13 +15,28 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("E7_comparators");
     let opts = EvalOptions::default();
     let queries = [
-        ("some_gt", "SELECT X FROM Employee X WHERE X.FamMembers.Age some> 30"),
-        ("all_gt", "SELECT X FROM Employee X WHERE X.FamMembers.Age all> 30"),
-        ("all_eq_all", "SELECT X FROM Employee X \
-          WHERE X.Residence.City =all X.FamMembers.Residence.City"),
-        ("containsEq", "SELECT X FROM Employee X \
-          WHERE X.OwnedVehicles.Color containsEq {'red'}"),
-        ("count_agg", "SELECT X FROM Employee X WHERE count(X.FamMembers) >= 2"),
+        (
+            "some_gt",
+            "SELECT X FROM Employee X WHERE X.FamMembers.Age some> 30",
+        ),
+        (
+            "all_gt",
+            "SELECT X FROM Employee X WHERE X.FamMembers.Age all> 30",
+        ),
+        (
+            "all_eq_all",
+            "SELECT X FROM Employee X \
+          WHERE X.Residence.City =all X.FamMembers.Residence.City",
+        ),
+        (
+            "containsEq",
+            "SELECT X FROM Employee X \
+          WHERE X.OwnedVehicles.Color containsEq {'red'}",
+        ),
+        (
+            "count_agg",
+            "SELECT X FROM Employee X WHERE count(X.FamMembers) >= 2",
+        ),
     ];
     for fam in [2usize, 5, 9] {
         let mut db = figure1_scaled(&Figure1Params {
@@ -31,11 +46,9 @@ fn bench(c: &mut Criterion) {
         });
         for (name, src) in queries {
             let q = compile(&mut db, src);
-            group.bench_with_input(
-                BenchmarkId::new(name, fam),
-                &fam,
-                |b, _| b.iter(|| black_box(eval_select(&db, &q, &opts).unwrap())),
-            );
+            group.bench_with_input(BenchmarkId::new(name, fam), &fam, |b, _| {
+                b.iter(|| black_box(eval_select(&db, &q, &opts).unwrap()))
+            });
         }
     }
     group.finish();

@@ -29,23 +29,17 @@ fn bench(c: &mut Criterion) {
         let n = db.individual_count();
 
         let piped = EvalOptions::default();
-        group.bench_with_input(
-            BenchmarkId::new("pipelined", n),
-            &n,
-            |b, _| b.iter(|| black_box(eval_select(&db, &q, &piped).unwrap())),
-        );
+        group.bench_with_input(BenchmarkId::new("pipelined", n), &n, |b, _| {
+            b.iter(|| black_box(eval_select(&db, &q, &piped).unwrap()))
+        });
 
         let ranges = theorem61_ranges(&db, &q, &Exemptions::none())
             .unwrap()
             .expect("strictly well-typed");
         let naive = EvalOptions::naive();
-        group.bench_with_input(
-            BenchmarkId::new("naive_thm61_ranges", n),
-            &n,
-            |b, _| {
-                b.iter(|| black_box(eval_select_ranged(&db, &q, &naive, &ranges).unwrap()))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("naive_thm61_ranges", n), &n, |b, _| {
+            b.iter(|| black_box(eval_select_ranged(&db, &q, &naive, &ranges).unwrap()))
+        });
 
         // The pure §3.4 engine is only feasible on the smallest size.
         if companies == 1 {

@@ -44,9 +44,11 @@ fn bench(c: &mut Criterion) {
             &mut db,
             "SELECT W FROM Company X WHERE X.Divisions.Employees.FamMembers.Residence.City[W]",
         );
-        group.bench_with_input(BenchmarkId::new("set_fanout_max_family", fam), &fam, |b, _| {
-            b.iter(|| black_box(eval_select(&db, &q, &opts).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("set_fanout_max_family", fam),
+            &fam,
+            |b, _| b.iter(|| black_box(eval_select(&db, &q, &opts).unwrap())),
+        );
     }
     group.finish();
 }

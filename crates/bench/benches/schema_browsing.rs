@@ -19,7 +19,10 @@ fn bench(c: &mut Criterion) {
 
     let mut db = scaled_db(4);
     let qv = compile(&mut db, "SELECT Y FROM Person X WHERE X.\"Y.City['city3']");
-    let qf = compile(&mut db, "SELECT X FROM Person X WHERE X.Residence.City['city3']");
+    let qf = compile(
+        &mut db,
+        "SELECT X FROM Person X WHERE X.Residence.City['city3']",
+    );
     group.bench_function("attribute_variable", |b| {
         b.iter(|| black_box(eval_select(&db, &qv, &opts).unwrap()))
     });

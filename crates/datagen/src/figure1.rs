@@ -276,7 +276,11 @@ pub fn figure1_scaled(p: &Figure1Params) -> Database {
                     .map(|fi| {
                         let fm = b.obj(&format!("fam{ci}_{di}_{ei}_{fi}"), "Person");
                         b.set_int(fm, "Age", rng.gen_range(1..90));
-                        let fres = if rng.gen_bool(0.5) { res } else { cities[rng.gen_range(0..cities.len())] };
+                        let fres = if rng.gen_bool(0.5) {
+                            res
+                        } else {
+                            cities[rng.gen_range(0..cities.len())]
+                        };
                         b.set(fm, "Residence", fres);
                         fm
                     })
@@ -292,7 +296,11 @@ pub fn figure1_scaled(p: &Figure1Params) -> Database {
             divisions.push(div);
         }
         b.set_many(comp, "Divisions", &divisions);
-        b.set(comp, "President", company_people[rng.gen_range(0..company_people.len())]);
+        b.set(
+            comp,
+            "President",
+            company_people[rng.gen_range(0..company_people.len())],
+        );
 
         for vi in 0..p.vehicles_per_company {
             let kind = ["Automobile", "Motorbike", "Bicycle"][vi % 3];
@@ -301,8 +309,8 @@ pub fn figure1_scaled(p: &Figure1Params) -> Database {
             b.set(v, "Manufacturer", comp);
             b.set_str(v, "Color", colors[rng.gen_range(0..colors.len())]);
             if kind == "Automobile" {
-                let engine_kind = ["TurboEngine", "DieselEngine", "TwoStrokeEngine"]
-                    [rng.gen_range(0..3)];
+                let engine_kind =
+                    ["TurboEngine", "DieselEngine", "TwoStrokeEngine"][rng.gen_range(0..3)];
                 let e = b.obj(&format!("engine{ci}_{vi}"), engine_kind);
                 b.set_int(e, "HPpower", rng.gen_range(60..400));
                 b.set_int(e, "CylinderN", [3, 4, 6, 8][rng.gen_range(0..4)]);
@@ -344,10 +352,7 @@ mod tests {
         let a = figure1_scaled(&p);
         let b2 = figure1_scaled(&p);
         assert_eq!(a.individual_count(), b2.individual_count());
-        assert_eq!(
-            a.state_entries().count(),
-            b2.state_entries().count()
-        );
+        assert_eq!(a.state_entries().count(), b2.state_entries().count());
     }
 
     #[test]

@@ -146,11 +146,7 @@ impl Translator<'_> {
         }
     }
 
-    fn path_with_tail(
-        &mut self,
-        p: &ast::PathExpr,
-        tail: FTerm,
-    ) -> Result<Formula, XsqlError> {
+    fn path_with_tail(&mut self, p: &ast::PathExpr, tail: FTerm) -> Result<Formula, XsqlError> {
         let mut conj: Vec<Formula> = Vec::new();
         let mut exists: Vec<(String, Sort)> = Vec::new();
         let mut cur = self.term(&p.head, &mut conj)?;
@@ -188,11 +184,7 @@ impl Translator<'_> {
                 (Some(t), _) => {
                     let s = self.term(t, &mut conj)?;
                     if last {
-                        conj.push(Formula::Atom(Atom::Cmp(
-                            CmpOp::Eq,
-                            s.clone(),
-                            tail.clone(),
-                        )));
+                        conj.push(Formula::Atom(Atom::Cmp(CmpOp::Eq, s.clone(), tail.clone())));
                     }
                     s
                 }
@@ -217,11 +209,7 @@ impl Translator<'_> {
     }
 
     /// φ(x) such that x ranges over the operand's value set.
-    fn operand_pred(
-        &mut self,
-        op: &ast::Operand,
-        x: FTerm,
-    ) -> Result<Formula, XsqlError> {
+    fn operand_pred(&mut self, op: &ast::Operand, x: FTerm) -> Result<Formula, XsqlError> {
         match op {
             ast::Operand::Path(p) => self.path_with_tail(p, x),
             ast::Operand::SetLit(ts) => {
@@ -292,30 +280,28 @@ impl Translator<'_> {
                 let lq = lq.unwrap_or(ast::Quant::Some);
                 let rq = rq.unwrap_or(ast::Quant::Some);
                 // Left side: direct term or quantified predicate var.
-                let (lterm, lwrap): (FTerm, Option<(String, Sort, Formula)>) =
-                    match direct(left) {
-                        Some(t) => (t, None),
-                        None => {
-                            let lx = self.inner.fresh();
-                            let FTerm::Var(ln, ls) = lx.clone() else {
-                                unreachable!()
-                            };
-                            let fl = self.operand_pred(left, lx.clone())?;
-                            (lx, Some((ln, ls, fl)))
-                        }
-                    };
-                let (rterm, rwrap): (FTerm, Option<(String, Sort, Formula)>) =
-                    match direct(right) {
-                        Some(t) => (t, None),
-                        None => {
-                            let rx = self.inner.fresh();
-                            let FTerm::Var(rn, rs) = rx.clone() else {
-                                unreachable!()
-                            };
-                            let fr = self.operand_pred(right, rx.clone())?;
-                            (rx, Some((rn, rs, fr)))
-                        }
-                    };
+                let (lterm, lwrap): (FTerm, Option<(String, Sort, Formula)>) = match direct(left) {
+                    Some(t) => (t, None),
+                    None => {
+                        let lx = self.inner.fresh();
+                        let FTerm::Var(ln, ls) = lx.clone() else {
+                            unreachable!()
+                        };
+                        let fl = self.operand_pred(left, lx.clone())?;
+                        (lx, Some((ln, ls, fl)))
+                    }
+                };
+                let (rterm, rwrap): (FTerm, Option<(String, Sort, Formula)>) = match direct(right) {
+                    Some(t) => (t, None),
+                    None => {
+                        let rx = self.inner.fresh();
+                        let FTerm::Var(rn, rs) = rx.clone() else {
+                            unreachable!()
+                        };
+                        let fr = self.operand_pred(right, rx.clone())?;
+                        (rx, Some((rn, rs, fr)))
+                    }
+                };
                 let cmp = Formula::Atom(Atom::Cmp(Tr::cmp_op(*op), lterm, rterm));
                 // Build Q_l x ∈ L. Q_r y ∈ R. cmp(x,y), skipping the
                 // quantifier for direct sides.

@@ -47,10 +47,10 @@ fn isa_molecule_closed_upward() {
     let person = db.oids().find_sym("Person").unwrap();
     let v = BTreeMap::new();
     assert!(m.holds(&Atom::IsA(FTerm::Oid(alice), FTerm::Oid(person)), &v));
-    assert!(m.holds(&Atom::IsA(
-        FTerm::Oid(alice),
-        FTerm::Oid(db.builtins().object)
-    ), &v));
+    assert!(m.holds(
+        &Atom::IsA(FTerm::Oid(alice), FTerm::Oid(db.builtins().object)),
+        &v
+    ));
 }
 
 #[test]
@@ -135,10 +135,7 @@ fn strict_subclass_atom() {
         &Atom::StrictSub(FTerm::Oid(employee), FTerm::Oid(person)),
         &v
     ));
-    assert!(!m.holds(
-        &Atom::StrictSub(FTerm::Oid(person), FTerm::Oid(person)),
-        &v
-    ));
+    assert!(!m.holds(&Atom::StrictSub(FTerm::Oid(person), FTerm::Oid(person)), &v));
 }
 
 mod more_equivalence {
@@ -182,7 +179,14 @@ mod more_equivalence {
     fn quantifier_matrix_equivalent() {
         let mut db = datagen::figure1_db();
         for op in ["<", "<=", ">", ">=", "=", "!="] {
-            for (lq, rq) in [("", ""), ("some", ""), ("all", ""), ("", "some"), ("", "all"), ("all", "all")] {
+            for (lq, rq) in [
+                ("", ""),
+                ("some", ""),
+                ("all", ""),
+                ("", "some"),
+                ("", "all"),
+                ("all", "all"),
+            ] {
                 let src = format!(
                     "SELECT X, Y FROM Employee X, Employee Y \
                      WHERE X.FamMembers.Age {lq}{op}{rq} Y.FamMembers.Age"

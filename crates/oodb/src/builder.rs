@@ -87,7 +87,9 @@ impl DbBuilder {
     /// (the `*`-marked attributes of Figure 1).
     pub fn set_attr(&mut self, class: &str, name: &str, result: &str) -> Oid {
         let (c, r) = (self.sym(class), self.sym(result));
-        self.db.add_signature(c, name, &[], r, true).expect("set_attr")
+        self.db
+            .add_signature(c, name, &[], r, true)
+            .expect("set_attr")
     }
 
     /// Declares a k-ary method signature.

@@ -17,6 +17,7 @@
 use crate::error::{DbError, DbResult};
 use crate::oid::{Oid, OidData, OidTable};
 use crate::schema::{Builtins, ClassInfo, Signature};
+use crate::undo::{Savepoint, UndoLog, UndoOp};
 use crate::value::Val;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
@@ -92,6 +93,9 @@ pub struct Database {
     computed: HashMap<(Oid, Oid, usize), Arc<dyn MethodImpl>>,
     /// Deterministic enumeration order of computed-method keys.
     computed_order: Vec<(Oid, Oid, usize)>,
+    /// Active undo log; `Some` while a transaction is open, in which
+    /// case every mutating entry point records its inverse here.
+    undo: Option<UndoLog>,
 }
 
 impl std::fmt::Debug for Database {
@@ -150,6 +154,7 @@ impl Database {
             by_method_value: HashMap::new(),
             computed: HashMap::new(),
             computed_order: Vec::new(),
+            undo: None,
         };
         for (c, supers) in [
             (object, vec![]),
@@ -203,6 +208,160 @@ impl Database {
     }
 
     // ------------------------------------------------------------------
+    // Transactions (undo log; see `crate::undo`)
+    // ------------------------------------------------------------------
+
+    /// Opens an undo log (if none is open) and returns a [`Savepoint`]
+    /// at the current position. While the log is open every mutating
+    /// entry point records its inverse, so the span up to the returned
+    /// mark can be unwound with [`Database::rollback_to`].
+    pub fn begin(&mut self) -> Savepoint {
+        let log = self.undo.get_or_insert_with(UndoLog::default);
+        Savepoint(log.ops.len())
+    }
+
+    /// A [`Savepoint`] at the current position of the open log
+    /// (opening one if necessary — equivalent to [`Database::begin`];
+    /// the separate name marks intent at call sites: `begin` starts a
+    /// span, `savepoint` subdivides one).
+    pub fn savepoint(&mut self) -> Savepoint {
+        self.begin()
+    }
+
+    /// Undoes every mutation recorded after `sp`, in reverse order. The
+    /// log stays open (an enclosing span can still be rolled back
+    /// further). Rolling back to a stale mark — one from before the
+    /// last [`Database::commit`], or beyond an earlier rollback — is a
+    /// no-op.
+    pub fn rollback_to(&mut self, sp: Savepoint) {
+        let tail = match &mut self.undo {
+            Some(log) if log.ops.len() > sp.0 => log.ops.split_off(sp.0),
+            _ => return,
+        };
+        for op in tail.into_iter().rev() {
+            self.apply_undo(op);
+        }
+    }
+
+    /// Closes the undo log, making everything recorded since
+    /// [`Database::begin`] permanent. Recording stops until the next
+    /// `begin`/`savepoint`; outstanding savepoints become stale.
+    pub fn commit(&mut self) {
+        self.undo = None;
+    }
+
+    /// True while an undo log is open.
+    pub fn in_transaction(&self) -> bool {
+        self.undo.is_some()
+    }
+
+    /// Number of inverse operations recorded so far (0 when no log is
+    /// open). Exposed for tests and diagnostics.
+    pub fn undo_depth(&self) -> usize {
+        self.undo.as_ref().map_or(0, |l| l.len())
+    }
+
+    fn record(&mut self, op: UndoOp) {
+        if let Some(log) = &mut self.undo {
+            log.ops.push(op);
+        }
+    }
+
+    /// Applies one inverse operation. Works on the raw fields (plus the
+    /// derived-index helpers), so nothing here records into the log.
+    fn apply_undo(&mut self, op: UndoOp) {
+        match op {
+            UndoOp::UndefineClass(c) => {
+                if let Some(info) = self.classes.remove(&c) {
+                    self.class_order.retain(|&x| x != c);
+                    for s in info.supers {
+                        if let Some(si) = self.classes.get_mut(&s) {
+                            si.subs.retain(|&x| x != c);
+                        }
+                    }
+                    self.recompute_closure();
+                }
+            }
+            UndoOp::RemoveIsA { sub, sup } => {
+                if let Some(i) = self.classes.get_mut(&sub) {
+                    i.supers.retain(|&x| x != sup);
+                }
+                if let Some(i) = self.classes.get_mut(&sup) {
+                    i.subs.retain(|&x| x != sub);
+                }
+                self.recompute_closure();
+            }
+            UndoOp::RestoreState { key, old } => {
+                let (recv, method) = (key.0, key.1);
+                if let Some(cur) = self.state.remove(&key) {
+                    self.index_remove(recv, method, &cur);
+                }
+                if let Some(v) = old {
+                    self.state.insert(key, v.clone());
+                    self.index_insert(recv, method, &v);
+                }
+            }
+            UndoOp::RestoreIndividual { o, present } => {
+                if present {
+                    self.individuals.insert(o);
+                } else {
+                    self.individuals.remove(&o);
+                }
+            }
+            UndoOp::RestoreMembership { o, class, present } => {
+                if present {
+                    self.instance_of.entry(o).or_default().insert(class);
+                    self.extent.entry(class).or_default().insert(o);
+                } else {
+                    if let Some(s) = self.instance_of.get_mut(&o) {
+                        s.remove(&class);
+                    }
+                    if let Some(s) = self.extent.get_mut(&class) {
+                        s.remove(&o);
+                    }
+                }
+            }
+            UndoOp::RestoreMethodObject { m, present } => {
+                if present {
+                    self.method_objects.insert(m);
+                } else {
+                    self.method_objects.remove(&m);
+                }
+            }
+            UndoOp::RemoveSignature { class, sig } => {
+                if let Some(i) = self.classes.get_mut(&class) {
+                    if let Some(pos) = i.sigs.iter().rposition(|s| *s == sig) {
+                        i.sigs.remove(pos);
+                    }
+                }
+            }
+            UndoOp::RestoreResolution { class, method, old } => {
+                if let Some(i) = self.classes.get_mut(&class) {
+                    match old {
+                        Some(from) => {
+                            i.resolutions.insert(method, from);
+                        }
+                        None => {
+                            i.resolutions.remove(&method);
+                        }
+                    }
+                }
+            }
+            UndoOp::RestoreComputed { key, old } => match old {
+                Some(imp) => {
+                    self.computed.insert(key, imp);
+                }
+                None => {
+                    self.computed.remove(&key);
+                    if let Some(pos) = self.computed_order.iter().rposition(|k| *k == key) {
+                        self.computed_order.remove(pos);
+                    }
+                }
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Schema: classes and IS-A
     // ------------------------------------------------------------------
 
@@ -236,6 +395,7 @@ impl Database {
             self.classes.get_mut(&s).unwrap().subs.push(c);
         }
         self.recompute_closure();
+        self.record(UndoOp::UndefineClass(c));
         Ok(c)
     }
 
@@ -257,6 +417,7 @@ impl Database {
             self.classes.get_mut(&sub).unwrap().supers.push(sup);
             self.classes.get_mut(&sup).unwrap().subs.push(sub);
             self.recompute_closure();
+            self.record(UndoOp::RemoveIsA { sub, sup });
         }
         Ok(())
     }
@@ -297,9 +458,7 @@ impl Database {
 
     /// Reflexive subclass test: `sub` ⊑ `sup`.
     pub fn is_subclass(&self, sub: Oid, sup: Oid) -> bool {
-        self.ancestors
-            .get(&sub)
-            .is_some_and(|a| a.contains(&sup))
+        self.ancestors.get(&sub).is_some_and(|a| a.contains(&sup))
     }
 
     /// The *strict* `subclassOf` relation of query (4): `Cl subclassOf
@@ -337,7 +496,10 @@ impl Database {
 
     /// Direct superclasses of a class.
     pub fn direct_supers(&self, c: Oid) -> &[Oid] {
-        self.classes.get(&c).map(|i| i.supers.as_slice()).unwrap_or(&[])
+        self.classes
+            .get(&c)
+            .map(|i| i.supers.as_slice())
+            .unwrap_or(&[])
     }
 
     // ------------------------------------------------------------------
@@ -371,9 +533,12 @@ impl Database {
         };
         let info = self.classes.get_mut(&class).unwrap();
         if !info.sigs.contains(&sig) {
-            info.sigs.push(sig);
+            info.sigs.push(sig.clone());
+            self.record(UndoOp::RemoveSignature { class, sig });
         }
-        self.method_objects.insert(m);
+        if self.method_objects.insert(m) {
+            self.record(UndoOp::RestoreMethodObject { m, present: false });
+        }
         Ok(m)
     }
 
@@ -421,7 +586,12 @@ impl Database {
     /// Declares that `class` resolves the multiple-inheritance conflict
     /// for `method` in favor of the definition in `from_super` (Meyer's
     /// explicit-choice rule, §6.1).
-    pub fn resolve_inheritance(&mut self, class: Oid, method: Oid, from_super: Oid) -> DbResult<()> {
+    pub fn resolve_inheritance(
+        &mut self,
+        class: Oid,
+        method: Oid,
+        from_super: Oid,
+    ) -> DbResult<()> {
         if !self.classes.contains_key(&class) {
             return Err(DbError::UnknownClass(self.render(class)));
         }
@@ -431,11 +601,13 @@ impl Database {
                 expected: "superclass of the resolving class",
             });
         }
-        self.classes
+        let old = self
+            .classes
             .get_mut(&class)
             .unwrap()
             .resolutions
             .insert(method, from_super);
+        self.record(UndoOp::RestoreResolution { class, method, old });
         Ok(())
     }
 
@@ -459,10 +631,19 @@ impl Database {
                 return Err(DbError::UnknownClass(self.render(*c)));
             }
         }
-        self.individuals.insert(o);
-        for c in classes {
-            self.instance_of.entry(o).or_default().insert(*c);
-            self.extent.entry(*c).or_default().insert(o);
+        if self.individuals.insert(o) {
+            self.record(UndoOp::RestoreIndividual { o, present: false });
+        }
+        for &c in classes {
+            let fresh = self.instance_of.entry(o).or_default().insert(c);
+            self.extent.entry(c).or_default().insert(o);
+            if fresh {
+                self.record(UndoOp::RestoreMembership {
+                    o,
+                    class: c,
+                    present: false,
+                });
+            }
         }
         Ok(())
     }
@@ -476,11 +657,19 @@ impl Database {
     /// [`Database::add_instance`]; the paper's model lets class
     /// membership change over time, §2 "Classes").
     pub fn remove_instance(&mut self, obj: Oid, class: Oid) {
+        let mut held = false;
         if let Some(s) = self.instance_of.get_mut(&obj) {
-            s.remove(&class);
+            held |= s.remove(&class);
         }
         if let Some(s) = self.extent.get_mut(&class) {
-            s.remove(&obj);
+            held |= s.remove(&obj);
+        }
+        if held {
+            self.record(UndoOp::RestoreMembership {
+                o: obj,
+                class,
+                present: true,
+            });
         }
     }
 
@@ -514,8 +703,7 @@ impl Database {
         if class == self.builtins.method {
             return self.is_method_object(o);
         }
-        if class == self.builtins.object && (self.oids.is_nil(o) || self.individuals.contains(&o))
-        {
+        if class == self.builtins.object && (self.oids.is_nil(o) || self.individuals.contains(&o)) {
             return true;
         }
         self.direct_classes(o)
@@ -575,11 +763,31 @@ impl Database {
         // Literals entering the state become part of the active domain;
         // symbols/id-terms must be registered explicitly to avoid
         // treating class- or method-objects as individuals.
-        match self.oids.get(o) {
-            OidData::Int(_) | OidData::Real(_) | OidData::Str(_) | OidData::Bool(_) => {
-                self.individuals.insert(o);
-            }
-            _ => {}
+        if matches!(
+            self.oids.get(o),
+            OidData::Int(_) | OidData::Real(_) | OidData::Str(_) | OidData::Bool(_)
+        ) && self.individuals.insert(o)
+        {
+            self.record(UndoOp::RestoreIndividual { o, present: false });
+        }
+    }
+
+    /// Catalogues `m` as a method-object, recording the inverse.
+    fn note_method_object(&mut self, m: Oid) {
+        if self.method_objects.insert(m) {
+            self.record(UndoOp::RestoreMethodObject { m, present: false });
+        }
+    }
+
+    /// Records the pre-image of the state entry at `key` (done before
+    /// the entry is touched, so the slot can be restored exactly).
+    fn record_state(&mut self, key: &StateKey) {
+        if self.undo.is_some() {
+            let old = self.state.get(key).cloned();
+            self.record(UndoOp::RestoreState {
+                key: key.clone(),
+                old,
+            });
         }
     }
 
@@ -601,10 +809,7 @@ impl Database {
         }
         // recv stays in by_method iff another entry for (recv, method)
         // remains (a different argument tuple).
-        let still = self
-            .stored_entries_for(recv, method)
-            .next()
-            .is_some();
+        let still = self.stored_entries_for(recv, method).next().is_some();
         if !still {
             if let Some(set) = self.by_method.get_mut(&method) {
                 set.remove(&recv);
@@ -614,15 +819,15 @@ impl Database {
 
     /// Stores a scalar value for `(recv, method, args)`.
     pub fn set_scalar(&mut self, recv: Oid, method: Oid, args: &[Oid], value: Oid) -> DbResult<()> {
-        self.method_objects.insert(method);
+        self.note_method_object(method);
         self.note_domain(value);
         for &a in args {
             self.note_domain(a);
         }
+        let key = (recv, method, args.to_vec());
+        self.record_state(&key);
         let new = Val::Scalar(value);
-        let old = self
-            .state
-            .insert((recv, method, args.to_vec()), new.clone());
+        let old = self.state.insert(key, new.clone());
         if let Some(old) = old {
             self.index_remove(recv, method, &old);
         }
@@ -638,7 +843,7 @@ impl Database {
         args: &[Oid],
         values: I,
     ) -> DbResult<()> {
-        self.method_objects.insert(method);
+        self.note_method_object(method);
         let set: BTreeSet<Oid> = values.into_iter().collect();
         for &v in &set {
             self.note_domain(v);
@@ -646,10 +851,10 @@ impl Database {
         for &a in args {
             self.note_domain(a);
         }
+        let key = (recv, method, args.to_vec());
+        self.record_state(&key);
         let new = Val::Set(set);
-        let old = self
-            .state
-            .insert((recv, method, args.to_vec()), new.clone());
+        let old = self.state.insert(key, new.clone());
         if let Some(old) = old {
             self.index_remove(recv, method, &old);
         }
@@ -658,10 +863,20 @@ impl Database {
     }
 
     /// Adds one member to a set-valued entry, creating it if absent.
-    pub fn insert_into_set(&mut self, recv: Oid, method: Oid, args: &[Oid], value: Oid) -> DbResult<()> {
-        self.method_objects.insert(method);
+    pub fn insert_into_set(
+        &mut self,
+        recv: Oid,
+        method: Oid,
+        args: &[Oid],
+        value: Oid,
+    ) -> DbResult<()> {
+        self.note_method_object(method);
         self.note_domain(value);
         let key = (recv, method, args.to_vec());
+        // Pre-image recorded up front: the error branch below fires
+        // after `note_*` already mutated, so the caller must be able to
+        // roll the whole call back.
+        self.record_state(&key);
         match self.state.entry(key) {
             std::collections::btree_map::Entry::Vacant(e) => {
                 e.insert(Val::set([value]));
@@ -685,7 +900,12 @@ impl Database {
     /// Removes the stored entry for `(recv, method, args)`, making the
     /// method undefined there (a null).
     pub fn remove_value(&mut self, recv: Oid, method: Oid, args: &[Oid]) {
-        if let Some(old) = self.state.remove(&(recv, method, args.to_vec())) {
+        let key = (recv, method, args.to_vec());
+        if let Some(old) = self.state.remove(&key) {
+            self.record(UndoOp::RestoreState {
+                key,
+                old: Some(old.clone()),
+            });
             self.index_remove(recv, method, &old);
         }
     }
@@ -780,9 +1000,16 @@ impl Database {
                 if let Some(ext) = self.extent.get_mut(&c) {
                     ext.remove(&o);
                 }
+                self.record(UndoOp::RestoreMembership {
+                    o,
+                    class: c,
+                    present: true,
+                });
             }
         }
-        self.individuals.remove(&o);
+        if self.individuals.remove(&o) {
+            self.record(UndoOp::RestoreIndividual { o, present: true });
+        }
     }
 
     /// The raw stored value, without inheritance or computed methods.
@@ -829,12 +1056,13 @@ impl Database {
         if !self.classes.contains_key(&class) {
             return Err(DbError::UnknownClass(self.render(class)));
         }
-        self.method_objects.insert(method);
+        self.note_method_object(method);
         let key = (class, method, arity);
         if !self.computed.contains_key(&key) {
             self.computed_order.push(key);
         }
-        self.computed.insert(key, imp);
+        let old = self.computed.insert(key, imp);
+        self.record(UndoOp::RestoreComputed { key, old });
         Ok(())
     }
 
@@ -1155,7 +1383,8 @@ mod tests {
         let mut db = Database::new();
         let person = db.define_class("Person", &[]).unwrap();
         let string = db.builtins().string;
-        db.add_signature(person, "Name", &[], string, false).unwrap();
+        db.add_signature(person, "Name", &[], string, false)
+            .unwrap();
         db
     }
 

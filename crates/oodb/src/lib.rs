@@ -37,6 +37,7 @@ mod database;
 mod error;
 mod oid;
 mod schema;
+mod undo;
 mod value;
 
 pub use builder::DbBuilder;
@@ -44,4 +45,5 @@ pub use database::{Database, MethodImpl, MAX_INVOKE_DEPTH};
 pub use error::{DbError, DbResult};
 pub use oid::{Oid, OidData, OidTable};
 pub use schema::{Builtins, ClassInfo, Signature};
+pub use undo::{Savepoint, UndoLog};
 pub use value::{Val, ValIter};

@@ -214,9 +214,8 @@ impl OidTable {
             (OidData::Bool(x), OidData::Bool(y)) => x.cmp(y),
             (OidData::Sym(x), OidData::Sym(y)) => x.cmp(y),
             (OidData::Nil, OidData::Nil) => Ordering::Equal,
-            (OidData::Func(f, xs), OidData::Func(g, ys)) => self
-                .display_cmp(*f, *g)
-                .then_with(|| {
+            (OidData::Func(f, xs), OidData::Func(g, ys)) => {
+                self.display_cmp(*f, *g).then_with(|| {
                     for (x, y) in xs.iter().zip(ys.iter()) {
                         match self.display_cmp(*x, *y) {
                             Ordering::Equal => continue,
@@ -224,7 +223,8 @@ impl OidTable {
                         }
                     }
                     xs.len().cmp(&ys.len())
-                }),
+                })
+            }
             _ => {
                 // Both numerals (possibly mixed int/real).
                 let (x, y) = (self.as_number(a).unwrap(), self.as_number(b).unwrap());

@@ -13,5 +13,5 @@
 mod relation;
 mod render;
 
-pub use relation::{Relation, RelError, Tuple};
+pub use relation::{RelError, Relation, Tuple};
 pub use render::render_table;

@@ -167,12 +167,7 @@ impl Relation {
     /// Selection by predicate.
     pub fn select<F: Fn(&[Oid]) -> bool>(&self, pred: F) -> Relation {
         let mut out = Relation::new(self.columns.clone());
-        out.tuples = self
-            .tuples
-            .iter()
-            .filter(|t| pred(t))
-            .cloned()
-            .collect();
+        out.tuples = self.tuples.iter().filter(|t| pred(t)).cloned().collect();
         out
     }
 

@@ -97,8 +97,11 @@ mod alignment_tests {
         r.insert(vec![long]);
         r.insert(vec![short]);
         let s = render_table(&r, &t);
-        let widths: std::collections::BTreeSet<usize> =
-            s.lines().filter(|l| l.starts_with('|')).map(str::len).collect();
+        let widths: std::collections::BTreeSet<usize> = s
+            .lines()
+            .filter(|l| l.starts_with('|'))
+            .map(str::len)
+            .collect();
         assert_eq!(widths.len(), 1, "ragged table:\n{s}");
     }
 

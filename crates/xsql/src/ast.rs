@@ -523,6 +523,15 @@ pub enum Stmt {
     /// `EXPLAIN <select>` — typing analysis report (§6) instead of
     /// evaluation.
     Explain(Box<Stmt>),
+    /// `BEGIN [WORK]` — open an explicit transaction (engineering
+    /// extension; the paper's model has no transactions, but a
+    /// production engine needs statement grouping).
+    Begin,
+    /// `COMMIT [WORK]` — make the open transaction permanent.
+    Commit,
+    /// `ROLLBACK [WORK]` — undo the open transaction back to its
+    /// `BEGIN`.
+    Rollback,
 }
 
 #[cfg(test)]

@@ -44,8 +44,7 @@ pub fn dump_script(db: &Database) -> XsqlResult<String> {
     let mut ordered: Vec<Oid> = Vec::new();
     {
         let mut pending: Vec<Oid> = db.classes().filter(|c| !builtin.contains(c)).collect();
-        let mut placed: std::collections::BTreeSet<Oid> =
-            builtin.iter().copied().collect();
+        let mut placed: std::collections::BTreeSet<Oid> = builtin.iter().copied().collect();
         while !pending.is_empty() {
             let before = pending.len();
             pending.retain(|&c| {
@@ -57,7 +56,10 @@ pub fn dump_script(db: &Database) -> XsqlResult<String> {
                     true
                 }
             });
-            assert!(pending.len() < before, "IS-A is acyclic; progress is guaranteed");
+            assert!(
+                pending.len() < before,
+                "IS-A is acyclic; progress is guaranteed"
+            );
         }
     }
     for &c in &ordered {
@@ -74,7 +76,11 @@ pub fn dump_script(db: &Database) -> XsqlResult<String> {
         if supers.is_empty() {
             let _ = writeln!(out, "CREATE CLASS {name};");
         } else {
-            let _ = writeln!(out, "CREATE CLASS {name} AS SUBCLASS OF {};", supers.join(", "));
+            let _ = writeln!(
+                out,
+                "CREATE CLASS {name} AS SUBCLASS OF {};",
+                supers.join(", ")
+            );
         }
     }
     for c in db.classes() {
@@ -87,7 +93,10 @@ pub fn dump_script(db: &Database) -> XsqlResult<String> {
             let arrow = if sig.set_valued { "=>>" } else { "=>" };
             let result = db.oids().sym_name(sig.result).unwrap_or("Object");
             if sig.args.is_empty() {
-                let _ = writeln!(out, "ALTER CLASS {cname} ADD SIGNATURE {m} {arrow} {result};");
+                let _ = writeln!(
+                    out,
+                    "ALTER CLASS {cname} ADD SIGNATURE {m} {arrow} {result};"
+                );
             } else {
                 let args: Vec<&str> = sig
                     .args
@@ -151,7 +160,10 @@ pub fn dump_script(db: &Database) -> XsqlResult<String> {
                     oodb::Val::Scalar(v) => db.render(*v),
                     oodb::Val::Set(s) => format!(
                         "{{{}}}",
-                        s.iter().map(|&v| db.render(v)).collect::<Vec<_>>().join(", ")
+                        s.iter()
+                            .map(|&v| db.render(v))
+                            .collect::<Vec<_>>()
+                            .join(", ")
                     ),
                 }
             );

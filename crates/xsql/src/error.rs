@@ -11,6 +11,10 @@ pub enum XsqlError {
     Lex {
         /// Byte offset in the source.
         offset: usize,
+        /// 1-based source line (0 when no source was attached).
+        line: usize,
+        /// 1-based column in characters (0 when no source was attached).
+        column: usize,
         /// Human-readable message.
         message: String,
     },
@@ -18,6 +22,10 @@ pub enum XsqlError {
     Parse {
         /// Byte offset in the source.
         offset: usize,
+        /// 1-based source line (0 when no source was attached).
+        line: usize,
+        /// 1-based column in characters (0 when no source was attached).
+        column: usize,
         /// Human-readable message.
         message: String,
     },
@@ -44,12 +52,28 @@ pub enum XsqlError {
     /// Evaluation exceeded the configured work limit (guards the naive
     /// engine on large domains).
     WorkLimit(u64),
+    /// Evaluation exceeded a resource budget other than the work limit
+    /// (path-recursion depth, materialized tuples, binding-set size —
+    /// see [`crate::eval::EvalBudget`]). A runaway query degrades into
+    /// this error instead of exhausting memory.
+    Budget {
+        /// Which budgeted resource was exhausted.
+        resource: &'static str,
+        /// The configured limit that was hit.
+        limit: usize,
+    },
+    /// An internal invariant was violated. Reaching this is a bug in the
+    /// engine, but it is reported as an error rather than a panic so a
+    /// malformed statement can never poison the hosting process.
+    Internal(String),
 }
 
 impl XsqlError {
     pub(crate) fn lex(offset: usize, message: &str) -> Self {
         XsqlError::Lex {
             offset,
+            line: 0,
+            column: 0,
             message: message.to_string(),
         }
     }
@@ -57,19 +81,80 @@ impl XsqlError {
     pub(crate) fn parse(offset: usize, message: impl Into<String>) -> Self {
         XsqlError::Parse {
             offset,
+            line: 0,
+            column: 0,
             message: message.into(),
         }
     }
+
+    /// Fills the `line`/`column` of a [`XsqlError::Lex`] or
+    /// [`XsqlError::Parse`] from its byte offset and the source text it
+    /// was produced from. Other variants pass through unchanged. The
+    /// statement entry points (`parse`, `parse_script`) apply this
+    /// automatically.
+    pub fn with_location(mut self, src: &str) -> Self {
+        if let XsqlError::Lex {
+            offset,
+            line,
+            column,
+            ..
+        }
+        | XsqlError::Parse {
+            offset,
+            line,
+            column,
+            ..
+        } = &mut self
+        {
+            let (l, c) = locate(src, *offset);
+            *line = l;
+            *column = c;
+        }
+        self
+    }
+}
+
+/// 1-based (line, column) of a byte offset in `src`. Columns count
+/// characters, not bytes; an offset past the end locates just after the
+/// last character.
+fn locate(src: &str, offset: usize) -> (usize, usize) {
+    let offset = offset.min(src.len());
+    let prefix = &src[..offset];
+    let line = 1 + prefix.bytes().filter(|&b| b == b'\n').count();
+    let line_start = prefix.rfind('\n').map_or(0, |p| p + 1);
+    let column = 1 + prefix[line_start..].chars().count();
+    (line, column)
 }
 
 impl fmt::Display for XsqlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            XsqlError::Lex { offset, message } => {
-                write!(f, "lexical error at byte {offset}: {message}")
+            XsqlError::Lex {
+                offset,
+                line,
+                column,
+                message,
+            } => {
+                if *line > 0 {
+                    write!(
+                        f,
+                        "lexical error at line {line}, column {column}: {message}"
+                    )
+                } else {
+                    write!(f, "lexical error at byte {offset}: {message}")
+                }
             }
-            XsqlError::Parse { offset, message } => {
-                write!(f, "syntax error at byte {offset}: {message}")
+            XsqlError::Parse {
+                offset,
+                line,
+                column,
+                message,
+            } => {
+                if *line > 0 {
+                    write!(f, "syntax error at line {line}, column {column}: {message}")
+                } else {
+                    write!(f, "syntax error at byte {offset}: {message}")
+                }
             }
             XsqlError::Resolve(m) => write!(f, "resolution error: {m}"),
             XsqlError::Unbound(v) => write!(f, "variable `{v}` is not bound at its use site"),
@@ -82,6 +167,10 @@ impl fmt::Display for XsqlError {
             XsqlError::NotNumeric(m) => write!(f, "non-numeric operand: {m}"),
             XsqlError::Db(e) => write!(f, "database error: {e}"),
             XsqlError::WorkLimit(n) => write!(f, "evaluation exceeded work limit of {n} steps"),
+            XsqlError::Budget { resource, limit } => {
+                write!(f, "evaluation exceeded {resource} budget of {limit}")
+            }
+            XsqlError::Internal(m) => write!(f, "internal error (engine bug): {m}"),
         }
     }
 }

@@ -155,8 +155,14 @@ impl<'d> Ctx<'d> {
             }
         }
         let Some(v) = unbound else {
-            // All bound but step 1 didn't fire — cannot happen.
-            unreachable!("scheduler invariant violated");
+            // All variables bound yet the all-bound filter pass (step 1)
+            // did not fire. This would be a scheduler bug; report it as
+            // an error rather than poisoning the process.
+            return Err(XsqlError::Internal(
+                "conjunct scheduler found no generator, no filter, and no \
+                 unbound variable"
+                    .into(),
+            ));
         };
         let sort = sorts.get(v).copied().unwrap_or(VarSort::Individual);
         let mark = bnd.mark();
@@ -237,7 +243,8 @@ impl<'d> Ctx<'d> {
                 let score = match &g {
                     Generator::CmpPath(p) if term_bound(&p.head, bnd) => 16,
                     Generator::CmpPath(p) => self.head_domain_size(&p.head) + 8,
-                    _ => unreachable!(),
+                    // try_side only ever builds CmpPath generators.
+                    _ => u64::MAX,
                 };
                 Some((score, g))
             }
@@ -424,11 +431,20 @@ impl<'d> Ctx<'d> {
             let names_ref = &names;
             let tuples_ref = &mut tuples;
             self.walk_path(p, bnd, &mut |_tail, bnd2| {
-                let tup: Vec<Oid> = names_ref
-                    .iter()
-                    .map(|n| bnd2.get(n).expect("walker binds all path variables"))
-                    .collect();
-                tuples_ref.insert(tup);
+                let mut tup: Vec<Oid> = Vec::with_capacity(names_ref.len());
+                for n in names_ref.iter() {
+                    match bnd2.get(n) {
+                        Some(o) => tup.push(o),
+                        None => {
+                            return Err(XsqlError::Internal(format!(
+                                "path walker reached a solution without binding `{n}`"
+                            )))
+                        }
+                    }
+                }
+                if tuples_ref.insert(tup) {
+                    self.count_tuples(1)?;
+                }
                 Ok(())
             })?;
         }
@@ -458,19 +474,16 @@ impl<'d> Ctx<'d> {
                 Ok(self.set_compare(&l, *op, &r))
             }
             Cond::SubclassOf { sub, sup } => {
-                let (Some(s), Some(t)) = (
-                    self.eval_idterm(sub, bnd)?,
-                    self.eval_idterm(sup, bnd)?,
-                ) else {
+                let (Some(s), Some(t)) = (self.eval_idterm(sub, bnd)?, self.eval_idterm(sup, bnd)?)
+                else {
                     return Ok(false);
                 };
                 Ok(self.db.is_strict_subclass(s, t))
             }
             Cond::InstanceOf { obj, class } => {
-                let (Some(o), Some(cl)) = (
-                    self.eval_idterm(obj, bnd)?,
-                    self.eval_idterm(class, bnd)?,
-                ) else {
+                let (Some(o), Some(cl)) =
+                    (self.eval_idterm(obj, bnd)?, self.eval_idterm(class, bnd)?)
+                else {
                     return Ok(false);
                 };
                 Ok(self.db.is_instance_of(o, cl))

@@ -88,7 +88,13 @@ pub fn run_creation(
             let entry = pending.entry(key).or_default();
             for item in &q.select {
                 let SelectItem::Named { attr, value } = item else {
-                    unreachable!()
+                    // The select-list shape was validated above; an
+                    // unnamed item here is an engine bug.
+                    return Err(XsqlError::Internal(
+                        "object-creating query reached phase 1 with an \
+                         unnamed select item"
+                            .into(),
+                    ));
                 };
                 match value {
                     SelectValue::Expr(op) => {
@@ -135,6 +141,7 @@ pub fn run_creation(
                     if observed.len() > 1 {
                         // §4.1: "two conflicting descriptions of the
                         // same object … an ill-defined query".
+                        // (len > 1 guarantees both unwraps below.)
                         let mut it = observed.iter();
                         let a = render_cells(db, it.next().unwrap());
                         let b = render_cells(db, it.next().unwrap());

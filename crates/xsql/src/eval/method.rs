@@ -96,6 +96,9 @@ impl QueryMethod {
     fn parts(&self) -> (&[IdTerm], &Operand) {
         match self.query.select.first() {
             Some(SelectItem::MethodResult { args, value, .. }) => (args, value),
+            // Genuinely unreachable: `from_alter` is the only
+            // constructor and rejects any other select-list shape, and
+            // `query` is never mutated afterwards.
             _ => unreachable!("validated in from_alter"),
         }
     }
@@ -153,6 +156,8 @@ impl QueryMethod {
             opts: &self.opts,
             work: std::cell::Cell::new(0),
             depth,
+            path_depth: std::cell::Cell::new(0),
+            tuples: std::cell::Cell::new(0),
             ranges: None,
         };
         let mut body: Vec<&Cond> = Vec::new();
@@ -215,6 +220,8 @@ impl QueryMethod {
             opts: &self.opts,
             work: std::cell::Cell::new(0),
             depth,
+            path_depth: std::cell::Cell::new(0),
+            tuples: std::cell::Cell::new(0),
             ranges: None,
         };
         let mut values: BTreeSet<Oid> = BTreeSet::new();
@@ -250,16 +257,20 @@ impl QueryMethod {
             match values.len() {
                 0 => Ok(None),
                 1 => Ok(Some(Val::Scalar(values.into_iter().next().unwrap()))),
-                n => Err(self.fail(format!(
-                    "scalar method produced {n} distinct results"
-                ))),
+                n => Err(self.fail(format!("scalar method produced {n} distinct results"))),
             }
         }
     }
 }
 
 impl MethodImpl for QueryMethod {
-    fn invoke(&self, db: &Database, recv: Oid, args: &[Oid], depth: usize) -> DbResult<Option<Val>> {
+    fn invoke(
+        &self,
+        db: &Database,
+        recv: Oid,
+        args: &[Oid],
+        depth: usize,
+    ) -> DbResult<Option<Val>> {
         if self.has_update {
             return Err(self.fail("update method invoked in read-only context"));
         }
@@ -323,6 +334,8 @@ impl MethodImpl for QueryMethod {
                             opts: &self.opts,
                             work: std::cell::Cell::new(0),
                             depth,
+                            path_depth: std::cell::Cell::new(0),
+                            tuples: std::cell::Cell::new(0),
                             ranges: None,
                         };
                         let mut bnd = Bindings::new();
@@ -374,7 +387,10 @@ pub fn install_method(
         .find_sym(&a.signature.result)
         .filter(|&c| db.is_class(c))
         .ok_or_else(|| {
-            XsqlError::Resolve(format!("unknown class `{}` in signature", a.signature.result))
+            XsqlError::Resolve(format!(
+                "unknown class `{}` in signature",
+                a.signature.result
+            ))
         })?;
     let method = db.add_signature(
         class,

@@ -57,6 +57,9 @@ pub struct EvalOptions {
     /// the candidate set is a superset of the satisfying heads. Off in
     /// benchmarks that measure the unindexed engine.
     pub use_method_index: bool,
+    /// Resource budgets beyond the tick-based work limit (see
+    /// [`EvalBudget`]).
+    pub budget: EvalBudget,
 }
 
 impl Default for EvalOptions {
@@ -66,6 +69,37 @@ impl Default for EvalOptions {
             work_limit: 200_000_000,
             path_var_limit: 4,
             use_method_index: true,
+            budget: EvalBudget::default(),
+        }
+    }
+}
+
+/// Resource budgets enforced during evaluation.
+///
+/// The tick-based `work_limit` bounds CPU; these bound *memory* and
+/// *stack*: a runaway query (deep path recursion, a cross product over
+/// huge extents, a generator with pathological fan-out) degrades into a
+/// clean [`XsqlError::Budget`] instead of exhausting the process. The
+/// defaults are generous — ordinary workloads never see them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalBudget {
+    /// Maximum evaluator recursion depth while walking path expressions
+    /// (steps plus path-variable hops). Bounds stack growth.
+    pub max_path_depth: usize,
+    /// Maximum number of tuples materialized into any one intermediate
+    /// or result relation. Bounds heap growth of row sets.
+    pub max_tuples: usize,
+    /// Maximum size of a single binding set (the candidate values a
+    /// generator enumerates for one variable). Bounds generator fan-out.
+    pub max_binding_set: usize,
+}
+
+impl Default for EvalBudget {
+    fn default() -> Self {
+        EvalBudget {
+            max_path_depth: 128,
+            max_tuples: 5_000_000,
+            max_binding_set: 1_000_000,
         }
     }
 }
@@ -97,6 +131,10 @@ pub struct Ctx<'d> {
     pub work: StdCell<u64>,
     /// Computed-method invocation depth (recursion guard).
     pub depth: usize,
+    /// Current path-walk recursion depth (budgeted).
+    pub path_depth: StdCell<usize>,
+    /// Tuples materialized so far under this context (budgeted).
+    pub tuples: StdCell<usize>,
     /// Optional Theorem 6.1 ranges (typed strategy).
     pub ranges: Option<&'d Ranges>,
 }
@@ -109,6 +147,8 @@ impl<'d> Ctx<'d> {
             opts,
             work: StdCell::new(0),
             depth: 0,
+            path_depth: StdCell::new(0),
+            tuples: StdCell::new(0),
             ranges: None,
         }
     }
@@ -139,6 +179,53 @@ impl<'d> Ctx<'d> {
         self.work.get()
     }
 
+    /// Enters one level of path-walk recursion; the returned guard
+    /// decrements the depth when dropped. Errors with
+    /// [`XsqlError::Budget`] when the depth budget is exhausted.
+    #[inline]
+    pub fn enter_path(&self) -> XsqlResult<PathDepthGuard<'_>> {
+        let d = self.path_depth.get() + 1;
+        if d > self.opts.budget.max_path_depth {
+            return Err(XsqlError::Budget {
+                resource: "path recursion depth",
+                limit: self.opts.budget.max_path_depth,
+            });
+        }
+        self.path_depth.set(d);
+        Ok(PathDepthGuard(&self.path_depth))
+    }
+
+    /// Accounts `n` freshly materialized tuples; errors with
+    /// [`XsqlError::Budget`] when the cumulative tuple budget is
+    /// exhausted.
+    #[inline]
+    pub fn count_tuples(&self, n: usize) -> XsqlResult<()> {
+        let t = self.tuples.get().saturating_add(n);
+        self.tuples.set(t);
+        if t > self.opts.budget.max_tuples {
+            Err(XsqlError::Budget {
+                resource: "materialized tuple",
+                limit: self.opts.budget.max_tuples,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Checks a single binding set of `n` candidate values against the
+    /// fan-out budget.
+    #[inline]
+    pub fn check_binding_set(&self, n: usize) -> XsqlResult<()> {
+        if n > self.opts.budget.max_binding_set {
+            Err(XsqlError::Budget {
+                resource: "binding set size",
+                limit: self.opts.budget.max_binding_set,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
     /// The instantiation domain of a variable: its Theorem 6.1 range if
     /// one was computed, otherwise the active domain of its sort.
     pub fn var_domain(&self, name: &str, sort: crate::ast::VarSort) -> Vec<Oid> {
@@ -148,6 +235,16 @@ impl<'d> Ctx<'d> {
             }
         }
         self.domain(sort)
+    }
+}
+
+/// RAII guard for one level of path-walk recursion; see
+/// [`Ctx::enter_path`].
+pub struct PathDepthGuard<'a>(&'a StdCell<usize>);
+
+impl Drop for PathDepthGuard<'_> {
+    fn drop(&mut self) {
+        self.0.set(self.0.get() - 1);
     }
 }
 
@@ -263,7 +360,11 @@ mod tests {
     fn nobel_style_open_query() {
         let mut db = mini_db();
         // Which objects have a defined, non-empty FamMembers?
-        let r = run(&mut db, "SELECT X WHERE X.FamMembers", &EvalOptions::default());
+        let r = run(
+            &mut db,
+            "SELECT X WHERE X.FamMembers",
+            &EvalOptions::default(),
+        );
         assert_eq!(names(&db, &r), vec!["john13"]);
     }
 
@@ -386,5 +487,102 @@ mod tests {
             }
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn tuple_budget_enforced() {
+        let mut db = mini_db();
+        let stmt = parse("SELECT X, Y FROM Person X, Person Y").unwrap();
+        let stmt = resolve_stmt(&mut db, &stmt).unwrap();
+        let opts = EvalOptions {
+            budget: EvalBudget {
+                max_tuples: 2,
+                ..EvalBudget::default()
+            },
+            ..EvalOptions::default()
+        };
+        match stmt {
+            crate::ast::Stmt::Select(q) => {
+                assert!(matches!(
+                    eval_select(&db, &q, &opts),
+                    Err(XsqlError::Budget {
+                        resource: "materialized tuple",
+                        limit: 2
+                    })
+                ));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn path_depth_budget_enforced() {
+        let mut db = mini_db();
+        // A long (but satisfiable prefix) chain of steps exceeds a tiny
+        // depth budget before it fails to match.
+        let stmt = parse(
+            "SELECT X FROM Employee X WHERE \
+             X.Residence.City.Residence.City.Residence.City",
+        )
+        .unwrap();
+        let stmt = resolve_stmt(&mut db, &stmt).unwrap();
+        let opts = EvalOptions {
+            budget: EvalBudget {
+                max_path_depth: 2,
+                ..EvalBudget::default()
+            },
+            ..EvalOptions::default()
+        };
+        match stmt {
+            crate::ast::Stmt::Select(q) => {
+                assert!(matches!(
+                    eval_select(&db, &q, &opts),
+                    Err(XsqlError::Budget {
+                        resource: "path recursion depth",
+                        limit: 2
+                    })
+                ));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn binding_set_budget_enforced() {
+        let mut db = mini_db();
+        let stmt = parse("SELECT X WHERE X.FamMembers").unwrap();
+        let stmt = resolve_stmt(&mut db, &stmt).unwrap();
+        let opts = EvalOptions {
+            budget: EvalBudget {
+                max_binding_set: 1,
+                ..EvalBudget::default()
+            },
+            // Force the full-domain candidate set (larger than 1).
+            use_method_index: false,
+            ..EvalOptions::default()
+        };
+        match stmt {
+            crate::ast::Stmt::Select(q) => {
+                assert!(matches!(
+                    eval_select(&db, &q, &opts),
+                    Err(XsqlError::Budget {
+                        resource: "binding set size",
+                        limit: 1
+                    })
+                ));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn default_budget_is_invisible() {
+        let mut db = mini_db();
+        let r = run(
+            &mut db,
+            "SELECT X FROM Person X WHERE X.*P.City['newyork']",
+            &EvalOptions::default(),
+        );
+        assert_eq!(r.len(), 2);
     }
 }

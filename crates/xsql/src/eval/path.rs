@@ -176,6 +176,7 @@ impl<'d> Ctx<'d> {
                 // first step names a fixed method (the Nobel-query
                 // shape `SELECT X WHERE X.WonNobelPrize`).
                 let candidates = self.head_candidates(p, v, bnd);
+                self.check_binding_set(candidates.len())?;
                 for o in candidates {
                     if !self.sort_ok(v.sort, o) {
                         continue;
@@ -260,6 +261,9 @@ impl<'d> Ctx<'d> {
         if i == steps.len() {
             return k(cur, bnd);
         }
+        // Budget: walk_steps recurses through walk_args/each_member (and
+        // indirectly via computed methods); the guard bounds stack depth.
+        let _depth = self.enter_path()?;
         match &steps[i] {
             Step::Method {
                 method,
@@ -269,10 +273,10 @@ impl<'d> Ctx<'d> {
                 let mark = bnd.mark();
                 for m in self.method_candidates(method, cur, args.len(), bnd)? {
                     if let MethodTerm::Var(name) = method {
-                        if !bnd.is_bound(name) {
-                            bnd.push(name, m);
-                        } else if !self.oid_eq(bnd.get(name).unwrap(), m) {
-                            continue;
+                        match bnd.get(name) {
+                            None => bnd.push(name, m),
+                            Some(b) if !self.oid_eq(b, m) => continue,
+                            Some(_) => {}
                         }
                     }
                     self.walk_args(steps, i, cur, m, args, selector.as_ref(), bnd, k)?;
@@ -298,12 +302,7 @@ impl<'d> Ctx<'d> {
         bnd: &Bindings<'_>,
     ) -> XsqlResult<Vec<Oid>> {
         match method {
-            MethodTerm::Name(n) => Ok(self
-                .db
-                .oids()
-                .find_sym(n)
-                .into_iter()
-                .collect()),
+            MethodTerm::Name(n) => Ok(self.db.oids().find_sym(n).into_iter().collect()),
             MethodTerm::Var(name) => match bnd.get(name) {
                 Some(m) => Ok(vec![m]),
                 None => Ok(self.db.methods_defined_on(cur, arity).into_iter().collect()),
@@ -416,6 +415,7 @@ impl<'d> Ctx<'d> {
         k: PathK<'_, 'q>,
     ) -> XsqlResult<()> {
         self.tick()?;
+        let _depth = self.enter_path()?;
         // Endpoint option: the sequence so far (possibly empty).
         let mark = bnd.mark();
         match selector {
@@ -473,6 +473,7 @@ impl<'d> Ctx<'d> {
             out.insert(cur);
             return Ok(());
         }
+        let _depth = self.enter_path()?;
         match &steps[i] {
             Step::Method {
                 method,
@@ -533,6 +534,7 @@ impl<'d> Ctx<'d> {
         out: &mut BTreeSet<Oid>,
     ) -> XsqlResult<()> {
         self.tick()?;
+        let _depth = self.enter_path()?;
         let sel_ok = match selector {
             None => true,
             Some(t) => matches!(self.eval_idterm(t, bnd)?, Some(s) if self.oid_eq(s, cur)),

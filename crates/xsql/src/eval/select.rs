@@ -12,10 +12,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// Evaluates a resolved, non-creating SELECT query to column names plus
 /// a set of rows (duplicates eliminated, §4 intro).
-pub fn eval_rows(
-    ctx: &Ctx<'_>,
-    q: &SelectQuery,
-) -> XsqlResult<(Vec<String>, BTreeSet<Vec<Cell>>)> {
+pub fn eval_rows(ctx: &Ctx<'_>, q: &SelectQuery) -> XsqlResult<(Vec<String>, BTreeSet<Vec<Cell>>)> {
     let empty = Bindings::new();
     eval_rows_under(ctx, q, &empty)
 }
@@ -128,11 +125,7 @@ pub fn prepare(q: &SelectQuery) -> Prepared {
     }
 }
 
-fn cond_list_vars<'q>(
-    where_clause: &'q Cond,
-    from_conds: &'q [Cond],
-    out: &mut BTreeSet<&'q str>,
-) {
+fn cond_list_vars<'q>(where_clause: &'q Cond, from_conds: &'q [Cond], out: &mut BTreeSet<&'q str>) {
     vars::cond_vars(where_clause, out);
     for c in from_conds {
         vars::cond_vars(c, out);
@@ -241,7 +234,12 @@ fn emit_rows<'q>(
                 value: SelectValue::Expr(op),
                 ..
             } => op,
-            _ => unreachable!("checked in eval_rows_under"),
+            other => {
+                return Err(XsqlError::Internal(format!(
+                    "emit_rows reached an unrewritten select item {other:?} \
+                     (eval_rows_under rewrites these)"
+                )))
+            }
         };
         let elems = ctx.operand_value(op, bnd)?;
         if elems.is_empty() {
@@ -249,6 +247,7 @@ fn emit_rows<'q>(
             // (the same convention as a failing path).
             return Ok(());
         }
+        ctx.check_binding_set(elems.len())?;
         per_item.push(elems.into_iter().map(Cell::from).collect());
     }
     // Cartesian product across items (each is usually a singleton).
@@ -265,7 +264,9 @@ fn product(
     rows: &mut BTreeSet<Vec<Cell>>,
 ) -> XsqlResult<()> {
     if i == per_item.len() {
-        rows.insert(row.clone());
+        if rows.insert(row.clone()) {
+            ctx.count_tuples(1)?;
+        }
         return Ok(());
     }
     for &c in &per_item[i] {

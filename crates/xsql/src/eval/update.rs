@@ -111,13 +111,13 @@ fn collect_writes(
         let method_name = match method {
             MethodTerm::Name(n) => n.clone(),
             MethodTerm::Var(v) => {
-                let m = bnd2
-                    .get(v)
-                    .ok_or_else(|| XsqlError::Unbound(v.clone()))?;
+                let m = bnd2.get(v).ok_or_else(|| XsqlError::Unbound(v.clone()))?;
                 ctx.db
                     .oids()
                     .sym_name(m)
-                    .ok_or_else(|| XsqlError::Resolve("method variable bound to non-symbol".into()))?
+                    .ok_or_else(|| {
+                        XsqlError::Resolve("method variable bound to non-symbol".into())
+                    })?
                     .to_string()
             }
         };

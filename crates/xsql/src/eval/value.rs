@@ -211,7 +211,8 @@ impl<'d> Ctx<'d> {
             AggFunc::Avg => nums.iter().sum::<f64>() / nums.len() as f64,
             AggFunc::Min => nums.iter().cloned().fold(f64::INFINITY, f64::min),
             AggFunc::Max => nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
-            AggFunc::Count => unreachable!(),
+            // Count returned early above; keep it total anyway.
+            AggFunc::Count => nums.len() as f64,
         };
         Ok(vec![Elem::Num(r)])
     }
@@ -246,10 +247,8 @@ impl<'d> Ctx<'d> {
     /// Set comparators (§3.2). `contains`/`subset` are proper,
     /// `containsEq`/`subsetEq` allow equality.
     pub fn set_compare(&self, left: &[Elem], op: SetCmpOp, right: &[Elem]) -> bool {
-        let subset_eq = |xs: &[Elem], ys: &[Elem]| {
-            xs.iter()
-                .all(|&x| ys.iter().any(|&y| self.elem_eq(x, y)))
-        };
+        let subset_eq =
+            |xs: &[Elem], ys: &[Elem]| xs.iter().all(|&x| ys.iter().any(|&y| self.elem_eq(x, y)));
         match op {
             SetCmpOp::SubsetEq => subset_eq(left, right),
             SetCmpOp::Subset => subset_eq(left, right) && !subset_eq(right, left),
@@ -418,10 +417,6 @@ mod compare_tests {
         let ctx = Ctx::new(&db, &opts);
         assert!(ctx.elem_eq(Elem::Obj(i), Elem::Obj(r)));
         assert!(ctx.elem_eq(Elem::Obj(i), Elem::Num(2.0)));
-        assert!(ctx.set_compare(
-            &[Elem::Obj(i)],
-            SetCmpOp::SubsetEq,
-            &[Elem::Obj(r)]
-        ));
+        assert!(ctx.set_compare(&[Elem::Obj(i)], SetCmpOp::SubsetEq, &[Elem::Obj(r)]));
     }
 }

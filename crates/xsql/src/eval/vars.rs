@@ -166,10 +166,7 @@ pub fn query_vars<'q>(q: &'q SelectQuery, out: &mut BTreeSet<&'q str>) {
 
 /// The sort of each variable, harvested from the resolved AST (the
 /// resolver guarantees consistency).
-pub fn var_sorts<'q>(
-    q: &'q SelectQuery,
-    out: &mut std::collections::BTreeMap<&'q str, VarSort>,
-) {
+pub fn var_sorts<'q>(q: &'q SelectQuery, out: &mut std::collections::BTreeMap<&'q str, VarSort>) {
     fn idterm<'q>(t: &'q IdTerm, out: &mut std::collections::BTreeMap<&'q str, VarSort>) {
         match t {
             IdTerm::Var(v) => {

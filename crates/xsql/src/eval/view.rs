@@ -84,7 +84,14 @@ pub fn create_view(
 /// their state cleared.
 pub fn materialize(db: &mut Database, def: &ViewDef, opts: &EvalOptions) -> XsqlResult<Vec<Oid>> {
     let before: Vec<Oid> = db.instances_of(def.class);
-    let created = run_creation(db, &def.query, opts, &def.name, Some(def.class), &def.sig_kinds())?;
+    let created = run_creation(
+        db,
+        &def.query,
+        opts,
+        &def.name,
+        Some(def.class),
+        &def.sig_kinds(),
+    )?;
     for stale in before {
         if !created.contains(&stale) {
             db.remove_instance(stale, def.class);
@@ -113,9 +120,11 @@ pub fn update_through_view(
     attr: &str,
     new_value: Oid,
 ) -> XsqlResult<()> {
-    let spec = def.query.oid_fn.as_ref().ok_or_else(|| {
-        XsqlError::ViewUpdate("view has no OID FUNCTION OF clause".into())
-    })?;
+    let spec = def
+        .query
+        .oid_fn
+        .as_ref()
+        .ok_or_else(|| XsqlError::ViewUpdate("view has no OID FUNCTION OF clause".into()))?;
     // Locate the defining expression of `attr`.
     let mut def_path: Option<&PathExpr> = None;
     for item in &def.query.select {
@@ -166,9 +175,7 @@ pub fn update_through_view(
         .find_sym(&def.name)
         .ok_or_else(|| XsqlError::ViewUpdate("view id-function not interned".into()))?;
     let base = match db.oids().get(view_obj) {
-        OidData::Func(f, args) if *f == fn_sym && args.len() == spec.vars.len() => {
-            args[root_pos]
-        }
+        OidData::Func(f, args) if *f == fn_sym && args.len() == spec.vars.len() => args[root_pos],
         _ => {
             return Err(XsqlError::ViewUpdate(format!(
                 "`{}` is not an object of view `{}`",
@@ -208,9 +215,7 @@ pub fn update_through_view(
             .value(cur, m, &[])?
             .ok_or_else(|| XsqlError::ViewUpdate(format!("`{n}` undefined along the path")))?;
         cur = v.as_scalar().ok_or_else(|| {
-            XsqlError::ViewUpdate(format!(
-                "`{n}` is set-valued; no one-to-one correspondence"
-            ))
+            XsqlError::ViewUpdate(format!("`{n}` is set-valued; no one-to-one correspondence"))
         })?;
     }
     let Step::Method {

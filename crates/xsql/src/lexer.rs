@@ -81,9 +81,8 @@ pub fn lex(src: &str) -> Result<Vec<Token>, XsqlError> {
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
-                let is_real = i + 1 < bytes.len()
-                    && bytes[i] == b'.'
-                    && bytes[i + 1].is_ascii_digit();
+                let is_real =
+                    i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit();
                 if is_real {
                     i += 1;
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -166,7 +165,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, XsqlError> {
                         _ => {
                             return Err(XsqlError::lex(
                                 i,
-                                &format!("unexpected character `{}`", &src[i..].chars().next().unwrap()),
+                                &format!(
+                                    "unexpected character `{}`",
+                                    &src[i..].chars().next().unwrap()
+                                ),
                             ))
                         }
                     };
@@ -237,10 +239,7 @@ mod tests {
 
     #[test]
     fn method_and_class_vars() {
-        assert_eq!(
-            kinds("X.\"Y.City")[2],
-            T::MethodVar("Y".into())
-        );
+        assert_eq!(kinds("X.\"Y.City")[2], T::MethodVar("Y".into()));
         assert_eq!(kinds("#X")[0], T::ClassVar("X".into()));
         assert_eq!(kinds("§X")[0], T::ClassVar("X".into()));
     }

@@ -37,16 +37,16 @@ mod parser;
 mod resolve;
 pub mod token;
 
+pub use dump::dump_script;
 pub use error::{XsqlError, XsqlResult};
+pub use eval::{eval_select, eval_select_ranged, EvalOptions, Ranges, Strategy};
 pub use lexer::lex;
 pub use parser::{parse, parse_script};
 pub use resolve::resolve_stmt;
-pub use eval::{eval_select, eval_select_ranged, EvalOptions, Ranges, Strategy};
 pub use session::{Outcome, Session};
 pub use unparse::{unparse_query, unparse_stmt};
-pub use dump::dump_script;
-pub mod eval;
-pub mod typing;
 mod dump;
-mod unparse;
+pub mod eval;
 mod session;
+pub mod typing;
+mod unparse;

@@ -11,8 +11,13 @@ use crate::error::{XsqlError, XsqlResult};
 use crate::lexer::lex;
 use crate::token::{Token, TokenKind};
 
-/// Parses one XSQL statement.
+/// Parses one XSQL statement. Lex/parse errors carry a line/column
+/// location computed from the source.
 pub fn parse(src: &str) -> XsqlResult<Stmt> {
+    parse_inner(src).map_err(|e| e.with_location(src))
+}
+
+fn parse_inner(src: &str) -> XsqlResult<Stmt> {
     let toks = lex(src)?;
     let mut p = Parser { toks, pos: 0 };
     let stmt = p.stmt()?;
@@ -20,8 +25,13 @@ pub fn parse(src: &str) -> XsqlResult<Stmt> {
     Ok(stmt)
 }
 
-/// Parses a script: statements separated by `;`.
+/// Parses a script: statements separated by `;`. Lex/parse errors carry
+/// a line/column location computed from the source.
 pub fn parse_script(src: &str) -> XsqlResult<Vec<Stmt>> {
+    parse_script_inner(src).map_err(|e| e.with_location(src))
+}
+
+fn parse_script_inner(src: &str) -> XsqlResult<Vec<Stmt>> {
     let toks = lex(src)?;
     let mut p = Parser { toks, pos: 0 };
     let mut out = Vec::new();
@@ -39,10 +49,44 @@ const RESERVED: &[&str] = &[
     // `function` is deliberately NOT reserved: Figure 1 itself declares
     // a `Function` attribute; the keyword is only recognized right after
     // OID, where no identifier can occur.
-    "select", "from", "where", "and", "or", "not", "oid", "of", "create", "view",
-    "as", "subclass", "alter", "class", "add", "signature", "update", "set", "union", "minus",
-    "intersect", "except", "some", "all", "contains", "containseq", "subset", "subseteq",
-    "subclassof", "instanceof", "count", "sum", "avg", "min", "max", "nil", "true", "false",
+    "select",
+    "from",
+    "where",
+    "and",
+    "or",
+    "not",
+    "oid",
+    "of",
+    "create",
+    "view",
+    "as",
+    "subclass",
+    "alter",
+    "class",
+    "add",
+    "signature",
+    "update",
+    "set",
+    "union",
+    "minus",
+    "intersect",
+    "except",
+    "some",
+    "all",
+    "contains",
+    "containseq",
+    "subset",
+    "subseteq",
+    "subclassof",
+    "instanceof",
+    "count",
+    "sum",
+    "avg",
+    "min",
+    "max",
+    "nil",
+    "true",
+    "false",
     "explain",
 ];
 
@@ -145,6 +189,21 @@ impl Parser {
         if self.eat_kw("explain") {
             return Ok(Stmt::Explain(Box::new(self.stmt()?)));
         }
+        // Transaction control. `begin`/`commit`/`rollback`/`work` are
+        // recognized contextually (statement-initial position only) so
+        // they stay usable as identifiers elsewhere.
+        if self.eat_kw("begin") {
+            self.eat_kw("work");
+            return Ok(Stmt::Begin);
+        }
+        if self.eat_kw("commit") {
+            self.eat_kw("work");
+            return Ok(Stmt::Commit);
+        }
+        if self.eat_kw("rollback") {
+            self.eat_kw("work");
+            return Ok(Stmt::Rollback);
+        }
         if self.at_kw("create") {
             return match self.peek2() {
                 TokenKind::Ident(k) if k.eq_ignore_ascii_case("class") => self.create_class(),
@@ -218,9 +277,7 @@ impl Parser {
 
     fn select_item(&mut self) -> XsqlResult<SelectItem> {
         // `(M @ args) = expr` — method-result item of a method definition.
-        if matches!(self.peek(), TokenKind::LParen)
-            && matches!(self.peek2(), TokenKind::Ident(_))
-        {
+        if matches!(self.peek(), TokenKind::LParen) && matches!(self.peek2(), TokenKind::Ident(_)) {
             let save = self.pos;
             self.bump(); // (
             if let Ok(name) = self.ident() {
@@ -365,7 +422,12 @@ impl Parser {
     fn comparator_ahead(&self) -> bool {
         matches!(
             self.peek(),
-            TokenKind::Eq | TokenKind::Ne | TokenKind::Lt | TokenKind::Le | TokenKind::Gt | TokenKind::Ge
+            TokenKind::Eq
+                | TokenKind::Ne
+                | TokenKind::Lt
+                | TokenKind::Le
+                | TokenKind::Gt
+                | TokenKind::Ge
         ) || self.at_kw("some")
             || self.at_kw("all")
             || self.at_kw("contains")
@@ -473,7 +535,8 @@ impl Parser {
         loop {
             // A set operator followed by SELECT is the *statement-level*
             // relational operator (§3.3), not an operand-level set op.
-            let stmt_level = matches!(self.peek2(), TokenKind::Ident(s) if s.eq_ignore_ascii_case("select"));
+            let stmt_level =
+                matches!(self.peek2(), TokenKind::Ident(s) if s.eq_ignore_ascii_case("select"));
             if stmt_level
                 && (self.at_kw("union")
                     || self.at_kw("intersect")
@@ -978,7 +1041,8 @@ mod tests {
             }
             c => panic!("unexpected {c:?}"),
         }
-        let q = sel("SELECT X FROM Person X, Person Y WHERE Y.FamMembers.Age all<all X.FamMembers.Age");
+        let q =
+            sel("SELECT X FROM Person X, Person Y WHERE Y.FamMembers.Age all<all X.FamMembers.Age");
         assert!(matches!(
             q.where_clause,
             Cond::Cmp {
@@ -991,11 +1055,9 @@ mod tests {
 
     #[test]
     fn parses_set_comparator_and_literal() {
-        let q = sel(
-            "SELECT X FROM Automobile Y WHERE Y.Manufacturer[X] \
+        let q = sel("SELECT X FROM Automobile Y WHERE Y.Manufacturer[X] \
              and X.President.OwnedVehicles.Color containsEq {'blue', 'red'} \
-             and X.President.Age < 30",
-        );
+             and X.President.Age < 30");
         // and is left-assoc: ((p and setcmp) and cmp)
         match q.where_clause {
             Cond::And(l, r) => {
@@ -1011,10 +1073,8 @@ mod tests {
 
     #[test]
     fn parses_aggregate() {
-        let q = sel(
-            "SELECT X FROM Employee X WHERE count(X.FamMembers) > 4 \
-             and X.Residence =all X.FamMembers.Residence and X.Salary < 35000",
-        );
+        let q = sel("SELECT X FROM Employee X WHERE count(X.FamMembers) > 4 \
+             and X.Residence =all X.FamMembers.Residence and X.Salary < 35000");
         fn has_agg(c: &Cond) -> bool {
             match c {
                 Cond::And(a, b) => has_agg(a) || has_agg(b),
@@ -1072,7 +1132,10 @@ mod tests {
             Stmt::CreateView(v) => {
                 assert_eq!(v.name, "CompSalaries");
                 assert_eq!(v.signature.len(), 3);
-                assert_eq!(v.query.oid_fn.as_ref().unwrap().function.as_deref(), Some("CompSalaries"));
+                assert_eq!(
+                    v.query.oid_fn.as_ref().unwrap().function.as_deref(),
+                    Some("CompSalaries")
+                );
             }
             s => panic!("unexpected {s:?}"),
         }
@@ -1080,10 +1143,8 @@ mod tests {
 
     #[test]
     fn parses_view_query_with_idterm_selector() {
-        let q = sel(
-            "SELECT X.Manufacturer.Name FROM Automobile X, Employee W \
-             WHERE CompSalaries(X.Manufacturer, W).Salary > 35000",
-        );
+        let q = sel("SELECT X.Manufacturer.Name FROM Automobile X, Employee W \
+             WHERE CompSalaries(X.Manufacturer, W).Salary > 35000");
         match &q.where_clause {
             Cond::Cmp { left, .. } => match left {
                 Operand::Path(p) => match &p.head {

@@ -61,8 +61,7 @@ struct Resolver<'d> {
 /// optionally followed by digits.
 fn single_letter_var(name: &str) -> bool {
     let mut chars = name.chars();
-    matches!(chars.next(), Some(c) if c.is_ascii_uppercase())
-        && chars.all(|c| c.is_ascii_digit())
+    matches!(chars.next(), Some(c) if c.is_ascii_uppercase()) && chars.all(|c| c.is_ascii_digit())
 }
 
 impl Resolver<'_> {
@@ -144,7 +143,11 @@ impl Resolver<'_> {
             }
             Stmt::CreateView(v) => self.collect_query(&v.query),
             Stmt::AlterClass(a) => self.collect_query(&a.query),
-            Stmt::AddSignature { .. } | Stmt::CreateClass(_) => Ok(()),
+            Stmt::AddSignature { .. }
+            | Stmt::CreateClass(_)
+            | Stmt::Begin
+            | Stmt::Commit
+            | Stmt::Rollback => Ok(()),
             Stmt::CreateObject(o) => {
                 for (_, op) in &o.sets {
                     self.collect_operand(op)?;
@@ -377,6 +380,9 @@ impl Resolver<'_> {
             }),
             Stmt::Update(u) => Stmt::Update(self.rewrite_update(u)?),
             Stmt::Explain(inner) => Stmt::Explain(Box::new(self.rewrite_stmt(inner)?)),
+            Stmt::Begin => Stmt::Begin,
+            Stmt::Commit => Stmt::Commit,
+            Stmt::Rollback => Stmt::Rollback,
         })
     }
 
@@ -647,9 +653,7 @@ mod tests {
     #[test]
     fn from_binder_makes_variable() {
         // `Year` is multi-letter but bound by FROM (query (19)).
-        let (_, s) = resolved(
-            "SELECT M FROM Numeral Year WHERE OO_Forum.(Member @ Year)[M]",
-        );
+        let (_, s) = resolved("SELECT M FROM Numeral Year WHERE OO_Forum.(Member @ Year)[M]");
         let q = query(&s);
         match &q.where_clause {
             Cond::Path(p) => {
@@ -679,7 +683,13 @@ mod tests {
         }
         match &q.where_clause {
             Cond::Path(p) => {
-                assert!(matches!(&p.steps[0], Step::Method { method: MethodTerm::Var(_), .. }));
+                assert!(matches!(
+                    &p.steps[0],
+                    Step::Method {
+                        method: MethodTerm::Var(_),
+                        ..
+                    }
+                ));
             }
             c => panic!("unexpected {c:?}"),
         }
@@ -769,10 +779,7 @@ mod more_tests {
 
     #[test]
     fn oid_vars_are_binders_too() {
-        let s = try_resolve(
-            "SELECT A = Emp.Salary FROM C Emp OID FUNCTION OF Emp",
-        )
-        .unwrap();
+        let s = try_resolve("SELECT A = Emp.Salary FROM C Emp OID FUNCTION OF Emp").unwrap();
         let Stmt::Select(q) = s else { panic!() };
         match &q.select[0] {
             SelectItem::Named {

@@ -62,6 +62,12 @@ pub enum Outcome {
         /// Rendered report.
         report: String,
     },
+    /// `BEGIN WORK` opened an explicit transaction.
+    TransactionStarted,
+    /// `COMMIT WORK` made the open transaction permanent.
+    TransactionCommitted,
+    /// `ROLLBACK WORK` restored the `BEGIN WORK` state.
+    TransactionRolledBack,
 }
 
 impl Outcome {
@@ -98,6 +104,19 @@ pub struct Session {
     opts: EvalOptions,
     views: BTreeMap<String, ViewDef>,
     anon_counter: usize,
+    /// Explicit-transaction state: present between `BEGIN WORK` and the
+    /// matching `COMMIT WORK`/`ROLLBACK WORK`.
+    txn: Option<TxnState>,
+}
+
+/// Snapshot taken at `BEGIN WORK`: the database savepoint plus the
+/// session-level catalogue state (views, anonymous-name counter) that
+/// the undo log does not cover.
+#[derive(Debug)]
+struct TxnState {
+    sp: oodb::Savepoint,
+    views: BTreeMap<String, ViewDef>,
+    anon_counter: usize,
 }
 
 impl Session {
@@ -113,6 +132,7 @@ impl Session {
             opts,
             views: BTreeMap::new(),
             anon_counter: 0,
+            txn: None,
         }
     }
 
@@ -147,25 +167,35 @@ impl Session {
     }
 
     /// Parses, resolves and executes one statement.
+    ///
+    /// Statements are **atomic**: the statement runs inside an implicit
+    /// savepoint, and any error rolls the database (and the session's
+    /// view catalogue) back to the pre-statement state. Outside an
+    /// explicit transaction a successful statement commits immediately;
+    /// inside one it stays undoable until `COMMIT WORK`.
     pub fn run(&mut self, src: &str) -> XsqlResult<Outcome> {
         let stmt = parse(src)?;
-        let stmt = resolve_stmt(&mut self.db, &stmt)?;
         self.execute(&stmt)
     }
 
     /// Runs a `;`-separated script, returning the outcome of each
-    /// statement. Statements apply as they execute; there is no
-    /// transactional rollback — a failing statement leaves the effects
-    /// of the preceding ones in place (the paper's model has no
-    /// transactions).
+    /// statement. Each statement is atomic ([`Session::run`]); a failing
+    /// statement is rolled back but the effects of the preceding
+    /// successful ones stay in place, unless the script wrapped them in
+    /// `BEGIN WORK … COMMIT WORK`. A transaction left open at the end of
+    /// the script stays open in the session.
     pub fn run_script(&mut self, src: &str) -> XsqlResult<Vec<Outcome>> {
         let stmts = parse_script(src)?;
         let mut out = Vec::with_capacity(stmts.len());
         for s in &stmts {
-            let s = resolve_stmt(&mut self.db, s)?;
-            out.push(self.execute(&s)?);
+            out.push(self.execute(s)?);
         }
         Ok(out)
+    }
+
+    /// True between `BEGIN WORK` and the matching `COMMIT`/`ROLLBACK`.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
     }
 
     /// Runs a statement that must produce a relation.
@@ -178,13 +208,90 @@ impl Session {
         }
     }
 
-    /// Executes an already-resolved statement.
+    /// Executes a parsed statement atomically: name resolution and
+    /// evaluation run inside an implicit savepoint, and any error
+    /// restores the database and the view catalogue to the
+    /// pre-statement state before propagating.
     pub fn execute(&mut self, stmt: &Stmt) -> XsqlResult<Outcome> {
+        match stmt {
+            Stmt::Begin => return self.txn_begin(),
+            Stmt::Commit => return self.txn_commit(),
+            Stmt::Rollback => return self.txn_rollback(),
+            _ => {}
+        }
+        self.atomically(|s| {
+            let resolved = resolve_stmt(&mut s.db, stmt)?;
+            s.execute_resolved(&resolved)
+        })
+    }
+
+    /// Runs `f` inside an implicit savepoint: on error the database,
+    /// the view catalogue and the anonymous-name counter are restored
+    /// to their state at entry. Outside an explicit transaction the
+    /// savepoint's log is discarded afterwards (auto-commit); inside
+    /// one it is kept so `ROLLBACK WORK` can unwind further. Must not
+    /// be nested (the inner auto-commit would discard the outer span).
+    fn atomically<T>(&mut self, f: impl FnOnce(&mut Self) -> XsqlResult<T>) -> XsqlResult<T> {
+        let sp = self.db.savepoint();
+        let views = self.views.clone();
+        let anon = self.anon_counter;
+        let result = f(self);
+        if result.is_err() {
+            self.db.rollback_to(sp);
+            self.views = views;
+            self.anon_counter = anon;
+        }
+        if self.txn.is_none() {
+            self.db.commit();
+        }
+        result
+    }
+
+    fn txn_begin(&mut self) -> XsqlResult<Outcome> {
+        if self.txn.is_some() {
+            return Err(XsqlError::Resolve(
+                "BEGIN WORK: a transaction is already open".into(),
+            ));
+        }
+        let sp = self.db.begin();
+        self.txn = Some(TxnState {
+            sp,
+            views: self.views.clone(),
+            anon_counter: self.anon_counter,
+        });
+        Ok(Outcome::TransactionStarted)
+    }
+
+    fn txn_commit(&mut self) -> XsqlResult<Outcome> {
+        if self.txn.take().is_none() {
+            return Err(XsqlError::Resolve(
+                "COMMIT WORK: no open transaction".into(),
+            ));
+        }
+        self.db.commit();
+        Ok(Outcome::TransactionCommitted)
+    }
+
+    fn txn_rollback(&mut self) -> XsqlResult<Outcome> {
+        let Some(t) = self.txn.take() else {
+            return Err(XsqlError::Resolve(
+                "ROLLBACK WORK: no open transaction".into(),
+            ));
+        };
+        self.db.rollback_to(t.sp);
+        self.db.commit();
+        self.views = t.views;
+        self.anon_counter = t.anon_counter;
+        Ok(Outcome::TransactionRolledBack)
+    }
+
+    /// Executes an already-resolved, non-transaction-control statement.
+    fn execute_resolved(&mut self, stmt: &Stmt) -> XsqlResult<Outcome> {
         match stmt {
             Stmt::Select(q) => self.exec_select(q),
             Stmt::RelOp { left, op, right } => {
-                let l = self.execute(left)?;
-                let r = self.execute(right)?;
+                let l = self.execute_resolved(left)?;
+                let r = self.execute_resolved(right)?;
                 let (Outcome::Relation(l), Outcome::Relation(r)) = (l, r) else {
                     return Err(XsqlError::Resolve(
                         "relational operators require SELECT operands".into(),
@@ -261,9 +368,7 @@ impl Session {
                             .oids()
                             .find_sym(n)
                             .filter(|&s| self.db.is_class(s))
-                            .ok_or_else(|| {
-                                XsqlError::Resolve(format!("unknown superclass `{n}`"))
-                            })
+                            .ok_or_else(|| XsqlError::Resolve(format!("unknown superclass `{n}`")))
                     })
                     .collect::<XsqlResult<Vec<_>>>()?;
                 let class = self.db.define_class(&c.name, &supers)?;
@@ -316,6 +421,9 @@ impl Session {
                 let report = self.explain(inner)?;
                 Ok(Outcome::Explained { report })
             }
+            Stmt::Begin | Stmt::Commit | Stmt::Rollback => Err(XsqlError::Resolve(
+                "transaction control cannot be nested inside another statement".into(),
+            )),
         }
     }
 
@@ -329,31 +437,39 @@ impl Session {
         match analyze(&self.db, q, &Exemptions::none()) {
             Verdict::StrictlyWellTyped { assignment, plan } => {
                 let shape = extract(&self.db, q).expect("strict implies extractable");
-                out.push_str("strictly well-typed
-");
+                out.push_str(
+                    "strictly well-typed
+",
+                );
                 out.push_str(&format!(
                     "assignment: {}
 ",
                     assignment.render(&self.db, &shape)
                 ));
-                out.push_str(&format!("coherent plan (path order): {plan:?}
-"));
+                out.push_str(&format!(
+                    "coherent plan (path order): {plan:?}
+"
+                ));
                 let occs = shape.occurrences();
                 let ranges = ranges_for(&self.db, &shape, &assignment, &occs);
                 for (v, classes) in ranges {
                     if v.starts_with("_anon") {
                         continue;
                     }
-                    let names: Vec<String> =
-                        classes.iter().map(|&c| self.db.render(c)).collect();
-                    out.push_str(&format!("range A({v}) = {{{}}}
-", names.join(", ")));
+                    let names: Vec<String> = classes.iter().map(|&c| self.db.render(c)).collect();
+                    out.push_str(&format!(
+                        "range A({v}) = {{{}}}
+",
+                        names.join(", ")
+                    ));
                 }
             }
             Verdict::LiberallyWellTyped { assignment } => {
                 let shape = extract(&self.db, q).expect("liberal implies extractable");
-                out.push_str("liberally well-typed (not strictly: no coherent plan)
-");
+                out.push_str(
+                    "liberally well-typed (not strictly: no coherent plan)
+",
+                );
                 out.push_str(&format!(
                     "assignment: {}
 ",
@@ -367,8 +483,10 @@ impl Session {
                 );
             }
             Verdict::OutsideFragment { reason } => {
-                out.push_str(&format!("outside the §6.2 typable fragment: {reason}
-"));
+                out.push_str(&format!(
+                    "outside the §6.2 typable fragment: {reason}
+"
+                ));
             }
         }
         Ok(out)
@@ -461,7 +579,8 @@ impl Session {
             .oids()
             .find_sym(method)
             .ok_or_else(|| XsqlError::Resolve(format!("unknown method `{method}`")))?;
-        Ok(self.db.invoke_update(recv, m, args)?)
+        // Update methods can fail mid-mutation; run atomically.
+        self.atomically(|s| Ok(s.db.invoke_update(recv, m, args)?))
     }
 
     /// Re-materializes a view after base updates (§4.2 views are
@@ -473,8 +592,10 @@ impl Session {
             .get(name)
             .cloned()
             .ok_or_else(|| XsqlError::Resolve(format!("unknown view `{name}`")))?;
-        let oids = materialize(&mut self.db, &def, &self.opts)?;
-        Ok(oids.len())
+        self.atomically(|s| {
+            let oids = materialize(&mut s.db, &def, &s.opts)?;
+            Ok(oids.len())
+        })
     }
 
     /// Translates an update on a view object to the underlying database
@@ -492,7 +613,7 @@ impl Session {
             .get(view)
             .cloned()
             .ok_or_else(|| XsqlError::Resolve(format!("unknown view `{view}`")))?;
-        update_through_view(&mut self.db, &def, view_obj, attr, new_value)
+        self.atomically(|s| update_through_view(&mut s.db, &def, view_obj, attr, new_value))
     }
 }
 
@@ -642,10 +763,14 @@ mod tests {
         let fn_sym = s.db().oids().find_sym("EmpSal").unwrap();
         let view_obj = s.db().oids().find_func(fn_sym, &[emp1]).unwrap();
         let new_sal = s.db_mut().oids_mut().int(99000);
-        s.update_view("EmpSal", view_obj, "Salary", new_sal).unwrap();
+        s.update_view("EmpSal", view_obj, "Salary", new_sal)
+            .unwrap();
         let sal = s.db().oids().find_sym("Salary").unwrap();
         let v = s.db().value(emp1, sal, &[]).unwrap().unwrap();
-        assert_eq!(s.db().oids().as_number(v.as_scalar().unwrap()), Some(99000.0));
+        assert_eq!(
+            s.db().oids().as_number(v.as_scalar().unwrap()),
+            Some(99000.0)
+        );
     }
 
     #[test]
@@ -661,12 +786,13 @@ mod tests {
         let acme = s.db().oids().find_sym("acme").unwrap();
         let sales = s.db_mut().oids_mut().str("Sales");
         let v = s.invoke(acme, "MngrSalary", &[sales]).unwrap().unwrap();
-        assert_eq!(s.db().oids().as_number(v.as_scalar().unwrap()), Some(40000.0));
+        assert_eq!(
+            s.db().oids().as_number(v.as_scalar().unwrap()),
+            Some(40000.0)
+        );
         // And inside a path expression.
         let r = s
-            .query(
-                "SELECT W FROM Company X WHERE X.(MngrSalary @ 'Engineering')[W]",
-            )
+            .query("SELECT W FROM Company X WHERE X.(MngrSalary @ 'Engineering')[W]")
             .unwrap();
         assert_eq!(r.len(), 1);
         let w = *r.as_set().iter().next().unwrap();
@@ -698,7 +824,10 @@ mod tests {
         let emp1 = s.db().oids().find_sym("emp1").unwrap();
         let sal = s.db().oids().find_sym("Salary").unwrap();
         let v = s.db().value(emp1, sal, &[]).unwrap().unwrap();
-        assert_eq!(s.db().oids().as_number(v.as_scalar().unwrap()), Some(44000.0));
+        assert_eq!(
+            s.db().oids().as_number(v.as_scalar().unwrap()),
+            Some(44000.0)
+        );
         let emp3 = s.db().oids().find_sym("emp3").unwrap();
         let v = s.db().value(emp3, sal, &[]).unwrap().unwrap();
         let got = s.db().oids().as_number(v.as_scalar().unwrap()).unwrap();
@@ -766,7 +895,8 @@ mod tests {
         let cls = s.db().oids().find_sym("HighPaid").unwrap();
         assert_eq!(s.db().instances_of(cls).len(), 2);
         // Alice drops below the bar; refresh removes her view object.
-        s.run("UPDATE CLASS Employee SET emp1.Salary = 20000").unwrap();
+        s.run("UPDATE CLASS Employee SET emp1.Salary = 20000")
+            .unwrap();
         let n = s.refresh_view("HighPaid").unwrap();
         assert_eq!(n, 1);
         assert_eq!(s.db().instances_of(cls).len(), 1);

@@ -108,11 +108,7 @@ fn occurrence_consts_valid(db: &Database, shape: &QueryShape, occ: OccId, te: &T
 /// the compared values. Order comparators require both sides to be
 /// (potentially) numerals, or both strings; equality is defined on all
 /// objects.
-fn comparisons_valid(
-    db: &Database,
-    cmps: &[CmpShape],
-    ranges: &BTreeMap<String, Range>,
-) -> bool {
+fn comparisons_valid(db: &Database, cmps: &[CmpShape], ranges: &BTreeMap<String, Range>) -> bool {
     #[derive(PartialEq)]
     enum Kind {
         Num,

@@ -81,7 +81,11 @@ pub fn analyze(db: &Database, q: &SelectQuery, ex: &Exemptions) -> Verdict {
 /// Returns `None` when the query is not strictly well-typed (the
 /// optimization is "not always possible even with queries that are
 /// liberally (but not strictly) well-typed").
-pub fn theorem61_ranges(db: &Database, q: &SelectQuery, ex: &Exemptions) -> XsqlResult<Option<Ranges>> {
+pub fn theorem61_ranges(
+    db: &Database,
+    q: &SelectQuery,
+    ex: &Exemptions,
+) -> XsqlResult<Option<Ranges>> {
     let shape = match extract(db, q) {
         Ok(s) => s,
         Err(_) => return Ok(None),
@@ -196,7 +200,13 @@ mod tests {
         );
         let shape = extract(&db, &q).unwrap();
         let found = strict(&db, &shape, &Exemptions::none()).unwrap();
-        assert!(!coherent(&db, &shape, &found.0, &vec![1, 0], &Exemptions::none()));
+        assert!(!coherent(
+            &db,
+            &shape,
+            &found.0,
+            &vec![1, 0],
+            &Exemptions::none()
+        ));
     }
 
     #[test]
@@ -268,10 +278,7 @@ mod tests {
         // (Organization): Person+... no common subclass of Vehicle and
         // Organization exists -> empty range -> ill-typed.
         let mut db = db62();
-        let q = resolved_query(
-            &mut db,
-            "SELECT X FROM Vehicle X WHERE X.President",
-        );
+        let q = resolved_query(&mut db, "SELECT X FROM Vehicle X WHERE X.President");
         assert!(matches!(
             analyze(&db, &q, &Exemptions::none()),
             Verdict::IllTyped
@@ -281,10 +288,7 @@ mod tests {
     #[test]
     fn outside_fragment_reported() {
         let mut db = db62();
-        let q = resolved_query(
-            &mut db,
-            "SELECT Y FROM Person X WHERE X.\"Y.Name['bob']",
-        );
+        let q = resolved_query(&mut db, "SELECT Y FROM Person X WHERE X.\"Y.Name['bob']");
         assert!(matches!(
             analyze(&db, &q, &Exemptions::none()),
             Verdict::OutsideFragment { .. }

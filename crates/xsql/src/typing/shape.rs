@@ -173,9 +173,10 @@ impl Extractor<'_> {
                         None => self.fresh(),
                     };
                     // The resolver pre-interned every method name.
-                    let method = self.db.oids().find_sym(n).ok_or_else(|| {
-                        XsqlError::Resolve(format!("method `{n}` not interned"))
-                    })?;
+                    let method =
+                        self.db.oids().find_sym(n).ok_or_else(|| {
+                            XsqlError::Resolve(format!("method `{n}` not interned"))
+                        })?;
                     steps.push(StepShape {
                         method,
                         method_name: n.clone(),

@@ -145,11 +145,7 @@ pub fn coherent(
 /// coherent with it, with non-empty ranges. Returns the first coherent
 /// pair — by Theorem 6.1 any coherent pair evaluates the query
 /// identically, so one suffices.
-pub fn strict(
-    db: &Database,
-    shape: &QueryShape,
-    ex: &Exemptions,
-) -> Option<(Assignment, Plan)> {
+pub fn strict(db: &Database, shape: &QueryShape, ex: &Exemptions) -> Option<(Assignment, Plan)> {
     let plans = all_plans(shape.paths.len());
     let mut found = None;
     search_assignments(db, shape, &mut |asg, _ranges| {

@@ -150,7 +150,12 @@ mod tests {
     #[test]
     fn supertype_contravariant_in_args() {
         let d = db();
-        let (p, e, s, n) = (cls(&d, "Person"), cls(&d, "Employee"), cls(&d, "String"), cls(&d, "Numeral"));
+        let (p, e, s, n) = (
+            cls(&d, "Person"),
+            cls(&d, "Employee"),
+            cls(&d, "String"),
+            cls(&d, "Numeral"),
+        );
         let declared = TypeExpr {
             args: vec![p],
             result: s,

@@ -34,7 +34,11 @@ fn stmt(s: &Stmt, out: &mut String) {
             stmt(right, out);
         }
         Stmt::CreateView(v) => {
-            let _ = write!(out, "CREATE VIEW {} AS SUBCLASS OF {}", v.name, v.superclass);
+            let _ = write!(
+                out,
+                "CREATE VIEW {} AS SUBCLASS OF {}",
+                v.name, v.superclass
+            );
             if !v.signature.is_empty() {
                 out.push_str(" SIGNATURE ");
                 for (i, d) in v.signature.iter().enumerate() {
@@ -65,7 +69,12 @@ fn stmt(s: &Stmt, out: &mut String) {
             }
         }
         Stmt::CreateObject(o) => {
-            let _ = write!(out, "CREATE OBJECT {} CLASS {}", o.name, o.classes.join(", "));
+            let _ = write!(
+                out,
+                "CREATE OBJECT {} CLASS {}",
+                o.name,
+                o.classes.join(", ")
+            );
             if !o.sets.is_empty() {
                 out.push_str(" SET ");
                 for (i, (a, v)) in o.sets.iter().enumerate() {
@@ -81,6 +90,9 @@ fn stmt(s: &Stmt, out: &mut String) {
             out.push_str("EXPLAIN ");
             stmt(inner, out);
         }
+        Stmt::Begin => out.push_str("BEGIN WORK"),
+        Stmt::Commit => out.push_str("COMMIT WORK"),
+        Stmt::Rollback => out.push_str("ROLLBACK WORK"),
     }
 }
 
@@ -433,9 +445,7 @@ mod tests {
     fn roundtrip(src: &str) {
         let a = parse(src).unwrap();
         let rendered = unparse_stmt(&a);
-        let b = parse(&rendered).unwrap_or_else(|e| {
-            panic!("re-parse of `{rendered}` failed: {e}")
-        });
+        let b = parse(&rendered).unwrap_or_else(|e| panic!("re-parse of `{rendered}` failed: {e}"));
         assert_eq!(a, b, "round-trip changed `{src}` → `{rendered}`");
     }
 
@@ -500,8 +510,7 @@ mod ddl_tests {
         ] {
             let a = parse(src).unwrap();
             let rendered = unparse_stmt(&a);
-            let b = parse(&rendered)
-                .unwrap_or_else(|e| panic!("re-parse of `{rendered}`: {e}"));
+            let b = parse(&rendered).unwrap_or_else(|e| panic!("re-parse of `{rendered}`: {e}"));
             assert_eq!(a, b, "round-trip changed `{src}` -> `{rendered}`");
         }
     }

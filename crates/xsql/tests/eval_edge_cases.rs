@@ -96,9 +96,7 @@ fn int_and_real_numerals_compare_numerically() {
     // OID of a numeral carries its value (§2).
     let r = s.query("SELECT X FROM Item X WHERE X.Weight = 2").unwrap();
     assert_eq!(r.len(), 1);
-    let r = s
-        .query("SELECT X FROM Item X WHERE X.Weight[2]")
-        .unwrap();
+    let r = s.query("SELECT X FROM Item X WHERE X.Weight[2]").unwrap();
     assert_eq!(r.len(), 1, "selectors are numeral-insensitive too");
 }
 
@@ -122,11 +120,9 @@ fn class_objects_not_captured_by_individual_variables() {
     let mut s = Session::new(datagen::figure1_db());
     let r = s.query("SELECT X WHERE X.Name['UniSQL']").unwrap();
     assert_eq!(r.len(), 1); // uniSQL the company — not a class
-    // Class variables conversely never capture individuals.
+                            // Class variables conversely never capture individuals.
     let r = s.query("SELECT #C WHERE #C subclassOf Object").unwrap();
-    assert!(r
-        .iter()
-        .all(|t| s.db().is_class(t[0])));
+    assert!(r.iter().all(|t| s.db().is_class(t[0])));
 }
 
 #[test]
@@ -180,9 +176,7 @@ fn incomparable_kinds_compare_false_not_error() {
     // Liberal evaluation: ordering a string against a numeral is simply
     // false (the typing system flags it statically; §6's liberal end).
     let mut s = Session::new(datagen::figure1_db());
-    let r = s
-        .query("SELECT X FROM Person X WHERE X.Name > 5")
-        .unwrap();
+    let r = s.query("SELECT X FROM Person X WHERE X.Name > 5").unwrap();
     assert!(r.is_empty());
 }
 
@@ -261,9 +255,13 @@ fn boolean_literals_as_objects() {
     let t = db.oids_mut().bool(true);
     db.set_scalar(o, m, &[], t).unwrap();
     let mut s = Session::new(db);
-    let r = s.query("SELECT X FROM Flagged X WHERE X.Active[true]").unwrap();
+    let r = s
+        .query("SELECT X FROM Flagged X WHERE X.Active[true]")
+        .unwrap();
     assert_eq!(r.len(), 1);
-    let r = s.query("SELECT X FROM Flagged X WHERE X.Active[false]").unwrap();
+    let r = s
+        .query("SELECT X FROM Flagged X WHERE X.Active[false]")
+        .unwrap();
     assert!(r.is_empty());
 }
 

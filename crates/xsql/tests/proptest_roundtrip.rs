@@ -15,15 +15,22 @@ fn var_name() -> impl Strategy<Value = String> {
 
 fn attr_name() -> impl Strategy<Value = String> {
     prop::sample::select(vec![
-        "Name", "Age", "Salary", "Residence", "City", "FamMembers", "Manufacturer",
-        "President", "Divisions", "Employees",
+        "Name",
+        "Age",
+        "Salary",
+        "Residence",
+        "City",
+        "FamMembers",
+        "Manufacturer",
+        "President",
+        "Divisions",
+        "Employees",
     ])
     .prop_map(String::from)
 }
 
 fn obj_name() -> impl Strategy<Value = String> {
-    prop::sample::select(vec!["mary123", "john13", "uniSQL", "acme", "car1"])
-        .prop_map(String::from)
+    prop::sample::select(vec!["mary123", "john13", "uniSQL", "acme", "car1"]).prop_map(String::from)
 }
 
 fn class_name() -> impl Strategy<Value = String> {
@@ -66,15 +73,20 @@ fn path() -> impl Strategy<Value = PathExpr> {
 fn operand() -> impl Strategy<Value = Operand> {
     let leaf = prop_oneof![
         path().prop_map(Operand::Path),
-        (prop::sample::select(vec![AggFunc::Count, AggFunc::Sum, AggFunc::Avg]), path())
+        (
+            prop::sample::select(vec![AggFunc::Count, AggFunc::Sum, AggFunc::Avg]),
+            path()
+        )
             .prop_map(|(f, p)| Operand::Agg(f, p)),
         prop::collection::vec(idterm(), 1..4).prop_map(Operand::SetLit),
     ];
     leaf.prop_recursive(2, 8, 2, |inner| {
         prop_oneof![
-            (inner.clone(), prop::sample::select(vec![
-                ArithOp::Add, ArithOp::Sub, ArithOp::Mul
-            ]), inner.clone())
+            (
+                inner.clone(),
+                prop::sample::select(vec![ArithOp::Add, ArithOp::Sub, ArithOp::Mul]),
+                inner.clone()
+            )
                 .prop_map(|(a, f, b)| Operand::Arith(Box::new(a), f, Box::new(b))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| Operand::Union(Box::new(a), Box::new(b))),
@@ -106,10 +118,21 @@ fn cond() -> impl Strategy<Value = Cond> {
                 rq,
                 right
             }),
-        (operand(), prop::sample::select(vec![
-            SetCmpOp::Contains, SetCmpOp::ContainsEq, SetCmpOp::Subset, SetCmpOp::SubsetEq
-        ]), operand())
-            .prop_map(|(l, op, r)| Cond::SetCmp { left: l, op, right: r }),
+        (
+            operand(),
+            prop::sample::select(vec![
+                SetCmpOp::Contains,
+                SetCmpOp::ContainsEq,
+                SetCmpOp::Subset,
+                SetCmpOp::SubsetEq
+            ]),
+            operand()
+        )
+            .prop_map(|(l, op, r)| Cond::SetCmp {
+                left: l,
+                op,
+                right: r
+            }),
         (class_name(), class_name()).prop_map(|(a, b)| Cond::SubclassOf {
             sub: IdTerm::Sym(a),
             sup: IdTerm::Sym(b)
@@ -117,10 +140,8 @@ fn cond() -> impl Strategy<Value = Cond> {
     ];
     leaf.prop_recursive(3, 12, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Cond::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Cond::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Cond::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Cond::Or(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| Cond::Not(Box::new(a))),
         ]
     })

@@ -69,7 +69,8 @@ fn main() {
     let vobj = s.db().oids().find_func(f, &[kim]).unwrap();
     let raised = s.db_mut().oids_mut().int(33000);
     println!("raising kim1's salary to 33000 through view object EmpSalaries(kim1)…");
-    s.update_view("EmpSalaries", vobj, "Salary", raised).unwrap();
+    s.update_view("EmpSalaries", vobj, "Salary", raised)
+        .unwrap();
     let r = s
         .query("SELECT X, W FROM Employee X WHERE X.Salary[W]")
         .unwrap();

@@ -29,12 +29,12 @@ fn main() {
             unreachable!()
         };
         let fq = translate_select(&db, &q).unwrap();
-        let heads: Vec<String> = fq
-            .head
-            .iter()
-            .map(|(n, _)| format!("?{n}"))
-            .collect();
-        println!("F-logic: {{ ({}) | {} }}", heads.join(", "), render_formula(&db, &fq.body));
+        let heads: Vec<String> = fq.head.iter().map(|(n, _)| format!("?{n}")).collect();
+        println!(
+            "F-logic: {{ ({}) | {} }}",
+            heads.join(", "),
+            render_formula(&db, &fq.body)
+        );
 
         let xsql_rel = eval_select(&db, &q, &EvalOptions::default()).unwrap();
         let m = FStructure::new(&db);
@@ -51,6 +51,9 @@ fn main() {
                     .join(", ")
             })
             .collect();
-        println!("answer : {{{}}}  (identical from both evaluations)\n", rendered.join("; "));
+        println!(
+            "answer : {{{}}}  (identical from both evaluations)\n",
+            rendered.join("; ")
+        );
     }
 }

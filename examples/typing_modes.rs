@@ -52,7 +52,10 @@ fn main() {
     println!("== An ill-typed query returns no answers regardless of data ==\n");
     let q3 = resolved(&mut db, "SELECT X FROM City X WHERE X.WonNobelPrize");
     println!("   SELECT X FROM City X WHERE X.WonNobelPrize");
-    println!("   verdict: {}\n", verdict_name(&analyze(&db, &q3, &Exemptions::none())));
+    println!(
+        "   verdict: {}\n",
+        verdict_name(&analyze(&db, &q3, &Exemptions::none()))
+    );
 
     println!("== Theorem 6.1 on a scaled Figure 1 database ==\n");
     // The optimization is measured against the paper's own baseline:
@@ -91,7 +94,10 @@ fn main() {
     let piped = eval::select::eval_to_relation(&ctx, &q).unwrap();
     let w_piped = ctx.work_done();
     assert_eq!(plain, piped);
-    println!("   answers: {} (identical under all evaluations)\n", plain.len());
+    println!(
+        "   answers: {} (identical under all evaluations)\n",
+        plain.len()
+    );
     println!("   naive (§3.4, full domains):        {w_plain:>12} ticks");
     println!("   naive + Theorem 6.1 ranges:        {w_typed:>12} ticks");
     println!("   pipelined nested loops (§6.2):     {w_piped:>12} ticks");

@@ -35,8 +35,7 @@ fn main() {
         match trimmed {
             "\\quit" | "\\q" => break,
             "\\classes" => {
-                let names: Vec<String> =
-                    s.db().classes().map(|c| s.db().render(c)).collect();
+                let names: Vec<String> = s.db().classes().map(|c| s.db().render(c)).collect();
                 println!("{}", names.join(", "));
                 print!("xsql> ");
                 io::stdout().flush().unwrap();
@@ -81,7 +80,10 @@ fn main() {
                 }
             }
             Ok(Outcome::ViewCreated { class, count }) => {
-                println!("view {} created with {count} object(s)", s.db().render(class));
+                println!(
+                    "view {} created with {count} object(s)",
+                    s.db().render(class)
+                );
             }
             Ok(Outcome::MethodDefined { class, method }) => {
                 println!(
@@ -105,6 +107,9 @@ fn main() {
                 );
             }
             Ok(Outcome::Explained { report }) => println!("{report}"),
+            Ok(Outcome::TransactionStarted) => println!("transaction started"),
+            Ok(Outcome::TransactionCommitted) => println!("transaction committed"),
+            Ok(Outcome::TransactionRolledBack) => println!("transaction rolled back"),
             Err(e) => println!("error: {e}"),
         }
         print!("xsql> ");

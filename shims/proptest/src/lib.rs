@@ -1,0 +1,577 @@
+//! Offline stand-in for the subset of the `proptest` crate this
+//! workspace uses.
+//!
+//! The build container cannot reach crates.io, so the workspace wires
+//! `proptest` to this path crate. It keeps the same surface the tests
+//! were written against — the `proptest!` macro, `Strategy` with
+//! `prop_map`/`prop_recursive`/`boxed`, range/tuple/regex-literal
+//! strategies, `prop::collection::vec`, `prop::sample::select`,
+//! `prop::option::of`, `Just`, `any::<bool>()`, `prop_oneof!`,
+//! `prop_assert!`/`prop_assert_eq!`, `ProptestConfig`, `TestCaseError`
+//! — but with a deliberately simpler engine:
+//!
+//! * generation is a deterministic splitmix64 stream seeded from the
+//!   test's module path and case index (reproducible across runs);
+//! * there is **no shrinking** — a failing case reports its inputs via
+//!   the panic message of the assertion that fired;
+//! * the regex-literal strategy supports the fragment the tests use
+//!   (`.{m,n}`, `[a-z]{m,n}`, literal runs), not full regex.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------
+
+/// Deterministic generator used by all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x5851_F42D_4C95_7F2D,
+        }
+    }
+
+    /// The next 64 random bits (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Seeds a per-case generator from the test's identity. Exposed for the
+/// `proptest!` macro expansion.
+pub fn rng_for(test_name: &str, case: u32) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::new(h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+// ---------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------
+
+/// A value generator. Unlike real proptest there is no shrink tree; a
+/// strategy is just a cloneable recipe for drawing values.
+pub trait Strategy: Clone + 'static {
+    /// The type of generated values.
+    type Value: 'static;
+
+    /// Draws one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: 'static, F: Fn(Self::Value) -> U + 'static>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized,
+    {
+        BoxedStrategy::new(move |rng| f(self.gen_value(rng)))
+    }
+
+    /// Recursive strategies: `self` is the leaf; `f` builds one level of
+    /// branching on top of an inner strategy. `depth` bounds the
+    /// nesting; `_size`/`_branch` are accepted for API compatibility.
+    fn prop_recursive<F>(
+        self,
+        depth: u32,
+        _size: u32,
+        _branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        F: Fn(BoxedStrategy<Self::Value>) -> BoxedStrategy<Self::Value>,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let rec = f(cur);
+            let l = leaf.clone();
+            cur = BoxedStrategy::new(move |rng| {
+                if rng.next_u64() & 1 == 0 {
+                    l.gen_value(rng)
+                } else {
+                    rec.gen_value(rng)
+                }
+            });
+        }
+        cur
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        BoxedStrategy::new(move |rng| self.gen_value(rng))
+    }
+}
+
+/// Type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T: 'static> BoxedStrategy<T> {
+    /// Wraps a generation closure.
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy { gen: Rc::new(f) }
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + 'static>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let lo = self.start as i128;
+                let span = (self.end as i128 - lo) as u128;
+                (lo + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.gen_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// String literals act as regex strategies in proptest; this shim
+// supports the fragment the tests use.
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        regex::generate(self, rng)
+    }
+}
+
+mod regex {
+    use super::TestRng;
+
+    enum Atom {
+        Any,
+        Class(Vec<char>),
+        Lit(char),
+    }
+
+    /// Characters `.` draws from: printable ASCII plus a few multibyte
+    /// code points so byte-offset handling gets exercised.
+    const ANY_EXTRA: &[char] = &['é', 'Ω', '→', '字', '\t'];
+
+    fn parse(pattern: &str) -> Vec<(Atom, usize, usize)> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut out = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::Any
+                }
+                '[' => {
+                    i += 1;
+                    let mut set = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let (lo, hi) = (chars[i], chars[i + 2]);
+                            for c in lo..=hi {
+                                set.push(c);
+                            }
+                            i += 3;
+                        } else {
+                            set.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                    i += 1; // ']'
+                    assert!(!set.is_empty(), "empty character class in `{pattern}`");
+                    Atom::Class(set)
+                }
+                c => {
+                    i += 1;
+                    Atom::Lit(c)
+                }
+            };
+            // Optional {m,n} / {n} quantifier.
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unclosed quantifier")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse().expect("bad quantifier"),
+                        b.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            out.push((atom, min, max));
+        }
+        out
+    }
+
+    pub(super) fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, min, max) in parse(pattern) {
+            let n = if max > min {
+                min + rng.below(max - min + 1)
+            } else {
+                min
+            };
+            for _ in 0..n {
+                match &atom {
+                    Atom::Any => {
+                        // Mostly printable ASCII, occasionally multibyte.
+                        if rng.below(16) == 0 {
+                            out.push(ANY_EXTRA[rng.below(ANY_EXTRA.len())]);
+                        } else {
+                            out.push((0x20 + rng.below(0x5f) as u8) as char);
+                        }
+                    }
+                    Atom::Class(set) => out.push(set[rng.below(set.len())]),
+                    Atom::Lit(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategy combinator modules (`prop::collection` etc.)
+// ---------------------------------------------------------------------
+
+/// Collection strategies.
+pub mod collection {
+    use super::{BoxedStrategy, Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A `Vec` of values with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> BoxedStrategy<Vec<S::Value>> {
+        assert!(len.start < len.end, "empty length range");
+        BoxedStrategy::new(move |rng: &mut TestRng| {
+            let n = len.start + rng.below(len.end - len.start);
+            (0..n).map(|_| element.gen_value(rng)).collect()
+        })
+    }
+}
+
+/// Sampling strategies.
+pub mod sample {
+    use super::{BoxedStrategy, TestRng};
+
+    /// Uniform choice from a fixed list.
+    pub fn select<T: Clone + 'static>(options: Vec<T>) -> BoxedStrategy<T> {
+        assert!(!options.is_empty(), "select from empty list");
+        BoxedStrategy::new(move |rng: &mut TestRng| options[rng.below(options.len())].clone())
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{BoxedStrategy, Strategy, TestRng};
+
+    /// `None` or `Some(inner)`, roughly 1:3 like proptest's default.
+    pub fn of<S: Strategy>(inner: S) -> BoxedStrategy<Option<S::Value>> {
+        BoxedStrategy::new(move |rng: &mut TestRng| {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(inner.gen_value(rng))
+            }
+        })
+    }
+}
+
+/// Types with a canonical strategy (`any::<T>()`).
+pub trait Arbitrary: Sized + 'static {
+    /// The canonical strategy for the type.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<bool> {
+        BoxedStrategy::new(|rng| rng.next_u64() & 1 == 0)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<$t> {
+                BoxedStrategy::new(|rng| rng.next_u64() as $t)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> BoxedStrategy<A> {
+    A::arbitrary()
+}
+
+// ---------------------------------------------------------------------
+// Test runner types
+// ---------------------------------------------------------------------
+
+/// Runner configuration (subset: case count).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that draws `config.cases` deterministic cases.
+/// No shrinking: the case index and inputs appear in failure messages
+/// through the assertion macros.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                for case in 0..config.cases {
+                    let mut __proptest_rng = $crate::rng_for(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::Strategy::gen_value(&($strat), &mut __proptest_rng);)+
+                    let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(e) = result {
+                        panic!("property failed at case {case}: {e}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the enclosing property case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the enclosing property case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Uniform choice among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let options = vec![$($crate::Strategy::boxed($strat)),+];
+        $crate::union(options)
+    }};
+}
+
+/// Uniform union of boxed strategies (backs [`prop_oneof!`]).
+pub fn union<T: 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!options.is_empty());
+    BoxedStrategy::new(move |rng| {
+        let i = rng.below(options.len());
+        options[i].gen_value(rng)
+    })
+}
+
+/// The glob-import surface tests expect (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn regex_fragment_shapes() {
+        let mut rng = crate::rng_for("shape", 0);
+        for _ in 0..200 {
+            let s = Strategy::gen_value(&"[a-z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = Strategy::gen_value(&".{0,200}", &mut rng);
+            assert!(t.chars().count() <= 200);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let a = Strategy::gen_value(&(0u8..10, -5i64..5), &mut crate::rng_for("d", 3));
+        let b = Strategy::gen_value(&(0u8..10, -5i64..5), &mut crate::rng_for("d", 3));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro pipeline itself: args bind, assertions return Err.
+        #[test]
+        fn macro_roundtrip(v in prop::collection::vec(0u8..10, 1..8), b in any::<bool>()) {
+            prop_assert!(!v.is_empty());
+            prop_assert!(v.iter().all(|&x| x < 10), "out of range: {:?}", v);
+            let n = if b { 1usize } else { 2 };
+            prop_assert_eq!(n * 2 / n, 2);
+        }
+
+        #[test]
+        fn oneof_and_recursive(x in prop_oneof![Just(0usize), 1usize..4].prop_recursive(
+            2, 8, 2, |inner| inner.prop_map(|v| v + 10)
+        )) {
+            prop_assert!(x < 4 || (10..24).contains(&x), "got {}", x);
+        }
+    }
+}

@@ -39,9 +39,11 @@ fn parse_args() -> Result<Config, String> {
             }
             "--typed" => cfg.typed = true,
             "--help" | "-h" => {
-                return Err("usage: xsql-cli [--db empty|figure1|nobel|university] [--typed] \
+                return Err(
+                    "usage: xsql-cli [--db empty|figure1|nobel|university] [--typed] \
                             [script.xsql ...]"
-                    .to_string())
+                        .to_string(),
+                )
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag `{other}`"));
@@ -74,10 +76,7 @@ fn report(s: &Session, out: &Outcome) {
             }
         }
         Outcome::ViewCreated { class, count } => {
-            println!(
-                "view {} created ({count} object(s))",
-                s.db().render(*class)
-            );
+            println!("view {} created ({count} object(s))", s.db().render(*class));
         }
         Outcome::MethodDefined { class, method } => {
             println!(
@@ -101,6 +100,9 @@ fn report(s: &Session, out: &Outcome) {
             );
         }
         Outcome::Explained { report } => println!("{report}"),
+        Outcome::TransactionStarted => println!("transaction started"),
+        Outcome::TransactionCommitted => println!("transaction committed"),
+        Outcome::TransactionRolledBack => println!("transaction rolled back"),
     }
 }
 

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-2e9331e42533b90a.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-2e9331e42533b90a: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_xsql-cli=/root/repo/target/debug/xsql-cli

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-c966bea31f57b731.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-c966bea31f57b731.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_xsql-cli=placeholder:xsql-cli
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/datagen-22634c3a5ae25c9f.d: crates/datagen/src/lib.rs crates/datagen/src/figure1.rs crates/datagen/src/nobel.rs crates/datagen/src/university.rs
+
+/root/repo/target/debug/deps/libdatagen-22634c3a5ae25c9f.rlib: crates/datagen/src/lib.rs crates/datagen/src/figure1.rs crates/datagen/src/nobel.rs crates/datagen/src/university.rs
+
+/root/repo/target/debug/deps/libdatagen-22634c3a5ae25c9f.rmeta: crates/datagen/src/lib.rs crates/datagen/src/figure1.rs crates/datagen/src/nobel.rs crates/datagen/src/university.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/figure1.rs:
+crates/datagen/src/nobel.rs:
+crates/datagen/src/university.rs:

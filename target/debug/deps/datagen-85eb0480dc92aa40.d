@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/datagen-85eb0480dc92aa40.d: crates/datagen/src/lib.rs crates/datagen/src/figure1.rs crates/datagen/src/nobel.rs crates/datagen/src/university.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdatagen-85eb0480dc92aa40.rmeta: crates/datagen/src/lib.rs crates/datagen/src/figure1.rs crates/datagen/src/nobel.rs crates/datagen/src/university.rs Cargo.toml
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/figure1.rs:
+crates/datagen/src/nobel.rs:
+crates/datagen/src/university.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ddl_extensions-0348f481338a9e3a.d: tests/ddl_extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libddl_extensions-0348f481338a9e3a.rmeta: tests/ddl_extensions.rs Cargo.toml
+
+tests/ddl_extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

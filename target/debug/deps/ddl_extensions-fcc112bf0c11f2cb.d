@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ddl_extensions-fcc112bf0c11f2cb.d: tests/ddl_extensions.rs
+
+/root/repo/target/debug/deps/ddl_extensions-fcc112bf0c11f2cb: tests/ddl_extensions.rs
+
+tests/ddl_extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-73af9664da694c92.d: tests/differential.rs
+
+/root/repo/target/debug/deps/differential-73af9664da694c92: tests/differential.rs
+
+tests/differential.rs:

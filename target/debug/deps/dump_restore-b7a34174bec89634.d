@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dump_restore-b7a34174bec89634.d: tests/dump_restore.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdump_restore-b7a34174bec89634.rmeta: tests/dump_restore.rs Cargo.toml
+
+tests/dump_restore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

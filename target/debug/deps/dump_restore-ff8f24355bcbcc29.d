@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dump_restore-ff8f24355bcbcc29.d: tests/dump_restore.rs
+
+/root/repo/target/debug/deps/dump_restore-ff8f24355bcbcc29: tests/dump_restore.rs
+
+tests/dump_restore.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/errors-8726b253fea470e6.d: tests/errors.rs
+
+/root/repo/target/debug/deps/errors-8726b253fea470e6: tests/errors.rs
+
+tests/errors.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/errors-978dc7d597b063b6.d: tests/errors.rs Cargo.toml
+
+/root/repo/target/debug/deps/liberrors-978dc7d597b063b6.rmeta: tests/errors.rs Cargo.toml
+
+tests/errors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

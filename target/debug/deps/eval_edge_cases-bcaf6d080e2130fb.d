@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eval_edge_cases-bcaf6d080e2130fb.d: crates/xsql/tests/eval_edge_cases.rs
+
+/root/repo/target/debug/deps/eval_edge_cases-bcaf6d080e2130fb: crates/xsql/tests/eval_edge_cases.rs
+
+crates/xsql/tests/eval_edge_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-b57cad2f3ff6af78.d: tests/figure1.rs
+
+/root/repo/target/debug/deps/figure1-b57cad2f3ff6af78: tests/figure1.rs
+
+tests/figure1.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flogic-30bface490cb82b5.d: crates/flogic/src/lib.rs crates/flogic/src/eval.rs crates/flogic/src/model.rs crates/flogic/src/render.rs crates/flogic/src/term.rs crates/flogic/src/translate.rs
+
+/root/repo/target/debug/deps/libflogic-30bface490cb82b5.rlib: crates/flogic/src/lib.rs crates/flogic/src/eval.rs crates/flogic/src/model.rs crates/flogic/src/render.rs crates/flogic/src/term.rs crates/flogic/src/translate.rs
+
+/root/repo/target/debug/deps/libflogic-30bface490cb82b5.rmeta: crates/flogic/src/lib.rs crates/flogic/src/eval.rs crates/flogic/src/model.rs crates/flogic/src/render.rs crates/flogic/src/term.rs crates/flogic/src/translate.rs
+
+crates/flogic/src/lib.rs:
+crates/flogic/src/eval.rs:
+crates/flogic/src/model.rs:
+crates/flogic/src/render.rs:
+crates/flogic/src/term.rs:
+crates/flogic/src/translate.rs:

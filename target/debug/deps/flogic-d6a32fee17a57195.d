@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/flogic-d6a32fee17a57195.d: crates/flogic/src/lib.rs crates/flogic/src/eval.rs crates/flogic/src/model.rs crates/flogic/src/render.rs crates/flogic/src/term.rs crates/flogic/src/translate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflogic-d6a32fee17a57195.rmeta: crates/flogic/src/lib.rs crates/flogic/src/eval.rs crates/flogic/src/model.rs crates/flogic/src/render.rs crates/flogic/src/term.rs crates/flogic/src/translate.rs Cargo.toml
+
+crates/flogic/src/lib.rs:
+crates/flogic/src/eval.rs:
+crates/flogic/src/model.rs:
+crates/flogic/src/render.rs:
+crates/flogic/src/term.rs:
+crates/flogic/src/translate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flogic_equiv-86bce63b9d7f6db3.d: tests/flogic_equiv.rs
+
+/root/repo/target/debug/deps/flogic_equiv-86bce63b9d7f6db3: tests/flogic_equiv.rs
+
+tests/flogic_equiv.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flogic_equiv-a2e9472c0ea6027f.d: tests/flogic_equiv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflogic_equiv-a2e9472c0ea6027f.rmeta: tests/flogic_equiv.rs Cargo.toml
+
+tests/flogic_equiv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

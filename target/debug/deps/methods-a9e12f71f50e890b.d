@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/methods-a9e12f71f50e890b.d: tests/methods.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmethods-a9e12f71f50e890b.rmeta: tests/methods.rs Cargo.toml
+
+tests/methods.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

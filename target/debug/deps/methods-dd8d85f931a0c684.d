@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/methods-dd8d85f931a0c684.d: tests/methods.rs
+
+/root/repo/target/debug/deps/methods-dd8d85f931a0c684: tests/methods.rs
+
+tests/methods.rs:

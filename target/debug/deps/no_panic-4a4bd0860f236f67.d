@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/no_panic-4a4bd0860f236f67.d: crates/xsql/tests/no_panic.rs
+
+/root/repo/target/debug/deps/no_panic-4a4bd0860f236f67: crates/xsql/tests/no_panic.rs
+
+crates/xsql/tests/no_panic.rs:

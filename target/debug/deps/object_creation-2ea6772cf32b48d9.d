@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/object_creation-2ea6772cf32b48d9.d: tests/object_creation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobject_creation-2ea6772cf32b48d9.rmeta: tests/object_creation.rs Cargo.toml
+
+tests/object_creation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/object_creation-c4f0de823e5e839b.d: tests/object_creation.rs
+
+/root/repo/target/debug/deps/object_creation-c4f0de823e5e839b: tests/object_creation.rs
+
+tests/object_creation.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/oodb-15755aad0498a9a8.d: crates/oodb/src/lib.rs crates/oodb/src/builder.rs crates/oodb/src/database.rs crates/oodb/src/error.rs crates/oodb/src/oid.rs crates/oodb/src/schema.rs crates/oodb/src/undo.rs crates/oodb/src/value.rs
+
+/root/repo/target/debug/deps/oodb-15755aad0498a9a8: crates/oodb/src/lib.rs crates/oodb/src/builder.rs crates/oodb/src/database.rs crates/oodb/src/error.rs crates/oodb/src/oid.rs crates/oodb/src/schema.rs crates/oodb/src/undo.rs crates/oodb/src/value.rs
+
+crates/oodb/src/lib.rs:
+crates/oodb/src/builder.rs:
+crates/oodb/src/database.rs:
+crates/oodb/src/error.rs:
+crates/oodb/src/oid.rs:
+crates/oodb/src/schema.rs:
+crates/oodb/src/undo.rs:
+crates/oodb/src/value.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/oodb-24ddb76bfa91acbe.d: crates/oodb/src/lib.rs crates/oodb/src/builder.rs crates/oodb/src/database.rs crates/oodb/src/error.rs crates/oodb/src/oid.rs crates/oodb/src/schema.rs crates/oodb/src/undo.rs crates/oodb/src/value.rs
+
+/root/repo/target/debug/deps/liboodb-24ddb76bfa91acbe.rlib: crates/oodb/src/lib.rs crates/oodb/src/builder.rs crates/oodb/src/database.rs crates/oodb/src/error.rs crates/oodb/src/oid.rs crates/oodb/src/schema.rs crates/oodb/src/undo.rs crates/oodb/src/value.rs
+
+/root/repo/target/debug/deps/liboodb-24ddb76bfa91acbe.rmeta: crates/oodb/src/lib.rs crates/oodb/src/builder.rs crates/oodb/src/database.rs crates/oodb/src/error.rs crates/oodb/src/oid.rs crates/oodb/src/schema.rs crates/oodb/src/undo.rs crates/oodb/src/value.rs
+
+crates/oodb/src/lib.rs:
+crates/oodb/src/builder.rs:
+crates/oodb/src/database.rs:
+crates/oodb/src/error.rs:
+crates/oodb/src/oid.rs:
+crates/oodb/src/schema.rs:
+crates/oodb/src/undo.rs:
+crates/oodb/src/value.rs:

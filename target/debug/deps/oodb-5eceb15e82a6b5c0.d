@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/oodb-5eceb15e82a6b5c0.d: crates/oodb/src/lib.rs crates/oodb/src/builder.rs crates/oodb/src/database.rs crates/oodb/src/error.rs crates/oodb/src/oid.rs crates/oodb/src/schema.rs crates/oodb/src/undo.rs crates/oodb/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboodb-5eceb15e82a6b5c0.rmeta: crates/oodb/src/lib.rs crates/oodb/src/builder.rs crates/oodb/src/database.rs crates/oodb/src/error.rs crates/oodb/src/oid.rs crates/oodb/src/schema.rs crates/oodb/src/undo.rs crates/oodb/src/value.rs Cargo.toml
+
+crates/oodb/src/lib.rs:
+crates/oodb/src/builder.rs:
+crates/oodb/src/database.rs:
+crates/oodb/src/error.rs:
+crates/oodb/src/oid.rs:
+crates/oodb/src/schema.rs:
+crates/oodb/src/undo.rs:
+crates/oodb/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_queries-14ad71c1694aecd7.d: tests/paper_queries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_queries-14ad71c1694aecd7.rmeta: tests/paper_queries.rs Cargo.toml
+
+tests/paper_queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_queries-f81d3f2bee03a25b.d: tests/paper_queries.rs
+
+/root/repo/target/debug/deps/paper_queries-f81d3f2bee03a25b: tests/paper_queries.rs
+
+tests/paper_queries.rs:

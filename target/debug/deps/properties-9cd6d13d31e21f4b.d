@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-9cd6d13d31e21f4b.d: crates/oodb/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-9cd6d13d31e21f4b: crates/oodb/tests/properties.rs
+
+crates/oodb/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_dump-e656b1b6a58f0ced.d: crates/xsql/tests/proptest_dump.rs
+
+/root/repo/target/debug/deps/proptest_dump-e656b1b6a58f0ced: crates/xsql/tests/proptest_dump.rs
+
+crates/xsql/tests/proptest_dump.rs:

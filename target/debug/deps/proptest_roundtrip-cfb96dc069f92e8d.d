@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_roundtrip-cfb96dc069f92e8d.d: crates/xsql/tests/proptest_roundtrip.rs
+
+/root/repo/target/debug/deps/proptest_roundtrip-cfb96dc069f92e8d: crates/xsql/tests/proptest_roundtrip.rs
+
+crates/xsql/tests/proptest_roundtrip.rs:

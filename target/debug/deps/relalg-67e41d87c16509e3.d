@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/relalg-67e41d87c16509e3.d: crates/relalg/src/lib.rs crates/relalg/src/relation.rs crates/relalg/src/render.rs Cargo.toml
+
+/root/repo/target/debug/deps/librelalg-67e41d87c16509e3.rmeta: crates/relalg/src/lib.rs crates/relalg/src/relation.rs crates/relalg/src/render.rs Cargo.toml
+
+crates/relalg/src/lib.rs:
+crates/relalg/src/relation.rs:
+crates/relalg/src/render.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

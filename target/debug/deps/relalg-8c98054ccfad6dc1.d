@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/relalg-8c98054ccfad6dc1.d: crates/relalg/src/lib.rs crates/relalg/src/relation.rs crates/relalg/src/render.rs
+
+/root/repo/target/debug/deps/librelalg-8c98054ccfad6dc1.rlib: crates/relalg/src/lib.rs crates/relalg/src/relation.rs crates/relalg/src/render.rs
+
+/root/repo/target/debug/deps/librelalg-8c98054ccfad6dc1.rmeta: crates/relalg/src/lib.rs crates/relalg/src/relation.rs crates/relalg/src/render.rs
+
+crates/relalg/src/lib.rs:
+crates/relalg/src/relation.rs:
+crates/relalg/src/render.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-86c59925107ebbd1.d: tests/stress.rs
+
+/root/repo/target/debug/deps/stress-86c59925107ebbd1: tests/stress.rs
+
+tests/stress.rs:

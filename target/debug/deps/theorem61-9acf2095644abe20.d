@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem61-9acf2095644abe20.d: tests/theorem61.rs
+
+/root/repo/target/debug/deps/theorem61-9acf2095644abe20: tests/theorem61.rs
+
+tests/theorem61.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theorem61-f84f639453850fff.d: tests/theorem61.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheorem61-f84f639453850fff.rmeta: tests/theorem61.rs Cargo.toml
+
+tests/theorem61.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transactions-1487f2b726a0e717.d: tests/transactions.rs
+
+/root/repo/target/debug/deps/transactions-1487f2b726a0e717: tests/transactions.rs
+
+tests/transactions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transactions-6dd70a78a334c0f9.d: tests/transactions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransactions-6dd70a78a334c0f9.rmeta: tests/transactions.rs Cargo.toml
+
+tests/transactions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

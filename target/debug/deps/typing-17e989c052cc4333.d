@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/typing-17e989c052cc4333.d: tests/typing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtyping-17e989c052cc4333.rmeta: tests/typing.rs Cargo.toml
+
+tests/typing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

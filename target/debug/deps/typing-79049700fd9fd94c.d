@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/typing-79049700fd9fd94c.d: tests/typing.rs
+
+/root/repo/target/debug/deps/typing-79049700fd9fd94c: tests/typing.rs
+
+tests/typing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/university-1477cf5be1d7abc8.d: tests/university.rs
+
+/root/repo/target/debug/deps/university-1477cf5be1d7abc8: tests/university.rs
+
+tests/university.rs:

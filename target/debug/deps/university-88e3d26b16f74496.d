@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/university-88e3d26b16f74496.d: tests/university.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniversity-88e3d26b16f74496.rmeta: tests/university.rs Cargo.toml
+
+tests/university.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/views-0750b3ba442456ed.d: tests/views.rs
+
+/root/repo/target/debug/deps/views-0750b3ba442456ed: tests/views.rs
+
+tests/views.rs:

@@ -1,0 +1,30 @@
+/root/repo/target/debug/deps/xsql-90fd3df96b037c15.d: crates/xsql/src/lib.rs crates/xsql/src/ast.rs crates/xsql/src/error.rs crates/xsql/src/lexer.rs crates/xsql/src/parser.rs crates/xsql/src/resolve.rs crates/xsql/src/token.rs crates/xsql/src/eval/mod.rs crates/xsql/src/eval/bindings.rs crates/xsql/src/eval/cond.rs crates/xsql/src/eval/create.rs crates/xsql/src/eval/method.rs crates/xsql/src/eval/path.rs crates/xsql/src/eval/select.rs crates/xsql/src/eval/update.rs crates/xsql/src/eval/value.rs crates/xsql/src/eval/vars.rs crates/xsql/src/eval/view.rs crates/xsql/src/typing/mod.rs crates/xsql/src/typing/assign.rs crates/xsql/src/typing/shape.rs crates/xsql/src/typing/strict.rs crates/xsql/src/typing/types.rs crates/xsql/src/dump.rs crates/xsql/src/unparse.rs crates/xsql/src/session.rs
+
+/root/repo/target/debug/deps/xsql-90fd3df96b037c15: crates/xsql/src/lib.rs crates/xsql/src/ast.rs crates/xsql/src/error.rs crates/xsql/src/lexer.rs crates/xsql/src/parser.rs crates/xsql/src/resolve.rs crates/xsql/src/token.rs crates/xsql/src/eval/mod.rs crates/xsql/src/eval/bindings.rs crates/xsql/src/eval/cond.rs crates/xsql/src/eval/create.rs crates/xsql/src/eval/method.rs crates/xsql/src/eval/path.rs crates/xsql/src/eval/select.rs crates/xsql/src/eval/update.rs crates/xsql/src/eval/value.rs crates/xsql/src/eval/vars.rs crates/xsql/src/eval/view.rs crates/xsql/src/typing/mod.rs crates/xsql/src/typing/assign.rs crates/xsql/src/typing/shape.rs crates/xsql/src/typing/strict.rs crates/xsql/src/typing/types.rs crates/xsql/src/dump.rs crates/xsql/src/unparse.rs crates/xsql/src/session.rs
+
+crates/xsql/src/lib.rs:
+crates/xsql/src/ast.rs:
+crates/xsql/src/error.rs:
+crates/xsql/src/lexer.rs:
+crates/xsql/src/parser.rs:
+crates/xsql/src/resolve.rs:
+crates/xsql/src/token.rs:
+crates/xsql/src/eval/mod.rs:
+crates/xsql/src/eval/bindings.rs:
+crates/xsql/src/eval/cond.rs:
+crates/xsql/src/eval/create.rs:
+crates/xsql/src/eval/method.rs:
+crates/xsql/src/eval/path.rs:
+crates/xsql/src/eval/select.rs:
+crates/xsql/src/eval/update.rs:
+crates/xsql/src/eval/value.rs:
+crates/xsql/src/eval/vars.rs:
+crates/xsql/src/eval/view.rs:
+crates/xsql/src/typing/mod.rs:
+crates/xsql/src/typing/assign.rs:
+crates/xsql/src/typing/shape.rs:
+crates/xsql/src/typing/strict.rs:
+crates/xsql/src/typing/types.rs:
+crates/xsql/src/dump.rs:
+crates/xsql/src/unparse.rs:
+crates/xsql/src/session.rs:

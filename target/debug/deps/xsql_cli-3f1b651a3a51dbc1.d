@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xsql_cli-3f1b651a3a51dbc1.d: src/bin/xsql-cli.rs
+
+/root/repo/target/debug/deps/xsql_cli-3f1b651a3a51dbc1: src/bin/xsql-cli.rs
+
+src/bin/xsql-cli.rs:

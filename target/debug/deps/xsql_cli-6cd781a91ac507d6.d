@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xsql_cli-6cd781a91ac507d6.d: src/bin/xsql-cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxsql_cli-6cd781a91ac507d6.rmeta: src/bin/xsql-cli.rs Cargo.toml
+
+src/bin/xsql-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xsql_cli-7eb42cc388b8b4b6.d: src/bin/xsql-cli.rs
+
+/root/repo/target/debug/deps/xsql_cli-7eb42cc388b8b4b6: src/bin/xsql-cli.rs
+
+src/bin/xsql-cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xsql_repro-142e3b9edf6e0327.d: src/lib.rs
+
+/root/repo/target/debug/deps/xsql_repro-142e3b9edf6e0327: src/lib.rs
+
+src/lib.rs:

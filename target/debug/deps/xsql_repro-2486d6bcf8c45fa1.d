@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xsql_repro-2486d6bcf8c45fa1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libxsql_repro-2486d6bcf8c45fa1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libxsql_repro-2486d6bcf8c45fa1.rmeta: src/lib.rs
+
+src/lib.rs:

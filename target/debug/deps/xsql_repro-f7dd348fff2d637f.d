@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xsql_repro-f7dd348fff2d637f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxsql_repro-f7dd348fff2d637f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bootstrap-46933f730dfa1a1d.d: examples/bootstrap.rs
+
+/root/repo/target/debug/examples/bootstrap-46933f730dfa1a1d: examples/bootstrap.rs
+
+examples/bootstrap.rs:

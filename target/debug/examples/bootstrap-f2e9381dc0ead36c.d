@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bootstrap-f2e9381dc0ead36c.d: examples/bootstrap.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbootstrap-f2e9381dc0ead36c.rmeta: examples/bootstrap.rs Cargo.toml
+
+examples/bootstrap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

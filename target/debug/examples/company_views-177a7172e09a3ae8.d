@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/company_views-177a7172e09a3ae8.d: examples/company_views.rs
+
+/root/repo/target/debug/examples/company_views-177a7172e09a3ae8: examples/company_views.rs
+
+examples/company_views.rs:

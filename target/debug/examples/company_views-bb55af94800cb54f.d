@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/company_views-bb55af94800cb54f.d: examples/company_views.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompany_views-bb55af94800cb54f.rmeta: examples/company_views.rs Cargo.toml
+
+examples/company_views.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

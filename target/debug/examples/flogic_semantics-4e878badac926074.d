@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/flogic_semantics-4e878badac926074.d: examples/flogic_semantics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libflogic_semantics-4e878badac926074.rmeta: examples/flogic_semantics.rs Cargo.toml
+
+examples/flogic_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

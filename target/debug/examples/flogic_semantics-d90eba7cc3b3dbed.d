@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/flogic_semantics-d90eba7cc3b3dbed.d: examples/flogic_semantics.rs
+
+/root/repo/target/debug/examples/flogic_semantics-d90eba7cc3b3dbed: examples/flogic_semantics.rs
+
+examples/flogic_semantics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5e92008a7208017a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5e92008a7208017a: examples/quickstart.rs
+
+examples/quickstart.rs:

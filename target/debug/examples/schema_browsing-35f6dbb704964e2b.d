@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schema_browsing-35f6dbb704964e2b.d: examples/schema_browsing.rs
+
+/root/repo/target/debug/examples/schema_browsing-35f6dbb704964e2b: examples/schema_browsing.rs
+
+examples/schema_browsing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/schema_browsing-a62babb07e70b38a.d: examples/schema_browsing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libschema_browsing-a62babb07e70b38a.rmeta: examples/schema_browsing.rs Cargo.toml
+
+examples/schema_browsing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

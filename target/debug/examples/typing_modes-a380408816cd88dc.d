@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/typing_modes-a380408816cd88dc.d: examples/typing_modes.rs
+
+/root/repo/target/debug/examples/typing_modes-a380408816cd88dc: examples/typing_modes.rs
+
+examples/typing_modes.rs:

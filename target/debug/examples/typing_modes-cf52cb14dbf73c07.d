@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/typing_modes-cf52cb14dbf73c07.d: examples/typing_modes.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtyping_modes-cf52cb14dbf73c07.rmeta: examples/typing_modes.rs Cargo.toml
+
+examples/typing_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/xsql_shell-590fae301536082e.d: examples/xsql_shell.rs Cargo.toml
+
+/root/repo/target/debug/examples/libxsql_shell-590fae301536082e.rmeta: examples/xsql_shell.rs Cargo.toml
+
+examples/xsql_shell.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

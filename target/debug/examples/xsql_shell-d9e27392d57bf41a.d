@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/xsql_shell-d9e27392d57bf41a.d: examples/xsql_shell.rs
+
+/root/repo/target/debug/examples/xsql_shell-d9e27392d57bf41a: examples/xsql_shell.rs
+
+examples/xsql_shell.rs:

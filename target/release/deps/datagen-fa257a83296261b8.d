@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/datagen-fa257a83296261b8.d: crates/datagen/src/lib.rs crates/datagen/src/figure1.rs crates/datagen/src/nobel.rs crates/datagen/src/university.rs
+
+/root/repo/target/release/deps/libdatagen-fa257a83296261b8.rlib: crates/datagen/src/lib.rs crates/datagen/src/figure1.rs crates/datagen/src/nobel.rs crates/datagen/src/university.rs
+
+/root/repo/target/release/deps/libdatagen-fa257a83296261b8.rmeta: crates/datagen/src/lib.rs crates/datagen/src/figure1.rs crates/datagen/src/nobel.rs crates/datagen/src/university.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/figure1.rs:
+crates/datagen/src/nobel.rs:
+crates/datagen/src/university.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/flogic-6add6d425bc93625.d: crates/flogic/src/lib.rs crates/flogic/src/eval.rs crates/flogic/src/model.rs crates/flogic/src/render.rs crates/flogic/src/term.rs crates/flogic/src/translate.rs
+
+/root/repo/target/release/deps/libflogic-6add6d425bc93625.rlib: crates/flogic/src/lib.rs crates/flogic/src/eval.rs crates/flogic/src/model.rs crates/flogic/src/render.rs crates/flogic/src/term.rs crates/flogic/src/translate.rs
+
+/root/repo/target/release/deps/libflogic-6add6d425bc93625.rmeta: crates/flogic/src/lib.rs crates/flogic/src/eval.rs crates/flogic/src/model.rs crates/flogic/src/render.rs crates/flogic/src/term.rs crates/flogic/src/translate.rs
+
+crates/flogic/src/lib.rs:
+crates/flogic/src/eval.rs:
+crates/flogic/src/model.rs:
+crates/flogic/src/render.rs:
+crates/flogic/src/term.rs:
+crates/flogic/src/translate.rs:

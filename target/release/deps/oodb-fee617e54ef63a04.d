@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/oodb-fee617e54ef63a04.d: crates/oodb/src/lib.rs crates/oodb/src/builder.rs crates/oodb/src/database.rs crates/oodb/src/error.rs crates/oodb/src/oid.rs crates/oodb/src/schema.rs crates/oodb/src/undo.rs crates/oodb/src/value.rs
+
+/root/repo/target/release/deps/liboodb-fee617e54ef63a04.rlib: crates/oodb/src/lib.rs crates/oodb/src/builder.rs crates/oodb/src/database.rs crates/oodb/src/error.rs crates/oodb/src/oid.rs crates/oodb/src/schema.rs crates/oodb/src/undo.rs crates/oodb/src/value.rs
+
+/root/repo/target/release/deps/liboodb-fee617e54ef63a04.rmeta: crates/oodb/src/lib.rs crates/oodb/src/builder.rs crates/oodb/src/database.rs crates/oodb/src/error.rs crates/oodb/src/oid.rs crates/oodb/src/schema.rs crates/oodb/src/undo.rs crates/oodb/src/value.rs
+
+crates/oodb/src/lib.rs:
+crates/oodb/src/builder.rs:
+crates/oodb/src/database.rs:
+crates/oodb/src/error.rs:
+crates/oodb/src/oid.rs:
+crates/oodb/src/schema.rs:
+crates/oodb/src/undo.rs:
+crates/oodb/src/value.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/relalg-b14abd0abad9bd00.d: crates/relalg/src/lib.rs crates/relalg/src/relation.rs crates/relalg/src/render.rs
+
+/root/repo/target/release/deps/librelalg-b14abd0abad9bd00.rlib: crates/relalg/src/lib.rs crates/relalg/src/relation.rs crates/relalg/src/render.rs
+
+/root/repo/target/release/deps/librelalg-b14abd0abad9bd00.rmeta: crates/relalg/src/lib.rs crates/relalg/src/relation.rs crates/relalg/src/render.rs
+
+crates/relalg/src/lib.rs:
+crates/relalg/src/relation.rs:
+crates/relalg/src/render.rs:

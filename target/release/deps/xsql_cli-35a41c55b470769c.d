@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xsql_cli-35a41c55b470769c.d: src/bin/xsql-cli.rs
+
+/root/repo/target/release/deps/xsql_cli-35a41c55b470769c: src/bin/xsql-cli.rs
+
+src/bin/xsql-cli.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xsql_repro-1baaea940acd4344.d: src/lib.rs
+
+/root/repo/target/release/deps/libxsql_repro-1baaea940acd4344.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libxsql_repro-1baaea940acd4344.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -17,11 +17,7 @@ fn runs_a_script_against_figure1() {
         "SELECT X FROM Person X WHERE X.Residence.City['newyork'];",
     )
     .unwrap();
-    let out = bin()
-        .args(["--db", "figure1"])
-        .arg(&path)
-        .output()
-        .unwrap();
+    let out = bin().args(["--db", "figure1"]).arg(&path).output().unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("mary123"), "{stdout}");

@@ -25,9 +25,7 @@ fn bootstrap_schema_and_data_in_xsql() {
     assert!(matches!(outs[2], Outcome::SignatureAdded { .. }));
     assert!(matches!(outs[6], Outcome::ObjectCreated { .. }));
 
-    let r = s
-        .query("SELECT X FROM Person X WHERE X.Age > 40")
-        .unwrap();
+    let r = s.query("SELECT X FROM Person X WHERE X.Age > 40").unwrap();
     assert_eq!(r.len(), 1);
     let r = s
         .query("SELECT W FROM Person X WHERE ann.Friends.Name[W]")
@@ -69,8 +67,7 @@ fn explain_reports_typing() {
 #[test]
 fn explain_nobel_is_liberal() {
     let mut s = Session::new(datagen::nobel_db());
-    let Outcome::Explained { report } =
-        s.run("EXPLAIN SELECT X WHERE X.WonNobelPrize").unwrap()
+    let Outcome::Explained { report } = s.run("EXPLAIN SELECT X WHERE X.WonNobelPrize").unwrap()
     else {
         panic!()
     };

@@ -44,11 +44,7 @@ fn figure1_engine_agreement() {
     }
 }
 
-fn random_db(
-    edges: &[(u8, u8)],
-    labels: &[(u8, bool)],
-    ages: &[(u8, u8)],
-) -> Database {
+fn random_db(edges: &[(u8, u8)], labels: &[(u8, bool)], ages: &[(u8, u8)]) -> Database {
     let mut b = DbBuilder::new();
     b.class("Node");
     b.subclass("Special", &["Node"]);

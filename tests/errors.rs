@@ -24,6 +24,36 @@ fn lex_and_parse_errors_carry_offsets() {
 }
 
 #[test]
+fn parse_errors_render_line_and_column() {
+    // Error on the second line: the doubled dot after `X`.
+    let err = parse("SELECT X FROM Person X\nWHERE X..Name").unwrap_err();
+    match &err {
+        XsqlError::Parse { line, column, .. } => {
+            assert_eq!(*line, 2);
+            assert_eq!(*column, 10, "column of the token after the stray `.`");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    assert!(
+        err.to_string().contains("line 2, column 10"),
+        "rendered: {err}"
+    );
+
+    let err = parse("SELECT X FROM Person X WHERE X.Name['oops").unwrap_err();
+    match &err {
+        XsqlError::Lex { line, column, .. } => {
+            assert_eq!(*line, 1);
+            assert_eq!(*column, 37);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    assert!(
+        err.to_string().contains("line 1, column 37"),
+        "rendered: {err}"
+    );
+}
+
+#[test]
 fn sort_clash_is_a_resolution_error() {
     let mut s = Session::new(figure1_db());
     let err = s
@@ -75,9 +105,7 @@ fn update_conjunct_outside_method_rejected() {
 #[test]
 fn grouped_select_requires_oid_function() {
     let mut s = Session::new(figure1_db());
-    let err = s
-        .run("SELECT Xs = {X} FROM Person X")
-        .unwrap_err();
+    let err = s.run("SELECT Xs = {X} FROM Person X").unwrap_err();
     assert!(err.to_string().contains("OID FUNCTION"), "{err}");
 }
 

@@ -33,10 +33,7 @@ fn isa_hierarchy_matches_figure() {
     // IS-A is acyclic: adding the reverse edge fails.
     let mut db2 = figure1_db();
     let (v, a) = (c("Vehicle"), c("Automobile"));
-    assert!(matches!(
-        db2.add_is_a(v, a),
-        Err(DbError::IsACycle { .. })
-    ));
+    assert!(matches!(db2.add_is_a(v, a), Err(DbError::IsACycle { .. })));
 }
 
 #[test]

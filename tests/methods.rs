@@ -22,7 +22,10 @@ fn q12_method_definition_and_invocation() {
     let sales = s.db_mut().oids_mut().str("Sales");
     // Sales is managed by john13 (90000).
     let v = s.invoke(uni, "MngrSalary", &[sales]).unwrap().unwrap();
-    assert_eq!(s.db().oids().as_number(v.as_scalar().unwrap()), Some(90000.0));
+    assert_eq!(
+        s.db().oids().as_number(v.as_scalar().unwrap()),
+        Some(90000.0)
+    );
     // Unknown division name: undefined (a null), not an error.
     let nowhere = s.db_mut().oids_mut().str("Nowhere");
     assert!(s.invoke(uni, "MngrSalary", &[nowhere]).unwrap().is_none());
@@ -41,8 +44,8 @@ fn q13_nested_subquery_with_method() {
         )
         .unwrap();
     assert_eq!(r.len(), 3); // car1, car2, and... bicycles have no manufacturer
-    // With a higher bar, kim1's 30000 disqualifies the company — but the
-    // all-quantifier over an empty set keeps unmanufactured vehicles.
+                            // With a higher bar, kim1's 30000 disqualifies the company — but the
+                            // all-quantifier over an empty set keeps unmanufactured vehicles.
     let r = s
         .query(
             "SELECT X FROM Vehicle X WHERE 50000 <all (SELECT W FROM Division Y \
@@ -103,7 +106,10 @@ fn raise_guard_rejects_huge_increases() {
     let sal = s.db().oids().find_sym("Salary").unwrap();
     let john = s.db().oids().find_sym("john13").unwrap();
     let jv = s.db().value(john, sal, &[]).unwrap().unwrap();
-    assert_eq!(s.db().oids().as_number(jv.as_scalar().unwrap()), Some(90000.0));
+    assert_eq!(
+        s.db().oids().as_number(jv.as_scalar().unwrap()),
+        Some(90000.0)
+    );
 }
 
 #[test]
@@ -118,7 +124,10 @@ fn behavioral_inheritance_of_query_methods() {
     .unwrap();
     let car1 = s.db().oids().find_sym("car1").unwrap();
     let v = s.invoke(car1, "Tag", &[]).unwrap().unwrap();
-    assert_eq!(s.db().oids().as_str(v.as_scalar().unwrap()), Some("vehicle"));
+    assert_eq!(
+        s.db().oids().as_str(v.as_scalar().unwrap()),
+        Some("vehicle")
+    );
     s.run(
         "ALTER CLASS Automobile ADD SIGNATURE Tag => String \
          SELECT (Tag @) = 'automobile' FROM Automobile X OID X",
@@ -132,5 +141,8 @@ fn behavioral_inheritance_of_query_methods() {
     // A bicycle still sees the Vehicle definition.
     let bike = s.db().oids().find_sym("bike1").unwrap();
     let v = s.invoke(bike, "Tag", &[]).unwrap().unwrap();
-    assert_eq!(s.db().oids().as_str(v.as_scalar().unwrap()), Some("vehicle"));
+    assert_eq!(
+        s.db().oids().as_str(v.as_scalar().unwrap()),
+        Some("vehicle")
+    );
 }

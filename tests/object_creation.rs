@@ -20,7 +20,7 @@ fn oid_function_of_two_vars() {
         panic!()
     };
     assert_eq!(oids.len(), 2); // (uniSQL, john13), (uniSQL, kim1)
-    // Each created object carries the salary of its employee.
+                               // Each created object carries the salary of its employee.
     let m = s.db().oids().find_sym("EmpSalary").unwrap();
     for o in oids {
         let v = s.db().value(o, m, &[]).unwrap().unwrap();

@@ -41,10 +41,7 @@ fn q01_ground_path() {
 fn q_nobel_prize() {
     let mut s = Session::new(nobel_db());
     let r = s.query("SELECT X WHERE X.WonNobelPrize").unwrap();
-    assert_eq!(
-        names(s.db(), &r),
-        vec!["marieCurie", "tagore", "unicef"]
-    );
+    assert_eq!(names(s.db(), &r), vec!["marieCurie", "tagore", "unicef"]);
 }
 
 /// §1: the engine-types example — in an OO database the engine types
@@ -53,9 +50,7 @@ fn q_nobel_prize() {
 fn q_engine_types() {
     let mut s = session();
     // All engine types that exist (schema query).
-    let r = s
-        .query("SELECT #X WHERE #X subclassOf Engines")
-        .unwrap();
+    let r = s.query("SELECT #X WHERE #X subclassOf Engines").unwrap();
     assert_eq!(
         names(s.db(), &r),
         vec![
@@ -115,9 +110,7 @@ fn q03_attribute_variables() {
         .unwrap();
     assert_eq!(names(s.db(), &r), vec!["Residence"]);
     // Dropping the selector admits every attribute reaching a city.
-    let r2 = s
-        .query("SELECT Y FROM Person X WHERE X.\"Y.City")
-        .unwrap();
+    let r2 = s.query("SELECT Y FROM Person X WHERE X.\"Y.City").unwrap();
     assert!(r2.len() >= r.len());
     assert!(names(s.db(), &r2).contains(&"Residence".to_string()));
 }
@@ -222,7 +215,8 @@ fn q_aggregate_family() {
         }
     }
     s.run_script(&script).unwrap();
-    s.run("UPDATE CLASS Person SET kim1.Residence = addr_sf").unwrap();
+    s.run("UPDATE CLASS Person SET kim1.Residence = addr_sf")
+        .unwrap();
     // Drop mary from kim's family so all live together.
     {
         let db = s.db_mut();
@@ -268,7 +262,8 @@ fn q05_relation_result() {
 fn q06_explicit_join() {
     let mut s = session();
     // Rename kim to match the company name.
-    s.run("UPDATE CLASS Employee SET kim1.Name = 'UniSQL'").unwrap();
+    s.run("UPDATE CLASS Employee SET kim1.Name = 'UniSQL'")
+        .unwrap();
     let r = s
         .query(
             "SELECT X, Y FROM Company X \

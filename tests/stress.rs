@@ -107,8 +107,8 @@ fn naive_spec_agreement_on_tiny_instance() {
             continue;
         }
         let a = eval_select(&db, &q, &fast).unwrap();
-        let b = eval_select(&db, &q, &naive)
-            .unwrap_or_else(|e| panic!("naive failed on {src}: {e}"));
+        let b =
+            eval_select(&db, &q, &naive).unwrap_or_else(|e| panic!("naive failed on {src}: {e}"));
         assert_eq!(a, b, "naive disagrees on {src}");
     }
 }
@@ -143,7 +143,10 @@ fn method_index_preserves_answers_and_reduces_work() {
         let r_off = eval_to_relation(&ctx_off, &q).unwrap();
         let w_off = ctx_off.work_done();
         assert_eq!(r_on, r_off, "index changed answers on {src}");
-        assert!(w_on <= w_off, "index increased work on {src}: {w_on} > {w_off}");
+        assert!(
+            w_on <= w_off,
+            "index increased work on {src}: {w_on} > {w_off}"
+        );
     }
 }
 
@@ -166,7 +169,7 @@ fn method_index_sees_inherited_defaults_and_computed_methods() {
     }
     let r = s.query("SELECT X WHERE X.Wheels[4]").unwrap();
     assert_eq!(r.len(), 3); // car1, car2, bike1 — every vehicle inherits
-    // Computed method: defined on Company, invoked head-unbound.
+                            // Computed method: defined on Company, invoked head-unbound.
     s.run(
         "ALTER CLASS Company ADD SIGNATURE Kind => String \
          SELECT (Kind @) = 'company' FROM Company X OID X",
@@ -174,6 +177,157 @@ fn method_index_sees_inherited_defaults_and_computed_methods() {
     .unwrap();
     let r = s.query("SELECT X WHERE X.Kind['company']").unwrap();
     assert_eq!(r.len(), 1); // uniSQL
+}
+
+// ---------------------------------------------------------------------
+// Statement-level atomicity under random scripts.
+// ---------------------------------------------------------------------
+
+/// A total digest of the observable database state: stored entries,
+/// class structure (supers, extents, signatures), individuals and
+/// method objects. OID interning is deliberately excluded — the table
+/// is append-only and an interned-but-unused OID is unobservable.
+fn digest(db: &Database) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (r, m, args, v) in db.state_entries() {
+        writeln!(out, "S {r:?} {m:?} {args:?} {v:?}").unwrap();
+    }
+    for c in db.classes() {
+        writeln!(
+            out,
+            "C {c:?} sup={:?} inst={:?} sigs={:?}",
+            db.direct_supers(c),
+            db.instances_of(c),
+            db.direct_signatures(c)
+        )
+        .unwrap();
+    }
+    writeln!(out, "I {:?}", db.individuals().collect::<Vec<_>>()).unwrap();
+    writeln!(out, "M {:?}", db.method_objects().collect::<Vec<_>>()).unwrap();
+    out
+}
+
+fn mix(s: &mut u64) -> u64 {
+    *s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *s;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One random statement — a mix of valid DDL/DML/queries and
+/// guaranteed-to-fail statements (parse errors, unknown classes,
+/// mid-statement update failures).
+fn random_stmt(s: &mut u64) -> String {
+    let n = mix(s);
+    match n % 13 {
+        0 => format!("CREATE CLASS K{}", n % 4),
+        1 => format!("CREATE CLASS K{} AS SUBCLASS OF Person", n % 4),
+        2 => format!(
+            "CREATE OBJECT obj{} CLASS Person SET Age = {}",
+            n % 6,
+            n % 90
+        ),
+        3 => format!("CREATE OBJECT obj{} CLASS NoSuchClass", n % 6),
+        4 => format!(
+            "UPDATE CLASS Employee SET kim1.Salary = {}",
+            1000 * (n % 100)
+        ),
+        // Fails after the first assignment already applied: arithmetic
+        // on the non-numeral Name. Exercises mid-statement rollback.
+        5 => format!(
+            "UPDATE CLASS Employee SET kim1.Salary = {}, \
+             kim1.Salary = kim1.Name + 1",
+            2000 * (n % 50)
+        ),
+        6 => format!("SELECT X FROM Person X WHERE X.Age > {}", n % 100),
+        7 => "SELECT X FROM NoSuchClass X".into(),
+        8 => "SELECT X FROM Person X WHERE X..Name".into(),
+        9 => format!("ALTER CLASS Person ADD SIGNATURE Sig{} => Numeral", n % 4),
+        10 => format!(
+            "CREATE VIEW V{} AS SUBCLASS OF Object SIGNATURE A => Numeral \
+             SELECT A = X.Age FROM Person X OID FUNCTION OF X \
+             WHERE X.Age > {}",
+            n % 3,
+            n % 60
+        ),
+        11 => "COMMIT WORK".into(),  // no open transaction: error
+        _ => "ROLLBACK WORK".into(), // no open transaction: error
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::ProptestConfig::with_cases(600))]
+
+    /// Any erroring statement leaves the database bit-identical to its
+    /// pre-statement state, and evaluation never panics or trips the
+    /// default resource budgets.
+    #[test]
+    fn erroring_statements_leave_db_unchanged(seed in 0u64..1_000_000_000_000) {
+        let mut s = seed;
+        let mut session = xsql::Session::new(datagen::figure1_db());
+        for _ in 0..6 {
+            let stmt = random_stmt(&mut s);
+            let before = digest(session.db());
+            match session.run(&stmt) {
+                Ok(_) => {}
+                Err(e) => {
+                    proptest::prop_assert!(
+                        !matches!(
+                            e,
+                            xsql::XsqlError::Internal(_)
+                                | xsql::XsqlError::Budget { .. }
+                                | xsql::XsqlError::WorkLimit(_)
+                        ),
+                        "unexpected engine-limit error on `{}`: {}",
+                        stmt,
+                        e
+                    );
+                    proptest::prop_assert_eq!(
+                        &before,
+                        &digest(session.db()),
+                        "db changed across failed `{}`: {}",
+                        stmt,
+                        e
+                    );
+                }
+            }
+        }
+    }
+
+    /// `ROLLBACK WORK` restores the exact `BEGIN WORK` snapshot no
+    /// matter what ran (or failed) in between, and the session stays
+    /// usable afterwards.
+    #[test]
+    fn rollback_work_restores_begin_snapshot(seed in 0u64..1_000_000_000_000) {
+        let mut s = seed;
+        let mut session = xsql::Session::new(datagen::figure1_db());
+        // A committed prefix outside the transaction.
+        for _ in 0..mix(&mut s) % 3 {
+            let stmt = random_stmt(&mut s);
+            let _ = session.run(&stmt);
+        }
+        let snapshot = digest(session.db());
+        session.run("BEGIN WORK").unwrap();
+        proptest::prop_assert!(session.in_transaction());
+        for _ in 0..1 + mix(&mut s) % 4 {
+            // Keep transaction control out of the random body — a
+            // stray COMMIT/ROLLBACK would end the transaction early.
+            let stmt = loop {
+                let c = random_stmt(&mut s);
+                if !c.ends_with("WORK") {
+                    break c;
+                }
+            };
+            let _ = session.run(&stmt);
+        }
+        session.run("ROLLBACK WORK").unwrap();
+        proptest::prop_assert!(!session.in_transaction());
+        proptest::prop_assert_eq!(&snapshot, &digest(session.db()));
+        // Still usable: a plain query succeeds.
+        session.query("SELECT X FROM Person X").unwrap();
+    }
 }
 
 #[test]
@@ -199,5 +353,8 @@ fn value_anchored_index_on_string_selector() {
     let w_off = ctx_off.work_done();
     assert_eq!(r_on, r_off);
     assert!(!r_on.is_empty());
-    assert!(w_on * 4 < w_off, "anchored index not effective: {w_on} vs {w_off}");
+    assert!(
+        w_on * 4 < w_off,
+        "anchored index not effective: {w_on} vs {w_off}"
+    );
 }

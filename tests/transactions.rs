@@ -1,0 +1,134 @@
+//! Statement- and transaction-level atomicity: every statement runs in
+//! an implicit savepoint (an error restores the pre-statement state),
+//! and `BEGIN WORK` / `COMMIT WORK` / `ROLLBACK WORK` group statements
+//! explicitly. See docs/TRANSACTIONS.md.
+
+use datagen::figure1_db;
+use xsql::{Outcome, Session, XsqlError};
+
+fn salary_of(s: &mut Session, who: &str) -> i64 {
+    let rel = s
+        .query(&format!("SELECT W FROM Numeral W WHERE {who}.Salary[W]"))
+        .unwrap();
+    assert_eq!(rel.len(), 1);
+    let oid = rel.iter().next().unwrap()[0];
+    s.db().oids().as_number(oid).unwrap() as i64
+}
+
+#[test]
+fn failing_update_statement_rolls_back_applied_assignments() {
+    let mut s = Session::new(figure1_db());
+    let before = salary_of(&mut s, "kim1");
+    // First assignment is valid and applied; the second fails mid-
+    // statement (arithmetic on the non-numeral Name). The whole
+    // statement must undo.
+    let err = s
+        .run(
+            "UPDATE CLASS Employee SET kim1.Salary = 1, \
+             kim1.Salary = kim1.Name + 1",
+        )
+        .unwrap_err();
+    assert!(
+        !matches!(err, XsqlError::Parse { .. }),
+        "should fail at eval"
+    );
+    assert_eq!(salary_of(&mut s, "kim1"), before);
+}
+
+#[test]
+fn rollback_work_undoes_committed_statements_of_the_transaction() {
+    let mut s = Session::new(figure1_db());
+    let before = salary_of(&mut s, "kim1");
+    s.run("BEGIN WORK").unwrap();
+    assert!(s.in_transaction());
+    s.run("UPDATE CLASS Employee SET kim1.Salary = 111111")
+        .unwrap();
+    s.run("CREATE CLASS Scratch").unwrap();
+    s.run("CREATE OBJECT scratch1 CLASS Scratch").unwrap();
+    assert_eq!(salary_of(&mut s, "kim1"), 111111);
+    let out = s.run("ROLLBACK WORK").unwrap();
+    assert!(matches!(out, Outcome::TransactionRolledBack));
+    assert!(!s.in_transaction());
+    assert_eq!(salary_of(&mut s, "kim1"), before);
+    assert!(s
+        .db()
+        .oids()
+        .find_sym("Scratch")
+        .is_none_or(|c| !s.db().is_class(c)));
+}
+
+#[test]
+fn commit_work_keeps_the_transaction() {
+    let mut s = Session::new(figure1_db());
+    s.run("BEGIN WORK").unwrap();
+    s.run("UPDATE CLASS Employee SET kim1.Salary = 123456")
+        .unwrap();
+    let out = s.run("COMMIT WORK").unwrap();
+    assert!(matches!(out, Outcome::TransactionCommitted));
+    assert!(!s.in_transaction());
+    assert_eq!(salary_of(&mut s, "kim1"), 123456);
+}
+
+#[test]
+fn statement_failure_inside_transaction_preserves_earlier_statements() {
+    let mut s = Session::new(figure1_db());
+    s.run("BEGIN WORK").unwrap();
+    s.run("UPDATE CLASS Employee SET kim1.Salary = 222222")
+        .unwrap();
+    // This statement fails; only it rolls back, not the transaction.
+    assert!(s
+        .run("UPDATE CLASS Employee SET kim1.Salary = 0, kim1.Salary = kim1.Name + 1")
+        .is_err());
+    assert!(s.in_transaction());
+    assert_eq!(salary_of(&mut s, "kim1"), 222222);
+    s.run("COMMIT WORK").unwrap();
+    assert_eq!(salary_of(&mut s, "kim1"), 222222);
+}
+
+#[test]
+fn transaction_control_errors() {
+    let mut s = Session::new(figure1_db());
+    assert!(s.run("COMMIT WORK").is_err());
+    assert!(s.run("ROLLBACK WORK").is_err());
+    s.run("BEGIN WORK").unwrap();
+    assert!(s.run("BEGIN WORK").is_err(), "nested BEGIN is rejected");
+    s.run("ROLLBACK WORK").unwrap();
+    // The bare keywords (without WORK) are accepted too.
+    s.run("BEGIN").unwrap();
+    s.run("COMMIT").unwrap();
+}
+
+#[test]
+fn rollback_restores_view_catalog() {
+    let mut s = Session::new(figure1_db());
+    const VIEW: &str = "CREATE VIEW Adults AS SUBCLASS OF Object \
+         SIGNATURE A => Numeral \
+         SELECT A = X.Age FROM Person X OID FUNCTION OF X WHERE X.Age > 18";
+    s.run("BEGIN WORK").unwrap();
+    s.run(VIEW).unwrap();
+    s.run("ROLLBACK WORK").unwrap();
+    // The view name is free again: re-creating it succeeds.
+    let out = s.run(VIEW).unwrap();
+    assert!(matches!(out, Outcome::ViewCreated { .. }));
+}
+
+#[test]
+fn rollback_work_restores_method_definitions() {
+    let mut s = Session::new(figure1_db());
+    const METHOD: &str = "ALTER CLASS Company ADD SIGNATURE Kind => String \
+         SELECT (Kind @) = 'company' FROM Company X OID X";
+    s.run("BEGIN WORK").unwrap();
+    s.run(METHOD).unwrap();
+    assert_eq!(
+        s.query("SELECT X WHERE X.Kind['company']").unwrap().len(),
+        1
+    );
+    s.run("ROLLBACK WORK").unwrap();
+    // The computed method is gone; the query yields nothing.
+    assert_eq!(
+        s.query("SELECT X WHERE X.Kind['company']").unwrap().len(),
+        0
+    );
+    // And the signature can be declared again without a clash.
+    s.run(METHOD).unwrap();
+}

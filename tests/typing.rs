@@ -120,10 +120,7 @@ fn mistyped_comparison_rejected() {
     // Comparing a salary with a string is not well-defined under any
     // assignment: ill-typed.
     let mut db = figure1_db();
-    let q = resolved(
-        &mut db,
-        "SELECT X FROM Employee X WHERE X.Salary > X.Name",
-    );
+    let q = resolved(&mut db, "SELECT X FROM Employee X WHERE X.Salary > X.Name");
     assert!(matches!(
         analyze(&db, &q, &Exemptions::none()),
         Verdict::IllTyped
@@ -136,7 +133,10 @@ fn mary_residence_salary_type_error() {
     // result of Residence is an Address, but Salary is not an attribute
     // of that class."
     let mut db = figure1_db();
-    let q = resolved(&mut db, "SELECT W FROM Person X WHERE mary123.Residence.Salary[W]");
+    let q = resolved(
+        &mut db,
+        "SELECT W FROM Person X WHERE mary123.Residence.Salary[W]",
+    );
     assert!(matches!(
         analyze(&db, &q, &Exemptions::none()),
         Verdict::IllTyped
@@ -163,7 +163,13 @@ fn plan_coherence_on_figure1_cycle_query() {
     let shape = extract(&db, &q).unwrap();
     let (asg, plan) = strict(&db, &shape, &Exemptions::none()).expect("strict");
     assert_eq!(plan, vec![0, 1]);
-    assert!(!coherent(&db, &shape, &asg, &vec![1, 0], &Exemptions::none()));
+    assert!(!coherent(
+        &db,
+        &shape,
+        &asg,
+        &vec![1, 0],
+        &Exemptions::none()
+    ));
     assert_eq!(
         coherent_plans(&db, &shape, &asg, &Exemptions::none()),
         vec![vec![0, 1]]

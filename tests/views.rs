@@ -18,7 +18,7 @@ fn q09_view_definition() {
         panic!()
     };
     assert_eq!(count, 2); // (uniSQL,john13), (uniSQL,kim1)
-    // The view is a subclass of Object with the declared signatures.
+                          // The view is a subclass of Object with the declared signatures.
     assert!(s.db().is_class(class));
     let sigs = s.db().direct_signatures(class);
     assert_eq!(sigs.len(), 3);
@@ -85,7 +85,8 @@ fn view_update_translated_to_database() {
     let f = s.db().oids().find_sym("EmpSalaries").unwrap();
     let vobj = s.db().oids().find_func(f, &[kim]).unwrap();
     let raised = s.db_mut().oids_mut().int(33000);
-    s.update_view("EmpSalaries", vobj, "Salary", raised).unwrap();
+    s.update_view("EmpSalaries", vobj, "Salary", raised)
+        .unwrap();
     let sal = s.db().oids().find_sym("Salary").unwrap();
     let v = s.db().value(kim, sal, &[]).unwrap().unwrap();
     assert_eq!(
@@ -120,7 +121,8 @@ fn view_refresh_after_base_update() {
     .unwrap();
     let cls = s.db().oids().find_sym("HighEarners").unwrap();
     assert_eq!(s.db().instances_of(cls).len(), 1); // john13 (90000)
-    s.run("UPDATE CLASS Employee SET kim1.Salary = 120000").unwrap();
+    s.run("UPDATE CLASS Employee SET kim1.Salary = 120000")
+        .unwrap();
     let n = s.refresh_view("HighEarners").unwrap();
     assert_eq!(n, 2);
     assert_eq!(s.db().instances_of(cls).len(), 2);
@@ -148,7 +150,9 @@ fn view_over_view_hierarchy() {
     // superview sees them.
     let r = s.query("SELECT V FROM Salaried V").unwrap();
     assert_eq!(r.len(), 3); // 2 Salaried(w) + 1 WellPaid(w) object
-    let r = s.query("SELECT V FROM WellPaid V WHERE V.Pay > 50000").unwrap();
+    let r = s
+        .query("SELECT V FROM WellPaid V WHERE V.Pay > 50000")
+        .unwrap();
     assert_eq!(r.len(), 1);
 }
 
