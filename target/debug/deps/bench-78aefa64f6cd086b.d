@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-78aefa64f6cd086b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-78aefa64f6cd086b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-78aefa64f6cd086b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-1c58a631fe0982c7.d: crates/bench/src/bin/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-1c58a631fe0982c7: crates/bench/src/bin/paper_examples.rs
+
+crates/bench/src/bin/paper_examples.rs:
