@@ -1,0 +1,122 @@
+//! E9 — per-statement commit latency under the durable-storage layer.
+//!
+//! Three configurations over the same statement workload:
+//!
+//! * `wal_off`      — store attached, `WAL OFF` (undo log only);
+//! * `wal_nosync`   — WAL appended per commit, fsync disabled
+//!   (`Session::set_sync_on_commit(false)`);
+//! * `wal_fsync`    — the durable default: append + fsync per commit.
+//!
+//! The spread between the three is the price of logging vs the price of
+//! the fsync barrier. Results are written to `BENCH_storage.json` at
+//! the repo root (hand-rendered JSON; the offline criterion shim has no
+//! reporting). Uses wall-clock timing directly — commit latency is
+//! I/O-bound, so the statistical machinery criterion adds for
+//! nanosecond-scale kernels buys nothing here.
+
+use oodb::Database;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use storage::{RealFs, Store};
+use xsql::Session;
+
+/// Statements per configuration: enough to amortize warm-up and give a
+/// stable p95 without the fsync variant taking minutes on slow disks.
+const STATEMENTS: usize = 300;
+
+fn fresh_store_session(dir: &Path) -> Session {
+    let _ = std::fs::remove_dir_all(dir);
+    assert!(!Store::exists(&RealFs, dir));
+    let mut s = Session::open_dir(
+        Box::new(RealFs),
+        dir,
+        Database::new(),
+        "empty",
+        Default::default(),
+    )
+    .expect("create store");
+    s.run("CREATE CLASS Item").unwrap();
+    s.run("ALTER CLASS Item ADD SIGNATURE Num => Numeral")
+        .unwrap();
+    s
+}
+
+/// Runs the workload and returns per-statement latencies in nanoseconds.
+fn run_workload(s: &mut Session) -> Vec<u128> {
+    let mut lat = Vec::with_capacity(STATEMENTS);
+    for i in 0..STATEMENTS {
+        let stmt = if i % 2 == 0 {
+            format!("CREATE OBJECT it{i} CLASS Item SET Num = {i}")
+        } else {
+            format!("UPDATE CLASS Object SET it{}.Num = {i}", i - 1)
+        };
+        let t = Instant::now();
+        s.run(&stmt).unwrap();
+        lat.push(t.elapsed().as_nanos());
+    }
+    lat
+}
+
+struct Summary {
+    name: &'static str,
+    mean_ns: u128,
+    p50_ns: u128,
+    p95_ns: u128,
+}
+
+fn summarize(name: &'static str, mut lat: Vec<u128>) -> Summary {
+    lat.sort_unstable();
+    let mean = lat.iter().sum::<u128>() / lat.len() as u128;
+    Summary {
+        name,
+        mean_ns: mean,
+        p50_ns: lat[lat.len() / 2],
+        p95_ns: lat[lat.len() * 95 / 100],
+    }
+}
+
+fn main() {
+    let base = std::env::temp_dir().join(format!("xsql_bench_store_{}", std::process::id()));
+
+    let mut results = Vec::new();
+
+    let dir = base.join("off");
+    let mut s = fresh_store_session(&dir);
+    s.run("WAL OFF").unwrap();
+    results.push(summarize("wal_off", run_workload(&mut s)));
+
+    let dir = base.join("nosync");
+    let mut s = fresh_store_session(&dir);
+    s.set_sync_on_commit(false);
+    results.push(summarize("wal_nosync", run_workload(&mut s)));
+
+    let dir = base.join("fsync");
+    let mut s = fresh_store_session(&dir);
+    results.push(summarize("wal_fsync", run_workload(&mut s)));
+
+    let _ = std::fs::remove_dir_all(&base);
+
+    let mut json = String::from("{\n  \"experiment\": \"E9_commit_latency\",\n");
+    let _ = writeln!(json, "  \"statements_per_config\": {STATEMENTS},");
+    json.push_str("  \"unit\": \"ns_per_statement\",\n  \"configs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"mean\": {}, \"p50\": {}, \"p95\": {}}}",
+            r.name, r.mean_ns, r.p50_ns, r.p95_ns
+        );
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_storage.json");
+    std::fs::write(&out, &json).expect("write BENCH_storage.json");
+    println!("{json}");
+    for r in &results {
+        println!(
+            "{:<11} mean {:>9} ns   p50 {:>9} ns   p95 {:>9} ns",
+            r.name, r.mean_ns, r.p50_ns, r.p95_ns
+        );
+    }
+}

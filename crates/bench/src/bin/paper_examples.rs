@@ -52,6 +52,14 @@ fn show(s: &mut Session, label: &str, stmt: &str) {
             );
         }
         Ok(Outcome::Explained { report }) => println!("{report}"),
+        Ok(
+            Outcome::TransactionStarted
+            | Outcome::TransactionCommitted
+            | Outcome::TransactionRolledBack
+            | Outcome::WalEnabled
+            | Outcome::WalDisabled
+            | Outcome::Checkpointed,
+        ) => println!("control statement acknowledged\n"),
         Err(e) => println!("error (expected for ill-defined/ill-typed cases): {e}\n"),
     }
 }

@@ -16,7 +16,9 @@
 
 use crate::error::{DbError, DbResult};
 use crate::oid::{Oid, OidData, OidTable};
+use crate::redo::RedoOp;
 use crate::schema::{Builtins, ClassInfo, Signature};
+use crate::snapshot::{ClassEntry, DbSnapshot};
 use crate::undo::{Savepoint, UndoLog, UndoOp};
 use crate::value::Val;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -96,6 +98,10 @@ pub struct Database {
     /// Active undo log; `Some` while a transaction is open, in which
     /// case every mutating entry point records its inverse here.
     undo: Option<UndoLog>,
+    /// Redo buffer; `Some` while redo recording is enabled, in which
+    /// case every mutating entry point appends its image here (see
+    /// `crate::redo`). Collected by the durability layer.
+    redo: Option<Vec<RedoOp>>,
 }
 
 impl std::fmt::Debug for Database {
@@ -155,6 +161,7 @@ impl Database {
             computed: HashMap::new(),
             computed_order: Vec::new(),
             undo: None,
+            redo: None,
         };
         for (c, supers) in [
             (object, vec![]),
@@ -230,17 +237,19 @@ impl Database {
 
     /// Undoes every mutation recorded after `sp`, in reverse order. The
     /// log stays open (an enclosing span can still be rolled back
-    /// further). Rolling back to a stale mark — one from before the
-    /// last [`Database::commit`], or beyond an earlier rollback — is a
-    /// no-op.
-    pub fn rollback_to(&mut self, sp: Savepoint) {
+    /// further). Rolling back to a *stale* mark — one taken before the
+    /// last [`Database::commit`], or beyond an earlier rollback — is an
+    /// error ([`DbError::StaleSavepoint`]): the log no longer reaches
+    /// that position, so honoring it silently would be a lie.
+    pub fn rollback_to(&mut self, sp: Savepoint) -> DbResult<()> {
         let tail = match &mut self.undo {
-            Some(log) if log.ops.len() > sp.0 => log.ops.split_off(sp.0),
-            _ => return,
+            Some(log) if log.ops.len() >= sp.0 => log.ops.split_off(sp.0),
+            _ => return Err(DbError::StaleSavepoint),
         };
         for op in tail.into_iter().rev() {
             self.apply_undo(op);
         }
+        Ok(())
     }
 
     /// Closes the undo log, making everything recorded since
@@ -265,6 +274,285 @@ impl Database {
         if let Some(log) = &mut self.undo {
             log.ops.push(op);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Redo recording (durability; see `crate::redo`)
+    // ------------------------------------------------------------------
+
+    /// Enables or disables redo recording. While enabled, every mutating
+    /// entry point appends its image to the redo buffer; the durability
+    /// layer drains the buffer per committed statement with
+    /// [`Database::take_redo_from`]. Disabling drops any buffered ops.
+    pub fn set_redo_logging(&mut self, on: bool) {
+        if on {
+            if self.redo.is_none() {
+                self.redo = Some(Vec::new());
+            }
+        } else {
+            self.redo = None;
+        }
+    }
+
+    /// True while redo recording is enabled.
+    pub fn redo_logging(&self) -> bool {
+        self.redo.is_some()
+    }
+
+    /// Number of redo ops buffered so far (0 when recording is off).
+    /// Callers mark this before a statement and drain or truncate back
+    /// to the mark afterwards.
+    pub fn redo_len(&self) -> usize {
+        self.redo.as_ref().map_or(0, |b| b.len())
+    }
+
+    /// Discards every redo op recorded at or after `mark` (used when a
+    /// statement fails: the undo log already rolled the state back, so
+    /// the redo span is void). No-op when recording is off.
+    pub fn truncate_redo(&mut self, mark: usize) {
+        if let Some(buf) = &mut self.redo {
+            buf.truncate(mark);
+        }
+    }
+
+    /// Removes and returns every redo op recorded at or after `mark`
+    /// (the image of one committed statement). Empty when recording is
+    /// off or nothing was recorded.
+    pub fn take_redo_from(&mut self, mark: usize) -> Vec<RedoOp> {
+        match &mut self.redo {
+            Some(buf) if buf.len() > mark => buf.split_off(mark),
+            _ => Vec::new(),
+        }
+    }
+
+    fn emit(&mut self, op: RedoOp) {
+        if let Some(buf) = &mut self.redo {
+            buf.push(op);
+        }
+    }
+
+    /// True when [`Database::emit`] would record; call sites guard
+    /// op construction with this when building the op clones data.
+    fn redo_on(&self) -> bool {
+        self.redo.is_some()
+    }
+
+    /// Applies one redo image. Works on the raw fields (plus the
+    /// derived-index helpers), so nothing here records into either log;
+    /// every variant is idempotent, so replaying a log twice is safe.
+    /// Structural preconditions (referenced classes exist) are checked
+    /// because recovery feeds this from disk.
+    pub fn apply_redo(&mut self, op: &RedoOp) -> DbResult<()> {
+        match op {
+            RedoOp::DefineClass { class, supers } => {
+                if self.classes.contains_key(class) {
+                    return Ok(());
+                }
+                for s in supers {
+                    if !self.classes.contains_key(s) {
+                        return Err(DbError::UnknownClass(self.render(*s)));
+                    }
+                }
+                self.classes.insert(
+                    *class,
+                    ClassInfo {
+                        supers: supers.clone(),
+                        ..ClassInfo::default()
+                    },
+                );
+                self.class_order.push(*class);
+                for s in supers {
+                    self.classes.get_mut(s).unwrap().subs.push(*class);
+                }
+                self.recompute_closure();
+            }
+            RedoOp::AddIsA { sub, sup } => {
+                for c in [sub, sup] {
+                    if !self.classes.contains_key(c) {
+                        return Err(DbError::UnknownClass(self.render(*c)));
+                    }
+                }
+                if !self.classes[sub].supers.contains(sup) {
+                    self.classes.get_mut(sub).unwrap().supers.push(*sup);
+                    self.classes.get_mut(sup).unwrap().subs.push(*sub);
+                    self.recompute_closure();
+                }
+            }
+            RedoOp::PutState { key, val } => {
+                let (recv, method) = (key.0, key.1);
+                if let Some(old) = self.state.insert(key.clone(), val.clone()) {
+                    self.index_remove(recv, method, &old);
+                }
+                self.index_insert(recv, method, val);
+            }
+            RedoOp::RemoveState { key } => {
+                if let Some(old) = self.state.remove(key) {
+                    self.index_remove(key.0, key.1, &old);
+                }
+            }
+            RedoOp::AddIndividual(o) => {
+                self.individuals.insert(*o);
+            }
+            RedoOp::RemoveIndividual(o) => {
+                self.individuals.remove(o);
+            }
+            RedoOp::AddMembership { o, class } => {
+                self.instance_of.entry(*o).or_default().insert(*class);
+                self.extent.entry(*class).or_default().insert(*o);
+            }
+            RedoOp::RemoveMembership { o, class } => {
+                if let Some(s) = self.instance_of.get_mut(o) {
+                    s.remove(class);
+                }
+                if let Some(s) = self.extent.get_mut(class) {
+                    s.remove(o);
+                }
+            }
+            RedoOp::AddMethodObject(m) => {
+                self.method_objects.insert(*m);
+            }
+            RedoOp::AddSignature { class, sig } => {
+                let info = self
+                    .classes
+                    .get_mut(class)
+                    .ok_or_else(|| DbError::UnknownClass(format!("{class:?}")))?;
+                if !info.sigs.contains(sig) {
+                    info.sigs.push(sig.clone());
+                }
+            }
+            RedoOp::SetResolution {
+                class,
+                method,
+                from,
+            } => {
+                let info = self
+                    .classes
+                    .get_mut(class)
+                    .ok_or_else(|| DbError::UnknownClass(format!("{class:?}")))?;
+                info.resolutions.insert(*method, *from);
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshots (durability; see `crate::snapshot`)
+    // ------------------------------------------------------------------
+
+    /// Exports the complete persistent state as plain data. Computed
+    /// methods are not included (see [`DbSnapshot`]); neither log is.
+    pub fn export_snapshot(&self) -> DbSnapshot {
+        let classes = self
+            .class_order
+            .iter()
+            .map(|&c| {
+                let info = &self.classes[&c];
+                let mut resolutions: Vec<(Oid, Oid)> =
+                    info.resolutions.iter().map(|(&m, &f)| (m, f)).collect();
+                resolutions.sort();
+                ClassEntry {
+                    class: c,
+                    supers: info.supers.clone(),
+                    sigs: info.sigs.clone(),
+                    resolutions,
+                }
+            })
+            .collect();
+        let mut instance_of: Vec<(Oid, Vec<Oid>)> = self
+            .instance_of
+            .iter()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(&o, s)| (o, s.iter().copied().collect()))
+            .collect();
+        instance_of.sort_by_key(|e| e.0);
+        DbSnapshot {
+            oids: self.oids.entries().to_vec(),
+            classes,
+            instance_of,
+            individuals: self.individuals.iter().copied().collect(),
+            method_objects: self.method_objects.iter().copied().collect(),
+            state: self
+                .state
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a live database from a snapshot, recomputing every
+    /// derived index (IS-A closure, extents, method indexes). The
+    /// resulting database has no computed methods and no open logs;
+    /// callers replay definitional statements afterwards.
+    pub fn import_snapshot(snap: DbSnapshot) -> DbResult<Database> {
+        let mut oids = OidTable::from_entries(snap.oids);
+        let builtins = Builtins {
+            object: oids.sym("Object"),
+            class: oids.sym("Class"),
+            method: oids.sym("Method"),
+            numeral: oids.sym("Numeral"),
+            string: oids.sym("String"),
+            boolean: oids.sym("Boolean"),
+            nil: oids.nil(),
+        };
+        let mut db = Database {
+            oids,
+            builtins,
+            classes: HashMap::new(),
+            class_order: Vec::new(),
+            ancestors: HashMap::new(),
+            instance_of: HashMap::new(),
+            extent: HashMap::new(),
+            individuals: snap.individuals.into_iter().collect(),
+            method_objects: snap.method_objects.into_iter().collect(),
+            state: BTreeMap::new(),
+            by_method: HashMap::new(),
+            by_method_value: HashMap::new(),
+            computed: HashMap::new(),
+            computed_order: Vec::new(),
+            undo: None,
+            redo: None,
+        };
+        for ce in snap.classes {
+            db.classes.insert(
+                ce.class,
+                ClassInfo {
+                    supers: ce.supers,
+                    subs: Vec::new(),
+                    sigs: ce.sigs,
+                    resolutions: ce.resolutions.into_iter().collect(),
+                },
+            );
+            db.class_order.push(ce.class);
+        }
+        // Rebuild direct-subclass lists from the supers edges, then the
+        // IS-A closure. Iterating class_order keeps the order
+        // deterministic.
+        let order = db.class_order.clone();
+        for &c in &order {
+            for s in db.classes[&c].supers.clone() {
+                db.classes
+                    .get_mut(&s)
+                    .ok_or_else(|| DbError::UnknownClass(format!("{s:?}")))?
+                    .subs
+                    .push(c);
+            }
+        }
+        db.recompute_closure();
+        for (o, classes) in snap.instance_of {
+            for c in classes {
+                if !db.classes.contains_key(&c) {
+                    return Err(DbError::UnknownClass(db.render(c)));
+                }
+                db.instance_of.entry(o).or_default().insert(c);
+                db.extent.entry(c).or_default().insert(o);
+            }
+        }
+        for (key, val) in snap.state {
+            let (recv, method) = (key.0, key.1);
+            db.state.insert(key, val.clone());
+            db.index_insert(recv, method, &val);
+        }
+        Ok(db)
     }
 
     /// Applies one inverse operation. Works on the raw fields (plus the
@@ -391,11 +679,12 @@ impl Database {
             },
         );
         self.class_order.push(c);
-        for s in supers {
+        for &s in &supers {
             self.classes.get_mut(&s).unwrap().subs.push(c);
         }
         self.recompute_closure();
         self.record(UndoOp::UndefineClass(c));
+        self.emit(RedoOp::DefineClass { class: c, supers });
         Ok(c)
     }
 
@@ -418,6 +707,7 @@ impl Database {
             self.classes.get_mut(&sup).unwrap().subs.push(sub);
             self.recompute_closure();
             self.record(UndoOp::RemoveIsA { sub, sup });
+            self.emit(RedoOp::AddIsA { sub, sup });
         }
         Ok(())
     }
@@ -534,10 +824,15 @@ impl Database {
         let info = self.classes.get_mut(&class).unwrap();
         if !info.sigs.contains(&sig) {
             info.sigs.push(sig.clone());
+            self.emit(RedoOp::AddSignature {
+                class,
+                sig: sig.clone(),
+            });
             self.record(UndoOp::RemoveSignature { class, sig });
         }
         if self.method_objects.insert(m) {
             self.record(UndoOp::RestoreMethodObject { m, present: false });
+            self.emit(RedoOp::AddMethodObject(m));
         }
         Ok(m)
     }
@@ -608,6 +903,11 @@ impl Database {
             .resolutions
             .insert(method, from_super);
         self.record(UndoOp::RestoreResolution { class, method, old });
+        self.emit(RedoOp::SetResolution {
+            class,
+            method,
+            from: from_super,
+        });
         Ok(())
     }
 
@@ -633,6 +933,7 @@ impl Database {
         }
         if self.individuals.insert(o) {
             self.record(UndoOp::RestoreIndividual { o, present: false });
+            self.emit(RedoOp::AddIndividual(o));
         }
         for &c in classes {
             let fresh = self.instance_of.entry(o).or_default().insert(c);
@@ -643,6 +944,7 @@ impl Database {
                     class: c,
                     present: false,
                 });
+                self.emit(RedoOp::AddMembership { o, class: c });
             }
         }
         Ok(())
@@ -670,6 +972,7 @@ impl Database {
                 class,
                 present: true,
             });
+            self.emit(RedoOp::RemoveMembership { o: obj, class });
         }
     }
 
@@ -769,6 +1072,7 @@ impl Database {
         ) && self.individuals.insert(o)
         {
             self.record(UndoOp::RestoreIndividual { o, present: false });
+            self.emit(RedoOp::AddIndividual(o));
         }
     }
 
@@ -776,6 +1080,7 @@ impl Database {
     fn note_method_object(&mut self, m: Oid) {
         if self.method_objects.insert(m) {
             self.record(UndoOp::RestoreMethodObject { m, present: false });
+            self.emit(RedoOp::AddMethodObject(m));
         }
     }
 
@@ -827,6 +1132,12 @@ impl Database {
         let key = (recv, method, args.to_vec());
         self.record_state(&key);
         let new = Val::Scalar(value);
+        if self.redo_on() {
+            self.emit(RedoOp::PutState {
+                key: key.clone(),
+                val: new.clone(),
+            });
+        }
         let old = self.state.insert(key, new.clone());
         if let Some(old) = old {
             self.index_remove(recv, method, &old);
@@ -854,6 +1165,12 @@ impl Database {
         let key = (recv, method, args.to_vec());
         self.record_state(&key);
         let new = Val::Set(set);
+        if self.redo_on() {
+            self.emit(RedoOp::PutState {
+                key: key.clone(),
+                val: new.clone(),
+            });
+        }
         let old = self.state.insert(key, new.clone());
         if let Some(old) = old {
             self.index_remove(recv, method, &old);
@@ -894,6 +1211,13 @@ impl Database {
             },
         }
         self.index_insert(recv, method, &Val::Scalar(value));
+        if self.redo_on() {
+            // Log the full resulting set so replay never depends on the
+            // pre-state of the entry.
+            let key = (recv, method, args.to_vec());
+            let cur = self.state.get(&key).cloned().expect("entry just written");
+            self.emit(RedoOp::PutState { key, val: cur });
+        }
         Ok(())
     }
 
@@ -902,6 +1226,9 @@ impl Database {
     pub fn remove_value(&mut self, recv: Oid, method: Oid, args: &[Oid]) {
         let key = (recv, method, args.to_vec());
         if let Some(old) = self.state.remove(&key) {
+            if self.redo_on() {
+                self.emit(RedoOp::RemoveState { key: key.clone() });
+            }
             self.record(UndoOp::RestoreState {
                 key,
                 old: Some(old.clone()),
@@ -1005,10 +1332,12 @@ impl Database {
                     class: c,
                     present: true,
                 });
+                self.emit(RedoOp::RemoveMembership { o, class: c });
             }
         }
         if self.individuals.remove(&o) {
             self.record(UndoOp::RestoreIndividual { o, present: true });
+            self.emit(RedoOp::RemoveIndividual(o));
         }
     }
 

@@ -53,6 +53,9 @@ pub enum DbError {
     MethodFailed { method: String, message: String },
     /// Recursion limit exceeded while invoking computed methods.
     RecursionLimit { method: String },
+    /// `rollback_to` was given a savepoint from a span that has already
+    /// committed (or been rolled past) — the log no longer reaches it.
+    StaleSavepoint,
 }
 
 impl fmt::Display for DbError {
@@ -100,6 +103,9 @@ impl fmt::Display for DbError {
             }
             DbError::RecursionLimit { method } => {
                 write!(f, "recursion limit exceeded while invoking `{method}`")
+            }
+            DbError::StaleSavepoint => {
+                write!(f, "savepoint is stale (its span already committed)")
             }
         }
     }

@@ -36,7 +36,9 @@ mod builder;
 mod database;
 mod error;
 mod oid;
+mod redo;
 mod schema;
+mod snapshot;
 mod undo;
 mod value;
 
@@ -44,6 +46,8 @@ pub use builder::DbBuilder;
 pub use database::{Database, MethodImpl, MAX_INVOKE_DEPTH};
 pub use error::{DbError, DbResult};
 pub use oid::{Oid, OidData, OidTable};
+pub use redo::RedoOp;
 pub use schema::{Builtins, ClassInfo, Signature};
+pub use snapshot::{ClassEntry, DbSnapshot};
 pub use undo::{Savepoint, UndoLog};
 pub use value::{Val, ValIter};

@@ -32,6 +32,14 @@ impl Oid {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuilds a handle from a raw index. For persistence codecs that
+    /// serialize OIDs as table positions; the index must denote an entry
+    /// of the table the handle will be used with.
+    #[inline]
+    pub fn from_index(i: usize) -> Oid {
+        Oid(u32::try_from(i).expect("OID index out of range"))
+    }
 }
 
 /// The interned datum behind an [`Oid`].
@@ -136,6 +144,27 @@ impl OidTable {
             "id-function functor must be a symbol"
         );
         self.intern(OidData::Func(functor, args.into()))
+    }
+
+    /// The raw interned entries in interning order — `entries()[o.index()]`
+    /// is the datum of `o`. For persistence codecs.
+    pub fn entries(&self) -> &[OidData] {
+        &self.data
+    }
+
+    /// Rebuilds a table from raw entries (the inverse of
+    /// [`OidTable::entries`]). Entries must be distinct and any
+    /// [`OidData::Func`] arguments must point at earlier positions, as
+    /// produced by interning.
+    pub fn from_entries(entries: Vec<OidData>) -> OidTable {
+        let mut index = HashMap::with_capacity(entries.len());
+        for (i, d) in entries.iter().enumerate() {
+            index.insert(d.clone(), Oid::from_index(i));
+        }
+        OidTable {
+            data: entries,
+            index,
+        }
     }
 
     /// Looks up an already-interned symbol without interning.

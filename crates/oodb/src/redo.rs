@@ -1,0 +1,105 @@
+//! Redo records — the durable mirror of the undo-op vocabulary.
+//!
+//! Where [`crate::undo`] records *inverses* for statement atomicity, this
+//! module records *images*: each successful primitive mutation appends a
+//! [`RedoOp`] describing the post-state of the touched slot. A write-ahead
+//! log of redo ops, replayed in order onto the same starting database,
+//! reconstructs the exact same state — that is the recovery path of the
+//! `storage` crate.
+//!
+//! Redo recording is off by default and costs one `Option` check per
+//! mutation when off. The `xsql` session enables it while a store is
+//! attached with WAL logging on, collects the ops per statement, and
+//! truncates them when a statement fails (the undo log has already rolled
+//! the state back, so the redo span is void).
+//!
+//! Two deliberate scope limits, mirroring the undo log:
+//!
+//! * **OID interning is not logged.** An interned datum that no op refers
+//!   to is semantically invisible; the storage codec re-interns every OID
+//!   an op mentions structurally (by its [`crate::OidData`] term), so redo
+//!   ops are position-independent across processes.
+//! * **Computed-method implementations are not logged.** A
+//!   [`crate::MethodImpl`] is an arbitrary closure and has no
+//!   serialization; definitional statements (`ALTER CLASS … SELECT`,
+//!   `CREATE VIEW`) are journaled by the session as statement text
+//!   instead and replayed by re-execution.
+
+use crate::oid::Oid;
+use crate::schema::Signature;
+use crate::value::Val;
+
+/// One redo operation: the image of a single primitive mutation. Replay
+/// applies images in recording order via
+/// [`Database::apply_redo`](crate::Database::apply_redo); every variant
+/// is idempotent, so replaying a log twice yields the same database as
+/// replaying it once.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RedoOp {
+    /// Image of `define_class`: the class and its direct superclasses
+    /// (in declaration order, `Object` already defaulted in).
+    DefineClass {
+        /// The new class-object.
+        class: Oid,
+        /// Direct superclasses, in order.
+        supers: Vec<Oid>,
+    },
+    /// Image of `add_is_a`: one new IS-A edge.
+    AddIsA {
+        /// Subclass end of the edge.
+        sub: Oid,
+        /// Superclass end of the edge.
+        sup: Oid,
+    },
+    /// Image of `set_scalar` / `set_set` / `insert_into_set`: the full
+    /// post-state value of the entry (inserts log the whole resulting
+    /// set, so replay never depends on the pre-state).
+    PutState {
+        /// The `(receiver, method, args)` key.
+        key: (Oid, Oid, Vec<Oid>),
+        /// The value after the mutation.
+        val: Val,
+    },
+    /// Image of `remove_value` (and the per-entry part of
+    /// `purge_object`): the entry is gone.
+    RemoveState {
+        /// The `(receiver, method, args)` key.
+        key: (Oid, Oid, Vec<Oid>),
+    },
+    /// The object joined the individuals active domain.
+    AddIndividual(Oid),
+    /// The object left the individuals active domain.
+    RemoveIndividual(Oid),
+    /// The object became a direct instance of the class.
+    AddMembership {
+        /// The object.
+        o: Oid,
+        /// The class.
+        class: Oid,
+    },
+    /// The object left the direct extent of the class.
+    RemoveMembership {
+        /// The object.
+        o: Oid,
+        /// The class.
+        class: Oid,
+    },
+    /// The name was catalogued as a method-object.
+    AddMethodObject(Oid),
+    /// Image of `add_signature`: a signature declared in the class.
+    AddSignature {
+        /// The declaring class.
+        class: Oid,
+        /// The declared signature.
+        sig: Signature,
+    },
+    /// Image of `resolve_inheritance`: an explicit conflict resolution.
+    SetResolution {
+        /// The resolving class.
+        class: Oid,
+        /// The conflicted method.
+        method: Oid,
+        /// The chosen superclass.
+        from: Oid,
+    },
+}

@@ -1,0 +1,59 @@
+//! Plain-data snapshots of a [`Database`](crate::Database).
+//!
+//! A [`DbSnapshot`] is the complete persistent state of a database as
+//! owned values with no interior maps or closures: the raw OID interner
+//! entries plus the schema and state keyed by raw [`Oid`] handles (which
+//! are indices into that same entry list, so the snapshot is
+//! self-contained). The `storage` crate serializes it for checkpoint
+//! files; [`Database::export_snapshot`](crate::Database::export_snapshot)
+//! / [`Database::import_snapshot`](crate::Database::import_snapshot)
+//! convert to and from the live representation, rebuilding every derived
+//! index (IS-A closure, extents, method indexes) on import.
+//!
+//! Computed-method implementations are **not** part of a snapshot — they
+//! are closures ([`crate::MethodImpl`]) with no serialization. The xsql
+//! session keeps a catalog of the definitional statements that installed
+//! them and replays those after importing a snapshot.
+
+use crate::oid::{Oid, OidData};
+use crate::schema::Signature;
+use crate::value::Val;
+
+/// One class in a snapshot: identity, direct supers, declared signatures
+/// and explicit inheritance resolutions. Direct subclasses and the IS-A
+/// closure are derived on import.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassEntry {
+    /// The class-object.
+    pub class: Oid,
+    /// Direct superclasses, in declaration order.
+    pub supers: Vec<Oid>,
+    /// Signatures declared directly in this class, in declaration order.
+    pub sigs: Vec<Signature>,
+    /// Explicit multiple-inheritance resolutions, sorted by method OID
+    /// for deterministic encoding.
+    pub resolutions: Vec<(Oid, Oid)>,
+}
+
+/// The complete persistent state of a database as plain data. All `Oid`
+/// values index into `oids`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DbSnapshot {
+    /// The raw interner entries, in interning order. Builtins occupy
+    /// their fixed positions from [`Database::new`](crate::Database::new).
+    pub oids: Vec<OidData>,
+    /// All classes in definition order (builtins included).
+    pub classes: Vec<ClassEntry>,
+    /// Direct class memberships per object, sorted by object OID.
+    pub instance_of: Vec<(Oid, Vec<Oid>)>,
+    /// The individuals active domain.
+    pub individuals: Vec<Oid>,
+    /// The method-objects catalogue.
+    pub method_objects: Vec<Oid>,
+    /// Explicit stored state, sorted by key.
+    pub state: Vec<StateEntry>,
+}
+
+/// One stored state entry as exported by a snapshot: the
+/// `(receiver, method, args)` key and its value.
+pub type StateEntry = ((Oid, Oid, Vec<Oid>), Val);

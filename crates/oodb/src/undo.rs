@@ -27,8 +27,10 @@
 //!   semantically invisible (it is not an individual, class, or
 //!   method-object until registered), so unwinding it would buy nothing
 //!   and invalidate `Oid` handles held by callers.
-//! * **No redo/persistence.** This is an in-memory engine; the log exists
-//!   for statement atomicity, not durability.
+//! * **No persistence here.** The undo log exists for statement
+//!   atomicity, not durability; the durable mirror is the redo-op
+//!   vocabulary of [`crate::redo`], recorded separately and written to
+//!   disk by the `storage` crate.
 
 use crate::oid::Oid;
 use crate::schema::Signature;
@@ -42,8 +44,8 @@ use std::sync::Arc;
 /// [`Database::rollback_to`](crate::Database::rollback_to).
 ///
 /// A savepoint taken under one `begin` span is dead once that span
-/// commits; rolling back to a dead or already-rolled-back mark is a
-/// no-op.
+/// commits; rolling back to a dead or already-rolled-back mark is an
+/// error ([`crate::DbError::StaleSavepoint`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Savepoint(pub(crate) usize);
 
@@ -245,7 +247,7 @@ mod tests {
         db.resolve_inheritance(emp, name, person).unwrap();
         assert_ne!(before, observe(&db));
 
-        db.rollback_to(sp);
+        db.rollback_to(sp).unwrap();
         db.commit();
         assert_eq!(before, observe(&db));
         // The value is really back, through the full lookup path.
@@ -263,11 +265,11 @@ mod tests {
         let sp = db.savepoint();
         let _b = db.define_class("B", &[a]).unwrap();
         assert!(db.oids().find_sym("B").is_some());
-        db.rollback_to(sp);
+        db.rollback_to(sp).unwrap();
         // Inner work gone, outer work kept.
         assert!(db.classes().all(|c| db.render(c) != "B"));
         assert!(db.is_class(a));
-        db.rollback_to(txn);
+        db.rollback_to(txn).unwrap();
         db.commit();
         assert!(!db.is_class(a));
         assert!(!db.in_transaction());
@@ -279,8 +281,9 @@ mod tests {
         let sp = db.begin();
         let c = db.define_class("Keep", &[]).unwrap();
         db.commit();
-        // Rolling back to a stale savepoint is a no-op.
-        db.rollback_to(sp);
+        // Rolling back to a stale savepoint is an error and leaves the
+        // committed state untouched.
+        assert_eq!(db.rollback_to(sp), Err(crate::DbError::StaleSavepoint));
         assert!(db.is_class(c));
     }
 
@@ -296,7 +299,7 @@ mod tests {
         let sp = db.begin();
         db.set_scalar(o, m, &[], blue).unwrap();
         assert!(db.receivers_by_value(m, blue).contains(&o));
-        db.rollback_to(sp);
+        db.rollback_to(sp).unwrap();
         db.commit();
         assert!(db.receivers_by_value(m, red).contains(&o));
         assert!(!db.receivers_by_value(m, blue).contains(&o));
@@ -331,7 +334,7 @@ mod tests {
         let sp = db.begin();
         db.define_method(c, m, 0, Arc::new(Answer)).unwrap();
         assert!(db.has_computed(c, m, 0));
-        db.rollback_to(sp);
+        db.rollback_to(sp).unwrap();
         db.commit();
         assert!(!db.has_computed(c, m, 0));
         assert!(!db.is_method_object(m));

@@ -1,0 +1,346 @@
+//! Deterministic fault-injecting in-memory filesystem.
+//!
+//! [`FaultFs`] models the durability semantics the storage layer relies
+//! on: every file has *written* content and a *durable* prefix; `sync`
+//! promotes written to durable; renames are journaled and only become
+//! durable at `sync_dir`. Two controls drive crash tests:
+//!
+//! * [`FaultFs::fail_after_ops`] — the first `n` mutating operations
+//!   succeed, every later one fails with an injected I/O error (the
+//!   process "can no longer reach the disk");
+//! * [`FaultFs::crash`] — "power off, reboot": discards non-durable
+//!   state according to a [`CrashMode`] and re-arms the filesystem so a
+//!   fresh [`Store::open`](crate::Store::open) sees the surviving bytes.
+//!
+//! Everything is deterministic: the same script and the same crash point
+//! always produce the same post-crash image, which is what lets the
+//! proptest suite shrink failures to a reproducible case.
+
+use crate::fs::StorageFs;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// What the simulated crash does to non-durable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashMode {
+    /// Each file keeps its durable prefix plus *half* of the bytes
+    /// written since the last sync — a torn tail mid-record.
+    TornTail,
+    /// Each file keeps exactly its durable prefix; everything after the
+    /// last sync vanishes (the classic lost final fsync).
+    LostFsync,
+    /// All written bytes survive, but one bit in the middle of each
+    /// file's non-durable region is flipped — silent media corruption
+    /// that only checksums can catch.
+    BitFlip,
+    /// All written bytes survive, but renames not yet made durable by
+    /// `sync_dir` are undone — the crash lands between the temp-file
+    /// rename and the directory sync.
+    LostRename,
+}
+
+#[derive(Debug, Clone, Default)]
+struct FileState {
+    data: Vec<u8>,
+    durable: usize,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    files: BTreeMap<PathBuf, FileState>,
+    dirs: BTreeSet<PathBuf>,
+    /// Renames since the last `sync_dir`: `(from, to, displaced)` in
+    /// application order, so a lost-rename crash can undo them in
+    /// reverse.
+    renames: Vec<(PathBuf, PathBuf, Option<FileState>)>,
+    /// `Some(n)`: the first `n` mutating ops succeed, the rest fail.
+    fail_after: Option<u64>,
+    ops: u64,
+}
+
+/// Cloneable handle to one shared in-memory filesystem. Clones see the
+/// same files, so the handle passed to a [`Store`](crate::Store) and the
+/// one kept by the test observe each other.
+#[derive(Debug, Clone, Default)]
+pub struct FaultFs {
+    inner: Arc<Mutex<Inner>>,
+}
+
+fn injected() -> io::Error {
+    io::Error::other("injected crash: disk unreachable")
+}
+
+impl Inner {
+    /// Gate for mutating operations; counts ops and fails past the limit.
+    fn tick(&mut self) -> io::Result<()> {
+        if let Some(n) = self.fail_after {
+            if self.ops >= n {
+                return Err(injected());
+            }
+            self.ops += 1;
+        }
+        Ok(())
+    }
+}
+
+impl FaultFs {
+    /// A fresh, empty filesystem with no fault armed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms the fault: the next `n` mutating operations (write, append,
+    /// truncate, rename, remove, sync, sync_dir, create_dir_all)
+    /// succeed, every subsequent one fails with an I/O error.
+    pub fn fail_after_ops(&self, n: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.fail_after = Some(n);
+        inner.ops = 0;
+    }
+
+    /// Disarms the fault without crashing (all operations succeed again).
+    pub fn disarm(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.fail_after = None;
+        inner.ops = 0;
+    }
+
+    /// Number of mutating operations performed since the fault was
+    /// armed (or since construction, when unarmed).
+    pub fn ops_done(&self) -> u64 {
+        self.inner.lock().unwrap().ops
+    }
+
+    /// Simulates power loss and reboot: applies `mode` to all
+    /// non-durable state, marks the survivors durable, and disarms the
+    /// fault so recovery code can run against the surviving image.
+    pub fn crash(&self, mode: CrashMode) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.fail_after = None;
+        inner.ops = 0;
+        if mode == CrashMode::LostRename {
+            // Undo unsynced renames in reverse order, then drop pending
+            // writes: nothing after the last durability point survived.
+            let journal: Vec<_> = inner.renames.drain(..).collect();
+            for (from, to, displaced) in journal.into_iter().rev() {
+                if let Some(f) = inner.files.remove(&to) {
+                    inner.files.insert(from, f);
+                }
+                if let Some(d) = displaced {
+                    inner.files.insert(to, d);
+                }
+            }
+        }
+        inner.renames.clear();
+        for f in inner.files.values_mut() {
+            let durable = f.durable.min(f.data.len());
+            let pending = f.data.len() - durable;
+            match mode {
+                CrashMode::TornTail => f.data.truncate(durable + pending / 2),
+                CrashMode::LostFsync | CrashMode::LostRename => f.data.truncate(durable),
+                CrashMode::BitFlip => {
+                    if pending > 0 {
+                        let i = durable + pending / 2;
+                        f.data[i] ^= 0x10;
+                    }
+                }
+            }
+            // After reboot, whatever is on disk is (vacuously) durable.
+            f.durable = f.data.len();
+        }
+    }
+
+    /// Direct read of a file's current (written, possibly non-durable)
+    /// content; `None` if absent. For test assertions.
+    pub fn peek(&self, path: &Path) -> Option<Vec<u8>> {
+        self.inner
+            .lock()
+            .unwrap()
+            .files
+            .get(path)
+            .map(|f| f.data.clone())
+    }
+}
+
+impl StorageFs for FaultFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .files
+            .get(path)
+            .map(|f| f.data.clone())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick()?;
+        inner.files.insert(
+            path.to_path_buf(),
+            FileState {
+                data: data.to_vec(),
+                durable: 0,
+            },
+        );
+        Ok(())
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick()?;
+        inner
+            .files
+            .entry(path.to_path_buf())
+            .or_default()
+            .data
+            .extend_from_slice(data);
+        Ok(())
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick()?;
+        let f = inner
+            .files
+            .get_mut(path)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))?;
+        let len = usize::try_from(len).expect("truncate length");
+        f.data.truncate(len);
+        f.durable = f.durable.min(len);
+        Ok(())
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick()?;
+        let f = inner
+            .files
+            .get_mut(path)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))?;
+        f.durable = f.data.len();
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick()?;
+        let f = inner
+            .files
+            .remove(from)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))?;
+        let displaced = inner.files.insert(to.to_path_buf(), f);
+        inner
+            .renames
+            .push((from.to_path_buf(), to.to_path_buf(), displaced));
+        Ok(())
+    }
+
+    fn sync_dir(&self, _dir: &Path) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick()?;
+        inner.renames.clear();
+        Ok(())
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        let inner = self.inner.lock().unwrap();
+        inner.files.contains_key(path) || inner.dirs.contains(path)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick()?;
+        inner.files.remove(path);
+        Ok(())
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick()?;
+        inner.dirs.insert(dir.to_path_buf());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_promotes_written_to_durable() {
+        let fs = FaultFs::new();
+        let p = Path::new("f");
+        fs.append(p, b"abcd").unwrap();
+        fs.sync(p).unwrap();
+        fs.append(p, b"efgh").unwrap();
+        fs.crash(CrashMode::LostFsync);
+        assert_eq!(fs.read(p).unwrap(), b"abcd");
+    }
+
+    #[test]
+    fn torn_tail_keeps_half_the_pending_bytes() {
+        let fs = FaultFs::new();
+        let p = Path::new("f");
+        fs.append(p, b"abcd").unwrap();
+        fs.sync(p).unwrap();
+        fs.append(p, b"efgh").unwrap();
+        fs.crash(CrashMode::TornTail);
+        assert_eq!(fs.read(p).unwrap(), b"abcdef");
+    }
+
+    #[test]
+    fn bit_flip_corrupts_pending_region_only() {
+        let fs = FaultFs::new();
+        let p = Path::new("f");
+        fs.append(p, b"abcd").unwrap();
+        fs.sync(p).unwrap();
+        fs.append(p, b"efgh").unwrap();
+        fs.crash(CrashMode::BitFlip);
+        let got = fs.read(p).unwrap();
+        assert_eq!(&got[..4], b"abcd");
+        assert_ne!(&got[4..], b"efgh");
+        assert_eq!(got.len(), 8);
+    }
+
+    #[test]
+    fn lost_rename_restores_both_files() {
+        let fs = FaultFs::new();
+        let (tmp, fin) = (Path::new("t"), Path::new("s"));
+        fs.write(fin, b"old").unwrap();
+        fs.sync(fin).unwrap();
+        fs.write(tmp, b"new").unwrap();
+        fs.sync(tmp).unwrap();
+        fs.rename(tmp, fin).unwrap();
+        fs.crash(CrashMode::LostRename);
+        assert_eq!(fs.read(fin).unwrap(), b"old");
+        assert_eq!(fs.read(tmp).unwrap(), b"new");
+    }
+
+    #[test]
+    fn synced_rename_survives_lost_rename_crash() {
+        let fs = FaultFs::new();
+        let (tmp, fin) = (Path::new("t"), Path::new("s"));
+        fs.write(tmp, b"new").unwrap();
+        fs.sync(tmp).unwrap();
+        fs.rename(tmp, fin).unwrap();
+        fs.sync_dir(Path::new(".")).unwrap();
+        fs.crash(CrashMode::LostRename);
+        assert_eq!(fs.read(fin).unwrap(), b"new");
+        assert!(!fs.exists(tmp));
+    }
+
+    #[test]
+    fn ops_fail_past_the_armed_limit() {
+        let fs = FaultFs::new();
+        let p = Path::new("f");
+        fs.fail_after_ops(2);
+        fs.append(p, b"a").unwrap();
+        fs.append(p, b"b").unwrap();
+        assert!(fs.append(p, b"c").is_err());
+        assert!(fs.sync(p).is_err());
+        // Reads still work while the fault is armed.
+        assert_eq!(fs.read(p).unwrap(), b"ab");
+    }
+}

@@ -1,0 +1,100 @@
+//! The filesystem seam.
+//!
+//! Every byte the storage layer reads or writes goes through
+//! [`StorageFs`], so the crash test-suite can substitute a deterministic
+//! in-memory filesystem ([`crate::fault::FaultFs`]) that injects torn
+//! writes and lost fsyncs at chosen points. [`RealFs`] is the production
+//! implementation over `std::fs`.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Minimal filesystem interface: exactly the operations the WAL and
+/// checkpoint protocols need, with explicit durability points (`sync`,
+/// `sync_dir`) so fault injection can distinguish written from durable.
+pub trait StorageFs: Send {
+    /// Reads the whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Creates or truncates the file and writes `data`. Not durable
+    /// until [`StorageFs::sync`].
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Appends `data` to the file, creating it if absent. Not durable
+    /// until [`StorageFs::sync`].
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Truncates the file to `len` bytes.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// Makes the file's current content durable (fsync).
+    fn sync(&self, path: &Path) -> io::Result<()>;
+    /// Atomically renames `from` to `to`, replacing any existing `to`.
+    /// The rename itself is not durable until [`StorageFs::sync_dir`].
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Makes directory-entry changes (renames, creations) durable.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// True if the path exists.
+    fn exists(&self, path: &Path) -> bool;
+    /// Removes the file; `Ok` even if it does not exist.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+    /// Creates the directory and any missing parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// Production implementation over `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealFs;
+
+impl StorageFs for RealFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        fs::write(path, data)
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        f.write_all(data)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let f = fs::OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        fs::OpenOptions::new().read(true).open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // Directory fsync is a POSIX idiom; on platforms where opening a
+        // directory for sync is unsupported, the rename is already as
+        // durable as the platform allows.
+        match fs::File::open(dir) {
+            Ok(d) => d.sync_all().or(Ok(())),
+            Err(_) => Ok(()),
+        }
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        match fs::remove_file(path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            r => r,
+        }
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+}

@@ -1,0 +1,74 @@
+//! # storage — durability for the xsql session
+//!
+//! The engine crates (`oodb`, `xsql`) are purely in-memory; this crate
+//! adds crash-safe persistence on top without touching their evaluation
+//! paths. A [`Store`] owns one directory containing:
+//!
+//! * `meta` — store identity: magic line plus the base-fixture tag;
+//! * `wal` — a length-prefixed, CRC32-checksummed, sequence-numbered
+//!   write-ahead log of committed *commit units* (see [`wal`]);
+//! * `snapshot.bin` — the latest checkpoint, written atomically via
+//!   `snapshot.tmp` + rename (see [`snapshot`]).
+//!
+//! A commit unit is the redo image of one auto-committed statement or of
+//! one whole explicit transaction ([`codec::CommitUnit`]); it is appended
+//! and fsync'd *before* the statement is acknowledged, so recovery after
+//! a crash always lands on a statement boundary: the WAL scan stops
+//! cleanly at the first torn or corrupt record and everything before it
+//! replays deterministically.
+//!
+//! All I/O goes through the [`fs::StorageFs`] trait. Production code uses
+//! [`fs::RealFs`]; the `fault-injection` feature compiles
+//! [`fault::FaultFs`], a deterministic in-memory filesystem that models
+//! torn tails, flipped bits, lost fsyncs and lost renames for the crash
+//! test-suite.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
+pub mod fs;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+#[cfg(feature = "fault-injection")]
+pub use fault::{CrashMode, FaultFs};
+pub use fs::{RealFs, StorageFs};
+pub use snapshot::SnapshotFile;
+pub use store::{Recovered, Store};
+
+use std::fmt;
+use std::io;
+
+/// Errors raised by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An I/O operation failed (possibly an injected fault).
+    Io(io::Error),
+    /// On-disk data failed validation (bad magic, checksum mismatch,
+    /// truncated structure). Recovery treats WAL-tail corruption as a
+    /// clean end-of-log; everywhere else it is surfaced.
+    Corrupt(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::Corrupt(m) => write!(f, "corrupt store: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Convenient result alias for the storage layer.
+pub type StorageResult<T> = Result<T, StorageError>;

@@ -1,0 +1,417 @@
+//! The durable store: one directory, one WAL, one snapshot.
+//!
+//! Protocols:
+//!
+//! * **Commit.** [`Store::append_commit`] frames the payload with the
+//!   next sequence number, appends it to `wal`, and (unless disabled for
+//!   benchmarking) fsyncs before returning. The caller acknowledges the
+//!   statement only after this returns `Ok`, so a crash can lose at most
+//!   the unacknowledged suffix.
+//! * **Checkpoint.** [`Store::checkpoint`] writes the snapshot to
+//!   `snapshot.tmp`, fsyncs it, renames over `snapshot.bin`, fsyncs the
+//!   directory, and only then truncates the WAL. Every crash point
+//!   leaves either the old or the new snapshot intact; WAL truncation is
+//!   pure space reclamation because replay skips records the snapshot
+//!   already covers (`seq <= last_seq`).
+//! * **Recovery.** [`Store::open`] reads the latest snapshot (if any),
+//!   scans the WAL, truncates any torn/corrupt tail in place, and
+//!   returns the surviving records past the snapshot for the session to
+//!   replay.
+
+use crate::fs::StorageFs;
+use crate::snapshot::{decode_snapshot, encode_snapshot, SnapshotFile};
+use crate::{wal, StorageError, StorageResult};
+use std::path::{Path, PathBuf};
+
+const META: &str = "meta";
+const WAL: &str = "wal";
+const SNAPSHOT: &str = "snapshot.bin";
+const SNAPSHOT_TMP: &str = "snapshot.tmp";
+const META_MAGIC: &str = "XSQLSTOREv1";
+
+/// Handle to one store directory. All I/O goes through the injected
+/// [`StorageFs`].
+pub struct Store {
+    fs: Box<dyn StorageFs>,
+    dir: PathBuf,
+    next_seq: u64,
+    sync_on_commit: bool,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("dir", &self.dir)
+            .field("next_seq", &self.next_seq)
+            .field("sync_on_commit", &self.sync_on_commit)
+            .finish()
+    }
+}
+
+/// What [`Store::open`] found on disk.
+#[derive(Debug)]
+pub struct Recovered {
+    /// Base-fixture tag from the `meta` file.
+    pub base_tag: String,
+    /// The latest checkpoint, if one was ever taken.
+    pub snapshot: Option<SnapshotFile>,
+    /// Valid WAL records past the snapshot (`seq > snapshot.last_seq`),
+    /// as raw payloads in log order; the session decodes them against
+    /// its own OID table as it replays.
+    pub tail: Vec<(u64, Vec<u8>)>,
+}
+
+impl Store {
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    /// True if `dir` already contains a store (its `meta` file exists).
+    pub fn exists(fs: &dyn StorageFs, dir: &Path) -> bool {
+        fs.exists(&dir.join(META))
+    }
+
+    /// Reads just the base-fixture tag of an existing store, without
+    /// opening it (the CLI uses this to pick the right fixture before
+    /// constructing a session).
+    pub fn read_base_tag(fs: &dyn StorageFs, dir: &Path) -> StorageResult<String> {
+        parse_meta(&fs.read(&dir.join(META))?)
+    }
+
+    /// Creates a fresh store in `dir` (which must not already hold one).
+    pub fn create(
+        fs: Box<dyn StorageFs>,
+        dir: impl Into<PathBuf>,
+        base_tag: &str,
+    ) -> StorageResult<Store> {
+        let dir = dir.into();
+        if Store::exists(fs.as_ref(), &dir) {
+            return Err(StorageError::Corrupt(format!(
+                "store already exists in {}",
+                dir.display()
+            )));
+        }
+        fs.create_dir_all(&dir)?;
+        let store = Store {
+            fs,
+            dir,
+            next_seq: 1,
+            sync_on_commit: true,
+        };
+        let meta = format!("{META_MAGIC}\n{base_tag}\n");
+        store.fs.write(&store.path(META), meta.as_bytes())?;
+        store.fs.sync(&store.path(META))?;
+        store.fs.write(&store.path(WAL), b"")?;
+        store.fs.sync(&store.path(WAL))?;
+        store.fs.sync_dir(&store.dir)?;
+        Ok(store)
+    }
+
+    /// Opens an existing store, running recovery: loads the latest
+    /// snapshot, scans the WAL, truncates any invalid tail in place (so
+    /// later appends never follow garbage), and returns the records the
+    /// session must replay.
+    pub fn open(
+        fs: Box<dyn StorageFs>,
+        dir: impl Into<PathBuf>,
+    ) -> StorageResult<(Store, Recovered)> {
+        let dir = dir.into();
+        let mut store = Store {
+            fs,
+            dir,
+            next_seq: 1,
+            sync_on_commit: true,
+        };
+        let base_tag = parse_meta(&store.fs.read(&store.path(META))?)?;
+        // A leftover temp file is a checkpoint that never renamed; it is
+        // dead weight, not data.
+        if store.fs.exists(&store.path(SNAPSHOT_TMP)) {
+            let _ = store.fs.remove(&store.path(SNAPSHOT_TMP));
+        }
+        let snapshot = if store.fs.exists(&store.path(SNAPSHOT)) {
+            Some(decode_snapshot(&store.fs.read(&store.path(SNAPSHOT))?)?)
+        } else {
+            None
+        };
+        let last_snap_seq = snapshot.as_ref().map_or(0, |s| s.last_seq);
+        let wal_bytes = if store.fs.exists(&store.path(WAL)) {
+            store.fs.read(&store.path(WAL))?
+        } else {
+            Vec::new()
+        };
+        let scan = wal::scan(&wal_bytes);
+        if scan.valid_len < wal_bytes.len() as u64 {
+            // Torn or corrupt tail from a crash: discard it durably so
+            // the next append continues a clean log.
+            store.fs.truncate(&store.path(WAL), scan.valid_len)?;
+            store.fs.sync(&store.path(WAL))?;
+        }
+        let mut next_seq = last_snap_seq + 1;
+        if let Some(&(seq, _)) = scan.records.last() {
+            next_seq = next_seq.max(seq + 1);
+        }
+        store.next_seq = next_seq;
+        let tail = scan
+            .records
+            .into_iter()
+            .filter(|&(seq, _)| seq > last_snap_seq)
+            .collect();
+        Ok((
+            store,
+            Recovered {
+                base_tag,
+                snapshot,
+                tail,
+            },
+        ))
+    }
+
+    /// Sequence number of the most recently appended commit (0 if none).
+    pub fn last_committed_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Disables (or re-enables) the fsync after each commit append.
+    /// **For benchmarking only** — without the sync, acknowledged
+    /// commits can be lost on power failure.
+    pub fn set_sync_on_commit(&mut self, on: bool) {
+        self.sync_on_commit = on;
+    }
+
+    /// Appends one commit-unit payload to the WAL and makes it durable.
+    /// Returns the record's sequence number.
+    pub fn append_commit(&mut self, payload: &[u8]) -> StorageResult<u64> {
+        let seq = self.next_seq;
+        let rec = wal::frame(seq, payload);
+        self.fs.append(&self.path(WAL), &rec)?;
+        if self.sync_on_commit {
+            self.fs.sync(&self.path(WAL))?;
+        }
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Writes a checkpoint covering everything committed so far, then
+    /// truncates the WAL. `snap.last_seq` is filled in by the store.
+    pub fn checkpoint(&mut self, mut snap: SnapshotFile) -> StorageResult<()> {
+        snap.last_seq = self.last_committed_seq();
+        let bytes = encode_snapshot(&snap);
+        let tmp = self.path(SNAPSHOT_TMP);
+        self.fs.write(&tmp, &bytes)?;
+        self.fs.sync(&tmp)?;
+        self.fs.rename(&tmp, &self.path(SNAPSHOT))?;
+        self.fs.sync_dir(&self.dir)?;
+        // The snapshot is durable; the log before it is now redundant.
+        self.fs.truncate(&self.path(WAL), 0)?;
+        self.fs.sync(&self.path(WAL))?;
+        Ok(())
+    }
+}
+
+fn parse_meta(bytes: &[u8]) -> StorageResult<String> {
+    let text =
+        std::str::from_utf8(bytes).map_err(|_| StorageError::Corrupt("meta: not UTF-8".into()))?;
+    let mut lines = text.lines();
+    if lines.next() != Some(META_MAGIC) {
+        return Err(StorageError::Corrupt("meta: bad magic".into()));
+    }
+    match lines.next() {
+        Some(tag) if !tag.is_empty() => Ok(tag.to_string()),
+        _ => Err(StorageError::Corrupt("meta: missing base tag".into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::RealFs;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "xsql-store-{}-{}-{}",
+            std::process::id(),
+            name,
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn create_append_reopen_roundtrip_on_real_fs() {
+        let dir = tmp_dir("roundtrip");
+        let mut store = Store::create(Box::new(RealFs), &dir, "figure1").unwrap();
+        assert_eq!(store.append_commit(b"one").unwrap(), 1);
+        assert_eq!(store.append_commit(b"two").unwrap(), 2);
+        drop(store);
+        assert!(Store::exists(&RealFs, &dir));
+        assert_eq!(Store::read_base_tag(&RealFs, &dir).unwrap(), "figure1");
+        let (store, rec) = Store::open(Box::new(RealFs), &dir).unwrap();
+        assert_eq!(rec.base_tag, "figure1");
+        assert!(rec.snapshot.is_none());
+        assert_eq!(rec.tail, vec![(1, b"one".to_vec()), (2, b"two".to_vec())]);
+        assert_eq!(store.last_committed_seq(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_survives_reopen() {
+        let dir = tmp_dir("checkpoint");
+        let mut store = Store::create(Box::new(RealFs), &dir, "empty").unwrap();
+        store.append_commit(b"one").unwrap();
+        store
+            .checkpoint(SnapshotFile {
+                base_tag: "empty".into(),
+                anon_counter: 5,
+                ..SnapshotFile::default()
+            })
+            .unwrap();
+        store.append_commit(b"after").unwrap();
+        drop(store);
+        let (store, rec) = Store::open(Box::new(RealFs), &dir).unwrap();
+        let snap = rec.snapshot.unwrap();
+        assert_eq!(snap.last_seq, 1);
+        assert_eq!(snap.anon_counter, 5);
+        // Only the post-checkpoint record replays.
+        assert_eq!(rec.tail, vec![(2, b"after".to_vec())]);
+        assert_eq!(store.last_committed_seq(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_wal_tail_is_truncated_on_open() {
+        let dir = tmp_dir("torn");
+        let mut store = Store::create(Box::new(RealFs), &dir, "empty").unwrap();
+        store.append_commit(b"good").unwrap();
+        drop(store);
+        // Simulate a torn append directly on the real file.
+        let wal_path = dir.join("wal");
+        let mut bytes = std::fs::read(&wal_path).unwrap();
+        let keep = bytes.len();
+        let rec = wal::frame(2, b"torn-away");
+        bytes.extend_from_slice(&rec[..rec.len() - 3]);
+        std::fs::write(&wal_path, &bytes).unwrap();
+        let (mut store, rec) = Store::open(Box::new(RealFs), &dir).unwrap();
+        assert_eq!(rec.tail, vec![(1, b"good".to_vec())]);
+        assert_eq!(std::fs::read(&wal_path).unwrap().len(), keep);
+        // Appending after repair continues a clean log.
+        assert_eq!(store.append_commit(b"next").unwrap(), 2);
+        drop(store);
+        let (_, rec) = Store::open(Box::new(RealFs), &dir).unwrap();
+        assert_eq!(rec.tail, vec![(1, b"good".to_vec()), (2, b"next".to_vec())]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_existing_store() {
+        let dir = tmp_dir("dup");
+        Store::create(Box::new(RealFs), &dir, "empty").unwrap();
+        assert!(Store::create(Box::new(RealFs), &dir, "empty").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[cfg(all(test, feature = "fault-injection"))]
+mod fault_tests {
+    use super::*;
+    use crate::fault::{CrashMode, FaultFs};
+    use std::path::Path;
+
+    const DIR: &str = "store";
+
+    #[test]
+    fn lost_fsync_loses_only_unsynced_commits() {
+        let fs = FaultFs::new();
+        let mut store = Store::create(Box::new(fs.clone()), DIR, "empty").unwrap();
+        store.append_commit(b"one").unwrap();
+        store.set_sync_on_commit(false);
+        store.append_commit(b"two").unwrap();
+        fs.crash(CrashMode::LostFsync);
+        let (_, rec) = Store::open(Box::new(fs), DIR).unwrap();
+        assert_eq!(rec.tail, vec![(1, b"one".to_vec())]);
+    }
+
+    #[test]
+    fn torn_tail_crash_recovers_the_synced_prefix() {
+        let fs = FaultFs::new();
+        let mut store = Store::create(Box::new(fs.clone()), DIR, "empty").unwrap();
+        store.append_commit(b"one").unwrap();
+        store.set_sync_on_commit(false);
+        store.append_commit(b"two-unsynced").unwrap();
+        fs.crash(CrashMode::TornTail);
+        let (_, rec) = Store::open(Box::new(fs.clone()), DIR).unwrap();
+        assert_eq!(rec.tail, vec![(1, b"one".to_vec())]);
+        // The torn bytes were durably truncated by recovery.
+        let on_disk = fs.peek(Path::new("store/wal")).unwrap();
+        assert_eq!(wal::scan(&on_disk).valid_len, on_disk.len() as u64);
+    }
+
+    #[test]
+    fn bit_flip_in_unsynced_region_is_rejected_by_crc() {
+        let fs = FaultFs::new();
+        let mut store = Store::create(Box::new(fs.clone()), DIR, "empty").unwrap();
+        store.append_commit(b"one").unwrap();
+        store.set_sync_on_commit(false);
+        store.append_commit(b"two-flipped").unwrap();
+        fs.crash(CrashMode::BitFlip);
+        let (_, rec) = Store::open(Box::new(fs), DIR).unwrap();
+        assert_eq!(rec.tail, vec![(1, b"one".to_vec())]);
+    }
+
+    #[test]
+    fn lost_rename_keeps_the_previous_snapshot() {
+        let fs = FaultFs::new();
+        let mut store = Store::create(Box::new(fs.clone()), DIR, "empty").unwrap();
+        store.append_commit(b"one").unwrap();
+        store
+            .checkpoint(SnapshotFile {
+                base_tag: "empty".into(),
+                anon_counter: 1,
+                ..SnapshotFile::default()
+            })
+            .unwrap();
+        store.append_commit(b"two").unwrap();
+        // Second checkpoint: crash with the rename not yet durable.
+        // Ops in checkpoint: write tmp, sync tmp, rename = 3; fail the
+        // sync_dir and everything after.
+        fs.fail_after_ops(3);
+        let err = store.checkpoint(SnapshotFile {
+            base_tag: "empty".into(),
+            anon_counter: 2,
+            ..SnapshotFile::default()
+        });
+        assert!(err.is_err());
+        fs.crash(CrashMode::LostRename);
+        let (_, rec) = Store::open(Box::new(fs), DIR).unwrap();
+        // Old snapshot (covering seq 1) survived; record 2 replays.
+        let snap = rec.snapshot.unwrap();
+        assert_eq!(snap.last_seq, 1);
+        assert_eq!(snap.anon_counter, 1);
+        assert_eq!(rec.tail, vec![(2, b"two".to_vec())]);
+    }
+
+    #[test]
+    fn crash_between_rename_and_wal_truncate_skips_covered_records() {
+        let fs = FaultFs::new();
+        let mut store = Store::create(Box::new(fs.clone()), DIR, "empty").unwrap();
+        store.append_commit(b"one").unwrap();
+        store.append_commit(b"two").unwrap();
+        // Checkpoint ops: write tmp, sync tmp, rename, sync_dir = 4;
+        // fail the WAL truncate that follows.
+        fs.fail_after_ops(4);
+        assert!(store
+            .checkpoint(SnapshotFile {
+                base_tag: "empty".into(),
+                ..SnapshotFile::default()
+            })
+            .is_err());
+        fs.crash(CrashMode::LostFsync);
+        let (_, rec) = Store::open(Box::new(fs), DIR).unwrap();
+        // New snapshot is durable and covers both records, so nothing
+        // replays even though the WAL still physically holds them.
+        assert_eq!(rec.snapshot.unwrap().last_seq, 2);
+        assert!(rec.tail.is_empty());
+    }
+}

@@ -532,6 +532,16 @@ pub enum Stmt {
     /// `ROLLBACK [WORK]` — undo the open transaction back to its
     /// `BEGIN`.
     Rollback,
+    /// `WAL ON` — enable write-ahead logging on the session's store
+    /// (engineering extension; forces a checkpoint first so the log
+    /// never has a gap).
+    WalOn,
+    /// `WAL OFF` — disable write-ahead logging (later statements are
+    /// not durable until the next checkpoint).
+    WalOff,
+    /// `CHECKPOINT` — write a snapshot of the database to the store and
+    /// truncate the WAL.
+    Checkpoint,
 }
 
 #[cfg(test)]

@@ -7,11 +7,19 @@
 //! readable snapshot.
 //!
 //! Scope: classes, IS-A edges, signatures, named individuals and their
-//! stored state (scalar and set-valued, including k-ary method entries
-//! via `UPDATE` of method expressions is *not* expressible in the
-//! statement syntax — k-ary entries are emitted as comments). Computed
-//! methods and view objects are definitional (queries); re-run their
-//! defining statements instead of dumping their materialization.
+//! stored state (scalar and set-valued). Entries the statement syntax
+//! cannot express — k-ary method entries, values that are id-terms of
+//! anonymous functions — are emitted behind an `-- UNRESTORABLE:`
+//! prefix and counted in the returned tally, so a caller can tell a
+//! lossless dump from a lossy one. (The binary snapshot codec in
+//! `crates/storage` has no such gap: it persists every entry.)
+//! Computed methods and view objects are definitional (queries); re-run
+//! their defining statements instead of dumping their materialization.
+//!
+//! Output is **canonical**: individuals, class lists and state lines
+//! are emitted in rendered order rather than OID-table order, so two
+//! databases with the same content but different interning histories
+//! (e.g. an original and its crash-recovered twin) dump identically.
 
 use crate::error::{XsqlError, XsqlResult};
 use oodb::{Database, Oid, OidData};
@@ -31,8 +39,13 @@ fn term(db: &Database, o: Oid) -> Option<String> {
     }
 }
 
-/// Dumps schema and stored state as a replayable XSQL script.
-pub fn dump_script(db: &Database) -> XsqlResult<String> {
+/// Dumps schema and stored state as a replayable XSQL script. Returns
+/// the script and the number of state entries it could not express as
+/// statements (each is preserved as an `-- UNRESTORABLE:` comment so
+/// the dump stays lossless to a reader, but replaying the script will
+/// not recreate them).
+pub fn dump_script(db: &Database) -> XsqlResult<(String, usize)> {
+    let mut skipped = 0usize;
     let mut out = String::new();
     let b = db.builtins();
     let builtin = [b.object, b.class, b.method, b.numeral, b.string, b.boolean];
@@ -113,7 +126,7 @@ pub fn dump_script(db: &Database) -> XsqlResult<String> {
     }
 
     out.push_str("\n-- XSQL dump: individuals\n");
-    let mut dumped: Vec<Oid> = Vec::new();
+    let mut obj_lines: Vec<String> = Vec::new();
     for o in db.individuals() {
         // Only named individuals with at least one named class are
         // statement-expressible; literals are recreated implicitly by
@@ -122,7 +135,7 @@ pub fn dump_script(db: &Database) -> XsqlResult<String> {
         let Some(name) = db.oids().sym_name(o) else {
             continue;
         };
-        let classes: Vec<&str> = db
+        let mut classes: Vec<&str> = db
             .direct_classes(o)
             .iter()
             .filter_map(|&c| db.oids().sym_name(c))
@@ -130,11 +143,19 @@ pub fn dump_script(db: &Database) -> XsqlResult<String> {
         if classes.is_empty() {
             continue;
         }
-        let _ = writeln!(out, "CREATE OBJECT {name} CLASS {};", classes.join(", "));
-        dumped.push(o);
+        classes.sort_unstable();
+        obj_lines.push(format!(
+            "CREATE OBJECT {name} CLASS {};\n",
+            classes.join(", ")
+        ));
+    }
+    obj_lines.sort_unstable();
+    for l in &obj_lines {
+        out.push_str(l);
     }
 
     out.push_str("\n-- XSQL dump: state\n");
+    let mut state_lines: Vec<String> = Vec::new();
     for (recv, method, args, val) in db.state_entries() {
         let Some(rname) = term(db, recv) else {
             continue; // view objects: re-materialize from their query
@@ -148,46 +169,70 @@ pub fn dump_script(db: &Database) -> XsqlResult<String> {
             .oids()
             .sym_name(method)
             .ok_or_else(|| XsqlError::Resolve("method with non-symbolic oid".into()))?;
+        let render_val = |val: &oodb::Val| match val {
+            oodb::Val::Scalar(v) => db.render(*v),
+            oodb::Val::Set(s) => {
+                let mut members: Vec<String> = s.iter().map(|&v| db.render(v)).collect();
+                members.sort_unstable();
+                format!("{{{}}}", members.join(", "))
+            }
+        };
         if !args.is_empty() {
-            // k-ary stored entries have no statement form; preserved as
-            // a comment so the dump stays lossless to a reader.
+            // k-ary stored entries have no statement form.
+            skipped += 1;
             let rendered: Vec<String> = args.iter().map(|&a| db.render(a)).collect();
-            let _ = writeln!(
-                out,
-                "-- k-ary entry (restore via API): {rname}.({mname} @ {}) = {}",
+            state_lines.push(format!(
+                "-- UNRESTORABLE: k-ary entry (restore via API): \
+                 {rname}.({mname} @ {}) = {}\n",
                 rendered.join(", "),
-                match val {
-                    oodb::Val::Scalar(v) => db.render(*v),
-                    oodb::Val::Set(s) => format!(
-                        "{{{}}}",
-                        s.iter()
-                            .map(|&v| db.render(v))
-                            .collect::<Vec<_>>()
-                            .join(", ")
-                    ),
-                }
-            );
+                render_val(val)
+            ));
             continue;
         }
         let class_kw = if db.is_class(recv) { "Class" } else { "Object" };
         match val {
             oodb::Val::Scalar(v) => {
                 if let Some(vt) = term(db, *v) {
-                    let _ = writeln!(out, "UPDATE CLASS {class_kw} SET {rname}.{mname} = {vt};");
+                    state_lines.push(format!(
+                        "UPDATE CLASS {class_kw} SET {rname}.{mname} = {vt};\n"
+                    ));
+                } else {
+                    // The value is an id-term of an anonymous function;
+                    // no statement can denote it.
+                    skipped += 1;
+                    state_lines.push(format!(
+                        "-- UNRESTORABLE: {rname}.{mname} = {}\n",
+                        db.render(*v)
+                    ));
                 }
             }
             oodb::Val::Set(s) => {
-                let terms: Vec<String> = s.iter().filter_map(|&v| term(db, v)).collect();
-                if terms.is_empty() {
-                    continue;
+                let mut terms: Vec<String> = s.iter().filter_map(|&v| term(db, v)).collect();
+                terms.sort_unstable();
+                if terms.len() < s.len() {
+                    // Some members are id-terms; the UPDATE below (if
+                    // any) restores only the denotable ones.
+                    skipped += 1;
+                    state_lines.push(format!(
+                        "-- UNRESTORABLE: {rname}.{mname} ⊇ {}\n",
+                        render_val(val)
+                    ));
                 }
-                // Build a union chain so the write is set-valued.
-                let expr = terms.join(" union ");
-                let _ = writeln!(out, "UPDATE CLASS {class_kw} SET {rname}.{mname} = {expr};");
+                if !terms.is_empty() {
+                    // Build a union chain so the write is set-valued.
+                    let expr = terms.join(" union ");
+                    state_lines.push(format!(
+                        "UPDATE CLASS {class_kw} SET {rname}.{mname} = {expr};\n"
+                    ));
+                }
             }
         }
     }
-    Ok(out)
+    state_lines.sort_unstable();
+    for l in &state_lines {
+        out.push_str(l);
+    }
+    Ok((out, skipped))
 }
 
 #[cfg(test)]
@@ -214,7 +259,8 @@ mod tests {
         b.set_many(ann, "Friends", &[bob]);
         let original = b.build();
 
-        let script = dump_script(&original).unwrap();
+        let (script, skipped) = dump_script(&original).unwrap();
+        assert_eq!(skipped, 0, "everything here is statement-expressible");
         let mut restored = Session::new(oodb::Database::new());
         restored.run_script(&script).unwrap();
 
@@ -255,7 +301,7 @@ mod tests {
     #[test]
     fn figure1_dump_replays() {
         let original = datagen::figure1_db();
-        let script = dump_script(&original).unwrap();
+        let (script, _) = dump_script(&original).unwrap();
         let mut restored = Session::new(oodb::Database::new());
         restored.run_script(&script).unwrap();
         assert_eq!(

@@ -62,6 +62,10 @@ pub enum XsqlError {
         /// The configured limit that was hit.
         limit: usize,
     },
+    /// Error from the durable-storage layer (WAL append, checkpoint or
+    /// recovery). A statement whose WAL flush fails is rolled back, so
+    /// the in-memory database still matches what is on disk.
+    Storage(String),
     /// An internal invariant was violated. Reaching this is a bug in the
     /// engine, but it is reported as an error rather than a panic so a
     /// malformed statement can never poison the hosting process.
@@ -170,6 +174,7 @@ impl fmt::Display for XsqlError {
             XsqlError::Budget { resource, limit } => {
                 write!(f, "evaluation exceeded {resource} budget of {limit}")
             }
+            XsqlError::Storage(m) => write!(f, "storage error: {m}"),
             XsqlError::Internal(m) => write!(f, "internal error (engine bug): {m}"),
         }
     }
@@ -180,6 +185,12 @@ impl std::error::Error for XsqlError {}
 impl From<DbError> for XsqlError {
     fn from(e: DbError) -> Self {
         XsqlError::Db(e)
+    }
+}
+
+impl From<storage::StorageError> for XsqlError {
+    fn from(e: storage::StorageError) -> Self {
+        XsqlError::Storage(e.to_string())
     }
 }
 

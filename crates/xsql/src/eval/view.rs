@@ -79,6 +79,31 @@ pub fn create_view(
     Ok((def, oids))
 }
 
+/// Rebuilds a [`ViewDef`] for a view whose class and materialized
+/// extent already exist (e.g. restored from a storage snapshot): looks
+/// the class up instead of defining it, and does **not** re-run the
+/// defining query. Recovery uses this for definitions-only replay of
+/// the catalog — the snapshot carries the state, only the in-session
+/// definition (a closure over the resolved query) needs rebuilding.
+pub fn reattach_view(db: &Database, v: &CreateView) -> XsqlResult<ViewDef> {
+    let class = db
+        .oids()
+        .find_sym(&v.name)
+        .filter(|&c| db.is_class(c))
+        .ok_or_else(|| {
+            XsqlError::Resolve(format!(
+                "view class `{}` not present in the restored database",
+                v.name
+            ))
+        })?;
+    Ok(ViewDef {
+        name: v.name.clone(),
+        class,
+        query: v.query.clone(),
+        signature: v.signature.clone(),
+    })
+}
+
 /// (Re)materializes a view: runs the defining query; view objects whose
 /// key no longer satisfies the query are dropped from the extent and
 /// their state cleared.

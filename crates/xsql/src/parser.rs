@@ -204,6 +204,21 @@ impl Parser {
             self.eat_kw("work");
             return Ok(Stmt::Rollback);
         }
+        // Storage control (same contextual-keyword treatment): `WAL ON`,
+        // `WAL OFF`, `CHECKPOINT`.
+        if self.at_kw("wal") {
+            self.bump();
+            if self.eat_kw("on") {
+                return Ok(Stmt::WalOn);
+            }
+            if self.eat_kw("off") {
+                return Ok(Stmt::WalOff);
+            }
+            return Err(self.err("expected ON or OFF after WAL"));
+        }
+        if self.eat_kw("checkpoint") {
+            return Ok(Stmt::Checkpoint);
+        }
         if self.at_kw("create") {
             return match self.peek2() {
                 TokenKind::Ident(k) if k.eq_ignore_ascii_case("class") => self.create_class(),

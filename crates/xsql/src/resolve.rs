@@ -147,7 +147,10 @@ impl Resolver<'_> {
             | Stmt::CreateClass(_)
             | Stmt::Begin
             | Stmt::Commit
-            | Stmt::Rollback => Ok(()),
+            | Stmt::Rollback
+            | Stmt::WalOn
+            | Stmt::WalOff
+            | Stmt::Checkpoint => Ok(()),
             Stmt::CreateObject(o) => {
                 for (_, op) in &o.sets {
                     self.collect_operand(op)?;
@@ -383,6 +386,9 @@ impl Resolver<'_> {
             Stmt::Begin => Stmt::Begin,
             Stmt::Commit => Stmt::Commit,
             Stmt::Rollback => Stmt::Rollback,
+            Stmt::WalOn => Stmt::WalOn,
+            Stmt::WalOff => Stmt::WalOff,
+            Stmt::Checkpoint => Stmt::Checkpoint,
         })
     }
 

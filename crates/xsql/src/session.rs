@@ -3,13 +3,17 @@
 use crate::ast::*;
 use crate::error::{XsqlError, XsqlResult};
 use crate::eval::select::eval_rows;
-use crate::eval::view::{create_view, materialize, update_through_view, ViewDef};
+use crate::eval::view::{create_view, materialize, reattach_view, update_through_view, ViewDef};
 use crate::eval::{create, method, update, Ctx, EvalOptions};
 use crate::parser::{parse, parse_script};
 use crate::resolve::resolve_stmt;
+use crate::unparse::unparse_stmt;
 use oodb::{Database, Oid};
 use relalg::Relation;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
+use storage::codec::{decode_commit, encode_commit, CommitUnit, WalEntry};
+use storage::{SnapshotFile, StorageFs, Store};
 
 /// The result of executing one XSQL statement.
 #[derive(Debug, Clone)]
@@ -68,6 +72,12 @@ pub enum Outcome {
     TransactionCommitted,
     /// `ROLLBACK WORK` restored the `BEGIN WORK` state.
     TransactionRolledBack,
+    /// `WAL ON` enabled write-ahead logging (after a checkpoint).
+    WalEnabled,
+    /// `WAL OFF` disabled write-ahead logging.
+    WalDisabled,
+    /// `CHECKPOINT` wrote a snapshot and truncated the WAL.
+    Checkpointed,
 }
 
 impl Outcome {
@@ -107,6 +117,22 @@ pub struct Session {
     /// Explicit-transaction state: present between `BEGIN WORK` and the
     /// matching `COMMIT WORK`/`ROLLBACK WORK`.
     txn: Option<TxnState>,
+    /// The durable store, when the session was opened over a directory
+    /// ([`Session::open_dir`]).
+    store: Option<Store>,
+    /// Whether committed statements are appended to the WAL. Off by
+    /// default for plain in-memory sessions; on after [`Session::open_dir`].
+    wal_enabled: bool,
+    /// WAL entries of statements committed inside the open explicit
+    /// transaction, flushed as one record at `COMMIT WORK`.
+    pending: Vec<WalEntry>,
+    /// Source text of every definitional statement executed so far
+    /// (`ALTER CLASS … SELECT`, `CREATE VIEW`). Their effects are
+    /// closures that no snapshot can serialize, so checkpoints persist
+    /// this catalog and recovery re-executes it definitions-only.
+    catalog: Vec<String>,
+    /// Tag of the base fixture the store was created over.
+    base_tag: String,
 }
 
 /// Snapshot taken at `BEGIN WORK`: the database savepoint plus the
@@ -117,6 +143,16 @@ struct TxnState {
     sp: oodb::Savepoint,
     views: BTreeMap<String, ViewDef>,
     anon_counter: usize,
+    catalog_len: usize,
+}
+
+/// How a committed statement is journaled in the WAL.
+enum LogAs {
+    /// As the redo ops it recorded (the common case).
+    Ops,
+    /// As its source text, re-executed on replay (definitional
+    /// statements whose effect installs a closure).
+    Stmt(String),
 }
 
 impl Session {
@@ -133,7 +169,116 @@ impl Session {
             views: BTreeMap::new(),
             anon_counter: 0,
             txn: None,
+            store: None,
+            wal_enabled: false,
+            pending: Vec::new(),
+            catalog: Vec::new(),
+            base_tag: String::new(),
         }
+    }
+
+    /// Opens a session over a store directory, creating the store on
+    /// first use and running crash recovery on every later open.
+    ///
+    /// `base` is the fixture database the store's history applies to and
+    /// `base_tag` names it; the tag is persisted in the store's `meta`
+    /// file and must match on reopen (the WAL is a delta over the
+    /// fixture, so replaying it onto a different base would corrupt).
+    /// Recovery loads the latest valid snapshot (or starts from `base`),
+    /// re-executes the definitional catalog, replays the surviving WAL
+    /// tail, and leaves the session with WAL logging enabled.
+    pub fn open_dir(
+        fs: Box<dyn StorageFs>,
+        dir: impl Into<PathBuf>,
+        base: Database,
+        base_tag: &str,
+        opts: EvalOptions,
+    ) -> XsqlResult<Session> {
+        let dir = dir.into();
+        if !Store::exists(fs.as_ref(), &dir) {
+            let store = Store::create(fs, &dir, base_tag)?;
+            let mut s = Session::with_options(base, opts);
+            s.base_tag = base_tag.to_string();
+            s.store = Some(store);
+            s.wal_enabled = true;
+            s.db.set_redo_logging(true);
+            return Ok(s);
+        }
+        let (store, recovered) = Store::open(fs, &dir)?;
+        if recovered.base_tag != base_tag {
+            return Err(XsqlError::Storage(format!(
+                "store was created over base `{}`, not `{base_tag}`",
+                recovered.base_tag
+            )));
+        }
+        // Start from the checkpoint when there is one, else the fixture.
+        let (db, snap_anon, snap_catalog) = match recovered.snapshot {
+            Some(snap) => (
+                Database::import_snapshot(snap.db)?,
+                snap.anon_counter,
+                snap.catalog,
+            ),
+            None => (base, 0, Vec::new()),
+        };
+        let mut s = Session::with_options(db, opts);
+        s.base_tag = base_tag.to_string();
+        s.anon_counter = usize::try_from(snap_anon).expect("counter fits usize");
+        // Definitions-only replay: the snapshot already holds the state
+        // these statements produced; only their closures are rebuilt.
+        for src in snap_catalog {
+            s.replay_definition(&src)?;
+            s.catalog.push(src);
+        }
+        // Replay the WAL tail. Each record is one commit unit; ops apply
+        // directly, definitional statements re-execute in full (their
+        // effects are *not* in the snapshot).
+        for (_seq, payload) in &recovered.tail {
+            let unit = decode_commit(payload, s.db.oids_mut())?;
+            for entry in unit.entries {
+                match entry {
+                    WalEntry::Ops(ops) => {
+                        for op in &ops {
+                            s.db.apply_redo(op)?;
+                        }
+                    }
+                    // `run` also re-appends the statement to the catalog.
+                    WalEntry::Stmt(src) => {
+                        s.run(&src)?;
+                    }
+                }
+            }
+            s.anon_counter = usize::try_from(unit.anon_counter).expect("counter fits usize");
+        }
+        s.db.commit();
+        s.store = Some(store);
+        s.wal_enabled = true;
+        s.db.set_redo_logging(true);
+        Ok(s)
+    }
+
+    /// Re-installs one definitional statement from the catalog without
+    /// re-running its query: method definitions re-resolve and register
+    /// their closure (signature insertion is idempotent), views rebuild
+    /// their [`ViewDef`] against the already-materialized class.
+    fn replay_definition(&mut self, src: &str) -> XsqlResult<()> {
+        let stmt = parse(src)?;
+        let resolved = resolve_stmt(&mut self.db, &stmt)?;
+        match &resolved {
+            Stmt::AlterClass(a) => {
+                method::install_method(&mut self.db, a, &self.opts)?;
+            }
+            Stmt::CreateView(v) => {
+                let def = reattach_view(&self.db, v)?;
+                self.views.insert(v.name.clone(), def);
+            }
+            other => {
+                return Err(XsqlError::Storage(format!(
+                    "catalog holds a non-definitional statement: {}",
+                    unparse_stmt(other)
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// The underlying database.
@@ -198,6 +343,25 @@ impl Session {
         self.txn.is_some()
     }
 
+    /// True when the session is backed by a durable store.
+    pub fn has_store(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// True while committed statements are being appended to the WAL.
+    pub fn wal_enabled(&self) -> bool {
+        self.wal_enabled
+    }
+
+    /// Disables (or re-enables) the fsync after each WAL append.
+    /// **For benchmarking only** — without the sync, acknowledged
+    /// commits can be lost on power failure. No-op without a store.
+    pub fn set_sync_on_commit(&mut self, on: bool) {
+        if let Some(store) = &mut self.store {
+            store.set_sync_on_commit(on);
+        }
+    }
+
     /// Runs a statement that must produce a relation.
     pub fn query(&mut self, src: &str) -> XsqlResult<Relation> {
         match self.run(src)? {
@@ -217,34 +381,117 @@ impl Session {
             Stmt::Begin => return self.txn_begin(),
             Stmt::Commit => return self.txn_commit(),
             Stmt::Rollback => return self.txn_rollback(),
+            Stmt::WalOn => return self.wal_on(),
+            Stmt::WalOff => return self.wal_off(),
+            Stmt::Checkpoint => return self.checkpoint(),
             _ => {}
         }
-        self.atomically(|s| {
+        // Definitional statements install closures (computed methods,
+        // view definitions) that redo ops cannot capture; they are
+        // journaled as source text and re-executed on replay.
+        let log_as = match stmt {
+            Stmt::AlterClass(_) | Stmt::CreateView(_) => LogAs::Stmt(unparse_stmt(stmt)),
+            _ => LogAs::Ops,
+        };
+        self.atomically_as(log_as, |s| {
             let resolved = resolve_stmt(&mut s.db, stmt)?;
             s.execute_resolved(&resolved)
         })
     }
 
-    /// Runs `f` inside an implicit savepoint: on error the database,
-    /// the view catalogue and the anonymous-name counter are restored
-    /// to their state at entry. Outside an explicit transaction the
-    /// savepoint's log is discarded afterwards (auto-commit); inside
-    /// one it is kept so `ROLLBACK WORK` can unwind further. Must not
-    /// be nested (the inner auto-commit would discard the outer span).
+    /// [`Session::atomically_as`] with op-level journaling — for entry
+    /// points that mutate outside the statement pipeline (`invoke`,
+    /// `refresh_view`, `update_view`).
     fn atomically<T>(&mut self, f: impl FnOnce(&mut Self) -> XsqlResult<T>) -> XsqlResult<T> {
+        self.atomically_as(LogAs::Ops, f)
+    }
+
+    /// Runs `f` inside an implicit savepoint: on error the database,
+    /// the view catalogue, the anonymous-name counter and the
+    /// definitional catalog are restored to their state at entry.
+    /// Outside an explicit transaction the savepoint's log is discarded
+    /// afterwards (auto-commit); inside one it is kept so `ROLLBACK
+    /// WORK` can unwind further. Must not be nested (the inner
+    /// auto-commit would discard the outer span).
+    ///
+    /// When WAL logging is on, success also journals the statement
+    /// (immediately outside a transaction, buffered inside one). The
+    /// statement is acknowledged only after its WAL record is durable; a
+    /// failed append rolls the statement back like any other error, so
+    /// memory never runs ahead of the log.
+    fn atomically_as<T>(
+        &mut self,
+        log_as: LogAs,
+        f: impl FnOnce(&mut Self) -> XsqlResult<T>,
+    ) -> XsqlResult<T> {
         let sp = self.db.savepoint();
         let views = self.views.clone();
         let anon = self.anon_counter;
-        let result = f(self);
+        let catalog_len = self.catalog.len();
+        let mark = self.db.redo_len();
+        let result = f(self).and_then(|v| {
+            self.flush_statement(log_as, mark)?;
+            Ok(v)
+        });
         if result.is_err() {
-            self.db.rollback_to(sp);
+            self.db.truncate_redo(mark);
+            if let Err(e) = self.db.rollback_to(sp) {
+                // The savepoint was taken in this very span; losing it
+                // means something outside the session committed the log.
+                return Err(XsqlError::Internal(format!(
+                    "statement rollback failed: {e}"
+                )));
+            }
             self.views = views;
             self.anon_counter = anon;
+            self.catalog.truncate(catalog_len);
         }
         if self.txn.is_none() {
             self.db.commit();
         }
         result
+    }
+
+    /// Journals one successfully executed statement. Definitional
+    /// statements always extend the catalog (checkpoints need them even
+    /// when the WAL is off); WAL entries are written only when logging
+    /// is on — immediately (one commit unit per auto-committed
+    /// statement) or into the transaction's pending buffer.
+    fn flush_statement(&mut self, log_as: LogAs, mark: usize) -> XsqlResult<()> {
+        let logging = self.store.is_some() && self.wal_enabled;
+        let entry = match log_as {
+            LogAs::Stmt(src) => {
+                // Re-execution covers the ops; drop the duplicate image.
+                self.db.truncate_redo(mark);
+                self.catalog.push(src.clone());
+                if logging {
+                    Some(WalEntry::Stmt(src))
+                } else {
+                    None
+                }
+            }
+            LogAs::Ops => {
+                let ops = self.db.take_redo_from(mark);
+                if logging && !ops.is_empty() {
+                    Some(WalEntry::Ops(ops))
+                } else {
+                    None
+                }
+            }
+        };
+        let Some(entry) = entry else { return Ok(()) };
+        if self.txn.is_some() {
+            self.pending.push(entry);
+            return Ok(());
+        }
+        let unit = CommitUnit {
+            anon_counter: self.anon_counter as u64,
+            entries: vec![entry],
+        };
+        let payload = encode_commit(&unit, self.db.oids());
+        let store = self.store.as_mut().expect("logging implies a store");
+        store.append_commit(&payload)?;
+        Ok(())
     }
 
     fn txn_begin(&mut self) -> XsqlResult<Outcome> {
@@ -258,16 +505,32 @@ impl Session {
             sp,
             views: self.views.clone(),
             anon_counter: self.anon_counter,
+            catalog_len: self.catalog.len(),
         });
         Ok(Outcome::TransactionStarted)
     }
 
     fn txn_commit(&mut self) -> XsqlResult<Outcome> {
-        if self.txn.take().is_none() {
+        if self.txn.is_none() {
             return Err(XsqlError::Resolve(
                 "COMMIT WORK: no open transaction".into(),
             ));
         }
+        // The whole transaction is one WAL record: replaying a log can
+        // never surface half a transaction. If the append fails the
+        // transaction stays open — the caller may retry or roll back.
+        if let Some(store) = &mut self.store {
+            if self.wal_enabled && !self.pending.is_empty() {
+                let unit = CommitUnit {
+                    anon_counter: self.anon_counter as u64,
+                    entries: self.pending.clone(),
+                };
+                let payload = encode_commit(&unit, self.db.oids());
+                store.append_commit(&payload)?;
+            }
+        }
+        self.pending.clear();
+        self.txn = None;
         self.db.commit();
         Ok(Outcome::TransactionCommitted)
     }
@@ -278,11 +541,65 @@ impl Session {
                 "ROLLBACK WORK: no open transaction".into(),
             ));
         };
-        self.db.rollback_to(t.sp);
+        self.db.rollback_to(t.sp)?;
         self.db.commit();
         self.views = t.views;
         self.anon_counter = t.anon_counter;
+        self.catalog.truncate(t.catalog_len);
+        self.pending.clear();
         Ok(Outcome::TransactionRolledBack)
+    }
+
+    fn require_store(&self, what: &str) -> XsqlResult<()> {
+        if self.txn.is_some() {
+            return Err(XsqlError::Resolve(format!(
+                "{what}: not allowed inside a transaction"
+            )));
+        }
+        if self.store.is_none() {
+            return Err(XsqlError::Resolve(format!(
+                "{what}: the session has no store (open a directory first)"
+            )));
+        }
+        Ok(())
+    }
+
+    fn wal_on(&mut self) -> XsqlResult<Outcome> {
+        self.require_store("WAL ON")?;
+        if !self.wal_enabled {
+            // Changes made while the WAL was off exist only in memory;
+            // checkpoint first so the resumed log has no gap.
+            self.checkpoint_now()?;
+            self.wal_enabled = true;
+            self.db.set_redo_logging(true);
+        }
+        Ok(Outcome::WalEnabled)
+    }
+
+    fn wal_off(&mut self) -> XsqlResult<Outcome> {
+        self.require_store("WAL OFF")?;
+        self.wal_enabled = false;
+        self.db.set_redo_logging(false);
+        Ok(Outcome::WalDisabled)
+    }
+
+    fn checkpoint(&mut self) -> XsqlResult<Outcome> {
+        self.require_store("CHECKPOINT")?;
+        self.checkpoint_now()?;
+        Ok(Outcome::Checkpointed)
+    }
+
+    fn checkpoint_now(&mut self) -> XsqlResult<()> {
+        let snap = SnapshotFile {
+            base_tag: self.base_tag.clone(),
+            last_seq: 0, // filled in by the store
+            anon_counter: self.anon_counter as u64,
+            catalog: self.catalog.clone(),
+            db: self.db.export_snapshot(),
+        };
+        let store = self.store.as_mut().expect("checked by require_store");
+        store.checkpoint(snap)?;
+        Ok(())
     }
 
     /// Executes an already-resolved, non-transaction-control statement.
@@ -421,8 +738,13 @@ impl Session {
                 let report = self.explain(inner)?;
                 Ok(Outcome::Explained { report })
             }
-            Stmt::Begin | Stmt::Commit | Stmt::Rollback => Err(XsqlError::Resolve(
-                "transaction control cannot be nested inside another statement".into(),
+            Stmt::Begin
+            | Stmt::Commit
+            | Stmt::Rollback
+            | Stmt::WalOn
+            | Stmt::WalOff
+            | Stmt::Checkpoint => Err(XsqlError::Resolve(
+                "transaction/storage control cannot be nested inside another statement".into(),
             )),
         }
     }

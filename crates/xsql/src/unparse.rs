@@ -93,6 +93,9 @@ fn stmt(s: &Stmt, out: &mut String) {
         Stmt::Begin => out.push_str("BEGIN WORK"),
         Stmt::Commit => out.push_str("COMMIT WORK"),
         Stmt::Rollback => out.push_str("ROLLBACK WORK"),
+        Stmt::WalOn => out.push_str("WAL ON"),
+        Stmt::WalOff => out.push_str("WAL OFF"),
+        Stmt::Checkpoint => out.push_str("CHECKPOINT"),
     }
 }
 

@@ -89,7 +89,7 @@ proptest! {
         links in proptest::collection::vec((0u8..8, 0u8..8, 0u8..1), 0..10),
     ) {
         let original = build(&supers, &objs, &scalars, &links);
-        let script = dump_script(&original).unwrap();
+        let (script, _) = dump_script(&original).unwrap();
         let mut restored = Session::new(Database::new());
         restored.run_script(&script)
             .unwrap_or_else(|e| panic!("replay failed: {e}\n{script}"));

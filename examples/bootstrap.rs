@@ -57,7 +57,7 @@ fn main() {
     }
 
     println!("-- Dump, restore into a fresh session, re-query:");
-    let dump = dump_script(s.db()).unwrap();
+    let (dump, _) = dump_script(s.db()).unwrap();
     println!("(dump is {} lines of XSQL)\n", dump.lines().count());
     let mut fresh = Session::new(Database::new());
     fresh.run_script(&dump).unwrap();

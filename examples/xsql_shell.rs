@@ -43,7 +43,12 @@ fn main() {
             }
             "\\dump" => {
                 match xsql::dump_script(s.db()) {
-                    Ok(script) => println!("{script}"),
+                    Ok((script, skipped)) => {
+                        println!("{script}");
+                        if skipped > 0 {
+                            println!("-- {skipped} entries are UNRESTORABLE comments");
+                        }
+                    }
                     Err(e) => println!("error: {e}"),
                 }
                 print!("xsql> ");
@@ -110,6 +115,9 @@ fn main() {
             Ok(Outcome::TransactionStarted) => println!("transaction started"),
             Ok(Outcome::TransactionCommitted) => println!("transaction committed"),
             Ok(Outcome::TransactionRolledBack) => println!("transaction rolled back"),
+            Ok(Outcome::WalEnabled) => println!("WAL enabled"),
+            Ok(Outcome::WalDisabled) => println!("WAL disabled"),
+            Ok(Outcome::Checkpointed) => println!("checkpoint written"),
             Err(e) => println!("error: {e}"),
         }
         print!("xsql> ");

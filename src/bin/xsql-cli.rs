@@ -2,23 +2,34 @@
 //! session against a fixture or an empty database.
 //!
 //! ```text
-//! xsql-cli [--db empty|figure1|nobel|university] [--typed] [script.xsql ...]
+//! xsql-cli [--db empty|figure1|nobel|university] [--open DIR] [--typed] \
+//!          [script.xsql ...]
 //! ```
 //!
 //! With script arguments, each file is executed in order and results are
 //! printed; without any, an interactive prompt starts (statements end
 //! with `;`; `\q` quits). `--typed` routes SELECTs through the Theorem
 //! 6.1 range-restricted evaluator when the query is strictly well-typed.
+//!
+//! `--open DIR` (or the interactive `.open DIR` meta-command) attaches a
+//! durable store: on first use the directory is initialized over the
+//! `--db` fixture; on reopen the fixture recorded in the store is loaded
+//! and crash recovery replays the checkpoint + WAL tail. While a store is
+//! attached, every committed statement is WAL-logged and fsync'd, so
+//! committed work survives `kill -9`; `WAL ON|OFF` and `CHECKPOINT`
+//! statements control logging and snapshotting.
 
 use std::io::{self, BufRead, Write};
 use std::process::ExitCode;
 
 use oodb::Database;
 use relalg::render_table;
+use storage::{RealFs, Store};
 use xsql::{Outcome, Session};
 
 struct Config {
     db: String,
+    open: Option<String>,
     typed: bool,
     scripts: Vec<String>,
 }
@@ -26,6 +37,7 @@ struct Config {
 fn parse_args() -> Result<Config, String> {
     let mut cfg = Config {
         db: "figure1".to_string(),
+        open: None,
         typed: false,
         scripts: Vec::new(),
     };
@@ -37,11 +49,17 @@ fn parse_args() -> Result<Config, String> {
                     .next()
                     .ok_or_else(|| "--db requires a value".to_string())?;
             }
+            "--open" => {
+                cfg.open = Some(
+                    args.next()
+                        .ok_or_else(|| "--open requires a directory".to_string())?,
+                );
+            }
             "--typed" => cfg.typed = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: xsql-cli [--db empty|figure1|nobel|university] [--typed] \
-                            [script.xsql ...]"
+                    "usage: xsql-cli [--db empty|figure1|nobel|university] [--open DIR] \
+                            [--typed] [script.xsql ...]"
                         .to_string(),
                 )
             }
@@ -64,6 +82,22 @@ fn fixture(name: &str) -> Result<Database, String> {
             "unknown fixture `{other}` (expected empty|figure1|nobel|university)"
         )),
     }
+}
+
+/// Opens (or initializes) a durable store at `dir`. A fresh directory is
+/// seeded from `default_fixture`; an existing store loads the fixture its
+/// `meta` file records — the WAL is a delta over that base, so the
+/// `--db` flag is ignored on reopen.
+fn open_store(dir: &str, default_fixture: &str) -> Result<Session, String> {
+    let path = std::path::Path::new(dir);
+    let tag = if Store::exists(&RealFs, path) {
+        Store::read_base_tag(&RealFs, path).map_err(|e| e.to_string())?
+    } else {
+        default_fixture.to_string()
+    };
+    let db = fixture(&tag)?;
+    Session::open_dir(Box::new(RealFs), path, db, &tag, Default::default())
+        .map_err(|e| format!("recovery failed: {e}"))
 }
 
 fn report(s: &Session, out: &Outcome) {
@@ -103,6 +137,9 @@ fn report(s: &Session, out: &Outcome) {
         Outcome::TransactionStarted => println!("transaction started"),
         Outcome::TransactionCommitted => println!("transaction committed"),
         Outcome::TransactionRolledBack => println!("transaction rolled back"),
+        Outcome::WalEnabled => println!("WAL enabled"),
+        Outcome::WalDisabled => println!("WAL disabled"),
+        Outcome::Checkpointed => println!("checkpoint written"),
     }
 }
 
@@ -135,14 +172,23 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let db = match fixture(&cfg.db) {
-        Ok(db) => db,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::from(2);
+    let mut session = if let Some(dir) = &cfg.open {
+        match open_store(dir, &cfg.db) {
+            Ok(s) => s,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match fixture(&cfg.db) {
+            Ok(db) => Session::new(db),
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::from(2);
+            }
         }
     };
-    let mut session = Session::new(db);
 
     if !cfg.scripts.is_empty() {
         for path in &cfg.scripts {
@@ -170,9 +216,14 @@ fn main() -> ExitCode {
 
     // Interactive mode.
     println!(
-        "xsql — {} database loaded ({} individuals). Statements end with `;`; \\q quits.",
+        "xsql — {} database loaded ({} individuals){}. Statements end with `;`; \\q quits.",
         cfg.db,
-        session.db().individual_count()
+        session.db().individual_count(),
+        if session.has_store() {
+            ", durable store attached"
+        } else {
+            ""
+        }
     );
     let stdin = io::stdin();
     let mut buf = String::new();
@@ -182,6 +233,23 @@ fn main() -> ExitCode {
         let Ok(line) = line else { break };
         if line.trim() == "\\q" || line.trim() == "\\quit" {
             break;
+        }
+        if let Some(dir) = line.trim().strip_prefix(".open ") {
+            // Meta-command: attach (or create) a durable store and swap
+            // the session to the recovered database.
+            match open_store(dir.trim(), &cfg.db) {
+                Ok(s) => {
+                    session = s;
+                    println!(
+                        "opened store ({} individuals)",
+                        session.db().individual_count()
+                    );
+                }
+                Err(msg) => eprintln!("error: {msg}"),
+            }
+            print!("xsql> ");
+            let _ = io::stdout().flush();
+            continue;
         }
         buf.push_str(&line);
         buf.push('\n');

@@ -1,6 +1,6 @@
 //! End-to-end tests of the `xsql` CLI binary.
 
-use std::io::Write;
+use std::io::{Read, Write};
 use std::process::{Command, Stdio};
 
 fn bin() -> Command {
@@ -68,6 +68,72 @@ fn rejects_unknown_fixture_and_flag() {
     assert!(!out.status.success());
     let out = bin().args(["--frobnicate"]).output().unwrap();
     assert!(!out.status.success());
+}
+
+/// Durability end to end: a CLI session with `--open` is SIGKILLed with
+/// a transaction still open; reopening the same directory recovers every
+/// committed statement and none of the uncommitted work.
+#[test]
+fn committed_work_survives_kill_dash_nine() {
+    let dir = std::env::temp_dir().join(format!("xsql_cli_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut child = bin()
+        .args(["--db", "empty", "--open"])
+        .arg(&dir)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(
+            b"CREATE CLASS Thing;\n\
+              ALTER CLASS Thing ADD SIGNATURE Num => Numeral;\n\
+              CREATE OBJECT survivor CLASS Thing SET Num = 1;\n\
+              BEGIN WORK;\n\
+              CREATE OBJECT ghost CLASS Thing SET Num = 2;\n\
+              SELECT X FROM Thing X;\n",
+        )
+        .unwrap();
+    // Drain stdout until the in-transaction SELECT echoes `ghost` — at
+    // that point every prior statement has been processed and the
+    // committed ones fsync'd — then kill the process without warning.
+    let mut seen = String::new();
+    let stdout = child.stdout.as_mut().unwrap();
+    let mut chunk = [0u8; 1024];
+    while !seen.contains("ghost") {
+        let n = stdout.read(&mut chunk).unwrap();
+        assert!(n > 0, "CLI exited early; output so far:\n{seen}");
+        seen.push_str(&String::from_utf8_lossy(&chunk[..n]));
+    }
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    // Reopen the directory: recovery replays the WAL.
+    let script = dir.join("after.xsql");
+    std::fs::write(&script, "SELECT X FROM Thing X;").unwrap();
+    let out = bin()
+        .args(["--db", "empty", "--open"])
+        .arg(&dir)
+        .arg(&script)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("survivor"), "committed row lost:\n{stdout}");
+    assert!(
+        !stdout.contains("ghost"),
+        "uncommitted row survived the crash:\n{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

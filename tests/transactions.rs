@@ -132,3 +132,19 @@ fn rollback_work_restores_method_definitions() {
     // And the signature can be declared again without a clash.
     s.run(METHOD).unwrap();
 }
+
+#[test]
+fn stale_savepoint_surfaces_as_session_error() {
+    // Committing the engine directly underneath an open session
+    // transaction makes the transaction's savepoint stale; ROLLBACK WORK
+    // must then report the engine error instead of silently no-opping.
+    let mut s = Session::new(figure1_db());
+    s.run("BEGIN WORK").unwrap();
+    s.run("UPDATE CLASS Employee SET kim1.Salary = 1").unwrap();
+    s.db_mut().commit();
+    let err = s.run("ROLLBACK WORK").unwrap_err();
+    assert!(
+        matches!(err, XsqlError::Db(oodb::DbError::StaleSavepoint)),
+        "unexpected error: {err}"
+    );
+}
