@@ -1,0 +1,217 @@
+//! E10 — throughput and latency of the concurrent query service.
+//!
+//! Two workloads over a scaled Figure 1 database:
+//!
+//! * `readers_only` — N concurrent sessions (1/2/4/8) issuing the same
+//!   selective join query for a fixed window; snapshot-isolated reads
+//!   share one published epoch, so throughput should scale with the
+//!   reader pool until `max_readers` gates it.
+//! * `mixed` — 4 readers plus 1 writer committing single-statement
+//!   updates through the group-commit path of a real durable store
+//!   (WAL + fsync); reports read throughput alongside write commit
+//!   rate and latency, i.e. what snapshot isolation costs readers when
+//!   epochs are moving.
+//!
+//! Results go to `BENCH_service.json` at the repo root (hand-rendered
+//! JSON; the offline criterion shim has no reporting). Wall-clock
+//! timing — the quantities of interest are thread-level throughputs,
+//! not nanosecond kernels.
+
+use datagen::{figure1_scaled, Figure1Params};
+use oodb::Database;
+use service::{QueryContext, Service, ServiceConfig};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use storage::RealFs;
+use xsql::Session;
+
+/// Measurement window per configuration.
+const WINDOW: Duration = Duration::from_millis(400);
+
+const READ_QUERY: &str = "SELECT X, Y FROM Employee X, Employee Y \
+                          WHERE X.Salary > Y.Salary AND X.Age < Y.Age";
+
+fn scaled_db() -> Database {
+    figure1_scaled(&Figure1Params::with_total_objects(200))
+}
+
+struct ReadStats {
+    reads: u64,
+    mean_us: u128,
+    p95_us: u128,
+}
+
+/// Spawns `n` reader sessions hammering `READ_QUERY` until `stop`;
+/// returns pooled count and latency percentiles (µs).
+fn run_readers(svc: &Arc<Service>, n: usize, stop: &Arc<AtomicBool>) -> ReadStats {
+    let handles: Vec<_> = (0..n)
+        .map(|_| {
+            let svc = Arc::clone(svc);
+            let stop = Arc::clone(stop);
+            std::thread::spawn(move || {
+                let mut h = svc.connect().expect("connect reader");
+                let mut lat = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let t = Instant::now();
+                    h.query(READ_QUERY, &QueryContext::default()).expect("read");
+                    lat.push(t.elapsed().as_micros());
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut lat: Vec<u128> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("reader thread"))
+        .collect();
+    lat.sort_unstable();
+    let reads = lat.len() as u64;
+    ReadStats {
+        reads,
+        mean_us: lat.iter().sum::<u128>() / lat.len().max(1) as u128,
+        p95_us: lat[lat.len() * 95 / 100],
+    }
+}
+
+fn readers_only(n: usize) -> ReadStats {
+    let svc = Arc::new(Service::start(
+        Session::new(scaled_db()),
+        ServiceConfig::default(),
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let timer = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            std::thread::sleep(WINDOW);
+            stop.store(true, Ordering::Relaxed);
+        })
+    };
+    let stats = run_readers(&svc, n, &stop);
+    timer.join().unwrap();
+    stats
+}
+
+struct MixedStats {
+    read: ReadStats,
+    commits: u64,
+    commit_mean_us: u128,
+    commit_p95_us: u128,
+}
+
+/// 4 readers + 1 writer over a *durable* store: every commit unit is
+/// WAL-appended and fsync'd by the service's group-commit loop.
+fn mixed() -> MixedStats {
+    let dir = std::env::temp_dir().join(format!("xsql_bench_service_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut session = Session::open_dir(
+        Box::new(RealFs),
+        &dir,
+        scaled_db(),
+        "figure1",
+        Default::default(),
+    )
+    .expect("create store");
+    session.run("CREATE CLASS Tick").unwrap();
+    session
+        .run("ALTER CLASS Tick ADD SIGNATURE N => Numeral")
+        .unwrap();
+    session
+        .run("CREATE OBJECT t0 CLASS Tick SET N = 0")
+        .unwrap();
+
+    let svc = Arc::new(Service::start(session, ServiceConfig::default()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let svc = Arc::clone(&svc);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut h = svc.connect().expect("connect writer");
+            let mut lat = Vec::new();
+            let mut i = 0i64;
+            while !stop.load(Ordering::Relaxed) {
+                i += 1;
+                let t = Instant::now();
+                h.execute(
+                    &format!("UPDATE CLASS Tick SET t0.N = {i}"),
+                    &QueryContext::default(),
+                )
+                .expect("commit");
+                lat.push(t.elapsed().as_micros());
+            }
+            lat
+        })
+    };
+    let timer = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            std::thread::sleep(WINDOW);
+            stop.store(true, Ordering::Relaxed);
+        })
+    };
+    let read = run_readers(&svc, 4, &stop);
+    let mut wlat = writer.join().expect("writer thread");
+    timer.join().unwrap();
+    wlat.sort_unstable();
+    let commits = wlat.len() as u64;
+    let stats = MixedStats {
+        read,
+        commits,
+        commit_mean_us: wlat.iter().sum::<u128>() / wlat.len().max(1) as u128,
+        commit_p95_us: wlat[wlat.len() * 95 / 100],
+    };
+    drop(svc);
+    let _ = std::fs::remove_dir_all(&dir);
+    stats
+}
+
+fn main() {
+    let secs = WINDOW.as_secs_f64();
+    let mut json = String::from("{\n  \"experiment\": \"E10_service_throughput\",\n");
+    let _ = writeln!(json, "  \"window_ms\": {},", WINDOW.as_millis());
+    let _ = writeln!(
+        json,
+        "  \"read_query\": \"2-var Employee join over 200-object figure1\","
+    );
+    json.push_str("  \"readers_only\": [\n");
+    let ns = [1usize, 2, 4, 8];
+    for (i, &n) in ns.iter().enumerate() {
+        let s = readers_only(n);
+        let qps = s.reads as f64 / secs;
+        println!(
+            "readers_only n={n}: {} reads ({qps:.0}/s), mean {} µs, p95 {} µs",
+            s.reads, s.mean_us, s.p95_us
+        );
+        let _ = write!(
+            json,
+            "    {{\"readers\": {n}, \"reads\": {}, \"reads_per_sec\": {qps:.1}, \
+             \"mean_us\": {}, \"p95_us\": {}}}",
+            s.reads, s.mean_us, s.p95_us
+        );
+        json.push_str(if i + 1 < ns.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+
+    let m = mixed();
+    let rqps = m.read.reads as f64 / secs;
+    let cps = m.commits as f64 / secs;
+    println!(
+        "mixed 4r+1w: {} reads ({rqps:.0}/s) mean {} µs p95 {} µs; \
+         {} commits ({cps:.0}/s) mean {} µs p95 {} µs",
+        m.read.reads, m.read.mean_us, m.read.p95_us, m.commits, m.commit_mean_us, m.commit_p95_us
+    );
+    let _ = write!(
+        json,
+        "  \"mixed_4r_1w_durable\": {{\"reads\": {}, \"reads_per_sec\": {rqps:.1}, \
+         \"read_mean_us\": {}, \"read_p95_us\": {}, \"commits\": {}, \
+         \"commits_per_sec\": {cps:.1}, \"commit_mean_us\": {}, \"commit_p95_us\": {}}}\n",
+        m.read.reads, m.read.mean_us, m.read.p95_us, m.commits, m.commit_mean_us, m.commit_p95_us
+    );
+    json.push_str("}\n");
+
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_service.json");
+    std::fs::write(&out, &json).expect("write BENCH_service.json");
+    println!("{json}");
+}

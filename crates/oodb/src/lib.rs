@@ -34,6 +34,7 @@
 
 mod builder;
 mod database;
+mod epoch;
 mod error;
 mod oid;
 mod redo;
@@ -44,6 +45,7 @@ mod value;
 
 pub use builder::DbBuilder;
 pub use database::{Database, MethodImpl, MAX_INVOKE_DEPTH};
+pub use epoch::{EpochCell, EpochDb};
 pub use error::{DbError, DbResult};
 pub use oid::{Oid, OidData, OidTable};
 pub use redo::RedoOp;

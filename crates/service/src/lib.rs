@@ -1,0 +1,942 @@
+//! # service — a concurrent query service over one xsql session
+//!
+//! The engine underneath ([`xsql::Session`]) is strictly
+//! single-threaded: one mutable [`oodb::Database`], one WAL. This crate
+//! turns it into a multi-session service without touching the engine's
+//! internals, using the classic *single writer, snapshot readers*
+//! architecture:
+//!
+//! * **Writes serialize through one writer thread** that owns the
+//!   `Session`. Submitted write units queue on a bounded channel; the
+//!   writer drains them in batches and *group-commits*: every unit in a
+//!   batch appends its WAL records without an fsync, then a single
+//!   fsync makes the whole batch durable at once, and only then is any
+//!   unit acknowledged. One fsync per batch instead of one per
+//!   statement is where multi-client write throughput comes from.
+//! * **Reads never enter the writer queue.** After each durable batch
+//!   the writer publishes an immutable copy of the database as a new
+//!   *epoch* ([`oodb::EpochCell`]); readers evaluate against the epoch
+//!   they grabbed, in parallel, with no locks held during evaluation.
+//!   This is snapshot isolation: a reader sees a committed prefix of
+//!   the write history, never a torn intermediate state.
+//! * **Every statement carries a [`QueryContext`]** — wall-clock
+//!   deadline plus a cooperative [`CancelFlag`] — threaded into the
+//!   evaluator's tick loop, so a runaway query degrades into
+//!   [`XsqlError::Cancelled`] instead of wedging a worker thread.
+//! * **Admission control**: a bounded handle count, a bounded write
+//!   queue and a bounded reader gate. When a limit is hit the service
+//!   *sheds load* with [`ServiceError::Overloaded`] and a suggested
+//!   retry-after, rather than queueing unboundedly.
+//!
+//! See `docs/CONCURRENCY.md` for the protocol in full, and
+//! `crates/service/tests/chaos.rs` for the seeded chaos harness that
+//! hammers all of it at once.
+
+#![warn(missing_docs)]
+
+use oodb::{Database, EpochCell, EpochDb};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use xsql::ast::Stmt;
+use xsql::eval::CancelFlag;
+use xsql::{parse, EvalOptions, Outcome, Session, XsqlError};
+
+/// Admission-control and group-commit knobs. The defaults suit an
+/// interactive workload; the chaos harness shrinks them to force
+/// contention.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Maximum concurrently connected [`SessionHandle`]s; further
+    /// [`Service::connect`] calls shed with [`ServiceError::Overloaded`].
+    pub max_sessions: usize,
+    /// Depth of the bounded write queue; a full queue sheds submitters.
+    pub max_queue: usize,
+    /// Maximum concurrently *evaluating* readers.
+    pub max_readers: usize,
+    /// Maximum readers parked waiting for an evaluation slot; beyond
+    /// this the reader is shed instead of queued.
+    pub max_read_waiters: usize,
+    /// Maximum write units the writer folds into one group commit
+    /// (one fsync).
+    pub max_group_commit: usize,
+    /// Deadline applied to statements whose [`QueryContext`] does not
+    /// carry one. `None` means such statements run without a deadline.
+    pub default_deadline: Option<Duration>,
+    /// Back-off the service suggests to shed clients.
+    pub retry_after: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_sessions: 64,
+            max_queue: 64,
+            max_readers: 8,
+            max_read_waiters: 32,
+            max_group_commit: 16,
+            default_deadline: None,
+            retry_after: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Per-statement execution context: how long the statement may run and
+/// how to interrupt it from outside.
+#[derive(Debug, Clone, Default)]
+pub struct QueryContext {
+    /// Wall-clock point past which the statement cancels itself. Also
+    /// bounds time spent queued or waiting for a reader slot.
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation token; trip it from any thread to stop
+    /// the statement at its next evaluation tick.
+    pub cancel: CancelFlag,
+    /// Deterministic cancellation injection for tests: cancel at the
+    /// first evaluation tick whose work count reaches this value.
+    pub cancel_at_tick: Option<u64>,
+}
+
+impl QueryContext {
+    /// A context whose deadline is `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        QueryContext {
+            deadline: Some(Instant::now() + timeout),
+            ..QueryContext::default()
+        }
+    }
+}
+
+/// Errors produced by the service layer itself, wrapping engine errors
+/// where a statement reached the engine and failed there.
+#[derive(Debug, Clone)]
+pub enum ServiceError {
+    /// Admission control shed this request; retry after the hint.
+    Overloaded {
+        /// Suggested back-off before retrying.
+        retry_after: Duration,
+    },
+    /// The service is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// The service hit an unrecoverable storage fault (e.g. a failed
+    /// group-commit fsync, after which memory runs ahead of the log)
+    /// and refuses all further writes. Reads of already-published
+    /// epochs — which are all durable — keep working.
+    Poisoned(String),
+    /// The statement executed and failed in the engine; the service is
+    /// healthy.
+    Xsql(XsqlError),
+    /// The statement sequence violated the session protocol (e.g.
+    /// `COMMIT WORK` with no open transaction on this handle).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Overloaded { retry_after } => {
+                write!(f, "service overloaded; retry after {retry_after:?}")
+            }
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Poisoned(m) => {
+                write!(f, "service is poisoned by a storage fault: {m}")
+            }
+            ServiceError::Xsql(e) => write!(f, "{e}"),
+            ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<XsqlError> for ServiceError {
+    fn from(e: XsqlError) -> Self {
+        ServiceError::Xsql(e)
+    }
+}
+
+/// The answer to a read statement, pinned to the epoch it ran against.
+#[derive(Debug, Clone)]
+pub struct ReadResult {
+    /// The statement's outcome ([`Outcome::Relation`] or
+    /// [`Outcome::Explained`]).
+    pub outcome: Outcome,
+    /// Epoch sequence number the read saw.
+    pub epoch: u64,
+    /// The immutable snapshot the read evaluated against. Holding it
+    /// keeps that state alive for follow-up inspection.
+    pub snapshot: Arc<Database>,
+}
+
+/// Acknowledgement of a durably committed write unit.
+#[derive(Debug, Clone)]
+pub struct WriteAck {
+    /// Outcome of each statement in the unit, in order.
+    pub outcomes: Vec<Outcome>,
+    /// The epoch that first exposes this unit to readers.
+    pub epoch: u64,
+}
+
+/// What [`SessionHandle::execute`] produced.
+#[derive(Debug, Clone)]
+pub enum ExecResult {
+    /// A read-only statement evaluated against a snapshot.
+    Read(ReadResult),
+    /// An auto-commit write was durably committed.
+    Write(WriteAck),
+    /// `BEGIN WORK`: the handle now buffers statements.
+    TxnStarted,
+    /// The statement was buffered into the handle's open transaction;
+    /// it executes at `COMMIT WORK`.
+    Buffered,
+    /// `COMMIT WORK`: the buffered unit committed atomically.
+    TxnCommitted(WriteAck),
+    /// `ROLLBACK WORK`: the buffered unit was discarded unexecuted.
+    TxnRolledBack,
+}
+
+/// Point-in-time service counters, for monitoring and leak checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Connected [`SessionHandle`]s.
+    pub sessions: usize,
+    /// Readers currently evaluating.
+    pub active_readers: usize,
+    /// Readers parked waiting for an evaluation slot.
+    pub waiting_readers: usize,
+    /// Sequence number of the latest published epoch.
+    pub epoch: u64,
+}
+
+/// One write unit submitted to the writer thread.
+struct WriteReq {
+    /// The unit's statements: one for an auto-commit write, several for
+    /// an explicit-transaction unit.
+    stmts: Vec<String>,
+    /// True when the unit must run inside `BEGIN WORK … COMMIT WORK`.
+    txn: bool,
+    ctx: QueryContext,
+    reply: SyncSender<Result<WriteAck, ServiceError>>,
+}
+
+/// Reader-gate state under the mutex.
+#[derive(Default)]
+struct GateState {
+    active: usize,
+    waiting: usize,
+}
+
+struct Inner {
+    cfg: ServiceConfig,
+    epoch: EpochCell,
+    /// Write-queue sender; `None` once shutdown started.
+    tx: Mutex<Option<SyncSender<WriteReq>>>,
+    gate: Mutex<GateState>,
+    gate_cv: Condvar,
+    sessions: AtomicUsize,
+    poison: Mutex<Option<String>>,
+    /// Options the writer session was started with; readers inherit
+    /// them (budget, strategy) with the per-statement context merged in.
+    base_opts: EvalOptions,
+}
+
+impl Inner {
+    fn poison_check(&self) -> Result<(), ServiceError> {
+        match &*self.poison.lock().unwrap_or_else(|e| e.into_inner()) {
+            Some(m) => Err(ServiceError::Poisoned(m.clone())),
+            None => Ok(()),
+        }
+    }
+
+    fn set_poison(&self, m: String) {
+        let mut p = self.poison.lock().unwrap_or_else(|e| e.into_inner());
+        p.get_or_insert(m);
+    }
+}
+
+/// The running service: a writer thread plus shared state. Connect
+/// handles with [`Service::connect`]; stop it with
+/// [`Service::shutdown`], which returns the underlying [`Session`].
+pub struct Service {
+    inner: Arc<Inner>,
+    writer: Option<JoinHandle<Session>>,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Service {
+    /// Starts the service over `session`, which becomes the single
+    /// writer's engine. The session's current committed state is
+    /// published as epoch 0.
+    pub fn start(session: Session, cfg: ServiceConfig) -> Service {
+        let (tx, rx) = mpsc::sync_channel::<WriteReq>(cfg.max_queue.max(1));
+        let inner = Arc::new(Inner {
+            epoch: EpochCell::new(session.db().clone()),
+            tx: Mutex::new(Some(tx)),
+            gate: Mutex::new(GateState::default()),
+            gate_cv: Condvar::new(),
+            sessions: AtomicUsize::new(0),
+            poison: Mutex::new(None),
+            base_opts: session.options().clone(),
+            cfg,
+        });
+        let writer_inner = Arc::clone(&inner);
+        let writer = std::thread::Builder::new()
+            .name("xsql-service-writer".into())
+            .spawn(move || writer_loop(session, rx, writer_inner))
+            .expect("spawn writer thread");
+        Service {
+            inner,
+            writer: Some(writer),
+        }
+    }
+
+    /// Connects a new session handle, or sheds with
+    /// [`ServiceError::Overloaded`] when `max_sessions` are connected.
+    pub fn connect(&self) -> Result<SessionHandle, ServiceError> {
+        let cfg = &self.inner.cfg;
+        let mut n = self.inner.sessions.load(Ordering::Relaxed);
+        loop {
+            if n >= cfg.max_sessions {
+                return Err(ServiceError::Overloaded {
+                    retry_after: cfg.retry_after,
+                });
+            }
+            match self.inner.sessions.compare_exchange(
+                n,
+                n + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(cur) => n = cur,
+            }
+        }
+        Ok(SessionHandle {
+            inner: Arc::clone(&self.inner),
+            reader: None,
+            txn: None,
+        })
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServiceStats {
+        let gate = self.inner.gate.lock().unwrap_or_else(|e| e.into_inner());
+        ServiceStats {
+            sessions: self.inner.sessions.load(Ordering::Relaxed),
+            active_readers: gate.active,
+            waiting_readers: gate.waiting,
+            epoch: self.inner.epoch.load().seq,
+        }
+    }
+
+    /// The latest published epoch (snapshot + sequence number).
+    pub fn epoch(&self) -> EpochDb {
+        self.inner.epoch.load()
+    }
+
+    /// The poison message, if a storage fault killed the writer.
+    pub fn poisoned(&self) -> Option<String> {
+        self.inner
+            .poison
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Stops accepting writes, drains the queue, joins the writer and
+    /// returns the underlying session. Queued units still commit (or
+    /// are answered with an error) before the writer exits.
+    pub fn shutdown(mut self) -> Result<Session, ServiceError> {
+        self.close_queue();
+        let writer = self.writer.take().expect("writer joined once");
+        writer
+            .join()
+            .map_err(|_| ServiceError::Poisoned("writer thread panicked".into()))
+    }
+
+    fn close_queue(&self) {
+        self.inner
+            .tx
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.close_queue();
+        if let Some(w) = self.writer.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+/// One client's connection to the [`Service`].
+///
+/// Reads evaluate in parallel on the calling thread against the latest
+/// published epoch; writes are submitted to the writer queue and block
+/// (respecting the context deadline) until durably committed. `BEGIN
+/// WORK` opens a *buffered* transaction: subsequent statements queue on
+/// the handle and execute as one atomic, group-committed unit at
+/// `COMMIT WORK` — so a handle transaction holds no engine resources
+/// while open and cannot block other sessions.
+pub struct SessionHandle {
+    inner: Arc<Inner>,
+    /// Cached reader session, valid for exactly one epoch: resolving a
+    /// statement interns symbols (a mutation), so reads run on a
+    /// private copy of the snapshot, rebuilt when the epoch advances.
+    reader: Option<(u64, Session)>,
+    /// Buffered statements of the open handle transaction.
+    txn: Option<Vec<String>>,
+}
+
+impl std::fmt::Debug for SessionHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionHandle")
+            .field("in_transaction", &self.txn.is_some())
+            .finish()
+    }
+}
+
+impl Drop for SessionHandle {
+    fn drop(&mut self) {
+        self.inner.sessions.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// True when `stmt` cannot modify the database and may run on a
+/// snapshot: plain SELECTs (no OID FUNCTION clause), their set-algebra
+/// combinations, and EXPLAIN.
+fn is_read_only(stmt: &Stmt) -> bool {
+    match stmt {
+        Stmt::Select(q) => q.oid_fn.is_none(),
+        Stmt::RelOp { left, right, .. } => is_read_only(left) && is_read_only(right),
+        Stmt::Explain(_) => true,
+        _ => false,
+    }
+}
+
+impl SessionHandle {
+    /// Runs one statement under `ctx`. Classification is automatic:
+    /// read-only statements evaluate on this thread against the latest
+    /// epoch; everything else goes through the writer.
+    pub fn execute(&mut self, src: &str, ctx: &QueryContext) -> Result<ExecResult, ServiceError> {
+        let stmt = parse(src)?;
+        match stmt {
+            Stmt::Begin => {
+                if self.txn.is_some() {
+                    return Err(ServiceError::Protocol(
+                        "BEGIN WORK inside an open transaction".into(),
+                    ));
+                }
+                self.txn = Some(Vec::new());
+                Ok(ExecResult::TxnStarted)
+            }
+            Stmt::Commit => {
+                let stmts = self.txn.take().ok_or_else(|| {
+                    ServiceError::Protocol("COMMIT WORK without BEGIN WORK".into())
+                })?;
+                if stmts.is_empty() {
+                    return Ok(ExecResult::TxnCommitted(WriteAck {
+                        outcomes: Vec::new(),
+                        epoch: self.inner.epoch.load().seq,
+                    }));
+                }
+                match self.submit_write(stmts.clone(), true, ctx) {
+                    Ok(ack) => Ok(ExecResult::TxnCommitted(ack)),
+                    // Shedding happens before the unit is enqueued, so
+                    // the transaction is intact: restore the buffer and
+                    // let the client retry the COMMIT.
+                    Err(e @ ServiceError::Overloaded { .. }) => {
+                        self.txn = Some(stmts);
+                        Err(e)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            Stmt::Rollback => {
+                self.txn.take().ok_or_else(|| {
+                    ServiceError::Protocol("ROLLBACK WORK without BEGIN WORK".into())
+                })?;
+                Ok(ExecResult::TxnRolledBack)
+            }
+            _ if self.txn.is_some() => {
+                self.txn.as_mut().expect("checked").push(src.to_string());
+                Ok(ExecResult::Buffered)
+            }
+            ref s if is_read_only(s) => self.read(src, ctx).map(ExecResult::Read),
+            _ => self
+                .submit_write(vec![src.to_string()], false, ctx)
+                .map(ExecResult::Write),
+        }
+    }
+
+    /// Convenience: run a read-only query and return its relation.
+    pub fn query(
+        &mut self,
+        src: &str,
+        ctx: &QueryContext,
+    ) -> Result<relalg::Relation, ServiceError> {
+        match self.execute(src, ctx)? {
+            ExecResult::Read(r) => match r.outcome {
+                Outcome::Relation(rel) => Ok(rel),
+                o => Err(ServiceError::Protocol(format!(
+                    "statement did not produce a relation: {o:?}"
+                ))),
+            },
+            _ => Err(ServiceError::Protocol(
+                "statement was not a read-only query".into(),
+            )),
+        }
+    }
+
+    /// True while a handle transaction is buffering statements.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Resolves the effective deadline: the context's own, else the
+    /// service default.
+    fn effective_deadline(&self, ctx: &QueryContext) -> Option<Instant> {
+        ctx.deadline
+            .or_else(|| self.inner.cfg.default_deadline.map(|d| Instant::now() + d))
+    }
+
+    fn read(&mut self, src: &str, ctx: &QueryContext) -> Result<ReadResult, ServiceError> {
+        let deadline = self.effective_deadline(ctx);
+        self.acquire_read_slot(deadline)?;
+        let r = self.read_in_slot(src, ctx, deadline);
+        self.release_read_slot();
+        r
+    }
+
+    fn read_in_slot(
+        &mut self,
+        src: &str,
+        ctx: &QueryContext,
+        deadline: Option<Instant>,
+    ) -> Result<ReadResult, ServiceError> {
+        let ep = self.inner.epoch.load();
+        let stale = match &self.reader {
+            Some((seq, _)) => *seq != ep.seq,
+            None => true,
+        };
+        if stale {
+            // Private copy of the snapshot: resolution interns symbols,
+            // which must never touch the shared published state.
+            self.reader = Some((
+                ep.seq,
+                Session::with_options((*ep.db).clone(), self.inner.base_opts.clone()),
+            ));
+        }
+        let (_, sess) = self.reader.as_mut().expect("just cached");
+        let mut opts = self.inner.base_opts.clone();
+        opts.cancel = ctx.cancel.clone();
+        opts.budget.deadline = deadline;
+        opts.budget.cancel_at_tick = ctx.cancel_at_tick;
+        sess.set_options(opts);
+        let outcome = sess.run(src)?;
+        Ok(ReadResult {
+            outcome,
+            epoch: ep.seq,
+            snapshot: ep.db,
+        })
+    }
+
+    fn acquire_read_slot(&self, deadline: Option<Instant>) -> Result<(), ServiceError> {
+        let cfg = &self.inner.cfg;
+        let mut gate = self.inner.gate.lock().unwrap_or_else(|e| e.into_inner());
+        if gate.active < cfg.max_readers {
+            gate.active += 1;
+            return Ok(());
+        }
+        if gate.waiting >= cfg.max_read_waiters {
+            return Err(ServiceError::Overloaded {
+                retry_after: cfg.retry_after,
+            });
+        }
+        gate.waiting += 1;
+        let r = loop {
+            if gate.active < cfg.max_readers {
+                gate.active += 1;
+                break Ok(());
+            }
+            match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        break Err(ServiceError::Xsql(XsqlError::Cancelled {
+                            reason: "deadline exceeded while waiting for a reader slot".into(),
+                        }));
+                    }
+                    let (g, _) = self
+                        .inner
+                        .gate_cv
+                        .wait_timeout(gate, d - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    gate = g;
+                }
+                None => {
+                    gate = self
+                        .inner
+                        .gate_cv
+                        .wait(gate)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        };
+        gate.waiting -= 1;
+        r
+    }
+
+    fn release_read_slot(&self) {
+        let mut gate = self.inner.gate.lock().unwrap_or_else(|e| e.into_inner());
+        gate.active -= 1;
+        drop(gate);
+        self.inner.gate_cv.notify_one();
+    }
+
+    fn submit_write(
+        &self,
+        stmts: Vec<String>,
+        txn: bool,
+        ctx: &QueryContext,
+    ) -> Result<WriteAck, ServiceError> {
+        self.inner.poison_check()?;
+        let deadline = self.effective_deadline(ctx);
+        let tx = self
+            .inner
+            .tx
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .ok_or(ServiceError::ShuttingDown)?
+            .clone();
+        let (reply, ack) = mpsc::sync_channel(1);
+        let req = WriteReq {
+            stmts,
+            txn,
+            ctx: QueryContext {
+                deadline,
+                cancel: ctx.cancel.clone(),
+                cancel_at_tick: ctx.cancel_at_tick,
+            },
+            reply,
+        };
+        match tx.try_send(req) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                return Err(ServiceError::Overloaded {
+                    retry_after: self.inner.cfg.retry_after,
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => return Err(ServiceError::ShuttingDown),
+        }
+        drop(tx);
+        // Wait for the commit acknowledgement. Past the deadline, trip
+        // the cancel token — the writer will abort the unit at its next
+        // tick — and keep waiting for the definitive answer, so the
+        // client always learns whether the unit committed.
+        let got = match deadline {
+            None => ack.recv().map_err(|_| ()),
+            Some(d) => {
+                let now = Instant::now();
+                match ack.recv_timeout(d.saturating_duration_since(now)) {
+                    Ok(r) => Ok(r),
+                    Err(RecvTimeoutError::Timeout) => {
+                        req_cancel(&self.inner, ctx);
+                        ack.recv().map_err(|_| ())
+                    }
+                    Err(RecvTimeoutError::Disconnected) => Err(()),
+                }
+            }
+        };
+        match got {
+            Ok(r) => r,
+            Err(()) => Err(self
+                .inner
+                .poison_check()
+                .err()
+                .unwrap_or(ServiceError::ShuttingDown)),
+        }
+    }
+}
+
+/// Trips the context's cancel token (helper so the borrow of `inner`
+/// stays narrow).
+fn req_cancel(_inner: &Inner, ctx: &QueryContext) {
+    ctx.cancel.cancel();
+}
+
+/// Outcome of one unit inside the writer: a statement-level failure
+/// leaves the service healthy; a fatal (storage) failure poisons it.
+enum UnitError {
+    Stmt(XsqlError),
+    Fatal(String),
+}
+
+fn classify(e: XsqlError) -> UnitError {
+    match e {
+        XsqlError::Storage(m) => UnitError::Fatal(format!("storage fault: {m}")),
+        other => UnitError::Stmt(other),
+    }
+}
+
+/// Executes one write unit on the writer session. On any statement
+/// error inside an explicit unit the whole unit is rolled back, so a
+/// unit is always all-or-nothing.
+fn exec_unit(session: &mut Session, req: &WriteReq) -> Result<Vec<Outcome>, UnitError> {
+    let mut opts = session.options().clone();
+    opts.cancel = req.ctx.cancel.clone();
+    opts.budget.deadline = req.ctx.deadline;
+    opts.budget.cancel_at_tick = req.ctx.cancel_at_tick;
+    session.set_options(opts);
+    if !req.txn {
+        return session
+            .run(&req.stmts[0])
+            .map(|o| vec![o])
+            .map_err(classify);
+    }
+    session.run("BEGIN WORK").map_err(classify)?;
+    let mut outcomes = Vec::with_capacity(req.stmts.len());
+    for s in &req.stmts {
+        match session.run(s) {
+            Ok(o) => outcomes.push(o),
+            Err(e) => return Err(abort_unit(session, e)),
+        }
+    }
+    match session.run("COMMIT WORK") {
+        Ok(_) => Ok(outcomes),
+        Err(e) => Err(abort_unit(session, e)),
+    }
+}
+
+/// Rolls the open unit back after `e`; a rollback failure is fatal
+/// (the writer session is no longer in a known state).
+fn abort_unit(session: &mut Session, e: XsqlError) -> UnitError {
+    if let Err(r) = session.run("ROLLBACK WORK") {
+        return UnitError::Fatal(format!("unit failed ({e}) and rollback also failed: {r}"));
+    }
+    classify(e)
+}
+
+/// The writer thread: drain the queue in batches, execute each unit,
+/// group-commit with one fsync, publish the new epoch, acknowledge.
+fn writer_loop(mut session: Session, rx: Receiver<WriteReq>, inner: Arc<Inner>) -> Session {
+    loop {
+        let first = match rx.recv() {
+            Ok(r) => r,
+            Err(_) => break, // queue closed and drained: shutdown
+        };
+        let mut batch = vec![first];
+        while batch.len() < inner.cfg.max_group_commit.max(1) {
+            match rx.try_recv() {
+                Ok(r) => batch.push(r),
+                Err(_) => break,
+            }
+        }
+        // Execute the whole batch with per-statement fsync off; the
+        // single group fsync below makes it durable all at once.
+        session.set_sync_on_commit(false);
+        let mut fatal: Option<String> = None;
+        let mut results: Vec<Result<Vec<Outcome>, ServiceError>> = Vec::with_capacity(batch.len());
+        for req in &batch {
+            if let Some(m) = &fatal {
+                results.push(Err(ServiceError::Poisoned(m.clone())));
+                continue;
+            }
+            match exec_unit(&mut session, req) {
+                Ok(o) => results.push(Ok(o)),
+                Err(UnitError::Stmt(e)) => results.push(Err(ServiceError::Xsql(e))),
+                Err(UnitError::Fatal(m)) => {
+                    results.push(Err(ServiceError::Poisoned(m.clone())));
+                    fatal = Some(m);
+                }
+            }
+        }
+        session.set_sync_on_commit(true);
+        if fatal.is_none() {
+            if let Err(e) = session.sync_wal() {
+                fatal = Some(format!("group-commit fsync failed: {e}"));
+            }
+        }
+        match fatal {
+            None => {
+                // Durable: publish the new state and acknowledge. The
+                // epoch is published *after* the fsync so readers never
+                // observe state that could vanish in a crash.
+                let seq = inner.epoch.publish(session.db().clone());
+                for (req, res) in batch.into_iter().zip(results) {
+                    let _ = req.reply.send(res.map(|outcomes| WriteAck {
+                        outcomes,
+                        epoch: seq,
+                    }));
+                }
+            }
+            Some(m) => {
+                // Memory may have run ahead of the log: nothing in this
+                // batch is acknowledged as committed, the epoch is not
+                // advanced, and the service stops accepting writes.
+                inner.set_poison(m.clone());
+                for (req, res) in batch.into_iter().zip(results) {
+                    let err = match res {
+                        Err(e) => e,
+                        Ok(_) => ServiceError::Poisoned(m.clone()),
+                    };
+                    let _ = req.reply.send(Err(err));
+                }
+                break;
+            }
+        }
+    }
+    session
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini_session() -> Session {
+        let mut s = Session::new(Database::new());
+        s.run_script(
+            "CREATE CLASS Counter;
+             ALTER CLASS Counter ADD SIGNATURE Val => Numeral;
+             ALTER CLASS Counter ADD SIGNATURE Tag => String;
+             CREATE OBJECT c0 CLASS Counter SET Val = 0, Tag = 'zero';",
+        )
+        .unwrap();
+        s
+    }
+
+    fn val(h: &mut SessionHandle) -> i64 {
+        let rel = h
+            .query(
+                "SELECT W FROM Numeral W WHERE c0.Val[W]",
+                &QueryContext::default(),
+            )
+            .unwrap();
+        let oid = rel.iter().next().unwrap()[0];
+        let snap = match h
+            .execute(
+                "SELECT W FROM Numeral W WHERE c0.Val[W]",
+                &QueryContext::default(),
+            )
+            .unwrap()
+        {
+            ExecResult::Read(r) => r.snapshot,
+            _ => unreachable!(),
+        };
+        snap.oids().as_number(oid).unwrap() as i64
+    }
+
+    #[test]
+    fn writes_publish_epochs_reads_see_them() {
+        let svc = Service::start(mini_session(), ServiceConfig::default());
+        let mut h = svc.connect().unwrap();
+        assert_eq!(val(&mut h), 0);
+        let r = h
+            .execute(
+                "UPDATE CLASS Counter SET c0.Val = 41",
+                &QueryContext::default(),
+            )
+            .unwrap();
+        let ExecResult::Write(ack) = r else {
+            panic!("{r:?}")
+        };
+        assert!(ack.epoch >= 1);
+        assert_eq!(val(&mut h), 41);
+        drop(h);
+        let session = svc.shutdown().unwrap();
+        assert!(!session.in_transaction());
+    }
+
+    #[test]
+    fn handle_transaction_is_atomic_and_buffered() {
+        let svc = Service::start(mini_session(), ServiceConfig::default());
+        let mut h = svc.connect().unwrap();
+        let ctx = QueryContext::default();
+        assert!(matches!(
+            h.execute("BEGIN WORK", &ctx).unwrap(),
+            ExecResult::TxnStarted
+        ));
+        assert!(matches!(
+            h.execute("UPDATE CLASS Counter SET c0.Val = 7", &ctx)
+                .unwrap(),
+            ExecResult::Buffered
+        ));
+        // Buffered, not executed: other sessions still see 0.
+        let mut h2 = svc.connect().unwrap();
+        assert_eq!(val(&mut h2), 0);
+        let r = h.execute("COMMIT WORK", &ctx).unwrap();
+        let ExecResult::TxnCommitted(ack) = r else {
+            panic!("{r:?}")
+        };
+        assert_eq!(ack.outcomes.len(), 1);
+        assert_eq!(val(&mut h2), 7);
+    }
+
+    #[test]
+    fn failing_statement_aborts_the_whole_unit() {
+        let svc = Service::start(mini_session(), ServiceConfig::default());
+        let mut h = svc.connect().unwrap();
+        let ctx = QueryContext::default();
+        h.execute("BEGIN WORK", &ctx).unwrap();
+        h.execute("UPDATE CLASS Counter SET c0.Val = 9", &ctx)
+            .unwrap();
+        // Arithmetic on the string-valued Tag fails at eval time.
+        h.execute("UPDATE CLASS Counter SET c0.Val = c0.Tag + 1", &ctx)
+            .unwrap();
+        let err = h.execute("COMMIT WORK", &ctx).unwrap_err();
+        assert!(matches!(err, ServiceError::Xsql(_)), "{err}");
+        assert_eq!(val(&mut h), 0, "unit must be all-or-nothing");
+        // The writer session is healthy: later writes commit.
+        h.execute("UPDATE CLASS Counter SET c0.Val = 5", &ctx)
+            .unwrap();
+        assert_eq!(val(&mut h), 5);
+    }
+
+    #[test]
+    fn connect_limit_sheds() {
+        let cfg = ServiceConfig {
+            max_sessions: 2,
+            ..ServiceConfig::default()
+        };
+        let svc = Service::start(mini_session(), cfg);
+        let _a = svc.connect().unwrap();
+        let _b = svc.connect().unwrap();
+        assert!(matches!(
+            svc.connect(),
+            Err(ServiceError::Overloaded { .. })
+        ));
+        drop(_a);
+        assert!(svc.connect().is_ok());
+    }
+
+    #[test]
+    fn shutdown_rejects_new_writes() {
+        let svc = Service::start(mini_session(), ServiceConfig::default());
+        let mut h = svc.connect().unwrap();
+        let session = {
+            let svc2 = svc;
+            svc2.close_queue();
+            let err = h
+                .execute(
+                    "UPDATE CLASS Counter SET c0.Val = 1",
+                    &QueryContext::default(),
+                )
+                .unwrap_err();
+            assert!(matches!(err, ServiceError::ShuttingDown), "{err}");
+            svc2.shutdown().unwrap()
+        };
+        assert!(!session.in_transaction());
+    }
+}

@@ -74,11 +74,14 @@ impl StorageFs for RealFs {
     }
 
     fn sync_dir(&self, dir: &Path) -> io::Result<()> {
-        // Directory fsync is a POSIX idiom; on platforms where opening a
-        // directory for sync is unsupported, the rename is already as
-        // durable as the platform allows.
+        // Directory fsync is a POSIX idiom; on platforms where a
+        // directory cannot be opened for syncing, the rename is already
+        // as durable as the platform allows. But once the directory IS
+        // open, an fsync failure is a real I/O error and must propagate:
+        // swallowing it would let a checkpoint truncate the WAL while
+        // the snapshot rename is not yet durable.
         match fs::File::open(dir) {
-            Ok(d) => d.sync_all().or(Ok(())),
+            Ok(d) => d.sync_all(),
             Err(_) => Ok(()),
         }
     }

@@ -104,6 +104,14 @@ impl Store {
         store.fs.write(&store.path(WAL), b"")?;
         store.fs.sync(&store.path(WAL))?;
         store.fs.sync_dir(&store.dir)?;
+        // The store directory's own entry must also be durable, or a
+        // crash right after create could lose the whole store even
+        // though its files were fsynced.
+        if let Some(parent) = store.dir.parent() {
+            if !parent.as_os_str().is_empty() {
+                store.fs.sync_dir(parent)?;
+            }
+        }
         Ok(store)
     }
 
@@ -124,9 +132,12 @@ impl Store {
         };
         let base_tag = parse_meta(&store.fs.read(&store.path(META))?)?;
         // A leftover temp file is a checkpoint that never renamed; it is
-        // dead weight, not data.
+        // dead weight, not data. Make the removal durable so the stale
+        // temp file cannot reappear after a crash and be mistaken for
+        // in-progress work forever.
         if store.fs.exists(&store.path(SNAPSHOT_TMP)) {
-            let _ = store.fs.remove(&store.path(SNAPSHOT_TMP));
+            store.fs.remove(&store.path(SNAPSHOT_TMP))?;
+            store.fs.sync_dir(&store.dir)?;
         }
         let snapshot = if store.fs.exists(&store.path(SNAPSHOT)) {
             Some(decode_snapshot(&store.fs.read(&store.path(SNAPSHOT))?)?)
@@ -176,6 +187,14 @@ impl Store {
     /// commits can be lost on power failure.
     pub fn set_sync_on_commit(&mut self, on: bool) {
         self.sync_on_commit = on;
+    }
+
+    /// Fsyncs the WAL file. Group commit uses this: a batch of appends
+    /// made with `sync_on_commit` disabled becomes durable all at once
+    /// with this single sync, amortizing the fsync cost over the batch.
+    pub fn sync_wal(&mut self) -> StorageResult<()> {
+        self.fs.sync(&self.path(WAL))?;
+        Ok(())
     }
 
     /// Appends one commit-unit payload to the WAL and makes it durable.

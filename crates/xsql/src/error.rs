@@ -62,6 +62,24 @@ pub enum XsqlError {
         /// The configured limit that was hit.
         limit: usize,
     },
+    /// The statement was cancelled before completing: its deadline
+    /// expired, its cancellation token was tripped, or a deterministic
+    /// test harness injected a cancellation. The statement's implicit
+    /// savepoint rolls every partial effect back, so cancellation is
+    /// always clean — the database is bit-identical to the
+    /// pre-statement state.
+    Cancelled {
+        /// User-facing description of why the statement was cancelled
+        /// (e.g. "deadline of 250ms exceeded", "cancelled by client").
+        reason: String,
+    },
+    /// A prior statement inside the open explicit transaction failed,
+    /// poisoning the transaction: every further statement is rejected
+    /// with this error until `ROLLBACK WORK` discards the transaction.
+    TransactionPoisoned {
+        /// Rendering of the error that poisoned the transaction.
+        cause: String,
+    },
     /// Error from the durable-storage layer (WAL append, checkpoint or
     /// recovery). A statement whose WAL flush fails is rolled back, so
     /// the in-memory database still matches what is on disk.
@@ -174,6 +192,14 @@ impl fmt::Display for XsqlError {
             XsqlError::Budget { resource, limit } => {
                 write!(f, "evaluation exceeded {resource} budget of {limit}")
             }
+            XsqlError::Cancelled { reason } => {
+                write!(f, "statement cancelled: {reason} (no changes were applied)")
+            }
+            XsqlError::TransactionPoisoned { cause } => write!(
+                f,
+                "transaction is poisoned by an earlier error ({cause}); \
+                 run ROLLBACK WORK before issuing further statements"
+            ),
             XsqlError::Storage(m) => write!(f, "storage error: {m}"),
             XsqlError::Internal(m) => write!(f, "internal error (engine bug): {m}"),
         }

@@ -30,6 +30,37 @@ use crate::error::{XsqlError, XsqlResult};
 use oodb::{Database, Oid};
 use std::cell::Cell as StdCell;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Cooperative cancellation token, checked at the evaluator's tick
+/// points alongside the other [`EvalBudget`] resources. Cloning shares
+/// the underlying flag, so one handle can be kept by a controller
+/// thread while its clone travels into [`EvalOptions`]; tripping it
+/// makes the running statement fail with [`XsqlError::Cancelled`] at
+/// the next tick, after which the statement's implicit savepoint rolls
+/// all partial effects back.
+#[derive(Debug, Clone, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// A fresh, untripped token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the token: the statement evaluating under it cancels at
+    /// its next tick point.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`CancelFlag::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
 
 /// Evaluation strategy (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -60,6 +91,11 @@ pub struct EvalOptions {
     /// Resource budgets beyond the tick-based work limit (see
     /// [`EvalBudget`]).
     pub budget: EvalBudget,
+    /// Cooperative cancellation token. The default token is never
+    /// tripped; a service layer installs a per-statement clone so a
+    /// hung or abandoned query degrades into [`XsqlError::Cancelled`]
+    /// instead of wedging its worker.
+    pub cancel: CancelFlag,
 }
 
 impl Default for EvalOptions {
@@ -70,6 +106,7 @@ impl Default for EvalOptions {
             path_var_limit: 4,
             use_method_index: true,
             budget: EvalBudget::default(),
+            cancel: CancelFlag::default(),
         }
     }
 }
@@ -92,7 +129,23 @@ pub struct EvalBudget {
     /// Maximum size of a single binding set (the candidate values a
     /// generator enumerates for one variable). Bounds generator fan-out.
     pub max_binding_set: usize,
+    /// Wall-clock deadline. Checked every [`DEADLINE_CHECK_MASK`]+1
+    /// ticks (reading the clock each tick would dominate evaluation);
+    /// past it the statement fails with [`XsqlError::Cancelled`].
+    pub deadline: Option<Instant>,
+    /// Deterministic cancellation point: the statement cancels at the
+    /// first tick whose work count reaches this value. This is the
+    /// reproducible twin of [`EvalOptions::cancel`] — the cancellation
+    /// proptest sweeps it across every tick of a statement, and the
+    /// chaos harness uses it for seeded injected cancellations.
+    pub cancel_at_tick: Option<u64>,
 }
+
+/// The deadline and the cancellation flag are polled when
+/// `work & DEADLINE_CHECK_MASK == 0`, i.e. every 64 ticks — frequent
+/// enough that cancellation latency is microseconds, rare enough that
+/// the clock read and atomic load vanish from profiles.
+pub const DEADLINE_CHECK_MASK: u64 = 63;
 
 impl Default for EvalBudget {
     fn default() -> Self {
@@ -100,6 +153,8 @@ impl Default for EvalBudget {
             max_path_depth: 128,
             max_tuples: 5_000_000,
             max_binding_set: 1_000_000,
+            deadline: None,
+            cancel_at_tick: None,
         }
     }
 }
@@ -162,16 +217,51 @@ impl<'d> Ctx<'d> {
         }
     }
 
-    /// Accounts one unit of work; errors when the limit is exceeded.
+    /// Accounts one unit of work; errors when the limit is exceeded,
+    /// when the statement's deadline has passed, or when its
+    /// cancellation token was tripped (the same tick points serve all
+    /// three, so every loop the work limit bounds is also a
+    /// cancellation point).
     #[inline]
     pub fn tick(&self) -> XsqlResult<()> {
         let w = self.work.get() + 1;
         self.work.set(w);
         if w > self.opts.work_limit {
-            Err(XsqlError::WorkLimit(self.opts.work_limit))
-        } else {
-            Ok(())
+            return Err(XsqlError::WorkLimit(self.opts.work_limit));
         }
+        if let Some(k) = self.opts.budget.cancel_at_tick {
+            if w >= k {
+                return Err(XsqlError::Cancelled {
+                    reason: format!("cancellation injected at tick {k}"),
+                });
+            }
+        }
+        // Poll on the first tick too, so an already-expired deadline or
+        // pre-tripped token fails fast even on tiny statements.
+        if w & DEADLINE_CHECK_MASK == 0 || w == 1 {
+            self.check_interrupts()?;
+        }
+        Ok(())
+    }
+
+    /// The slow half of [`Ctx::tick`]: polls the cancellation flag and
+    /// the wall clock. Split out so the fast path stays a few
+    /// arithmetic instructions.
+    #[cold]
+    fn check_interrupts(&self) -> XsqlResult<()> {
+        if self.opts.cancel.is_cancelled() {
+            return Err(XsqlError::Cancelled {
+                reason: "cancelled by client".into(),
+            });
+        }
+        if let Some(deadline) = self.opts.budget.deadline {
+            if Instant::now() >= deadline {
+                return Err(XsqlError::Cancelled {
+                    reason: "statement deadline exceeded".into(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Work performed so far (exposed for benchmarks/diagnostics).
@@ -569,6 +659,75 @@ mod tests {
                         resource: "binding set size",
                         limit: 1
                     })
+                ));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn injected_cancellation_tick_is_deterministic() {
+        let mut db = mini_db();
+        let stmt = parse("SELECT X, Y FROM Person X, Person Y").unwrap();
+        let stmt = resolve_stmt(&mut db, &stmt).unwrap();
+        let opts = EvalOptions {
+            budget: EvalBudget {
+                cancel_at_tick: Some(2),
+                ..EvalBudget::default()
+            },
+            ..EvalOptions::default()
+        };
+        match stmt {
+            crate::ast::Stmt::Select(q) => {
+                assert!(matches!(
+                    eval_select(&db, &q, &opts),
+                    Err(XsqlError::Cancelled { .. })
+                ));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn tripped_token_cancels_evaluation() {
+        let mut db = mini_db();
+        let stmt = parse("SELECT X, Y, Z FROM Person X, Person Y, Person Z").unwrap();
+        let stmt = resolve_stmt(&mut db, &stmt).unwrap();
+        let cancel = CancelFlag::new();
+        cancel.cancel();
+        let opts = EvalOptions {
+            cancel: cancel.clone(),
+            ..EvalOptions::default()
+        };
+        assert!(cancel.is_cancelled());
+        match stmt {
+            crate::ast::Stmt::Select(q) => {
+                assert!(matches!(
+                    eval_select(&db, &q, &opts),
+                    Err(XsqlError::Cancelled { .. })
+                ));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_cancels_evaluation() {
+        let mut db = mini_db();
+        let stmt = parse("SELECT X, Y, Z FROM Person X, Person Y, Person Z").unwrap();
+        let stmt = resolve_stmt(&mut db, &stmt).unwrap();
+        let opts = EvalOptions {
+            budget: EvalBudget {
+                deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+                ..EvalBudget::default()
+            },
+            ..EvalOptions::default()
+        };
+        match stmt {
+            crate::ast::Stmt::Select(q) => {
+                assert!(matches!(
+                    eval_select(&db, &q, &opts),
+                    Err(XsqlError::Cancelled { .. })
                 ));
             }
             _ => unreachable!(),

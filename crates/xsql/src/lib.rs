@@ -39,7 +39,9 @@ pub mod token;
 
 pub use dump::dump_script;
 pub use error::{XsqlError, XsqlResult};
-pub use eval::{eval_select, eval_select_ranged, EvalOptions, Ranges, Strategy};
+pub use eval::{
+    eval_select, eval_select_ranged, CancelFlag, EvalBudget, EvalOptions, Ranges, Strategy,
+};
 pub use lexer::lex;
 pub use parser::{parse, parse_script};
 pub use resolve::resolve_stmt;

@@ -117,6 +117,13 @@ pub struct Session {
     /// Explicit-transaction state: present between `BEGIN WORK` and the
     /// matching `COMMIT WORK`/`ROLLBACK WORK`.
     txn: Option<TxnState>,
+    /// Set when a statement fails inside an open explicit transaction:
+    /// the transaction is *poisoned* and every further statement except
+    /// `ROLLBACK WORK` is rejected with
+    /// [`XsqlError::TransactionPoisoned`]. The failed statement itself
+    /// was already rolled back; poisoning removes the ambiguity of
+    /// continuing a transaction whose script did not go as written.
+    poison: Option<String>,
     /// The durable store, when the session was opened over a directory
     /// ([`Session::open_dir`]).
     store: Option<Store>,
@@ -169,6 +176,7 @@ impl Session {
             views: BTreeMap::new(),
             anon_counter: 0,
             txn: None,
+            poison: None,
             store: None,
             wal_enabled: false,
             pending: Vec::new(),
@@ -343,6 +351,34 @@ impl Session {
         self.txn.is_some()
     }
 
+    /// The error that poisoned the open transaction, if any. While
+    /// poisoned, only `ROLLBACK WORK` is accepted.
+    pub fn transaction_poisoned(&self) -> Option<&str> {
+        self.poison.as_deref()
+    }
+
+    /// Rejects any statement other than `ROLLBACK WORK` while the open
+    /// transaction is poisoned.
+    fn poison_gate(&self) -> XsqlResult<()> {
+        match &self.poison {
+            Some(cause) => Err(XsqlError::TransactionPoisoned {
+                cause: cause.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Records a statement failure: inside an open explicit transaction
+    /// it poisons the transaction (the statement itself already rolled
+    /// back; what remains of the transaction no longer matches the
+    /// script the user intended, so further statements are refused
+    /// until `ROLLBACK WORK`).
+    fn note_statement_failure(&mut self, e: &XsqlError) {
+        if self.txn.is_some() && self.poison.is_none() {
+            self.poison = Some(e.to_string());
+        }
+    }
+
     /// True when the session is backed by a durable store.
     pub fn has_store(&self) -> bool {
         self.store.is_some()
@@ -362,6 +398,18 @@ impl Session {
         }
     }
 
+    /// Fsyncs the WAL file. Group commit pairs this with
+    /// [`set_sync_on_commit`](Session::set_sync_on_commit)`(false)`: a
+    /// batch of statements is appended without per-statement syncs and
+    /// made durable all at once before any of them is acknowledged.
+    /// No-op without a store.
+    pub fn sync_wal(&mut self) -> XsqlResult<()> {
+        if let Some(store) = &mut self.store {
+            store.sync_wal()?;
+        }
+        Ok(())
+    }
+
     /// Runs a statement that must produce a relation.
     pub fn query(&mut self, src: &str) -> XsqlResult<Relation> {
         match self.run(src)? {
@@ -378,13 +426,13 @@ impl Session {
     /// pre-statement state before propagating.
     pub fn execute(&mut self, stmt: &Stmt) -> XsqlResult<Outcome> {
         match stmt {
-            Stmt::Begin => return self.txn_begin(),
-            Stmt::Commit => return self.txn_commit(),
+            Stmt::Begin => return self.poison_gate().and_then(|()| self.txn_begin()),
+            Stmt::Commit => return self.poison_gate().and_then(|()| self.txn_commit()),
             Stmt::Rollback => return self.txn_rollback(),
-            Stmt::WalOn => return self.wal_on(),
-            Stmt::WalOff => return self.wal_off(),
-            Stmt::Checkpoint => return self.checkpoint(),
-            _ => {}
+            Stmt::WalOn => return self.poison_gate().and_then(|()| self.wal_on()),
+            Stmt::WalOff => return self.poison_gate().and_then(|()| self.wal_off()),
+            Stmt::Checkpoint => return self.poison_gate().and_then(|()| self.checkpoint()),
+            _ => self.poison_gate()?,
         }
         // Definitional statements install closures (computed methods,
         // view definitions) that redo ops cannot capture; they are
@@ -393,17 +441,27 @@ impl Session {
             Stmt::AlterClass(_) | Stmt::CreateView(_) => LogAs::Stmt(unparse_stmt(stmt)),
             _ => LogAs::Ops,
         };
-        self.atomically_as(log_as, |s| {
+        let result = self.atomically_as(log_as, |s| {
             let resolved = resolve_stmt(&mut s.db, stmt)?;
             s.execute_resolved(&resolved)
-        })
+        });
+        if let Err(e) = &result {
+            self.note_statement_failure(e);
+        }
+        result
     }
 
     /// [`Session::atomically_as`] with op-level journaling — for entry
     /// points that mutate outside the statement pipeline (`invoke`,
-    /// `refresh_view`, `update_view`).
+    /// `refresh_view`, `update_view`). Applies the same poison gate and
+    /// poison-on-failure rule as [`Session::execute`].
     fn atomically<T>(&mut self, f: impl FnOnce(&mut Self) -> XsqlResult<T>) -> XsqlResult<T> {
-        self.atomically_as(LogAs::Ops, f)
+        self.poison_gate()?;
+        let result = self.atomically_as(LogAs::Ops, f);
+        if let Err(e) = &result {
+            self.note_statement_failure(e);
+        }
+        result
     }
 
     /// Runs `f` inside an implicit savepoint: on error the database,
@@ -541,6 +599,8 @@ impl Session {
                 "ROLLBACK WORK: no open transaction".into(),
             ));
         };
+        // ROLLBACK WORK is the (only) cure for a poisoned transaction.
+        self.poison = None;
         self.db.rollback_to(t.sp)?;
         self.db.commit();
         self.views = t.views;
@@ -855,6 +915,7 @@ impl Session {
     /// possible", §6.2). Sound on signature-conformant databases
     /// ([`oodb::Database::check_conformance`]).
     pub fn query_typed(&mut self, src: &str) -> XsqlResult<Relation> {
+        self.poison_gate()?;
         let stmt = parse(src)?;
         let stmt = resolve_stmt(&mut self.db, &stmt)?;
         let Stmt::Select(q) = &stmt else {

@@ -21,9 +21,11 @@
 
 use std::io::{self, BufRead, Write};
 use std::process::ExitCode;
+use std::time::Duration;
 
 use oodb::Database;
 use relalg::render_table;
+use service::{ExecResult, QueryContext, Service, ServiceConfig, ServiceError};
 use storage::{RealFs, Store};
 use xsql::{Outcome, Session};
 
@@ -31,6 +33,8 @@ struct Config {
     db: String,
     open: Option<String>,
     typed: bool,
+    serve: bool,
+    deadline_ms: Option<u64>,
     scripts: Vec<String>,
 }
 
@@ -39,6 +43,8 @@ fn parse_args() -> Result<Config, String> {
         db: "figure1".to_string(),
         open: None,
         typed: false,
+        serve: false,
+        deadline_ms: None,
         scripts: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -56,10 +62,23 @@ fn parse_args() -> Result<Config, String> {
                 );
             }
             "--typed" => cfg.typed = true,
+            "--serve" => cfg.serve = true,
+            "--deadline-ms" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| "--deadline-ms requires a value".to_string())?;
+                cfg.deadline_ms = Some(
+                    v.parse()
+                        .map_err(|_| format!("--deadline-ms: not a number: `{v}`"))?,
+                );
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: xsql-cli [--db empty|figure1|nobel|university] [--open DIR] \
-                            [--typed] [script.xsql ...]"
+                            [--typed] [--serve] [--deadline-ms N] [script.xsql ...]\n\
+                     --serve runs each script on its own concurrent service session \
+                     (snapshot-isolated reads, serialized group-committed writes); \
+                     --deadline-ms bounds every statement's wall-clock time."
                         .to_string(),
                 )
             }
@@ -68,6 +87,9 @@ fn parse_args() -> Result<Config, String> {
             }
             path => cfg.scripts.push(path.to_string()),
         }
+    }
+    if cfg.deadline_ms.is_some() && !cfg.serve {
+        return Err("--deadline-ms requires --serve".to_string());
     }
     Ok(cfg)
 }
@@ -100,47 +122,111 @@ fn open_store(dir: &str, default_fixture: &str) -> Result<Session, String> {
         .map_err(|e| format!("recovery failed: {e}"))
 }
 
-fn report(s: &Session, out: &Outcome) {
+/// Renders an outcome as the text the CLI prints for it (rendering OIDs
+/// against `db`). Shared by the direct and `--serve` paths.
+fn render_outcome(db: &Database, out: &Outcome) -> String {
+    use std::fmt::Write as _;
+    let mut t = String::new();
     match out {
-        Outcome::Relation(rel) => print!("{}", render_table(rel, s.db().oids())),
+        Outcome::Relation(rel) => write!(t, "{}", render_table(rel, db.oids())).unwrap(),
         Outcome::Created { oids } => {
-            println!("created {} object(s)", oids.len());
+            writeln!(t, "created {} object(s)", oids.len()).unwrap();
             for o in oids.iter().take(10) {
-                println!("  {}", s.db().render(*o));
+                writeln!(t, "  {}", db.render(*o)).unwrap();
             }
         }
         Outcome::ViewCreated { class, count } => {
-            println!("view {} created ({count} object(s))", s.db().render(*class));
+            writeln!(t, "view {} created ({count} object(s))", db.render(*class)).unwrap();
         }
         Outcome::MethodDefined { class, method } => {
-            println!(
+            writeln!(
+                t,
                 "method {} defined on {}",
-                s.db().render(*method),
-                s.db().render(*class)
-            );
+                db.render(*method),
+                db.render(*class)
+            )
+            .unwrap();
         }
-        Outcome::Updated { entries } => println!("updated {entries} entr(ies)"),
+        Outcome::Updated { entries } => writeln!(t, "updated {entries} entr(ies)").unwrap(),
         Outcome::ClassCreated { class } => {
-            println!("class {} created", s.db().render(*class))
+            writeln!(t, "class {} created", db.render(*class)).unwrap()
         }
         Outcome::ObjectCreated { oid } => {
-            println!("object {} created", s.db().render(*oid))
+            writeln!(t, "object {} created", db.render(*oid)).unwrap()
         }
         Outcome::SignatureAdded { class, method } => {
-            println!(
+            writeln!(
+                t,
                 "signature {} added to {}",
-                s.db().render(*method),
-                s.db().render(*class)
-            );
+                db.render(*method),
+                db.render(*class)
+            )
+            .unwrap();
         }
-        Outcome::Explained { report } => println!("{report}"),
-        Outcome::TransactionStarted => println!("transaction started"),
-        Outcome::TransactionCommitted => println!("transaction committed"),
-        Outcome::TransactionRolledBack => println!("transaction rolled back"),
-        Outcome::WalEnabled => println!("WAL enabled"),
-        Outcome::WalDisabled => println!("WAL disabled"),
-        Outcome::Checkpointed => println!("checkpoint written"),
+        Outcome::Explained { report } => writeln!(t, "{report}").unwrap(),
+        Outcome::TransactionStarted => writeln!(t, "transaction started").unwrap(),
+        Outcome::TransactionCommitted => writeln!(t, "transaction committed").unwrap(),
+        Outcome::TransactionRolledBack => writeln!(t, "transaction rolled back").unwrap(),
+        Outcome::WalEnabled => writeln!(t, "WAL enabled").unwrap(),
+        Outcome::WalDisabled => writeln!(t, "WAL disabled").unwrap(),
+        Outcome::Checkpointed => writeln!(t, "checkpoint written").unwrap(),
     }
+    t
+}
+
+fn report(s: &Session, out: &Outcome) {
+    print!("{}", render_outcome(s.db(), out));
+}
+
+/// Runs one script through its own service session. Returns the script's
+/// rendered output and whether every statement succeeded. Shedding
+/// (`Overloaded`) is retried after the suggested back-off; any other
+/// error is reported and stops the script.
+fn serve_script(svc: &Service, path: &str, src: &str) -> (String, bool) {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let stmts = match xsql::parse_script(src) {
+        Ok(s) => s,
+        Err(e) => return (format!("{path}: {e}\n"), false),
+    };
+    let mut h = loop {
+        match svc.connect() {
+            Ok(h) => break h,
+            Err(ServiceError::Overloaded { retry_after }) => std::thread::sleep(retry_after),
+            Err(e) => return (format!("{path}: {e}\n"), false),
+        }
+    };
+    let ctx = QueryContext::default();
+    for stmt in &stmts {
+        let text = xsql::unparse_stmt(stmt);
+        loop {
+            match h.execute(&text, &ctx) {
+                Ok(ExecResult::Read(r)) => {
+                    write!(out, "{}", render_outcome(&r.snapshot, &r.outcome)).unwrap();
+                }
+                Ok(ExecResult::Write(ack)) | Ok(ExecResult::TxnCommitted(ack)) => {
+                    // Render against the epoch the unit committed into.
+                    let db = svc.epoch().db;
+                    for o in &ack.outcomes {
+                        write!(out, "{}", render_outcome(&db, o)).unwrap();
+                    }
+                }
+                Ok(ExecResult::TxnStarted) => out.push_str("transaction started\n"),
+                Ok(ExecResult::Buffered) => {}
+                Ok(ExecResult::TxnRolledBack) => out.push_str("transaction rolled back\n"),
+                Err(ServiceError::Overloaded { retry_after }) => {
+                    std::thread::sleep(retry_after);
+                    continue;
+                }
+                Err(e) => {
+                    writeln!(out, "error: {e}").unwrap();
+                    return (out, false);
+                }
+            }
+            break;
+        }
+    }
+    (out, true)
 }
 
 fn run_statement(s: &mut Session, stmt: &str, typed: bool) {
@@ -189,6 +275,59 @@ fn main() -> ExitCode {
             }
         }
     };
+
+    if cfg.serve {
+        if cfg.scripts.is_empty() {
+            eprintln!("--serve requires at least one script argument");
+            return ExitCode::from(2);
+        }
+        let mut sources = Vec::new();
+        for path in &cfg.scripts {
+            match std::fs::read_to_string(path) {
+                Ok(s) => sources.push((path.clone(), s)),
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let svc = std::sync::Arc::new(Service::start(
+            session,
+            ServiceConfig {
+                default_deadline: cfg.deadline_ms.map(Duration::from_millis),
+                ..ServiceConfig::default()
+            },
+        ));
+        let workers: Vec<_> = sources
+            .into_iter()
+            .map(|(path, src)| {
+                let svc = std::sync::Arc::clone(&svc);
+                std::thread::spawn(move || serve_script(&svc, &path, &src))
+            })
+            .collect();
+        let mut failed = false;
+        for (i, w) in workers.into_iter().enumerate() {
+            let (text, ok) = w
+                .join()
+                .unwrap_or_else(|_| ("error: worker thread panicked\n".into(), false));
+            failed |= !ok;
+            for line in text.lines() {
+                println!("[s{}] {line}", i + 1);
+            }
+        }
+        let Ok(svc) = std::sync::Arc::try_unwrap(svc) else {
+            unreachable!("all worker threads joined");
+        };
+        if let Err(e) = svc.shutdown() {
+            eprintln!("shutdown: {e}");
+            return ExitCode::FAILURE;
+        }
+        return if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
 
     if !cfg.scripts.is_empty() {
         for path in &cfg.scripts {

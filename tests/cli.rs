@@ -136,6 +136,59 @@ fn committed_work_survives_kill_dash_nine() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// `--serve` runs each script on its own concurrent service session:
+/// both scripts' outputs appear under their `[sN]` prefixes, and a
+/// write committed by one session is visible to a later read (the reads
+/// here are self-contained per script, so ordering doesn't matter).
+#[test]
+fn serve_mode_runs_scripts_concurrently() {
+    let dir = std::env::temp_dir().join("xsql_cli_serve_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("a.xsql");
+    std::fs::write(
+        &a,
+        "CREATE CLASS FromA; \
+         SELECT X FROM Person X WHERE X.Residence.City['newyork'];",
+    )
+    .unwrap();
+    let b = dir.join("b.xsql");
+    std::fs::write(
+        &b,
+        "BEGIN WORK; \
+         CREATE CLASS FromB; \
+         CREATE OBJECT fb CLASS FromB; \
+         COMMIT WORK; \
+         SELECT X FROM FromB X;",
+    )
+    .unwrap();
+    let out = bin()
+        .args(["--db", "figure1", "--serve", "--deadline-ms", "30000"])
+        .arg(&a)
+        .arg(&b)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[s1] "), "{stdout}");
+    assert!(stdout.contains("[s2] "), "{stdout}");
+    // Script 1's read found mary123; script 2's post-commit read sees
+    // the object its own transaction created.
+    assert!(stdout.contains("mary123"), "{stdout}");
+    assert!(stdout.contains("fb"), "{stdout}");
+}
+
+#[test]
+fn serve_mode_requires_scripts() {
+    let out = bin().arg("--serve").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--serve"), "{err}");
+}
+
 #[test]
 fn script_errors_set_exit_code() {
     let dir = std::env::temp_dir().join("xsql_cli_test");

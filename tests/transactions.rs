@@ -70,19 +70,56 @@ fn commit_work_keeps_the_transaction() {
 }
 
 #[test]
-fn statement_failure_inside_transaction_preserves_earlier_statements() {
+fn statement_failure_inside_transaction_poisons_it_until_rollback() {
     let mut s = Session::new(figure1_db());
+    let before = salary_of(&mut s, "kim1");
     s.run("BEGIN WORK").unwrap();
     s.run("UPDATE CLASS Employee SET kim1.Salary = 222222")
         .unwrap();
-    // This statement fails; only it rolls back, not the transaction.
+    // This statement fails; it rolls back and poisons the transaction.
     assert!(s
         .run("UPDATE CLASS Employee SET kim1.Salary = 0, kim1.Salary = kim1.Name + 1")
         .is_err());
     assert!(s.in_transaction());
-    assert_eq!(salary_of(&mut s, "kim1"), 222222);
+    assert!(s.transaction_poisoned().is_some());
+    // Every further statement — reads, writes, even COMMIT WORK — is
+    // rejected with a clear error naming the cause …
+    for stmt in [
+        "SELECT X FROM Person X",
+        "UPDATE CLASS Employee SET kim1.Salary = 1",
+        "COMMIT WORK",
+        "BEGIN WORK",
+    ] {
+        let err = s.run(stmt).unwrap_err();
+        assert!(
+            matches!(err, XsqlError::TransactionPoisoned { .. }),
+            "`{stmt}` got {err}"
+        );
+    }
+    assert!(s.in_transaction(), "poisoned transaction stays open");
+    // … until ROLLBACK WORK discards the transaction entirely.
+    s.run("ROLLBACK WORK").unwrap();
+    assert!(!s.in_transaction());
+    assert!(s.transaction_poisoned().is_none());
+    assert_eq!(salary_of(&mut s, "kim1"), before);
+    // The session is fully usable again.
+    s.run("BEGIN WORK").unwrap();
+    s.run("UPDATE CLASS Employee SET kim1.Salary = 333333")
+        .unwrap();
     s.run("COMMIT WORK").unwrap();
-    assert_eq!(salary_of(&mut s, "kim1"), 222222);
+    assert_eq!(salary_of(&mut s, "kim1"), 333333);
+}
+
+#[test]
+fn errors_outside_transactions_do_not_poison() {
+    let mut s = Session::new(figure1_db());
+    assert!(s
+        .run("UPDATE CLASS Employee SET kim1.Salary = kim1.Name + 1")
+        .is_err());
+    assert!(s.transaction_poisoned().is_none());
+    // Auto-commit statements still work.
+    s.run("UPDATE CLASS Employee SET kim1.Salary = 7").unwrap();
+    assert_eq!(salary_of(&mut s, "kim1"), 7);
 }
 
 #[test]
