@@ -67,6 +67,13 @@ pub struct ServiceConfig {
     pub default_deadline: Option<Duration>,
     /// Back-off the service suggests to shed clients.
     pub retry_after: Duration,
+    /// Worker threads each snapshot reader may use for one query
+    /// (`EvalOptions::parallelism`). `0` inherits the base session
+    /// options. Readers evaluate on immutable published epochs, so
+    /// intra-query parallelism is safe there; the writer thread always
+    /// runs sequentially. Total evaluation threads are bounded by
+    /// `max_readers × reader_parallelism`.
+    pub reader_parallelism: usize,
 }
 
 impl Default for ServiceConfig {
@@ -79,6 +86,7 @@ impl Default for ServiceConfig {
             max_group_commit: 16,
             default_deadline: None,
             retry_after: Duration::from_millis(50),
+            reader_parallelism: 0,
         }
     }
 }
@@ -543,6 +551,9 @@ impl SessionHandle {
         opts.cancel = ctx.cancel.clone();
         opts.budget.deadline = deadline;
         opts.budget.cancel_at_tick = ctx.cancel_at_tick;
+        if self.inner.cfg.reader_parallelism > 0 {
+            opts.parallelism = self.inner.cfg.reader_parallelism;
+        }
         sess.set_options(opts);
         let outcome = sess.run(src)?;
         Ok(ReadResult {
@@ -699,6 +710,10 @@ fn exec_unit(session: &mut Session, req: &WriteReq) -> Result<Vec<Outcome>, Unit
     opts.cancel = req.ctx.cancel.clone();
     opts.budget.deadline = req.ctx.deadline;
     opts.budget.cancel_at_tick = req.ctx.cancel_at_tick;
+    // The writer is the one thread allowed to mutate state; its
+    // statements (including the reads embedded in updates) always
+    // evaluate sequentially.
+    opts.parallelism = 1;
     session.set_options(opts);
     if !req.txn {
         return session

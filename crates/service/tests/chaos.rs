@@ -210,6 +210,10 @@ fn chaos_round(seed: u64) {
         max_group_commit: rng.gen_range(1..=4usize),
         default_deadline: None,
         retry_after: Duration::from_micros(200),
+        // Exercise sequential and parallel snapshot readers alike;
+        // results are bit-identical either way, so the checker needs no
+        // special case.
+        reader_parallelism: rng.gen_range(1..=2usize),
     };
 
     // Plan the workload up front so it is a pure function of the seed.

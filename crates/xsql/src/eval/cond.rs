@@ -72,6 +72,15 @@ fn collect_cond_subquery_vars<'q>(c: &'q Cond, out: &mut BTreeSet<&'q str>) {
     }
 }
 
+/// A partitionable outermost loop discovered by
+/// [`Ctx::choose_partition`] for parallel evaluation: the variable to
+/// split on and a sound superset of its satisfying values, already
+/// filtered for sort admissibility.
+pub(crate) struct Partition<'q> {
+    pub var: &'q str,
+    pub candidates: Vec<Oid>,
+}
+
 enum Generator<'q> {
     /// A stand-alone path expression: traversal binds its variables.
     Path(&'q PathExpr),
@@ -349,20 +358,28 @@ impl<'d> Ctx<'d> {
             Generator::SubclassOf(sub, sup) => {
                 let classes: Vec<Oid> = self.db.classes().collect();
                 let mark = bnd.mark();
-                let subs: Vec<Oid> = match self.try_eval(sub, bnd) {
-                    Some(c) => vec![c],
-                    None => classes.clone(),
+                let sub_one;
+                let subs: &[Oid] = match self.try_eval(sub, bnd) {
+                    Some(c) => {
+                        sub_one = [c];
+                        &sub_one
+                    }
+                    None => &classes,
                 };
-                for s in subs {
+                for &s in subs {
                     if !self.unify(sub, s, bnd)? {
                         continue;
                     }
-                    let sups: Vec<Oid> = match self.try_eval(sup, bnd) {
-                        Some(c) => vec![c],
-                        None => classes.clone(),
+                    let sup_one;
+                    let sups: &[Oid] = match self.try_eval(sup, bnd) {
+                        Some(c) => {
+                            sup_one = [c];
+                            &sup_one
+                        }
+                        None => &classes,
                     };
                     let m2 = bnd.mark();
-                    for t in sups {
+                    for &t in sups {
                         self.tick()?;
                         if self.unify(sup, t, bnd)? {
                             if self.db.is_strict_subclass(s, t) {
@@ -412,6 +429,78 @@ impl<'d> Ctx<'d> {
             }
         }
         self.db.instances_of(class)
+    }
+
+    /// Picks the variable a parallel evaluation partitions on, together
+    /// with its candidate values, by mirroring the scheduler's first
+    /// generator choice under empty bindings. Returns `None` when no
+    /// partition is worthwhile or safe — a ground conjunct present
+    /// (sequential evaluation would fire it as a filter first), the
+    /// cheapest generator is not an outer candidate loop, or the
+    /// candidates cannot be enumerated up front.
+    ///
+    /// Soundness does not depend on matching the sequential scheduler:
+    /// the candidate list is a superset of every value the variable
+    /// takes in any solution (Theorem 6.1 ranges, the method index, and
+    /// extents are all sound supersets), and `solve_conjuncts` under a
+    /// pre-bound variable enumerates exactly the solutions with that
+    /// binding — so the union over the partition is the full, exact
+    /// solution set.
+    pub(crate) fn choose_partition<'q>(
+        &self,
+        conjs: &[&'q Cond],
+        outer_vars: &BTreeSet<&'q str>,
+    ) -> XsqlResult<Option<Partition<'q>>> {
+        let bnd = Bindings::new();
+        for c in conjs {
+            if conjunct_vars(c, outer_vars).is_empty() {
+                return Ok(None);
+            }
+        }
+        let mut best: Option<(u64, Generator<'q>)> = None;
+        for c in conjs {
+            if let Some((score, g)) = self.generator_for(c, &bnd, outer_vars) {
+                if best.as_ref().is_none_or(|(s, _)| score < *s) {
+                    best = Some((score, g));
+                }
+            }
+        }
+        let part = match best {
+            Some((_, Generator::Path(p))) | Some((_, Generator::CmpPath(p))) => {
+                let IdTerm::Var(v) = &p.head else {
+                    return Ok(None);
+                };
+                // Mirror `walk_path`: budget the candidate set, then
+                // keep only sort-admissible heads.
+                let candidates = self.head_candidates(p, v, &bnd);
+                self.check_binding_set(candidates.len())?;
+                Partition {
+                    var: &v.name,
+                    candidates: candidates
+                        .into_iter()
+                        .filter(|&o| self.sort_ok(v.sort, o))
+                        .collect(),
+                }
+            }
+            Some((_, Generator::InstanceOf(obj, class))) => {
+                let IdTerm::Var(v) = obj else {
+                    return Ok(None);
+                };
+                let Some(cl) = self.try_eval(class, &bnd) else {
+                    return Ok(None);
+                };
+                Partition {
+                    var: &v.name,
+                    candidates: self
+                        .instance_candidates(obj, cl, &bnd)
+                        .into_iter()
+                        .filter(|&o| self.sort_ok(v.sort, o))
+                        .collect(),
+                }
+            }
+            _ => return Ok(None),
+        };
+        Ok(Some(part))
     }
 
     /// Enumerates the distinct extensions of `bnd` that satisfy path

@@ -87,6 +87,10 @@ impl QueryMethod {
             has_update: cond_has_update(&a.query.where_clause),
             opts: EvalOptions {
                 strategy: super::Strategy::Pipelined,
+                // Method bodies always run under non-empty bindings
+                // (the receiver), so they never parallelize; pin the
+                // option to make that explicit.
+                parallelism: 1,
                 ..opts
             },
             name: format!("{}::{}", a.class, method),
@@ -151,15 +155,7 @@ impl QueryMethod {
         param_conds: &'a [Cond],
         from_conds: &'a [Cond],
     ) -> XsqlResult<(Vec<Vec<(String, Oid)>>, Vec<&'a Cond>)> {
-        let ctx = Ctx {
-            db,
-            opts: &self.opts,
-            work: std::cell::Cell::new(0),
-            depth,
-            path_depth: std::cell::Cell::new(0),
-            tuples: std::cell::Cell::new(0),
-            ranges: None,
-        };
+        let ctx = Ctx::with_depth(db, &self.opts, depth);
         let mut body: Vec<&Cond> = Vec::new();
         flatten_and(&self.query.where_clause, &mut body);
         // Conjuncts are evaluated left-to-right (§5); everything from
@@ -215,15 +211,7 @@ impl QueryMethod {
         depth: usize,
     ) -> DbResult<Option<Val>> {
         let (_, result) = self.parts();
-        let ctx = Ctx {
-            db,
-            opts: &self.opts,
-            work: std::cell::Cell::new(0),
-            depth,
-            path_depth: std::cell::Cell::new(0),
-            tuples: std::cell::Cell::new(0),
-            ranges: None,
-        };
+        let ctx = Ctx::with_depth(db, &self.opts, depth);
         let mut values: BTreeSet<Oid> = BTreeSet::new();
         for snap in snapshots {
             let mut bnd = Bindings::new();
@@ -329,15 +317,7 @@ impl MethodImpl for QueryMethod {
                         // success.
                     }
                     other => {
-                        let ctx = Ctx {
-                            db,
-                            opts: &self.opts,
-                            work: std::cell::Cell::new(0),
-                            depth,
-                            path_depth: std::cell::Cell::new(0),
-                            tuples: std::cell::Cell::new(0),
-                            ranges: None,
-                        };
+                        let ctx = Ctx::with_depth(db, &self.opts, depth);
                         let mut bnd = Bindings::new();
                         for (n, o) in &snap {
                             bnd.push(n, *o);

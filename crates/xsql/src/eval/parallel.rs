@@ -1,0 +1,204 @@
+//! Parallel evaluation of top-level pipelined SELECT queries.
+//!
+//! The generate-mode evaluator's outermost loop — an unbound head
+//! variable enumerated over `head_candidates` (Theorem 6.1 range >
+//! method index > active domain) or a FROM extent — has independent
+//! iterations: the solutions with `X = o₁` never interact with the
+//! solutions with `X = o₂`. This module partitions that candidate list
+//! round-robin across a small pool of scoped worker threads, each
+//! running the ordinary `solve_conjuncts` machinery against the shared
+//! read-only [`Database`] with the partition variable pre-bound, and
+//! merges the per-worker row sets by union.
+//!
+//! **Determinism.** The result is bit-identical to sequential
+//! evaluation: the candidate list is a sound superset of the values the
+//! partition variable takes in any solution, `solve_conjuncts` under a
+//! pre-bound variable yields exactly the solutions with that binding,
+//! rows live in `BTreeSet`s whose canonical order is
+//! insertion-independent, and the final union is order-insensitive.
+//! Thread scheduling can therefore change nothing but wall-clock time.
+//!
+//! **Budgets.** Workers share one [`EvalCounters`] with the spawning
+//! context, so `work_limit`, `max_tuples`, deadlines, `CancelFlag`
+//! cancellation, and injected `cancel_at_tick` all apply to the
+//! statement's *total* progress. A failing worker trips the shared
+//! abort flag; siblings stop at their next poll point with an internal
+//! cancellation that the driver discards in favour of the original
+//! error. See `docs/PARALLELISM.md`.
+
+use super::bindings::Bindings;
+use super::cond::Partition;
+use super::select::{assemble_conjuncts, emit_rows, Prepared};
+use super::value::Cell;
+use super::vars;
+use super::{Ctx, EvalCounters, EvalOptions, Ranges, SIBLING_ABORT_REASON};
+use crate::ast::{Cond, SelectItem, SelectQuery, VarSort};
+use crate::error::{XsqlError, XsqlResult};
+use oodb::{Database, Oid};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Attempts to solve a pipelined query by partitioned parallel
+/// evaluation. Returns `Ok(None)` when the query must run sequentially:
+/// parallelism is not requested, the query is nested (outer bindings or
+/// method depth), or no safe outer partition exists.
+pub(crate) fn solve_query_parallel<'q>(
+    ctx: &Ctx<'_>,
+    q: &'q SelectQuery,
+    prep: &'q Prepared,
+    outer: &Bindings<'q>,
+) -> XsqlResult<Option<BTreeSet<Vec<Cell>>>> {
+    if ctx.opts.parallelism < 2 || !outer.is_empty() || ctx.depth != 0 {
+        return Ok(None);
+    }
+    let conjs = assemble_conjuncts(q, prep, outer);
+    if conjs.is_empty() {
+        return Ok(None);
+    }
+    let mut outer_vars = BTreeSet::new();
+    vars::query_vars(q, &mut outer_vars);
+    let Some(Partition { var, candidates }) = ctx.choose_partition(&conjs, &outer_vars)? else {
+        return Ok(None);
+    };
+    if candidates.len() < 2 {
+        // Zero or one candidate: nothing to split. (Falling back keeps
+        // the empty-candidate case on the exhaustively-tested path.)
+        return Ok(None);
+    }
+    let mut sorts = BTreeMap::new();
+    vars::var_sorts(q, &mut sorts);
+
+    let nworkers = ctx.opts.parallelism.min(candidates.len());
+    // Nested evaluation inside a worker (subqueries, method bodies)
+    // stays sequential: one level of fan-out is where the win is, and
+    // it keeps the thread count bounded by `parallelism`.
+    let worker_opts = EvalOptions {
+        parallelism: 1,
+        ..ctx.opts.clone()
+    };
+
+    let db = ctx.db;
+    let ranges = ctx.ranges;
+    let counters = &ctx.counters;
+    let depth = ctx.depth;
+    let select = q.select.as_slice();
+    let conjs_ref = conjs.as_slice();
+    let sorts_ref = &sorts;
+    let ov_ref = &outer_vars;
+    let wopts = &worker_opts;
+
+    let results: Vec<XsqlResult<BTreeSet<Vec<Cell>>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..nworkers)
+            .map(|w| {
+                // Round-robin striding balances skew better than
+                // contiguous chunks when candidate cost correlates
+                // with position (e.g. insertion order).
+                let chunk: Vec<Oid> = candidates
+                    .iter()
+                    .copied()
+                    .skip(w)
+                    .step_by(nworkers)
+                    .collect();
+                s.spawn(move || {
+                    run_worker(
+                        db,
+                        wopts,
+                        ranges,
+                        Arc::clone(counters),
+                        depth,
+                        &chunk,
+                        var,
+                        conjs_ref,
+                        sorts_ref,
+                        ov_ref,
+                        select,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    counters.abort.store(true, Ordering::Relaxed);
+                    Err(XsqlError::Internal("parallel worker panicked".into()))
+                })
+            })
+            .collect()
+    });
+
+    // Merge rows, or surface the first real error (by worker index, for
+    // determinism given the same failure); sibling-abort cancellations
+    // are fallout, not causes, and are only reported when nothing else
+    // is (e.g. a client cancellation that every worker observed).
+    let mut merged: BTreeSet<Vec<Cell>> = BTreeSet::new();
+    let mut first_err: Option<XsqlError> = None;
+    let mut sibling_err: Option<XsqlError> = None;
+    for r in results {
+        match r {
+            Ok(rows) => {
+                merged.extend(rows);
+            }
+            Err(e) => {
+                let is_sibling = matches!(
+                    &e,
+                    XsqlError::Cancelled { reason } if reason == SIBLING_ABORT_REASON
+                );
+                if is_sibling {
+                    sibling_err.get_or_insert(e);
+                } else if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    if let Some(e) = first_err.or(sibling_err) {
+        return Err(e);
+    }
+    Ok(Some(merged))
+}
+
+/// One worker: a fresh context sharing the statement's counters, the
+/// partition variable pre-bound to each candidate of its chunk in turn,
+/// the ordinary conjunct scheduler solving the remainder.
+#[allow(clippy::too_many_arguments)]
+fn run_worker<'q>(
+    db: &Database,
+    opts: &EvalOptions,
+    ranges: Option<&Ranges>,
+    counters: Arc<EvalCounters>,
+    depth: usize,
+    chunk: &[Oid],
+    var: &'q str,
+    conjs: &[&'q Cond],
+    sorts: &BTreeMap<&'q str, VarSort>,
+    outer_vars: &BTreeSet<&'q str>,
+    select: &'q [SelectItem],
+) -> XsqlResult<BTreeSet<Vec<Cell>>> {
+    let ctx = Ctx::with_parts(db, opts, ranges, counters, depth);
+    let mut rows: BTreeSet<Vec<Cell>> = BTreeSet::new();
+    let run = (|| -> XsqlResult<()> {
+        let mut bnd = Bindings::new();
+        let mark = bnd.mark();
+        for &o in chunk {
+            ctx.tick()?;
+            bnd.push(var, o);
+            ctx.solve_conjuncts(conjs, sorts, outer_vars, &mut bnd, &mut |bnd2| {
+                emit_rows(&ctx, select, bnd2, &mut rows)
+            })?;
+            bnd.truncate(mark);
+        }
+        Ok(())
+    })();
+    // Publish remaining buffered ticks so statement-total accounting
+    // (work_done, the work limit seen by later pollers) is complete.
+    ctx.flush_work();
+    match run {
+        Ok(()) => Ok(rows),
+        Err(e) => {
+            ctx.counters.abort.store(true, Ordering::Relaxed);
+            Err(e)
+        }
+    }
+}

@@ -124,7 +124,6 @@ impl<'d> Ctx<'d> {
                 };
                 match self.db.oids().get(o) {
                     OidData::Func(g, actual) if *g == functor && actual.len() == args.len() => {
-                        let actual = actual.clone();
                         for (a, &v) in args.iter().zip(actual.iter()) {
                             if !self.unify_inner(a, v, bnd)? {
                                 return Ok(false);
@@ -190,14 +189,21 @@ impl<'d> Ctx<'d> {
             }
             IdTerm::Func(_, _) if !term_bound(&p.head, bnd) => {
                 // Partially-unbound id-term head: unify against existing
-                // id-term objects (view objects, §4.2).
-                for o in self.db.individuals() {
-                    if matches!(self.db.oids().get(o), OidData::Func(..)) {
-                        self.tick()?;
-                        if self.unify(&p.head, o, bnd)? {
-                            self.walk_steps(&p.steps, 0, o, bnd, k)?;
-                            bnd.truncate(mark);
-                        }
+                // id-term objects (view objects, §4.2). The candidate
+                // scan is budgeted exactly like the var-head branch —
+                // a database dense in id-term objects would otherwise
+                // bypass the fan-out budget entirely.
+                let candidates: Vec<Oid> = self
+                    .db
+                    .individuals()
+                    .filter(|&o| matches!(self.db.oids().get(o), OidData::Func(..)))
+                    .collect();
+                self.check_binding_set(candidates.len())?;
+                for o in candidates {
+                    self.tick()?;
+                    if self.unify(&p.head, o, bnd)? {
+                        self.walk_steps(&p.steps, 0, o, bnd, k)?;
+                        bnd.truncate(mark);
                     }
                 }
                 Ok(())
@@ -214,7 +220,12 @@ impl<'d> Ctx<'d> {
     /// a fixed method name, the inverted index gives a sound superset of
     /// the heads on which that method can be defined; else the sort's
     /// active domain.
-    fn head_candidates(&self, p: &PathExpr, v: &crate::ast::Var, bnd: &Bindings<'_>) -> Vec<Oid> {
+    pub(crate) fn head_candidates(
+        &self,
+        p: &PathExpr,
+        v: &crate::ast::Var,
+        bnd: &Bindings<'_>,
+    ) -> Vec<Oid> {
         let _ = bnd;
         if let Some(rs) = self.ranges {
             if let Some(set) = rs.get(&v.name) {
@@ -337,11 +348,11 @@ impl<'d> Ctx<'d> {
         // tuples of (cur, m) and unify. (Computed methods cannot be
         // enumerated backwards; the scheduler binds their arguments
         // first whenever the query makes that possible.)
-        let entries: Vec<Vec<Oid>> = self
+        let entries: Vec<&[Oid]> = self
             .db
             .stored_entries_for(cur, m)
             .filter(|(a, _)| a.len() == args.len())
-            .map(|(a, _)| a.to_vec())
+            .map(|(a, _)| a)
             .collect();
         let mark = bnd.mark();
         'entry: for tuple in entries {
@@ -352,7 +363,7 @@ impl<'d> Ctx<'d> {
                     continue 'entry;
                 }
             }
-            self.step_value(steps, i, cur, m, &tuple, selector, bnd, k)?;
+            self.step_value(steps, i, cur, m, tuple, selector, bnd, k)?;
             bnd.truncate(mark);
         }
         Ok(())

@@ -52,9 +52,13 @@ pub fn eval_rows_under<'q>(
     let mut rows = BTreeSet::new();
     match ctx.opts.strategy {
         super::Strategy::Pipelined => {
-            solve_query(ctx, q, &prep, outer, &mut |ctx2, bnd| {
-                emit_rows(ctx2, &q.select, bnd, &mut rows)
-            })?;
+            if let Some(merged) = super::parallel::solve_query_parallel(ctx, q, &prep, outer)? {
+                rows = merged;
+            } else {
+                solve_query(ctx, q, &prep, outer, &mut |ctx2, bnd| {
+                    emit_rows(ctx2, &q.select, bnd, &mut rows)
+                })?;
+            }
         }
         super::Strategy::Naive => {
             solve_query_naive(ctx, q, &prep, outer, &mut |ctx2, bnd| {
@@ -71,8 +75,8 @@ pub fn eval_rows_under<'q>(
 /// borrow from this structure, so it must outlive the solve.
 #[derive(Debug)]
 pub struct Prepared {
-    from_conds: Vec<Cond>,
-    select_only: Vec<Cond>,
+    pub(crate) from_conds: Vec<Cond>,
+    pub(crate) select_only: Vec<Cond>,
 }
 
 /// Builds the synthesized conjuncts for a query.
@@ -141,15 +145,7 @@ pub fn solve_query<'q>(
     outer: &Bindings<'q>,
     k: &mut dyn FnMut(&Ctx<'_>, &mut Bindings<'q>) -> XsqlResult<()>,
 ) -> XsqlResult<()> {
-    let mut conjs: Vec<&'q Cond> = prep.from_conds.iter().collect();
-    flatten_and(&q.where_clause, &mut conjs);
-    conjs.extend(prep.select_only.iter().filter(|c| match c {
-        Cond::Path(p) => match &p.head {
-            IdTerm::Var(v) => !outer.is_bound(&v.name),
-            _ => true,
-        },
-        _ => true,
-    }));
+    let conjs = assemble_conjuncts(q, prep, outer);
 
     let mut outer_vars = BTreeSet::new();
     vars::query_vars(q, &mut outer_vars);
@@ -160,6 +156,28 @@ pub fn solve_query<'q>(
     ctx.solve_conjuncts(&conjs, &sorts, &outer_vars, &mut bnd, &mut |bnd2| {
         k(ctx, bnd2)
     })
+}
+
+/// The conjunct list the pipelined scheduler solves: the synthesized
+/// FROM conditions, the flattened WHERE clause, and the SELECT-only
+/// enumeration pseudo-conjuncts (minus any made redundant by outer
+/// bindings). Shared by the sequential and the parallel drivers so both
+/// solve the same problem.
+pub(crate) fn assemble_conjuncts<'q>(
+    q: &'q SelectQuery,
+    prep: &'q Prepared,
+    outer: &Bindings<'q>,
+) -> Vec<&'q Cond> {
+    let mut conjs: Vec<&'q Cond> = prep.from_conds.iter().collect();
+    flatten_and(&q.where_clause, &mut conjs);
+    conjs.extend(prep.select_only.iter().filter(|c| match c {
+        Cond::Path(p) => match &p.head {
+            IdTerm::Var(v) => !outer.is_bound(&v.name),
+            _ => true,
+        },
+        _ => true,
+    }));
+    conjs
 }
 
 /// The §3.4 naive specification engine: enumerate all substitutions of
@@ -220,7 +238,7 @@ fn enumerate_all<'q>(
 /// Evaluates the SELECT list under one satisfying binding and inserts
 /// the resulting row(s). A set-valued item is unnested — one row per
 /// member, the path-expression philosophy of §3.1 applied to output.
-fn emit_rows<'q>(
+pub(crate) fn emit_rows<'q>(
     ctx: &Ctx<'_>,
     select: &'q [SelectItem],
     bnd: &Bindings<'q>,

@@ -314,6 +314,14 @@ impl Session {
         self.opts = opts;
     }
 
+    /// Sets the worker count for top-level SELECT evaluation (clamped
+    /// to at least 1; see [`EvalOptions::parallelism`]). Statements
+    /// other than reads, and nested evaluation, always run
+    /// sequentially regardless of this setting.
+    pub fn set_parallelism(&mut self, workers: usize) {
+        self.opts.parallelism = workers.max(1);
+    }
+
     /// A registered view definition.
     pub fn view(&self, name: &str) -> Option<&ViewDef> {
         self.views.get(name)

@@ -35,6 +35,7 @@ struct Config {
     typed: bool,
     serve: bool,
     deadline_ms: Option<u64>,
+    parallel: Option<usize>,
     scripts: Vec<String>,
 }
 
@@ -45,6 +46,7 @@ fn parse_args() -> Result<Config, String> {
         typed: false,
         serve: false,
         deadline_ms: None,
+        parallel: None,
         scripts: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -72,13 +74,28 @@ fn parse_args() -> Result<Config, String> {
                         .map_err(|_| format!("--deadline-ms: not a number: `{v}`"))?,
                 );
             }
+            "--parallel" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| "--parallel requires a value".to_string())?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--parallel: not a number: `{v}`"))?;
+                if n == 0 {
+                    return Err("--parallel requires at least 1 worker".to_string());
+                }
+                cfg.parallel = Some(n);
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: xsql-cli [--db empty|figure1|nobel|university] [--open DIR] \
-                            [--typed] [--serve] [--deadline-ms N] [script.xsql ...]\n\
+                            [--typed] [--serve] [--deadline-ms N] [--parallel N] \
+                            [script.xsql ...]\n\
                      --serve runs each script on its own concurrent service session \
                      (snapshot-isolated reads, serialized group-committed writes); \
-                     --deadline-ms bounds every statement's wall-clock time."
+                     --deadline-ms bounds every statement's wall-clock time; \
+                     --parallel evaluates top-level SELECTs on N worker threads \
+                     (results are bit-identical to sequential evaluation)."
                         .to_string(),
                 )
             }
@@ -275,6 +292,9 @@ fn main() -> ExitCode {
             }
         }
     };
+    if let Some(n) = cfg.parallel {
+        session.set_parallelism(n);
+    }
 
     if cfg.serve {
         if cfg.scripts.is_empty() {
@@ -295,6 +315,7 @@ fn main() -> ExitCode {
             session,
             ServiceConfig {
                 default_deadline: cfg.deadline_ms.map(Duration::from_millis),
+                reader_parallelism: cfg.parallel.unwrap_or(0),
                 ..ServiceConfig::default()
             },
         ));

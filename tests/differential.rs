@@ -2,6 +2,9 @@
 //! nested-loop engine must agree exactly with the naive §3.4
 //! specification semantics — on hand-written queries over the Figure 1
 //! instance and on property-generated queries over random databases.
+//! Every query additionally runs with the method index disabled and
+//! with parallel evaluation (4 workers), which must all produce the
+//! same relation bit-for-bit.
 
 use datagen::figure1_db;
 use oodb::{Database, DbBuilder, Oid};
@@ -9,14 +12,54 @@ use proptest::prelude::*;
 use xsql::ast::Stmt;
 use xsql::{eval_select, parse, resolve_stmt, EvalOptions};
 
-fn both(db: &mut Database, src: &str) -> (relalg::Relation, relalg::Relation) {
+/// Evaluates `src` under every engine configuration that must agree:
+/// the pipelined default, the naive §3.4 reference, the method index
+/// disabled (forcing active-domain enumeration), and parallel
+/// evaluation with and without the index. Returns labelled relations.
+fn engines(db: &mut Database, src: &str) -> Vec<(&'static str, relalg::Relation)> {
     let stmt = parse(src).unwrap();
     let Stmt::Select(q) = resolve_stmt(db, &stmt).unwrap() else {
         panic!("not a select")
     };
-    let fast = eval_select(db, &q, &EvalOptions::default()).unwrap();
-    let naive = eval_select(db, &q, &EvalOptions::naive()).unwrap();
-    (fast, naive)
+    let base = EvalOptions::default();
+    let configs: Vec<(&'static str, EvalOptions)> = vec![
+        ("pipelined", base.clone()),
+        ("naive", EvalOptions::naive()),
+        (
+            "no-method-index",
+            EvalOptions {
+                use_method_index: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "parallel(4)",
+            EvalOptions {
+                parallelism: 4,
+                ..base.clone()
+            },
+        ),
+        (
+            "parallel(4),no-method-index",
+            EvalOptions {
+                parallelism: 4,
+                use_method_index: false,
+                ..base.clone()
+            },
+        ),
+    ];
+    configs
+        .into_iter()
+        .map(|(label, opts)| (label, eval_select(db, &q, &opts).unwrap()))
+        .collect()
+}
+
+fn assert_all_agree(db: &mut Database, src: &str) {
+    let results = engines(db, src);
+    let (ref_label, ref_rel) = &results[0];
+    for (label, rel) in &results[1..] {
+        assert_eq!(rel, ref_rel, "{label} disagrees with {ref_label} on {src}");
+    }
 }
 
 #[test]
@@ -39,8 +82,7 @@ fn figure1_engine_agreement() {
         // Disjunction that binds different variables per branch.
         "SELECT X FROM Person X WHERE X.OwnedVehicles[V].Color['green'] or X.Salary[W]",
     ] {
-        let (fast, naive) = both(&mut db, src);
-        assert_eq!(fast, naive, "engines disagree on {src}");
+        assert_all_agree(&mut db, src);
     }
 }
 
@@ -65,7 +107,19 @@ fn random_db(edges: &[(u8, u8)], labels: &[(u8, bool)], ages: &[(u8, u8)]) -> Da
         b.add_to(nodes[(x % 6) as usize], "Next", nodes[(y % 6) as usize]);
     }
     for &(x, a) in ages {
-        b.set_int(nodes[(x % 6) as usize], "Age", i64::from(a % 40));
+        // Alternate the numeral spelling: even ages are stored as Ints,
+        // odd ages as Reals. `X.Age[n]` must match either spelling, so
+        // an anchored (method, value) index lookup keyed on the Int
+        // literal would be unsound — this is the corner that forces
+        // `head_candidates` onto the unanchored method-index fallback.
+        let node = nodes[(x % 6) as usize];
+        let age = a % 40;
+        if age % 2 == 0 {
+            b.set_int(node, "Age", i64::from(age));
+        } else {
+            let r = b.real(f64::from(age));
+            b.set(node, "Age", r);
+        }
     }
     for (i, &n) in nodes.iter().enumerate() {
         if i % 2 == 0 {
@@ -82,7 +136,7 @@ proptest! {
         edges in proptest::collection::vec((0u8..6, 0u8..6), 0..12),
         labels in proptest::collection::vec((0u8..6, any::<bool>()), 0..6),
         ages in proptest::collection::vec((0u8..6, 0u8..40), 0..6),
-        qsel in 0usize..8,
+        qsel in 0usize..10,
         t in 0u8..40,
     ) {
         let mut db = random_db(&edges, &labels, &ages);
@@ -95,8 +149,20 @@ proptest! {
             "SELECT X FROM Node X WHERE X.Tag['even4'] or X.Next.Tag['even2']".to_string(),
             "SELECT X FROM Node X WHERE X.Next.Next[Y] and Y.Next[X]".to_string(),
             format!("SELECT X FROM Node X WHERE count(X.Next) >= 2 and X.Age <= {t}"),
+            // Ground numeral selectors, in both the Int and the Real
+            // spelling: ages are stored under mixed spellings, so the
+            // indexed engine must take the unanchored fallback to agree
+            // with the naive and index-free engines.
+            format!("SELECT X FROM Node X WHERE X.Age[{t}]"),
+            format!("SELECT X FROM Node X WHERE X.Age[{t}.0] and X.Next"),
         ];
-        let (fast, naive) = both(&mut db, &queries[qsel]);
-        prop_assert_eq!(fast, naive, "engines disagree on {}", &queries[qsel]);
+        let results = engines(&mut db, &queries[qsel]);
+        let (ref_label, ref_rel) = &results[0];
+        for (label, rel) in &results[1..] {
+            prop_assert_eq!(
+                rel, ref_rel,
+                "{} disagrees with {} on {}", label, ref_label, &queries[qsel]
+            );
+        }
     }
 }

@@ -1,0 +1,232 @@
+//! Parallel evaluation: bit-identity with sequential evaluation, clean
+//! cooperative aborts (work limit, budgets, deadline, cancellation)
+//! across the worker pool, and the regression test for the budgeted
+//! id-term head scan (the `IdTerm::Func` branch of `walk_path`).
+//!
+//! See `docs/PARALLELISM.md` for the design and the determinism
+//! argument these tests pin down.
+
+use datagen::{figure1_db, figure1_scaled, Figure1Params};
+use oodb::Database;
+use std::time::{Duration, Instant};
+use xsql::ast::Stmt;
+use xsql::{
+    eval_select, parse, resolve_stmt, CancelFlag, EvalBudget, EvalOptions, Session, XsqlError,
+};
+
+fn run(db: &mut Database, src: &str, opts: &EvalOptions) -> xsql::XsqlResult<relalg::Relation> {
+    let stmt = parse(src).unwrap();
+    let Stmt::Select(q) = resolve_stmt(db, &stmt).unwrap() else {
+        panic!("not a select")
+    };
+    eval_select(db, &q, opts)
+}
+
+fn with_parallelism(n: usize) -> EvalOptions {
+    EvalOptions {
+        parallelism: n,
+        ..EvalOptions::default()
+    }
+}
+
+/// The queries used by the identity tests: multi-variable joins, path
+/// selectors, negation, aggregates — shapes where the outermost
+/// partition interacts with every downstream evaluator feature.
+const SCALED_QUERIES: &[&str] = &[
+    "SELECT X, W FROM Company X, Employee W WHERE X.Divisions.Employees[W] and W.Salary > 30000",
+    "SELECT X FROM Employee X WHERE X.OwnedVehicles[V] and V.Color['red']",
+    "SELECT X.Name FROM Company X WHERE X.Divisions.Employees.Salary some> 90000",
+    "SELECT X FROM Person X WHERE not X.OwnedVehicles",
+    "SELECT X FROM Employee X WHERE count(X.FamMembers) >= 2",
+    "SELECT X, Y FROM Vehicle X, Company Y WHERE X.Manufacturer[Y]",
+];
+
+#[test]
+fn parallel_matches_sequential_on_scaled_db() {
+    let mut db = figure1_scaled(&Figure1Params::default());
+    for src in SCALED_QUERIES {
+        let seq = run(&mut db, src, &with_parallelism(1)).unwrap();
+        for workers in [2, 4, 8] {
+            let par = run(&mut db, src, &with_parallelism(workers)).unwrap();
+            assert_eq!(
+                par, seq,
+                "parallel({workers}) differs from sequential on {src}"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallelism_exceeding_candidate_count() {
+    // More workers than candidates (Figure 1 has 2 companies): the pool
+    // is clamped to the candidate count and the result is unchanged.
+    let mut db = figure1_db();
+    let src = "SELECT X.Name FROM Company X WHERE X.Divisions.Employees[W]";
+    let seq = run(&mut db, src, &with_parallelism(1)).unwrap();
+    let par = run(&mut db, src, &with_parallelism(64)).unwrap();
+    assert_eq!(par, seq);
+}
+
+#[test]
+fn work_limit_fires_across_workers() {
+    // The work limit applies to the statement's *total* ticks, summed
+    // over every worker through the shared counters — a query that
+    // needs far more than `work_limit` ticks must fail no matter how
+    // the ticks are distributed across the pool.
+    let mut db = figure1_scaled(&Figure1Params::default());
+    let src = SCALED_QUERIES[0];
+    for workers in [1, 4] {
+        let opts = EvalOptions {
+            work_limit: 500,
+            ..with_parallelism(workers)
+        };
+        match run(&mut db, src, &opts) {
+            Err(XsqlError::WorkLimit(limit)) => assert_eq!(limit, 500),
+            other => panic!("expected WorkLimit at parallelism {workers}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn tuple_budget_fires_across_workers() {
+    let mut db = figure1_scaled(&Figure1Params::default());
+    let src = "SELECT X, W FROM Employee X, Employee W WHERE X.Salary <= W.Salary";
+    let opts = EvalOptions {
+        budget: EvalBudget {
+            max_tuples: 50,
+            ..EvalBudget::default()
+        },
+        ..with_parallelism(4)
+    };
+    match run(&mut db, src, &opts) {
+        Err(XsqlError::Budget { resource, limit }) => {
+            assert_eq!(resource, "materialized tuple");
+            assert_eq!(limit, 50);
+        }
+        other => panic!("expected tuple Budget error, got {other:?}"),
+    }
+}
+
+#[test]
+fn pre_tripped_cancel_flag_aborts_parallel_query() {
+    let mut db = figure1_scaled(&Figure1Params::default());
+    let cancel = CancelFlag::new();
+    cancel.cancel();
+    let opts = EvalOptions {
+        cancel,
+        ..with_parallelism(4)
+    };
+    match run(&mut db, SCALED_QUERIES[0], &opts) {
+        Err(XsqlError::Cancelled { reason }) => {
+            assert_eq!(reason, "cancelled by client");
+        }
+        other => panic!("expected client cancellation, got {other:?}"),
+    }
+}
+
+#[test]
+fn expired_deadline_aborts_parallel_query() {
+    let mut db = figure1_scaled(&Figure1Params::default());
+    let opts = EvalOptions {
+        budget: EvalBudget {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..EvalBudget::default()
+        },
+        ..with_parallelism(4)
+    };
+    match run(&mut db, SCALED_QUERIES[0], &opts) {
+        Err(XsqlError::Cancelled { reason }) => {
+            assert_eq!(reason, "statement deadline exceeded");
+        }
+        other => panic!("expected deadline cancellation, got {other:?}"),
+    }
+}
+
+#[test]
+fn injected_tick_cancellation_aborts_parallel_query() {
+    // `cancel_at_tick` fires when the statement's shared tick total
+    // reaches k; under parallelism the total accumulates across
+    // workers, so a mid-query injection must still surface as a clean
+    // cancellation (never a wrong answer or a hang).
+    let mut db = figure1_scaled(&Figure1Params::default());
+    for k in [1, 7, 100, 1000] {
+        let opts = EvalOptions {
+            budget: EvalBudget {
+                cancel_at_tick: Some(k),
+                ..EvalBudget::default()
+            },
+            ..with_parallelism(4)
+        };
+        match run(&mut db, SCALED_QUERIES[0], &opts) {
+            Err(XsqlError::Cancelled { reason }) => {
+                assert!(
+                    reason.contains("cancellation injected"),
+                    "unexpected reason at k={k}: {reason}"
+                );
+            }
+            other => panic!("expected injected cancellation at k={k}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn parallel_session_agrees_with_sequential_session() {
+    // End-to-end through `Session::set_parallelism`, the path the CLI
+    // `--parallel` flag drives.
+    let mut seq = Session::new(figure1_scaled(&Figure1Params::default()));
+    let mut par = Session::new(figure1_scaled(&Figure1Params::default()));
+    par.set_parallelism(4);
+    for src in SCALED_QUERIES {
+        let a = seq.query(src).unwrap();
+        let b = par.query(src).unwrap();
+        assert_eq!(a, b, "sessions disagree on {src}");
+    }
+}
+
+/// Regression test for the unbudgeted id-term head scan: the
+/// `IdTerm::Func` branch of `walk_path` enumerates every id-term
+/// object in the database when the head is not fully bound, and that
+/// scan must be subject to `max_binding_set` exactly like the var-head
+/// branch. A view materializing one object per employee makes the scan
+/// large; a small budget must trip it instead of silently enumerating.
+#[test]
+fn partially_unbound_func_head_scan_is_budgeted() {
+    let mut s = Session::new(figure1_scaled(&Figure1Params::default()));
+    let out = s
+        .run(
+            "CREATE VIEW EmpSal AS SUBCLASS OF Object \
+             SIGNATURE Salary => Numeral \
+             SELECT Salary = W.Salary FROM Employee W OID FUNCTION OF W",
+        )
+        .unwrap();
+    let xsql::Outcome::ViewCreated { count, .. } = out else {
+        panic!("expected view creation, got {out:?}")
+    };
+    assert!(count > 100, "scaled db should give a large view extent");
+
+    // `V` is bound by nothing but the id-term head itself, so the
+    // evaluator must take the candidate-scan branch over every id-term
+    // object. With the default (huge) budget the scan succeeds: every
+    // employee's own salary appears in their view object.
+    let full = s
+        .query("SELECT W FROM Employee W WHERE EmpSal(V).Salary = W.Salary")
+        .unwrap();
+    assert_eq!(full.len(), count);
+
+    // ...and with a budget smaller than the id-term object population
+    // it must degrade into a clean Budget error, not an unbounded scan.
+    s.set_options(EvalOptions {
+        budget: EvalBudget {
+            max_binding_set: 50,
+            ..EvalBudget::default()
+        },
+        ..EvalOptions::default()
+    });
+    match s.query("SELECT W FROM Employee W WHERE EmpSal(V).Salary = W.Salary") {
+        Err(XsqlError::Budget { resource, limit }) => {
+            assert_eq!(resource, "binding set size");
+            assert_eq!(limit, 50);
+        }
+        other => panic!("expected binding-set Budget error, got {other:?}"),
+    }
+}
