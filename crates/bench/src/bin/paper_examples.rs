@@ -51,7 +51,9 @@ fn show(s: &mut Session, label: &str, stmt: &str) {
                 s.db().render(class)
             );
         }
-        Ok(Outcome::Explained { report }) => println!("{report}"),
+        Ok(Outcome::Explained { report }) | Ok(Outcome::Stats { report }) => {
+            println!("{report}")
+        }
         Ok(
             Outcome::TransactionStarted
             | Outcome::TransactionCommitted

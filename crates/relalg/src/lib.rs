@@ -14,4 +14,4 @@ mod relation;
 mod render;
 
 pub use relation::{RelError, Relation, Tuple};
-pub use render::render_table;
+pub use render::{render_table, render_tree, TreeNode};

@@ -54,6 +54,87 @@ pub fn render_table(rel: &Relation, oids: &OidTable) -> String {
     out
 }
 
+/// A node of a pretty-printable tree: a one-line label plus children.
+/// Used by the `EXPLAIN ANALYZE` profile renderer, but generic — any
+/// hierarchical report can be laid out with it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeNode {
+    /// The single line of text shown for this node.
+    pub label: String,
+    /// Sub-nodes, rendered indented beneath the label.
+    pub children: Vec<TreeNode>,
+}
+
+impl TreeNode {
+    /// A leaf node with the given label.
+    pub fn leaf(label: impl Into<String>) -> Self {
+        TreeNode {
+            label: label.into(),
+            children: Vec::new(),
+        }
+    }
+
+    /// A node with children.
+    pub fn branch(label: impl Into<String>, children: Vec<TreeNode>) -> Self {
+        TreeNode {
+            label: label.into(),
+            children,
+        }
+    }
+}
+
+/// Renders a tree with box-drawing guides, deterministic and
+/// newline-terminated:
+///
+/// ```text
+/// root
+/// ├─ first child
+/// │  └─ grandchild
+/// └─ second child
+/// ```
+pub fn render_tree(root: &TreeNode) -> String {
+    let mut out = String::new();
+    out.push_str(&root.label);
+    out.push('\n');
+    render_children(&root.children, "", &mut out);
+    out
+}
+
+fn render_children(children: &[TreeNode], prefix: &str, out: &mut String) {
+    for (i, child) in children.iter().enumerate() {
+        let last = i + 1 == children.len();
+        out.push_str(prefix);
+        out.push_str(if last { "└─ " } else { "├─ " });
+        out.push_str(&child.label);
+        out.push('\n');
+        let deeper = format!("{prefix}{}", if last { "   " } else { "│  " });
+        render_children(&child.children, &deeper, out);
+    }
+}
+
+#[cfg(test)]
+mod tree_tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_tree_with_guides() {
+        let tree = TreeNode::branch(
+            "root",
+            vec![
+                TreeNode::branch("a", vec![TreeNode::leaf("a1"), TreeNode::leaf("a2")]),
+                TreeNode::leaf("b"),
+            ],
+        );
+        let s = render_tree(&tree);
+        assert_eq!(s, "root\n├─ a\n│  ├─ a1\n│  └─ a2\n└─ b\n");
+    }
+
+    #[test]
+    fn leaf_renders_as_single_line() {
+        assert_eq!(render_tree(&TreeNode::leaf("only")), "only\n");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -225,6 +225,8 @@ struct WriteReq {
     /// True when the unit must run inside `BEGIN WORK … COMMIT WORK`.
     txn: bool,
     ctx: QueryContext,
+    /// When the unit entered the queue, for the queue-wait histogram.
+    enqueued_at: Instant,
     reply: SyncSender<Result<WriteAck, ServiceError>>,
 }
 
@@ -233,6 +235,74 @@ struct WriteReq {
 struct GateState {
     active: usize,
     waiting: usize,
+}
+
+/// Cached handles into the service's telemetry registry (the writer
+/// session's registry, adopted at [`Service::start`]). One handle per
+/// hot-path metric so recording is an atomic op, never a registry lock.
+struct ServiceMetrics {
+    registry: Arc<telemetry::Registry>,
+    admitted_read: Arc<telemetry::Counter>,
+    admitted_write: Arc<telemetry::Counter>,
+    shed_read: Arc<telemetry::Counter>,
+    shed_write: Arc<telemetry::Counter>,
+    shed_connect: Arc<telemetry::Counter>,
+    completed_read: Arc<telemetry::Counter>,
+    completed_write: Arc<telemetry::Counter>,
+    failed_read: Arc<telemetry::Counter>,
+    failed_write: Arc<telemetry::Counter>,
+    poisoned: Arc<telemetry::Counter>,
+    /// Time a read spent waiting for a reader slot.
+    read_admission_latency: Arc<telemetry::Histogram>,
+    /// Time a write unit spent queued before the writer picked it up.
+    write_queue_latency: Arc<telemetry::Histogram>,
+    exec_latency_read: Arc<telemetry::Histogram>,
+    exec_latency_write: Arc<telemetry::Histogram>,
+    total_latency_read: Arc<telemetry::Histogram>,
+    total_latency_write: Arc<telemetry::Histogram>,
+    /// Group-commit fsync completion → epoch publication.
+    epoch_publish_lag: Arc<telemetry::Histogram>,
+}
+
+impl ServiceMetrics {
+    fn new(registry: Arc<telemetry::Registry>) -> ServiceMetrics {
+        let r = &registry;
+        ServiceMetrics {
+            admitted_read: r.counter("svc_admitted_total", &[("kind", "read")]),
+            admitted_write: r.counter("svc_admitted_total", &[("kind", "write")]),
+            shed_read: r.counter("svc_shed_total", &[("kind", "read")]),
+            shed_write: r.counter("svc_shed_total", &[("kind", "write")]),
+            shed_connect: r.counter("svc_shed_total", &[("kind", "connect")]),
+            completed_read: r.counter("svc_completed_total", &[("kind", "read")]),
+            completed_write: r.counter("svc_completed_total", &[("kind", "write")]),
+            failed_read: r.counter("svc_failed_total", &[("kind", "read")]),
+            failed_write: r.counter("svc_failed_total", &[("kind", "write")]),
+            poisoned: r.counter("svc_poisoned_total", &[]),
+            read_admission_latency: r.latency("svc_read_admission_latency_us", &[]),
+            write_queue_latency: r.latency("svc_write_queue_latency_us", &[]),
+            exec_latency_read: r.latency("svc_exec_latency_us", &[("kind", "read")]),
+            exec_latency_write: r.latency("svc_exec_latency_us", &[("kind", "write")]),
+            total_latency_read: r.latency("svc_total_latency_us", &[("kind", "read")]),
+            total_latency_write: r.latency("svc_total_latency_us", &[("kind", "write")]),
+            epoch_publish_lag: r.latency("svc_epoch_publish_lag_us", &[]),
+            registry,
+        }
+    }
+
+    /// Settles one request's outcome so `shed + completed + failed ==
+    /// admitted` holds per kind by construction.
+    fn settle<T>(&self, read: bool, result: &Result<T, ServiceError>) {
+        let (shed, completed, failed) = if read {
+            (&self.shed_read, &self.completed_read, &self.failed_read)
+        } else {
+            (&self.shed_write, &self.completed_write, &self.failed_write)
+        };
+        match result {
+            Ok(_) => completed.inc(),
+            Err(ServiceError::Overloaded { .. }) => shed.inc(),
+            Err(_) => failed.inc(),
+        }
+    }
 }
 
 struct Inner {
@@ -247,6 +317,7 @@ struct Inner {
     /// Options the writer session was started with; readers inherit
     /// them (budget, strategy) with the per-statement context merged in.
     base_opts: EvalOptions,
+    metrics: ServiceMetrics,
 }
 
 impl Inner {
@@ -259,7 +330,24 @@ impl Inner {
 
     fn set_poison(&self, m: String) {
         let mut p = self.poison.lock().unwrap_or_else(|e| e.into_inner());
+        if p.is_none() {
+            self.metrics.poisoned.inc();
+        }
         p.get_or_insert(m);
+    }
+
+    /// Mirrors the point-in-time counters into registry gauges.
+    fn refresh_gauges(&self) {
+        let (active, waiting) = {
+            let gate = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+            (gate.active, gate.waiting)
+        };
+        let r = &self.metrics.registry;
+        r.gauge("svc_sessions", &[])
+            .set(self.sessions.load(Ordering::Relaxed) as i64);
+        r.gauge("svc_active_readers", &[]).set(active as i64);
+        r.gauge("svc_waiting_readers", &[]).set(waiting as i64);
+        r.gauge("svc_epoch", &[]).set(self.epoch.load().seq as i64);
     }
 }
 
@@ -293,6 +381,10 @@ impl Service {
             sessions: AtomicUsize::new(0),
             poison: Mutex::new(None),
             base_opts: session.options().clone(),
+            // One registry for the whole service: the writer session's.
+            // Storage metrics (it owns the store) and service metrics
+            // land in the same exposition.
+            metrics: ServiceMetrics::new(Arc::clone(session.registry())),
             cfg,
         });
         let writer_inner = Arc::clone(&inner);
@@ -313,6 +405,7 @@ impl Service {
         let mut n = self.inner.sessions.load(Ordering::Relaxed);
         loop {
             if n >= cfg.max_sessions {
+                self.inner.metrics.shed_connect.inc();
                 return Err(ServiceError::Overloaded {
                     retry_after: cfg.retry_after,
                 });
@@ -334,15 +427,34 @@ impl Service {
         })
     }
 
-    /// Current counters.
+    /// Current counters. Also mirrors them into the telemetry
+    /// registry's gauges, so the exposition and this struct agree at
+    /// the moment of the call.
     pub fn stats(&self) -> ServiceStats {
-        let gate = self.inner.gate.lock().unwrap_or_else(|e| e.into_inner());
-        ServiceStats {
-            sessions: self.inner.sessions.load(Ordering::Relaxed),
-            active_readers: gate.active,
-            waiting_readers: gate.waiting,
-            epoch: self.inner.epoch.load().seq,
-        }
+        let stats = {
+            let gate = self.inner.gate.lock().unwrap_or_else(|e| e.into_inner());
+            ServiceStats {
+                sessions: self.inner.sessions.load(Ordering::Relaxed),
+                active_readers: gate.active,
+                waiting_readers: gate.waiting,
+                epoch: self.inner.epoch.load().seq,
+            }
+        };
+        self.inner.refresh_gauges();
+        stats
+    }
+
+    /// The service's telemetry registry (shared with the writer session
+    /// and its store).
+    pub fn registry(&self) -> &Arc<telemetry::Registry> {
+        &self.inner.metrics.registry
+    }
+
+    /// Renders the full telemetry exposition with the point-in-time
+    /// gauges refreshed (what `STATS` returns through a handle).
+    pub fn stats_text(&self) -> String {
+        self.stats();
+        self.inner.metrics.registry.render()
     }
 
     /// The latest published epoch (snapshot + sequence number).
@@ -428,7 +540,7 @@ fn is_read_only(stmt: &Stmt) -> bool {
     match stmt {
         Stmt::Select(q) => q.oid_fn.is_none(),
         Stmt::RelOp { left, right, .. } => is_read_only(left) && is_read_only(right),
-        Stmt::Explain(_) => true,
+        Stmt::Explain { .. } => true,
         _ => false,
     }
 }
@@ -440,6 +552,20 @@ impl SessionHandle {
     pub fn execute(&mut self, src: &str, ctx: &QueryContext) -> Result<ExecResult, ServiceError> {
         let stmt = parse(src)?;
         match stmt {
+            // Diagnostics, answered before read/write classification:
+            // renders the service-wide registry (never a reader's own),
+            // pinned to the epoch current at the call.
+            Stmt::Stats => {
+                self.inner.refresh_gauges();
+                let ep = self.inner.epoch.load();
+                Ok(ExecResult::Read(ReadResult {
+                    outcome: Outcome::Stats {
+                        report: self.inner.metrics.registry.render(),
+                    },
+                    epoch: ep.seq,
+                    snapshot: ep.db,
+                }))
+            }
             Stmt::Begin => {
                 if self.txn.is_some() {
                     return Err(ServiceError::Protocol(
@@ -520,10 +646,26 @@ impl SessionHandle {
     }
 
     fn read(&mut self, src: &str, ctx: &QueryContext) -> Result<ReadResult, ServiceError> {
+        let inner = Arc::clone(&self.inner);
+        let m = &inner.metrics;
+        m.admitted_read.inc();
+        let started = Instant::now();
         let deadline = self.effective_deadline(ctx);
-        self.acquire_read_slot(deadline)?;
-        let r = self.read_in_slot(src, ctx, deadline);
-        self.release_read_slot();
+        let wait_started = Instant::now();
+        let slot = self.acquire_read_slot(deadline);
+        m.read_admission_latency.observe_since(wait_started);
+        let r = match slot {
+            Ok(()) => {
+                let exec_started = Instant::now();
+                let r = self.read_in_slot(src, ctx, deadline);
+                m.exec_latency_read.observe_since(exec_started);
+                self.release_read_slot();
+                r
+            }
+            Err(e) => Err(e),
+        };
+        m.total_latency_read.observe_since(started);
+        m.settle(true, &r);
         r
     }
 
@@ -622,6 +764,21 @@ impl SessionHandle {
         txn: bool,
         ctx: &QueryContext,
     ) -> Result<WriteAck, ServiceError> {
+        let m = &self.inner.metrics;
+        m.admitted_write.inc();
+        let started = Instant::now();
+        let r = self.submit_write_inner(stmts, txn, ctx);
+        m.total_latency_write.observe_since(started);
+        m.settle(false, &r);
+        r
+    }
+
+    fn submit_write_inner(
+        &self,
+        stmts: Vec<String>,
+        txn: bool,
+        ctx: &QueryContext,
+    ) -> Result<WriteAck, ServiceError> {
         self.inner.poison_check()?;
         let deadline = self.effective_deadline(ctx);
         let tx = self
@@ -641,6 +798,7 @@ impl SessionHandle {
                 cancel: ctx.cancel.clone(),
                 cancel_at_tick: ctx.cancel_at_tick,
             },
+            enqueued_at: Instant::now(),
             reply,
         };
         match tx.try_send(req) {
@@ -765,11 +923,18 @@ fn writer_loop(mut session: Session, rx: Receiver<WriteReq>, inner: Arc<Inner>) 
         let mut fatal: Option<String> = None;
         let mut results: Vec<Result<Vec<Outcome>, ServiceError>> = Vec::with_capacity(batch.len());
         for req in &batch {
+            inner
+                .metrics
+                .write_queue_latency
+                .observe_since(req.enqueued_at);
             if let Some(m) = &fatal {
                 results.push(Err(ServiceError::Poisoned(m.clone())));
                 continue;
             }
-            match exec_unit(&mut session, req) {
+            let exec_started = Instant::now();
+            let r = exec_unit(&mut session, req);
+            inner.metrics.exec_latency_write.observe_since(exec_started);
+            match r {
                 Ok(o) => results.push(Ok(o)),
                 Err(UnitError::Stmt(e)) => results.push(Err(ServiceError::Xsql(e))),
                 Err(UnitError::Fatal(m)) => {
@@ -784,12 +949,14 @@ fn writer_loop(mut session: Session, rx: Receiver<WriteReq>, inner: Arc<Inner>) 
                 fatal = Some(format!("group-commit fsync failed: {e}"));
             }
         }
+        let fsync_done = Instant::now();
         match fatal {
             None => {
                 // Durable: publish the new state and acknowledge. The
                 // epoch is published *after* the fsync so readers never
                 // observe state that could vanish in a crash.
                 let seq = inner.epoch.publish(session.db().clone());
+                inner.metrics.epoch_publish_lag.observe_since(fsync_done);
                 for (req, res) in batch.into_iter().zip(results) {
                     let _ = req.reply.send(res.map(|outcomes| WriteAck {
                         outcomes,

@@ -372,6 +372,46 @@ fn chaos_round(seed: u64) {
     assert_eq!(stats.active_readers, 0, "seed {seed}: leaked reader slots");
     assert_eq!(stats.waiting_readers, 0, "seed {seed}: leaked waiters");
 
+    // Invariant 4: telemetry consistency. Every admitted request is
+    // settled exactly once, so the counters balance per kind under all
+    // interleavings; and every acknowledged write unit corresponds to
+    // exactly one WAL commit append (a CHECKPOINT appends nothing, a
+    // cancelled/failed unit rolls back before its append).
+    let registry = Arc::clone(svc.registry());
+    for kind in ["read", "write"] {
+        let labels = [("kind", kind)];
+        let admitted = registry.counter("svc_admitted_total", &labels).get();
+        let settled = registry.counter("svc_shed_total", &labels).get()
+            + registry.counter("svc_completed_total", &labels).get()
+            + registry.counter("svc_failed_total", &labels).get();
+        assert_eq!(
+            settled, admitted,
+            "seed {seed}: {kind} requests admitted but never settled"
+        );
+    }
+    // An acked transactional unit and an acked single UPDATE each
+    // commit as exactly one WAL unit, so acks count appends directly.
+    let acked: u64 = stream_logs
+        .iter()
+        .flat_map(|l| &l.units)
+        .filter(|(_, r)| *r == UnitResult::Ok)
+        .count() as u64;
+    let wal_appends = registry.counter_total("storage_wal_appends_total");
+    if arm.is_none() {
+        assert_eq!(
+            wal_appends, acked,
+            "seed {seed}: acked units and WAL commit appends disagree"
+        );
+    } else {
+        // With a fault armed, a unit may have appended durably and
+        // still been answered `Poisoned` (fate `Maybe`): the append
+        // counter may run ahead of the acks, never behind.
+        assert!(
+            wal_appends >= acked,
+            "seed {seed}: {acked} acked units but only {wal_appends} WAL appends"
+        );
+    }
+
     // Invariant 3b: shutdown completes under a watchdog (no deadlock).
     let svc = Arc::try_unwrap(svc).ok().expect("all clients joined");
     let (done_tx, done_rx) = mpsc::channel();

@@ -218,7 +218,18 @@ fn read_gate_sheds_when_waiters_exceed_the_bound() {
             ));
         })
     };
-    // Wait until the slot is definitely held, then overload.
+    // Wait until the blocker actually holds the reader slot before
+    // probing: on a loaded (or single-core) host the spawned thread may
+    // not have run yet, and a probe that grabs the free slot first
+    // would get the blocker itself shed instead of cancelled.
+    let t0 = Instant::now();
+    while svc.stats().active_readers == 0 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "blocker never took the reader slot"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
     let mut shed = false;
     for _ in 0..100 {
         let mut h = svc.connect().unwrap();
@@ -237,4 +248,56 @@ fn read_gate_sheds_when_waiters_exceed_the_bound() {
     }
     blocker.join().unwrap();
     assert!(shed, "the gate never shed a reader");
+}
+
+/// Observability: the `STATS` statement works through a handle (it is
+/// answered from the service's registry, pinned to the current epoch),
+/// and `Service::stats_text` exposes the same registry with the
+/// admission, latency and gauge families populated.
+#[test]
+fn stats_statement_and_exposition() {
+    let svc = Service::start(big_session(), ServiceConfig::default());
+    let mut h = svc.connect().unwrap();
+    let ctx = QueryContext::with_timeout(Duration::from_secs(30));
+    h.execute("SELECT X FROM Company X", &ctx).unwrap();
+    h.execute("CREATE CLASS StatsProbe", &ctx).unwrap();
+
+    let r = h.execute("STATS", &ctx).unwrap();
+    let ExecResult::Read(read) = r else {
+        panic!("STATS must be answered as a read");
+    };
+    let xsql::Outcome::Stats { report } = read.outcome else {
+        panic!("expected Outcome::Stats");
+    };
+    for needle in [
+        "svc_admitted_total{kind=\"read\"} ",
+        "svc_admitted_total{kind=\"write\"} ",
+        "svc_completed_total{kind=\"write\"} ",
+        "svc_exec_latency_us_count{kind=\"read\"} ",
+        "svc_total_latency_us_p50{kind=\"write\"} ",
+        "svc_write_queue_latency_us_count ",
+        "svc_sessions ",
+        "svc_epoch ",
+    ] {
+        assert!(report.contains(needle), "missing `{needle}` in:\n{report}");
+    }
+    // Every line is a parseable `name[{labels}] value` sample.
+    for line in report.lines() {
+        let (name, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("unparseable exposition line: {line}");
+        });
+        assert!(!name.is_empty(), "{line}");
+        assert!(value.parse::<i64>().is_ok(), "non-numeric value in: {line}");
+    }
+
+    // The service-side exposition reads the same registry.
+    let text = svc.stats_text();
+    assert!(
+        text.contains("svc_admitted_total{kind=\"read\"} "),
+        "{text}"
+    );
+    assert!(text.contains("svc_active_readers "), "{text}");
+
+    drop(h);
+    svc.shutdown().unwrap();
 }

@@ -36,6 +36,21 @@ pub struct Store {
     dir: PathBuf,
     next_seq: u64,
     sync_on_commit: bool,
+    /// Cached metric handles, present once a registry is attached
+    /// ([`Store::attach_registry`]). Instrumentation is pure timing and
+    /// atomic counting around the existing I/O calls — it never adds a
+    /// filesystem operation, so fault-injection tests that count ops
+    /// see the same sequence with or without telemetry.
+    metrics: Option<StoreMetrics>,
+}
+
+/// Cached handles into the attached telemetry registry.
+struct StoreMetrics {
+    wal_append_latency: std::sync::Arc<telemetry::Histogram>,
+    wal_fsync_latency: std::sync::Arc<telemetry::Histogram>,
+    checkpoint_latency: std::sync::Arc<telemetry::Histogram>,
+    wal_appends: std::sync::Arc<telemetry::Counter>,
+    wal_bytes: std::sync::Arc<telemetry::Counter>,
 }
 
 impl std::fmt::Debug for Store {
@@ -97,6 +112,7 @@ impl Store {
             dir,
             next_seq: 1,
             sync_on_commit: true,
+            metrics: None,
         };
         let meta = format!("{META_MAGIC}\n{base_tag}\n");
         store.fs.write(&store.path(META), meta.as_bytes())?;
@@ -129,6 +145,7 @@ impl Store {
             dir,
             next_seq: 1,
             sync_on_commit: true,
+            metrics: None,
         };
         let base_tag = parse_meta(&store.fs.read(&store.path(META))?)?;
         // A leftover temp file is a checkpoint that never renamed; it is
@@ -177,6 +194,20 @@ impl Store {
         ))
     }
 
+    /// Attaches a telemetry registry: WAL append/fsync and checkpoint
+    /// latencies, appended-commit and byte counters are recorded into
+    /// it from now on. Metric handles are cached here, so the hot path
+    /// never takes the registry lock.
+    pub fn attach_registry(&mut self, registry: &telemetry::Registry) {
+        self.metrics = Some(StoreMetrics {
+            wal_append_latency: registry.latency("storage_wal_append_latency_us", &[]),
+            wal_fsync_latency: registry.latency("storage_wal_fsync_latency_us", &[]),
+            checkpoint_latency: registry.latency("storage_checkpoint_latency_us", &[]),
+            wal_appends: registry.counter("storage_wal_appends_total", &[]),
+            wal_bytes: registry.counter("storage_wal_bytes_written_total", &[]),
+        });
+    }
+
     /// Sequence number of the most recently appended commit (0 if none).
     pub fn last_committed_seq(&self) -> u64 {
         self.next_seq - 1
@@ -193,26 +224,44 @@ impl Store {
     /// made with `sync_on_commit` disabled becomes durable all at once
     /// with this single sync, amortizing the fsync cost over the batch.
     pub fn sync_wal(&mut self) -> StorageResult<()> {
+        let started = self.metrics.as_ref().map(|_| std::time::Instant::now());
         self.fs.sync(&self.path(WAL))?;
+        if let (Some(m), Some(t0)) = (&self.metrics, started) {
+            m.wal_fsync_latency.observe_since(t0);
+        }
         Ok(())
     }
 
     /// Appends one commit-unit payload to the WAL and makes it durable.
     /// Returns the record's sequence number.
     pub fn append_commit(&mut self, payload: &[u8]) -> StorageResult<u64> {
+        let started = self.metrics.as_ref().map(|_| std::time::Instant::now());
         let seq = self.next_seq;
         let rec = wal::frame(seq, payload);
         self.fs.append(&self.path(WAL), &rec)?;
         if self.sync_on_commit {
+            let sync_started = started.map(|_| std::time::Instant::now());
             self.fs.sync(&self.path(WAL))?;
+            if let (Some(m), Some(t0)) = (&self.metrics, sync_started) {
+                m.wal_fsync_latency.observe_since(t0);
+            }
         }
         self.next_seq += 1;
+        // Counted only on success: an errored append is rolled back and
+        // never acknowledged, so acked commits == this counter.
+        if let Some(m) = &self.metrics {
+            m.wal_append_latency
+                .observe_since(started.expect("paired with metrics"));
+            m.wal_appends.inc();
+            m.wal_bytes.add(rec.len() as u64);
+        }
         Ok(seq)
     }
 
     /// Writes a checkpoint covering everything committed so far, then
     /// truncates the WAL. `snap.last_seq` is filled in by the store.
     pub fn checkpoint(&mut self, mut snap: SnapshotFile) -> StorageResult<()> {
+        let started = self.metrics.as_ref().map(|_| std::time::Instant::now());
         snap.last_seq = self.last_committed_seq();
         let bytes = encode_snapshot(&snap);
         let tmp = self.path(SNAPSHOT_TMP);
@@ -223,6 +272,9 @@ impl Store {
         // The snapshot is durable; the log before it is now redundant.
         self.fs.truncate(&self.path(WAL), 0)?;
         self.fs.sync(&self.path(WAL))?;
+        if let (Some(m), Some(t0)) = (&self.metrics, started) {
+            m.checkpoint_latency.observe_since(t0);
+        }
         Ok(())
     }
 }

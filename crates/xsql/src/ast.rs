@@ -520,9 +520,20 @@ pub enum Stmt {
     CreateClass(CreateClass),
     /// Individual creation (extension).
     CreateObject(CreateObject),
-    /// `EXPLAIN <select>` — typing analysis report (§6) instead of
-    /// evaluation.
-    Explain(Box<Stmt>),
+    /// `EXPLAIN [ANALYZE] <select>`. Plain `EXPLAIN` produces the §6
+    /// typing analysis report plus the static plan without running the
+    /// query; `EXPLAIN ANALYZE` additionally executes it and reports
+    /// the measured execution profile. Only SELECT statements may be
+    /// explained — the parser rejects anything else with a span error.
+    Explain {
+        /// True for `EXPLAIN ANALYZE` (run the query, profile it).
+        analyze: bool,
+        /// The SELECT being explained.
+        stmt: Box<Stmt>,
+    },
+    /// `STATS` — render the session's telemetry registry (metric
+    /// exposition; engineering extension, see docs/OBSERVABILITY.md).
+    Stats,
     /// `BEGIN [WORK]` — open an explicit transaction (engineering
     /// extension; the paper's model has no transactions, but a
     /// production engine needs statement grouping).

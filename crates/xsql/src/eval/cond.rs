@@ -79,6 +79,10 @@ fn collect_cond_subquery_vars<'q>(c: &'q Cond, out: &mut BTreeSet<&'q str>) {
 pub(crate) struct Partition<'q> {
     pub var: &'q str,
     pub candidates: Vec<Oid>,
+    /// Provenance of the candidate list (mirrors the decision chain of
+    /// `head_candidates` / `instance_candidates`); surfaced by the
+    /// `EXPLAIN ANALYZE` profile.
+    pub source: &'static str,
 }
 
 enum Generator<'q> {
@@ -480,6 +484,7 @@ impl<'d> Ctx<'d> {
                         .into_iter()
                         .filter(|&o| self.sort_ok(v.sort, o))
                         .collect(),
+                    source: self.head_candidate_source(p, v),
                 }
             }
             Some((_, Generator::InstanceOf(obj, class))) => {
@@ -496,6 +501,14 @@ impl<'d> Ctx<'d> {
                         .into_iter()
                         .filter(|&o| self.sort_ok(v.sort, o))
                         .collect(),
+                    source: if self
+                        .ranges
+                        .is_some_and(|rs| rs.contains_key(v.name.as_str()))
+                    {
+                        "theorem-6.1-range"
+                    } else {
+                        "class-extent"
+                    },
                 }
             }
             _ => return Ok(None),

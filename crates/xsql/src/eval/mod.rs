@@ -20,6 +20,7 @@ pub mod create;
 pub mod method;
 pub mod parallel;
 pub mod path;
+pub mod profile;
 pub mod select;
 pub mod update;
 pub mod value;
@@ -130,6 +131,13 @@ pub struct EvalOptions {
     /// bit-identical to sequential evaluation. Defaults to the
     /// `XSQL_PARALLELISM` environment variable when set.
     pub parallelism: usize,
+    /// Optional execution-profile sink (`EXPLAIN ANALYZE`). When
+    /// attached, the evaluator records strategy, partition, stage and
+    /// cost information into it; recording sites are gated on the
+    /// `Option` and sit at stage boundaries, so ordinary evaluation
+    /// pays nothing. Cloning the options (as the parallel driver does
+    /// for its workers) shares the sink.
+    pub profile: Option<Arc<profile::QueryProfile>>,
 }
 
 /// Default parallelism: the `XSQL_PARALLELISM` environment variable
@@ -153,6 +161,7 @@ impl Default for EvalOptions {
             budget: EvalBudget::default(),
             cancel: CancelFlag::default(),
             parallelism: env_parallelism(),
+            profile: None,
         }
     }
 }
@@ -418,6 +427,9 @@ impl<'d> Ctx<'d> {
     /// fan-out budget.
     #[inline]
     pub fn check_binding_set(&self, n: usize) -> XsqlResult<()> {
+        if let Some(p) = &self.opts.profile {
+            p.note_binding_set(n);
+        }
         if n > self.opts.budget.max_binding_set {
             Err(XsqlError::Budget {
                 resource: "binding set size",

@@ -58,7 +58,12 @@ pub(crate) fn solve_query_parallel<'q>(
     }
     let mut outer_vars = BTreeSet::new();
     vars::query_vars(q, &mut outer_vars);
-    let Some(Partition { var, candidates }) = ctx.choose_partition(&conjs, &outer_vars)? else {
+    let Some(Partition {
+        var,
+        candidates,
+        source,
+    }) = ctx.choose_partition(&conjs, &outer_vars)?
+    else {
         return Ok(None);
     };
     if candidates.len() < 2 {
@@ -70,6 +75,14 @@ pub(crate) fn solve_query_parallel<'q>(
     vars::var_sorts(q, &mut sorts);
 
     let nworkers = ctx.opts.parallelism.min(candidates.len());
+    if let Some(p) = &ctx.opts.profile {
+        p.record_partition(super::profile::PartitionInfo {
+            var: var.to_string(),
+            source,
+            candidates: candidates.len(),
+            workers: nworkers,
+        });
+    }
     // Nested evaluation inside a worker (subqueries, method bodies)
     // stays sequential: one level of fan-out is where the win is, and
     // it keeps the thread count bounded by `parallelism`.
@@ -107,6 +120,7 @@ pub(crate) fn solve_query_parallel<'q>(
                         ranges,
                         Arc::clone(counters),
                         depth,
+                        w,
                         &chunk,
                         var,
                         conjs_ref,
@@ -169,6 +183,7 @@ fn run_worker<'q>(
     ranges: Option<&Ranges>,
     counters: Arc<EvalCounters>,
     depth: usize,
+    index: usize,
     chunk: &[Oid],
     var: &'q str,
     conjs: &[&'q Cond],
@@ -176,6 +191,7 @@ fn run_worker<'q>(
     outer_vars: &BTreeSet<&'q str>,
     select: &'q [SelectItem],
 ) -> XsqlResult<BTreeSet<Vec<Cell>>> {
+    let started = opts.profile.as_ref().map(|_| std::time::Instant::now());
     let ctx = Ctx::with_parts(db, opts, ranges, counters, depth);
     let mut rows: BTreeSet<Vec<Cell>> = BTreeSet::new();
     let run = (|| -> XsqlResult<()> {
@@ -185,6 +201,9 @@ fn run_worker<'q>(
             ctx.tick()?;
             bnd.push(var, o);
             ctx.solve_conjuncts(conjs, sorts, outer_vars, &mut bnd, &mut |bnd2| {
+                if let Some(p) = &ctx.opts.profile {
+                    p.count_solution();
+                }
                 emit_rows(&ctx, select, bnd2, &mut rows)
             })?;
             bnd.truncate(mark);
@@ -194,6 +213,14 @@ fn run_worker<'q>(
     // Publish remaining buffered ticks so statement-total accounting
     // (work_done, the work limit seen by later pollers) is complete.
     ctx.flush_work();
+    if let (Some(p), Some(t0)) = (&opts.profile, started) {
+        p.push_worker(super::profile::WorkerProfile {
+            index,
+            candidates: chunk.len(),
+            rows: rows.len(),
+            wall_micros: u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX),
+        });
+    }
     match run {
         Ok(()) => Ok(rows),
         Err(e) => {

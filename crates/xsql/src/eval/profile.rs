@@ -1,0 +1,314 @@
+//! Execution-profile collection for `EXPLAIN ANALYZE`.
+//!
+//! A [`QueryProfile`] is an optional, shared sink attached to
+//! [`EvalOptions`](super::EvalOptions): when present, the evaluator
+//! records what it actually did — the strategy taken, the partition
+//! generator [`choose_partition`](super::Ctx::choose_partition) picked,
+//! tick and tuple totals from the statement's shared
+//! [`EvalCounters`](super::EvalCounters), the binding-set high-water
+//! mark, solution/row counts per pipeline stage, and per-worker wall
+//! time under parallel evaluation. Every recording site is gated on the
+//! `Option`, so evaluation without a profile attached pays nothing
+//! beyond a null check at stage boundaries (never in per-tick loops).
+//!
+//! The profile renders as a tree via [`relalg::render_tree`]. Under
+//! [`TelemetryConfig::deterministic`](telemetry::TelemetryConfig)
+//! wall-clock timings are suppressed so golden tests are byte-stable;
+//! tick, row, and candidate counts are deterministic functions of the
+//! database and options and are always shown.
+
+use relalg::TreeNode;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The partition the parallel driver split on, as recorded for a
+/// profile (an owned echo of the internal `Partition`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionInfo {
+    /// The variable whose candidate domain was partitioned.
+    pub var: String,
+    /// Where the candidate list came from: `"theorem-6.1-range"`,
+    /// `"method-value-index"`, `"method-index"`, `"class-extent"` or
+    /// `"active-domain"`.
+    pub source: &'static str,
+    /// Number of candidate values split across the workers.
+    pub candidates: usize,
+    /// Number of worker threads the candidates were striped over.
+    pub workers: usize,
+}
+
+/// Execution record of one parallel worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerProfile {
+    /// Worker index (also its round-robin stripe offset).
+    pub index: usize,
+    /// Candidates of the partition variable this worker enumerated.
+    pub candidates: usize,
+    /// Rows the worker produced before the cross-worker union.
+    pub rows: usize,
+    /// Wall-clock time the worker ran, in microseconds.
+    pub wall_micros: u64,
+}
+
+/// A profile sink for one top-level SELECT evaluation. Shared via
+/// `Arc` between the root context and any parallel workers; all fields
+/// are internally synchronized.
+#[derive(Debug, Default)]
+pub struct QueryProfile {
+    strategy: Mutex<Option<String>>,
+    parallelism: AtomicUsize,
+    partition: Mutex<Option<PartitionInfo>>,
+    solutions: AtomicU64,
+    binding_set_hwm: AtomicUsize,
+    ticks: AtomicU64,
+    tuples: AtomicUsize,
+    rows_out: AtomicUsize,
+    workers: Mutex<Vec<WorkerProfile>>,
+}
+
+impl QueryProfile {
+    /// Records the strategy label and requested parallelism (top-level
+    /// evaluation entry).
+    pub(crate) fn record_strategy(&self, label: &str, parallelism: usize) {
+        *self.strategy.lock().unwrap() = Some(label.to_string());
+        self.parallelism.store(parallelism, Ordering::Relaxed);
+    }
+
+    /// Records the partition the parallel driver committed to.
+    pub(crate) fn record_partition(&self, info: PartitionInfo) {
+        *self.partition.lock().unwrap() = Some(info);
+    }
+
+    /// Counts one satisfying binding of the top-level FROM+WHERE.
+    pub(crate) fn count_solution(&self) {
+        self.solutions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raises the binding-set high-water mark to `n` if larger. Called
+    /// once per enumerated binding set — millions of times on a large
+    /// join — so the common already-covered case must stay a plain
+    /// load, not an RMW (`fetch_max` is a compare-exchange loop even
+    /// uncontended).
+    pub(crate) fn note_binding_set(&self, n: usize) {
+        if self.binding_set_hwm.load(Ordering::Relaxed) < n {
+            self.binding_set_hwm.fetch_max(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records the statement's final tick/tuple totals and the result
+    /// cardinality after duplicate elimination.
+    pub(crate) fn record_totals(&self, ticks: u64, tuples: usize, rows_out: usize) {
+        self.ticks.store(ticks, Ordering::Relaxed);
+        self.tuples.store(tuples, Ordering::Relaxed);
+        self.rows_out.store(rows_out, Ordering::Relaxed);
+    }
+
+    /// Appends one worker's execution record.
+    pub(crate) fn push_worker(&self, w: WorkerProfile) {
+        self.workers.lock().unwrap().push(w);
+    }
+
+    /// Result rows after duplicate elimination.
+    pub fn rows_out(&self) -> usize {
+        self.rows_out.load(Ordering::Relaxed)
+    }
+
+    /// Total evaluation ticks (all workers).
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Satisfying bindings of the top-level FROM+WHERE.
+    pub fn solutions(&self) -> u64 {
+        self.solutions.load(Ordering::Relaxed)
+    }
+
+    /// The recorded partition, if the parallel driver split the query.
+    pub fn partition(&self) -> Option<PartitionInfo> {
+        self.partition.lock().unwrap().clone()
+    }
+
+    /// Lays the profile out as a tree. With `deterministic` set,
+    /// wall-clock timings are suppressed (tick/row/candidate counts are
+    /// already deterministic).
+    pub fn to_tree(&self, deterministic: bool) -> TreeNode {
+        let strategy = self
+            .strategy
+            .lock()
+            .unwrap()
+            .clone()
+            .unwrap_or_else(|| "unknown".to_string());
+        let parallelism = self.parallelism.load(Ordering::Relaxed);
+        let mut children = vec![TreeNode::leaf(format!(
+            "strategy: {strategy}, parallelism {parallelism}"
+        ))];
+
+        match self.partition() {
+            Some(p) => {
+                let mut workers = self.workers.lock().unwrap().clone();
+                workers.sort_by_key(|w| w.index);
+                let kids = workers
+                    .iter()
+                    .map(|w| {
+                        let timing = if deterministic {
+                            String::new()
+                        } else {
+                            format!(" in {} µs", w.wall_micros)
+                        };
+                        TreeNode::leaf(format!(
+                            "worker {}: {} candidates -> {} rows{timing}",
+                            w.index, w.candidates, w.rows
+                        ))
+                    })
+                    .collect();
+                children.push(TreeNode::branch(
+                    format!(
+                        "partition: {} via {} ({} candidates, {} workers)",
+                        p.var, p.source, p.candidates, p.workers
+                    ),
+                    kids,
+                ));
+            }
+            None => children.push(TreeNode::leaf("partition: none (sequential)")),
+        }
+
+        children.push(TreeNode::branch(
+            "pipeline".to_string(),
+            vec![
+                TreeNode::leaf(format!(
+                    "solutions: {} satisfying bindings",
+                    self.solutions()
+                )),
+                TreeNode::leaf(format!(
+                    "rows out: {} (after duplicate elimination)",
+                    self.rows_out()
+                )),
+                TreeNode::leaf(format!(
+                    "binding-set high-water mark: {}",
+                    self.binding_set_hwm.load(Ordering::Relaxed)
+                )),
+            ],
+        ));
+        children.push(TreeNode::leaf(format!(
+            "cost: {} ticks, {} tuples materialized",
+            self.ticks(),
+            self.tuples.load(Ordering::Relaxed)
+        )));
+        TreeNode::branch("profile".to_string(), children)
+    }
+
+    /// Renders the profile tree (see [`QueryProfile::to_tree`]).
+    pub fn render(&self, deterministic: bool) -> String {
+        relalg::render_tree(&self.to_tree(deterministic))
+    }
+}
+
+/// Renders the **static** plan for plain `EXPLAIN` — what evaluation
+/// *would* do under the session's options, without running the query:
+/// the strategy label and the partition [`choose_partition`] would
+/// commit to (or `none` when the query must run sequentially).
+///
+/// [`choose_partition`]: super::Ctx::choose_partition
+pub(crate) fn static_plan(
+    ctx: &super::Ctx<'_>,
+    q: &crate::ast::SelectQuery,
+) -> crate::error::XsqlResult<String> {
+    use super::bindings::Bindings;
+    use super::select::{assemble_conjuncts, prepare};
+    use super::vars;
+    use std::collections::BTreeSet;
+
+    let strategy = match (ctx.opts.strategy, ctx.ranges.is_some()) {
+        (super::Strategy::Naive, _) => "naive",
+        (super::Strategy::Pipelined, true) => "pipelined+theorem-6.1-ranges",
+        (super::Strategy::Pipelined, false) => "pipelined",
+    };
+    let mut children = vec![TreeNode::leaf(format!(
+        "strategy: {strategy}, parallelism {}",
+        ctx.opts.parallelism
+    ))];
+    let prep = prepare(q);
+    let outer = Bindings::new();
+    let conjs = assemble_conjuncts(q, &prep, &outer);
+    let mut outer_vars = BTreeSet::new();
+    vars::query_vars(q, &mut outer_vars);
+    // Mirror the parallel driver's gate: a partition is only *used*
+    // when parallelism is requested and there is something to split.
+    let partition = if ctx.opts.parallelism >= 2 && !conjs.is_empty() {
+        ctx.choose_partition(&conjs, &outer_vars)?
+    } else {
+        None
+    };
+    match partition {
+        Some(p) if p.candidates.len() >= 2 => {
+            let workers = ctx.opts.parallelism.min(p.candidates.len());
+            children.push(TreeNode::leaf(format!(
+                "partition: {} via {} ({} candidates, {workers} workers)",
+                p.var,
+                p.source,
+                p.candidates.len()
+            )));
+        }
+        _ => children.push(TreeNode::leaf("partition: none (sequential)")),
+    }
+    Ok(relalg::render_tree(&TreeNode::branch(
+        "plan".to_string(),
+        children,
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_render_suppresses_timings() {
+        let p = QueryProfile::default();
+        p.record_strategy("pipelined", 4);
+        p.record_partition(PartitionInfo {
+            var: "X".into(),
+            source: "class-extent",
+            candidates: 10,
+            workers: 2,
+        });
+        p.push_worker(WorkerProfile {
+            index: 1,
+            candidates: 5,
+            rows: 3,
+            wall_micros: 1234,
+        });
+        p.push_worker(WorkerProfile {
+            index: 0,
+            candidates: 5,
+            rows: 2,
+            wall_micros: 987,
+        });
+        p.count_solution();
+        p.note_binding_set(10);
+        p.note_binding_set(4); // lower: must not regress the mark
+        p.record_totals(64, 5, 5);
+
+        let det = p.render(true);
+        assert!(!det.contains("µs"), "{det}");
+        // Workers are ordered by index regardless of insertion order.
+        let w0 = det.find("worker 0").unwrap();
+        let w1 = det.find("worker 1").unwrap();
+        assert!(w0 < w1, "{det}");
+        assert!(det.contains("partition: X via class-extent (10 candidates, 2 workers)"));
+        assert!(det.contains("binding-set high-water mark: 10"));
+        assert!(det.contains("cost: 64 ticks, 5 tuples materialized"));
+
+        let timed = p.render(false);
+        assert!(timed.contains("1234 µs"), "{timed}");
+    }
+
+    #[test]
+    fn sequential_profile_renders_without_partition() {
+        let p = QueryProfile::default();
+        p.record_strategy("naive", 1);
+        p.record_totals(10, 2, 2);
+        let s = p.render(true);
+        assert!(s.contains("partition: none (sequential)"), "{s}");
+        assert!(s.contains("strategy: naive, parallelism 1"), "{s}");
+    }
+}

@@ -50,21 +50,52 @@ pub fn eval_rows_under<'q>(
     let columns = column_names(&q.select);
     let prep = prepare(q);
     let mut rows = BTreeSet::new();
+    // Profile recording applies to the top-level statement only:
+    // correlated subqueries and method bodies re-enter here with outer
+    // bindings or at depth, and must not overwrite its record.
+    let profile = ctx
+        .opts
+        .profile
+        .as_ref()
+        .filter(|_| outer.is_empty() && ctx.depth == 0);
+    if let Some(p) = profile {
+        let label = match (ctx.opts.strategy, ctx.ranges.is_some()) {
+            (super::Strategy::Naive, _) => "naive",
+            (super::Strategy::Pipelined, true) => "pipelined+theorem-6.1-ranges",
+            (super::Strategy::Pipelined, false) => "pipelined",
+        };
+        p.record_strategy(label, ctx.opts.parallelism);
+    }
     match ctx.opts.strategy {
         super::Strategy::Pipelined => {
             if let Some(merged) = super::parallel::solve_query_parallel(ctx, q, &prep, outer)? {
                 rows = merged;
             } else {
                 solve_query(ctx, q, &prep, outer, &mut |ctx2, bnd| {
+                    if let Some(p) = profile {
+                        p.count_solution();
+                    }
                     emit_rows(ctx2, &q.select, bnd, &mut rows)
                 })?;
             }
         }
         super::Strategy::Naive => {
             solve_query_naive(ctx, q, &prep, outer, &mut |ctx2, bnd| {
+                if let Some(p) = profile {
+                    p.count_solution();
+                }
                 emit_rows(ctx2, &q.select, bnd, &mut rows)
             })?;
         }
+    }
+    if let Some(p) = profile {
+        p.record_totals(
+            ctx.work_done(),
+            ctx.counters
+                .tuples
+                .load(std::sync::atomic::Ordering::Relaxed),
+            rows.len(),
+        );
     }
     Ok((columns, rows))
 }

@@ -187,7 +187,35 @@ impl Parser {
 
     fn stmt(&mut self) -> XsqlResult<Stmt> {
         if self.eat_kw("explain") {
-            return Ok(Stmt::Explain(Box::new(self.stmt()?)));
+            let analyze = self.eat_kw("analyze");
+            let inner_at = self.offset();
+            let inner = self.stmt()?;
+            // EXPLAIN applies to queries only; explaining a DDL,
+            // update or transaction-control statement is an error at
+            // the inner statement's position, never a silent no-op.
+            // A UNION/MINUS/INTERSECT combination is rejected too: the
+            // typing report and the profile collector both work on a
+            // single SELECT.
+            return match inner {
+                Stmt::Select(_) => Ok(Stmt::Explain {
+                    analyze,
+                    stmt: Box::new(inner),
+                }),
+                Stmt::RelOp { .. } => Err(XsqlError::parse(
+                    inner_at,
+                    "EXPLAIN applies to a single SELECT query, not a \
+                     UNION/MINUS/INTERSECT combination",
+                )),
+                _ => Err(XsqlError::parse(
+                    inner_at,
+                    "EXPLAIN applies to SELECT queries only",
+                )),
+            };
+        }
+        // `STATS` renders the telemetry registry (contextual keyword,
+        // statement-initial position only).
+        if self.eat_kw("stats") {
+            return Ok(Stmt::Stats);
         }
         // Transaction control. `begin`/`commit`/`rollback`/`work` are
         // recognized contextually (statement-initial position only) so

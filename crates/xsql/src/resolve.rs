@@ -150,7 +150,8 @@ impl Resolver<'_> {
             | Stmt::Rollback
             | Stmt::WalOn
             | Stmt::WalOff
-            | Stmt::Checkpoint => Ok(()),
+            | Stmt::Checkpoint
+            | Stmt::Stats => Ok(()),
             Stmt::CreateObject(o) => {
                 for (_, op) in &o.sets {
                     self.collect_operand(op)?;
@@ -158,7 +159,7 @@ impl Resolver<'_> {
                 Ok(())
             }
             Stmt::Update(u) => self.collect_update(u),
-            Stmt::Explain(inner) => self.collect_stmt(inner),
+            Stmt::Explain { stmt: inner, .. } => self.collect_stmt(inner),
         }
     }
 
@@ -382,7 +383,14 @@ impl Resolver<'_> {
                     .collect::<XsqlResult<_>>()?,
             }),
             Stmt::Update(u) => Stmt::Update(self.rewrite_update(u)?),
-            Stmt::Explain(inner) => Stmt::Explain(Box::new(self.rewrite_stmt(inner)?)),
+            Stmt::Explain {
+                analyze,
+                stmt: inner,
+            } => Stmt::Explain {
+                analyze: *analyze,
+                stmt: Box::new(self.rewrite_stmt(inner)?),
+            },
+            Stmt::Stats => Stmt::Stats,
             Stmt::Begin => Stmt::Begin,
             Stmt::Commit => Stmt::Commit,
             Stmt::Rollback => Stmt::Rollback,
@@ -819,7 +827,9 @@ mod more_tests {
     #[test]
     fn explain_resolves_inner_statement() {
         let s = try_resolve("EXPLAIN SELECT X FROM C X WHERE X.Age > 1").unwrap();
-        let Stmt::Explain(inner) = s else { panic!() };
+        let Stmt::Explain { stmt: inner, .. } = s else {
+            panic!()
+        };
         let Stmt::Select(q) = *inner else { panic!() };
         // Constant resolved to an interned OID.
         match &q.where_clause {

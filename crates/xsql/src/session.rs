@@ -61,9 +61,15 @@ pub enum Outcome {
         /// The declared method-object.
         method: Oid,
     },
-    /// EXPLAIN: the typing report for a query.
+    /// EXPLAIN: the typing report and plan (or measured profile, with
+    /// ANALYZE) for a query.
     Explained {
         /// Rendered report.
+        report: String,
+    },
+    /// STATS: the session's telemetry exposition.
+    Stats {
+        /// Rendered metrics (text or JSON per the telemetry config).
         report: String,
     },
     /// `BEGIN WORK` opened an explicit transaction.
@@ -140,6 +146,14 @@ pub struct Session {
     catalog: Vec<String>,
     /// Tag of the base fixture the store was created over.
     base_tag: String,
+    /// Telemetry registry: per-statement latency, recovery counters,
+    /// and (once attached) the store's WAL/checkpoint metrics all land
+    /// here. Metrics are always recorded — only span capture and the
+    /// profile's timing lines follow the registry's
+    /// [`telemetry::TelemetryConfig`].
+    registry: std::sync::Arc<telemetry::Registry>,
+    /// Cached handle so per-statement recording skips the registry lock.
+    stmt_latency: std::sync::Arc<telemetry::Histogram>,
 }
 
 /// Snapshot taken at `BEGIN WORK`: the database savepoint plus the
@@ -168,8 +182,13 @@ impl Session {
         Session::with_options(db, EvalOptions::default())
     }
 
-    /// Opens a session with explicit evaluation options.
+    /// Opens a session with explicit evaluation options. The telemetry
+    /// configuration is read from the environment (`XSQL_TELEMETRY`,
+    /// `XSQL_TELEMETRY_FORMAT`, `XSQL_TELEMETRY_DETERMINISTIC`);
+    /// [`Session::set_registry`] swaps in a different registry.
     pub fn with_options(db: Database, opts: EvalOptions) -> Session {
+        let registry = std::sync::Arc::new(telemetry::Registry::from_env());
+        let stmt_latency = registry.latency("xsql_stmt_latency_us", &[]);
         Session {
             db,
             opts,
@@ -182,6 +201,8 @@ impl Session {
             pending: Vec::new(),
             catalog: Vec::new(),
             base_tag: String::new(),
+            registry,
+            stmt_latency,
         }
     }
 
@@ -204,8 +225,9 @@ impl Session {
     ) -> XsqlResult<Session> {
         let dir = dir.into();
         if !Store::exists(fs.as_ref(), &dir) {
-            let store = Store::create(fs, &dir, base_tag)?;
+            let mut store = Store::create(fs, &dir, base_tag)?;
             let mut s = Session::with_options(base, opts);
+            store.attach_registry(&s.registry);
             s.base_tag = base_tag.to_string();
             s.store = Some(store);
             s.wal_enabled = true;
@@ -220,6 +242,7 @@ impl Session {
             )));
         }
         // Start from the checkpoint when there is one, else the fixture.
+        let snapshot_loaded = recovered.snapshot.is_some();
         let (db, snap_anon, snap_catalog) = match recovered.snapshot {
             Some(snap) => (
                 Database::import_snapshot(snap.db)?,
@@ -231,6 +254,16 @@ impl Session {
         let mut s = Session::with_options(db, opts);
         s.base_tag = base_tag.to_string();
         s.anon_counter = usize::try_from(snap_anon).expect("counter fits usize");
+        // What recovery had to do, for `STATS` / post-mortems.
+        s.registry
+            .gauge("xsql_recovery_snapshot_loaded", &[])
+            .set(i64::from(snapshot_loaded));
+        s.registry
+            .counter("xsql_recovery_catalog_stmts_total", &[])
+            .add(snap_catalog.len() as u64);
+        s.registry
+            .counter("xsql_recovery_wal_units_total", &[])
+            .add(recovered.tail.len() as u64);
         // Definitions-only replay: the snapshot already holds the state
         // these statements produced; only their closures are rebuilt.
         for src in snap_catalog {
@@ -258,6 +291,8 @@ impl Session {
             s.anon_counter = usize::try_from(unit.anon_counter).expect("counter fits usize");
         }
         s.db.commit();
+        let mut store = store;
+        store.attach_registry(&s.registry);
         s.store = Some(store);
         s.wal_enabled = true;
         s.db.set_redo_logging(true);
@@ -325,6 +360,29 @@ impl Session {
     /// A registered view definition.
     pub fn view(&self, name: &str) -> Option<&ViewDef> {
         self.views.get(name)
+    }
+
+    /// The session's telemetry registry.
+    pub fn registry(&self) -> &std::sync::Arc<telemetry::Registry> {
+        &self.registry
+    }
+
+    /// Replaces the telemetry registry — a service attaches one shared
+    /// registry to every session this way. Cached metric handles are
+    /// re-derived and the store (if any) is re-pointed at the new
+    /// registry.
+    pub fn set_registry(&mut self, registry: std::sync::Arc<telemetry::Registry>) {
+        self.stmt_latency = registry.latency("xsql_stmt_latency_us", &[]);
+        if let Some(store) = &mut self.store {
+            store.attach_registry(&registry);
+        }
+        self.registry = registry;
+    }
+
+    /// Renders the telemetry exposition (what the `STATS` statement
+    /// returns): every metric in the registry, in the configured format.
+    pub fn stats_report(&self) -> String {
+        self.registry.render()
     }
 
     /// Parses, resolves and executes one statement.
@@ -433,7 +491,23 @@ impl Session {
     /// restores the database and the view catalogue to the
     /// pre-statement state before propagating.
     pub fn execute(&mut self, stmt: &Stmt) -> XsqlResult<Outcome> {
+        let registry = std::sync::Arc::clone(&self.registry);
+        let _span = registry.span("xsql.execute");
+        let started = std::time::Instant::now();
+        let result = self.execute_gated(stmt);
+        self.stmt_latency.observe_since(started);
+        result
+    }
+
+    fn execute_gated(&mut self, stmt: &Stmt) -> XsqlResult<Outcome> {
         match stmt {
+            // Diagnostics: read the registry without touching the
+            // statement pipeline (works even in a poisoned transaction).
+            Stmt::Stats => {
+                return Ok(Outcome::Stats {
+                    report: self.stats_report(),
+                })
+            }
             Stmt::Begin => return self.poison_gate().and_then(|()| self.txn_begin()),
             Stmt::Commit => return self.poison_gate().and_then(|()| self.txn_commit()),
             Stmt::Rollback => return self.txn_rollback(),
@@ -802,10 +876,27 @@ impl Session {
                 }
                 Ok(Outcome::ObjectCreated { oid })
             }
-            Stmt::Explain(inner) => {
-                let report = self.explain(inner)?;
+            Stmt::Explain {
+                analyze,
+                stmt: inner,
+            } => {
+                // Defense in depth for programmatic ASTs — the parser
+                // already rejects non-SELECT operands with a span.
+                let Stmt::Select(q) = inner.as_ref() else {
+                    return Err(XsqlError::Resolve(
+                        "EXPLAIN applies to SELECT queries only".into(),
+                    ));
+                };
+                let report = if *analyze {
+                    self.explain_analyze(q)?
+                } else {
+                    self.explain(q)?
+                };
                 Ok(Outcome::Explained { report })
             }
+            Stmt::Stats => Ok(Outcome::Stats {
+                report: self.stats_report(),
+            }),
             Stmt::Begin
             | Stmt::Commit
             | Stmt::Rollback
@@ -817,11 +908,9 @@ impl Session {
         }
     }
 
-    /// Renders the §6 typing report for a statement (used by EXPLAIN).
-    fn explain(&self, stmt: &Stmt) -> XsqlResult<String> {
-        let Stmt::Select(q) = stmt else {
-            return Ok("EXPLAIN applies to SELECT queries".to_string());
-        };
+    /// Renders the §6 typing report plus the static evaluation plan for
+    /// a query (plain `EXPLAIN` — nothing is executed).
+    fn explain(&self, q: &SelectQuery) -> XsqlResult<String> {
         use crate::typing::{analyze, extract, ranges_for, Exemptions, Verdict};
         let mut out = String::new();
         match analyze(&self.db, q, &Exemptions::none()) {
@@ -879,7 +968,31 @@ impl Session {
                 ));
             }
         }
+        // The static plan under the session's options — what EXPLAIN
+        // ANALYZE would measure, predicted without running the query.
+        let ctx = Ctx::new(&self.db, &self.opts);
+        out.push_str(&crate::eval::profile::static_plan(&ctx, q)?);
         Ok(out)
+    }
+
+    /// Runs the query and renders its measured execution profile
+    /// (`EXPLAIN ANALYZE`). Object-creating queries are rejected: the
+    /// ANALYZE contract is that the statement's only effect is the
+    /// report, and `OID FUNCTION OF` would mutate the database.
+    fn explain_analyze(&self, q: &SelectQuery) -> XsqlResult<String> {
+        if q.oid_fn.is_some() {
+            return Err(XsqlError::Resolve(
+                "EXPLAIN ANALYZE cannot run an object-creating query (OID FUNCTION OF)".into(),
+            ));
+        }
+        let profile = std::sync::Arc::new(crate::eval::profile::QueryProfile::default());
+        let opts = EvalOptions {
+            profile: Some(std::sync::Arc::clone(&profile)),
+            ..self.opts.clone()
+        };
+        let ctx = Ctx::new(&self.db, &opts);
+        eval_rows(&ctx, q)?;
+        Ok(profile.render(self.registry.config().deterministic))
     }
 
     fn exec_select(&mut self, q: &SelectQuery) -> XsqlResult<Outcome> {

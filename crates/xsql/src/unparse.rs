@@ -86,10 +86,18 @@ fn stmt(s: &Stmt, out: &mut String) {
                 }
             }
         }
-        Stmt::Explain(inner) => {
-            out.push_str("EXPLAIN ");
+        Stmt::Explain {
+            analyze,
+            stmt: inner,
+        } => {
+            out.push_str(if *analyze {
+                "EXPLAIN ANALYZE "
+            } else {
+                "EXPLAIN "
+            });
             stmt(inner, out);
         }
+        Stmt::Stats => out.push_str("STATS"),
         Stmt::Begin => out.push_str("BEGIN WORK"),
         Stmt::Commit => out.push_str("COMMIT WORK"),
         Stmt::Rollback => out.push_str("ROLLBACK WORK"),

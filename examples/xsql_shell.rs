@@ -112,6 +112,7 @@ fn main() {
                 );
             }
             Ok(Outcome::Explained { report }) => println!("{report}"),
+            Ok(Outcome::Stats { report }) => println!("{report}"),
             Ok(Outcome::TransactionStarted) => println!("transaction started"),
             Ok(Outcome::TransactionCommitted) => println!("transaction committed"),
             Ok(Outcome::TransactionRolledBack) => println!("transaction rolled back"),

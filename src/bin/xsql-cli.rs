@@ -34,6 +34,7 @@ struct Config {
     open: Option<String>,
     typed: bool,
     serve: bool,
+    stats: bool,
     deadline_ms: Option<u64>,
     parallel: Option<usize>,
     scripts: Vec<String>,
@@ -45,6 +46,7 @@ fn parse_args() -> Result<Config, String> {
         open: None,
         typed: false,
         serve: false,
+        stats: false,
         deadline_ms: None,
         parallel: None,
         scripts: Vec::new(),
@@ -65,6 +67,7 @@ fn parse_args() -> Result<Config, String> {
             }
             "--typed" => cfg.typed = true,
             "--serve" => cfg.serve = true,
+            "--stats" => cfg.stats = true,
             "--deadline-ms" => {
                 let v = args
                     .next()
@@ -89,10 +92,12 @@ fn parse_args() -> Result<Config, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: xsql-cli [--db empty|figure1|nobel|university] [--open DIR] \
-                            [--typed] [--serve] [--deadline-ms N] [--parallel N] \
+                            [--typed] [--serve] [--stats] [--deadline-ms N] [--parallel N] \
                             [script.xsql ...]\n\
                      --serve runs each script on its own concurrent service session \
                      (snapshot-isolated reads, serialized group-committed writes); \
+                     --stats prints the telemetry exposition (statement latencies, \
+                     WAL/service metrics) after the scripts finish; \
                      --deadline-ms bounds every statement's wall-clock time; \
                      --parallel evaluates top-level SELECTs on N worker threads \
                      (results are bit-identical to sequential evaluation)."
@@ -181,6 +186,7 @@ fn render_outcome(db: &Database, out: &Outcome) -> String {
             .unwrap();
         }
         Outcome::Explained { report } => writeln!(t, "{report}").unwrap(),
+        Outcome::Stats { report } => writeln!(t, "{report}").unwrap(),
         Outcome::TransactionStarted => writeln!(t, "transaction started").unwrap(),
         Outcome::TransactionCommitted => writeln!(t, "transaction committed").unwrap(),
         Outcome::TransactionRolledBack => writeln!(t, "transaction rolled back").unwrap(),
@@ -339,6 +345,9 @@ fn main() -> ExitCode {
         let Ok(svc) = std::sync::Arc::try_unwrap(svc) else {
             unreachable!("all worker threads joined");
         };
+        if cfg.stats {
+            print!("{}", svc.stats_text());
+        }
         if let Err(e) = svc.shutdown() {
             eprintln!("shutdown: {e}");
             return ExitCode::FAILURE;
@@ -370,6 +379,9 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+        }
+        if cfg.stats {
+            print!("{}", session.stats_report());
         }
         return ExitCode::SUCCESS;
     }
@@ -424,6 +436,9 @@ fn main() -> ExitCode {
         }
         print!("xsql> ");
         let _ = io::stdout().flush();
+    }
+    if cfg.stats {
+        print!("{}", session.stats_report());
     }
     ExitCode::SUCCESS
 }

@@ -198,3 +198,51 @@ fn script_errors_set_exit_code() {
     let out = bin().arg(&path).output().unwrap();
     assert!(!out.status.success());
 }
+
+/// `--stats` prints the telemetry exposition after a script run:
+/// statement latency histogram samples, and — with `--open` — the WAL
+/// fsync/append instrumentation from the attached store.
+#[test]
+fn stats_flag_prints_exposition() {
+    let dir = std::env::temp_dir().join("xsql_cli_stats_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("q.xsql");
+    std::fs::write(&path, "SELECT X FROM Person X;").unwrap();
+    let out = bin()
+        .args(["--db", "figure1", "--stats"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("xsql_stmt_latency_us_count "), "{stdout}");
+    assert!(stdout.contains("xsql_stmt_latency_us_p50 "), "{stdout}");
+
+    // With a durable store attached, WAL metrics join the exposition.
+    let store_dir = dir.join("store");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let script = dir.join("w.xsql");
+    std::fs::write(
+        &script,
+        "CREATE CLASS Thing; ALTER CLASS Thing ADD SIGNATURE Num => Numeral; \
+         CREATE OBJECT t1 CLASS Thing SET Num = 1;",
+    )
+    .unwrap();
+    let out = bin()
+        .args(["--db", "empty", "--stats", "--open"])
+        .arg(&store_dir)
+        .arg(&script)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("storage_wal_fsync_latency_us_count "),
+        "{stdout}"
+    );
+    assert!(stdout.contains("storage_wal_appends_total "), "{stdout}");
+    assert!(
+        stdout.contains("storage_wal_bytes_written_total "),
+        "{stdout}"
+    );
+}
