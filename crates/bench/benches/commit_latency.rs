@@ -95,6 +95,43 @@ fn main() {
     let mut s = fresh_store_session(&dir);
     results.push(summarize("wal_fsync", run_workload(&mut s)));
 
+    // Checkpoint cost: a full image after a bulk load, then an
+    // incremental delta after a handful of updates. The byte ratio is
+    // the point — delta cost tracks the change, not the database.
+    const BULK_OBJECTS: usize = 500;
+    const DELTA_STATEMENTS: usize = 10;
+    let dir = base.join("ckpt");
+    let mut s = fresh_store_session(&dir);
+    for i in 0..BULK_OBJECTS {
+        s.run(&format!("CREATE OBJECT ck{i} CLASS Item SET Num = {i}"))
+            .unwrap();
+    }
+    s.run("CHECKPOINT").unwrap();
+    let full_bytes = std::fs::metadata(dir.join("snapshot.bin"))
+        .expect("full checkpoint image")
+        .len();
+    for i in 0..DELTA_STATEMENTS {
+        s.run(&format!(
+            "UPDATE CLASS Object SET ck{i}.Num = {}",
+            i + 1_000
+        ))
+        .unwrap();
+    }
+    s.run("CHECKPOINT").unwrap();
+    let delta_bytes: u64 = std::fs::read_dir(&dir)
+        .expect("store dir")
+        .filter_map(|e| {
+            let e = e.ok()?;
+            let name = e.file_name().into_string().ok()?;
+            if name.starts_with("delta.") && name.ends_with(".bin") {
+                Some(e.metadata().ok()?.len())
+            } else {
+                None
+            }
+        })
+        .sum();
+    assert!(delta_bytes > 0, "second checkpoint must be incremental");
+
     let _ = std::fs::remove_dir_all(&base);
 
     let mut json = String::from("{\n  \"experiment\": \"E9_commit_latency\",\n");
@@ -108,7 +145,17 @@ fn main() {
         );
         json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n  \"checkpoint_cost\": {\n");
+    let _ = writeln!(json, "    \"bulk_objects\": {BULK_OBJECTS},");
+    let _ = writeln!(json, "    \"delta_statements\": {DELTA_STATEMENTS},");
+    let _ = writeln!(json, "    \"full_bytes\": {full_bytes},");
+    let _ = writeln!(json, "    \"delta_bytes\": {delta_bytes},");
+    let _ = writeln!(
+        json,
+        "    \"full_over_delta\": {}",
+        full_bytes / delta_bytes.max(1)
+    );
+    json.push_str("  }\n}\n");
 
     let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_storage.json");
     std::fs::write(&out, &json).expect("write BENCH_storage.json");
@@ -119,4 +166,8 @@ fn main() {
             r.name, r.mean_ns, r.p50_ns, r.p95_ns
         );
     }
+    println!(
+        "checkpoint   full {full_bytes} B   delta {delta_bytes} B   ({}x)",
+        full_bytes / delta_bytes.max(1)
+    );
 }

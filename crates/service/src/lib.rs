@@ -127,6 +127,15 @@ pub enum ServiceError {
     },
     /// The service is shutting down and no longer accepts work.
     ShuttingDown,
+    /// The store's disk is full: the service is in read-only degraded
+    /// mode. The write was cleanly rolled back (nothing half-applied);
+    /// snapshot-isolated reads keep serving. The store probes for freed
+    /// space automatically, so retrying after the hint eventually
+    /// succeeds without a restart.
+    ReadOnly {
+        /// Suggested back-off before retrying the write.
+        retry_after: Duration,
+    },
     /// The service hit an unrecoverable storage fault (e.g. a failed
     /// group-commit fsync, after which memory runs ahead of the log)
     /// and refuses all further writes. Reads of already-published
@@ -147,6 +156,12 @@ impl std::fmt::Display for ServiceError {
                 write!(f, "service overloaded; retry after {retry_after:?}")
             }
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::ReadOnly { retry_after } => {
+                write!(
+                    f,
+                    "service is read-only (disk full); retry after {retry_after:?}"
+                )
+            }
             ServiceError::Poisoned(m) => {
                 write!(f, "service is poisoned by a storage fault: {m}")
             }
@@ -299,7 +314,10 @@ impl ServiceMetrics {
         };
         match result {
             Ok(_) => completed.inc(),
-            Err(ServiceError::Overloaded { .. }) => shed.inc(),
+            // Shed covers both flavours of back-pressure: queue overload
+            // and the degraded read-only store. Either way the request
+            // was refused cleanly and is safe to retry.
+            Err(ServiceError::Overloaded { .. } | ServiceError::ReadOnly { .. }) => shed.inc(),
             Err(_) => failed.inc(),
         }
     }
@@ -587,10 +605,12 @@ impl SessionHandle {
                 }
                 match self.submit_write(stmts.clone(), true, ctx) {
                     Ok(ack) => Ok(ExecResult::TxnCommitted(ack)),
-                    // Shedding happens before the unit is enqueued, so
-                    // the transaction is intact: restore the buffer and
-                    // let the client retry the COMMIT.
-                    Err(e @ ServiceError::Overloaded { .. }) => {
+                    // Shedding happens before the unit is enqueued
+                    // (`Overloaded`) or after it rolled back cleanly
+                    // without touching the log (`ReadOnly`): either way
+                    // the transaction did not apply, so restore the
+                    // buffer and let the client retry the COMMIT.
+                    Err(e @ (ServiceError::Overloaded { .. } | ServiceError::ReadOnly { .. })) => {
                         self.txn = Some(stmts);
                         Err(e)
                     }
@@ -847,14 +867,21 @@ fn req_cancel(_inner: &Inner, ctx: &QueryContext) {
 }
 
 /// Outcome of one unit inside the writer: a statement-level failure
-/// leaves the service healthy; a fatal (storage) failure poisons it.
+/// leaves the service healthy; a disk-full failure sheds the unit and
+/// degrades the service to read-only (the store recovers by probing);
+/// a fatal (storage) failure poisons it.
 enum UnitError {
     Stmt(XsqlError),
+    ReadOnly,
     Fatal(String),
 }
 
 fn classify(e: XsqlError) -> UnitError {
     match e {
+        // ENOSPC is not fatal: the failed append rolled the statement
+        // back, so memory still matches the log — the service degrades
+        // to read-only and recovers when space frees, without restart.
+        XsqlError::DiskFull(_) => UnitError::ReadOnly,
         XsqlError::Storage(m) => UnitError::Fatal(format!("storage fault: {m}")),
         other => UnitError::Stmt(other),
     }
@@ -917,6 +944,10 @@ fn writer_loop(mut session: Session, rx: Receiver<WriteReq>, inner: Arc<Inner>) 
                 Err(_) => break,
             }
         }
+        // While degraded (disk full), probe for freed space before the
+        // batch: a successful probe lets this very batch commit instead
+        // of being shed. Rate-limited by the store; no-op when healthy.
+        session.probe_space();
         // Execute the whole batch with per-statement fsync off; the
         // single group fsync below makes it durable all at once.
         session.set_sync_on_commit(false);
@@ -937,6 +968,9 @@ fn writer_loop(mut session: Session, rx: Receiver<WriteReq>, inner: Arc<Inner>) 
             match r {
                 Ok(o) => results.push(Ok(o)),
                 Err(UnitError::Stmt(e)) => results.push(Err(ServiceError::Xsql(e))),
+                Err(UnitError::ReadOnly) => results.push(Err(ServiceError::ReadOnly {
+                    retry_after: inner.cfg.retry_after,
+                })),
                 Err(UnitError::Fatal(m)) => {
                     results.push(Err(ServiceError::Poisoned(m.clone())));
                     fatal = Some(m);
@@ -963,6 +997,12 @@ fn writer_loop(mut session: Session, rx: Receiver<WriteReq>, inner: Arc<Inner>) 
                         epoch: seq,
                     }));
                 }
+                // The batch is durable and acknowledged; fold the WAL
+                // into an incremental checkpoint when enough segments
+                // have accumulated. A checkpoint failure is harmless
+                // here (the WAL still holds everything; the attempt is
+                // recorded under `result=err` in telemetry).
+                let _ = session.checkpoint_if_due();
             }
             Some(m) => {
                 // Memory may have run ahead of the log: nothing in this

@@ -5,11 +5,13 @@
 //! configuration, concurrent reader threads with injected cancellations
 //! and pre-expired deadlines, concurrent writer clients issuing
 //! numbered single-statement and transactional units, a seeded
-//! mid-run storage fault, shutdown under a deadlock watchdog, a
-//! simulated power-loss crash, and recovery. Thread interleavings vary
-//! run to run; every *injection* (cancellation tick, fault op count,
-//! crash mode, workload shape) is a pure function of the seed, and the
-//! invariants asserted hold under **all** interleavings:
+//! mid-run storage fault — a crashing fault **or** a disk-full
+//! (ENOSPC) episode whose space frees mid-run — shutdown under a
+//! deadlock watchdog, a simulated power-loss crash, and recovery.
+//! Thread interleavings vary run to run; every *injection*
+//! (cancellation tick, fault op count, crash mode, workload shape) is
+//! a pure function of the seed, and the invariants asserted hold under
+//! **all** interleavings:
 //!
 //! 1. **Plan invariance** (Theorem 6.1 at the service level): two
 //!    successful evaluations of the same query at the same epoch give
@@ -20,6 +22,11 @@
 //!    transactional unit applies all-or-nothing.
 //! 3. **Liveness**: shutdown completes under a watchdog timeout (no
 //!    deadlock) and no session or reader slot leaks.
+//! 4. **ENOSPC degradation**: while the disk is full, writers are shed
+//!    with the retryable `ReadOnly` error (never poisoned), snapshot
+//!    readers keep serving at the published epoch, and once space
+//!    frees every retried unit commits — the store returns to
+//!    writable without a restart.
 //!
 //! Seed count defaults to 500; override with `CHAOS_SEEDS=<n>`.
 
@@ -29,9 +36,11 @@ use rand::{Rng, SeedableRng};
 use service::{ExecResult, QueryContext, Service, ServiceConfig, ServiceError};
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 use storage::fault::{CrashMode, FaultFs};
+use storage::StoreConfig;
 use xsql::{EvalOptions, Session, XsqlError};
 
 const DIR: &str = "/db";
@@ -123,9 +132,14 @@ fn counter_state(s: &mut Session, obj: &str) -> (i64, i64) {
     (get(s, "Val"), get(s, "Aux"))
 }
 
-/// Submits one planned unit through `h`, retrying on load shedding.
-/// Returns how the unit ended.
-fn run_unit(h: &mut service::SessionHandle, stream: usize, u: &UnitPlan) -> UnitResult {
+/// Submits one planned unit through `h`, retrying on load shedding and
+/// read-only (disk full) degradation. Returns how the unit ended.
+fn run_unit(
+    h: &mut service::SessionHandle,
+    stream: usize,
+    u: &UnitPlan,
+    saw_readonly: &AtomicBool,
+) -> UnitResult {
     let ctx = QueryContext {
         cancel_at_tick: u.cancel_at_tick,
         ..QueryContext::default()
@@ -136,17 +150,21 @@ fn run_unit(h: &mut service::SessionHandle, stream: usize, u: &UnitPlan) -> Unit
     if u.checkpoint_before {
         // Best-effort; a checkpoint hitting an injected fault poisons
         // the service, which the Maybe path below will observe.
-        let _ = retry_overloaded(|| h.execute("CHECKPOINT", &QueryContext::default()));
+        let _ = retry_shed(saw_readonly, || {
+            h.execute("CHECKPOINT", &QueryContext::default())
+        });
     }
     let result = if u.txn {
         (|| {
             h.execute("BEGIN WORK", &ctx)?;
             h.execute(&set_val, &ctx)?;
             h.execute(&set_aux, &ctx)?;
-            retry_overloaded(|| h.execute("COMMIT WORK", &ctx))
+            // A `ReadOnly` shed rolls the unit back cleanly and keeps
+            // the handle buffer, so retrying the COMMIT is exact.
+            retry_shed(saw_readonly, || h.execute("COMMIT WORK", &ctx))
         })()
     } else {
-        retry_overloaded(|| h.execute(&set_val, &ctx))
+        retry_shed(saw_readonly, || h.execute(&set_val, &ctx))
     };
     match result {
         Ok(_) => UnitResult::Ok,
@@ -174,13 +192,20 @@ fn run_unit(h: &mut service::SessionHandle, stream: usize, u: &UnitPlan) -> Unit
     }
 }
 
-fn retry_overloaded<F>(mut f: F) -> Result<ExecResult, ServiceError>
+/// Retries through both shed shapes: `Overloaded` (admission control)
+/// and `ReadOnly` (disk full — the space-freer thread unfills the disk,
+/// so the retry loop terminates).
+fn retry_shed<F>(saw_readonly: &AtomicBool, mut f: F) -> Result<ExecResult, ServiceError>
 where
     F: FnMut() -> Result<ExecResult, ServiceError>,
 {
     for _ in 0..10_000 {
         match f() {
             Err(ServiceError::Overloaded { retry_after }) => {
+                std::thread::sleep(retry_after.min(Duration::from_millis(1)));
+            }
+            Err(ServiceError::ReadOnly { retry_after }) => {
+                saw_readonly.store(true, Ordering::Relaxed);
                 std::thread::sleep(retry_after.min(Duration::from_millis(1)));
             }
             other => return other,
@@ -200,7 +225,13 @@ fn chaos_round(seed: u64) {
             s.run(stmt).expect("prologue");
         }
     }
-    let session = open(&fs).expect("reopen over prologue");
+    let mut session = open(&fs).expect("reopen over prologue");
+    // Instant ENOSPC probes: the moment the space-freer thread unfills
+    // the disk, the next retried unit recovers the store.
+    session.set_store_config(StoreConfig {
+        probe_min_interval: Duration::ZERO,
+        ..StoreConfig::default()
+    });
 
     let cfg = ServiceConfig {
         max_sessions: 16,
@@ -275,6 +306,13 @@ fn chaos_round(seed: u64) {
     } else {
         None
     };
+    // Mutually exclusive with the crashing fault: a disk-full episode
+    // after a seeded op count, unfilled mid-run by the freer thread.
+    let enospc: Option<u64> = if arm.is_none() && rng.gen_bool(0.5) {
+        Some(rng.gen_range(5..=120u64))
+    } else {
+        None
+    };
     let crash_mode = match rng.gen_range(0..4u8) {
         0 => CrashMode::TornTail,
         1 => CrashMode::LostFsync,
@@ -286,6 +324,32 @@ fn chaos_round(seed: u64) {
     if let Some(n) = arm {
         fs.fail_after_ops(n);
     }
+    if let Some(n) = enospc {
+        fs.disk_full_after_ops(n);
+    }
+
+    // The space-freer: once the seeded ENOSPC episode starts, let the
+    // degraded phase be observed briefly, then free the disk so every
+    // retried unit can commit. Freeing also disarms the trigger, so the
+    // disk fills at most once per round.
+    let saw_readonly = Arc::new(AtomicBool::new(false));
+    let freer_done = Arc::new(AtomicBool::new(false));
+    let freer = {
+        let fs = fs.clone();
+        let done = Arc::clone(&freer_done);
+        std::thread::spawn(move || {
+            let mut freed = false;
+            while !done.load(Ordering::Relaxed) {
+                if !freed && fs.is_disk_full() {
+                    std::thread::sleep(Duration::from_millis(2));
+                    fs.set_disk_full(false);
+                    freed = true;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            freed
+        })
+    };
 
     let logs: Arc<Mutex<Vec<ReadLog>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -295,11 +359,12 @@ fn chaos_round(seed: u64) {
         .enumerate()
         .map(|(stream, units)| {
             let svc = Arc::clone(&svc);
+            let saw_readonly = Arc::clone(&saw_readonly);
             std::thread::spawn(move || {
                 let mut h = retry_connect(&svc);
                 let mut log = StreamLog { units: Vec::new() };
                 for u in units {
-                    let r = run_unit(&mut h, stream, &u);
+                    let r = run_unit(&mut h, stream, &u, &saw_readonly);
                     let stop = r == UnitResult::Maybe;
                     log.units.push((u, r));
                     // After an indeterminate failure the service is
@@ -398,6 +463,9 @@ fn chaos_round(seed: u64) {
         .count() as u64;
     let wal_appends = registry.counter_total("storage_wal_appends_total");
     if arm.is_none() {
+        // Exact even through a disk-full episode: a shed (`ReadOnly`)
+        // attempt rolls back before its append is counted, and probe
+        // or checkpoint traffic never touches the append counter.
         assert_eq!(
             wal_appends, acked,
             "seed {seed}: acked units and WAL commit appends disagree"
@@ -422,6 +490,38 @@ fn chaos_round(seed: u64) {
         .recv_timeout(Duration::from_secs(30))
         .unwrap_or_else(|_| panic!("seed {seed}: shutdown deadlocked"));
     drop(joined.expect("writer thread must not panic"));
+
+    // Invariant 4 (ENOSPC): the disk-full episode shed writers with the
+    // retryable `ReadOnly` error only — no unit fate went unknown, the
+    // incident is on the counters, and the store did not stay degraded
+    // once space freed (the first retried batch probes its way back).
+    freer_done.store(true, Ordering::Relaxed);
+    let freed = freer.join().expect("space-freer thread panicked");
+    fs.set_disk_full(false);
+    if enospc.is_some() {
+        assert!(
+            stream_logs
+                .iter()
+                .flat_map(|l| &l.units)
+                .all(|(_, r)| *r != UnitResult::Maybe),
+            "seed {seed}: ENOSPC must shed retryably, never poison"
+        );
+    }
+    if saw_readonly.load(Ordering::Relaxed) {
+        assert!(
+            freed,
+            "seed {seed}: writers saw ReadOnly but the disk never filled"
+        );
+        assert!(
+            registry.counter_total("storage_disk_full_total") >= 1,
+            "seed {seed}: disk-full episode left no telemetry trace"
+        );
+        assert_ne!(
+            registry.gauge_value("store_health"),
+            1,
+            "seed {seed}: store stuck in degraded read-only after space freed"
+        );
+    }
 
     // Invariant 1: plan invariance. Same (epoch, query) → same answer,
     // and a single-threaded re-evaluation on the pinned snapshot agrees.

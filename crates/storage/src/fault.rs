@@ -10,7 +10,14 @@
 //!   process "can no longer reach the disk");
 //! * [`FaultFs::crash`] — "power off, reboot": discards non-durable
 //!   state according to a [`CrashMode`] and re-arms the filesystem so a
-//!   fresh [`Store::open`](crate::Store::open) sees the surviving bytes.
+//!   fresh [`Store::open`](crate::Store::open) sees the surviving bytes;
+//! * [`FaultFs::set_disk_full`] / [`FaultFs::disk_full_after_ops`] —
+//!   space-consuming operations (`write`, `append`) fail with a real
+//!   `ENOSPC` until space is "freed", while syncs, truncates, renames
+//!   and removals keep working — the disk is full, not broken;
+//! * [`FaultFs::fail_transient_ops`] — the next `n` mutating operations
+//!   fail with `ErrorKind::Interrupted` and then succeed, exercising the
+//!   store's bounded-backoff retry layer deterministically.
 //!
 //! Everything is deterministic: the same script and the same crash point
 //! always produce the same post-crash image, which is what lets the
@@ -58,6 +65,14 @@ struct Inner {
     /// `Some(n)`: the first `n` mutating ops succeed, the rest fail.
     fail_after: Option<u64>,
     ops: u64,
+    /// The disk is full: `write`/`append` fail with `ENOSPC` until
+    /// cleared. Does not consume `fail_after` ops.
+    disk_full: bool,
+    /// `Some(n)`: the disk becomes full once `ops` reaches `n`.
+    disk_full_after: Option<u64>,
+    /// The next `n` mutating ops fail with `ErrorKind::Interrupted`
+    /// (transient; the retried operation then succeeds).
+    transient: u64,
 }
 
 /// Cloneable handle to one shared in-memory filesystem. Clones see the
@@ -72,14 +87,40 @@ fn injected() -> io::Error {
     io::Error::other("injected crash: disk unreachable")
 }
 
+fn enospc() -> io::Error {
+    // A real ENOSPC, so `classify_io` sees exactly what a full disk
+    // produces in production.
+    io::Error::from_raw_os_error(28)
+}
+
 impl Inner {
     /// Gate for mutating operations; counts ops and fails past the limit.
+    /// Transient faults fire first and do not consume the op budget (the
+    /// retried operation replays at the same op index).
     fn tick(&mut self) -> io::Result<()> {
+        if self.transient > 0 {
+            self.transient -= 1;
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected transient fault",
+            ));
+        }
         if let Some(n) = self.fail_after {
             if self.ops >= n {
                 return Err(injected());
             }
-            self.ops += 1;
+        }
+        self.ops += 1;
+        Ok(())
+    }
+
+    /// Gate for space-consuming operations (`write`, `append`).
+    fn space(&mut self) -> io::Result<()> {
+        if self.disk_full_after.is_some_and(|n| self.ops >= n) {
+            self.disk_full = true;
+        }
+        if self.disk_full {
+            return Err(enospc());
         }
         Ok(())
     }
@@ -107,6 +148,39 @@ impl FaultFs {
         inner.ops = 0;
     }
 
+    /// Fills (or frees) the disk: while full, `write` and `append` fail
+    /// with a real `ENOSPC`; syncs, truncates, renames and removals
+    /// still work. Freeing also clears a pending
+    /// [`FaultFs::disk_full_after_ops`] trigger.
+    pub fn set_disk_full(&self, full: bool) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.disk_full = full;
+        if !full {
+            inner.disk_full_after = None;
+        }
+    }
+
+    /// Arms a deterministic disk-full trigger: once `n` mutating
+    /// operations have run, the disk is full (as per
+    /// [`FaultFs::set_disk_full`]) until freed.
+    pub fn disk_full_after_ops(&self, n: u64) {
+        self.inner.lock().unwrap().disk_full_after = Some(n);
+    }
+
+    /// True while the simulated disk is full.
+    pub fn is_disk_full(&self) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        inner.space().is_err()
+    }
+
+    /// Arms `n` transient faults: the next `n` mutating operations fail
+    /// with `ErrorKind::Interrupted`, after which operations succeed
+    /// again — the deterministic stand-in for a flaky-but-recovering
+    /// disk that the retry layer must absorb.
+    pub fn fail_transient_ops(&self, n: u64) {
+        self.inner.lock().unwrap().transient = n;
+    }
+
     /// Number of mutating operations performed since the fault was
     /// armed (or since construction, when unarmed).
     pub fn ops_done(&self) -> u64 {
@@ -120,6 +194,7 @@ impl FaultFs {
         let mut inner = self.inner.lock().unwrap();
         inner.fail_after = None;
         inner.ops = 0;
+        inner.transient = 0;
         if mode == CrashMode::LostRename {
             // Undo unsynced renames in reverse order, then drop pending
             // writes: nothing after the last durability point survived.
@@ -176,6 +251,7 @@ impl StorageFs for FaultFs {
 
     fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
         let mut inner = self.inner.lock().unwrap();
+        inner.space()?;
         inner.tick()?;
         inner.files.insert(
             path.to_path_buf(),
@@ -189,6 +265,7 @@ impl StorageFs for FaultFs {
 
     fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
         let mut inner = self.inner.lock().unwrap();
+        inner.space()?;
         inner.tick()?;
         inner
             .files
@@ -342,5 +419,49 @@ mod tests {
         assert!(fs.sync(p).is_err());
         // Reads still work while the fault is armed.
         assert_eq!(fs.read(p).unwrap(), b"ab");
+    }
+
+    #[test]
+    fn disk_full_fails_writes_but_not_syncs_or_removes() {
+        let fs = FaultFs::new();
+        let p = Path::new("f");
+        fs.append(p, b"a").unwrap();
+        fs.set_disk_full(true);
+        let err = fs.append(p, b"b").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28));
+        assert!(fs.write(Path::new("g"), b"x").is_err());
+        // The disk is full, not broken: durability and reclamation work.
+        fs.sync(p).unwrap();
+        fs.truncate(p, 0).unwrap();
+        fs.remove(p).unwrap();
+        fs.set_disk_full(false);
+        fs.append(p, b"b").unwrap();
+        assert_eq!(fs.read(p).unwrap(), b"b");
+    }
+
+    #[test]
+    fn disk_full_after_ops_triggers_deterministically() {
+        let fs = FaultFs::new();
+        let p = Path::new("f");
+        fs.disk_full_after_ops(2);
+        fs.append(p, b"a").unwrap();
+        fs.append(p, b"b").unwrap();
+        assert!(fs.append(p, b"c").unwrap_err().raw_os_error() == Some(28));
+        fs.set_disk_full(false);
+        fs.append(p, b"c").unwrap();
+        assert_eq!(fs.read(p).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn transient_ops_fail_then_recover() {
+        let fs = FaultFs::new();
+        let p = Path::new("f");
+        fs.fail_transient_ops(2);
+        for _ in 0..2 {
+            let err = fs.append(p, b"x").unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        }
+        fs.append(p, b"x").unwrap();
+        assert_eq!(fs.read(p).unwrap(), b"x");
     }
 }

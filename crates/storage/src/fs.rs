@@ -39,6 +39,37 @@ pub trait StorageFs: Send {
     fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
 }
 
+/// How the retry/degradation machinery should treat an I/O error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoClass {
+    /// Worth retrying with backoff: interruptions, timeouts, momentary
+    /// unavailability.
+    Transient,
+    /// The disk is out of space (`ENOSPC`). Not retryable, but also not
+    /// fatal: the store degrades to read-only and probes for freed
+    /// space.
+    DiskFull,
+    /// Anything else — media errors, permission failures, injected
+    /// crashes. Retrying would mask real damage; surface immediately.
+    Hard,
+}
+
+/// Classifies an I/O error for the retry layer and the ENOSPC state
+/// machine. Deterministic under [`crate::fault::FaultFs`]: its injected
+/// transient faults are `Interrupted`, its full-disk errors carry the
+/// real `ENOSPC` code, and its injected crashes are `Other` (hard).
+pub fn classify_io(e: &io::Error) -> IoClass {
+    if e.raw_os_error() == Some(28) || e.kind() == io::ErrorKind::StorageFull {
+        return IoClass::DiskFull;
+    }
+    match e.kind() {
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+            IoClass::Transient
+        }
+        _ => IoClass::Hard,
+    }
+}
+
 /// Production implementation over `std::fs`.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct RealFs;

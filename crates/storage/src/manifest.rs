@@ -1,0 +1,118 @@
+//! The store manifest: the authoritative list of live log files.
+//!
+//! [`StorageFs`](crate::fs::StorageFs) deliberately has no directory
+//! listing, so the store records which WAL segments and checkpoint
+//! deltas are live in a small text file, `manifest`, rewritten
+//! atomically (write `manifest.tmp`, fsync, rename, fsync dir) on every
+//! rotation, checkpoint and salvage. Anything on disk that the manifest
+//! does not mention is dead weight — an orphan from a crash mid-protocol
+//! — and is ignored by recovery.
+//!
+//! Format (one entry per line, in log order):
+//!
+//! ```text
+//! XSQLMANIFESTv1
+//! seg wal.000001
+//! seg wal.000002
+//! delta delta.000003.bin
+//! ```
+//!
+//! `seg` lines are WAL segments, oldest first; the last one is the
+//! active (appendable) segment. `delta` lines are incremental
+//! checkpoint deltas in chain order, applied on top of `snapshot.bin`.
+//! A store created before manifests (a bare `wal` file) is opened by
+//! synthesizing a one-segment manifest in memory; the first rotation or
+//! checkpoint writes the real file.
+
+use crate::{StorageError, StorageResult};
+
+/// First line of every manifest file.
+pub const MANIFEST_MAGIC: &str = "XSQLMANIFESTv1";
+
+/// Parsed manifest contents: segment names and delta names, in order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// WAL segment file names, oldest first; the last is active.
+    pub segments: Vec<String>,
+    /// Checkpoint delta file names, in chain order.
+    pub deltas: Vec<String>,
+}
+
+/// Renders a manifest to its on-disk text form.
+pub fn render_manifest(m: &Manifest) -> Vec<u8> {
+    let mut out = String::with_capacity(64);
+    out.push_str(MANIFEST_MAGIC);
+    out.push('\n');
+    for s in &m.segments {
+        out.push_str("seg ");
+        out.push_str(s);
+        out.push('\n');
+    }
+    for d in &m.deltas {
+        out.push_str("delta ");
+        out.push_str(d);
+        out.push('\n');
+    }
+    out.into_bytes()
+}
+
+fn corrupt(detail: &str) -> StorageError {
+    StorageError::Corrupt(format!("manifest: {detail}"))
+}
+
+/// Parses and validates a manifest file. File names must be bare (no
+/// path separators) — a manifest never points outside its store
+/// directory.
+pub fn parse_manifest(bytes: &[u8]) -> StorageResult<Manifest> {
+    let text = std::str::from_utf8(bytes).map_err(|_| corrupt("not UTF-8"))?;
+    let mut lines = text.lines();
+    if lines.next() != Some(MANIFEST_MAGIC) {
+        return Err(corrupt("bad magic"));
+    }
+    let mut m = Manifest::default();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (kind, name) = line.split_once(' ').ok_or_else(|| corrupt("bad entry"))?;
+        if name.is_empty() || name.contains('/') || name.contains('\\') {
+            return Err(corrupt("bad file name"));
+        }
+        match kind {
+            "seg" => m.segments.push(name.to_string()),
+            "delta" => m.deltas.push(name.to_string()),
+            _ => return Err(corrupt("unknown entry kind")),
+        }
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let m = Manifest {
+            segments: vec!["wal.000001".into(), "wal.000004".into()],
+            deltas: vec!["delta.000002.bin".into(), "delta.000003.bin".into()],
+        };
+        assert_eq!(parse_manifest(&render_manifest(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn empty_manifest_roundtrips() {
+        let m = Manifest::default();
+        assert_eq!(parse_manifest(&render_manifest(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        assert!(parse_manifest(b"").is_err());
+        assert!(parse_manifest(b"NOPE\n").is_err());
+        assert!(parse_manifest(b"XSQLMANIFESTv1\nwat wal.1\n").is_err());
+        assert!(parse_manifest(b"XSQLMANIFESTv1\nseg\n").is_err());
+        assert!(parse_manifest(b"XSQLMANIFESTv1\nseg ../evil\n").is_err());
+        assert!(parse_manifest(&[0xff, 0xfe]).is_err());
+    }
+}

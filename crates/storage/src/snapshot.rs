@@ -42,35 +42,85 @@ pub struct SnapshotFile {
     pub db: DbSnapshot,
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_len(out: &mut Vec<u8>, n: usize) {
+pub(crate) fn put_len(out: &mut Vec<u8>, n: usize) {
     put_u32(out, u32::try_from(n).expect("length fits u32"));
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     put_len(out, s.len());
     out.extend_from_slice(s.as_bytes());
 }
 
-fn put_oid(out: &mut Vec<u8>, o: Oid) {
+pub(crate) fn put_oid(out: &mut Vec<u8>, o: Oid) {
     put_u32(out, u32::try_from(o.index()).expect("OID fits u32"));
 }
 
-fn put_oids(out: &mut Vec<u8>, os: &[Oid]) {
+pub(crate) fn put_oids(out: &mut Vec<u8>, os: &[Oid]) {
     put_len(out, os.len());
     for &o in os {
         put_oid(out, o);
     }
 }
 
-fn put_val(out: &mut Vec<u8>, v: &Val) {
+/// Encodes one class entry (identity, supers, signatures, resolutions).
+pub(crate) fn put_class_entry(out: &mut Vec<u8>, ce: &ClassEntry) {
+    put_oid(out, ce.class);
+    put_oids(out, &ce.supers);
+    put_len(out, ce.sigs.len());
+    for sig in &ce.sigs {
+        put_oid(out, sig.method);
+        put_oids(out, &sig.args);
+        put_oid(out, sig.result);
+        out.push(u8::from(sig.set_valued));
+    }
+    put_len(out, ce.resolutions.len());
+    for &(m, f) in &ce.resolutions {
+        put_oid(out, m);
+        put_oid(out, f);
+    }
+}
+
+/// Encodes one interner entry (tag byte + payload).
+pub(crate) fn put_oid_data(out: &mut Vec<u8>, d: &OidData) {
+    match d {
+        OidData::Sym(s) => {
+            out.push(0);
+            put_str(out, s);
+        }
+        OidData::Int(v) => {
+            out.push(1);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        OidData::Real(b) => {
+            out.push(2);
+            put_u64(out, *b);
+        }
+        OidData::Str(s) => {
+            out.push(3);
+            put_str(out, s);
+        }
+        OidData::Bool(v) => {
+            out.push(4);
+            out.push(u8::from(*v));
+        }
+        OidData::Nil => out.push(5),
+        OidData::Func(f, args) => {
+            out.push(6);
+            put_oid(out, *f);
+            put_oids(out, args);
+        }
+    }
+}
+
+pub(crate) fn put_val(out: &mut Vec<u8>, v: &Val) {
     match v {
         Val::Scalar(o) => {
             out.push(0);
@@ -98,51 +148,11 @@ pub fn encode_snapshot(snap: &SnapshotFile) -> Vec<u8> {
     }
     put_len(&mut body, snap.db.oids.len());
     for d in &snap.db.oids {
-        match d {
-            OidData::Sym(s) => {
-                body.push(0);
-                put_str(&mut body, s);
-            }
-            OidData::Int(v) => {
-                body.push(1);
-                body.extend_from_slice(&v.to_le_bytes());
-            }
-            OidData::Real(b) => {
-                body.push(2);
-                put_u64(&mut body, *b);
-            }
-            OidData::Str(s) => {
-                body.push(3);
-                put_str(&mut body, s);
-            }
-            OidData::Bool(v) => {
-                body.push(4);
-                body.push(u8::from(*v));
-            }
-            OidData::Nil => body.push(5),
-            OidData::Func(f, args) => {
-                body.push(6);
-                put_oid(&mut body, *f);
-                put_oids(&mut body, args);
-            }
-        }
+        put_oid_data(&mut body, d);
     }
     put_len(&mut body, snap.db.classes.len());
     for ce in &snap.db.classes {
-        put_oid(&mut body, ce.class);
-        put_oids(&mut body, &ce.supers);
-        put_len(&mut body, ce.sigs.len());
-        for sig in &ce.sigs {
-            put_oid(&mut body, sig.method);
-            put_oids(&mut body, &sig.args);
-            put_oid(&mut body, sig.result);
-            body.push(u8::from(sig.set_valued));
-        }
-        put_len(&mut body, ce.resolutions.len());
-        for &(m, f) in &ce.resolutions {
-            put_oid(&mut body, m);
-            put_oid(&mut body, f);
-        }
+        put_class_entry(&mut body, ce);
     }
     put_len(&mut body, snap.db.instance_of.len());
     for (o, cs) in &snap.db.instance_of {
@@ -168,17 +178,17 @@ pub fn encode_snapshot(snap: &SnapshotFile) -> Vec<u8> {
 
 /// Byte cursor for decoding (indices are validated against the table
 /// length after the table section is read).
-struct R<'a> {
-    b: &'a [u8],
-    pos: usize,
+pub(crate) struct R<'a> {
+    pub(crate) b: &'a [u8],
+    pub(crate) pos: usize,
 }
 
-fn corrupt(what: &str) -> StorageError {
+pub(crate) fn corrupt(what: &str) -> StorageError {
     StorageError::Corrupt(format!("snapshot: truncated or malformed {what}"))
 }
 
 impl<'a> R<'a> {
-    fn take(&mut self, n: usize, what: &str) -> StorageResult<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize, what: &str) -> StorageResult<&'a [u8]> {
         if self.b.len() - self.pos < n {
             return Err(corrupt(what));
         }
@@ -187,19 +197,19 @@ impl<'a> R<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self, what: &str) -> StorageResult<u8> {
+    pub(crate) fn u8(&mut self, what: &str) -> StorageResult<u8> {
         Ok(self.take(1, what)?[0])
     }
 
-    fn u32(&mut self, what: &str) -> StorageResult<u32> {
+    pub(crate) fn u32(&mut self, what: &str) -> StorageResult<u32> {
         Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self, what: &str) -> StorageResult<u64> {
+    pub(crate) fn u64(&mut self, what: &str) -> StorageResult<u64> {
         Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
     }
 
-    fn len(&mut self, what: &str) -> StorageResult<usize> {
+    pub(crate) fn len(&mut self, what: &str) -> StorageResult<usize> {
         let n = self.u32(what)? as usize;
         if n > self.b.len() - self.pos {
             return Err(corrupt(what));
@@ -207,18 +217,18 @@ impl<'a> R<'a> {
         Ok(n)
     }
 
-    fn str(&mut self, what: &str) -> StorageResult<String> {
+    pub(crate) fn str(&mut self, what: &str) -> StorageResult<String> {
         let n = self.len(what)?;
         String::from_utf8(self.take(n, what)?.to_vec()).map_err(|_| corrupt(what))
     }
 }
 
-struct OidReader {
-    table_len: usize,
+pub(crate) struct OidReader {
+    pub(crate) table_len: usize,
 }
 
 impl OidReader {
-    fn oid(&self, r: &mut R<'_>, what: &str) -> StorageResult<Oid> {
+    pub(crate) fn oid(&self, r: &mut R<'_>, what: &str) -> StorageResult<Oid> {
         let i = r.u32(what)? as usize;
         if i >= self.table_len {
             return Err(corrupt(what));
@@ -226,7 +236,7 @@ impl OidReader {
         Ok(Oid::from_index(i))
     }
 
-    fn oids(&self, r: &mut R<'_>, what: &str) -> StorageResult<Vec<Oid>> {
+    pub(crate) fn oids(&self, r: &mut R<'_>, what: &str) -> StorageResult<Vec<Oid>> {
         let n = r.len(what)?;
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
@@ -235,7 +245,7 @@ impl OidReader {
         Ok(out)
     }
 
-    fn val(&self, r: &mut R<'_>) -> StorageResult<Val> {
+    pub(crate) fn val(&self, r: &mut R<'_>) -> StorageResult<Val> {
         Ok(match r.u8("value tag")? {
             0 => Val::Scalar(self.oid(r, "scalar value")?),
             1 => {
@@ -249,6 +259,59 @@ impl OidReader {
             _ => return Err(corrupt("value tag")),
         })
     }
+}
+
+/// Decodes one interner entry at absolute table index `i`. Id-term
+/// references must point strictly below `i` (interning order guarantees
+/// args precede their term), so a delta suffix validates against the
+/// combined base-plus-suffix table exactly like a full table does.
+pub(crate) fn read_oid_data(r: &mut R<'_>, rd: &OidReader, i: usize) -> StorageResult<OidData> {
+    Ok(match r.u8("oid tag")? {
+        0 => OidData::Sym(r.str("symbol")?.into()),
+        1 => OidData::Int(i64::from_le_bytes(r.take(8, "int")?.try_into().unwrap())),
+        2 => OidData::Real(r.u64("real")?),
+        3 => OidData::Str(r.str("string")?.into()),
+        4 => OidData::Bool(r.u8("bool")? != 0),
+        5 => OidData::Nil,
+        6 => {
+            let f = rd.oid(r, "functor")?;
+            let args = rd.oids(r, "id-term args")?;
+            if f.index() >= i || args.iter().any(|a| a.index() >= i) {
+                return Err(corrupt("id-term forward reference"));
+            }
+            OidData::Func(f, args.into())
+        }
+        _ => return Err(corrupt("oid tag")),
+    })
+}
+
+/// Decodes one class entry.
+pub(crate) fn read_class_entry(r: &mut R<'_>, rd: &OidReader) -> StorageResult<ClassEntry> {
+    let class = rd.oid(r, "class oid")?;
+    let supers = rd.oids(r, "supers")?;
+    let ns = r.len("signature count")?;
+    let mut sigs = Vec::with_capacity(ns);
+    for _ in 0..ns {
+        sigs.push(Signature {
+            method: rd.oid(r, "sig method")?,
+            args: rd.oids(r, "sig args")?,
+            result: rd.oid(r, "sig result")?,
+            set_valued: r.u8("sig kind")? != 0,
+        });
+    }
+    let nr = r.len("resolution count")?;
+    let mut resolutions = Vec::with_capacity(nr);
+    for _ in 0..nr {
+        let m = rd.oid(r, "resolution method")?;
+        let f = rd.oid(r, "resolution source")?;
+        resolutions.push((m, f));
+    }
+    Ok(ClassEntry {
+        class,
+        supers,
+        sigs,
+        resolutions,
+    })
 }
 
 /// Decodes and validates a snapshot file (magic and CRC checked first).
@@ -274,53 +337,12 @@ pub fn decode_snapshot(bytes: &[u8]) -> StorageResult<SnapshotFile> {
     let mut oids = Vec::with_capacity(no);
     let rd = OidReader { table_len: no };
     for i in 0..no {
-        oids.push(match r.u8("oid tag")? {
-            0 => OidData::Sym(r.str("symbol")?.into()),
-            1 => OidData::Int(i64::from_le_bytes(r.take(8, "int")?.try_into().unwrap())),
-            2 => OidData::Real(r.u64("real")?),
-            3 => OidData::Str(r.str("string")?.into()),
-            4 => OidData::Bool(r.u8("bool")? != 0),
-            5 => OidData::Nil,
-            6 => {
-                let f = rd.oid(&mut r, "functor")?;
-                let args = rd.oids(&mut r, "id-term args")?;
-                // Interning order guarantees args precede their term.
-                if f.index() >= i || args.iter().any(|a| a.index() >= i) {
-                    return Err(corrupt("id-term forward reference"));
-                }
-                OidData::Func(f, args.into())
-            }
-            _ => return Err(corrupt("oid tag")),
-        });
+        oids.push(read_oid_data(&mut r, &rd, i)?);
     }
     let ncl = r.len("class count")?;
     let mut classes = Vec::with_capacity(ncl);
     for _ in 0..ncl {
-        let class = rd.oid(&mut r, "class oid")?;
-        let supers = rd.oids(&mut r, "supers")?;
-        let ns = r.len("signature count")?;
-        let mut sigs = Vec::with_capacity(ns);
-        for _ in 0..ns {
-            sigs.push(Signature {
-                method: rd.oid(&mut r, "sig method")?,
-                args: rd.oids(&mut r, "sig args")?,
-                result: rd.oid(&mut r, "sig result")?,
-                set_valued: r.u8("sig kind")? != 0,
-            });
-        }
-        let nr = r.len("resolution count")?;
-        let mut resolutions = Vec::with_capacity(nr);
-        for _ in 0..nr {
-            let m = rd.oid(&mut r, "resolution method")?;
-            let f = rd.oid(&mut r, "resolution source")?;
-            resolutions.push((m, f));
-        }
-        classes.push(ClassEntry {
-            class,
-            supers,
-            sigs,
-            resolutions,
-        });
+        classes.push(read_class_entry(&mut r, &rd)?);
     }
     let ni = r.len("instance-of count")?;
     let mut instance_of = Vec::with_capacity(ni);

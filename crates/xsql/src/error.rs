@@ -84,6 +84,11 @@ pub enum XsqlError {
     /// recovery). A statement whose WAL flush fails is rolled back, so
     /// the in-memory database still matches what is on disk.
     Storage(String),
+    /// The disk backing the store is out of space: the store is in
+    /// read-only degraded mode. The failed statement was rolled back;
+    /// reads keep working, and writes succeed again once space frees
+    /// (the store probes automatically — no restart needed).
+    DiskFull(String),
     /// An internal invariant was violated. Reaching this is a bug in the
     /// engine, but it is reported as an error rather than a panic so a
     /// malformed statement can never poison the hosting process.
@@ -201,6 +206,11 @@ impl fmt::Display for XsqlError {
                  run ROLLBACK WORK before issuing further statements"
             ),
             XsqlError::Storage(m) => write!(f, "storage error: {m}"),
+            XsqlError::DiskFull(m) => write!(
+                f,
+                "disk full: {m} (store is read-only until space frees; \
+                 the statement was rolled back)"
+            ),
             XsqlError::Internal(m) => write!(f, "internal error (engine bug): {m}"),
         }
     }
@@ -216,7 +226,10 @@ impl From<DbError> for XsqlError {
 
 impl From<storage::StorageError> for XsqlError {
     fn from(e: storage::StorageError) -> Self {
-        XsqlError::Storage(e.to_string())
+        match e {
+            storage::StorageError::DiskFull(m) => XsqlError::DiskFull(m),
+            other => XsqlError::Storage(other.to_string()),
+        }
     }
 }
 

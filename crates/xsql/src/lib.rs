@@ -45,7 +45,7 @@ pub use eval::{
 pub use lexer::lex;
 pub use parser::{parse, parse_script};
 pub use resolve::resolve_stmt;
-pub use session::{Outcome, Session};
+pub use session::{Outcome, RecoveryInfo, Session};
 pub use unparse::{unparse_query, unparse_stmt};
 mod dump;
 pub mod eval;

@@ -13,7 +13,9 @@ use relalg::Relation;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use storage::codec::{decode_commit, encode_commit, CommitUnit, WalEntry};
-use storage::{SnapshotFile, StorageFs, Store};
+use storage::{
+    CheckpointStats, SalvageReport, SnapshotFile, StorageFs, Store, StoreConfig, StoreHealth,
+};
 
 /// The result of executing one XSQL statement.
 #[derive(Debug, Clone)]
@@ -146,6 +148,9 @@ pub struct Session {
     catalog: Vec<String>,
     /// Tag of the base fixture the store was created over.
     base_tag: String,
+    /// What the last [`Session::open_dir`] recovery found — kept for the
+    /// CLI's recovery report.
+    recovery: Option<RecoveryInfo>,
     /// Telemetry registry: per-statement latency, recovery counters,
     /// and (once attached) the store's WAL/checkpoint metrics all land
     /// here. Metrics are always recorded — only span capture and the
@@ -154,6 +159,56 @@ pub struct Session {
     registry: std::sync::Arc<telemetry::Registry>,
     /// Cached handle so per-statement recording skips the registry lock.
     stmt_latency: std::sync::Arc<telemetry::Histogram>,
+}
+
+/// Summary of what crash recovery did when the session opened its
+/// store — the basis of the CLI's recovery report.
+#[derive(Debug, Clone)]
+pub struct RecoveryInfo {
+    /// Whether a checkpoint image was loaded (vs. starting from the
+    /// base fixture).
+    pub snapshot_loaded: bool,
+    /// Incremental checkpoint deltas applied on top of the snapshot.
+    pub deltas_applied: usize,
+    /// Definitional catalog statements re-executed.
+    pub catalog_stmts: usize,
+    /// WAL commit units replayed past the checkpoint.
+    pub wal_units: usize,
+    /// Present when recovery discarded WAL bytes: where the first bad
+    /// record was and what was quarantined.
+    pub salvage: Option<SalvageReport>,
+}
+
+impl RecoveryInfo {
+    /// Human-readable recovery report (what the CLI prints on open).
+    pub fn report(&self) -> String {
+        let mut out = format!(
+            "recovery: snapshot={} deltas_applied={} catalog_stmts={} wal_units_replayed={}",
+            if self.snapshot_loaded {
+                "loaded"
+            } else {
+                "none"
+            },
+            self.deltas_applied,
+            self.catalog_stmts,
+            self.wal_units,
+        );
+        if let Some(s) = &self.salvage {
+            out.push_str(&format!(
+                "\nsalvage: first bad record in {} at byte {}; {} record(s), {} byte(s) dropped",
+                s.segment, s.offset, s.records_dropped, s.bytes_dropped
+            ));
+            if s.quarantined.is_empty() {
+                out.push_str("\nsalvage: torn tail truncated in place (expected crash state)");
+            } else {
+                out.push_str(&format!(
+                    "\nsalvage: quarantined (preserved, never deleted): {}",
+                    s.quarantined.join(", ")
+                ));
+            }
+        }
+        out
+    }
 }
 
 /// Snapshot taken at `BEGIN WORK`: the database savepoint plus the
@@ -201,6 +256,7 @@ impl Session {
             pending: Vec::new(),
             catalog: Vec::new(),
             base_tag: String::new(),
+            recovery: None,
             registry,
             stmt_latency,
         }
@@ -264,6 +320,25 @@ impl Session {
         s.registry
             .counter("xsql_recovery_wal_units_total", &[])
             .add(recovered.tail.len() as u64);
+        if let Some(salvage) = &recovered.salvage {
+            // The salvage point, in metrics: one event, how many
+            // parseable records it cost, and whether it escalated from
+            // a torn tail to quarantine.
+            s.registry.counter("storage_wal_salvage_total", &[]).inc();
+            s.registry
+                .counter("storage_wal_salvage_records_dropped_total", &[])
+                .add(salvage.records_dropped);
+            s.registry
+                .counter("storage_wal_quarantined_segments_total", &[])
+                .add(salvage.quarantined.len() as u64);
+        }
+        s.recovery = Some(RecoveryInfo {
+            snapshot_loaded,
+            deltas_applied: recovered.deltas_applied,
+            catalog_stmts: snap_catalog.len(),
+            wal_units: recovered.tail.len(),
+            salvage: recovered.salvage.clone(),
+        });
         // Definitions-only replay: the snapshot already holds the state
         // these statements produced; only their closures are rebuilt.
         for src in snap_catalog {
@@ -474,6 +549,50 @@ impl Session {
             store.sync_wal()?;
         }
         Ok(())
+    }
+
+    /// What the last [`Session::open_dir`] recovery found, if this
+    /// session was opened over a store.
+    pub fn recovery_info(&self) -> Option<&RecoveryInfo> {
+        self.recovery.as_ref()
+    }
+
+    /// The store's disk-health state ([`StoreHealth::Healthy`] for a
+    /// session without a store — an in-memory session cannot run out of
+    /// disk).
+    pub fn store_health(&self) -> StoreHealth {
+        self.store
+            .as_ref()
+            .map_or(StoreHealth::Healthy, |s| s.health())
+    }
+
+    /// While the store is degraded (disk full), probes for freed space;
+    /// returns true when the store accepts writes. Rate-limited by the
+    /// store config; a no-op true without a store.
+    pub fn probe_space(&mut self) -> bool {
+        self.store.as_mut().is_none_or(|s| s.probe_space())
+    }
+
+    /// Replaces the store's tuning config (segment size, checkpoint
+    /// triggers, retry policy). No-op without a store.
+    pub fn set_store_config(&mut self, cfg: StoreConfig) {
+        if let Some(store) = &mut self.store {
+            store.set_config(cfg);
+        }
+    }
+
+    /// Takes an automatic checkpoint if the store says enough WAL has
+    /// accumulated ([`Store::checkpoint_due`]); returns the stats when
+    /// one ran. Never fires inside a transaction, while the WAL is off,
+    /// or while the store is degraded.
+    pub fn checkpoint_if_due(&mut self) -> XsqlResult<Option<CheckpointStats>> {
+        if self.txn.is_some() || !self.wal_enabled {
+            return Ok(None);
+        }
+        match &self.store {
+            Some(store) if store.checkpoint_due() => self.checkpoint_now().map(Some),
+            _ => Ok(None),
+        }
     }
 
     /// Runs a statement that must produce a relation.
@@ -731,7 +850,7 @@ impl Session {
         Ok(Outcome::Checkpointed)
     }
 
-    fn checkpoint_now(&mut self) -> XsqlResult<()> {
+    fn checkpoint_now(&mut self) -> XsqlResult<CheckpointStats> {
         let snap = SnapshotFile {
             base_tag: self.base_tag.clone(),
             last_seq: 0, // filled in by the store
@@ -739,9 +858,8 @@ impl Session {
             catalog: self.catalog.clone(),
             db: self.db.export_snapshot(),
         };
-        let store = self.store.as_mut().expect("checked by require_store");
-        store.checkpoint(snap)?;
-        Ok(())
+        let store = self.store.as_mut().expect("caller ensured a store");
+        Ok(store.checkpoint(snap)?)
     }
 
     /// Executes an already-resolved, non-transaction-control statement.

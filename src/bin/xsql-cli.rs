@@ -140,8 +140,15 @@ fn open_store(dir: &str, default_fixture: &str) -> Result<Session, String> {
         default_fixture.to_string()
     };
     let db = fixture(&tag)?;
-    Session::open_dir(Box::new(RealFs), path, db, &tag, Default::default())
-        .map_err(|e| format!("recovery failed: {e}"))
+    let session = Session::open_dir(Box::new(RealFs), path, db, &tag, Default::default())
+        .map_err(|e| format!("recovery failed: {e}"))?;
+    // The recovery report goes to stderr: script output stays parseable,
+    // but a salvage (dropped records, quarantined segments) is never
+    // silent.
+    if let Some(info) = session.recovery_info() {
+        eprintln!("{}", info.report());
+    }
+    Ok(session)
 }
 
 /// Renders an outcome as the text the CLI prints for it (rendering OIDs

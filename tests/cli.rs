@@ -133,6 +133,10 @@ fn committed_work_survives_kill_dash_nine() {
         !stdout.contains("ghost"),
         "uncommitted row survived the crash:\n{stdout}"
     );
+    // Reopening printed a recovery report (on stderr, so script output
+    // stays parseable).
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("recovery:"), "{stderr}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -245,4 +249,6 @@ fn stats_flag_prints_exposition() {
         stdout.contains("storage_wal_bytes_written_total "),
         "{stdout}"
     );
+    // The store-health state machine is a gauge (0 = healthy).
+    assert!(stdout.contains("store_health "), "{stdout}");
 }

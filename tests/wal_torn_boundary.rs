@@ -1,0 +1,205 @@
+//! Torn-final-record sweep: byte-exact recovery at every tear point.
+//!
+//! A crash can tear the last WAL append at *any* byte boundary — after
+//! the header, mid-payload, or before a single byte of a freshly
+//! rotated segment landed. For every prefix length of the final
+//! appended record (including length 0, the torn-across-a-rotation
+//! case where the new segment exists but is empty), recovery must yield
+//! **exactly** the state of the last complete commit unit: nothing
+//! lost before the tear, nothing invented after it, and the store must
+//! remain writable afterwards.
+//!
+//! The sweep runs twice per case: once with one-record-per-segment
+//! rotation (the tear always lands at a segment boundary) and once with
+//! a single large segment (the tear lands mid-segment, after intact
+//! records).
+
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use storage::fault::FaultFs;
+use storage::{StorageFs, StoreConfig};
+use xsql::{dump_script, EvalOptions, Session, XsqlError};
+
+const DIR: &str = "/db";
+
+fn open(fs: &FaultFs) -> Result<Session, XsqlError> {
+    Session::open_dir(
+        Box::new(fs.clone()),
+        Path::new(DIR),
+        oodb::Database::new(),
+        "empty",
+        EvalOptions::default(),
+    )
+}
+
+/// The statements of the workload; each one commits as one WAL unit.
+fn statements(n_objs: usize, pad: usize) -> Vec<String> {
+    let mut stmts = vec![
+        "CREATE CLASS Parcel".to_string(),
+        "ALTER CLASS Parcel ADD SIGNATURE Num => Numeral".to_string(),
+        "ALTER CLASS Parcel ADD SIGNATURE Tag => String".to_string(),
+    ];
+    for i in 1..=n_objs {
+        stmts.push(format!(
+            "CREATE OBJECT p{i} CLASS Parcel SET Num = {i}, Tag = '{}'",
+            "x".repeat(pad)
+        ));
+    }
+    stmts
+}
+
+/// Canonical dump of the state after running the first `k` statements
+/// on a fresh in-memory database.
+fn expected_dump(stmts: &[String], k: usize) -> String {
+    let mut s = Session::with_options(oodb::Database::new(), EvalOptions::default());
+    for stmt in &stmts[..k] {
+        s.run(stmt).expect("reference replay");
+    }
+    dump_script(s.db()).expect("reference dump").0
+}
+
+fn dump(s: &Session) -> String {
+    dump_script(s.db()).expect("dump").0
+}
+
+/// Highest-numbered `wal.NNNNNN` segment present in the store.
+fn last_segment(fs: &FaultFs) -> PathBuf {
+    let mut last = None;
+    for idx in 1..=10_000u64 {
+        let p = Path::new(DIR).join(format!("wal.{idx:06}"));
+        if fs.exists(&p) {
+            last = Some(p);
+        }
+    }
+    last.expect("store has at least one WAL segment")
+}
+
+/// Byte offset where the final record of `bytes` begins, by walking the
+/// `|len u32|crc u32|seq u64|payload|` framing.
+fn final_record_start(bytes: &[u8]) -> u64 {
+    const HEADER: usize = 16;
+    let (mut off, mut last) = (0usize, 0usize);
+    while off + HEADER <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        if off + HEADER + len > bytes.len() {
+            break;
+        }
+        last = off;
+        off += HEADER + len;
+    }
+    assert_eq!(off, bytes.len(), "workload WAL must end on a record edge");
+    last as u64
+}
+
+/// Builds a store from `stmts` under `cfg`, then tears the final record
+/// at every byte boundary and asserts each tear recovers to exactly the
+/// state of the last complete commit unit.
+fn sweep(stmts: &[String], cfg: StoreConfig) {
+    let fs = FaultFs::new();
+    {
+        let mut s = open(&fs).expect("fresh store");
+        s.set_store_config(cfg);
+        for stmt in stmts {
+            s.run(stmt).expect("workload");
+        }
+    }
+    let seg = last_segment(&fs);
+    let full = fs.read(&seg).expect("read final segment");
+    let tail = final_record_start(&full);
+    let prev_state = expected_dump(stmts, stmts.len() - 1);
+    let full_state = expected_dump(stmts, stmts.len());
+
+    let rec_len = full.len() as u64 - tail;
+    for torn in 0..rec_len {
+        fs.write(&seg, &full[..(tail + torn) as usize])
+            .expect("tear the segment");
+        let s = open(&fs).unwrap_or_else(|e| panic!("tear at +{torn}: recovery failed: {e}"));
+        let info = s.recovery_info().expect("durable open reports recovery");
+        assert_eq!(
+            info.wal_units,
+            stmts.len() - 1,
+            "tear at +{torn}: wrong number of units replayed"
+        );
+        let salvage = &info.salvage;
+        if torn == 0 {
+            // The record never landed: the log ends cleanly (for the
+            // boundary config, on an empty freshly rotated segment).
+            assert!(salvage.is_none(), "tear at +0 reported {salvage:?}");
+        } else {
+            let r = salvage.as_ref().unwrap_or_else(|| {
+                panic!("tear at +{torn}: torn tail not reported");
+            });
+            assert_eq!(r.offset, tail, "tear at +{torn}: wrong salvage offset");
+            assert_eq!(
+                r.bytes_dropped, torn,
+                "tear at +{torn}: wrong bytes dropped"
+            );
+            assert_eq!(
+                r.records_dropped, 0,
+                "a torn tail is not a parseable record"
+            );
+            assert!(
+                r.quarantined.is_empty(),
+                "a torn tail truncates in place, never quarantines: {r:?}"
+            );
+        }
+        assert_eq!(
+            dump(&s),
+            prev_state,
+            "tear at +{torn} of {rec_len}: state is not exactly the last complete unit"
+        );
+    }
+
+    // Untorn baseline: the full final record replays.
+    fs.write(&seg, &full).expect("restore the segment");
+    let mut s = open(&fs).expect("untorn reopen");
+    assert!(s.recovery_info().expect("recovery info").salvage.is_none());
+    assert_eq!(dump(&s), full_state, "untorn reopen lost state");
+
+    // The salvaged store (healed in place during the sweep) stayed
+    // writable: one more commit survives another reopen.
+    s.run("CREATE OBJECT straggler CLASS Parcel SET Num = 999, Tag = 'late'")
+        .expect("post-salvage store accepts writes");
+    drop(s);
+    let mut s = open(&fs).expect("reopen after post-salvage write");
+    let rel = s
+        .query("SELECT X FROM Parcel X WHERE X.Num[999]")
+        .expect("post-salvage read");
+    assert_eq!(rel.len(), 1, "post-salvage commit did not survive reopen");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Satellite: every prefix length of the last appended record —
+    /// torn mid-segment and torn across a rotation boundary — recovers
+    /// to exactly the last full commit unit.
+    #[test]
+    fn torn_final_record_recovers_to_last_complete_unit(
+        n_objs in 2u8..6,
+        pad in 0u8..40,
+    ) {
+        let stmts = statements(n_objs as usize, pad as usize);
+        // One record per segment: the final record is the sole record
+        // of a freshly rotated segment, so every tear point — including
+        // the empty-segment tear at +0 — crosses the rotation boundary.
+        sweep(&stmts, StoreConfig { segment_max_bytes: 1, ..StoreConfig::default() });
+        // One large segment: the tear lands mid-segment after intact
+        // records of the same file.
+        sweep(&stmts, StoreConfig::default());
+    }
+}
+
+/// Deterministic smoke: the sweep structure itself (segment discovery,
+/// framing walk) stays honest on a fixed workload.
+#[test]
+fn torn_sweep_fixed_case() {
+    let stmts = statements(3, 8);
+    sweep(
+        &stmts,
+        StoreConfig {
+            segment_max_bytes: 1,
+            ..StoreConfig::default()
+        },
+    );
+}
