@@ -12,12 +12,18 @@
 //!   rate and latency, i.e. what snapshot isolation costs readers when
 //!   epochs are moving.
 //!
+//! E13 adds the client-over-TCP grid: the same two workloads issued
+//! through `crates/net` (frame encode/decode + CRC + socket round
+//! trip + row streaming on every statement), so the delta against the
+//! in-process rows is the measured cost of the wire protocol.
+//!
 //! Results go to `BENCH_service.json` at the repo root (hand-rendered
 //! JSON; the offline criterion shim has no reporting). Wall-clock
 //! timing — the quantities of interest are thread-level throughputs,
 //! not nanosecond kernels.
 
 use datagen::{figure1_scaled, Figure1Params};
+use net::{Backend, Client, NetError, Server, ServerConfig};
 use oodb::Database;
 use service::{QueryContext, Service, ServiceConfig};
 use std::fmt::Write as _;
@@ -167,6 +173,152 @@ fn mixed() -> MixedStats {
     stats
 }
 
+/// One TCP statement with retry on typed retryable sheds; returns the
+/// end-to-end latency of the *successful* attempt.
+fn tcp_statement(c: &mut Client, stmt: &str) -> u128 {
+    loop {
+        let t = Instant::now();
+        match c.execute(stmt) {
+            Ok(_) => return t.elapsed().as_micros(),
+            Err(NetError::Server {
+                code, retry_after, ..
+            }) if code.retryable() => {
+                std::thread::sleep(retry_after.max(Duration::from_micros(50)))
+            }
+            Err(e) => panic!("TCP statement `{stmt}` failed: {e}"),
+        }
+    }
+}
+
+/// Spawns `n` TCP clients hammering `READ_QUERY` until `stop`.
+fn run_tcp_readers(addr: &str, n: usize, stop: &Arc<AtomicBool>) -> ReadStats {
+    let handles: Vec<_> = (0..n)
+        .map(|_| {
+            let addr = addr.to_string();
+            let stop = Arc::clone(stop);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr, "").expect("connect TCP reader");
+                let mut lat = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    lat.push(tcp_statement(&mut c, READ_QUERY));
+                }
+                c.goodbye();
+                lat
+            })
+        })
+        .collect();
+    let mut lat: Vec<u128> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("TCP reader thread"))
+        .collect();
+    lat.sort_unstable();
+    let reads = lat.len() as u64;
+    ReadStats {
+        reads,
+        mean_us: lat.iter().sum::<u128>() / lat.len().max(1) as u128,
+        p95_us: lat[lat.len() * 95 / 100],
+    }
+}
+
+fn tcp_readers_only(n: usize) -> ReadStats {
+    let svc = Arc::new(Service::start(
+        Session::new(scaled_db()),
+        ServiceConfig::default(),
+    ));
+    let server = Server::start(
+        Backend::Primary(Arc::clone(&svc)),
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .expect("listen");
+    let addr = server.local_addr().to_string();
+    let stop = Arc::new(AtomicBool::new(false));
+    let timer = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            std::thread::sleep(WINDOW);
+            stop.store(true, Ordering::Relaxed);
+        })
+    };
+    let stats = run_tcp_readers(&addr, n, &stop);
+    timer.join().unwrap();
+    server.shutdown();
+    drop(svc);
+    stats
+}
+
+/// 4 TCP readers + 1 TCP writer over a *durable* store: every commit
+/// crosses the wire, the group-commit path and an fsync.
+fn tcp_mixed() -> MixedStats {
+    let dir = std::env::temp_dir().join(format!("xsql_bench_net_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut session = Session::open_dir(
+        Box::new(RealFs),
+        &dir,
+        scaled_db(),
+        "figure1",
+        Default::default(),
+    )
+    .expect("create store");
+    session.run("CREATE CLASS Tick").unwrap();
+    session
+        .run("ALTER CLASS Tick ADD SIGNATURE N => Numeral")
+        .unwrap();
+    session
+        .run("CREATE OBJECT t0 CLASS Tick SET N = 0")
+        .unwrap();
+
+    let svc = Arc::new(Service::start(session, ServiceConfig::default()));
+    let server = Server::start(
+        Backend::Primary(Arc::clone(&svc)),
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .expect("listen");
+    let addr = server.local_addr().to_string();
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let addr = addr.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr, "").expect("connect TCP writer");
+            let mut lat = Vec::new();
+            let mut i = 0i64;
+            while !stop.load(Ordering::Relaxed) {
+                i += 1;
+                lat.push(tcp_statement(
+                    &mut c,
+                    &format!("UPDATE CLASS Tick SET t0.N = {i}"),
+                ));
+            }
+            c.goodbye();
+            lat
+        })
+    };
+    let timer = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            std::thread::sleep(WINDOW);
+            stop.store(true, Ordering::Relaxed);
+        })
+    };
+    let read = run_tcp_readers(&addr, 4, &stop);
+    let mut wlat = writer.join().expect("TCP writer thread");
+    timer.join().unwrap();
+    wlat.sort_unstable();
+    let commits = wlat.len() as u64;
+    let stats = MixedStats {
+        read,
+        commits,
+        commit_mean_us: wlat.iter().sum::<u128>() / wlat.len().max(1) as u128,
+        commit_p95_us: wlat[wlat.len() * 95 / 100],
+    };
+    server.shutdown();
+    drop(svc);
+    let _ = std::fs::remove_dir_all(&dir);
+    stats
+}
+
 fn main() {
     let secs = WINDOW.as_secs_f64();
     let mut json = String::from("{\n  \"experiment\": \"E10_service_throughput\",\n");
@@ -205,6 +357,41 @@ fn main() {
     let _ = write!(
         json,
         "  \"mixed_4r_1w_durable\": {{\"reads\": {}, \"reads_per_sec\": {rqps:.1}, \
+         \"read_mean_us\": {}, \"read_p95_us\": {}, \"commits\": {}, \
+         \"commits_per_sec\": {cps:.1}, \"commit_mean_us\": {}, \"commit_p95_us\": {}}},\n",
+        m.read.reads, m.read.mean_us, m.read.p95_us, m.commits, m.commit_mean_us, m.commit_p95_us
+    );
+
+    // E13 — the same grid over TCP through crates/net.
+    json.push_str("  \"tcp_readers_only\": [\n");
+    for (i, &n) in ns.iter().enumerate() {
+        let s = tcp_readers_only(n);
+        let qps = s.reads as f64 / secs;
+        println!(
+            "tcp_readers_only n={n}: {} reads ({qps:.0}/s), mean {} µs, p95 {} µs",
+            s.reads, s.mean_us, s.p95_us
+        );
+        let _ = write!(
+            json,
+            "    {{\"clients\": {n}, \"reads\": {}, \"reads_per_sec\": {qps:.1}, \
+             \"mean_us\": {}, \"p95_us\": {}}}",
+            s.reads, s.mean_us, s.p95_us
+        );
+        json.push_str(if i + 1 < ns.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+
+    let m = tcp_mixed();
+    let rqps = m.read.reads as f64 / secs;
+    let cps = m.commits as f64 / secs;
+    println!(
+        "tcp_mixed 4r+1w: {} reads ({rqps:.0}/s) mean {} µs p95 {} µs; \
+         {} commits ({cps:.0}/s) mean {} µs p95 {} µs",
+        m.read.reads, m.read.mean_us, m.read.p95_us, m.commits, m.commit_mean_us, m.commit_p95_us
+    );
+    let _ = write!(
+        json,
+        "  \"tcp_mixed_4r_1w_durable\": {{\"reads\": {}, \"reads_per_sec\": {rqps:.1}, \
          \"read_mean_us\": {}, \"read_p95_us\": {}, \"commits\": {}, \
          \"commits_per_sec\": {cps:.1}, \"commit_mean_us\": {}, \"commit_p95_us\": {}}}\n",
         m.read.reads, m.read.mean_us, m.read.p95_us, m.commits, m.commit_mean_us, m.commit_p95_us

@@ -1,0 +1,545 @@
+//! The wire-protocol client, and a failover wrapper that retries
+//! idempotent reads across the primary and its replicas.
+//!
+//! [`Client`] is the thin layer: one TCP connection, HELLO handshake,
+//! synchronous `execute`, plus a split `start_execute`/`finish_execute`
+//! pair so a test (or an interactive front end) can fire a `CANCEL`
+//! while a statement is still running.
+//!
+//! [`FailoverClient`] adds the retry discipline the serving tier's
+//! error contract is designed for:
+//!
+//! * **Reads are idempotent** — on any failure (connection refused,
+//!   mid-stream disconnect, typed retryable error) they are retried
+//!   with bounded exponential backoff, rotating primary-first through
+//!   the replica list. A server-supplied `retry_after` hint takes
+//!   precedence over the computed backoff when larger.
+//! * **Writes are not** — a write is retried only on errors that
+//!   *prove* the statement was never applied: a failed connect, or a
+//!   typed retryable shed (`Overloaded`/`ReadOnly`/`ShuttingDown`,
+//!   all raised before execution). An I/O error after the statement
+//!   was sent is ambiguous (the commit may have landed) and is
+//!   surfaced to the caller undisguised.
+
+use crate::frame::{self, ErrorCode, Frame, FrameBuf, Role, PROTO_VERSION};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure. After a statement has been sent this is
+    /// *ambiguous*: the server may or may not have applied it.
+    Io(std::io::Error),
+    /// The peer violated the frame grammar.
+    Proto(String),
+    /// A typed error frame from the server.
+    Server {
+        /// The wire error code.
+        code: ErrorCode,
+        /// Server-suggested wait before retrying (zero when absent).
+        retry_after: Duration,
+        /// Human-readable diagnostic.
+        message: String,
+    },
+}
+
+impl NetError {
+    /// True when the server explicitly said "try again later" — the
+    /// statement was not applied.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, NetError::Server { code, .. } if code.retryable())
+    }
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io: {e}"),
+            NetError::Proto(m) => write!(f, "protocol: {m}"),
+            NetError::Server {
+                code,
+                retry_after,
+                message,
+            } => write!(
+                f,
+                "server {code:?}: {message} (retry after {retry_after:?})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> NetError {
+        NetError::Io(e)
+    }
+}
+
+/// A complete statement response.
+#[derive(Debug, Clone, Default)]
+pub struct Response {
+    /// Epoch the statement observed (or committed into).
+    pub epoch: u64,
+    /// Column names (empty for non-relation outcomes).
+    pub columns: Vec<String>,
+    /// Rendered cells, one `Vec` per row.
+    pub rows: Vec<Vec<String>>,
+    /// Rendered non-relational output (DDL acks, reports, …).
+    pub info: String,
+}
+
+/// One authenticated wire-protocol connection.
+pub struct Client {
+    stream: TcpStream,
+    buf: FrameBuf,
+    next_id: u64,
+    session: u64,
+    role: Role,
+    epoch: u64,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("session", &self.session)
+            .field("role", &self.role)
+            .field("epoch", &self.epoch)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Client {
+    /// Connects, handshakes, and authenticates. `token` may be empty
+    /// when the server does not require one.
+    pub fn connect(addr: &str, token: &str) -> Result<Client, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut c = Client {
+            stream,
+            buf: FrameBuf::new(),
+            next_id: 1,
+            session: 0,
+            role: Role::Primary,
+            epoch: 0,
+        };
+        c.send(&Frame::Hello {
+            version: PROTO_VERSION,
+            token: token.to_string(),
+        })?;
+        match c.read_frame()? {
+            Frame::HelloAck {
+                session,
+                role,
+                epoch,
+            } => {
+                c.session = session;
+                c.role = role;
+                c.epoch = epoch;
+                Ok(c)
+            }
+            Frame::Error {
+                code,
+                retry_after_ms,
+                message,
+                ..
+            } => Err(NetError::Server {
+                code,
+                retry_after: Duration::from_millis(retry_after_ms),
+                message,
+            }),
+            other => Err(NetError::Proto(format!(
+                "expected HELLO_ACK, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Server-assigned session id.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// Whether the peer is the primary or a replica.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// The epoch last reported by the server (handshake or ping).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Sets the socket read timeout used while waiting for responses.
+    pub fn set_read_timeout(&mut self, t: Option<Duration>) -> Result<(), NetError> {
+        self.stream.set_read_timeout(t)?;
+        Ok(())
+    }
+
+    /// Executes one statement and collects its full response.
+    pub fn execute(&mut self, src: &str) -> Result<Response, NetError> {
+        self.execute_with(src, 0)
+    }
+
+    /// Executes with a server-side deadline (`0` = none).
+    pub fn execute_with(&mut self, src: &str, deadline_ms: u64) -> Result<Response, NetError> {
+        let id = self.start_execute(src, deadline_ms)?;
+        self.finish_execute(id)
+    }
+
+    /// Sends an `Execute` without waiting for the response; returns
+    /// the statement id (pass it to [`Client::cancel`] /
+    /// [`Client::finish_execute`]).
+    pub fn start_execute(&mut self, src: &str, deadline_ms: u64) -> Result<u64, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send(&Frame::Execute {
+            id,
+            deadline_ms,
+            src: src.to_string(),
+        })?;
+        Ok(id)
+    }
+
+    /// Fires a mid-query cancel for `id`. The server answers the
+    /// original statement with a `Cancelled` error frame.
+    pub fn cancel(&mut self, id: u64) -> Result<(), NetError> {
+        self.send(&Frame::Cancel { id })
+    }
+
+    /// Collects the response frames of statement `id`.
+    pub fn finish_execute(&mut self, id: u64) -> Result<Response, NetError> {
+        let mut resp = Response::default();
+        loop {
+            match self.read_frame()? {
+                Frame::RowsHeader {
+                    id: rid,
+                    epoch,
+                    columns,
+                } if rid == id => {
+                    resp.epoch = epoch;
+                    self.epoch = epoch;
+                    resp.columns = columns;
+                }
+                Frame::Row { id: rid, cells } if rid == id => resp.rows.push(cells),
+                Frame::Done {
+                    id: rid,
+                    epoch,
+                    info,
+                    ..
+                } if rid == id => {
+                    if epoch > 0 {
+                        resp.epoch = epoch;
+                        self.epoch = epoch;
+                    }
+                    resp.info = info;
+                    return Ok(resp);
+                }
+                // Connection-scoped errors carry id 0 (protocol
+                // violations, idle reaping); statement errors carry the
+                // statement id. Either terminates this request.
+                Frame::Error {
+                    id: rid,
+                    code,
+                    retry_after_ms,
+                    message,
+                } if rid == id || rid == 0 => {
+                    return Err(NetError::Server {
+                        code,
+                        retry_after: Duration::from_millis(retry_after_ms),
+                        message,
+                    })
+                }
+                Frame::Goodbye => {
+                    return Err(NetError::Io(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionAborted,
+                        "server said goodbye",
+                    )))
+                }
+                other => return Err(NetError::Proto(format!("unexpected frame {other:?}"))),
+            }
+        }
+    }
+
+    /// Round-trips a `Ping`; returns `(epoch, replication_lag)`.
+    pub fn ping(&mut self) -> Result<(u64, u64), NetError> {
+        self.send(&Frame::Ping)?;
+        match self.read_frame()? {
+            Frame::Pong { epoch, lag } => {
+                self.epoch = epoch;
+                Ok((epoch, lag))
+            }
+            Frame::Error {
+                code,
+                retry_after_ms,
+                message,
+                ..
+            } => Err(NetError::Server {
+                code,
+                retry_after: Duration::from_millis(retry_after_ms),
+                message,
+            }),
+            other => Err(NetError::Proto(format!("expected PONG, got {other:?}"))),
+        }
+    }
+
+    /// Polite close: announces `Goodbye` and drops the connection.
+    pub fn goodbye(mut self) {
+        let _ = self.send(&Frame::Goodbye);
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    fn send(&mut self, f: &Frame) -> Result<(), NetError> {
+        self.stream.write_all(&frame::encode(f))?;
+        Ok(())
+    }
+
+    fn read_frame(&mut self) -> Result<Frame, NetError> {
+        let mut chunk = [0u8; 8192];
+        loop {
+            match self.buf.next_frame() {
+                Ok(Some(f)) => return Ok(f),
+                Ok(None) => {}
+                Err(e) => return Err(NetError::Proto(e.to_string())),
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(NetError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )))
+                }
+                Ok(n) => self.buf.push(&chunk[..n]),
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+    }
+}
+
+/// Bounded-exponential retry schedule with deterministic seeded
+/// jitter (so chaos runs replay exactly).
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included).
+    pub attempts: usize,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Jitter band: each wait is scaled by `1 + jitter * u` with
+    /// `u ∈ [0, 1)` drawn from the seeded stream.
+    pub jitter: f64,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 6,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(250),
+            jitter: 0.5,
+            seed: 0x00c1_1e47,
+        }
+    }
+}
+
+/// A client that knows the topology: one primary plus read replicas.
+pub struct FailoverClient {
+    primary: String,
+    replicas: Vec<String>,
+    token: String,
+    policy: RetryPolicy,
+    jitter_state: u64,
+    conns: std::collections::HashMap<String, Client>,
+}
+
+impl FailoverClient {
+    /// A failover client over `primary` and `replicas`.
+    pub fn new(
+        primary: impl Into<String>,
+        replicas: Vec<String>,
+        token: impl Into<String>,
+        policy: RetryPolicy,
+    ) -> FailoverClient {
+        let seed = policy.seed;
+        FailoverClient {
+            primary: primary.into(),
+            replicas,
+            token: token.into(),
+            policy,
+            jitter_state: seed,
+            conns: std::collections::HashMap::new(),
+        }
+    }
+
+    fn unit(&mut self) -> f64 {
+        self.jitter_state = self.jitter_state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.jitter_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The wait before retry number `attempt` (1-based), honouring a
+    /// server hint when it is longer than the computed backoff.
+    fn backoff(&mut self, attempt: usize, hint: Duration) -> Duration {
+        let exp = self
+            .policy
+            .base_delay
+            .saturating_mul(1u32 << (attempt.min(16) as u32))
+            .min(self.policy.max_delay);
+        let jittered = exp + exp.mul_f64(self.policy.jitter * self.unit());
+        jittered.max(hint)
+    }
+
+    fn conn(&mut self, addr: &str) -> Result<&mut Client, NetError> {
+        if !self.conns.contains_key(addr) {
+            let c = Client::connect(addr, &self.token)?;
+            self.conns.insert(addr.to_string(), c);
+        }
+        Ok(self.conns.get_mut(addr).expect("just inserted"))
+    }
+
+    /// Executes an idempotent read, retrying across the topology:
+    /// primary first, then each replica, with bounded-exponential
+    /// jittered backoff between rounds. Safe for reads only.
+    pub fn execute_read(&mut self, src: &str) -> Result<Response, NetError> {
+        let mut targets = vec![self.primary.clone()];
+        targets.extend(self.replicas.iter().cloned());
+        let mut last: Option<NetError> = None;
+        for attempt in 0..self.policy.attempts {
+            let addr = targets[attempt % targets.len()].clone();
+            let res = self.conn(&addr).and_then(|c| c.execute(src));
+            match res {
+                Ok(r) => return Ok(r),
+                Err(e) => {
+                    // Reads are idempotent: any failure mode is safe to
+                    // retry, but a dead or confused connection must not
+                    // be reused.
+                    if matches!(e, NetError::Io(_) | NetError::Proto(_)) {
+                        self.conns.remove(&addr);
+                    }
+                    let hint = match &e {
+                        NetError::Server { retry_after, .. } => *retry_after,
+                        _ => Duration::ZERO,
+                    };
+                    let wait = self.backoff(attempt + 1, hint);
+                    last = Some(e);
+                    if attempt + 1 < self.policy.attempts {
+                        std::thread::sleep(wait);
+                    }
+                }
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
+    /// Executes a write against the primary. Retries **only** failures
+    /// that prove the statement never ran: connect errors and typed
+    /// retryable sheds. An ambiguous post-send I/O error is returned
+    /// as-is — the caller must decide (the statement may have
+    /// committed).
+    pub fn execute_write(&mut self, src: &str) -> Result<Response, NetError> {
+        let addr = self.primary.clone();
+        let mut last: Option<NetError> = None;
+        for attempt in 0..self.policy.attempts {
+            let sent_before_error;
+            let res = match self.conn(&addr) {
+                Ok(c) => {
+                    sent_before_error = true;
+                    c.execute(src)
+                }
+                Err(e) => {
+                    sent_before_error = false;
+                    Err(e)
+                }
+            };
+            match res {
+                Ok(r) => return Ok(r),
+                Err(e) => {
+                    if matches!(e, NetError::Io(_) | NetError::Proto(_)) {
+                        self.conns.remove(&addr);
+                        if sent_before_error {
+                            // Ambiguous: the write may have applied.
+                            return Err(e);
+                        }
+                    }
+                    if sent_before_error && !e.is_retryable() {
+                        return Err(e);
+                    }
+                    let hint = match &e {
+                        NetError::Server { retry_after, .. } => *retry_after,
+                        _ => Duration::ZERO,
+                    };
+                    let wait = self.backoff(attempt + 1, hint);
+                    last = Some(e);
+                    if attempt + 1 < self.policy.attempts {
+                        std::thread::sleep(wait);
+                    }
+                }
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
+    /// Pings `addr` (must be the primary or a listed replica),
+    /// returning `(epoch, lag)`.
+    pub fn ping(&mut self, addr: &str) -> Result<(u64, u64), NetError> {
+        let res = self.conn(addr).and_then(|c| c.ping());
+        if res.is_err() {
+            self.conns.remove(addr);
+        }
+        res
+    }
+
+    /// Drops every cached connection (politely).
+    pub fn disconnect_all(&mut self) {
+        for (_, c) in self.conns.drain() {
+            c.goodbye();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_bounded_exponential_and_seed_deterministic() {
+        let mk = |seed| {
+            let mut f = FailoverClient::new(
+                "127.0.0.1:1",
+                vec![],
+                "",
+                RetryPolicy {
+                    seed,
+                    ..RetryPolicy::default()
+                },
+            );
+            (1..=8)
+                .map(|a| f.backoff(a, Duration::ZERO))
+                .collect::<Vec<_>>()
+        };
+        let a = mk(7);
+        let b = mk(7);
+        let c = mk(8);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, c, "different seed, different jitter");
+        // Bounded: never exceeds max_delay * (1 + jitter).
+        let cap = Duration::from_millis(250).mul_f64(1.5);
+        assert!(a.iter().all(|d| *d <= cap), "{a:?}");
+        // Roughly exponential up to the ceiling: attempt 3 ≥ attempt 1.
+        assert!(a[2] >= a[0]);
+    }
+
+    #[test]
+    fn server_hint_dominates_small_backoff() {
+        let mut f = FailoverClient::new("127.0.0.1:1", vec![], "", RetryPolicy::default());
+        let hint = Duration::from_secs(2);
+        assert_eq!(f.backoff(1, hint), hint);
+    }
+}

@@ -1,0 +1,638 @@
+//! The wire frame grammar: length-prefixed, checksummed, strictly
+//! parsed.
+//!
+//! Every frame on the wire is
+//!
+//! ```text
+//! | len: u32 LE | crc: u32 LE | body: len bytes |
+//! ```
+//!
+//! where `crc` is the same CRC-32 (IEEE) the WAL uses
+//! ([`storage::wal::crc32`]) computed over `body`, and `body` is
+//!
+//! ```text
+//! | kind: u8 | payload |
+//! ```
+//!
+//! Integers are little-endian; strings and byte fields are
+//! `u32`-length-prefixed UTF-8. Decoding is *strict*: an unknown kind,
+//! a checksum mismatch, a length beyond [`MAX_FRAME`], a string
+//! running past the body, invalid UTF-8, or trailing bytes after the
+//! payload are all [`FrameError::Corrupt`] — the server answers with a
+//! typed protocol error and closes, never guesses. A prefix of a valid
+//! frame is *not* an error; [`decode`] reports it as "need more bytes"
+//! so torn TCP reads assemble incrementally in a [`FrameBuf`].
+
+use std::fmt;
+use storage::wal::crc32;
+
+/// Protocol version sent in `HELLO`; the server rejects mismatches.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Hard cap on one frame's body. Anything larger is corruption (a
+/// flipped length byte), not a legitimate message; refusing it bounds
+/// per-connection buffer memory.
+pub const MAX_FRAME: u32 = 16 << 20;
+
+/// Bytes of the `len + crc` frame header.
+pub const HEADER: usize = 8;
+
+/// Which side of the topology a connection landed on, reported in
+/// `HELLO_ACK`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The single writable primary.
+    Primary,
+    /// A WAL-shipped read replica: snapshot reads only.
+    Replica,
+}
+
+/// Typed error codes carried by [`Frame::Error`]. The code — not the
+/// human-readable message — is the retry contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The peer broke the frame grammar; the connection closes after
+    /// this frame.
+    Protocol = 1,
+    /// Authentication failed at HELLO.
+    Auth = 2,
+    /// Admission control shed the request; retry after the hint.
+    Overloaded = 3,
+    /// Writes are refused here: the store is degraded (disk full) or
+    /// this endpoint is a replica. Retry after the hint (against the
+    /// primary, for the replica case).
+    ReadOnly = 4,
+    /// The server is draining; reconnect elsewhere or later.
+    ShuttingDown = 5,
+    /// The server's writer hit an unrecoverable storage fault.
+    Poisoned = 6,
+    /// The statement reached the engine and failed there (parse, type,
+    /// budget, …). Retrying unchanged will fail identically.
+    Stmt = 7,
+    /// The statement was cancelled (deadline or CANCEL frame).
+    Cancelled = 8,
+    /// The connection sat idle past the server's limit and was reaped.
+    IdleTimeout = 9,
+    /// Unexpected server-side failure.
+    Internal = 10,
+}
+
+impl ErrorCode {
+    /// True when retrying the same request (after the supplied
+    /// `retry_after`) can succeed without changing it.
+    pub fn retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Overloaded | ErrorCode::ReadOnly | ErrorCode::ShuttingDown
+        )
+    }
+
+    fn from_u8(v: u8) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::Protocol,
+            2 => ErrorCode::Auth,
+            3 => ErrorCode::Overloaded,
+            4 => ErrorCode::ReadOnly,
+            5 => ErrorCode::ShuttingDown,
+            6 => ErrorCode::Poisoned,
+            7 => ErrorCode::Stmt,
+            8 => ErrorCode::Cancelled,
+            9 => ErrorCode::IdleTimeout,
+            10 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// One protocol message. See the module docs for the byte layout and
+/// `docs/SERVING.md` for the conversation grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Client → server, first frame on a connection.
+    Hello {
+        /// Must equal [`PROTO_VERSION`].
+        version: u32,
+        /// Shared-secret token; empty when the server requires none.
+        token: String,
+    },
+    /// Server → client: the connection is admitted.
+    HelloAck {
+        /// Server-assigned session id (diagnostics only).
+        session: u64,
+        /// Primary or replica.
+        role: Role,
+        /// Epoch published at admission time.
+        epoch: u64,
+    },
+    /// Client → server: run one statement.
+    Execute {
+        /// Client-chosen id echoed on every frame of the response.
+        id: u64,
+        /// Per-statement deadline in milliseconds; `0` = server default.
+        deadline_ms: u64,
+        /// XSQL source text.
+        src: String,
+    },
+    /// Client → server: cancel the in-flight statement with this id.
+    /// Answered by the statement finishing early with a `Cancelled`
+    /// error frame (or its normal result, if it won the race).
+    Cancel {
+        /// Id of the Execute to cancel.
+        id: u64,
+    },
+    /// Client → server: liveness / lag probe.
+    Ping,
+    /// Server → client: answer to Ping.
+    Pong {
+        /// Latest epoch this endpoint serves.
+        epoch: u64,
+        /// Replication lag in commit units (always 0 on the primary).
+        lag: u64,
+    },
+    /// Either direction: orderly close.
+    Goodbye,
+    /// Server → client: a result set begins.
+    RowsHeader {
+        /// Echo of the Execute id.
+        id: u64,
+        /// Epoch the read evaluated against.
+        epoch: u64,
+        /// Column names.
+        columns: Vec<String>,
+    },
+    /// Server → client: one result row, rendered.
+    Row {
+        /// Echo of the Execute id.
+        id: u64,
+        /// One rendered cell per column.
+        cells: Vec<String>,
+    },
+    /// Server → client: the statement finished successfully.
+    Done {
+        /// Echo of the Execute id.
+        id: u64,
+        /// Epoch of the result: the read snapshot, or the epoch that
+        /// first exposes a committed write.
+        epoch: u64,
+        /// Row count of the result set (0 for non-queries).
+        rows: u64,
+        /// Human-readable summary for non-query statements.
+        info: String,
+    },
+    /// Server → client: the statement (or the connection, when
+    /// `id == 0`) failed.
+    Error {
+        /// Echo of the Execute id; 0 for connection-level errors.
+        id: u64,
+        /// The typed failure class.
+        code: ErrorCode,
+        /// Suggested back-off before retrying, 0 when not retryable.
+        retry_after_ms: u64,
+        /// Human-readable detail (not part of the contract).
+        message: String,
+    },
+}
+
+const K_HELLO: u8 = 0x01;
+const K_HELLO_ACK: u8 = 0x02;
+const K_EXECUTE: u8 = 0x03;
+const K_CANCEL: u8 = 0x04;
+const K_PING: u8 = 0x05;
+const K_PONG: u8 = 0x06;
+const K_GOODBYE: u8 = 0x07;
+const K_ROWS_HEADER: u8 = 0x10;
+const K_ROW: u8 = 0x11;
+const K_DONE: u8 = 0x12;
+const K_ERROR: u8 = 0x13;
+
+/// Why a byte sequence failed to decode as a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The bytes are not a valid frame and never will be, no matter
+    /// what arrives next: bad checksum, bad kind, oversized length,
+    /// malformed payload.
+    Corrupt(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Corrupt(m) => write!(f, "corrupt frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_strs(out: &mut Vec<u8>, ss: &[String]) {
+    put_u32(out, ss.len() as u32);
+    for s in ss {
+        put_str(out, s);
+    }
+}
+
+/// Encodes one frame to wire bytes (header + checksummed body).
+pub fn encode(f: &Frame) -> Vec<u8> {
+    let mut body = Vec::with_capacity(32);
+    match f {
+        Frame::Hello { version, token } => {
+            body.push(K_HELLO);
+            put_u32(&mut body, *version);
+            put_str(&mut body, token);
+        }
+        Frame::HelloAck {
+            session,
+            role,
+            epoch,
+        } => {
+            body.push(K_HELLO_ACK);
+            put_u64(&mut body, *session);
+            body.push(match role {
+                Role::Primary => 0,
+                Role::Replica => 1,
+            });
+            put_u64(&mut body, *epoch);
+        }
+        Frame::Execute {
+            id,
+            deadline_ms,
+            src,
+        } => {
+            body.push(K_EXECUTE);
+            put_u64(&mut body, *id);
+            put_u64(&mut body, *deadline_ms);
+            put_str(&mut body, src);
+        }
+        Frame::Cancel { id } => {
+            body.push(K_CANCEL);
+            put_u64(&mut body, *id);
+        }
+        Frame::Ping => body.push(K_PING),
+        Frame::Pong { epoch, lag } => {
+            body.push(K_PONG);
+            put_u64(&mut body, *epoch);
+            put_u64(&mut body, *lag);
+        }
+        Frame::Goodbye => body.push(K_GOODBYE),
+        Frame::RowsHeader { id, epoch, columns } => {
+            body.push(K_ROWS_HEADER);
+            put_u64(&mut body, *id);
+            put_u64(&mut body, *epoch);
+            put_strs(&mut body, columns);
+        }
+        Frame::Row { id, cells } => {
+            body.push(K_ROW);
+            put_u64(&mut body, *id);
+            put_strs(&mut body, cells);
+        }
+        Frame::Done {
+            id,
+            epoch,
+            rows,
+            info,
+        } => {
+            body.push(K_DONE);
+            put_u64(&mut body, *id);
+            put_u64(&mut body, *epoch);
+            put_u64(&mut body, *rows);
+            put_str(&mut body, info);
+        }
+        Frame::Error {
+            id,
+            code,
+            retry_after_ms,
+            message,
+        } => {
+            body.push(K_ERROR);
+            put_u64(&mut body, *id);
+            body.push(*code as u8);
+            put_u64(&mut body, *retry_after_ms);
+            put_str(&mut body, message);
+        }
+    }
+    let mut out = Vec::with_capacity(HEADER + body.len());
+    put_u32(&mut out, body.len() as u32);
+    put_u32(&mut out, crc32(0, &body));
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Strict little-endian cursor over one frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.buf.len() - self.pos < n {
+            return Err(FrameError::Corrupt("payload truncated".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn str(&mut self) -> Result<String, FrameError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| FrameError::Corrupt("string is not UTF-8".into()))
+    }
+
+    fn strs(&mut self) -> Result<Vec<String>, FrameError> {
+        let n = self.u32()? as usize;
+        // Each entry costs at least its 4-byte length prefix; a count
+        // beyond that is a forged header, not a big list.
+        if n > (self.buf.len() - self.pos) / 4 {
+            return Err(FrameError::Corrupt(
+                "string list count overflows body".into(),
+            ));
+        }
+        (0..n).map(|_| self.str()).collect()
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        if self.pos != self.buf.len() {
+            return Err(FrameError::Corrupt(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
+    let mut c = Cursor { buf: body, pos: 0 };
+    let kind = c.u8()?;
+    let f = match kind {
+        K_HELLO => Frame::Hello {
+            version: c.u32()?,
+            token: c.str()?,
+        },
+        K_HELLO_ACK => Frame::HelloAck {
+            session: c.u64()?,
+            role: match c.u8()? {
+                0 => Role::Primary,
+                1 => Role::Replica,
+                r => return Err(FrameError::Corrupt(format!("unknown role {r}"))),
+            },
+            epoch: c.u64()?,
+        },
+        K_EXECUTE => Frame::Execute {
+            id: c.u64()?,
+            deadline_ms: c.u64()?,
+            src: c.str()?,
+        },
+        K_CANCEL => Frame::Cancel { id: c.u64()? },
+        K_PING => Frame::Ping,
+        K_PONG => Frame::Pong {
+            epoch: c.u64()?,
+            lag: c.u64()?,
+        },
+        K_GOODBYE => Frame::Goodbye,
+        K_ROWS_HEADER => Frame::RowsHeader {
+            id: c.u64()?,
+            epoch: c.u64()?,
+            columns: c.strs()?,
+        },
+        K_ROW => Frame::Row {
+            id: c.u64()?,
+            cells: c.strs()?,
+        },
+        K_DONE => Frame::Done {
+            id: c.u64()?,
+            epoch: c.u64()?,
+            rows: c.u64()?,
+            info: c.str()?,
+        },
+        K_ERROR => Frame::Error {
+            id: c.u64()?,
+            code: ErrorCode::from_u8(c.u8()?)
+                .ok_or_else(|| FrameError::Corrupt("unknown error code".into()))?,
+            retry_after_ms: c.u64()?,
+            message: c.str()?,
+        },
+        k => return Err(FrameError::Corrupt(format!("unknown frame kind {k:#04x}"))),
+    };
+    c.finish()?;
+    Ok(f)
+}
+
+/// Attempts to decode one frame from the front of `buf`.
+///
+/// `Ok(Some((frame, consumed)))` on success; `Ok(None)` when `buf`
+/// holds a valid *prefix* and more bytes are needed; `Err` when the
+/// bytes can never become a valid frame.
+pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, FrameError> {
+    if buf.len() < HEADER {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4"));
+    if len == 0 || len > MAX_FRAME {
+        return Err(FrameError::Corrupt(format!(
+            "frame length {len} out of range"
+        )));
+    }
+    let crc = u32::from_le_bytes(buf[4..8].try_into().expect("4"));
+    let total = HEADER + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let body = &buf[HEADER..total];
+    if crc32(0, body) != crc {
+        return Err(FrameError::Corrupt("checksum mismatch".into()));
+    }
+    Ok(Some((decode_body(body)?, total)))
+}
+
+/// Reassembly buffer for a TCP byte stream: push whatever chunk the
+/// socket produced, pop complete frames.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+}
+
+impl FrameBuf {
+    /// An empty buffer.
+    pub fn new() -> FrameBuf {
+        FrameBuf::default()
+    }
+
+    /// Appends raw bytes read from the socket.
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Pops the next complete frame, if the buffer holds one.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        match decode(&self.buf)? {
+            Some((f, consumed)) => {
+                self.buf.drain(..consumed);
+                Ok(Some(f))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// True when bytes of an incomplete frame are waiting.
+    pub fn has_partial(&self) -> bool {
+        !self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                version: PROTO_VERSION,
+                token: "s3cret".into(),
+            },
+            Frame::HelloAck {
+                session: 7,
+                role: Role::Replica,
+                epoch: 42,
+            },
+            Frame::Execute {
+                id: 1,
+                deadline_ms: 250,
+                src: "SELECT X FROM Counter X".into(),
+            },
+            Frame::Cancel { id: 1 },
+            Frame::Ping,
+            Frame::Pong { epoch: 9, lag: 3 },
+            Frame::Goodbye,
+            Frame::RowsHeader {
+                id: 1,
+                epoch: 9,
+                columns: vec!["X".into(), "W".into()],
+            },
+            Frame::Row {
+                id: 1,
+                cells: vec!["c0".into(), "41".into()],
+            },
+            Frame::Done {
+                id: 1,
+                epoch: 9,
+                rows: 2,
+                info: "committed".into(),
+            },
+            Frame::Error {
+                id: 1,
+                code: ErrorCode::Overloaded,
+                retry_after_ms: 63,
+                message: "service overloaded".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_frame_kind() {
+        for f in all_frames() {
+            let bytes = encode(&f);
+            let (got, consumed) = decode(&bytes).unwrap().unwrap();
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(got, f);
+        }
+    }
+
+    #[test]
+    fn every_prefix_is_need_more_never_corrupt() {
+        for f in all_frames() {
+            let bytes = encode(&f);
+            for k in 0..bytes.len() {
+                assert_eq!(
+                    decode(&bytes[..k]).unwrap(),
+                    None,
+                    "prefix of {k} bytes must ask for more"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flipped_body_byte_is_caught_by_the_checksum() {
+        let bytes = encode(&Frame::Execute {
+            id: 3,
+            deadline_ms: 0,
+            src: "SELECT X FROM Counter X".into(),
+        });
+        for i in HEADER..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                decode(&bad).is_err(),
+                "flip at body byte {i} must fail the checksum"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_inside_the_body_are_rejected() {
+        // Re-frame a valid body with one extra byte, fixing len + crc:
+        // the strict cursor must still reject it.
+        let mut body = vec![K_PING];
+        body.push(0xAA);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(0, &body).to_le_bytes());
+        bytes.extend_from_slice(&body);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn oversized_length_is_corrupt_not_a_wait() {
+        let mut bytes = vec![0u8; HEADER];
+        bytes[0..4].copy_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn frame_buf_reassembles_byte_by_byte() {
+        let frames = all_frames();
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&encode(f));
+        }
+        let mut fb = FrameBuf::new();
+        let mut got = Vec::new();
+        for b in wire {
+            fb.push(&[b]);
+            while let Some(f) = fb.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+        assert!(!fb.has_partial());
+    }
+}

@@ -1,0 +1,100 @@
+//! The network serving tier: a fault-tolerant TCP front end over the
+//! service executor, and WAL-shipped read replicas.
+//!
+//! This crate turns the in-process [`service`] layer into something a
+//! remote client can use without losing any of its guarantees:
+//!
+//! * [`frame`] — the wire protocol: length-prefixed, checksummed,
+//!   strictly decoded frames. Garbage never panics the server; every
+//!   malformed byte sequence is answered with a typed error before the
+//!   connection closes.
+//! * [`server`] — the TCP front end: bounded admission feeding the
+//!   service's own gates (shed with jittered `retry_after`, never a
+//!   silent drop), per-connection read/write deadlines, idle-session
+//!   reaping, mid-query CANCEL, and graceful drain.
+//! * [`client`] — the protocol client, plus a failover wrapper that
+//!   retries idempotent reads primary-then-replica with bounded
+//!   exponential backoff, and retries writes only on errors that prove
+//!   the statement never applied.
+//! * [`ship`] / [`replica`] — WAL shipping: a replica tails the
+//!   primary's checksummed store directory (manifest, checkpoint
+//!   image, WAL segments — the exact files crash recovery reads),
+//!   replays committed units idempotently, publishes epochs, and
+//!   serves snapshot-isolated reads while exposing a replication-lag
+//!   gauge.
+//!
+//! See `docs/SERVING.md` for the frame grammar, the error/retry
+//! contract, and the replica topology.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod replica;
+pub mod server;
+pub mod ship;
+
+pub use client::{Client, FailoverClient, NetError, Response, RetryPolicy};
+pub use frame::{ErrorCode, Frame, FrameBuf, Role, PROTO_VERSION};
+pub use replica::{Replica, ReplicaConfig, ReplicaCore, ReplicaShared};
+pub use server::{Backend, Server, ServerConfig};
+pub use ship::{ChaosSource, DirSource, ShipSource};
+
+use oodb::Database;
+use xsql::Outcome;
+
+/// Renders a non-relational outcome as the text a local CLI would
+/// print for it, resolving OIDs against `db`. The server ships this
+/// rendering in `Done.info` so results read identically over the wire
+/// and in-process.
+pub fn render_outcome(db: &Database, out: &Outcome) -> String {
+    use relalg::render_table;
+    use std::fmt::Write as _;
+    let mut t = String::new();
+    match out {
+        Outcome::Relation(rel) => write!(t, "{}", render_table(rel, db.oids())).unwrap(),
+        Outcome::Created { oids } => {
+            writeln!(t, "created {} object(s)", oids.len()).unwrap();
+            for o in oids.iter().take(10) {
+                writeln!(t, "  {}", db.render(*o)).unwrap();
+            }
+        }
+        Outcome::ViewCreated { class, count } => {
+            writeln!(t, "view {} created ({count} object(s))", db.render(*class)).unwrap();
+        }
+        Outcome::MethodDefined { class, method } => {
+            writeln!(
+                t,
+                "method {} defined on {}",
+                db.render(*method),
+                db.render(*class)
+            )
+            .unwrap();
+        }
+        Outcome::Updated { entries } => writeln!(t, "updated {entries} entr(ies)").unwrap(),
+        Outcome::ClassCreated { class } => {
+            writeln!(t, "class {} created", db.render(*class)).unwrap()
+        }
+        Outcome::ObjectCreated { oid } => {
+            writeln!(t, "object {} created", db.render(*oid)).unwrap()
+        }
+        Outcome::SignatureAdded { class, method } => {
+            writeln!(
+                t,
+                "signature {} added to {}",
+                db.render(*method),
+                db.render(*class)
+            )
+            .unwrap();
+        }
+        Outcome::Explained { report } => writeln!(t, "{report}").unwrap(),
+        Outcome::Stats { report } => writeln!(t, "{report}").unwrap(),
+        Outcome::TransactionStarted => writeln!(t, "transaction started").unwrap(),
+        Outcome::TransactionCommitted => writeln!(t, "transaction committed").unwrap(),
+        Outcome::TransactionRolledBack => writeln!(t, "transaction rolled back").unwrap(),
+        Outcome::WalEnabled => writeln!(t, "WAL enabled").unwrap(),
+        Outcome::WalDisabled => writeln!(t, "WAL disabled").unwrap(),
+        Outcome::Checkpointed => writeln!(t, "checkpoint written").unwrap(),
+    }
+    t
+}

@@ -1,0 +1,320 @@
+//! WAL-shipped replica correctness, stepped by hand for determinism:
+//! bootstrap and tail replay, duplicated/stale/torn shipments via the
+//! seeded [`ChaosSource`], checkpoint-induced gaps forcing a resync,
+//! an ENOSPC episode on the primary, and the replication-lag gauge
+//! reaching zero at convergence.
+//!
+//! Convergence is asserted the only way that is meaningful across
+//! processes: the *rendered results of the same queries* are equal
+//! (OID table positions legitimately differ between primary and
+//! replica; names and values must not).
+
+use net::{ChaosSource, DirSource, ReplicaConfig, ReplicaCore, ShipSource};
+use oodb::Database;
+use std::path::Path;
+use std::time::Duration;
+use storage::fault::FaultFs;
+use storage::manifest::parse_manifest;
+use storage::snapshot::decode_snapshot;
+use storage::{wal, StoreConfig};
+use xsql::{EvalOptions, Outcome, Session, XsqlError};
+
+const DIR: &str = "/primary";
+const PROLOGUE: &[&str] = &[
+    "CREATE CLASS Counter",
+    "ALTER CLASS Counter ADD SIGNATURE Val => Numeral",
+    "CREATE OBJECT c0 CLASS Counter SET Val = 0",
+    "CREATE OBJECT c1 CLASS Counter SET Val = 0",
+];
+const QUERIES: &[&str] = &[
+    "SELECT X FROM Counter X",
+    "SELECT W FROM Numeral W WHERE c0.Val[W]",
+    "SELECT W FROM Numeral W WHERE c1.Val[W]",
+];
+
+fn open_primary(fs: &FaultFs) -> Result<Session, XsqlError> {
+    Session::open_dir(
+        Box::new(fs.clone()),
+        Path::new(DIR),
+        Database::new(),
+        "empty",
+        EvalOptions::default(),
+    )
+}
+
+fn replica_over(src: impl ShipSource + 'static) -> ReplicaCore {
+    ReplicaCore::new(
+        Box::new(src),
+        Database::new(),
+        ReplicaConfig {
+            base_tag: "empty".into(),
+            opts: EvalOptions::default(),
+        },
+    )
+}
+
+fn dir_source(fs: &FaultFs) -> DirSource {
+    DirSource::new(Box::new(fs.clone()), DIR)
+}
+
+/// The primary's durable frontier: max committed unit sequence across
+/// the checkpoint image and every live WAL segment.
+fn primary_last_seq(fs: &FaultFs) -> u64 {
+    let mut src = dir_source(fs);
+    let manifest = parse_manifest(&src.fetch("manifest").unwrap().expect("manifest"))
+        .expect("well-formed manifest");
+    let mut last = src
+        .fetch("snapshot.bin")
+        .unwrap()
+        .map_or(0, |b| decode_snapshot(&b).expect("snapshot").last_seq);
+    for name in &manifest.segments {
+        if let Some(bytes) = src.fetch(name).unwrap() {
+            for (seq, _) in wal::scan(&bytes).records {
+                last = last.max(seq);
+            }
+        }
+    }
+    last
+}
+
+/// Renders the query results a session (primary or a replica reader)
+/// produces — the cross-process equality token.
+fn fingerprint(session: &mut Session) -> Vec<String> {
+    QUERIES
+        .iter()
+        .map(|q| match session.run(q).expect("read query") {
+            Outcome::Relation(rel) => {
+                let mut rows: Vec<String> = rel
+                    .iter()
+                    .map(|t| {
+                        t.iter()
+                            .map(|o| session.db().oids().render(*o))
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    })
+                    .collect();
+                rows.sort();
+                rows.join(";")
+            }
+            other => panic!("expected a relation, got {other:?}"),
+        })
+        .collect()
+}
+
+/// A read session over the replica's latest published epoch.
+fn replica_reader(core: &ReplicaCore) -> Session {
+    let shared = core.shared();
+    let ep = shared.epoch();
+    Session::with_options((*ep.db).clone(), shared.base_opts().clone())
+}
+
+#[test]
+fn replica_bootstraps_and_tails_the_primary() {
+    let fs = FaultFs::new();
+    let mut primary = open_primary(&fs).expect("primary store");
+    for stmt in PROLOGUE {
+        primary.run(stmt).expect("prologue");
+    }
+
+    let mut replica = replica_over(dir_source(&fs));
+    let p = replica.step().expect("first sync");
+    assert!(p.resynced, "first round bootstraps");
+    assert_eq!(replica.shared().applied_seq(), primary_last_seq(&fs));
+    assert_eq!(replica.shared().lag(), 0);
+
+    // Tail replay: new primary commits arrive without a re-bootstrap.
+    primary
+        .run("UPDATE CLASS Counter SET c0.Val = 7")
+        .expect("w");
+    primary
+        .run("UPDATE CLASS Counter SET c1.Val = 9")
+        .expect("w");
+    let p = replica.step().expect("tail sync");
+    assert_eq!(p.applied, 2);
+    assert!(!p.resynced);
+    assert_eq!(replica.shared().applied_seq(), primary_last_seq(&fs));
+
+    assert_eq!(
+        fingerprint(&mut primary),
+        fingerprint(&mut replica_reader(&replica))
+    );
+
+    // Idempotence: stepping with nothing new applies nothing and the
+    // epoch stands still.
+    let e = replica.shared().epoch().seq;
+    let p = replica.step().expect("no-op sync");
+    assert_eq!((p.applied, p.resynced), (0, false));
+    assert_eq!(replica.shared().epoch().seq, e);
+}
+
+#[test]
+fn checkpoint_gap_forces_a_clean_resync() {
+    let fs = FaultFs::new();
+    let mut primary = open_primary(&fs).expect("primary store");
+    for stmt in PROLOGUE {
+        primary.run(stmt).expect("prologue");
+    }
+
+    let mut replica = replica_over(dir_source(&fs));
+    replica.step().expect("bootstrap");
+    let applied_before = replica.shared().applied_seq();
+
+    // The primary moves on and checkpoints: covered segments retire,
+    // so the units the replica would need next are gone from the log.
+    primary
+        .run("UPDATE CLASS Counter SET c0.Val = 3")
+        .expect("w");
+    primary.run("CHECKPOINT").expect("checkpoint");
+    primary
+        .run("UPDATE CLASS Counter SET c1.Val = 4")
+        .expect("w");
+
+    let p = replica.step().expect("sync over the gap");
+    assert_eq!(
+        replica.shared().applied_seq(),
+        primary_last_seq(&fs),
+        "replica reaches the frontier (resync path: {p:?}, before: {applied_before})"
+    );
+    assert_eq!(replica.shared().lag(), 0);
+    assert_eq!(
+        fingerprint(&mut primary),
+        fingerprint(&mut replica_reader(&replica))
+    );
+}
+
+#[test]
+fn wrong_base_fixture_is_refused_loudly() {
+    let fs = FaultFs::new();
+    let mut primary = open_primary(&fs).expect("primary store");
+    primary.run(PROLOGUE[0]).expect("one write");
+
+    let mut replica = ReplicaCore::new(
+        Box::new(dir_source(&fs)),
+        Database::new(),
+        ReplicaConfig {
+            base_tag: "other-fixture".into(),
+            opts: EvalOptions::default(),
+        },
+    );
+    let err = replica.step().expect_err("base mismatch must not replay");
+    assert!(err.contains("base"), "{err}");
+    assert!(replica.shared().last_error().is_some());
+    assert_eq!(replica.shared().applied_seq(), 0);
+}
+
+#[test]
+fn chaotic_shipping_converges_for_many_seeds() {
+    for seed in 0..24u64 {
+        let fs = FaultFs::new();
+        let mut primary = open_primary(&fs).expect("primary store");
+        for stmt in PROLOGUE {
+            primary.run(stmt).expect("prologue");
+        }
+        // Delayed (stale re-serves = duplicated records) and torn
+        // shipments, schedule a pure function of the seed.
+        let mut replica = replica_over(ChaosSource::new(dir_source(&fs), seed, 0.35, 0.35));
+
+        // Interleave primary progress (with a mid-run checkpoint) and
+        // replica sync rounds.
+        for j in 1..=6i64 {
+            primary
+                .run(&format!("UPDATE CLASS Counter SET c0.Val = {j}"))
+                .expect("write");
+            if j == 3 {
+                primary.run("CHECKPOINT").expect("checkpoint");
+            }
+            let _ = replica.step(); // chaos rounds may legitimately fail
+        }
+        let target = primary_last_seq(&fs);
+        let mut rounds = 0;
+        while replica.shared().applied_seq() < target {
+            let _ = replica.step();
+            rounds += 1;
+            assert!(
+                rounds < 1000,
+                "seed {seed}: no convergence after {rounds} rounds \
+                 (applied {} of {target}, last error {:?})",
+                replica.shared().applied_seq(),
+                replica.shared().last_error(),
+            );
+        }
+        assert_eq!(replica.shared().lag(), 0, "seed {seed}");
+        assert_eq!(
+            fingerprint(&mut primary),
+            fingerprint(&mut replica_reader(&replica)),
+            "seed {seed}: replica state must equal primary state"
+        );
+    }
+}
+
+#[test]
+fn replica_serves_through_a_primary_enospc_episode() {
+    let fs = FaultFs::new();
+    let mut primary = open_primary(&fs).expect("primary store");
+    primary.set_store_config(StoreConfig {
+        probe_min_interval: Duration::ZERO,
+        ..StoreConfig::default()
+    });
+    for stmt in PROLOGUE {
+        primary.run(stmt).expect("prologue");
+    }
+    primary
+        .run("UPDATE CLASS Counter SET c0.Val = 1")
+        .expect("w");
+
+    let mut replica = replica_over(dir_source(&fs));
+    replica.step().expect("bootstrap");
+    let fp_before = fingerprint(&mut replica_reader(&replica));
+
+    // Disk fills: primary writes fail; the replica keeps serving its
+    // published epoch and sync rounds stay harmless.
+    fs.set_disk_full(true);
+    assert!(
+        primary.run("UPDATE CLASS Counter SET c0.Val = 2").is_err(),
+        "primary write must fail under ENOSPC"
+    );
+    let p = replica.step().expect("sync during ENOSPC");
+    assert_eq!(p.applied, 0);
+    assert_eq!(fingerprint(&mut replica_reader(&replica)), fp_before);
+
+    // Space frees: the retried write commits and ships.
+    fs.set_disk_full(false);
+    primary
+        .run("UPDATE CLASS Counter SET c0.Val = 2")
+        .expect("retried write commits after space frees");
+    while replica.shared().applied_seq() < primary_last_seq(&fs) {
+        replica.step().expect("catch-up sync");
+    }
+    assert_eq!(replica.shared().lag(), 0);
+    assert_eq!(
+        fingerprint(&mut primary),
+        fingerprint(&mut replica_reader(&replica))
+    );
+}
+
+#[test]
+fn spawned_replica_tails_in_the_background() {
+    let fs = FaultFs::new();
+    let mut primary = open_primary(&fs).expect("primary store");
+    for stmt in PROLOGUE {
+        primary.run(stmt).expect("prologue");
+    }
+    let replica = replica_over(dir_source(&fs)).spawn(Duration::from_millis(2));
+    assert!(
+        replica.wait_for_seq(primary_last_seq(&fs), Duration::from_secs(10)),
+        "background tailer reaches the frontier"
+    );
+    primary
+        .run("UPDATE CLASS Counter SET c1.Val = 5")
+        .expect("w");
+    assert!(
+        replica.wait_for_seq(primary_last_seq(&fs), Duration::from_secs(10)),
+        "background tailer keeps up"
+    );
+    let core = replica.stop();
+    assert_eq!(core.shared().lag(), 0);
+    assert_eq!(
+        fingerprint(&mut primary),
+        fingerprint(&mut replica_reader(&core))
+    );
+}

@@ -65,8 +65,18 @@ pub struct ServiceConfig {
     /// Deadline applied to statements whose [`QueryContext`] does not
     /// carry one. `None` means such statements run without a deadline.
     pub default_deadline: Option<Duration>,
-    /// Back-off the service suggests to shed clients.
+    /// Base back-off the service suggests to shed clients. The hint
+    /// actually returned is jittered: `retry_after` plus a uniformly
+    /// drawn fraction of `retry_after × retry_jitter`, so a herd of
+    /// clients shed together does not retry in lockstep.
     pub retry_after: Duration,
+    /// Width of the jitter band on shed hints, as a fraction of
+    /// `retry_after`. `0.0` restores the old fixed hint.
+    pub retry_jitter: f64,
+    /// Seed of the deterministic jitter stream. Two services started
+    /// with the same seed hand out the same hint sequence — the chaos
+    /// harness and the distribution unit test depend on that.
+    pub jitter_seed: u64,
     /// Worker threads each snapshot reader may use for one query
     /// (`EvalOptions::parallelism`). `0` inherits the base session
     /// options. Readers evaluate on immutable published epochs, so
@@ -86,6 +96,8 @@ impl Default for ServiceConfig {
             max_group_commit: 16,
             default_deadline: None,
             retry_after: Duration::from_millis(50),
+            retry_jitter: 0.5,
+            jitter_seed: 0x5eed_cafe,
             reader_parallelism: 0,
         }
     }
@@ -113,6 +125,50 @@ impl QueryContext {
             deadline: Some(Instant::now() + timeout),
             ..QueryContext::default()
         }
+    }
+}
+
+/// Deterministic jitter stream for retry-after hints.
+///
+/// Shedding every client with the *same* fixed hint synchronises their
+/// retries: the whole herd comes back in one burst and is shed again.
+/// Each draw from this stream spreads one client's hint uniformly over
+/// `[base, base × (1 + frac)]`. The stream is a seeded splitmix64
+/// sequence behind one atomic, so it is lock-free to sample from any
+/// thread and byte-for-byte reproducible under a fixed seed — the
+/// property the distribution unit test and the chaos harness pin.
+#[derive(Debug)]
+pub struct RetryJitter {
+    state: std::sync::atomic::AtomicU64,
+    frac: f64,
+}
+
+impl RetryJitter {
+    /// A stream seeded with `seed`, jittering over `frac × base`.
+    pub fn new(seed: u64, frac: f64) -> RetryJitter {
+        RetryJitter {
+            state: std::sync::atomic::AtomicU64::new(seed),
+            frac: frac.clamp(0.0, 16.0),
+        }
+    }
+
+    /// Draws the next unit sample in `[0, 1)` from the stream.
+    pub fn next_unit(&self) -> f64 {
+        // splitmix64: a fetch_add reserves this draw's slot in the
+        // stream, so concurrent samplers interleave without repeats.
+        let mut z = self
+            .state
+            .fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed)
+            .wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Jitters `base` into `[base, base × (1 + frac)]`.
+    pub fn next_after(&self, base: Duration) -> Duration {
+        base + base.mul_f64(self.frac * self.next_unit())
     }
 }
 
@@ -336,9 +392,15 @@ struct Inner {
     /// them (budget, strategy) with the per-statement context merged in.
     base_opts: EvalOptions,
     metrics: ServiceMetrics,
+    jitter: RetryJitter,
 }
 
 impl Inner {
+    /// The jittered retry-after hint for the next shed client.
+    fn retry_hint(&self) -> Duration {
+        self.jitter.next_after(self.cfg.retry_after)
+    }
+
     fn poison_check(&self) -> Result<(), ServiceError> {
         match &*self.poison.lock().unwrap_or_else(|e| e.into_inner()) {
             Some(m) => Err(ServiceError::Poisoned(m.clone())),
@@ -403,6 +465,7 @@ impl Service {
             // Storage metrics (it owns the store) and service metrics
             // land in the same exposition.
             metrics: ServiceMetrics::new(Arc::clone(session.registry())),
+            jitter: RetryJitter::new(cfg.jitter_seed, cfg.retry_jitter),
             cfg,
         });
         let writer_inner = Arc::clone(&inner);
@@ -425,7 +488,7 @@ impl Service {
             if n >= cfg.max_sessions {
                 self.inner.metrics.shed_connect.inc();
                 return Err(ServiceError::Overloaded {
-                    retry_after: cfg.retry_after,
+                    retry_after: self.inner.retry_hint(),
                 });
             }
             match self.inner.sessions.compare_exchange(
@@ -553,8 +616,9 @@ impl Drop for SessionHandle {
 
 /// True when `stmt` cannot modify the database and may run on a
 /// snapshot: plain SELECTs (no OID FUNCTION clause), their set-algebra
-/// combinations, and EXPLAIN.
-fn is_read_only(stmt: &Stmt) -> bool {
+/// combinations, and EXPLAIN. Public so other serving layers (the TCP
+/// replica front end) classify statements exactly like the service.
+pub fn is_read_only(stmt: &Stmt) -> bool {
     match stmt {
         Stmt::Select(q) => q.oid_fn.is_none(),
         Stmt::RelOp { left, right, .. } => is_read_only(left) && is_read_only(right),
@@ -734,7 +798,7 @@ impl SessionHandle {
         }
         if gate.waiting >= cfg.max_read_waiters {
             return Err(ServiceError::Overloaded {
-                retry_after: cfg.retry_after,
+                retry_after: self.inner.retry_hint(),
             });
         }
         gate.waiting += 1;
@@ -825,7 +889,7 @@ impl SessionHandle {
             Ok(()) => {}
             Err(TrySendError::Full(_)) => {
                 return Err(ServiceError::Overloaded {
-                    retry_after: self.inner.cfg.retry_after,
+                    retry_after: self.inner.retry_hint(),
                 })
             }
             Err(TrySendError::Disconnected(_)) => return Err(ServiceError::ShuttingDown),
@@ -969,7 +1033,7 @@ fn writer_loop(mut session: Session, rx: Receiver<WriteReq>, inner: Arc<Inner>) 
                 Ok(o) => results.push(Ok(o)),
                 Err(UnitError::Stmt(e)) => results.push(Err(ServiceError::Xsql(e))),
                 Err(UnitError::ReadOnly) => results.push(Err(ServiceError::ReadOnly {
-                    retry_after: inner.cfg.retry_after,
+                    retry_after: inner.retry_hint(),
                 })),
                 Err(UnitError::Fatal(m)) => {
                     results.push(Err(ServiceError::Poisoned(m.clone())));
@@ -1020,6 +1084,15 @@ fn writer_loop(mut session: Session, rx: Receiver<WriteReq>, inner: Arc<Inner>) 
             }
         }
     }
+    // Drain epilogue: whichever path ended the loop — queue closed by
+    // shutdown/drop or a fatal storage fault — the session leaves the
+    // writer with per-statement durability re-armed and the log tail
+    // flushed. Shutdown racing a group commit must never hand back a
+    // session holding acked-but-unsynced state; the flush is a no-op on
+    // the healthy path (the batch already fsynced) and best-effort on
+    // the poisoned one.
+    session.set_sync_on_commit(true);
+    let _ = session.sync_wal();
     session
 }
 
@@ -1141,6 +1214,75 @@ mod tests {
         ));
         drop(_a);
         assert!(svc.connect().is_ok());
+    }
+
+    /// Pins the jitter distribution under a fixed seed: deterministic,
+    /// inside the advertised band, and actually dispersed (no lockstep).
+    #[test]
+    fn retry_jitter_distribution_is_pinned_under_a_seed() {
+        let base = Duration::from_millis(100);
+        let a = RetryJitter::new(42, 0.5);
+        let draws: Vec<Duration> = (0..64).map(|_| a.next_after(base)).collect();
+        // Reproducible: a second stream with the same seed replays it.
+        let b = RetryJitter::new(42, 0.5);
+        let again: Vec<Duration> = (0..64).map(|_| b.next_after(base)).collect();
+        assert_eq!(draws, again);
+        // A different seed gives a different sequence.
+        let c = RetryJitter::new(43, 0.5);
+        assert_ne!(
+            draws,
+            (0..64).map(|_| c.next_after(base)).collect::<Vec<_>>()
+        );
+        // Every hint sits in [base, base * 1.5].
+        for d in &draws {
+            assert!(*d >= base && *d <= base.mul_f64(1.5), "{d:?}");
+        }
+        // Dispersed, not lockstep: many distinct values, spanning most
+        // of the band.
+        let mut uniq: Vec<Duration> = draws.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert!(uniq.len() >= 48, "only {} distinct hints", uniq.len());
+        let lo = *uniq.first().unwrap();
+        let hi = *uniq.last().unwrap();
+        assert!(
+            hi - lo >= base.mul_f64(0.25),
+            "band too narrow: {lo:?}..{hi:?}"
+        );
+        // frac = 0 restores the legacy fixed hint.
+        let fixed = RetryJitter::new(42, 0.0);
+        assert!((0..8).all(|_| fixed.next_after(base) == base));
+    }
+
+    /// Two services configured with the same seed shed identical hint
+    /// sequences; clients shed together still get *different* hints.
+    #[test]
+    fn shed_hints_are_jittered_and_seed_deterministic() {
+        let cfg = ServiceConfig {
+            max_sessions: 1,
+            jitter_seed: 7,
+            ..ServiceConfig::default()
+        };
+        let hints = |cfg: ServiceConfig| -> Vec<Duration> {
+            let svc = Service::start(mini_session(), cfg);
+            let _keep = svc.connect().unwrap();
+            (0..8)
+                .map(|_| match svc.connect() {
+                    Err(ServiceError::Overloaded { retry_after }) => retry_after,
+                    other => panic!("expected shed, got {other:?}"),
+                })
+                .collect()
+        };
+        let a = hints(cfg.clone());
+        let b = hints(cfg.clone());
+        assert_eq!(a, b, "same seed, same hint sequence");
+        let mut uniq = a.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert!(uniq.len() >= 6, "hints should not be lockstep: {a:?}");
+        for d in &a {
+            assert!(*d >= cfg.retry_after && *d <= cfg.retry_after.mul_f64(1.5));
+        }
     }
 
     #[test]

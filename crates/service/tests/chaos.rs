@@ -241,6 +241,10 @@ fn chaos_round(seed: u64) {
         max_group_commit: rng.gen_range(1..=4usize),
         default_deadline: None,
         retry_after: Duration::from_micros(200),
+        // Seed-determined jitter: injections stay a pure function of
+        // the seed.
+        retry_jitter: 0.5,
+        jitter_seed: seed,
         // Exercise sequential and parallel snapshot readers alike;
         // results are bit-identical either way, so the checker needs no
         // special case.

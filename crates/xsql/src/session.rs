@@ -297,26 +297,19 @@ impl Session {
                 recovered.base_tag
             )));
         }
-        // Start from the checkpoint when there is one, else the fixture.
         let snapshot_loaded = recovered.snapshot.is_some();
-        let (db, snap_anon, snap_catalog) = match recovered.snapshot {
-            Some(snap) => (
-                Database::import_snapshot(snap.db)?,
-                snap.anon_counter,
-                snap.catalog,
-            ),
-            None => (base, 0, Vec::new()),
-        };
-        let mut s = Session::with_options(db, opts);
-        s.base_tag = base_tag.to_string();
-        s.anon_counter = usize::try_from(snap_anon).expect("counter fits usize");
+        let catalog_stmts = recovered
+            .snapshot
+            .as_ref()
+            .map_or(0, |snap| snap.catalog.len());
+        let mut s = Session::restore_image(base, base_tag, recovered.snapshot, opts)?;
         // What recovery had to do, for `STATS` / post-mortems.
         s.registry
             .gauge("xsql_recovery_snapshot_loaded", &[])
             .set(i64::from(snapshot_loaded));
         s.registry
             .counter("xsql_recovery_catalog_stmts_total", &[])
-            .add(snap_catalog.len() as u64);
+            .add(catalog_stmts as u64);
         s.registry
             .counter("xsql_recovery_wal_units_total", &[])
             .add(recovered.tail.len() as u64);
@@ -335,35 +328,13 @@ impl Session {
         s.recovery = Some(RecoveryInfo {
             snapshot_loaded,
             deltas_applied: recovered.deltas_applied,
-            catalog_stmts: snap_catalog.len(),
+            catalog_stmts,
             wal_units: recovered.tail.len(),
             salvage: recovered.salvage.clone(),
         });
-        // Definitions-only replay: the snapshot already holds the state
-        // these statements produced; only their closures are rebuilt.
-        for src in snap_catalog {
-            s.replay_definition(&src)?;
-            s.catalog.push(src);
-        }
-        // Replay the WAL tail. Each record is one commit unit; ops apply
-        // directly, definitional statements re-execute in full (their
-        // effects are *not* in the snapshot).
+        // Replay the WAL tail past the checkpoint image.
         for (_seq, payload) in &recovered.tail {
-            let unit = decode_commit(payload, s.db.oids_mut())?;
-            for entry in unit.entries {
-                match entry {
-                    WalEntry::Ops(ops) => {
-                        for op in &ops {
-                            s.db.apply_redo(op)?;
-                        }
-                    }
-                    // `run` also re-appends the statement to the catalog.
-                    WalEntry::Stmt(src) => {
-                        s.run(&src)?;
-                    }
-                }
-            }
-            s.anon_counter = usize::try_from(unit.anon_counter).expect("counter fits usize");
+            s.apply_commit_payload(payload)?;
         }
         s.db.commit();
         let mut store = store;
@@ -372,6 +343,72 @@ impl Session {
         s.wal_enabled = true;
         s.db.set_redo_logging(true);
         Ok(s)
+    }
+
+    /// Builds a session from a checkpoint *image* — the full snapshot
+    /// with its delta chain already applied, as [`Store::open`] returns
+    /// it — or from the bare fixture when no checkpoint exists yet.
+    /// The definitional catalog is replayed definitions-only (the
+    /// snapshot already holds the state those statements produced).
+    ///
+    /// This is the bootstrap half of crash recovery, shared by
+    /// [`Session::open_dir`] and by WAL-shipped read replicas, which
+    /// rebuild from the primary's shipped image and then stream commit
+    /// units through [`Session::apply_commit_payload`]. The returned
+    /// session has no store attached and WAL logging off.
+    pub fn restore_image(
+        base: Database,
+        base_tag: &str,
+        snapshot: Option<SnapshotFile>,
+        opts: EvalOptions,
+    ) -> XsqlResult<Session> {
+        let (db, snap_anon, snap_catalog) = match snapshot {
+            Some(snap) => (
+                Database::import_snapshot(snap.db)?,
+                snap.anon_counter,
+                snap.catalog,
+            ),
+            None => (base, 0, Vec::new()),
+        };
+        let mut s = Session::with_options(db, opts);
+        s.base_tag = base_tag.to_string();
+        s.anon_counter = usize::try_from(snap_anon).expect("counter fits usize");
+        for src in snap_catalog {
+            s.replay_definition(&src)?;
+            s.catalog.push(src);
+        }
+        Ok(s)
+    }
+
+    /// Applies one WAL commit-unit payload (the bytes of a single log
+    /// record) to this session's database. Redo ops apply directly;
+    /// definitional statements re-execute in full (their effects are
+    /// never in a snapshot) and re-enter the catalog. The payload's
+    /// anonymous-OID counter overwrites the session's, keeping replayed
+    /// name generation aligned with the primary's.
+    ///
+    /// Both halves of log replay go through here: crash recovery of a
+    /// store's own tail, and a replica streaming the primary's shipped
+    /// segments. The encoding is position-independent (structural
+    /// OIDs), so a unit encoded against the primary's OID table decodes
+    /// correctly against this session's.
+    pub fn apply_commit_payload(&mut self, payload: &[u8]) -> XsqlResult<()> {
+        let unit = decode_commit(payload, self.db.oids_mut())?;
+        for entry in unit.entries {
+            match entry {
+                WalEntry::Ops(ops) => {
+                    for op in &ops {
+                        self.db.apply_redo(op)?;
+                    }
+                }
+                // `run` also re-appends the statement to the catalog.
+                WalEntry::Stmt(src) => {
+                    self.run(&src)?;
+                }
+            }
+        }
+        self.anon_counter = usize::try_from(unit.anon_counter).expect("counter fits usize");
+        Ok(())
     }
 
     /// Re-installs one definitional statement from the catalog without

@@ -37,6 +37,10 @@ struct Config {
     stats: bool,
     deadline_ms: Option<u64>,
     parallel: Option<usize>,
+    listen: Option<String>,
+    replica_of: Option<String>,
+    connect: Option<String>,
+    token: Option<String>,
     scripts: Vec<String>,
 }
 
@@ -49,6 +53,10 @@ fn parse_args() -> Result<Config, String> {
         stats: false,
         deadline_ms: None,
         parallel: None,
+        listen: None,
+        replica_of: None,
+        connect: None,
+        token: None,
         scripts: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -89,10 +97,35 @@ fn parse_args() -> Result<Config, String> {
                 }
                 cfg.parallel = Some(n);
             }
+            "--listen" => {
+                cfg.listen = Some(
+                    args.next()
+                        .ok_or_else(|| "--listen requires an address".to_string())?,
+                );
+            }
+            "--replica-of" => {
+                cfg.replica_of = Some(
+                    args.next()
+                        .ok_or_else(|| "--replica-of requires a store directory".to_string())?,
+                );
+            }
+            "--connect" => {
+                cfg.connect = Some(
+                    args.next()
+                        .ok_or_else(|| "--connect requires an address".to_string())?,
+                );
+            }
+            "--token" => {
+                cfg.token = Some(
+                    args.next()
+                        .ok_or_else(|| "--token requires a value".to_string())?,
+                );
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: xsql-cli [--db empty|figure1|nobel|university] [--open DIR] \
                             [--typed] [--serve] [--stats] [--deadline-ms N] [--parallel N] \
+                            [--listen ADDR [--replica-of DIR]] [--connect ADDR] [--token T] \
                             [script.xsql ...]\n\
                      --serve runs each script on its own concurrent service session \
                      (snapshot-isolated reads, serialized group-committed writes); \
@@ -100,7 +133,12 @@ fn parse_args() -> Result<Config, String> {
                      WAL/service metrics) after the scripts finish; \
                      --deadline-ms bounds every statement's wall-clock time; \
                      --parallel evaluates top-level SELECTs on N worker threads \
-                     (results are bit-identical to sequential evaluation)."
+                     (results are bit-identical to sequential evaluation); \
+                     --listen serves the database over TCP (see docs/SERVING.md) and \
+                     drains gracefully on SIGTERM; with --replica-of DIR it serves a \
+                     WAL-shipped read replica tailing that primary store directory; \
+                     --connect runs the scripts (or an interactive prompt) against a \
+                     remote server; --token sets the shared auth token."
                         .to_string(),
                 )
             }
@@ -112,6 +150,12 @@ fn parse_args() -> Result<Config, String> {
     }
     if cfg.deadline_ms.is_some() && !cfg.serve {
         return Err("--deadline-ms requires --serve".to_string());
+    }
+    if cfg.replica_of.is_some() && cfg.listen.is_none() {
+        return Err("--replica-of requires --listen".to_string());
+    }
+    if cfg.connect.is_some() && (cfg.listen.is_some() || cfg.serve) {
+        return Err("--connect excludes --listen/--serve".to_string());
     }
     Ok(cfg)
 }
@@ -259,6 +303,257 @@ fn serve_script(svc: &Service, path: &str, src: &str) -> (String, bool) {
     (out, true)
 }
 
+/// Set by the SIGTERM/SIGINT handler; serving loops poll it and drain.
+static SHUTDOWN_REQUESTED: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn request_shutdown(_sig: i32) {
+    SHUTDOWN_REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Installs graceful-drain handlers for SIGTERM (15) and SIGINT (2)
+/// via the libc `signal` symbol directly — the handler only flips an
+/// `AtomicBool`, which is async-signal-safe.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(15, request_shutdown as *const () as usize);
+        signal(2, request_shutdown as *const () as usize);
+    }
+}
+
+fn shutdown_requested() -> bool {
+    SHUTDOWN_REQUESTED.load(std::sync::atomic::Ordering::SeqCst)
+}
+
+fn server_config(cfg: &Config) -> net::ServerConfig {
+    net::ServerConfig {
+        auth_token: cfg.token.clone(),
+        ..net::ServerConfig::default()
+    }
+}
+
+/// Blocks until SIGTERM/SIGINT, then drains: new connections are
+/// refused, in-flight statements finish, and the server shuts down
+/// once idle (or after a grace period).
+fn serve_until_signalled(server: net::Server) {
+    while !shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("draining: refusing new connections");
+    server.begin_drain();
+    let grace = std::time::Instant::now();
+    while server.conn_count() > 0 && grace.elapsed() < Duration::from_secs(5) {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    server.shutdown();
+}
+
+/// `--listen` over a local (possibly durable) session: the primary.
+fn listen_primary(cfg: &Config, session: Session, addr: &str) -> ExitCode {
+    install_signal_handlers();
+    let svc = std::sync::Arc::new(Service::start(
+        session,
+        ServiceConfig {
+            default_deadline: cfg.deadline_ms.map(Duration::from_millis),
+            reader_parallelism: cfg.parallel.unwrap_or(0),
+            ..ServiceConfig::default()
+        },
+    ));
+    let server = match net::Server::start(
+        net::Backend::Primary(std::sync::Arc::clone(&svc)),
+        server_config(cfg),
+        addr,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot listen on {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("listening on {} (primary)", server.local_addr());
+    let _ = io::stdout().flush();
+    serve_until_signalled(server);
+    let Ok(svc) = std::sync::Arc::try_unwrap(svc) else {
+        unreachable!("server joined every connection");
+    };
+    if let Err(e) = svc.shutdown() {
+        eprintln!("shutdown: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--listen --replica-of DIR`: serve snapshot reads from a replica
+/// tailing the primary's store directory.
+fn listen_replica(cfg: &Config, primary_dir: &str, addr: &str) -> ExitCode {
+    install_signal_handlers();
+    let path = std::path::Path::new(primary_dir);
+    // The primary may not have initialized its store yet; wait for it.
+    while !Store::exists(&RealFs, path) {
+        if shutdown_requested() {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let tag = match Store::read_base_tag(&RealFs, path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read primary store {primary_dir}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let base = match fixture(&tag) {
+        Ok(db) => db,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let core = net::ReplicaCore::new(
+        Box::new(net::DirSource::new(Box::new(RealFs), path)),
+        base,
+        net::ReplicaConfig {
+            base_tag: tag,
+            opts: Default::default(),
+        },
+    );
+    let replica = core.spawn(Duration::from_millis(50));
+    let server = match net::Server::start(
+        net::Backend::Replica(replica.shared()),
+        server_config(cfg),
+        addr,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot listen on {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "listening on {} (replica of {primary_dir})",
+        server.local_addr()
+    );
+    let _ = io::stdout().flush();
+    serve_until_signalled(server);
+    let core = replica.stop();
+    if let Some(err) = core.shared().last_error() {
+        eprintln!("last sync error: {err}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_response(r: &net::Response) {
+    if !r.columns.is_empty() {
+        println!("{}", r.columns.join("\t"));
+        for row in &r.rows {
+            println!("{}", row.join("\t"));
+        }
+    }
+    if !r.info.is_empty() {
+        print!("{}", r.info);
+    }
+}
+
+/// Executes one statement over the wire, retrying typed retryable
+/// sheds after the server's suggested back-off. `ReadOnly` from a
+/// replica is permanent (fail over to the primary), not a transient
+/// shed — report it immediately instead of spinning.
+fn remote_statement(c: &mut net::Client, stmt: &str) -> Result<net::Response, String> {
+    for _ in 0..10_000 {
+        match c.execute(stmt) {
+            Ok(r) => return Ok(r),
+            Err(net::NetError::Server {
+                code,
+                retry_after,
+                message,
+            }) if code.retryable() => {
+                if code == net::ErrorCode::ReadOnly && c.role() == net::Role::Replica {
+                    return Err(format!("replica is read-only: {message}"));
+                }
+                std::thread::sleep(retry_after.max(Duration::from_millis(1)));
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    Err("server shed the statement 10000 times".to_string())
+}
+
+/// `--connect`: run scripts (or an interactive prompt) remotely.
+fn client_mode(cfg: &Config, addr: &str) -> ExitCode {
+    let token = cfg.token.clone().unwrap_or_default();
+    let mut client = match net::Client::connect(addr, &token) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !cfg.scripts.is_empty() {
+        for path in &cfg.scripts {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let stmts = match xsql::parse_script(&src) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for stmt in &stmts {
+                match remote_statement(&mut client, &xsql::unparse_stmt(stmt)) {
+                    Ok(r) => print_response(&r),
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
+        client.goodbye();
+        return ExitCode::SUCCESS;
+    }
+    // Interactive prompt over the wire.
+    println!(
+        "xsql — connected to {addr} ({:?}, epoch {}). Statements end with `;`; \\q quits.",
+        client.role(),
+        client.epoch()
+    );
+    let stdin = io::stdin();
+    let mut buf = String::new();
+    print!("xsql> ");
+    let _ = io::stdout().flush();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim() == "\\q" || line.trim() == "\\quit" {
+            break;
+        }
+        buf.push_str(&line);
+        buf.push('\n');
+        while let Some(pos) = buf.find(';') {
+            let stmt: String = buf.drain(..=pos).collect();
+            let stmt = stmt.trim_end_matches(';').trim().to_string();
+            if !stmt.is_empty() {
+                match remote_statement(&mut client, &stmt) {
+                    Ok(r) => print_response(&r),
+                    Err(e) => eprintln!("error: {e}"),
+                }
+            }
+        }
+        print!("xsql> ");
+        let _ = io::stdout().flush();
+    }
+    client.goodbye();
+    ExitCode::SUCCESS
+}
+
 fn run_statement(s: &mut Session, stmt: &str, typed: bool) {
     let trimmed = stmt.trim();
     if trimmed.is_empty() {
@@ -288,6 +583,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(addr) = cfg.connect.clone() {
+        return client_mode(&cfg, &addr);
+    }
+    if let (Some(addr), Some(dir)) = (cfg.listen.clone(), cfg.replica_of.clone()) {
+        return listen_replica(&cfg, &dir, &addr);
+    }
     let mut session = if let Some(dir) = &cfg.open {
         match open_store(dir, &cfg.db) {
             Ok(s) => s,
@@ -307,6 +608,10 @@ fn main() -> ExitCode {
     };
     if let Some(n) = cfg.parallel {
         session.set_parallelism(n);
+    }
+
+    if let Some(addr) = cfg.listen.clone() {
+        return listen_primary(&cfg, session, &addr);
     }
 
     if cfg.serve {
