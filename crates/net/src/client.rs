@@ -43,13 +43,35 @@ pub enum NetError {
         /// Human-readable diagnostic.
         message: String,
     },
+    /// The endpoint is not the primary (a replica, or a fenced
+    /// ex-primary): the statement was refused *before* execution, so
+    /// retrying it elsewhere is unconditionally safe. `leader_hint` is
+    /// the server's best guess at the current primary (may be empty).
+    NotPrimary {
+        /// Address of the believed-current primary; empty when the
+        /// endpoint has no hint.
+        leader_hint: String,
+    },
+    /// A replica was skipped because its replication lag exceeded the
+    /// client's configured bound.
+    ReplicaLagging {
+        /// The lag the health probe reported.
+        lag: u64,
+        /// The configured bound it exceeded.
+        bound: u64,
+    },
 }
 
 impl NetError {
-    /// True when the server explicitly said "try again later" — the
-    /// statement was not applied.
+    /// True when the statement provably did not execute and may be
+    /// retried unchanged: a typed retryable shed, a `NotPrimary`
+    /// redirect, or a lag-bound skip.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, NetError::Server { code, .. } if code.retryable())
+        match self {
+            NetError::Server { code, .. } => code.retryable(),
+            NetError::NotPrimary { .. } | NetError::ReplicaLagging { .. } => true,
+            _ => false,
+        }
     }
 }
 
@@ -66,6 +88,16 @@ impl std::fmt::Display for NetError {
                 f,
                 "server {code:?}: {message} (retry after {retry_after:?})"
             ),
+            NetError::NotPrimary { leader_hint } if leader_hint.is_empty() => {
+                write!(f, "endpoint is not the primary (no leader hint)")
+            }
+            NetError::NotPrimary { leader_hint } => {
+                write!(f, "endpoint is not the primary (leader hint: {leader_hint})")
+            }
+            NetError::ReplicaLagging { lag, bound } => write!(
+                f,
+                "replica skipped: replication lag {lag} exceeds bound {bound}"
+            ),
         }
     }
 }
@@ -76,6 +108,20 @@ impl From<std::io::Error> for NetError {
     fn from(e: std::io::Error) -> NetError {
         NetError::Io(e)
     }
+}
+
+/// The health word a `PONG` carries: everything a failover-aware
+/// client needs to pick a target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Health {
+    /// What the endpoint currently is.
+    pub role: Role,
+    /// The primary generation (fencing term) it serves or tails.
+    pub generation: u64,
+    /// Latest epoch it serves.
+    pub epoch: u64,
+    /// Replication lag in commit units (0 on the primary).
+    pub lag: u64,
 }
 
 /// A complete statement response.
@@ -251,6 +297,12 @@ impl Client {
                         message,
                     })
                 }
+                Frame::NotPrimary {
+                    id: rid,
+                    leader_hint,
+                } if rid == id || rid == 0 => {
+                    return Err(NetError::NotPrimary { leader_hint })
+                }
                 Frame::Goodbye => {
                     return Err(NetError::Io(std::io::Error::new(
                         std::io::ErrorKind::ConnectionAborted,
@@ -262,13 +314,25 @@ impl Client {
         }
     }
 
-    /// Round-trips a `Ping`; returns `(epoch, replication_lag)`.
-    pub fn ping(&mut self) -> Result<(u64, u64), NetError> {
+    /// Round-trips a `Ping`; returns the endpoint's [`Health`] word
+    /// (role, generation, epoch, lag).
+    pub fn ping(&mut self) -> Result<Health, NetError> {
         self.send(&Frame::Ping)?;
         match self.read_frame()? {
-            Frame::Pong { epoch, lag } => {
+            Frame::Pong {
+                role,
+                generation,
+                epoch,
+                lag,
+            } => {
                 self.epoch = epoch;
-                Ok((epoch, lag))
+                self.role = role;
+                Ok(Health {
+                    role,
+                    generation,
+                    epoch,
+                    lag,
+                })
             }
             Frame::Error {
                 code,
@@ -281,6 +345,33 @@ impl Client {
                 message,
             }),
             other => Err(NetError::Proto(format!("expected PONG, got {other:?}"))),
+        }
+    }
+
+    /// Sends a token-gated `PROMOTE` admin frame; on success the peer
+    /// is (now) the primary and the returned value is the generation
+    /// it accepts writes under. Idempotent against an existing
+    /// primary.
+    pub fn promote(&mut self) -> Result<u64, NetError> {
+        self.send(&Frame::Promote)?;
+        match self.read_frame()? {
+            Frame::PromoteAck { generation } => {
+                self.role = Role::Primary;
+                Ok(generation)
+            }
+            Frame::Error {
+                code,
+                retry_after_ms,
+                message,
+                ..
+            } => Err(NetError::Server {
+                code,
+                retry_after: Duration::from_millis(retry_after_ms),
+                message,
+            }),
+            other => Err(NetError::Proto(format!(
+                "expected PROMOTE_ACK, got {other:?}"
+            ))),
         }
     }
 
@@ -354,6 +445,10 @@ pub struct FailoverClient {
     policy: RetryPolicy,
     jitter_state: u64,
     conns: std::collections::HashMap<String, Client>,
+    /// When set, a read is routed to a replica only after a health
+    /// probe shows its lag at or under this bound. `None` routes reads
+    /// to replicas regardless of how far behind they are.
+    max_replica_lag: Option<u64>,
 }
 
 impl FailoverClient {
@@ -372,7 +467,22 @@ impl FailoverClient {
             policy,
             jitter_state: seed,
             conns: std::collections::HashMap::new(),
+            max_replica_lag: None,
         }
+    }
+
+    /// Bounds how stale a replica may be (in commit units) before
+    /// reads skip it. Unset, reads rotate onto replicas no matter how
+    /// far behind they are.
+    pub fn with_max_replica_lag(mut self, bound: u64) -> FailoverClient {
+        self.max_replica_lag = Some(bound);
+        self
+    }
+
+    /// The address writes currently target (follows `NotPrimary`
+    /// leader hints as failovers happen).
+    pub fn primary_addr(&self) -> &str {
+        &self.primary
     }
 
     fn unit(&mut self) -> f64 {
@@ -413,6 +523,29 @@ impl FailoverClient {
         let mut last: Option<NetError> = None;
         for attempt in 0..self.policy.attempts {
             let addr = targets[attempt % targets.len()].clone();
+            // A bounded-staleness read must not land on a replica that
+            // has fallen too far behind: probe its health first and
+            // skip it (burning this attempt) when the lag is over the
+            // bound.
+            if addr != self.primary {
+                if let Some(bound) = self.max_replica_lag {
+                    match self.ping(&addr) {
+                        Ok(h) if h.lag > bound => {
+                            last = Some(NetError::ReplicaLagging { lag: h.lag, bound });
+                            continue;
+                        }
+                        Ok(_) => {}
+                        Err(e) => {
+                            let wait = self.backoff(attempt + 1, Duration::ZERO);
+                            last = Some(e);
+                            if attempt + 1 < self.policy.attempts {
+                                std::thread::sleep(wait);
+                            }
+                            continue;
+                        }
+                    }
+                }
+            }
             let res = self.conn(&addr).and_then(|c| c.execute(src));
             match res {
                 Ok(r) => return Ok(r),
@@ -439,12 +572,15 @@ impl FailoverClient {
     }
 
     /// Executes a write against the primary. Retries **only** failures
-    /// that prove the statement never ran: connect errors and typed
-    /// retryable sheds. An ambiguous post-send I/O error is returned
-    /// as-is — the caller must decide (the statement may have
-    /// committed).
+    /// that prove the statement never ran: connect errors, typed
+    /// retryable sheds, and `NotPrimary` redirects (raised before the
+    /// statement reaches an engine). A redirect's leader hint — or,
+    /// when the hint is empty, a health sweep of the known topology —
+    /// re-aims subsequent attempts. An ambiguous post-send I/O error
+    /// is returned as-is — the caller must decide (the statement may
+    /// have committed).
     pub fn execute_write(&mut self, src: &str) -> Result<Response, NetError> {
-        let addr = self.primary.clone();
+        let mut addr = self.primary.clone();
         let mut last: Option<NetError> = None;
         for attempt in 0..self.policy.attempts {
             let sent_before_error;
@@ -459,7 +595,32 @@ impl FailoverClient {
                 }
             };
             match res {
-                Ok(r) => return Ok(r),
+                Ok(r) => {
+                    self.primary = addr;
+                    return Ok(r);
+                }
+                Err(NetError::NotPrimary { leader_hint }) => {
+                    // Provably pre-execution: the endpoint refused the
+                    // statement before any engine saw it. Follow the
+                    // hint; with none, probe the topology for whoever
+                    // now reports itself primary.
+                    let next = if leader_hint.is_empty() {
+                        self.discover_primary()
+                    } else {
+                        Some(leader_hint.clone())
+                    };
+                    if let Some(next) = next {
+                        if next != addr {
+                            addr = next.clone();
+                            self.primary = next;
+                        }
+                    }
+                    let wait = self.backoff(attempt + 1, Duration::ZERO);
+                    last = Some(NetError::NotPrimary { leader_hint });
+                    if attempt + 1 < self.policy.attempts {
+                        std::thread::sleep(wait);
+                    }
+                }
                 Err(e) => {
                     if matches!(e, NetError::Io(_) | NetError::Proto(_)) {
                         self.conns.remove(&addr);
@@ -487,13 +648,28 @@ impl FailoverClient {
     }
 
     /// Pings `addr` (must be the primary or a listed replica),
-    /// returning `(epoch, lag)`.
-    pub fn ping(&mut self, addr: &str) -> Result<(u64, u64), NetError> {
+    /// returning its [`Health`] word.
+    pub fn ping(&mut self, addr: &str) -> Result<Health, NetError> {
         let res = self.conn(addr).and_then(|c| c.ping());
         if res.is_err() {
             self.conns.remove(addr);
         }
         res
+    }
+
+    /// Health-sweeps the known topology and returns the first address
+    /// reporting itself primary, if any.
+    fn discover_primary(&mut self) -> Option<String> {
+        let mut candidates = vec![self.primary.clone()];
+        candidates.extend(self.replicas.iter().cloned());
+        for addr in candidates {
+            if let Ok(h) = self.ping(&addr) {
+                if h.role == Role::Primary {
+                    return Some(addr);
+                }
+            }
+        }
+        None
     }
 
     /// Drops every cached connection (politely).
@@ -541,5 +717,150 @@ mod tests {
         let mut f = FailoverClient::new("127.0.0.1:1", vec![], "", RetryPolicy::default());
         let hint = Duration::from_secs(2);
         assert_eq!(f.backoff(1, hint), hint);
+    }
+
+    /// A minimal scripted peer: handshakes, answers `Ping` with a
+    /// fixed health word, `Execute` with `Done { info }`, and (when
+    /// `redirect_to` is set) refuses every Execute with `NotPrimary`.
+    fn fake_server(
+        role: Role,
+        lag: u64,
+        info: &'static str,
+        redirect_to: Option<String>,
+    ) -> String {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut s) = stream else { return };
+                let redirect = redirect_to.clone();
+                std::thread::spawn(move || {
+                    let mut buf = FrameBuf::new();
+                    let mut chunk = [0u8; 4096];
+                    loop {
+                        let f = loop {
+                            match buf.next_frame() {
+                                Ok(Some(f)) => break f,
+                                Ok(None) => {}
+                                Err(_) => return,
+                            }
+                            match s.read(&mut chunk) {
+                                Ok(0) => return,
+                                Ok(n) => buf.push(&chunk[..n]),
+                                Err(_) => return,
+                            }
+                        };
+                        let reply = match f {
+                            Frame::Hello { .. } => Frame::HelloAck {
+                                session: 1,
+                                role,
+                                epoch: 7,
+                            },
+                            Frame::Ping => Frame::Pong {
+                                role,
+                                generation: 2,
+                                epoch: 7,
+                                lag,
+                            },
+                            Frame::Execute { id, .. } => match &redirect {
+                                Some(hint) => Frame::NotPrimary {
+                                    id,
+                                    leader_hint: hint.clone(),
+                                },
+                                None => Frame::Done {
+                                    id,
+                                    epoch: 7,
+                                    rows: 0,
+                                    info: info.into(),
+                                },
+                            },
+                            _ => return,
+                        };
+                        if s.write_all(&frame::encode(&reply)).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 4,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(5),
+            ..RetryPolicy::default()
+        }
+    }
+
+    #[test]
+    fn unbounded_reads_rotate_onto_a_lagging_replica() {
+        // Dead primary, replica 1000 units behind: with no lag bound
+        // the read must still rotate onto the replica and succeed.
+        let replica = fake_server(Role::Replica, 1000, "from-replica", None);
+        let mut f = FailoverClient::new("127.0.0.1:1", vec![replica], "", fast_policy());
+        let r = f.execute_read("SELECT X FROM Counter X").expect("read");
+        assert_eq!(r.info, "from-replica");
+    }
+
+    #[test]
+    fn bounded_reads_skip_a_replica_over_the_lag_bound() {
+        let replica = fake_server(Role::Replica, 1000, "from-replica", None);
+        let mut f = FailoverClient::new("127.0.0.1:1", vec![replica], "", fast_policy())
+            .with_max_replica_lag(5);
+        let err = f
+            .execute_read("SELECT X FROM Counter X")
+            .expect_err("every target is dead or too stale");
+        assert!(
+            matches!(err, NetError::ReplicaLagging { lag: 1000, bound: 5 }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn bounded_reads_accept_a_replica_within_the_lag_bound() {
+        let replica = fake_server(Role::Replica, 3, "from-replica", None);
+        let mut f = FailoverClient::new("127.0.0.1:1", vec![replica], "", fast_policy())
+            .with_max_replica_lag(5);
+        let r = f.execute_read("SELECT X FROM Counter X").expect("read");
+        assert_eq!(r.info, "from-replica");
+    }
+
+    #[test]
+    fn writes_follow_a_not_primary_leader_hint() {
+        let new_primary = fake_server(Role::Primary, 0, "from-new-primary", None);
+        let deposed = fake_server(Role::Fenced, 0, "", Some(new_primary.clone()));
+        let mut f = FailoverClient::new(deposed, vec![], "", fast_policy());
+        let r = f.execute_write("INSERT Counter c0").expect("redirected");
+        assert_eq!(r.info, "from-new-primary");
+        assert_eq!(f.primary_addr(), new_primary, "client re-aimed at the hint");
+    }
+
+    #[test]
+    fn writes_discover_the_primary_when_the_hint_is_empty() {
+        let new_primary = fake_server(Role::Primary, 0, "from-new-primary", None);
+        let deposed = fake_server(Role::Fenced, 0, "", Some(String::new()));
+        let mut f = FailoverClient::new(deposed, vec![new_primary.clone()], "", fast_policy());
+        let r = f.execute_write("INSERT Counter c0").expect("discovered");
+        assert_eq!(r.info, "from-new-primary");
+        assert_eq!(f.primary_addr(), new_primary);
+    }
+
+    #[test]
+    fn ping_returns_the_full_health_word() {
+        let replica = fake_server(Role::Replica, 42, "", None);
+        let mut f = FailoverClient::new(replica.clone(), vec![], "", fast_policy());
+        let h = f.ping(&replica).expect("ping");
+        assert_eq!(
+            h,
+            Health {
+                role: Role::Replica,
+                generation: 2,
+                epoch: 7,
+                lag: 42,
+            }
+        );
     }
 }

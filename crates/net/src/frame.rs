@@ -45,6 +45,38 @@ pub enum Role {
     Primary,
     /// A WAL-shipped read replica: snapshot reads only.
     Replica,
+    /// A deposed primary: a newer generation owns the store, so this
+    /// endpoint refuses writes but keeps serving its published epochs.
+    Fenced,
+}
+
+impl Role {
+    fn to_u8(self) -> u8 {
+        match self {
+            Role::Primary => 0,
+            Role::Replica => 1,
+            Role::Fenced => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Role, FrameError> {
+        Ok(match v {
+            0 => Role::Primary,
+            1 => Role::Replica,
+            2 => Role::Fenced,
+            r => return Err(FrameError::Corrupt(format!("unknown role {r}"))),
+        })
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Role::Primary => "primary",
+            Role::Replica => "replica",
+            Role::Fenced => "fenced",
+        })
+    }
 }
 
 /// Typed error codes carried by [`Frame::Error`]. The code — not the
@@ -141,14 +173,42 @@ pub enum Frame {
         /// Id of the Execute to cancel.
         id: u64,
     },
-    /// Client → server: liveness / lag probe.
+    /// Client → server: liveness / health probe.
     Ping,
-    /// Server → client: answer to Ping.
+    /// Server → client: answer to Ping — the full health word a
+    /// failover-aware client needs to pick a target.
     Pong {
+        /// What this endpoint currently is (promotion and fencing
+        /// change it at runtime).
+        role: Role,
+        /// The primary generation (fencing term) of the store this
+        /// endpoint serves or tails.
+        generation: u64,
         /// Latest epoch this endpoint serves.
         epoch: u64,
         /// Replication lag in commit units (always 0 on the primary).
         lag: u64,
+    },
+    /// Client → server: promote this replica to primary. Gated on the
+    /// shared-secret token (rejected with `Auth` when the connection
+    /// authenticated without one); idempotent on an existing primary.
+    Promote,
+    /// Server → client: promotion finished (or was a no-op); the
+    /// endpoint now accepts writes under `generation`.
+    PromoteAck {
+        /// The generation the endpoint serves writes under.
+        generation: u64,
+    },
+    /// Server → client: this endpoint cannot take the write — it is a
+    /// replica or a fenced ex-primary. Provably pre-execution: the
+    /// statement never reached an engine, so retrying elsewhere is
+    /// always safe.
+    NotPrimary {
+        /// Echo of the Execute id; 0 for connection-level refusals.
+        id: u64,
+        /// Address of the believed-current primary; empty when the
+        /// endpoint has no hint.
+        leader_hint: String,
     },
     /// Either direction: orderly close.
     Goodbye,
@@ -201,10 +261,13 @@ const K_CANCEL: u8 = 0x04;
 const K_PING: u8 = 0x05;
 const K_PONG: u8 = 0x06;
 const K_GOODBYE: u8 = 0x07;
+const K_PROMOTE: u8 = 0x08;
 const K_ROWS_HEADER: u8 = 0x10;
 const K_ROW: u8 = 0x11;
 const K_DONE: u8 = 0x12;
 const K_ERROR: u8 = 0x13;
+const K_PROMOTE_ACK: u8 = 0x14;
+const K_NOT_PRIMARY: u8 = 0x15;
 
 /// Why a byte sequence failed to decode as a frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -261,10 +324,7 @@ pub fn encode(f: &Frame) -> Vec<u8> {
         } => {
             body.push(K_HELLO_ACK);
             put_u64(&mut body, *session);
-            body.push(match role {
-                Role::Primary => 0,
-                Role::Replica => 1,
-            });
+            body.push(role.to_u8());
             put_u64(&mut body, *epoch);
         }
         Frame::Execute {
@@ -282,12 +342,29 @@ pub fn encode(f: &Frame) -> Vec<u8> {
             put_u64(&mut body, *id);
         }
         Frame::Ping => body.push(K_PING),
-        Frame::Pong { epoch, lag } => {
+        Frame::Pong {
+            role,
+            generation,
+            epoch,
+            lag,
+        } => {
             body.push(K_PONG);
+            body.push(role.to_u8());
+            put_u64(&mut body, *generation);
             put_u64(&mut body, *epoch);
             put_u64(&mut body, *lag);
         }
         Frame::Goodbye => body.push(K_GOODBYE),
+        Frame::Promote => body.push(K_PROMOTE),
+        Frame::PromoteAck { generation } => {
+            body.push(K_PROMOTE_ACK);
+            put_u64(&mut body, *generation);
+        }
+        Frame::NotPrimary { id, leader_hint } => {
+            body.push(K_NOT_PRIMARY);
+            put_u64(&mut body, *id);
+            put_str(&mut body, leader_hint);
+        }
         Frame::RowsHeader { id, epoch, columns } => {
             body.push(K_ROWS_HEADER);
             put_u64(&mut body, *id);
@@ -399,11 +476,7 @@ fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
         },
         K_HELLO_ACK => Frame::HelloAck {
             session: c.u64()?,
-            role: match c.u8()? {
-                0 => Role::Primary,
-                1 => Role::Replica,
-                r => return Err(FrameError::Corrupt(format!("unknown role {r}"))),
-            },
+            role: Role::from_u8(c.u8()?)?,
             epoch: c.u64()?,
         },
         K_EXECUTE => Frame::Execute {
@@ -414,10 +487,20 @@ fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
         K_CANCEL => Frame::Cancel { id: c.u64()? },
         K_PING => Frame::Ping,
         K_PONG => Frame::Pong {
+            role: Role::from_u8(c.u8()?)?,
+            generation: c.u64()?,
             epoch: c.u64()?,
             lag: c.u64()?,
         },
         K_GOODBYE => Frame::Goodbye,
+        K_PROMOTE => Frame::Promote,
+        K_PROMOTE_ACK => Frame::PromoteAck {
+            generation: c.u64()?,
+        },
+        K_NOT_PRIMARY => Frame::NotPrimary {
+            id: c.u64()?,
+            leader_hint: c.str()?,
+        },
         K_ROWS_HEADER => Frame::RowsHeader {
             id: c.u64()?,
             epoch: c.u64()?,
@@ -530,8 +613,25 @@ mod tests {
             },
             Frame::Cancel { id: 1 },
             Frame::Ping,
-            Frame::Pong { epoch: 9, lag: 3 },
+            Frame::Pong {
+                role: Role::Replica,
+                generation: 2,
+                epoch: 9,
+                lag: 3,
+            },
+            Frame::Pong {
+                role: Role::Fenced,
+                generation: 2,
+                epoch: 9,
+                lag: 0,
+            },
             Frame::Goodbye,
+            Frame::Promote,
+            Frame::PromoteAck { generation: 3 },
+            Frame::NotPrimary {
+                id: 4,
+                leader_hint: "127.0.0.1:7878".into(),
+            },
             Frame::RowsHeader {
                 id: 1,
                 epoch: 9,

@@ -34,10 +34,10 @@ pub mod replica;
 pub mod server;
 pub mod ship;
 
-pub use client::{Client, FailoverClient, NetError, Response, RetryPolicy};
+pub use client::{Client, FailoverClient, Health, NetError, Response, RetryPolicy};
 pub use frame::{ErrorCode, Frame, FrameBuf, Role, PROTO_VERSION};
 pub use replica::{Replica, ReplicaConfig, ReplicaCore, ReplicaShared};
-pub use server::{Backend, Server, ServerConfig};
+pub use server::{Backend, PromoteHook, Server, ServerConfig};
 pub use ship::{ChaosSource, DirSource, ShipSource};
 
 use oodb::Database;

@@ -47,6 +47,7 @@ pub struct ReplicaShared {
     epoch: EpochCell,
     applied_seq: AtomicU64,
     shipped_seq: AtomicU64,
+    generation: AtomicU64,
     stop: AtomicBool,
     /// Base evaluation options for serving sessions over published
     /// epochs.
@@ -79,6 +80,12 @@ impl ReplicaShared {
     /// Replication lag in commit units: `shipped_seq − applied_seq`.
     pub fn lag(&self) -> u64 {
         self.shipped_seq().saturating_sub(self.applied_seq())
+    }
+
+    /// The primary generation (fencing term) of the manifest this
+    /// replica is tailing. 0 until the first manifest ships.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
     }
 
     /// The replica's telemetry registry (`net_replication_lag` etc.).
@@ -134,6 +141,16 @@ pub struct ReplicaCore {
     /// `None` until bootstrap succeeds, and again after a gap forces a
     /// resync.
     session: Option<Session>,
+    /// Highest generation any applied record (or the bootstrap image)
+    /// was written under; a higher-generation segment that *rewrites*
+    /// already-applied sequence numbers means the timeline forked under
+    /// us and forces a resync.
+    applied_gen: u64,
+    /// The manifest bytes of the last completed round. A manifest that
+    /// changed while yielding nothing to replay is the signature of a
+    /// checkpoint retiring records we still needed — the one gap shape
+    /// sequence numbers alone cannot reveal.
+    seen_manifest: Option<Vec<u8>>,
 }
 
 /// One sync round's outcome.
@@ -156,6 +173,7 @@ impl ReplicaCore {
             epoch: EpochCell::new(base.clone()),
             applied_seq: AtomicU64::new(0),
             shipped_seq: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             base_opts: cfg.opts.clone(),
             lag_gauge: registry.gauge("net_replication_lag", &[]),
@@ -171,6 +189,8 @@ impl ReplicaCore {
             cfg,
             shared,
             session: None,
+            applied_gen: 0,
+            seen_manifest: None,
         }
     }
 
@@ -283,12 +303,20 @@ impl ReplicaCore {
                 resynced: false,
             });
         };
+        self.shared
+            .generation
+            .fetch_max(manifest.generation, Ordering::AcqRel);
+        let manifest_changed = self.seen_manifest.as_deref() != Some(&mbytes[..]);
         let mut resynced = false;
         if self.session.is_none() {
             match self.bootstrap(&manifest.deltas)? {
                 Some((session, start_seq)) => {
                     self.shared.applied_seq.store(start_seq, Ordering::Release);
                     self.session = Some(session);
+                    // The checkpoint image was written by the manifest's
+                    // generation; everything it contains is that term's
+                    // history.
+                    self.applied_gen = manifest.generation;
                     resynced = true;
                 }
                 None => {
@@ -299,24 +327,60 @@ impl ReplicaCore {
                 }
             }
         }
+        // Fetch and scan every listed segment up front: generation-aware
+        // replay needs one segment of lookahead to cut a stale-term
+        // tail. Salvage semantics on the shipped copies: a torn or
+        // corrupted fetch still yields the valid record prefix.
+        let mut scans: Vec<Option<wal::WalScan>> = Vec::with_capacity(manifest.segments.len());
+        for name in &manifest.segments {
+            let bytes = self
+                .src
+                .fetch(name)
+                .map_err(|e| format!("ship {name}: {e}"))?;
+            scans.push(bytes.map(|b| wal::scan(&b)));
+        }
+        // A segment whose successor carries a higher generation may end
+        // in a zombie tail: appends the deposed primary raced past the
+        // promotion. Apply the same cut recovery applies — drop records
+        // at or beyond the successor's first sequence number.
+        let mut caps: Vec<Option<u64>> = vec![None; scans.len()];
+        for i in 0..scans.len().saturating_sub(1) {
+            let (Some(cur), Some(next)) = (&scans[i], &scans[i + 1]) else {
+                continue;
+            };
+            let (Some(cg), Some(ng)) = (cur.generation, next.generation) else {
+                continue;
+            };
+            if ng > cg {
+                if let Some(&(first, _)) = next.records.first() {
+                    caps[i] = Some(first);
+                }
+            }
+        }
         let mut applied_seq = self.shared.applied_seq.load(Ordering::Acquire);
         let mut shipped_seq = self.shared.shipped_seq.load(Ordering::Acquire);
         let mut applied = 0u64;
         let mut gap = false;
-        'segments: for name in &manifest.segments {
-            let Some(bytes) = self
-                .src
-                .fetch(name)
-                .map_err(|e| format!("ship {name}: {e}"))?
-            else {
+        'segments: for (i, scan) in scans.iter().enumerate() {
+            let Some(scan) = scan else {
                 // Retired (or not yet shipped); later segments decide
                 // whether that leaves a gap.
                 continue;
             };
-            // Salvage semantics on the shipped copy: a torn or
-            // corrupted fetch still yields the valid record prefix.
-            let scan = wal::scan(&bytes);
+            if let (Some(g), Some(&(first, _))) = (scan.generation, scan.records.first()) {
+                if g > self.applied_gen && first <= applied_seq {
+                    // A higher generation rewrote sequence numbers we
+                    // already applied under an older term: we replayed a
+                    // zombie tail the promotion discarded. Our state is
+                    // off the surviving timeline — resync.
+                    gap = true;
+                    break 'segments;
+                }
+            }
             for (seq, payload) in &scan.records {
+                if caps[i].is_some_and(|cap| *seq >= cap) {
+                    break; // stale-term zombie tail; the successor owns these seqs
+                }
                 shipped_seq = shipped_seq.max(*seq);
                 if *seq <= applied_seq {
                     continue; // duplicate / stale shipment
@@ -332,6 +396,42 @@ impl ReplicaCore {
                     .map_err(|e| format!("apply unit {seq}: {e}"))?;
                 applied_seq = *seq;
                 applied += 1;
+                if let Some(g) = scan.generation {
+                    self.applied_gen = self.applied_gen.max(g);
+                }
+            }
+        }
+        if !gap && applied == 0 && manifest_changed && !resynced {
+            // The manifest moved but nothing replayed. If the image
+            // frontier is past us, a checkpoint retired the records we
+            // still needed — with no later records left to expose the
+            // sequence gap (e.g. the primary's last act before going
+            // quiet was the checkpoint itself). Resync; a replica that
+            // trusts silence here serves stale reads at "lag 0". The
+            // frontier is the *end of the delta chain* when one exists
+            // (incremental checkpoints leave the base snapshot behind).
+            let mut frontier = None;
+            if let Some(name) = manifest.deltas.last() {
+                if let Some(bytes) = self
+                    .src
+                    .fetch(name)
+                    .map_err(|e| format!("ship {name}: {e}"))?
+                {
+                    if let Ok(d) = delta::decode_delta(&bytes) {
+                        frontier = Some(d.last_seq);
+                    }
+                }
+            } else if let Some(bytes) = self
+                .src
+                .fetch("snapshot.bin")
+                .map_err(|e| format!("ship snapshot: {e}"))?
+            {
+                if let Ok(snap) = decode_snapshot(&bytes) {
+                    frontier = Some(snap.last_seq);
+                }
+            }
+            if frontier.is_some_and(|f| f > applied_seq) {
+                gap = true;
             }
         }
         if gap && !resyncing {
@@ -343,6 +443,7 @@ impl ReplicaCore {
                 resynced: true,
             });
         }
+        self.seen_manifest = Some(mbytes);
         self.shared
             .shipped_seq
             .fetch_max(shipped_seq, Ordering::AcqRel);

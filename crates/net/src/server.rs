@@ -40,7 +40,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use xsql::eval::CancelFlag;
@@ -74,6 +74,10 @@ pub struct ServerConfig {
     /// Socket poll granularity; bounds how fast drain/stop/idle are
     /// noticed.
     pub poll_interval: Duration,
+    /// Address of the believed-current primary, carried in
+    /// `NotPrimary` redirects so clients can follow. Best-effort: may
+    /// be stale after a failover; empty when unknown.
+    pub leader_hint: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +93,7 @@ impl Default for ServerConfig {
             retry_jitter: 0.5,
             jitter_seed: 0x5eed_07e7,
             poll_interval: Duration::from_millis(25),
+            leader_hint: None,
         }
     }
 }
@@ -99,15 +104,25 @@ pub enum Backend {
     /// Full read/write service.
     Primary(Arc<Service>),
     /// Snapshot reads at the replica's published epochs; writes are
-    /// answered with `ReadOnly`.
+    /// answered with a `NotPrimary` redirect.
     Replica(Arc<ReplicaShared>),
 }
 
 impl Backend {
+    /// The live role: a primary whose writer observed a newer
+    /// generation reports itself fenced.
     fn role(&self) -> Role {
         match self {
+            Backend::Primary(svc) if svc.fenced().is_some() => Role::Fenced,
             Backend::Primary(_) => Role::Primary,
             Backend::Replica(_) => Role::Replica,
+        }
+    }
+
+    fn generation(&self) -> u64 {
+        match self {
+            Backend::Primary(svc) => svc.generation(),
+            Backend::Replica(r) => r.generation(),
         }
     }
 
@@ -133,6 +148,21 @@ impl Backend {
     }
 }
 
+/// Wire encoding of [`Role`] for the `net_role` gauge.
+fn role_gauge_value(role: Role) -> i64 {
+    match role {
+        Role::Primary => 0,
+        Role::Replica => 1,
+        Role::Fenced => 2,
+    }
+}
+
+/// One-shot callback that turns this process's replica into a primary:
+/// stop tailing, recover a writable session over the same artifacts,
+/// bump the generation, start a service. Supplied by the embedder via
+/// [`Server::set_promote_hook`].
+pub type PromoteHook = Box<dyn FnOnce() -> Result<Arc<Service>, String> + Send>;
+
 /// Cached handles for the network tier's hot-path metrics.
 struct NetMetrics {
     accepted: Arc<telemetry::Counter>,
@@ -143,6 +173,9 @@ struct NetMetrics {
     cancels: Arc<telemetry::Counter>,
     requests: Arc<telemetry::Counter>,
     conns: Arc<telemetry::Gauge>,
+    role: Arc<telemetry::Gauge>,
+    fenced_refusals: Arc<telemetry::Counter>,
+    promotions: Arc<telemetry::Counter>,
 }
 
 impl NetMetrics {
@@ -156,18 +189,25 @@ impl NetMetrics {
             cancels: r.counter("net_cancels_total", &[]),
             requests: r.counter("net_requests_total", &[]),
             conns: r.gauge("net_conns", &[]),
+            role: r.gauge("net_role", &[]),
+            fenced_refusals: r.counter("net_fenced_refusals_total", &[]),
+            promotions: r.counter("net_promotions_total", &[]),
         }
     }
 }
 
 struct ServerInner {
     cfg: ServerConfig,
-    backend: Backend,
+    /// Swapped Replica → Primary by a successful `PROMOTE`.
+    backend: RwLock<Backend>,
+    promote_hook: Mutex<Option<PromoteHook>>,
     conns: AtomicUsize,
     draining: AtomicBool,
     stopping: AtomicBool,
     jitter: RetryJitter,
-    metrics: NetMetrics,
+    /// Rebuilt on promotion so the gauges land in the new primary's
+    /// registry (what STATS renders).
+    metrics: RwLock<NetMetrics>,
     next_session: AtomicU64,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -175,6 +215,18 @@ struct ServerInner {
 impl ServerInner {
     fn retry_hint_ms(&self) -> u64 {
         self.jitter.next_after(self.cfg.retry_after).as_millis() as u64
+    }
+
+    fn backend(&self) -> std::sync::RwLockReadGuard<'_, Backend> {
+        self.backend.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn m(&self) -> std::sync::RwLockReadGuard<'_, NetMetrics> {
+        self.metrics.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn leader_hint(&self) -> String {
+        self.cfg.leader_hint.clone().unwrap_or_default()
     }
 }
 
@@ -194,8 +246,9 @@ impl Server {
         let registry = backend.registry();
         let inner = Arc::new(ServerInner {
             jitter: RetryJitter::new(cfg.jitter_seed, cfg.retry_jitter),
-            metrics: NetMetrics::new(&registry),
-            backend,
+            metrics: RwLock::new(NetMetrics::new(&registry)),
+            backend: RwLock::new(backend),
+            promote_hook: Mutex::new(None),
             conns: AtomicUsize::new(0),
             draining: AtomicBool::new(false),
             stopping: AtomicBool::new(false),
@@ -203,6 +256,10 @@ impl Server {
             conn_threads: Mutex::new(Vec::new()),
             cfg,
         });
+        inner
+            .m()
+            .role
+            .set(role_gauge_value(inner.backend().role()));
         let accept_inner = Arc::clone(&inner);
         let accept = std::thread::Builder::new()
             .name("xsql-net-accept".into())
@@ -223,6 +280,28 @@ impl Server {
     /// Live connection count.
     pub fn conn_count(&self) -> usize {
         self.inner.conns.load(Ordering::Relaxed)
+    }
+
+    /// Installs the one-shot callback a `PROMOTE` frame runs to turn
+    /// this replica process into the primary. Without one, PROMOTE is
+    /// refused.
+    pub fn set_promote_hook(&self, hook: PromoteHook) {
+        *self
+            .inner
+            .promote_hook
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(hook);
+    }
+
+    /// The live role of this endpoint (promotion and fencing change it
+    /// at runtime).
+    pub fn role(&self) -> Role {
+        self.inner.backend().role()
+    }
+
+    /// The primary generation this endpoint serves or tails.
+    pub fn generation(&self) -> u64 {
+        self.inner.backend().generation()
     }
 
     /// Starts a graceful drain: new connections are refused with
@@ -291,7 +370,7 @@ fn accept_loop(listener: TcpListener, inner: Arc<ServerInner>) {
             }
         }
         if inner.draining.load(Ordering::Acquire) {
-            inner.metrics.shed_drain.inc();
+            inner.m().shed_drain.inc();
             refuse(
                 stream,
                 ErrorCode::ShuttingDown,
@@ -301,7 +380,7 @@ fn accept_loop(listener: TcpListener, inner: Arc<ServerInner>) {
             continue;
         }
         if inner.conns.load(Ordering::Relaxed) >= inner.cfg.max_conns {
-            inner.metrics.shed_conn_limit.inc();
+            inner.m().shed_conn_limit.inc();
             refuse(
                 stream,
                 ErrorCode::Overloaded,
@@ -310,16 +389,16 @@ fn accept_loop(listener: TcpListener, inner: Arc<ServerInner>) {
             );
             continue;
         }
-        inner.metrics.accepted.inc();
+        inner.m().accepted.inc();
         inner.conns.fetch_add(1, Ordering::Relaxed);
-        inner.metrics.conns.add(1);
+        inner.m().conns.add(1);
         let conn_inner = Arc::clone(&inner);
         let t = std::thread::Builder::new()
             .name("xsql-net-conn".into())
             .spawn(move || {
                 serve_conn(stream, &conn_inner);
                 conn_inner.conns.fetch_sub(1, Ordering::Relaxed);
-                conn_inner.metrics.conns.add(-1);
+                conn_inner.m().conns.add(-1);
             })
             .expect("spawn conn thread");
         inner
@@ -366,7 +445,7 @@ fn serve_conn(mut stream: TcpStream, inner: &Arc<ServerInner>) {
         Ok(Some(f)) => f,
         Ok(None) => return, // disconnected or timed out silently
         Err(m) => {
-            inner.metrics.protocol_errors.inc();
+            inner.m().protocol_errors.inc();
             send(
                 &mut stream,
                 &Frame::Error {
@@ -382,7 +461,7 @@ fn serve_conn(mut stream: TcpStream, inner: &Arc<ServerInner>) {
     match hello {
         Frame::Hello { version, token } => {
             if version != PROTO_VERSION {
-                inner.metrics.protocol_errors.inc();
+                inner.m().protocol_errors.inc();
                 send(
                     &mut stream,
                     &Frame::Error {
@@ -412,7 +491,7 @@ fn serve_conn(mut stream: TcpStream, inner: &Arc<ServerInner>) {
             }
         }
         _ => {
-            inner.metrics.protocol_errors.inc();
+            inner.m().protocol_errors.inc();
             send(
                 &mut stream,
                 &Frame::Error {
@@ -426,9 +505,15 @@ fn serve_conn(mut stream: TcpStream, inner: &Arc<ServerInner>) {
         }
     }
     // Admission: the primary's session gate is the authority; shed
-    // verdicts pass through as typed frames.
-    let mut backend_conn = match &inner.backend {
-        Backend::Primary(svc) => match svc.connect() {
+    // verdicts pass through as typed frames. Snapshot the backend under
+    // the read lock — the connection keeps serving what it was admitted
+    // to even if a promotion swaps the backend underneath.
+    let picked = match &*inner.backend() {
+        Backend::Primary(svc) => Ok(Arc::clone(svc)),
+        Backend::Replica(r) => Err(Arc::clone(r)),
+    };
+    let mut backend_conn = match picked {
+        Ok(svc) => match svc.connect() {
             Ok(h) => ConnBackend::Primary(h),
             Err(e) => {
                 let (code, retry_after_ms, message) = map_service_err(&e);
@@ -444,20 +529,17 @@ fn serve_conn(mut stream: TcpStream, inner: &Arc<ServerInner>) {
                 return;
             }
         },
-        Backend::Replica(r) => ConnBackend::Replica {
-            shared: Arc::clone(r),
+        Err(r) => ConnBackend::Replica {
+            shared: r,
             reader: None,
         },
     };
     let session = inner.next_session.fetch_add(1, Ordering::Relaxed);
-    if !send(
-        &mut stream,
-        &Frame::HelloAck {
-            session,
-            role: inner.backend.role(),
-            epoch: inner.backend.epoch_seq(),
-        },
-    ) {
+    let (role, epoch) = {
+        let b = inner.backend();
+        (b.role(), b.epoch_seq())
+    };
+    if !send(&mut stream, &Frame::HelloAck { session, role, epoch }) {
         return;
     }
     // Split into reader + executor.
@@ -472,7 +554,7 @@ fn serve_conn(mut stream: TcpStream, inner: &Arc<ServerInner>) {
         let slot = Arc::clone(&cancel_slot);
         let stop = Arc::clone(&conn_stop);
         let cfg = inner.cfg.clone();
-        let metrics_cancels = Arc::clone(&inner.metrics.cancels);
+        let metrics_cancels = Arc::clone(&inner.m().cancels);
         std::thread::Builder::new()
             .name("xsql-net-read".into())
             .spawn(move || reader_loop(read_half, buf, tx, slot, stop, cfg, metrics_cancels))
@@ -650,7 +732,7 @@ fn executor_loop(
                 deadline_ms,
                 src,
             }) => {
-                inner.metrics.requests.inc();
+                inner.m().requests.inc();
                 if inner.draining.load(Ordering::Acquire) {
                     send(
                         stream,
@@ -670,13 +752,25 @@ fn executor_loop(
                 }
             }
             Event::Frame(Frame::Ping) => {
-                if !send(
-                    stream,
-                    &Frame::Pong {
-                        epoch: inner.backend.epoch_seq(),
-                        lag: inner.backend.lag(),
-                    },
-                ) {
+                // Compute the health word before writing: holding the
+                // backend lock across a socket write would let a slow
+                // client stall a promotion.
+                let pong = {
+                    let b = inner.backend();
+                    Frame::Pong {
+                        role: b.role(),
+                        generation: b.generation(),
+                        epoch: b.epoch_seq(),
+                        lag: b.lag(),
+                    }
+                };
+                if !send(stream, &pong) {
+                    return;
+                }
+            }
+            Event::Frame(Frame::Promote) => {
+                let reply = handle_promote(inner);
+                if !send(stream, &reply) {
                     return;
                 }
             }
@@ -687,7 +781,7 @@ fn executor_loop(
             // Cancel is consumed reader-side; any other frame from a
             // client is a grammar violation.
             Event::Frame(_) => {
-                inner.metrics.protocol_errors.inc();
+                inner.m().protocol_errors.inc();
                 send(
                     stream,
                     &Frame::Error {
@@ -700,7 +794,7 @@ fn executor_loop(
                 return;
             }
             Event::Malformed(m) => {
-                inner.metrics.protocol_errors.inc();
+                inner.m().protocol_errors.inc();
                 send(
                     stream,
                     &Frame::Error {
@@ -713,7 +807,7 @@ fn executor_loop(
                 return;
             }
             Event::Idle => {
-                inner.metrics.idle_reaped.inc();
+                inner.m().idle_reaped.inc();
                 send(
                     stream,
                     &Frame::Error {
@@ -750,9 +844,23 @@ fn execute_one(
     let frames = match conn {
         ConnBackend::Primary(handle) => match handle.execute(src, &ctx) {
             Ok(r) => result_frames(id, r, inner),
+            Err(ServiceError::Fenced { .. }) => {
+                // Deposed: a newer generation owns the store. The write
+                // provably never reached an engine (the writer refused
+                // before ack), so redirect rather than error.
+                let m = inner.m();
+                m.fenced_refusals.inc();
+                m.role.set(role_gauge_value(Role::Fenced));
+                vec![Frame::NotPrimary {
+                    id,
+                    leader_hint: inner.leader_hint(),
+                }]
+            }
             Err(e) => vec![error_frame(id, &e)],
         },
-        ConnBackend::Replica { shared, reader } => replica_execute(shared, reader, id, src, &ctx),
+        ConnBackend::Replica { shared, reader } => {
+            replica_execute(shared, reader, id, src, &ctx, &inner.leader_hint())
+        }
     };
     *cancel_slot.lock().unwrap_or_else(|e| e.into_inner()) = None;
     let mut wire = Vec::with_capacity(1024);
@@ -769,7 +877,7 @@ fn result_frames(id: u64, r: ExecResult, inner: &Arc<ServerInner>) -> Vec<Frame>
         ExecResult::Write(ack) | ExecResult::TxnCommitted(ack) => {
             // Render against the epoch that exposes the write: the
             // current one is always at least as new.
-            let db = match &inner.backend {
+            let db = match &*inner.backend() {
                 Backend::Primary(svc) => svc.epoch().db,
                 Backend::Replica(r) => r.epoch().db,
             };
@@ -841,13 +949,14 @@ fn read_frames(id: u64, r: &ReadResult) -> Vec<Frame> {
 
 /// Executes one statement against the replica's latest published
 /// epoch. Writes (and transaction control) are refused with a
-/// retryable `ReadOnly` pointing the client at the primary.
+/// `NotPrimary` redirect carrying the configured leader hint.
 fn replica_execute(
     shared: &Arc<ReplicaShared>,
     reader: &mut Option<(u64, Session)>,
     id: u64,
     src: &str,
     ctx: &QueryContext,
+    leader_hint: &str,
 ) -> Vec<Frame> {
     let stmt = match parse(src) {
         Ok(s) => s,
@@ -869,11 +978,11 @@ fn replica_execute(
         }];
     }
     if !service::is_read_only(&stmt) {
-        return vec![Frame::Error {
+        // Provably pre-execution: the statement was never handed to an
+        // engine, so the client may retry it elsewhere unconditionally.
+        return vec![Frame::NotPrimary {
             id,
-            code: ErrorCode::ReadOnly,
-            retry_after_ms: 0,
-            message: "replica is read-only; send writes to the primary".into(),
+            leader_hint: leader_hint.into(),
         }];
     }
     let ep = shared.epoch();
@@ -915,6 +1024,80 @@ fn replica_execute(
     }
 }
 
+/// Handles a `PROMOTE` admin frame: token-gated, idempotent on an
+/// existing primary, otherwise runs the embedder's promotion hook and
+/// swaps the backend so new connections land on the primary.
+fn handle_promote(inner: &Arc<ServerInner>) -> Frame {
+    if inner.cfg.auth_token.is_none() {
+        // The whole point of the fencing term is that promotion is a
+        // deliberate operator action; an unauthenticated surface must
+        // not expose it.
+        return Frame::Error {
+            id: 0,
+            code: ErrorCode::Auth,
+            retry_after_ms: 0,
+            message: "promotion requires a server configured with a shared-secret token".into(),
+        };
+    }
+    {
+        let b = inner.backend();
+        if let Backend::Primary(svc) = &*b {
+            if let Some(observed) = svc.fenced() {
+                return Frame::Error {
+                    id: 0,
+                    code: ErrorCode::Stmt,
+                    retry_after_ms: 0,
+                    message: format!(
+                        "this node is fenced by generation {observed}; \
+                         restart it as a replica before promoting it"
+                    ),
+                };
+            }
+            // Already the primary: promotion is idempotent.
+            return Frame::PromoteAck {
+                generation: svc.generation(),
+            };
+        }
+    }
+    let hook = inner
+        .promote_hook
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take();
+    let Some(hook) = hook else {
+        return Frame::Error {
+            id: 0,
+            code: ErrorCode::Internal,
+            retry_after_ms: 0,
+            message: "this replica cannot be promoted (no promotion hook, \
+                      or a promotion is already in flight)"
+                .into(),
+        };
+    };
+    match hook() {
+        Ok(svc) => {
+            let generation = svc.generation();
+            let registry = Arc::clone(svc.registry());
+            *inner.backend.write().unwrap_or_else(|e| e.into_inner()) = Backend::Primary(svc);
+            // Rebuild the metric handles in the new primary's registry
+            // so STATS on the promoted node shows the network tier.
+            {
+                let mut m = inner.metrics.write().unwrap_or_else(|e| e.into_inner());
+                *m = NetMetrics::new(&registry);
+                m.promotions.inc();
+                m.role.set(role_gauge_value(Role::Primary));
+            }
+            Frame::PromoteAck { generation }
+        }
+        Err(m) => Frame::Error {
+            id: 0,
+            code: ErrorCode::Internal,
+            retry_after_ms: 0,
+            message: format!("promotion failed: {m}"),
+        },
+    }
+}
+
 /// Maps a service error to the wire contract.
 fn map_service_err(e: &ServiceError) -> (ErrorCode, u64, String) {
     match e {
@@ -930,6 +1113,9 @@ fn map_service_err(e: &ServiceError) -> (ErrorCode, u64, String) {
         ),
         ServiceError::ShuttingDown => (ErrorCode::ShuttingDown, 0, e.to_string()),
         ServiceError::Poisoned(_) => (ErrorCode::Poisoned, 0, e.to_string()),
+        // Normally intercepted earlier and answered with a NotPrimary
+        // redirect; as a plain error it is not same-node-retryable.
+        ServiceError::Fenced { .. } => (ErrorCode::Stmt, 0, e.to_string()),
         ServiceError::Xsql(xsql::XsqlError::Cancelled { .. }) => {
             (ErrorCode::Cancelled, 0, e.to_string())
         }

@@ -17,7 +17,7 @@
 //!    durable frontier, its published lag gauge reads 0, and the same
 //!    queries render identically on both — over TCP on both ends.
 //! 3. **Replica is read-only on the wire**: writes to it get the typed
-//!    retryable `ReadOnly` answer.
+//!    pre-execution `NotPrimary` redirect.
 //!
 //! Seed count defaults to 40; override with `NET_CHAOS_SEEDS=<n>`.
 
@@ -332,15 +332,12 @@ fn chaos_round(seed: u64) {
         let mut c = Client::connect(&raddr, "").expect("replica conn");
         c.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
         match c.execute("UPDATE CLASS Counter SET c0.Val = 999") {
-            Err(NetError::Server { code, .. }) => assert_eq!(
-                code,
-                ErrorCode::ReadOnly,
-                "seed {seed}: replica writes must be typed-refused"
-            ),
+            Err(NetError::NotPrimary { .. }) => {}
             other => panic!("seed {seed}: replica accepted a write: {other:?}"),
         }
-        let (_, lag) = c.ping().expect("replica ping");
-        assert_eq!(lag, 0, "seed {seed}");
+        let h = c.ping().expect("replica ping");
+        assert_eq!(h.lag, 0, "seed {seed}");
+        assert_eq!(h.role, net::Role::Replica, "seed {seed}");
         c.goodbye();
     }
     replica_server.shutdown();

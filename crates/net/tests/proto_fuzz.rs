@@ -107,8 +107,8 @@ fn roundtrip(addr: &std::net::SocketAddr, bytes: &[u8]) -> Vec<Frame> {
 
 fn assert_alive(addr: &std::net::SocketAddr) {
     let mut c = net::Client::connect(&addr.to_string(), "").expect("server still accepts");
-    let (_, lag) = c.ping().expect("server still answers");
-    assert_eq!(lag, 0);
+    let h = c.ping().expect("server still answers");
+    assert_eq!(h.lag, 0);
     c.goodbye();
 }
 

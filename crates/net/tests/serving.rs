@@ -314,11 +314,13 @@ fn ping_reports_epoch_and_zero_lag_on_the_primary() {
     let addr = server.local_addr().to_string();
 
     let mut c = Client::connect(&addr, "").expect("connect");
-    let (e0, lag) = c.ping().expect("ping");
-    assert_eq!(lag, 0);
+    let h0 = c.ping().expect("ping");
+    assert_eq!(h0.lag, 0);
+    assert_eq!(h0.role, net::Role::Primary);
+    assert!(h0.generation >= 1, "primary reports its fencing term");
     c.execute("CREATE CLASS P").expect("write");
-    let (e1, _) = c.ping().expect("ping after write");
-    assert!(e1 > e0, "epoch advances past {e0}");
+    let h1 = c.ping().expect("ping after write");
+    assert!(h1.epoch > h0.epoch, "epoch advances past {}", h0.epoch);
     c.goodbye();
     server.shutdown();
     drop(svc);

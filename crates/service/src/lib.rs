@@ -35,7 +35,7 @@
 #![warn(missing_docs)]
 
 use oodb::{Database, EpochCell, EpochDb};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -197,6 +197,14 @@ pub enum ServiceError {
     /// and refuses all further writes. Reads of already-published
     /// epochs — which are all durable — keep working.
     Poisoned(String),
+    /// A newer primary generation owns the store: this node was
+    /// deposed by a promotion and permanently refuses writes (they
+    /// belong on the new primary). Reads of already-published epochs
+    /// keep working; the node should rejoin as a replica.
+    Fenced {
+        /// The newer generation observed in the shared manifest.
+        observed: u64,
+    },
     /// The statement executed and failed in the engine; the service is
     /// healthy.
     Xsql(XsqlError),
@@ -221,6 +229,11 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Poisoned(m) => {
                 write!(f, "service is poisoned by a storage fault: {m}")
             }
+            ServiceError::Fenced { observed } => write!(
+                f,
+                "fenced: primary generation {observed} owns the store; \
+                 this node no longer accepts writes"
+            ),
             ServiceError::Xsql(e) => write!(f, "{e}"),
             ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
         }
@@ -388,6 +401,12 @@ struct Inner {
     gate_cv: Condvar,
     sessions: AtomicUsize,
     poison: Mutex<Option<String>>,
+    /// The store generation this writer holds (1 for in-memory
+    /// sessions, which can never be deposed).
+    generation: AtomicU64,
+    /// `0` = not fenced; otherwise the newer generation observed when
+    /// this node was deposed. Writes refuse fast once set.
+    fenced: AtomicU64,
     /// Options the writer session was started with; readers inherit
     /// them (budget, strategy) with the per-statement context merged in.
     base_opts: EvalOptions,
@@ -414,6 +433,17 @@ impl Inner {
             self.metrics.poisoned.inc();
         }
         p.get_or_insert(m);
+    }
+
+    fn fenced_check(&self) -> Result<(), ServiceError> {
+        match self.fenced.load(Ordering::Relaxed) {
+            0 => Ok(()),
+            observed => Err(ServiceError::Fenced { observed }),
+        }
+    }
+
+    fn set_fenced(&self, observed: u64) {
+        self.fenced.store(observed, Ordering::Relaxed);
     }
 
     /// Mirrors the point-in-time counters into registry gauges.
@@ -460,6 +490,8 @@ impl Service {
             gate_cv: Condvar::new(),
             sessions: AtomicUsize::new(0),
             poison: Mutex::new(None),
+            generation: AtomicU64::new(session.store_generation()),
+            fenced: AtomicU64::new(0),
             base_opts: session.options().clone(),
             // One registry for the whole service: the writer session's.
             // Storage metrics (it owns the store) and service metrics
@@ -541,6 +573,22 @@ impl Service {
     /// The latest published epoch (snapshot + sequence number).
     pub fn epoch(&self) -> EpochDb {
         self.inner.epoch.load()
+    }
+
+    /// The store generation (fencing term) this service's writer
+    /// holds. 1 for in-memory sessions.
+    pub fn generation(&self) -> u64 {
+        self.inner.generation.load(Ordering::Relaxed)
+    }
+
+    /// `Some(observed)` once a newer primary generation deposed this
+    /// node: writes refuse with [`ServiceError::Fenced`], reads keep
+    /// serving published epochs.
+    pub fn fenced(&self) -> Option<u64> {
+        match self.inner.fenced.load(Ordering::Relaxed) {
+            0 => None,
+            g => Some(g),
+        }
     }
 
     /// The poison message, if a storage fault killed the writer.
@@ -863,6 +911,7 @@ impl SessionHandle {
         txn: bool,
         ctx: &QueryContext,
     ) -> Result<WriteAck, ServiceError> {
+        self.inner.fenced_check()?;
         self.inner.poison_check()?;
         let deadline = self.effective_deadline(ctx);
         let tx = self
@@ -917,8 +966,9 @@ impl SessionHandle {
             Ok(r) => r,
             Err(()) => Err(self
                 .inner
-                .poison_check()
+                .fenced_check()
                 .err()
+                .or_else(|| self.inner.poison_check().err())
                 .unwrap_or(ServiceError::ShuttingDown)),
         }
     }
@@ -937,6 +987,11 @@ fn req_cancel(_inner: &Inner, ctx: &QueryContext) {
 enum UnitError {
     Stmt(XsqlError),
     ReadOnly,
+    /// A newer primary generation owns the store: the node is deposed,
+    /// not broken — reads keep serving, writes go to the new primary.
+    Fenced {
+        observed: u64,
+    },
     Fatal(String),
 }
 
@@ -946,6 +1001,9 @@ fn classify(e: XsqlError) -> UnitError {
         // back, so memory still matches the log — the service degrades
         // to read-only and recovers when space frees, without restart.
         XsqlError::DiskFull(_) => UnitError::ReadOnly,
+        // Fencing is not fatal either: the refused append rolled back
+        // cleanly, the node is simply no longer the writer.
+        XsqlError::Fenced { observed, .. } => UnitError::Fenced { observed },
         XsqlError::Storage(m) => UnitError::Fatal(format!("storage fault: {m}")),
         other => UnitError::Stmt(other),
     }
@@ -1016,6 +1074,7 @@ fn writer_loop(mut session: Session, rx: Receiver<WriteReq>, inner: Arc<Inner>) 
         // single group fsync below makes it durable all at once.
         session.set_sync_on_commit(false);
         let mut fatal: Option<String> = None;
+        let mut fenced: Option<u64> = None;
         let mut results: Vec<Result<Vec<Outcome>, ServiceError>> = Vec::with_capacity(batch.len());
         for req in &batch {
             inner
@@ -1024,6 +1083,10 @@ fn writer_loop(mut session: Session, rx: Receiver<WriteReq>, inner: Arc<Inner>) 
                 .observe_since(req.enqueued_at);
             if let Some(m) = &fatal {
                 results.push(Err(ServiceError::Poisoned(m.clone())));
+                continue;
+            }
+            if let Some(observed) = fenced {
+                results.push(Err(ServiceError::Fenced { observed }));
                 continue;
             }
             let exec_started = Instant::now();
@@ -1035,6 +1098,10 @@ fn writer_loop(mut session: Session, rx: Receiver<WriteReq>, inner: Arc<Inner>) 
                 Err(UnitError::ReadOnly) => results.push(Err(ServiceError::ReadOnly {
                     retry_after: inner.retry_hint(),
                 })),
+                Err(UnitError::Fenced { observed }) => {
+                    results.push(Err(ServiceError::Fenced { observed }));
+                    fenced = Some(observed);
+                }
                 Err(UnitError::Fatal(m)) => {
                     results.push(Err(ServiceError::Poisoned(m.clone())));
                     fatal = Some(m);
@@ -1042,12 +1109,36 @@ fn writer_loop(mut session: Session, rx: Receiver<WriteReq>, inner: Arc<Inner>) 
             }
         }
         session.set_sync_on_commit(true);
-        if fatal.is_none() {
+        if fatal.is_none() && fenced.is_none() {
+            // The generation is re-validated by this pre-ack fsync: a
+            // promotion that raced the batch surfaces *here*, before
+            // anything is acknowledged or published.
             if let Err(e) = session.sync_wal() {
-                fatal = Some(format!("group-commit fsync failed: {e}"));
+                if let XsqlError::Fenced { observed, .. } = e {
+                    fenced = Some(observed);
+                } else {
+                    fatal = Some(format!("group-commit fsync failed: {e}"));
+                }
             }
         }
         let fsync_done = Instant::now();
+        if let Some(observed) = fenced {
+            // Deposed, not broken: nothing in this batch is acked or
+            // published (any appended-but-unsynced records are stale-
+            // term bytes the new timeline quarantines on rejoin), the
+            // node keeps serving reads from its published epochs, and
+            // every queued or future write is redirected by the typed
+            // error. The writer parks — only reads remain.
+            inner.set_fenced(observed);
+            for (req, res) in batch.into_iter().zip(results) {
+                let err = match res {
+                    Err(e) => e,
+                    Ok(_) => ServiceError::Fenced { observed },
+                };
+                let _ = req.reply.send(Err(err));
+            }
+            break;
+        }
         match fatal {
             None => {
                 // Durable: publish the new state and acknowledge. The

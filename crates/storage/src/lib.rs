@@ -84,6 +84,15 @@ pub enum StorageError {
     /// The disk is out of space; the store is read-only (degraded)
     /// until a probe observes freed space.
     DiskFull(String),
+    /// Another writer holds a newer primary generation: this instance
+    /// has been deposed and must not extend the log. Terminal for the
+    /// instance — rejoin the topology as a replica.
+    Fenced {
+        /// The newer generation observed in the shared manifest.
+        observed: u64,
+        /// This store's own (stale) generation.
+        own: u64,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -100,6 +109,11 @@ impl fmt::Display for StorageError {
                 "corrupt WAL segment {segment} (first bad record at byte {offset}): {detail}"
             ),
             StorageError::DiskFull(m) => write!(f, "disk full: {m}"),
+            StorageError::Fenced { observed, own } => write!(
+                f,
+                "fenced: generation {observed} has superseded this writer's \
+                 generation {own}; refusing to extend the log"
+            ),
         }
     }
 }

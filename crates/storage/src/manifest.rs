@@ -12,13 +12,19 @@
 //!
 //! ```text
 //! XSQLMANIFESTv1
+//! gen 3
 //! seg wal.000001
 //! seg wal.000002
 //! delta delta.000003.bin
 //! ```
 //!
-//! `seg` lines are WAL segments, oldest first; the last one is the
-//! active (appendable) segment. `delta` lines are incremental
+//! `gen` is the primary generation (fencing term): the store's writer
+//! may only extend the log while its own generation equals this value.
+//! Promotion bumps it; a deposed primary that observes a higher value
+//! in the shipped manifest refuses to append (see `docs/SERVING.md`).
+//! A manifest without a `gen` line is generation 1 (pre-fencing
+//! stores). `seg` lines are WAL segments, oldest first; the last one is
+//! the active (appendable) segment. `delta` lines are incremental
 //! checkpoint deltas in chain order, applied on top of `snapshot.bin`.
 //! A store created before manifests (a bare `wal` file) is opened by
 //! synthesizing a one-segment manifest in memory; the first rotation or
@@ -29,19 +35,36 @@ use crate::{StorageError, StorageResult};
 /// First line of every manifest file.
 pub const MANIFEST_MAGIC: &str = "XSQLMANIFESTv1";
 
-/// Parsed manifest contents: segment names and delta names, in order.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// Parsed manifest contents: the primary generation plus segment and
+/// delta names, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Manifest {
+    /// Primary generation (fencing term). `1` for stores whose manifest
+    /// predates fencing.
+    pub generation: u64,
     /// WAL segment file names, oldest first; the last is active.
     pub segments: Vec<String>,
     /// Checkpoint delta file names, in chain order.
     pub deltas: Vec<String>,
 }
 
+impl Default for Manifest {
+    fn default() -> Self {
+        Manifest {
+            generation: 1,
+            segments: Vec::new(),
+            deltas: Vec::new(),
+        }
+    }
+}
+
 /// Renders a manifest to its on-disk text form.
 pub fn render_manifest(m: &Manifest) -> Vec<u8> {
     let mut out = String::with_capacity(64);
     out.push_str(MANIFEST_MAGIC);
+    out.push('\n');
+    out.push_str("gen ");
+    out.push_str(&m.generation.to_string());
     out.push('\n');
     for s in &m.segments {
         out.push_str("seg ");
@@ -75,6 +98,10 @@ pub fn parse_manifest(bytes: &[u8]) -> StorageResult<Manifest> {
             continue;
         }
         let (kind, name) = line.split_once(' ').ok_or_else(|| corrupt("bad entry"))?;
+        if kind == "gen" {
+            m.generation = name.parse().map_err(|_| corrupt("bad generation"))?;
+            continue;
+        }
         if name.is_empty() || name.contains('/') || name.contains('\\') {
             return Err(corrupt("bad file name"));
         }
@@ -94,6 +121,7 @@ mod tests {
     #[test]
     fn roundtrip() {
         let m = Manifest {
+            generation: 5,
             segments: vec!["wal.000001".into(), "wal.000004".into()],
             deltas: vec!["delta.000002.bin".into(), "delta.000003.bin".into()],
         };
@@ -107,12 +135,20 @@ mod tests {
     }
 
     #[test]
+    fn manifest_without_gen_line_is_generation_one() {
+        let m = parse_manifest(b"XSQLMANIFESTv1\nseg wal.000001\n").unwrap();
+        assert_eq!(m.generation, 1);
+        assert_eq!(m.segments, vec!["wal.000001".to_string()]);
+    }
+
+    #[test]
     fn bad_inputs_are_rejected() {
         assert!(parse_manifest(b"").is_err());
         assert!(parse_manifest(b"NOPE\n").is_err());
         assert!(parse_manifest(b"XSQLMANIFESTv1\nwat wal.1\n").is_err());
         assert!(parse_manifest(b"XSQLMANIFESTv1\nseg\n").is_err());
         assert!(parse_manifest(b"XSQLMANIFESTv1\nseg ../evil\n").is_err());
+        assert!(parse_manifest(b"XSQLMANIFESTv1\ngen nope\n").is_err());
         assert!(parse_manifest(&[0xff, 0xfe]).is_err());
     }
 }

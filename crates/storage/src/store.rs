@@ -199,16 +199,22 @@ struct Segment {
     /// First/last record sequence in the segment; 0 when empty.
     first_seq: u64,
     last_seq: u64,
+    /// Record bytes in the segment, *excluding* the segment header, so
+    /// rotation thresholds measure payload, not framing.
     bytes: u64,
+    /// Bytes of generation header at the start of the file (0 for
+    /// legacy headerless segments).
+    header_len: u64,
 }
 
 impl Segment {
-    fn fresh(name: String) -> Segment {
+    fn fresh(name: String, header_len: u64) -> Segment {
         Segment {
             name,
             first_seq: 0,
             last_seq: 0,
             bytes: 0,
+            header_len,
         }
     }
 }
@@ -234,6 +240,14 @@ pub struct Store {
     next_file_idx: u64,
     /// The previous checkpoint image, diffed against to produce deltas.
     last_snap: Option<SnapshotFile>,
+    /// Primary generation (fencing term) this writer holds. Appends,
+    /// syncs and checkpoints re-validate it against the shared manifest
+    /// and refuse with [`StorageError::Fenced`] once a newer writer has
+    /// bumped it.
+    generation: u64,
+    /// `Some(observed)` once a newer generation was observed: the store
+    /// is permanently fenced (terminal for this instance).
+    fenced: Option<u64>,
     health: StoreHealth,
     last_probe: Option<Instant>,
     last_checkpoint: Option<Instant>,
@@ -260,6 +274,7 @@ struct StoreMetrics {
     checkpoint_bytes_full: std::sync::Arc<telemetry::Counter>,
     checkpoint_bytes_delta: std::sync::Arc<telemetry::Counter>,
     health: std::sync::Arc<telemetry::Gauge>,
+    generation: std::sync::Arc<telemetry::Gauge>,
 }
 
 impl std::fmt::Debug for Store {
@@ -270,6 +285,8 @@ impl std::fmt::Debug for Store {
             .field("sync_on_commit", &self.sync_on_commit)
             .field("segments", &self.segments.len())
             .field("deltas", &self.deltas.len())
+            .field("generation", &self.generation)
+            .field("fenced", &self.fenced.is_some())
             .field("health", &self.health)
             .finish()
     }
@@ -339,6 +356,8 @@ impl Store {
             deltas: Vec::new(),
             next_file_idx: 1,
             last_snap: None,
+            generation: 1,
+            fenced: None,
             health: StoreHealth::Healthy,
             last_probe: None,
             last_checkpoint: None,
@@ -376,9 +395,12 @@ impl Store {
         store.fs.sync(&store.path(META))?;
         let first = seg_name(store.next_file_idx);
         store.next_file_idx += 1;
-        store.fs.write(&store.path(&first), b"")?;
+        store
+            .fs
+            .write(&store.path(&first), &wal::segment_header(store.generation))?;
         store.fs.sync(&store.path(&first))?;
         let man = Manifest {
+            generation: store.generation,
             segments: vec![first.clone()],
             deltas: Vec::new(),
         };
@@ -386,7 +408,9 @@ impl Store {
             .fs
             .write(&store.path(MANIFEST), &render_manifest(&man))?;
         store.fs.sync(&store.path(MANIFEST))?;
-        store.segments.push(Segment::fresh(first));
+        store
+            .segments
+            .push(Segment::fresh(first, wal::SEG_HEADER as u64));
         store.fs.sync_dir(&store.dir)?;
         // The store directory's own entry must also be durable, or a
         // crash right after create could lose the whole store even
@@ -438,12 +462,18 @@ impl Store {
             // segment. The first rotation or checkpoint writes the real
             // manifest.
             Manifest {
+                generation: 1,
                 segments: vec![LEGACY_WAL.to_string()],
                 deltas: Vec::new(),
             }
         } else {
             Manifest::default()
         };
+        // A plain open *adopts* the manifest generation: only an
+        // explicit promotion bumps it, so a deposed primary that
+        // restarts after the new one took over comes back as a writer
+        // of the *current* term, not a stale one.
+        store.generation = man.generation;
         store.next_file_idx = man
             .segments
             .iter()
@@ -504,6 +534,68 @@ impl Store {
             let scan = wal::scan(&bytes);
             scans.push((name.clone(), bytes, scan));
         }
+
+        // Fencing pre-pass, before the continuity check. A deposed
+        // primary can race the promotion and append a few records to
+        // its old segment *after* the promoted writer rotated to a new,
+        // higher-generation segment — zombie records that were never
+        // acknowledged (the ack-path fsync re-validates the generation)
+        // and that the new timeline re-issued under the same sequence
+        // numbers. When a segment overlaps a higher-generation
+        // successor, cut it at the first re-issued sequence: salvage
+        // the prefix under a fresh name, quarantine the original.
+        let mut stale_salvage: Option<SalvageReport> = None;
+        for i in 0..scans.len().saturating_sub(1) {
+            let (cur_gen, next_gen) = match (scans[i].2.generation, scans[i + 1].2.generation) {
+                (Some(c), Some(n)) => (c, n),
+                _ => continue,
+            };
+            if next_gen <= cur_gen {
+                continue;
+            }
+            let next_first = match scans[i + 1].2.records.first() {
+                Some(&(seq, _)) => seq,
+                None => continue,
+            };
+            let cut = match scans[i]
+                .2
+                .records
+                .iter()
+                .position(|&(seq, _)| seq >= next_first)
+            {
+                Some(k) => k,
+                None => continue,
+            };
+            let name = scans[i].0.clone();
+            let cut_offset = scans[i].2.header_len
+                + scans[i].2.records[..cut]
+                    .iter()
+                    .map(|(_, p)| (wal::HEADER + p.len()) as u64)
+                    .sum::<u64>();
+            let prefix = scans[i].1[..cut_offset as usize].to_vec();
+            let total = scans[i].1.len() as u64;
+            let dropped = (scans[i].2.records.len() - cut) as u64;
+            let salvaged = seg_name(store.next_file_idx);
+            store.next_file_idx += 1;
+            store.fs.write(&store.path(&salvaged), &prefix)?;
+            store.fs.sync(&store.path(&salvaged))?;
+            let q = format!("{name}{QUARANTINE_SUFFIX}");
+            store.fs.rename(&store.path(&name), &store.path(&q))?;
+            store.fs.sync_dir(&store.dir)?;
+            let report = stale_salvage.get_or_insert_with(|| SalvageReport {
+                segment: name.clone(),
+                offset: cut_offset,
+                records_dropped: 0,
+                bytes_dropped: 0,
+                quarantined: Vec::new(),
+            });
+            report.records_dropped += dropped;
+            report.bytes_dropped += total - cut_offset;
+            report.quarantined.push(q);
+            let new_scan = wal::scan(&prefix);
+            scans[i] = (salvaged, prefix, new_scan);
+        }
+
         // First bad point: (segment index, byte offset). A continuity
         // break invalidates the whole segment (offset 0).
         let mut bad: Option<(usize, u64)> = None;
@@ -540,9 +632,14 @@ impl Store {
                 // Bad point in the final segment: the classic torn tail
                 // (or a continuity break at its first record). Truncate
                 // in place, durably, exactly as before — but report it.
+                // An intact generation header survives the truncation.
                 for (name, bytes, scan) in scans.into_iter().take(keep_upto) {
                     let is_bad = segments.len() == i;
-                    let keep = if is_bad { offset } else { bytes.len() as u64 };
+                    let keep = if is_bad {
+                        offset.max(scan.header_len)
+                    } else {
+                        bytes.len() as u64
+                    };
                     if is_bad && keep < bytes.len() as u64 {
                         store.fs.truncate(&store.path(&name), keep)?;
                         store.fs.sync(&store.path(&name))?;
@@ -560,7 +657,7 @@ impl Store {
                         });
                     }
                     if is_bad && offset == 0 {
-                        segments.push(Segment::fresh(name));
+                        segments.push(Segment::fresh(name, keep));
                     } else {
                         segments.push(seg_from_scan(name, keep, &scan));
                         records.extend(scan.records);
@@ -624,6 +721,7 @@ impl Store {
         let final_names: Vec<String> = segments.iter().map(|s| s.name.clone()).collect();
         if !stale_deltas.is_empty() || final_names != man.segments {
             let new_man = Manifest {
+                generation: store.generation,
                 segments: final_names,
                 deltas: live_deltas.iter().map(|d| d.name.clone()).collect(),
             };
@@ -635,6 +733,19 @@ impl Store {
             }
         }
         let _ = quarantined_from_salvage; // names live on in the report
+
+        // A stale-term cut and a torn tail / corruption can both occur
+        // in one recovery; report them as one salvage (earliest cut
+        // point wins the headline fields, losses are summed).
+        let salvage = match (stale_salvage, salvage) {
+            (None, s) | (s, None) => s,
+            (Some(mut a), Some(b)) => {
+                a.records_dropped += b.records_dropped;
+                a.bytes_dropped += b.bytes_dropped;
+                a.quarantined.extend(b.quarantined);
+                Some(a)
+            }
+        };
 
         let mut next_seq = covered + 1;
         if let Some(&(seq, _)) = records.last() {
@@ -684,8 +795,10 @@ impl Store {
             checkpoint_bytes_delta: registry
                 .counter("storage_checkpoint_bytes_total", &[("kind", "delta")]),
             health: registry.gauge("store_health", &[]),
+            generation: registry.gauge("store_generation", &[]),
         };
         m.health.set(self.health.as_gauge());
+        m.generation.set(self.generation as i64);
         self.metrics = Some(m);
     }
 
@@ -697,6 +810,62 @@ impl Store {
     /// Current disk-health state.
     pub fn health(&self) -> StoreHealth {
         self.health
+    }
+
+    /// The primary generation (fencing term) this writer holds.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// True once a newer generation was observed in the shared
+    /// manifest: this instance is permanently fenced and will never
+    /// extend the log again.
+    pub fn is_fenced(&self) -> bool {
+        self.fenced.is_some()
+    }
+
+    /// Re-validates this writer's generation against the shared
+    /// manifest. A newer generation on disk means another writer was
+    /// promoted: fence permanently and refuse. Called before every
+    /// append, durability sync and checkpoint — the manifest read is
+    /// cheap, never mutates, and is what makes a deposed primary's
+    /// write *fail before the ack* instead of forking history.
+    fn check_generation(&mut self) -> StorageResult<()> {
+        if let Some(observed) = self.fenced {
+            return Err(StorageError::Fenced {
+                observed,
+                own: self.generation,
+            });
+        }
+        let path = self.path(MANIFEST);
+        if !self.fs.exists(&path) {
+            return Ok(());
+        }
+        let bytes = self.retrying(|fs| fs.read(&path))?;
+        let man = parse_manifest(&bytes)?;
+        if man.generation > self.generation {
+            self.fenced = Some(man.generation);
+            return Err(StorageError::Fenced {
+                observed: man.generation,
+                own: self.generation,
+            });
+        }
+        Ok(())
+    }
+
+    /// Bumps the generation and rotates onto a fresh segment stamped
+    /// with the new term, making the promotion durable in the manifest.
+    /// From that rename on, the deposed writer's next append/sync
+    /// observes the higher generation and fences itself. Returns the
+    /// new generation.
+    pub fn promote(&mut self) -> StorageResult<u64> {
+        self.check_generation()?;
+        self.generation += 1;
+        self.rotate()?;
+        if let Some(m) = &self.metrics {
+            m.generation.set(self.generation as i64);
+        }
+        Ok(self.generation)
     }
 
     /// Replaces the tuning config (used by tests and the session).
@@ -771,6 +940,7 @@ impl Store {
     /// over the batch. (Rotation fsyncs a segment before sealing it, so
     /// the active segment is always the only unsynced one.)
     pub fn sync_wal(&mut self) -> StorageResult<()> {
+        self.check_generation()?;
         let Some(active) = self.segments.last() else {
             return Ok(());
         };
@@ -807,19 +977,22 @@ impl Store {
         }
         let name = seg_name(self.next_file_idx);
         let path = self.path(&name);
-        let r = self.retrying(|fs| fs.write(&path, b""));
+        let header = wal::segment_header(self.generation);
+        let r = self.retrying(|fs| fs.write(&path, &header));
         self.absorb(r)?;
         let mut man = self.manifest_image();
         man.segments.push(name.clone());
         self.write_manifest(&man)?;
         self.next_file_idx += 1;
-        self.segments.push(Segment::fresh(name));
+        self.segments
+            .push(Segment::fresh(name, wal::SEG_HEADER as u64));
         Ok(())
     }
 
     /// The manifest reflecting the current in-memory live set.
     fn manifest_image(&self) -> Manifest {
         Manifest {
+            generation: self.generation,
             segments: self.segments.iter().map(|s| s.name.clone()).collect(),
             deltas: self.deltas.iter().map(|d| d.name.clone()).collect(),
         }
@@ -854,6 +1027,7 @@ impl Store {
     /// with [`StorageError::DiskFull`] (after a rate-limited probe for
     /// freed space).
     pub fn append_commit(&mut self, payload: &[u8]) -> StorageResult<u64> {
+        self.check_generation()?;
         if self.health == StoreHealth::DegradedReadOnly && !self.probe_space() {
             return Err(StorageError::DiskFull(
                 "store is read-only (degraded) until disk space frees".into(),
@@ -902,6 +1076,9 @@ impl Store {
     /// write completes the round trip back to `Healthy`. Returns true
     /// when the store accepts writes again.
     pub fn probe_space(&mut self) -> bool {
+        if self.fenced.is_some() {
+            return false;
+        }
         match self.health {
             StoreHealth::Healthy | StoreHealth::Recovering => return true,
             StoreHealth::DegradedReadOnly => {}
@@ -973,6 +1150,7 @@ impl Store {
     }
 
     fn checkpoint_inner(&mut self, snap: SnapshotFile) -> StorageResult<CheckpointStats> {
+        self.check_generation()?;
         let delta = if self.deltas.len() >= self.cfg.delta_chain_max {
             None // compact the chain into a fresh full snapshot
         } else {
@@ -1034,6 +1212,7 @@ impl Store {
             CheckpointKind::Delta => Vec::new(),
         };
         let man = Manifest {
+            generation: self.generation,
             segments: self
                 .segments
                 .iter()
@@ -1044,10 +1223,12 @@ impl Store {
         };
         self.write_manifest(&man)?;
 
-        // 3. The active segment's records are covered too: truncate it.
+        // 3. The active segment's records are covered too: truncate it
+        //    back to its generation header.
         if let Some(a) = &active {
             let path = self.path(&a.name);
-            let r = self.retrying(|fs| fs.truncate(&path, 0));
+            let keep = a.header_len;
+            let r = self.retrying(|fs| fs.truncate(&path, keep));
             self.absorb(r)?;
             let r = self.retrying(|fs| fs.sync(&path));
             self.absorb(r)?;
@@ -1088,12 +1269,16 @@ impl Store {
     }
 }
 
-fn seg_from_scan(name: String, bytes: u64, scan: &wal::WalScan) -> Segment {
+/// Builds the in-memory segment record from a scan; `file_len` is the
+/// (kept) on-disk length *including* any segment header, which is
+/// subtracted so `Segment::bytes` counts record bytes only.
+fn seg_from_scan(name: String, file_len: u64, scan: &wal::WalScan) -> Segment {
     Segment {
         name,
         first_seq: scan.records.first().map_or(0, |r| r.0),
         last_seq: scan.records.last().map_or(0, |r| r.0),
-        bytes,
+        bytes: file_len.saturating_sub(scan.header_len),
+        header_len: scan.header_len,
     }
 }
 
@@ -1359,7 +1544,8 @@ mod tests {
         assert_eq!(rec.tail, vec![(1, b"r1".to_vec())]);
         let salvage = rec.salvage.unwrap();
         assert_eq!(salvage.segment, "wal.000002");
-        assert_eq!(salvage.offset, 0);
+        // Nothing salvageable past the generation header.
+        assert_eq!(salvage.offset, wal::SEG_HEADER as u64);
         // r2 is unparseable (bad CRC ⇒ not a record); r3 and r4 parsed
         // fine but are unreachable past the corruption.
         assert_eq!(salvage.records_dropped, 2);
@@ -1392,7 +1578,8 @@ mod tests {
     fn corruption_inside_a_sealed_segment_salvages_its_valid_prefix() {
         let dir = tmp_dir("salvage-prefix");
         let cfg = StoreConfig {
-            // Two records per segment (16-byte header + 2-byte payload).
+            // Two records per segment (16-byte record header + 2-byte
+            // payload each; the segment header doesn't count).
             segment_max_bytes: 36,
             ..StoreConfig::default()
         };
@@ -1403,22 +1590,123 @@ mod tests {
         assert_eq!(store.segments.len(), 2);
         drop(store);
         // Corrupt the SECOND record of segment 1: its first record must
-        // be salvaged into a fresh segment file.
+        // be salvaged into a fresh segment file. Records start after
+        // the segment header; each is 18 bytes.
         let seg1 = dir.join("wal.000001");
         let mut bytes = std::fs::read(&seg1).unwrap();
-        let half = bytes.len() / 2;
-        bytes[half + wal::HEADER] ^= 0x01;
+        let cut = wal::SEG_HEADER + 18;
+        bytes[cut + wal::HEADER] ^= 0x01;
         std::fs::write(&seg1, &bytes).unwrap();
         let (_, rec) = Store::open(Box::new(RealFs), &dir).unwrap();
         assert_eq!(rec.tail, vec![(1, b"r1".to_vec())]);
         let salvage = rec.salvage.unwrap();
         assert_eq!(salvage.segment, "wal.000001");
-        assert_eq!(salvage.offset, half as u64);
+        assert_eq!(salvage.offset, cut as u64);
         // r3 and r4 parsed but lie beyond the break; r2 itself is
         // unparseable and so cannot be counted.
         assert_eq!(salvage.records_dropped, 2);
         assert!(dir.join("wal.000001.quarantined").exists());
         assert!(dir.join("wal.000002.quarantined").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn promote_bumps_the_generation_and_reopen_adopts_it() {
+        let dir = tmp_dir("promote");
+        let mut store = Store::create(Box::new(RealFs), &dir, "empty").unwrap();
+        assert_eq!(store.generation(), 1);
+        store.append_commit(b"one").unwrap();
+        assert_eq!(store.promote().unwrap(), 2);
+        // The new active segment is stamped with the new term.
+        let active = std::fs::read(dir.join("wal.000002")).unwrap();
+        assert_eq!(wal::scan(&active).generation, Some(2));
+        // The promoted writer keeps writing.
+        assert_eq!(store.append_commit(b"two").unwrap(), 2);
+        drop(store);
+        // A plain reopen adopts the promoted generation — it does not
+        // bump it, so restarts alone never fence anyone.
+        let (store, rec) = Store::open(Box::new(RealFs), &dir).unwrap();
+        assert_eq!(store.generation(), 2);
+        assert!(!store.is_fenced());
+        assert_eq!(rec.tail, vec![(1, b"one".to_vec()), (2, b"two".to_vec())]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn deposed_writer_is_fenced_and_stays_fenced() {
+        let dir = tmp_dir("fenced");
+        let mut old = Store::create(Box::new(RealFs), &dir, "empty").unwrap();
+        old.append_commit(b"one").unwrap();
+        // Another handle on the same directory takes over.
+        let (mut new, _) = Store::open(Box::new(RealFs), &dir).unwrap();
+        assert_eq!(new.promote().unwrap(), 2);
+        // The deposed writer's next append observes the higher term,
+        // fails *before* touching the log, and fences permanently.
+        let before = std::fs::read(dir.join("wal.000001")).unwrap();
+        assert!(matches!(
+            old.append_commit(b"zombie"),
+            Err(StorageError::Fenced {
+                observed: 2,
+                own: 1
+            })
+        ));
+        assert!(old.is_fenced());
+        assert_eq!(std::fs::read(dir.join("wal.000001")).unwrap(), before);
+        // Fenced is terminal: syncs, checkpoints and probes all refuse
+        // without re-reading the manifest.
+        assert!(matches!(
+            old.sync_wal(),
+            Err(StorageError::Fenced { .. })
+        ));
+        assert!(matches!(
+            old.checkpoint(SnapshotFile {
+                base_tag: "empty".into(),
+                ..SnapshotFile::default()
+            }),
+            Err(StorageError::Fenced { .. })
+        ));
+        assert!(!old.probe_space());
+        // The new writer is unaffected.
+        assert_eq!(new.append_commit(b"two").unwrap(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zombie_stale_term_tail_is_quarantined_on_reopen() {
+        let dir = tmp_dir("zombie");
+        let mut old = Store::create(Box::new(RealFs), &dir, "empty").unwrap();
+        old.append_commit(b"one").unwrap();
+        let (mut new, _) = Store::open(Box::new(RealFs), &dir).unwrap();
+        assert_eq!(new.promote().unwrap(), 2);
+        // A zombie append that lost the race with the promotion: bytes
+        // land in the old generation's segment after the new writer
+        // rotated away from it. The record was never acknowledged (the
+        // ack-path generation check fails), but it is on disk.
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("wal.000001"))
+            .unwrap();
+        f.write_all(&wal::frame(2, b"zombie")).unwrap();
+        drop(f);
+        // The new timeline re-issues sequence 2 with different content.
+        assert_eq!(new.append_commit(b"two").unwrap(), 2);
+        drop(new);
+        drop(old);
+        // Recovery cuts the stale-term tail at the first re-issued
+        // sequence and quarantines the original segment: the zombie
+        // record never replays, the new timeline's record does.
+        let (_, rec) = Store::open(Box::new(RealFs), &dir).unwrap();
+        assert_eq!(rec.tail, vec![(1, b"one".to_vec()), (2, b"two".to_vec())]);
+        let salvage = rec.salvage.unwrap();
+        assert_eq!(salvage.segment, "wal.000001");
+        assert_eq!(
+            salvage.offset,
+            (wal::SEG_HEADER + wal::HEADER + 3) as u64
+        );
+        assert_eq!(salvage.records_dropped, 1);
+        assert_eq!(salvage.quarantined, vec!["wal.000001.quarantined".to_string()]);
+        assert!(dir.join("wal.000001.quarantined").exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

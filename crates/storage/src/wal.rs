@@ -17,6 +17,12 @@
 //! valid. A crash mid-append produces exactly such a tail, so "stop at
 //! the first bad record" *is* the recovery rule; the store then truncates
 //! the file to the valid length before appending again.
+//!
+//! Segments written by fencing-aware stores begin with a 16-byte
+//! header — [`SEG_MAGIC`] followed by the primary generation (u64 LE)
+//! that created the segment. [`scan`] recognises the header and
+//! reports the generation; legacy headerless segments scan from byte 0
+//! with `generation: None` and inherit the manifest's generation.
 
 /// Upper bound on a record payload (64 MiB). A corrupted length field
 /// would otherwise make the scanner wait for gigabytes of payload that
@@ -25,6 +31,20 @@ pub const MAX_RECORD: u32 = 64 << 20;
 
 /// Bytes of framing before the payload: len + crc + seq.
 pub const HEADER: usize = 4 + 4 + 8;
+
+/// Magic opening a generation-stamped WAL segment.
+pub const SEG_MAGIC: &[u8; 8] = b"XSQLSEG1";
+
+/// Bytes of the segment header: magic + generation (u64 LE).
+pub const SEG_HEADER: usize = 16;
+
+/// The 16-byte header opening a segment created under `generation`.
+pub fn segment_header(generation: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(SEG_HEADER);
+    out.extend_from_slice(SEG_MAGIC);
+    out.extend_from_slice(&generation.to_le_bytes());
+    out
+}
 
 /// CRC32 (IEEE 802.3, reflected) of `bytes`, continuing from `crc`.
 /// Pass `0` to start; no external crc crate is used.
@@ -59,8 +79,15 @@ pub fn frame(seq: u64, payload: &[u8]) -> Vec<u8> {
 pub struct WalScan {
     /// `(seq, payload)` for each valid record, in log order.
     pub records: Vec<(u64, Vec<u8>)>,
-    /// Length in bytes of the valid prefix of the log.
+    /// Length in bytes of the valid prefix of the log (including the
+    /// segment header, when present).
     pub valid_len: u64,
+    /// Generation stamped in the segment header; `None` for legacy
+    /// headerless segments (they inherit the manifest's generation).
+    pub generation: Option<u64>,
+    /// Bytes of segment header preceding the first record (0 or
+    /// [`SEG_HEADER`]).
+    pub header_len: u64,
 }
 
 /// Scans `bytes` from the start, collecting records until the first
@@ -68,6 +95,20 @@ pub struct WalScan {
 pub fn scan(bytes: &[u8]) -> WalScan {
     let mut out = WalScan::default();
     let mut pos = 0usize;
+    // A segment header, when present, precedes the first record. A
+    // file starting with a *prefix* of the magic is a torn header
+    // write: nothing after it is trustworthy, so the valid prefix is
+    // empty.
+    if bytes.len() >= SEG_HEADER && &bytes[..SEG_MAGIC.len()] == SEG_MAGIC {
+        out.generation = Some(u64::from_le_bytes(
+            bytes[SEG_MAGIC.len()..SEG_HEADER].try_into().unwrap(),
+        ));
+        out.header_len = SEG_HEADER as u64;
+        out.valid_len = SEG_HEADER as u64;
+        pos = SEG_HEADER;
+    } else if !bytes.is_empty() && bytes.len() < SEG_HEADER && SEG_MAGIC.starts_with(&bytes[..bytes.len().min(SEG_MAGIC.len())]) {
+        return out;
+    }
     let mut last_seq: Option<u64> = None;
     while bytes.len() - pos >= HEADER {
         let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
@@ -165,5 +206,46 @@ mod tests {
         let s = scan(&log);
         assert_eq!(s.valid_len, 0);
         assert!(s.records.is_empty());
+    }
+
+    #[test]
+    fn segment_header_carries_the_generation() {
+        let mut log = segment_header(7);
+        log.extend_from_slice(&frame(1, b"alpha"));
+        log.extend_from_slice(&frame(2, b"beta"));
+        let s = scan(&log);
+        assert_eq!(s.generation, Some(7));
+        assert_eq!(s.header_len, SEG_HEADER as u64);
+        assert_eq!(s.valid_len, log.len() as u64);
+        assert_eq!(s.records.len(), 2);
+    }
+
+    #[test]
+    fn empty_stamped_segment_scans_to_its_header() {
+        let s = scan(&segment_header(3));
+        assert_eq!(s.generation, Some(3));
+        assert_eq!(s.valid_len, SEG_HEADER as u64);
+        assert!(s.records.is_empty());
+    }
+
+    #[test]
+    fn torn_segment_header_invalidates_the_whole_file() {
+        let hdr = segment_header(9);
+        for cut in 1..SEG_HEADER {
+            let s = scan(&hdr[..cut]);
+            assert_eq!(s.valid_len, 0, "cut at {cut}");
+            assert_eq!(s.generation, None);
+            assert!(s.records.is_empty());
+        }
+    }
+
+    #[test]
+    fn legacy_headerless_segment_scans_with_no_generation() {
+        let log = frame(1, b"alpha");
+        let s = scan(&log);
+        assert_eq!(s.generation, None);
+        assert_eq!(s.header_len, 0);
+        assert_eq!(s.valid_len, log.len() as u64);
+        assert_eq!(s.records.len(), 1);
     }
 }

@@ -89,6 +89,16 @@ pub enum XsqlError {
     /// reads keep working, and writes succeed again once space frees
     /// (the store probes automatically — no restart needed).
     DiskFull(String),
+    /// A newer primary generation owns the store: this writer has been
+    /// deposed (another replica was promoted) and must never extend
+    /// the log. The failed statement was rolled back; the instance
+    /// should rejoin the topology as a replica.
+    Fenced {
+        /// The newer generation observed in the shared manifest.
+        observed: u64,
+        /// This writer's own (stale) generation.
+        own: u64,
+    },
     /// An internal invariant was violated. Reaching this is a bug in the
     /// engine, but it is reported as an error rather than a panic so a
     /// malformed statement can never poison the hosting process.
@@ -211,6 +221,12 @@ impl fmt::Display for XsqlError {
                 "disk full: {m} (store is read-only until space frees; \
                  the statement was rolled back)"
             ),
+            XsqlError::Fenced { observed, own } => write!(
+                f,
+                "fenced: primary generation {observed} has superseded this \
+                 writer's generation {own}; writes must go to the new primary \
+                 (the statement was rolled back)"
+            ),
             XsqlError::Internal(m) => write!(f, "internal error (engine bug): {m}"),
         }
     }
@@ -228,6 +244,9 @@ impl From<storage::StorageError> for XsqlError {
     fn from(e: storage::StorageError) -> Self {
         match e {
             storage::StorageError::DiskFull(m) => XsqlError::DiskFull(m),
+            storage::StorageError::Fenced { observed, own } => {
+                XsqlError::Fenced { observed, own }
+            }
             other => XsqlError::Storage(other.to_string()),
         }
     }

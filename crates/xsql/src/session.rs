@@ -610,6 +610,32 @@ impl Session {
         self.store.as_mut().is_none_or(|s| s.probe_space())
     }
 
+    /// The store's primary generation (fencing term); 1 without a
+    /// store (a purely in-memory session can never be deposed).
+    pub fn store_generation(&self) -> u64 {
+        self.store.as_ref().map_or(1, |s| s.generation())
+    }
+
+    /// True once the store observed a newer primary generation and
+    /// fenced itself: every further write fails with
+    /// [`XsqlError::Fenced`] while reads keep serving.
+    pub fn store_fenced(&self) -> bool {
+        self.store.as_ref().is_some_and(|s| s.is_fenced())
+    }
+
+    /// Promotes this session's store to a new primary generation:
+    /// bumps the fencing term and rotates onto a segment stamped with
+    /// it, deposing any writer still holding the old term. Returns the
+    /// new generation. Errors without a store.
+    pub fn promote_store(&mut self) -> XsqlResult<u64> {
+        match &mut self.store {
+            Some(store) => Ok(store.promote()?),
+            None => Err(XsqlError::Storage(
+                "cannot promote: session has no durable store".into(),
+            )),
+        }
+    }
+
     /// Replaces the store's tuning config (segment size, checkpoint
     /// triggers, retry policy). No-op without a store.
     pub fn set_store_config(&mut self, cfg: StoreConfig) {

@@ -41,6 +41,8 @@ struct Config {
     replica_of: Option<String>,
     connect: Option<String>,
     token: Option<String>,
+    promote: Option<String>,
+    leader_hint: Option<String>,
     scripts: Vec<String>,
 }
 
@@ -57,6 +59,8 @@ fn parse_args() -> Result<Config, String> {
         replica_of: None,
         connect: None,
         token: None,
+        promote: None,
+        leader_hint: None,
         scripts: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -121,24 +125,40 @@ fn parse_args() -> Result<Config, String> {
                         .ok_or_else(|| "--token requires a value".to_string())?,
                 );
             }
+            "--promote" => {
+                cfg.promote = Some(
+                    args.next()
+                        .ok_or_else(|| "--promote requires a replica address".to_string())?,
+                );
+            }
+            "--leader-hint" => {
+                cfg.leader_hint = Some(
+                    args.next()
+                        .ok_or_else(|| "--leader-hint requires an address".to_string())?,
+                );
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: xsql-cli [--db empty|figure1|nobel|university] [--open DIR] \
                             [--typed] [--serve] [--stats] [--deadline-ms N] [--parallel N] \
-                            [--listen ADDR [--replica-of DIR]] [--connect ADDR] [--token T] \
+                            [--listen ADDR [--replica-of DIR] [--leader-hint ADDR]] \
+                            [--connect ADDR] [--promote ADDR] [--token T] \
                             [script.xsql ...]\n\
                      --serve runs each script on its own concurrent service session \
                      (snapshot-isolated reads, serialized group-committed writes); \
                      --stats prints the telemetry exposition (statement latencies, \
-                     WAL/service metrics) after the scripts finish; \
+                     WAL/service metrics, role/generation) after the scripts finish; \
                      --deadline-ms bounds every statement's wall-clock time; \
                      --parallel evaluates top-level SELECTs on N worker threads \
                      (results are bit-identical to sequential evaluation); \
                      --listen serves the database over TCP (see docs/SERVING.md) and \
                      drains gracefully on SIGTERM; with --replica-of DIR it serves a \
                      WAL-shipped read replica tailing that primary store directory; \
-                     --connect runs the scripts (or an interactive prompt) against a \
-                     remote server; --token sets the shared auth token."
+                     --leader-hint is the primary address replicas put in NotPrimary \
+                     redirects; --connect runs the scripts (or an interactive prompt) \
+                     against a remote server; --promote asks the replica at ADDR to \
+                     become the primary (token-gated; see docs/SERVING.md for the \
+                     failover runbook); --token sets the shared auth token."
                         .to_string(),
                 )
             }
@@ -156,6 +176,12 @@ fn parse_args() -> Result<Config, String> {
     }
     if cfg.connect.is_some() && (cfg.listen.is_some() || cfg.serve) {
         return Err("--connect excludes --listen/--serve".to_string());
+    }
+    if cfg.promote.is_some() && (cfg.listen.is_some() || cfg.serve || cfg.connect.is_some()) {
+        return Err("--promote excludes --listen/--serve/--connect".to_string());
+    }
+    if cfg.leader_hint.is_some() && cfg.replica_of.is_none() {
+        return Err("--leader-hint requires --replica-of".to_string());
     }
     Ok(cfg)
 }
@@ -331,6 +357,7 @@ fn shutdown_requested() -> bool {
 fn server_config(cfg: &Config) -> net::ServerConfig {
     net::ServerConfig {
         auth_token: cfg.token.clone(),
+        leader_hint: cfg.leader_hint.clone(),
         ..net::ServerConfig::default()
     }
 }
@@ -416,31 +443,67 @@ fn listen_replica(cfg: &Config, primary_dir: &str, addr: &str) -> ExitCode {
         Box::new(net::DirSource::new(Box::new(RealFs), path)),
         base,
         net::ReplicaConfig {
-            base_tag: tag,
+            base_tag: tag.clone(),
             opts: Default::default(),
         },
     );
     let replica = core.spawn(Duration::from_millis(50));
-    let server = match net::Server::start(
-        net::Backend::Replica(replica.shared()),
-        server_config(cfg),
-        addr,
-    ) {
+    let shared = replica.shared();
+    let replica_slot = std::sync::Arc::new(std::sync::Mutex::new(Some(replica)));
+    let server = match net::Server::start(net::Backend::Replica(shared), server_config(cfg), addr) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot listen on {addr}: {e}");
             return ExitCode::from(2);
         }
     };
+    // Promotion hook: a token-gated PROMOTE frame stops the tailer,
+    // recovers the full shipped log (recovery *is* catch-up: the WAL on
+    // disk is exactly what the primary shipped), bumps the fencing
+    // generation, and swaps in a primary service over the promoted
+    // store. The deposed primary sees the higher generation in the
+    // manifest and fences itself instead of forking history.
+    let hook_slot = std::sync::Arc::clone(&replica_slot);
+    let promote_dir = primary_dir.to_string();
+    let promote_tag = tag.clone();
+    let default_deadline = cfg.deadline_ms.map(Duration::from_millis);
+    let reader_parallelism = cfg.parallel.unwrap_or(0);
+    server.set_promote_hook(Box::new(move || {
+        let replica = hook_slot
+            .lock()
+            .map_err(|_| "replica slot poisoned".to_string())?
+            .take()
+            .ok_or_else(|| "replica already promoted".to_string())?;
+        drop(replica.stop());
+        let base = fixture(&promote_tag)?;
+        let path = std::path::Path::new(&promote_dir);
+        let mut session =
+            Session::open_dir(Box::new(RealFs), path, base, &promote_tag, Default::default())
+                .map_err(|e| format!("promotion recovery failed: {e}"))?;
+        let generation = session
+            .promote_store()
+            .map_err(|e| format!("generation bump failed: {e}"))?;
+        eprintln!("promoted: serving as primary at generation {generation}");
+        Ok(std::sync::Arc::new(Service::start(
+            session,
+            ServiceConfig {
+                default_deadline,
+                reader_parallelism,
+                ..ServiceConfig::default()
+            },
+        )))
+    }));
     println!(
         "listening on {} (replica of {primary_dir})",
         server.local_addr()
     );
     let _ = io::stdout().flush();
     serve_until_signalled(server);
-    let core = replica.stop();
-    if let Some(err) = core.shared().last_error() {
-        eprintln!("last sync error: {err}");
+    if let Some(replica) = replica_slot.lock().ok().and_then(|mut slot| slot.take()) {
+        let core = replica.stop();
+        if let Some(err) = core.shared().last_error() {
+            eprintln!("last sync error: {err}");
+        }
     }
     ExitCode::SUCCESS
 }
@@ -458,21 +521,26 @@ fn print_response(r: &net::Response) {
 }
 
 /// Executes one statement over the wire, retrying typed retryable
-/// sheds after the server's suggested back-off. `ReadOnly` from a
-/// replica is permanent (fail over to the primary), not a transient
-/// shed — report it immediately instead of spinning.
+/// sheds after the server's suggested back-off. A `NotPrimary`
+/// redirect is permanent for a single-connection client — report the
+/// leader hint so the operator can reconnect there instead of
+/// spinning.
 fn remote_statement(c: &mut net::Client, stmt: &str) -> Result<net::Response, String> {
     for _ in 0..10_000 {
         match c.execute(stmt) {
             Ok(r) => return Ok(r),
+            Err(net::NetError::NotPrimary { leader_hint }) => {
+                return Err(if leader_hint.is_empty() {
+                    "this node is not the primary (no leader hint; \
+                     find the primary and --connect there)"
+                        .to_string()
+                } else {
+                    format!("this node is not the primary; retry against --connect {leader_hint}")
+                });
+            }
             Err(net::NetError::Server {
-                code,
-                retry_after,
-                message,
+                code, retry_after, ..
             }) if code.retryable() => {
-                if code == net::ErrorCode::ReadOnly && c.role() == net::Role::Replica {
-                    return Err(format!("replica is read-only: {message}"));
-                }
                 std::thread::sleep(retry_after.max(Duration::from_millis(1)));
             }
             Err(e) => return Err(e.to_string()),
@@ -515,6 +583,15 @@ fn client_mode(cfg: &Config, addr: &str) -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 }
+            }
+        }
+        if cfg.stats {
+            match client.ping() {
+                Ok(h) => println!(
+                    "role={} generation={} epoch={} lag={}",
+                    h.role, h.generation, h.epoch, h.lag
+                ),
+                Err(e) => eprintln!("health probe failed: {e}"),
             }
         }
         client.goodbye();
@@ -583,6 +660,28 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(addr) = cfg.promote.clone() {
+        // Admin mode: ask the replica at `addr` to become the primary.
+        let token = cfg.token.clone().unwrap_or_default();
+        let mut client = match net::Client::connect(&addr, &token) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("cannot connect to {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match client.promote() {
+            Ok(generation) => {
+                println!("promoted: {addr} is primary at generation {generation}");
+                client.goodbye();
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("promotion failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if let Some(addr) = cfg.connect.clone() {
         return client_mode(&cfg, &addr);
     }

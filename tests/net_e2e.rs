@@ -1,13 +1,17 @@
-//! End-to-end serving demo with real processes: a primary `xsql-cli
+//! End-to-end serving demos with real processes: a primary `xsql-cli
 //! --listen` over a durable store, a `--replica-of` read replica
 //! tailing the same directory, a TCP client committing writes under
 //! injected disconnects and torn frames, `kill -9` of the primary,
 //! restart with crash recovery, and the replica converging to lag 0
-//! with every acknowledged write visible.
+//! with every acknowledged write visible. Failover rides the same
+//! machinery: `kill -9` the primary, `--promote` the replica, write on
+//! the new timeline, and rejoin the deposed node as a replica. A
+//! SIGKILL landing *mid* SIGTERM-drain must recover the same way.
 //!
 //! (The ENOSPC-episode variant of this story needs an injectable
-//! filesystem and lives in `crates/net/tests/net_chaos.rs`; real
-//! processes on a real disk cover the crash/restart half.)
+//! filesystem and lives in `crates/net/tests/net_chaos.rs`; the
+//! seeded promotion sweep is `crates/net/tests/failover_chaos.rs`;
+//! real processes on a real disk cover the crash/restart half.)
 
 #![cfg(unix)]
 
@@ -46,10 +50,10 @@ fn spawn_server(args: &[&str]) -> (Child, String) {
     (child, addr)
 }
 
-fn connect(addr: &str) -> Client {
+fn connect_tok(addr: &str, token: &str) -> Client {
     let deadline = Instant::now() + Duration::from_secs(20);
     loop {
-        match Client::connect(addr, "") {
+        match Client::connect(addr, token) {
             Ok(mut c) => {
                 c.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
                 return c;
@@ -60,6 +64,10 @@ fn connect(addr: &str) -> Client {
             }
         }
     }
+}
+
+fn connect(addr: &str) -> Client {
+    connect_tok(addr, "")
 }
 
 fn execute_retrying(c: &mut Client, stmt: &str) -> net::Response {
@@ -75,12 +83,16 @@ fn execute_retrying(c: &mut Client, stmt: &str) -> net::Response {
     panic!("statement `{stmt}` shed forever");
 }
 
-fn select_things(addr: &str) -> BTreeSet<String> {
-    let mut c = connect(addr);
+fn select_things_tok(addr: &str, token: &str) -> BTreeSet<String> {
+    let mut c = connect_tok(addr, token);
     let r = execute_retrying(&mut c, "SELECT X FROM Thing X");
     let set = r.rows.iter().map(|row| row[0].clone()).collect();
     c.goodbye();
     set
+}
+
+fn select_things(addr: &str) -> BTreeSet<String> {
+    select_things_tok(addr, "")
 }
 
 fn terminate(mut child: Child, what: &str) {
@@ -187,30 +199,236 @@ fn primary_kill9_restart_replica_convergence() {
     let deadline = Instant::now() + Duration::from_secs(30);
     loop {
         let mut rc = connect(&raddr);
-        let (_, lag) = rc.ping().expect("replica ping");
+        let h = rc.ping().expect("replica ping");
         let rows = select_things(&raddr);
         rc.goodbye();
-        if lag == 0 && rows == recovered {
+        if h.lag == 0 && rows == recovered {
             break;
         }
         assert!(
             Instant::now() < deadline,
-            "replica never converged: lag {lag}, rows {rows:?} vs {recovered:?}"
+            "replica never converged: lag {}, rows {rows:?} vs {recovered:?}",
+            h.lag
         );
         std::thread::sleep(Duration::from_millis(50));
     }
 
-    // Replica refuses writes with the typed retryable answer.
+    // Replica refuses writes with the typed not-primary redirect.
     {
         let mut rc = connect(&raddr);
         match rc.execute("CREATE OBJECT nope CLASS Thing") {
-            Err(NetError::Server { code, .. }) => assert_eq!(code, net::ErrorCode::ReadOnly),
+            Err(NetError::NotPrimary { .. }) => {}
             other => panic!("replica accepted a write: {other:?}"),
         }
         rc.goodbye();
     }
 
     // Graceful drain on SIGTERM, both processes.
+    terminate(primary2, "restarted primary");
+    terminate(replica, "replica");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `kill -9` the primary, `--promote` the replica, and keep serving:
+/// acked writes survive onto the new timeline, the promoted node
+/// reports the bumped generation, and the deposed node rejoins as a
+/// replica of the new history. Also measures and prints the failover
+/// time (kill → first acked write on the new primary).
+#[test]
+fn kill9_promote_replica_and_rejoin_old_primary() {
+    let dir = std::env::temp_dir().join(format!("xsql-net-failover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().expect("utf-8 temp dir");
+
+    let (primary, paddr) =
+        spawn_server(&["--db", "empty", "--open", dir_s, "--listen", "127.0.0.1:0"]);
+    // The replica is promotion-capable: PROMOTE is token-gated, and its
+    // NotPrimary redirects carry the current leader's address.
+    let (replica, raddr) = spawn_server(&[
+        "--listen",
+        "127.0.0.1:0",
+        "--replica-of",
+        dir_s,
+        "--token",
+        "s3",
+        "--leader-hint",
+        &paddr,
+    ]);
+
+    let mut acked: BTreeSet<String> = BTreeSet::new();
+    {
+        let mut c = connect(&paddr);
+        execute_retrying(&mut c, "CREATE CLASS Thing");
+        for j in 1..=8u32 {
+            let name = format!("obj{j}");
+            execute_retrying(&mut c, &format!("CREATE OBJECT {name} CLASS Thing"));
+            acked.insert(name);
+        }
+        c.goodbye();
+    }
+
+    // Pre-promotion: the replica redirects writes at the live leader.
+    {
+        let mut rc = connect_tok(&raddr, "s3");
+        match rc.execute("CREATE OBJECT nope CLASS Thing") {
+            Err(NetError::NotPrimary { leader_hint }) => assert_eq!(leader_hint, paddr),
+            other => panic!("replica accepted a write: {other:?}"),
+        }
+        rc.goodbye();
+    }
+
+    // Wait for the replica to catch up, so promotion has the full log.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let mut rc = connect_tok(&raddr, "s3");
+        let h = rc.ping().expect("replica ping");
+        rc.goodbye();
+        if h.lag == 0 && select_things_tok(&raddr, "s3") == acked {
+            break;
+        }
+        assert!(Instant::now() < deadline, "replica never caught up");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Power loss on the primary; the clock for failover time starts.
+    let mut primary = primary;
+    primary.kill().expect("kill -9 primary");
+    let _ = primary.wait();
+    let killed_at = Instant::now();
+
+    // Promote via the admin CLI (wrong token first: must be refused).
+    let refused = Command::new(bin())
+        .args(["--promote", &raddr, "--token", "wrong"])
+        .output()
+        .expect("run --promote");
+    assert!(
+        !refused.status.success(),
+        "promotion with a bad token must fail"
+    );
+    let out = Command::new(bin())
+        .args(["--promote", &raddr, "--token", "s3"])
+        .output()
+        .expect("run --promote");
+    assert!(
+        out.status.success(),
+        "promotion failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("generation 2"),
+        "unexpected promote output: {stdout}"
+    );
+
+    // First acked write on the new primary ends the outage window.
+    let mut c = connect_tok(&raddr, "s3");
+    execute_retrying(&mut c, "CREATE OBJECT after1 CLASS Thing");
+    let failover = killed_at.elapsed();
+    eprintln!(
+        "failover time (kill -9 → first acked write on new primary): {} ms",
+        failover.as_millis()
+    );
+    let h = c.ping().expect("promoted ping");
+    assert_eq!(h.role, net::Role::Primary, "promoted node serves as primary");
+    assert_eq!(h.generation, 2, "promotion bumped the fencing term");
+    c.goodbye();
+
+    // Every pre-kill acked write survived onto the new timeline.
+    let rows = select_things_tok(&raddr, "s3");
+    for name in &acked {
+        assert!(rows.contains(name), "acked {name} lost across failover");
+    }
+    assert!(rows.contains("after1"));
+
+    // The deposed node rejoins as a replica of the new timeline and
+    // converges on the promoted history.
+    let (old2, oaddr) = spawn_server(&["--listen", "127.0.0.1:0", "--replica-of", dir_s]);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let mut rc = connect(&oaddr);
+        let h = rc.ping().expect("rejoined ping");
+        rc.goodbye();
+        if h.lag == 0 && select_things(&oaddr) == rows {
+            assert_eq!(h.role, net::Role::Replica);
+            assert_eq!(h.generation, 2, "the rejoined node adopted the new term");
+            break;
+        }
+        assert!(Instant::now() < deadline, "rejoined node never converged");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    terminate(old2, "rejoined replica");
+    terminate(replica, "promoted primary");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A SIGKILL landing in the middle of a SIGTERM drain must leave
+/// nothing worse than a plain `kill -9`: restart recovers every acked
+/// write and the replica converges.
+#[test]
+fn sigkill_mid_sigterm_drain_recovers_and_replica_converges() {
+    let dir = std::env::temp_dir().join(format!("xsql-net-middrain-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().expect("utf-8 temp dir");
+
+    let (primary, paddr) =
+        spawn_server(&["--db", "empty", "--open", dir_s, "--listen", "127.0.0.1:0"]);
+    let (replica, raddr) = spawn_server(&["--listen", "127.0.0.1:0", "--replica-of", dir_s]);
+
+    let mut acked: BTreeSet<String> = BTreeSet::new();
+    let mut c = connect(&paddr);
+    execute_retrying(&mut c, "CREATE CLASS Thing");
+    for j in 1..=6u32 {
+        let name = format!("obj{j}");
+        execute_retrying(&mut c, &format!("CREATE OBJECT {name} CLASS Thing"));
+        acked.insert(name);
+    }
+
+    // SIGTERM starts the drain; the held connection keeps it in the
+    // grace loop, and the SIGKILL lands mid-drain — after the server
+    // printed the drain banner, before it finished.
+    let mut primary = primary;
+    let pid = primary.id().to_string();
+    let _ = Command::new("kill").args(["-TERM", &pid]).status();
+    let stderr = primary.stderr.take().expect("piped stderr");
+    let mut lines = BufReader::new(stderr).lines();
+    let banner = lines
+        .next()
+        .expect("drain banner before exit")
+        .expect("readable drain banner");
+    assert!(banner.contains("draining"), "unexpected stderr: {banner}");
+    primary.kill().expect("kill -9 mid-drain");
+    let _ = primary.wait();
+    drop(c);
+
+    // Restart over the same directory: recovery replays the WAL tail.
+    let (primary2, paddr2) = spawn_server(&["--open", dir_s, "--listen", "127.0.0.1:0"]);
+    let recovered = select_things(&paddr2);
+    for name in &acked {
+        assert!(
+            recovered.contains(name),
+            "acked {name} lost across mid-drain SIGKILL (recovered: {recovered:?})"
+        );
+    }
+
+    // The replica (which outlived both signals) converges on recovery.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let mut rc = connect(&raddr);
+        let h = rc.ping().expect("replica ping");
+        let rows = select_things(&raddr);
+        rc.goodbye();
+        if h.lag == 0 && rows == recovered {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replica never converged: lag {}, rows {rows:?} vs {recovered:?}",
+            h.lag
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
     terminate(primary2, "restarted primary");
     terminate(replica, "replica");
     let _ = std::fs::remove_dir_all(&dir);

@@ -75,10 +75,16 @@ fn last_segment(fs: &FaultFs) -> PathBuf {
 }
 
 /// Byte offset where the final record of `bytes` begins, by walking the
-/// `|len u32|crc u32|seq u64|payload|` framing.
+/// `|len u32|crc u32|seq u64|payload|` framing (skipping the segment's
+/// generation header).
 fn final_record_start(bytes: &[u8]) -> u64 {
     const HEADER: usize = 16;
-    let (mut off, mut last) = (0usize, 0usize);
+    let start = if bytes.starts_with(storage::wal::SEG_MAGIC) {
+        storage::wal::SEG_HEADER
+    } else {
+        0
+    };
+    let (mut off, mut last) = (start, start);
     while off + HEADER <= bytes.len() {
         let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
         if off + HEADER + len > bytes.len() {
