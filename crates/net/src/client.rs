@@ -92,7 +92,10 @@ impl std::fmt::Display for NetError {
                 write!(f, "endpoint is not the primary (no leader hint)")
             }
             NetError::NotPrimary { leader_hint } => {
-                write!(f, "endpoint is not the primary (leader hint: {leader_hint})")
+                write!(
+                    f,
+                    "endpoint is not the primary (leader hint: {leader_hint})"
+                )
             }
             NetError::ReplicaLagging { lag, bound } => write!(
                 f,
@@ -300,9 +303,7 @@ impl Client {
                 Frame::NotPrimary {
                     id: rid,
                     leader_hint,
-                } if rid == id || rid == 0 => {
-                    return Err(NetError::NotPrimary { leader_hint })
-                }
+                } if rid == id || rid == 0 => return Err(NetError::NotPrimary { leader_hint }),
                 Frame::Goodbye => {
                     return Err(NetError::Io(std::io::Error::new(
                         std::io::ErrorKind::ConnectionAborted,
@@ -814,7 +815,13 @@ mod tests {
             .execute_read("SELECT X FROM Counter X")
             .expect_err("every target is dead or too stale");
         assert!(
-            matches!(err, NetError::ReplicaLagging { lag: 1000, bound: 5 }),
+            matches!(
+                err,
+                NetError::ReplicaLagging {
+                    lag: 1000,
+                    bound: 5
+                }
+            ),
             "got {err:?}"
         );
     }

@@ -256,10 +256,7 @@ impl Server {
             conn_threads: Mutex::new(Vec::new()),
             cfg,
         });
-        inner
-            .m()
-            .role
-            .set(role_gauge_value(inner.backend().role()));
+        inner.m().role.set(role_gauge_value(inner.backend().role()));
         let accept_inner = Arc::clone(&inner);
         let accept = std::thread::Builder::new()
             .name("xsql-net-accept".into())
@@ -539,7 +536,14 @@ fn serve_conn(mut stream: TcpStream, inner: &Arc<ServerInner>) {
         let b = inner.backend();
         (b.role(), b.epoch_seq())
     };
-    if !send(&mut stream, &Frame::HelloAck { session, role, epoch }) {
+    if !send(
+        &mut stream,
+        &Frame::HelloAck {
+            session,
+            role,
+            epoch,
+        },
+    ) {
         return;
     }
     // Split into reader + executor.

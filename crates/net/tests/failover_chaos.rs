@@ -101,7 +101,11 @@ fn primary_last_seq(fs: &FaultFs) -> u64 {
         .map_or(0, |b| decode_snapshot(&b).expect("snapshot").last_seq);
     for name in &manifest.deltas {
         if let Some(bytes) = src.fetch(name).unwrap() {
-            last = last.max(storage::delta::decode_delta(&bytes).expect("delta").last_seq);
+            last = last.max(
+                storage::delta::decode_delta(&bytes)
+                    .expect("delta")
+                    .last_seq,
+            );
         }
     }
     for name in &manifest.segments {
@@ -170,7 +174,12 @@ fn counter(session: &mut Session, obj: &str) -> String {
         Outcome::Relation(rel) => {
             let rows: Vec<String> = rel
                 .iter()
-                .map(|t| session.db().oids().render(*t.iter().next().expect("one column")))
+                .map(|t| {
+                    session
+                        .db()
+                        .oids()
+                        .render(*t.iter().next().expect("one column"))
+                })
                 .collect();
             assert_eq!(rows.len(), 1, "counter {obj} should hold exactly one value");
             rows.into_iter().next().unwrap()
@@ -225,7 +234,11 @@ fn run_seed(seed: u64) {
     let mut promoted = open_node(&fs).expect("promotion recovery");
     let adopted = promoted.store_generation();
     let generation = promoted.promote_store().expect("generation bump");
-    assert_eq!(generation, adopted + 1, "seed {seed}: promotion bumps by one");
+    assert_eq!(
+        generation,
+        adopted + 1,
+        "seed {seed}: promotion bumps by one"
+    );
 
     // Invariant 1: every acked write survives onto the new timeline.
     assert_eq!(
@@ -266,7 +279,9 @@ fn run_seed(seed: u64) {
             .run(&format!("UPDATE CLASS Counter SET c1.Val = {k}"))
             .expect("new-timeline write");
         if rng.next() % 4 == 0 {
-            promoted.run("CHECKPOINT").expect("post-promotion checkpoint");
+            promoted
+                .run("CHECKPOINT")
+                .expect("post-promotion checkpoint");
         }
     }
 

@@ -14,6 +14,7 @@
 //!   §3.4 (individual-, class- and method-variables range over the three
 //!   sub-universes of objects).
 
+use crate::attr_index::{AttrIndex, AttrStats, ValueKey};
 use crate::error::{DbError, DbResult};
 use crate::oid::{Oid, OidData, OidTable};
 use crate::redo::RedoOp;
@@ -91,6 +92,11 @@ pub struct Database {
     by_method: HashMap<Oid, BTreeSet<Oid>>,
     /// Inverted index: (method, value member) -> receivers.
     by_method_value: HashMap<(Oid, Oid), BTreeSet<Oid>>,
+    /// Ordered secondary index: method -> typed value key -> receivers
+    /// (see [`crate::attr_index`]). Numeral members collapse onto one
+    /// numeric key, so equality probes are numeral-insensitive and
+    /// range predicates scan a contiguous key run.
+    by_method_key: HashMap<Oid, AttrIndex>,
     /// Computed methods: (defining class, method, arity) -> impl.
     computed: HashMap<(Oid, Oid, usize), Arc<dyn MethodImpl>>,
     /// Deterministic enumeration order of computed-method keys.
@@ -158,6 +164,7 @@ impl Database {
             state: BTreeMap::new(),
             by_method: HashMap::new(),
             by_method_value: HashMap::new(),
+            by_method_key: HashMap::new(),
             computed: HashMap::new(),
             computed_order: Vec::new(),
             undo: None,
@@ -507,6 +514,7 @@ impl Database {
             state: BTreeMap::new(),
             by_method: HashMap::new(),
             by_method_value: HashMap::new(),
+            by_method_key: HashMap::new(),
             computed: HashMap::new(),
             computed_order: Vec::new(),
             undo: None,
@@ -1103,6 +1111,13 @@ impl Database {
                 .entry((method, m))
                 .or_default()
                 .insert(recv);
+            let key = ValueKey::of(&self.oids, m);
+            self.by_method_key
+                .entry(method)
+                .or_default()
+                .entry(key)
+                .or_default()
+                .insert(recv);
         }
     }
 
@@ -1110,6 +1125,42 @@ impl Database {
         for m in old.members() {
             if let Some(set) = self.by_method_value.get_mut(&(method, m)) {
                 set.remove(&recv);
+            }
+        }
+        // Ordered index: a (key, recv) posting dies only when no
+        // remaining stored entry of (recv, method) witnesses the key —
+        // the state map already reflects the post-change value at every
+        // call site, so the check is against what survives. Keys are
+        // collected first (members of `old` can collapse onto one key,
+        // e.g. `2` and `2.0`), then the postings are dropped with empty
+        // buckets pruned so the live structure stays equal to a fresh
+        // rebuild (`attr_index_divergence`).
+        let mut dead: Vec<ValueKey> = Vec::new();
+        for m in old.members() {
+            let key = ValueKey::of(&self.oids, m);
+            if dead.contains(&key) {
+                continue;
+            }
+            let witnessed = self
+                .stored_entries_for(recv, method)
+                .any(|(_, v)| v.members().any(|x| ValueKey::of(&self.oids, x) == key));
+            if !witnessed {
+                dead.push(key);
+            }
+        }
+        if !dead.is_empty() {
+            if let Some(map) = self.by_method_key.get_mut(&method) {
+                for key in dead {
+                    if let Some(set) = map.get_mut(&key) {
+                        set.remove(&recv);
+                        if set.is_empty() {
+                            map.remove(&key);
+                        }
+                    }
+                }
+                if map.is_empty() {
+                    self.by_method_key.remove(&method);
+                }
             }
         }
         // recv stays in by_method iff another entry for (recv, method)
@@ -1302,6 +1353,126 @@ impl Database {
         for &(c, m, _) in &self.computed_order {
             if m == method {
                 out.extend(self.instances_of(c));
+            }
+        }
+        out
+    }
+
+    /// The ordered secondary index of one method: typed value key →
+    /// receivers with a stored entry containing a member with that key
+    /// (see [`crate::attr_index`]). `None` when nothing is stored under
+    /// the method. Planner access paths probe this for equality and
+    /// range predicates; soundness of treating a probe as a *complete*
+    /// candidate set additionally needs
+    /// [`Database::attr_index_complete`].
+    pub fn attr_index(&self, method: Oid) -> Option<&AttrIndex> {
+        self.by_method_key.get(&method)
+    }
+
+    /// Receivers whose stored value for `method` contains a member with
+    /// exactly this typed key (numeral-insensitive, unlike
+    /// [`Database::receivers_by_value`]).
+    pub fn attr_receivers_eq(&self, method: Oid, key: &ValueKey) -> BTreeSet<Oid> {
+        self.by_method_key
+            .get(&method)
+            .and_then(|m| m.get(key))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Receivers whose stored value for `method` contains a member with
+    /// a key in the given range (a single ordered scan; the typed key
+    /// families are contiguous runs, so a numeric range never visits
+    /// string or object keys).
+    pub fn attr_receivers_range<R>(&self, method: Oid, range: R) -> BTreeSet<Oid>
+    where
+        R: std::ops::RangeBounds<ValueKey>,
+    {
+        let mut out = BTreeSet::new();
+        if let Some(m) = self.by_method_key.get(&method) {
+            for (_, recvs) in m.range(range) {
+                out.extend(recvs.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Index sizes for the planner's cost model: distinct keys and
+    /// total postings stored under `method`. `None` when the method has
+    /// no stored entries.
+    pub fn attr_stats(&self, method: Oid) -> Option<AttrStats> {
+        self.by_method_key.get(&method).map(|m| AttrStats {
+            distinct_keys: m.len(),
+            postings: m.values().map(|s| s.len()).sum(),
+        })
+    }
+
+    /// True when the stored state of `method` tells the whole story:
+    /// no computed definition exists for it at any arity, and no
+    /// class-object holds a stored default for it (which instances
+    /// would inherit without appearing in the index themselves). Under
+    /// this condition, `value(o, method, args)` is exactly the stored
+    /// entry (or undefined), so an index probe plus an extent
+    /// intersection is a sound candidate set for attribute predicates.
+    pub fn attr_index_complete(&self, method: Oid) -> bool {
+        if self.computed_order.iter().any(|&(_, m, _)| m == method) {
+            return false;
+        }
+        match self.by_method.get(&method) {
+            Some(recvs) => !recvs.iter().any(|&r| self.is_class(r)),
+            None => true,
+        }
+    }
+
+    /// Rebuilds the ordered secondary index from scratch by scanning
+    /// the stored state — the oracle [`Database::attr_index_divergence`]
+    /// compares the live structure against.
+    pub fn rebuilt_attr_index(&self) -> HashMap<Oid, AttrIndex> {
+        let mut out: HashMap<Oid, AttrIndex> = HashMap::new();
+        for ((recv, method, _args), val) in &self.state {
+            for m in val.members() {
+                out.entry(*method)
+                    .or_default()
+                    .entry(ValueKey::of(&self.oids, m))
+                    .or_default()
+                    .insert(*recv);
+            }
+        }
+        out
+    }
+
+    /// Differences between the live ordered index and a fresh rebuild
+    /// from the stored state, rendered one per line. Empty means the
+    /// incremental maintenance (including undo/redo application) left
+    /// the index bit-identical to the rebuild — the invariant the
+    /// transaction-interleaving proptests assert.
+    pub fn attr_index_divergence(&self) -> Vec<String> {
+        let rebuilt = self.rebuilt_attr_index();
+        let mut out = Vec::new();
+        let mut methods: BTreeSet<Oid> = self.by_method_key.keys().copied().collect();
+        methods.extend(rebuilt.keys().copied());
+        for m in methods {
+            let live = self.by_method_key.get(&m);
+            let want = rebuilt.get(&m);
+            if live != want {
+                let name = self.render(m);
+                match (live, want) {
+                    (Some(l), Some(w)) => {
+                        let lk: BTreeSet<&ValueKey> = l.keys().collect();
+                        let wk: BTreeSet<&ValueKey> = w.keys().collect();
+                        for k in lk.symmetric_difference(&wk) {
+                            out.push(format!("{name}: key {k:?} present on one side only"));
+                        }
+                        for k in lk.intersection(&wk) {
+                            if l[k] != w[k] {
+                                out.push(format!("{name}: key {k:?} receiver sets differ"));
+                            }
+                        }
+                    }
+                    (Some(_), None) => out.push(format!("{name}: stale index (no stored state)")),
+                    (None, Some(_)) => out.push(format!("{name}: missing index entries")),
+                    (None, None) => unreachable!("method came from one of the two maps"),
+                }
             }
         }
         out

@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+mod attr_index;
 mod builder;
 mod database;
 mod epoch;
@@ -43,6 +44,7 @@ mod snapshot;
 mod undo;
 mod value;
 
+pub use attr_index::{AttrIndex, AttrStats, ValueKey};
 pub use builder::DbBuilder;
 pub use database::{Database, MethodImpl, MAX_INVOKE_DEPTH};
 pub use epoch::{EpochCell, EpochDb};

@@ -67,6 +67,24 @@ impl Relation {
         Relation::new((0..arity).map(|i| format!("c{i}")))
     }
 
+    /// Builds a relation from a bulk of tuples in one pass: one sort
+    /// plus a bulk tree build instead of a tree descent per tuple.
+    /// Panics on arity mismatch, like [`Relation::insert`].
+    pub fn from_tuples<S, C, I>(columns: C, tuples: I) -> Self
+    where
+        S: Into<String>,
+        C: IntoIterator<Item = S>,
+        I: IntoIterator<Item = Tuple>,
+    {
+        let columns: Vec<String> = columns.into_iter().map(Into::into).collect();
+        let arity = columns.len();
+        let tuples: BTreeSet<Tuple> = tuples
+            .into_iter()
+            .inspect(|t| assert_eq!(t.len(), arity, "tuple arity mismatch"))
+            .collect();
+        Relation { columns, tuples }
+    }
+
     /// Column names.
     pub fn columns(&self) -> &[String] {
         &self.columns

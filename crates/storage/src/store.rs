@@ -1654,10 +1654,7 @@ mod tests {
         assert_eq!(std::fs::read(dir.join("wal.000001")).unwrap(), before);
         // Fenced is terminal: syncs, checkpoints and probes all refuse
         // without re-reading the manifest.
-        assert!(matches!(
-            old.sync_wal(),
-            Err(StorageError::Fenced { .. })
-        ));
+        assert!(matches!(old.sync_wal(), Err(StorageError::Fenced { .. })));
         assert!(matches!(
             old.checkpoint(SnapshotFile {
                 base_tag: "empty".into(),
@@ -1700,12 +1697,12 @@ mod tests {
         assert_eq!(rec.tail, vec![(1, b"one".to_vec()), (2, b"two".to_vec())]);
         let salvage = rec.salvage.unwrap();
         assert_eq!(salvage.segment, "wal.000001");
-        assert_eq!(
-            salvage.offset,
-            (wal::SEG_HEADER + wal::HEADER + 3) as u64
-        );
+        assert_eq!(salvage.offset, (wal::SEG_HEADER + wal::HEADER + 3) as u64);
         assert_eq!(salvage.records_dropped, 1);
-        assert_eq!(salvage.quarantined, vec!["wal.000001.quarantined".to_string()]);
+        assert_eq!(
+            salvage.quarantined,
+            vec!["wal.000001.quarantined".to_string()]
+        );
         assert!(dir.join("wal.000001.quarantined").exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -106,7 +106,10 @@ pub fn scan(bytes: &[u8]) -> WalScan {
         out.header_len = SEG_HEADER as u64;
         out.valid_len = SEG_HEADER as u64;
         pos = SEG_HEADER;
-    } else if !bytes.is_empty() && bytes.len() < SEG_HEADER && SEG_MAGIC.starts_with(&bytes[..bytes.len().min(SEG_MAGIC.len())]) {
+    } else if !bytes.is_empty()
+        && bytes.len() < SEG_HEADER
+        && SEG_MAGIC.starts_with(&bytes[..bytes.len().min(SEG_MAGIC.len())])
+    {
         return out;
     }
     let mut last_seq: Option<u64> = None;

@@ -244,9 +244,7 @@ impl From<storage::StorageError> for XsqlError {
     fn from(e: storage::StorageError) -> Self {
         match e {
             storage::StorageError::DiskFull(m) => XsqlError::DiskFull(m),
-            storage::StorageError::Fenced { observed, own } => {
-                XsqlError::Fenced { observed, own }
-            }
+            storage::StorageError::Fenced { observed, own } => XsqlError::Fenced { observed, own },
             other => XsqlError::Storage(other.to_string()),
         }
     }

@@ -131,6 +131,23 @@ pub struct EvalOptions {
     /// bit-identical to sequential evaluation. Defaults to the
     /// `XSQL_PARALLELISM` environment variable when set.
     pub parallelism: usize,
+    /// Let the cost-based planner (`crate::plan`) take over top-level
+    /// pipelined SELECTs whose WHERE clause it fully recognizes: it
+    /// picks join order and access path (extent scan, attribute-index
+    /// probe or range, hash vs. nested theta join) from estimated
+    /// cardinalities. Results are bit-identical to the pipelined and
+    /// naive engines — the differential suite crosses all of them.
+    /// Defaults to on; the `XSQL_PLANNER=0` environment variable
+    /// disables it wholesale (the no-index/no-planner differential leg
+    /// and CI use this).
+    pub use_planner: bool,
+    /// Minimum candidate count of the partitioned generator before the
+    /// parallel driver spawns workers. Below this, thread spawn and
+    /// merge overhead outweigh the scan (BENCH_parallel.json measured
+    /// 0.85× at 2 workers on a 30-row extent), so evaluation falls back
+    /// to sequential. Floored at 2 — a 1-candidate partition is never
+    /// split. Tests pin it low to force workers on toy extents.
+    pub parallel_min_candidates: usize,
     /// Optional execution-profile sink (`EXPLAIN ANALYZE`). When
     /// attached, the evaluator records strategy, partition, stage and
     /// cost information into it; recording sites are gated on the
@@ -151,6 +168,13 @@ fn env_parallelism() -> usize {
         .map_or(1, |n| n.max(1))
 }
 
+/// Default planner switch: on unless the `XSQL_PLANNER` environment
+/// variable is set to `0` (the differential no-planner leg and CI use
+/// the env hook to sweep whole suites without touching call sites).
+fn env_planner() -> bool {
+    std::env::var("XSQL_PLANNER").map_or(true, |v| v != "0")
+}
+
 impl Default for EvalOptions {
     fn default() -> Self {
         EvalOptions {
@@ -161,6 +185,8 @@ impl Default for EvalOptions {
             budget: EvalBudget::default(),
             cancel: CancelFlag::default(),
             parallelism: env_parallelism(),
+            use_planner: env_planner(),
+            parallel_min_candidates: 64,
             profile: None,
         }
     }

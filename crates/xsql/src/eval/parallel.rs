@@ -66,9 +66,12 @@ pub(crate) fn solve_query_parallel<'q>(
     else {
         return Ok(None);
     };
-    if candidates.len() < 2 {
-        // Zero or one candidate: nothing to split. (Falling back keeps
-        // the empty-candidate case on the exhaustively-tested path.)
+    if candidates.len() < ctx.opts.parallel_min_candidates.max(2) {
+        // Too few candidates to be worth splitting: below the
+        // threshold, thread spawn and merge overhead exceed the scan
+        // itself (company_division_join ran 0.85× at 2 workers before
+        // this gate). The floor of 2 also keeps the zero/one-candidate
+        // cases on the exhaustively-tested sequential path.
         return Ok(None);
     }
     let mut sorts = BTreeMap::new();

@@ -64,6 +64,7 @@ pub struct QueryProfile {
     tuples: AtomicUsize,
     rows_out: AtomicUsize,
     workers: Mutex<Vec<WorkerProfile>>,
+    plan: Mutex<Vec<String>>,
 }
 
 impl QueryProfile {
@@ -77,6 +78,12 @@ impl QueryProfile {
     /// Records the partition the parallel driver committed to.
     pub(crate) fn record_partition(&self, info: PartitionInfo) {
         *self.partition.lock().unwrap() = Some(info);
+    }
+
+    /// Records the cost-based planner's step lines (join order, access
+    /// paths, estimated vs. actual rows).
+    pub(crate) fn record_plan(&self, lines: Vec<String>) {
+        *self.plan.lock().unwrap() = lines;
     }
 
     /// Counts one satisfying binding of the top-level FROM+WHERE.
@@ -142,6 +149,14 @@ impl QueryProfile {
         let mut children = vec![TreeNode::leaf(format!(
             "strategy: {strategy}, parallelism {parallelism}"
         ))];
+
+        let plan_lines = self.plan.lock().unwrap().clone();
+        if !plan_lines.is_empty() {
+            children.push(TreeNode::branch(
+                "cost-based plan".to_string(),
+                plan_lines.into_iter().map(TreeNode::leaf).collect(),
+            ));
+        }
 
         match self.partition() {
             Some(p) => {
@@ -218,15 +233,32 @@ pub(crate) fn static_plan(
     use super::vars;
     use std::collections::BTreeSet;
 
-    let strategy = match (ctx.opts.strategy, ctx.ranges.is_some()) {
-        (super::Strategy::Naive, _) => "naive",
-        (super::Strategy::Pipelined, true) => "pipelined+theorem-6.1-ranges",
-        (super::Strategy::Pipelined, false) => "pipelined",
+    // The planner runs first in the pipelined dispatch; when it would
+    // take the query, the static plan is its join order.
+    let planner_lines = match ctx.opts.strategy {
+        super::Strategy::Pipelined => crate::plan::static_plan_lines(ctx, q),
+        super::Strategy::Naive => None,
+    };
+    let strategy = match (ctx.opts.strategy, ctx.ranges.is_some(), &planner_lines) {
+        (super::Strategy::Naive, _, _) => "naive",
+        (super::Strategy::Pipelined, _, Some(_)) => "planner",
+        (super::Strategy::Pipelined, true, None) => "pipelined+theorem-6.1-ranges",
+        (super::Strategy::Pipelined, false, None) => "pipelined",
     };
     let mut children = vec![TreeNode::leaf(format!(
         "strategy: {strategy}, parallelism {}",
         ctx.opts.parallelism
     ))];
+    if let Some(lines) = planner_lines {
+        children.push(TreeNode::branch(
+            "cost-based plan".to_string(),
+            lines.into_iter().map(TreeNode::leaf).collect(),
+        ));
+        return Ok(relalg::render_tree(&TreeNode::branch(
+            "plan".to_string(),
+            children,
+        )));
+    }
     let prep = prepare(q);
     let outer = Bindings::new();
     let conjs = assemble_conjuncts(q, &prep, &outer);
@@ -240,7 +272,10 @@ pub(crate) fn static_plan(
         None
     };
     match partition {
-        Some(p) if p.candidates.len() >= 2 => {
+        // Mirror the parallel driver's small-extent gate: below the
+        // candidate threshold it declines the split and runs
+        // sequentially, and EXPLAIN must say so.
+        Some(p) if p.candidates.len() >= ctx.opts.parallel_min_candidates.max(2) => {
             let workers = ctx.opts.parallelism.min(p.candidates.len());
             children.push(TreeNode::leaf(format!(
                 "partition: {} via {} ({} candidates, {workers} workers)",

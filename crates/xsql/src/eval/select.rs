@@ -68,7 +68,11 @@ pub fn eval_rows_under<'q>(
     }
     match ctx.opts.strategy {
         super::Strategy::Pipelined => {
-            if let Some(merged) = super::parallel::solve_query_parallel(ctx, q, &prep, outer)? {
+            if let Some(planned) = crate::plan::solve_query_planned(ctx, q, &prep, outer)? {
+                rows = planned;
+            } else if let Some(merged) =
+                super::parallel::solve_query_parallel(ctx, q, &prep, outer)?
+            {
                 rows = merged;
             } else {
                 solve_query(ctx, q, &prep, outer, &mut |ctx2, bnd| {
@@ -381,7 +385,7 @@ fn operand_name(op: &Operand) -> Option<String> {
 /// interning — use a `Session`).
 pub fn eval_to_relation(ctx: &Ctx<'_>, q: &SelectQuery) -> XsqlResult<Relation> {
     let (columns, rows) = eval_rows(ctx, q)?;
-    let mut rel = Relation::new(columns);
+    let mut tuples = Vec::with_capacity(rows.len());
     for row in rows {
         let mut t = Vec::with_capacity(row.len());
         for c in row {
@@ -396,9 +400,9 @@ pub fn eval_to_relation(ctx: &Ctx<'_>, q: &SelectQuery) -> XsqlResult<Relation> 
                 }
             }
         }
-        rel.insert(t);
+        tuples.push(t);
     }
-    Ok(rel)
+    Ok(Relation::from_tuples(columns, tuples))
 }
 
 #[cfg(test)]

@@ -49,6 +49,7 @@ pub use session::{Outcome, RecoveryInfo, Session};
 pub use unparse::{unparse_query, unparse_stmt};
 mod dump;
 pub mod eval;
+pub mod plan;
 mod session;
 pub mod typing;
 mod unparse;

@@ -1,0 +1,463 @@
+//! Plan execution: filtered scans, hash joins, theta joins, emission.
+//!
+//! Everything semantic is delegated to the stock evaluator — candidates
+//! come from the same extents ([`oodb::Database::instances_of`] filtered
+//! by `sort_ok`, exactly like the pipelined `InstanceOf` generator),
+//! filters run through [`Ctx::holds`], join edges through
+//! [`Ctx::compare`] / [`Ctx::set_compare`] / `elem_eq` over cached
+//! per-candidate columns, and rows through `emit_rows`. This module only
+//! changes the *order* of that work (set-at-a-time with hash tables and
+//! cached columns instead of candidate-at-a-time with re-scans), so
+//! results are bit-identical to the other engines.
+//!
+//! Tick discipline mirrors the pipelined engine: one tick per candidate
+//! examined, per hash probe hit, per theta pair, per emitted cell; one
+//! tuple count per materialized join tuple and per fresh result row.
+//! Work limits, tuple budgets, deadlines and cancellation therefore
+//! fire on the same counters with the same error types.
+//!
+//! Intermediate tuples live in a flat, width-strided `Vec<u32>` of
+//! candidate indices (no per-tuple allocation); a join step appends one
+//! column. Two specializations carry the benchmark loads: a raw-`f64`
+//! theta loop when every edge compares singleton numerals under
+//! existential quantifiers (`employee_self_join`: 870×870 pairs), and
+//! direct row construction plus bulk sorted-set building when every
+//! SELECT item is a bare variable (193k-row emission).
+
+use super::{EdgeKind, Plan, Probe, StepMethod};
+use crate::ast::{CmpOp, IdTerm, Operand, Quant, SelectItem, SelectQuery, SelectValue, VarSort};
+use crate::error::XsqlResult;
+use crate::eval::bindings::Bindings;
+use crate::eval::select::emit_rows;
+use crate::eval::value::{Cell, Elem};
+use crate::eval::Ctx;
+use oodb::Oid;
+use std::collections::{BTreeSet, HashMap};
+
+/// One all-`f64` theta edge, ready for the tight loop: the two cached
+/// columns, the comparator, whether the new variable is the left side,
+/// and the already-joined side's tuple slot.
+type FastEdge<'a> = (&'a [f64], &'a [f64], CmpOp, bool, usize);
+
+/// Hash key with exactly the equivalence of `elem_eq`: numeral elements
+/// (computed numbers and numeral objects alike) collapse onto their
+/// numeric value, everything else is object identity. `-0.0` is
+/// normalized onto `0.0`; NaN elements are skipped by both build and
+/// probe sides (`elem_eq` with NaN is always false).
+#[derive(PartialEq, Eq, Hash, Clone, Copy)]
+enum CanonKey {
+    Num(u64),
+    Obj(Oid),
+}
+
+impl CanonKey {
+    fn of(ctx: &Ctx<'_>, e: Elem) -> Option<CanonKey> {
+        let num = match e {
+            Elem::Num(n) => Some(n),
+            Elem::Obj(o) => ctx.db.oids().as_number(o),
+        };
+        match (num, e) {
+            (Some(n), _) if n.is_nan() => None,
+            (Some(n), _) => Some(CanonKey::Num((if n == 0.0 { 0.0 } else { n }).to_bits())),
+            (None, Elem::Obj(o)) => Some(CanonKey::Obj(o)),
+            (None, Elem::Num(_)) => unreachable!("Elem::Num always yields a number"),
+        }
+    }
+}
+
+/// The cached per-candidate element columns of one join edge. Indexed
+/// by candidate position in the owning variable's candidate list.
+struct EdgeColumns {
+    a: Vec<Vec<Elem>>,
+    b: Vec<Vec<Elem>>,
+    /// `Some` when every element set on both sides is a singleton
+    /// number and both quantifiers are existential: the edge can then
+    /// be compared as raw `f64`s.
+    fast: Option<(Vec<f64>, Vec<f64>)>,
+}
+
+fn f64_cmp(op: CmpOp, x: f64, y: f64) -> bool {
+    match op {
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+        CmpOp::Lt => x < y,
+        CmpOp::Le => x <= y,
+        CmpOp::Gt => x > y,
+        CmpOp::Ge => x >= y,
+    }
+}
+
+/// Executes the plan: returns the per-step actual tuple counts, with
+/// result rows inserted into `rows`.
+pub(crate) fn execute(
+    ctx: &Ctx<'_>,
+    q: &SelectQuery,
+    plan: &Plan<'_>,
+    rows: &mut BTreeSet<Vec<Cell>>,
+) -> XsqlResult<Vec<usize>> {
+    // ---- access paths: filtered candidate list per variable --------
+    let mut cands: Vec<Vec<Oid>> = Vec::with_capacity(plan.vars.len());
+    for (vi, v) in plan.vars.iter().enumerate() {
+        let base = ctx.db.instances_of(v.class);
+        // Index narrowing: intersect with the receivers the probes
+        // admit. A probe is a sound superset, so this only removes
+        // candidates `holds` would reject anyway.
+        let mut narrowed: Option<BTreeSet<Oid>> = None;
+        for f in plan.filters.iter().filter(|f| f.var == vi) {
+            let set = match &f.probe {
+                Some(Probe::Eq { method, key }) => ctx.db.attr_receivers_eq(*method, key),
+                Some(Probe::Range { method, lo, hi }) => ctx
+                    .db
+                    .attr_receivers_range(*method, (lo.clone(), hi.clone())),
+                None => continue,
+            };
+            narrowed = Some(match narrowed {
+                None => set,
+                Some(prev) => prev.intersection(&set).copied().collect(),
+            });
+        }
+        let mut kept = Vec::new();
+        let mut bnd = Bindings::new();
+        let mark = bnd.mark();
+        'cand: for o in base {
+            ctx.tick()?;
+            if !ctx.sort_ok(VarSort::Individual, o) {
+                continue;
+            }
+            if let Some(set) = &narrowed {
+                if !set.contains(&o) {
+                    continue;
+                }
+            }
+            bnd.push(v.name, o);
+            for f in plan.filters.iter().filter(|f| f.var == vi) {
+                if !ctx.holds(f.cond, &bnd)? {
+                    bnd.truncate(mark);
+                    continue 'cand;
+                }
+            }
+            bnd.truncate(mark);
+            kept.push(o);
+        }
+        ctx.check_binding_set(kept.len())?;
+        cands.push(kept);
+    }
+
+    // ---- join edge columns -----------------------------------------
+    let mut columns: Vec<EdgeColumns> = Vec::with_capacity(plan.edges.len());
+    for e in &plan.edges {
+        let mut bnd = Bindings::new();
+        let mark = bnd.mark();
+        let mut side = |vi: usize, which_a: bool| -> XsqlResult<Vec<Vec<Elem>>> {
+            let v = &plan.vars[vi];
+            let mut col = Vec::with_capacity(cands[vi].len());
+            for &o in &cands[vi] {
+                ctx.tick()?;
+                bnd.push(v.name, o);
+                let elems = match &e.kind {
+                    EdgeKind::Cmp { left, right, .. } | EdgeKind::SetCmp { left, right, .. } => {
+                        ctx.operand_value(if which_a { left } else { right }, &bnd)?
+                    }
+                    EdgeKind::SetLink { path } => {
+                        if which_a {
+                            ctx.path_value(path, &bnd)?
+                                .into_iter()
+                                .map(Elem::Obj)
+                                .collect()
+                        } else {
+                            vec![Elem::Obj(o)]
+                        }
+                    }
+                };
+                bnd.truncate(mark);
+                col.push(elems);
+            }
+            Ok(col)
+        };
+        let a = side(e.a, true)?;
+        let b = side(e.b, false)?;
+        let singletons = |col: &[Vec<Elem>]| -> Option<Vec<f64>> {
+            col.iter()
+                .map(|es| match es.as_slice() {
+                    [Elem::Num(n)] => Some(*n),
+                    [Elem::Obj(o)] => ctx.db.oids().as_number(*o),
+                    _ => None,
+                })
+                .collect()
+        };
+        let fast = match &e.kind {
+            EdgeKind::Cmp { lq, rq, .. } if *lq != Some(Quant::All) && *rq != Some(Quant::All) => {
+                singletons(&a).zip(singletons(&b))
+            }
+            _ => None,
+        };
+        columns.push(EdgeColumns { a, b, fast });
+    }
+
+    // ---- join loop -------------------------------------------------
+    // Flat width-strided tuple store: one `u32` candidate index per
+    // joined variable; `slot[vi]` maps a variable to its stride offset.
+    let mut slot: Vec<usize> = vec![usize::MAX; plan.vars.len()];
+    let mut width = 0usize;
+    let mut tuples: Vec<u32> = Vec::new();
+    let mut ntuples = 0usize;
+    let mut actuals = Vec::with_capacity(plan.steps.len());
+
+    // True iff edge `ei` holds between candidate `ai` of its a-side
+    // variable and candidate `bi` of its b-side variable.
+    let edge_holds = |ei: usize, ai: usize, bi: usize| -> bool {
+        let cols = &columns[ei];
+        match &plan.edges[ei].kind {
+            EdgeKind::Cmp { lq, op, rq, .. } => {
+                if let Some((fa, fb)) = &cols.fast {
+                    return f64_cmp(*op, fa[ai], fb[bi]);
+                }
+                ctx.compare(&cols.a[ai], *lq, *op, *rq, &cols.b[bi])
+            }
+            EdgeKind::SetCmp { op, .. } => ctx.set_compare(&cols.a[ai], *op, &cols.b[bi]),
+            // `X.Path[B]`: some member of the path value is the
+            // candidate — existential element equality.
+            EdgeKind::SetLink { .. } => {
+                ctx.compare(&cols.a[ai], None, CmpOp::Eq, None, &cols.b[bi])
+            }
+        }
+    };
+    // Resolves edge `ei` endpoints into (a-side, b-side) candidate
+    // indices given the new variable `vi` at candidate `ci` and an
+    // existing tuple.
+    let pair = |ei: usize, vi: usize, ci: u32, t: &[u32], slot: &[usize]| -> (usize, usize) {
+        let e = &plan.edges[ei];
+        if e.a == vi {
+            (ci as usize, t[slot[e.b]] as usize)
+        } else {
+            (t[slot[e.a]] as usize, ci as usize)
+        }
+    };
+
+    for step in &plan.steps {
+        let vi = step.var;
+        let ncand = cands[vi].len() as u32;
+        match &step.method {
+            StepMethod::Scan => {
+                tuples = (0..ncand).collect();
+                width = 1;
+                ntuples = tuples.len();
+                ctx.count_tuples(ntuples)?;
+            }
+            StepMethod::Cross => {
+                let mut next = Vec::new();
+                for t in tuples.chunks_exact(width.max(1)) {
+                    for ci in 0..ncand {
+                        ctx.tick()?;
+                        ctx.count_tuples(1)?;
+                        next.extend_from_slice(t);
+                        next.push(ci);
+                    }
+                }
+                tuples = next;
+                width += 1;
+                ntuples = tuples.len() / width;
+            }
+            StepMethod::Hash(hei) => {
+                // Build over the new variable's side of the hash edge.
+                let e = &plan.edges[*hei];
+                let new_is_a = e.a == vi;
+                let build_col = if new_is_a {
+                    &columns[*hei].a
+                } else {
+                    &columns[*hei].b
+                };
+                let probe_col = if new_is_a {
+                    &columns[*hei].b
+                } else {
+                    &columns[*hei].a
+                };
+                let other_slot = slot[if new_is_a { e.b } else { e.a }];
+                let mut table: HashMap<CanonKey, Vec<u32>> = HashMap::new();
+                for (ci, elems) in build_col.iter().enumerate() {
+                    ctx.tick()?;
+                    for &el in elems {
+                        if let Some(k) = CanonKey::of(ctx, el) {
+                            let bucket = table.entry(k).or_default();
+                            if bucket.last() != Some(&(ci as u32)) {
+                                bucket.push(ci as u32);
+                            }
+                        }
+                    }
+                }
+                let residual: Vec<usize> =
+                    step.edges.iter().copied().filter(|ei| ei != hei).collect();
+                let mut next = Vec::new();
+                let mut count = 0usize;
+                let mut matched: Vec<u32> = Vec::new();
+                for t in tuples.chunks_exact(width) {
+                    let probe_ci = t[other_slot] as usize;
+                    matched.clear();
+                    for &el in &probe_col[probe_ci] {
+                        if let Some(k) = CanonKey::of(ctx, el) {
+                            if let Some(bucket) = table.get(&k) {
+                                matched.extend_from_slice(bucket);
+                            }
+                        }
+                    }
+                    matched.sort_unstable();
+                    matched.dedup();
+                    'new: for &ci in &matched {
+                        ctx.tick()?;
+                        for &ei in &residual {
+                            let (ai, bi) = pair(ei, vi, ci, t, &slot);
+                            if !edge_holds(ei, ai, bi) {
+                                continue 'new;
+                            }
+                        }
+                        ctx.count_tuples(1)?;
+                        count += 1;
+                        next.extend_from_slice(t);
+                        next.push(ci);
+                    }
+                }
+                tuples = next;
+                width += 1;
+                ntuples = count;
+            }
+            StepMethod::Theta => {
+                // All-f64 edges: compare raw numbers in a tight loop
+                // with the per-tuple side hoisted out.
+                let fast: Option<Vec<FastEdge>> = step
+                    .edges
+                    .iter()
+                    .map(|&ei| {
+                        let e = &plan.edges[ei];
+                        let (fa, fb) = columns[ei].fast.as_ref()?;
+                        let EdgeKind::Cmp { op, .. } = &e.kind else {
+                            return None;
+                        };
+                        let new_is_a = e.a == vi;
+                        let other_slot = slot[if new_is_a { e.b } else { e.a }];
+                        Some((fa.as_slice(), fb.as_slice(), *op, new_is_a, other_slot))
+                    })
+                    .collect();
+                let mut next = Vec::new();
+                let mut count = 0usize;
+                if let Some(fast) = fast {
+                    for t in tuples.chunks_exact(width) {
+                        // (comparator, new-var column, other side's value)
+                        let sides: Vec<(CmpOp, &[f64], f64, bool)> = fast
+                            .iter()
+                            .map(|&(fa, fb, op, new_is_a, os)| {
+                                let other = t[os] as usize;
+                                if new_is_a {
+                                    (op, fa, fb[other], true)
+                                } else {
+                                    (op, fb, fa[other], false)
+                                }
+                            })
+                            .collect();
+                        'fcand: for ci in 0..ncand as usize {
+                            ctx.tick()?;
+                            for &(op, col, other, new_is_left) in &sides {
+                                let ok = if new_is_left {
+                                    f64_cmp(op, col[ci], other)
+                                } else {
+                                    f64_cmp(op, other, col[ci])
+                                };
+                                if !ok {
+                                    continue 'fcand;
+                                }
+                            }
+                            ctx.count_tuples(1)?;
+                            count += 1;
+                            next.extend_from_slice(t);
+                            next.push(ci as u32);
+                        }
+                    }
+                } else {
+                    for t in tuples.chunks_exact(width) {
+                        'cand: for ci in 0..ncand {
+                            ctx.tick()?;
+                            for &ei in &step.edges {
+                                let (ai, bi) = pair(ei, vi, ci, t, &slot);
+                                if !edge_holds(ei, ai, bi) {
+                                    continue 'cand;
+                                }
+                            }
+                            ctx.count_tuples(1)?;
+                            count += 1;
+                            next.extend_from_slice(t);
+                            next.push(ci);
+                        }
+                    }
+                }
+                tuples = next;
+                width += 1;
+                ntuples = count;
+            }
+        }
+        slot[vi] = width - 1;
+        actuals.push(ntuples);
+    }
+
+    // ---- emission ---------------------------------------------------
+    // Fast path: every SELECT item is a bare FROM variable (`SELECT X,
+    // Y`), so each row is the tuple's candidates as cells — no binding
+    // stack, no operand evaluation. Rows are built in bulk, sorted, and
+    // loaded into the set in one pass (BTreeSet insertion per row is
+    // most of the wall-clock on a 193k-row join).
+    let atom_vars: Option<Vec<usize>> = q
+        .select
+        .iter()
+        .map(|item| {
+            let op = match item {
+                SelectItem::Expr(op) => op,
+                SelectItem::Named {
+                    value: SelectValue::Expr(op),
+                    ..
+                } => op,
+                _ => return None,
+            };
+            let Operand::Path(p) = op else {
+                return None;
+            };
+            if !p.steps.is_empty() {
+                return None;
+            }
+            let IdTerm::Var(v) = &p.head else {
+                return None;
+            };
+            plan.vars.iter().position(|pv| pv.name == v.name)
+        })
+        .collect();
+    if let Some(tpl) = atom_vars {
+        let mut out: Vec<Vec<Cell>> = Vec::with_capacity(ntuples);
+        for t in tuples.chunks_exact(width.max(1)) {
+            if let Some(p) = &ctx.opts.profile {
+                p.count_solution();
+            }
+            let mut row = Vec::with_capacity(tpl.len());
+            for &vi in &tpl {
+                ctx.tick()?;
+                ctx.check_binding_set(1)?;
+                row.push(Cell::Obj(cands[vi][t[slot[vi]] as usize]));
+            }
+            out.push(row);
+        }
+        // FromIterator on a BTreeSet sorts and bulk-builds — far
+        // cheaper than per-row tree descents.
+        *rows = out.into_iter().collect();
+        ctx.count_tuples(rows.len())?;
+        return Ok(actuals);
+    }
+    let mut bnd = Bindings::new();
+    let mark = bnd.mark();
+    for t in tuples.chunks_exact(width.max(1)) {
+        for (vi, v) in plan.vars.iter().enumerate() {
+            bnd.push(v.name, cands[vi][t[slot[vi]] as usize]);
+        }
+        if let Some(p) = &ctx.opts.profile {
+            p.count_solution();
+        }
+        emit_rows(ctx, &q.select, &bnd, rows)?;
+        bnd.truncate(mark);
+    }
+    Ok(actuals)
+}

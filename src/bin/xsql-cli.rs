@@ -477,9 +477,14 @@ fn listen_replica(cfg: &Config, primary_dir: &str, addr: &str) -> ExitCode {
         drop(replica.stop());
         let base = fixture(&promote_tag)?;
         let path = std::path::Path::new(&promote_dir);
-        let mut session =
-            Session::open_dir(Box::new(RealFs), path, base, &promote_tag, Default::default())
-                .map_err(|e| format!("promotion recovery failed: {e}"))?;
+        let mut session = Session::open_dir(
+            Box::new(RealFs),
+            path,
+            base,
+            &promote_tag,
+            Default::default(),
+        )
+        .map_err(|e| format!("promotion recovery failed: {e}"))?;
         let generation = session
             .promote_store()
             .map_err(|e| format!("generation bump failed: {e}"))?;

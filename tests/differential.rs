@@ -2,9 +2,10 @@
 //! nested-loop engine must agree exactly with the naive §3.4
 //! specification semantics — on hand-written queries over the Figure 1
 //! instance and on property-generated queries over random databases.
-//! Every query additionally runs with the method index disabled and
-//! with parallel evaluation (4 workers), which must all produce the
-//! same relation bit-for-bit.
+//! Every query additionally runs with the method index disabled, with
+//! parallel evaluation (4 workers), and through the cost-based planner
+//! (with and without index probes), which must all produce the same
+//! relation bit-for-bit.
 
 use datagen::figure1_db;
 use oodb::{Database, DbBuilder, Oid};
@@ -13,15 +14,22 @@ use xsql::ast::Stmt;
 use xsql::{eval_select, parse, resolve_stmt, EvalOptions};
 
 /// Evaluates `src` under every engine configuration that must agree:
-/// the pipelined default, the naive §3.4 reference, the method index
-/// disabled (forcing active-domain enumeration), and parallel
-/// evaluation with and without the index. Returns labelled relations.
+/// the pipelined engine with the planner disabled, the naive §3.4
+/// reference, the method index disabled (forcing active-domain
+/// enumeration), parallel evaluation with and without the index, and
+/// the cost-based planner with and without index probes. The planner
+/// switch is pinned explicitly on every leg so the crossing does not
+/// depend on the `XSQL_PLANNER` environment. Returns labelled
+/// relations.
 fn engines(db: &mut Database, src: &str) -> Vec<(&'static str, relalg::Relation)> {
     let stmt = parse(src).unwrap();
     let Stmt::Select(q) = resolve_stmt(db, &stmt).unwrap() else {
         panic!("not a select")
     };
-    let base = EvalOptions::default();
+    let base = EvalOptions {
+        use_planner: false,
+        ..EvalOptions::default()
+    };
     let configs: Vec<(&'static str, EvalOptions)> = vec![
         ("pipelined", base.clone()),
         ("naive", EvalOptions::naive()),
@@ -43,6 +51,21 @@ fn engines(db: &mut Database, src: &str) -> Vec<(&'static str, relalg::Relation)
             "parallel(4),no-method-index",
             EvalOptions {
                 parallelism: 4,
+                use_method_index: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "planner",
+            EvalOptions {
+                use_planner: true,
+                ..base.clone()
+            },
+        ),
+        (
+            "planner,no-method-index",
+            EvalOptions {
+                use_planner: true,
                 use_method_index: false,
                 ..base.clone()
             },
@@ -81,6 +104,14 @@ fn figure1_engine_agreement() {
         "SELECT X FROM Employee X WHERE not X.OwnedVehicles[V]",
         // Disjunction that binds different variables per branch.
         "SELECT X FROM Person X WHERE X.OwnedVehicles[V].Color['green'] or X.Salary[W]",
+        // Planner-fragment joins: theta (two inequality edges), hash on
+        // an equality edge, and hash on a set-membership link combined
+        // with an index-range filter.
+        "SELECT X, Y FROM Employee X, Employee Y WHERE X.Salary > Y.Salary and X.Age < Y.Age",
+        "SELECT X, Y FROM Person X, Person Y WHERE X.Age = Y.Age",
+        "SELECT X, W FROM Company X, Employee W \
+         WHERE X.Divisions.Employees[W] and W.Salary > 30000",
+        "SELECT X, Y FROM Person X, Automobile Y WHERE X.OwnedVehicles[Y] and X.Age >= 34",
     ] {
         assert_all_agree(&mut db, src);
     }
@@ -136,7 +167,7 @@ proptest! {
         edges in proptest::collection::vec((0u8..6, 0u8..6), 0..12),
         labels in proptest::collection::vec((0u8..6, any::<bool>()), 0..6),
         ages in proptest::collection::vec((0u8..6, 0u8..40), 0..6),
-        qsel in 0usize..10,
+        qsel in 0usize..14,
         t in 0u8..40,
     ) {
         let mut db = random_db(&edges, &labels, &ages);
@@ -155,6 +186,14 @@ proptest! {
             // with the naive and index-free engines.
             format!("SELECT X FROM Node X WHERE X.Age[{t}]"),
             format!("SELECT X FROM Node X WHERE X.Age[{t}.0] and X.Next"),
+            // Planner-fragment joins over the mixed Int/Real numeral
+            // spellings: the hash join's canonical key must collapse
+            // `2` and `2.0` exactly like `elem_eq`, and the equality
+            // probe must agree with the naive engine despite spelling.
+            "SELECT X, Y FROM Node X, Node Y WHERE X.Age = Y.Age".to_string(),
+            format!("SELECT X, Y FROM Special X, Node Y WHERE X.Next[Y] and Y.Age > {t}"),
+            format!("SELECT X, Y FROM Node X, Node Y WHERE X.Age > Y.Age and X.Age <= {t}"),
+            format!("SELECT X, Y FROM Node X, Special Y WHERE X.Next[Y] and X.Age = {t}.0"),
         ];
         let results = engines(&mut db, &queries[qsel]);
         let (ref_label, ref_rel) = &results[0];

@@ -58,6 +58,10 @@ fn det_session(strategy: Strategy, parallelism: usize) -> Session {
     let opts = EvalOptions {
         strategy,
         parallelism,
+        // The Figure 1 extents are tiny; pin the parallel gate low so
+        // partition reporting stays observable (and not subject to the
+        // production small-extent fallback, tested in parallel_eval.rs).
+        parallel_min_candidates: 2,
         ..EvalOptions::default()
     };
     let mut s = Session::with_options(figure1_db(), opts);
@@ -268,6 +272,8 @@ fn telemetry_leaves_results_bit_identical() {
 
 #[test]
 fn plain_explain_includes_static_plan() {
+    // A single-variable filter query is inside the cost-based planner's
+    // fragment: plain EXPLAIN shows its static plan.
     let mut s = det_session(Strategy::Pipelined, 1);
     let report = match s.run("EXPLAIN SELECT X FROM Person X WHERE X.Residence.City['austin']") {
         Ok(Outcome::Explained { report }) => report,
@@ -278,14 +284,19 @@ fn plain_explain_includes_static_plan() {
     // …and the static plan follows it.
     assert!(report.contains("plan"), "{report}");
     assert!(
-        report.contains("strategy: pipelined, parallelism 1"),
+        report.contains("strategy: planner, parallelism 1"),
         "{report}"
     );
-    assert!(report.contains("partition: none (sequential)"), "{report}");
+    assert!(report.contains("cost-based plan"), "{report}");
+    assert!(report.contains("scan X: Person extent"), "{report}");
+    assert!(report.contains("filter X: "), "{report}");
 
-    // At parallelism 4 the plan predicts the partition without running.
+    // A selector-variable path is outside the fragment: the pipelined
+    // engine keeps it, and at parallelism 4 the plan predicts the
+    // partition without running.
     let mut s4 = det_session(Strategy::Pipelined, 4);
-    let report = match s4.run("EXPLAIN SELECT X FROM Person X WHERE X.Residence.City['austin']") {
+    let report = match s4.run("EXPLAIN SELECT Y FROM Person X WHERE X.Residence[Y].City['austin']")
+    {
         Ok(Outcome::Explained { report }) => report,
         other => panic!("expected Explained, got {other:?}"),
     };

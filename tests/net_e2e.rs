@@ -329,7 +329,11 @@ fn kill9_promote_replica_and_rejoin_old_primary() {
         failover.as_millis()
     );
     let h = c.ping().expect("promoted ping");
-    assert_eq!(h.role, net::Role::Primary, "promoted node serves as primary");
+    assert_eq!(
+        h.role,
+        net::Role::Primary,
+        "promoted node serves as primary"
+    );
     assert_eq!(h.generation, 2, "promotion bumped the fencing term");
     c.goodbye();
 

@@ -183,6 +183,72 @@ fn parallel_session_agrees_with_sequential_session() {
     }
 }
 
+/// Small extents must not pay pool overhead: below
+/// `parallel_min_candidates` the evaluator runs sequentially even when
+/// parallelism was requested — no workers spawn, and the profile says
+/// so. Above the threshold the pool still engages.
+#[test]
+fn small_extents_fall_back_to_sequential() {
+    // Outside the cost-based planner's fragment (selector variable), so
+    // the pipelined engine with its partitioner handles the query.
+    let analyze = |mut s: Session, sql: &str| -> String {
+        match s.run(&format!("EXPLAIN ANALYZE {sql}")) {
+            Ok(xsql::Outcome::Explained { report }) => report,
+            other => panic!("expected a report, got {other:?}"),
+        }
+    };
+
+    // Figure 1's Person extent is far below the default threshold of
+    // 64: requesting 4 workers must still run sequentially.
+    let small = Session::with_options(
+        figure1_db(),
+        EvalOptions {
+            parallelism: 4,
+            ..EvalOptions::default()
+        },
+    );
+    let report = analyze(
+        small,
+        "SELECT Y FROM Person X WHERE X.Residence[Y].City['austin']",
+    );
+    assert!(
+        report.contains("partition: none (sequential)"),
+        "small extent should not partition:\n{report}"
+    );
+    assert!(!report.contains("worker 0:"), "{report}");
+
+    // The scaled Employee extent (~870) is above the threshold: the
+    // same options do spawn workers there.
+    let large = Session::with_options(
+        figure1_scaled(&Figure1Params::default()),
+        EvalOptions {
+            parallelism: 4,
+            ..EvalOptions::default()
+        },
+    );
+    let report = analyze(
+        large,
+        "SELECT X FROM Employee X WHERE X.OwnedVehicles[V] and V.Color['red']",
+    );
+    assert!(report.contains("worker 0:"), "{report}");
+
+    // Pinning the threshold down re-enables partitioning on the small
+    // extent — the fallback is the gate, not the extent itself.
+    let pinned = Session::with_options(
+        figure1_db(),
+        EvalOptions {
+            parallelism: 4,
+            parallel_min_candidates: 2,
+            ..EvalOptions::default()
+        },
+    );
+    let report = analyze(
+        pinned,
+        "SELECT Y FROM Person X WHERE X.Residence[Y].City['austin']",
+    );
+    assert!(report.contains("worker 0:"), "{report}");
+}
+
 /// Regression test for the unbudgeted id-term head scan: the
 /// `IdTerm::Func` branch of `walk_path` enumerates every id-term
 /// object in the database when the head is not fully bound, and that
