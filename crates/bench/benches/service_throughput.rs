@@ -17,6 +17,15 @@
 //! trip + row streaming on every statement), so the delta against the
 //! in-process rows is the measured cost of the wire protocol.
 //!
+//! E16 adds the prepared grids: each reader PREPAREs the join once and
+//! then loops `EXECUTE` (in-process via the session handle, over TCP
+//! via the dedicated Prepare/ExecutePrepared frames), so the delta
+//! against the plain-text rows is what re-parsing buys once the plan
+//! cache is warm. The run asserts the readers=2 regression guard
+//! (throughput at 2 readers must stay within 25% of 1 reader — the
+//! PR 9 dip this PR fixes) and records the speedup of the warm
+//! prepared read over the PR 9 plain-text baseline of 845/s.
+//!
 //! Results go to `BENCH_service.json` at the repo root (hand-rendered
 //! JSON; the offline criterion shim has no reporting). Wall-clock
 //! timing — the quantities of interest are thread-level throughputs,
@@ -51,18 +60,28 @@ struct ReadStats {
 }
 
 /// Spawns `n` reader sessions hammering `READ_QUERY` until `stop`;
-/// returns pooled count and latency percentiles (µs).
-fn run_readers(svc: &Arc<Service>, n: usize, stop: &Arc<AtomicBool>) -> ReadStats {
+/// with `prepared`, each reader PREPAREs the query once and loops
+/// `EXECUTE` instead of the full text. Returns pooled count and
+/// latency percentiles (µs).
+fn run_readers(svc: &Arc<Service>, n: usize, prepared: bool, stop: &Arc<AtomicBool>) -> ReadStats {
     let handles: Vec<_> = (0..n)
         .map(|_| {
             let svc = Arc::clone(svc);
             let stop = Arc::clone(stop);
             std::thread::spawn(move || {
                 let mut h = svc.connect().expect("connect reader");
+                let ctx = QueryContext::default();
+                let src = if prepared {
+                    h.execute(&format!("PREPARE bench_read AS {READ_QUERY}"), &ctx)
+                        .expect("prepare");
+                    "EXECUTE bench_read"
+                } else {
+                    READ_QUERY
+                };
                 let mut lat = Vec::new();
                 while !stop.load(Ordering::Relaxed) {
                     let t = Instant::now();
-                    h.query(READ_QUERY, &QueryContext::default()).expect("read");
+                    h.query(src, &ctx).expect("read");
                     lat.push(t.elapsed().as_micros());
                 }
                 lat
@@ -82,7 +101,7 @@ fn run_readers(svc: &Arc<Service>, n: usize, stop: &Arc<AtomicBool>) -> ReadStat
     }
 }
 
-fn readers_only(n: usize) -> ReadStats {
+fn readers_only(n: usize, prepared: bool) -> ReadStats {
     let svc = Arc::new(Service::start(
         Session::new(scaled_db()),
         ServiceConfig::default(),
@@ -95,7 +114,7 @@ fn readers_only(n: usize) -> ReadStats {
             stop.store(true, Ordering::Relaxed);
         })
     };
-    let stats = run_readers(&svc, n, &stop);
+    let stats = run_readers(&svc, n, prepared, &stop);
     timer.join().unwrap();
     stats
 }
@@ -157,7 +176,7 @@ fn mixed() -> MixedStats {
             stop.store(true, Ordering::Relaxed);
         })
     };
-    let read = run_readers(&svc, 4, &stop);
+    let read = run_readers(&svc, 4, false, &stop);
     let mut wlat = writer.join().expect("writer thread");
     timer.join().unwrap();
     wlat.sort_unstable();
@@ -190,17 +209,43 @@ fn tcp_statement(c: &mut Client, stmt: &str) -> u128 {
     }
 }
 
-/// Spawns `n` TCP clients hammering `READ_QUERY` until `stop`.
-fn run_tcp_readers(addr: &str, n: usize, stop: &Arc<AtomicBool>) -> ReadStats {
+/// One warm `ExecutePrepared` round trip with retry on typed
+/// retryable sheds.
+fn tcp_execute_prepared(c: &mut Client, name: &str) -> u128 {
+    loop {
+        let t = Instant::now();
+        match c.execute_prepared(name, &[]) {
+            Ok(_) => return t.elapsed().as_micros(),
+            Err(NetError::Server {
+                code, retry_after, ..
+            }) if code.retryable() => {
+                std::thread::sleep(retry_after.max(Duration::from_micros(50)))
+            }
+            Err(e) => panic!("TCP EXECUTE {name} failed: {e}"),
+        }
+    }
+}
+
+/// Spawns `n` TCP clients hammering `READ_QUERY` until `stop`; with
+/// `prepared`, each client sends one Prepare frame and then loops
+/// ExecutePrepared frames.
+fn run_tcp_readers(addr: &str, n: usize, prepared: bool, stop: &Arc<AtomicBool>) -> ReadStats {
     let handles: Vec<_> = (0..n)
         .map(|_| {
             let addr = addr.to_string();
             let stop = Arc::clone(stop);
             std::thread::spawn(move || {
                 let mut c = Client::connect(&addr, "").expect("connect TCP reader");
+                if prepared {
+                    c.prepare("bench_read", READ_QUERY).expect("prepare");
+                }
                 let mut lat = Vec::new();
                 while !stop.load(Ordering::Relaxed) {
-                    lat.push(tcp_statement(&mut c, READ_QUERY));
+                    lat.push(if prepared {
+                        tcp_execute_prepared(&mut c, "bench_read")
+                    } else {
+                        tcp_statement(&mut c, READ_QUERY)
+                    });
                 }
                 c.goodbye();
                 lat
@@ -220,7 +265,7 @@ fn run_tcp_readers(addr: &str, n: usize, stop: &Arc<AtomicBool>) -> ReadStats {
     }
 }
 
-fn tcp_readers_only(n: usize) -> ReadStats {
+fn tcp_readers_only(n: usize, prepared: bool) -> ReadStats {
     let svc = Arc::new(Service::start(
         Session::new(scaled_db()),
         ServiceConfig::default(),
@@ -240,7 +285,7 @@ fn tcp_readers_only(n: usize) -> ReadStats {
             stop.store(true, Ordering::Relaxed);
         })
     };
-    let stats = run_tcp_readers(&addr, n, &stop);
+    let stats = run_tcp_readers(&addr, n, prepared, &stop);
     timer.join().unwrap();
     server.shutdown();
     drop(svc);
@@ -302,7 +347,7 @@ fn tcp_mixed() -> MixedStats {
             stop.store(true, Ordering::Relaxed);
         })
     };
-    let read = run_tcp_readers(&addr, 4, &stop);
+    let read = run_tcp_readers(&addr, 4, false, &stop);
     let mut wlat = writer.join().expect("TCP writer thread");
     timer.join().unwrap();
     wlat.sort_unstable();
@@ -327,11 +372,13 @@ fn main() {
         json,
         "  \"read_query\": \"2-var Employee join over 200-object figure1\","
     );
-    json.push_str("  \"readers_only\": [\n");
     let ns = [1usize, 2, 4, 8];
+    let mut plain_qps: Vec<f64> = Vec::new();
+    json.push_str("  \"readers_only\": [\n");
     for (i, &n) in ns.iter().enumerate() {
-        let s = readers_only(n);
+        let s = readers_only(n, false);
         let qps = s.reads as f64 / secs;
+        plain_qps.push(qps);
         println!(
             "readers_only n={n}: {} reads ({qps:.0}/s), mean {} µs, p95 {} µs",
             s.reads, s.mean_us, s.p95_us
@@ -345,6 +392,48 @@ fn main() {
         json.push_str(if i + 1 < ns.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
+
+    // The readers=2 regression guard: PR 9 measured 845/665/870 r/s at
+    // 1/2/4 readers — the dip came from an unconditional condvar wake
+    // plus an epoch-cell lock round trip on every warm read. Both are
+    // gone; hold the line.
+    assert!(
+        plain_qps[1] >= 0.75 * plain_qps[0],
+        "readers=2 throughput regressed: {:.0}/s vs {:.0}/s at 1 reader",
+        plain_qps[1],
+        plain_qps[0]
+    );
+
+    // E16 — the same readers with one PREPARE up front and warm
+    // EXECUTE in the loop (the compiled plan is reused; only bind +
+    // dispatch remain per read).
+    let mut prepared_qps: Vec<f64> = Vec::new();
+    json.push_str("  \"readers_only_prepared\": [\n");
+    for (i, &n) in ns.iter().enumerate() {
+        let s = readers_only(n, true);
+        let qps = s.reads as f64 / secs;
+        prepared_qps.push(qps);
+        println!(
+            "readers_only_prepared n={n}: {} reads ({qps:.0}/s), mean {} µs, p95 {} µs",
+            s.reads, s.mean_us, s.p95_us
+        );
+        let _ = write!(
+            json,
+            "    {{\"readers\": {n}, \"reads\": {}, \"reads_per_sec\": {qps:.1}, \
+             \"mean_us\": {}, \"p95_us\": {}}}",
+            s.reads, s.mean_us, s.p95_us
+        );
+        json.push_str(if i + 1 < ns.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let pr9_baseline = 845.0;
+    let speedup = prepared_qps[0] / pr9_baseline;
+    println!("prepared n=1 vs PR 9 plain-text baseline ({pr9_baseline}/s): {speedup:.2}x");
+    let _ = writeln!(
+        json,
+        "  \"pr9_readers_only_1_per_sec\": {pr9_baseline},\n  \
+         \"prepared_speedup_vs_pr9\": {speedup:.2},"
+    );
 
     let m = mixed();
     let rqps = m.read.reads as f64 / secs;
@@ -365,10 +454,29 @@ fn main() {
     // E13 — the same grid over TCP through crates/net.
     json.push_str("  \"tcp_readers_only\": [\n");
     for (i, &n) in ns.iter().enumerate() {
-        let s = tcp_readers_only(n);
+        let s = tcp_readers_only(n, false);
         let qps = s.reads as f64 / secs;
         println!(
             "tcp_readers_only n={n}: {} reads ({qps:.0}/s), mean {} µs, p95 {} µs",
+            s.reads, s.mean_us, s.p95_us
+        );
+        let _ = write!(
+            json,
+            "    {{\"clients\": {n}, \"reads\": {}, \"reads_per_sec\": {qps:.1}, \
+             \"mean_us\": {}, \"p95_us\": {}}}",
+            s.reads, s.mean_us, s.p95_us
+        );
+        json.push_str(if i + 1 < ns.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+
+    // E16 over the wire: Prepare once, ExecutePrepared in the loop.
+    json.push_str("  \"tcp_readers_only_prepared\": [\n");
+    for (i, &n) in ns.iter().enumerate() {
+        let s = tcp_readers_only(n, true);
+        let qps = s.reads as f64 / secs;
+        println!(
+            "tcp_readers_only_prepared n={n}: {} reads ({qps:.0}/s), mean {} µs, p95 {} µs",
             s.reads, s.mean_us, s.p95_us
         );
         let _ = write!(

@@ -44,6 +44,7 @@ fn show(s: &mut Session, label: &str, stmt: &str) {
         Ok(Outcome::ObjectCreated { oid }) => {
             println!("object {} created\n", s.db().render(oid));
         }
+        Ok(Outcome::Prepared { name }) => println!("prepared `{name}`\n"),
         Ok(Outcome::SignatureAdded { class, method }) => {
             println!(
                 "signature {} added to {}\n",

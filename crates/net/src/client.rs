@@ -257,6 +257,47 @@ impl Client {
         self.send(&Frame::Cancel { id })
     }
 
+    /// Prepares `src` (the statement body, with `?n` parameters) under
+    /// `name` on this connection. Prepared names do not survive a
+    /// reconnect — re-prepare after failover.
+    pub fn prepare(&mut self, name: &str, src: &str) -> Result<Response, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send(&Frame::Prepare {
+            id,
+            deadline_ms: 0,
+            name: name.to_string(),
+            src: src.to_string(),
+        })?;
+        self.finish_execute(id)
+    }
+
+    /// Runs a statement prepared earlier on this connection. `args` are
+    /// argument literals in XSQL syntax (e.g. `12000`, `"Smith"`), one
+    /// per `?n` in the prepared body.
+    pub fn execute_prepared(&mut self, name: &str, args: &[&str]) -> Result<Response, NetError> {
+        self.execute_prepared_with(name, args, 0)
+    }
+
+    /// [`Client::execute_prepared`] with a server-side deadline
+    /// (`0` = none).
+    pub fn execute_prepared_with(
+        &mut self,
+        name: &str,
+        args: &[&str],
+        deadline_ms: u64,
+    ) -> Result<Response, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send(&Frame::ExecutePrepared {
+            id,
+            deadline_ms,
+            name: name.to_string(),
+            args: args.iter().map(|s| s.to_string()).collect(),
+        })?;
+        self.finish_execute(id)
+    }
+
     /// Collects the response frames of statement `id`.
     pub fn finish_execute(&mut self, id: u64) -> Result<Response, NetError> {
         let mut resp = Response::default();

@@ -240,6 +240,33 @@ pub enum Frame {
         /// Human-readable summary for non-query statements.
         info: String,
     },
+    /// Client → server: compile a statement once under a name, for
+    /// repeated [`Frame::ExecutePrepared`] runs. Prepared names are
+    /// per-connection; a reconnect starts with none.
+    Prepare {
+        /// Client-chosen id echoed on every frame of the response.
+        id: u64,
+        /// Per-statement deadline in milliseconds; `0` = server default.
+        deadline_ms: u64,
+        /// Name to prepare under.
+        name: String,
+        /// XSQL source of the statement body (what follows `AS` in
+        /// `PREPARE name AS …`); may contain `?1`, `?2`, … parameters.
+        src: String,
+    },
+    /// Client → server: run a statement prepared earlier on this
+    /// connection, binding `?n` to the n-th argument.
+    ExecutePrepared {
+        /// Client-chosen id echoed on every frame of the response.
+        id: u64,
+        /// Per-statement deadline in milliseconds; `0` = server default.
+        deadline_ms: u64,
+        /// Name given at [`Frame::Prepare`].
+        name: String,
+        /// Argument literals in XSQL syntax (e.g. `12000`, `"Smith"`),
+        /// one per `?n` in the prepared body.
+        args: Vec<String>,
+    },
     /// Server → client: the statement (or the connection, when
     /// `id == 0`) failed.
     Error {
@@ -268,6 +295,8 @@ const K_DONE: u8 = 0x12;
 const K_ERROR: u8 = 0x13;
 const K_PROMOTE_ACK: u8 = 0x14;
 const K_NOT_PRIMARY: u8 = 0x15;
+const K_PREPARE: u8 = 0x16;
+const K_EXECUTE_PREPARED: u8 = 0x17;
 
 /// Why a byte sequence failed to decode as a frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -340,6 +369,30 @@ pub fn encode(f: &Frame) -> Vec<u8> {
         Frame::Cancel { id } => {
             body.push(K_CANCEL);
             put_u64(&mut body, *id);
+        }
+        Frame::Prepare {
+            id,
+            deadline_ms,
+            name,
+            src,
+        } => {
+            body.push(K_PREPARE);
+            put_u64(&mut body, *id);
+            put_u64(&mut body, *deadline_ms);
+            put_str(&mut body, name);
+            put_str(&mut body, src);
+        }
+        Frame::ExecutePrepared {
+            id,
+            deadline_ms,
+            name,
+            args,
+        } => {
+            body.push(K_EXECUTE_PREPARED);
+            put_u64(&mut body, *id);
+            put_u64(&mut body, *deadline_ms);
+            put_str(&mut body, name);
+            put_strs(&mut body, args);
         }
         Frame::Ping => body.push(K_PING),
         Frame::Pong {
@@ -485,6 +538,18 @@ fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
             src: c.str()?,
         },
         K_CANCEL => Frame::Cancel { id: c.u64()? },
+        K_PREPARE => Frame::Prepare {
+            id: c.u64()?,
+            deadline_ms: c.u64()?,
+            name: c.str()?,
+            src: c.str()?,
+        },
+        K_EXECUTE_PREPARED => Frame::ExecutePrepared {
+            id: c.u64()?,
+            deadline_ms: c.u64()?,
+            name: c.str()?,
+            args: c.strs()?,
+        },
         K_PING => Frame::Ping,
         K_PONG => Frame::Pong {
             role: Role::from_u8(c.u8()?)?,
@@ -612,6 +677,18 @@ mod tests {
                 src: "SELECT X FROM Counter X".into(),
             },
             Frame::Cancel { id: 1 },
+            Frame::Prepare {
+                id: 5,
+                deadline_ms: 0,
+                name: "rich".into(),
+                src: "SELECT X FROM Employee X WHERE X.Salary > ?1".into(),
+            },
+            Frame::ExecutePrepared {
+                id: 6,
+                deadline_ms: 250,
+                name: "rich".into(),
+                args: vec!["12000".into(), "\"Smith\"".into()],
+            },
             Frame::Ping,
             Frame::Pong {
                 role: Role::Replica,

@@ -36,6 +36,7 @@ use crate::replica::ReplicaShared;
 use service::{
     ExecResult, QueryContext, ReadResult, RetryJitter, Service, ServiceError, SessionHandle,
 };
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -529,6 +530,7 @@ fn serve_conn(mut stream: TcpStream, inner: &Arc<ServerInner>) {
         Err(r) => ConnBackend::Replica {
             shared: r,
             reader: None,
+            prepared: BTreeMap::new(),
         },
     };
     let session = inner.next_session.fetch_add(1, Ordering::Relaxed);
@@ -707,8 +709,20 @@ enum ConnBackend {
         /// Cached reader session, valid for one published epoch (same
         /// rationale as the service's `SessionHandle`: resolution
         /// interns symbols, so reads run on a private snapshot copy).
-        reader: Option<(u64, Session)>,
+        reader: Option<ReplicaReader>,
+        /// Prepared statements registered on this connection
+        /// (name → full `PREPARE …` source). Read-only bodies only;
+        /// lazily re-installed into each epoch's reader session.
+        prepared: BTreeMap<String, String>,
     },
+}
+
+/// The replica's per-epoch reader session.
+struct ReplicaReader {
+    seq: u64,
+    sess: Session,
+    /// Prepared names already installed into this epoch's session.
+    installed: BTreeSet<String>,
 }
 
 fn executor_loop(
@@ -753,6 +767,66 @@ fn executor_loop(
                 let ok = execute_one(stream, conn, cancel_slot, inner, id, deadline_ms, &src);
                 if !ok {
                     return; // write failure: peer is gone
+                }
+            }
+            // Prepare/ExecutePrepared are sugar over Execute: the
+            // server rebuilds the statement text and runs it through
+            // the same path, so deadlines, cancel, draining, and error
+            // mapping behave identically. Prepared names live in the
+            // connection's engine session (primary) or per-epoch reader
+            // (replica, via the same lazy re-install the service uses).
+            Event::Frame(Frame::Prepare {
+                id,
+                deadline_ms,
+                name,
+                src,
+            }) => {
+                inner.m().requests.inc();
+                if inner.draining.load(Ordering::Acquire) {
+                    send(
+                        stream,
+                        &Frame::Error {
+                            id,
+                            code: ErrorCode::ShuttingDown,
+                            retry_after_ms: inner.retry_hint_ms(),
+                            message: "server is draining".into(),
+                        },
+                    );
+                    let _ = send(stream, &Frame::Goodbye);
+                    return;
+                }
+                let text = format!("PREPARE {name} AS {src}");
+                if !execute_one(stream, conn, cancel_slot, inner, id, deadline_ms, &text) {
+                    return;
+                }
+            }
+            Event::Frame(Frame::ExecutePrepared {
+                id,
+                deadline_ms,
+                name,
+                args,
+            }) => {
+                inner.m().requests.inc();
+                if inner.draining.load(Ordering::Acquire) {
+                    send(
+                        stream,
+                        &Frame::Error {
+                            id,
+                            code: ErrorCode::ShuttingDown,
+                            retry_after_ms: inner.retry_hint_ms(),
+                            message: "server is draining".into(),
+                        },
+                    );
+                    let _ = send(stream, &Frame::Goodbye);
+                    return;
+                }
+                let text = if args.is_empty() {
+                    format!("EXECUTE {name}")
+                } else {
+                    format!("EXECUTE {name} ({})", args.join(", "))
+                };
+                if !execute_one(stream, conn, cancel_slot, inner, id, deadline_ms, &text) {
+                    return;
                 }
             }
             Event::Frame(Frame::Ping) => {
@@ -862,9 +936,19 @@ fn execute_one(
             }
             Err(e) => vec![error_frame(id, &e)],
         },
-        ConnBackend::Replica { shared, reader } => {
-            replica_execute(shared, reader, id, src, &ctx, &inner.leader_hint())
-        }
+        ConnBackend::Replica {
+            shared,
+            reader,
+            prepared,
+        } => replica_execute(
+            shared,
+            reader,
+            prepared,
+            id,
+            src,
+            &ctx,
+            &inner.leader_hint(),
+        ),
     };
     *cancel_slot.lock().unwrap_or_else(|e| e.into_inner()) = None;
     let mut wire = Vec::with_capacity(1024);
@@ -956,7 +1040,8 @@ fn read_frames(id: u64, r: &ReadResult) -> Vec<Frame> {
 /// `NotPrimary` redirect carrying the configured leader hint.
 fn replica_execute(
     shared: &Arc<ReplicaShared>,
-    reader: &mut Option<(u64, Session)>,
+    reader: &mut Option<ReplicaReader>,
+    prepared: &mut BTreeMap<String, String>,
     id: u64,
     src: &str,
     ctx: &QueryContext,
@@ -981,32 +1066,86 @@ fn replica_execute(
             info: shared.registry().render(),
         }];
     }
-    if !service::is_read_only(&stmt) {
-        // Provably pre-execution: the statement was never handed to an
-        // engine, so the client may retry it elsewhere unconditionally.
-        return vec![Frame::NotPrimary {
-            id,
-            leader_hint: leader_hint.into(),
-        }];
-    }
+    // Prepared statements: a read-only body prepares locally (the name
+    // is per-connection, re-installed into each epoch's session on
+    // first EXECUTE); a write body redirects to the primary before
+    // touching any engine.
+    let prep: Option<(&str, &str)> = match &stmt {
+        xsql::ast::Stmt::Prepare { name, stmt: inner } => {
+            if !service::is_read_only(inner) {
+                return vec![Frame::NotPrimary {
+                    id,
+                    leader_hint: leader_hint.into(),
+                }];
+            }
+            prepared.insert(name.clone(), src.to_string());
+            if let Some(r) = reader.as_mut() {
+                r.installed.remove(name);
+            }
+            return vec![Frame::Done {
+                id,
+                epoch: shared.epoch().seq,
+                rows: 0,
+                info: format!("prepared `{name}`\n"),
+            }];
+        }
+        xsql::ast::Stmt::Execute { name, .. } => match prepared.get(name.as_str()) {
+            Some(psrc) => Some((name.as_str(), psrc.as_str())),
+            None => {
+                return vec![Frame::Error {
+                    id,
+                    code: ErrorCode::Stmt,
+                    retry_after_ms: 0,
+                    message: format!(
+                        "unknown prepared statement `{name}` (prepared statements are \
+                         per-connection; re-PREPARE after reconnect)"
+                    ),
+                }]
+            }
+        },
+        _ if !service::is_read_only(&stmt) => {
+            // Provably pre-execution: the statement was never handed to
+            // an engine, so the client may retry it elsewhere
+            // unconditionally.
+            return vec![Frame::NotPrimary {
+                id,
+                leader_hint: leader_hint.into(),
+            }];
+        }
+        _ => None,
+    };
     let ep = shared.epoch();
     let stale = match reader {
-        Some((seq, _)) => *seq != ep.seq,
+        Some(r) => r.seq != ep.seq,
         None => true,
     };
     if stale {
-        *reader = Some((
-            ep.seq,
-            Session::with_options((*ep.db).clone(), shared.base_opts().clone()),
-        ));
+        *reader = Some(ReplicaReader {
+            seq: ep.seq,
+            sess: Session::with_options((*ep.db).clone(), shared.base_opts().clone()),
+            installed: BTreeSet::new(),
+        });
     }
-    let (_, sess) = reader.as_mut().expect("just cached");
+    let r = reader.as_mut().expect("just cached");
     let mut opts = shared.base_opts().clone();
     opts.cancel = ctx.cancel.clone();
     opts.budget.deadline = ctx.deadline;
     opts.budget.cancel_at_tick = ctx.cancel_at_tick;
-    sess.set_options(opts);
-    match sess.run(src) {
+    r.sess.set_options(opts);
+    if let Some((name, psrc)) = prep {
+        if !r.installed.contains(name) {
+            if let Err(e) = r.sess.run(psrc) {
+                return vec![Frame::Error {
+                    id,
+                    code: ErrorCode::Stmt,
+                    retry_after_ms: 0,
+                    message: e.to_string(),
+                }];
+            }
+            r.installed.insert(name.to_string());
+        }
+    }
+    match r.sess.run(src) {
         Ok(outcome) => read_frames(
             id,
             &ReadResult {

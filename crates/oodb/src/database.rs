@@ -108,6 +108,15 @@ pub struct Database {
     /// case every mutating entry point appends its image here (see
     /// `crate::redo`). Collected by the durability layer.
     redo: Option<Vec<RedoOp>>,
+    /// Monotonic counter of *definitional* changes: class definitions,
+    /// IS-A edges, signatures, computed-method installs, inheritance
+    /// resolutions — and, conservatively, any rollback (which may have
+    /// reverted one of those). Compiled query plans are cached keyed on
+    /// this value, so a schema change instantly invalidates every plan
+    /// compiled against the old schema (see `xsql::vm`). Not persisted:
+    /// a freshly opened database starts at 0 and every cache starts
+    /// cold.
+    schema_epoch: u64,
 }
 
 impl std::fmt::Debug for Database {
@@ -169,6 +178,7 @@ impl Database {
             computed_order: Vec::new(),
             undo: None,
             redo: None,
+            schema_epoch: 0,
         };
         for (c, supers) in [
             (object, vec![]),
@@ -253,6 +263,13 @@ impl Database {
             Some(log) if log.ops.len() >= sp.0 => log.ops.split_off(sp.0),
             _ => return Err(DbError::StaleSavepoint),
         };
+        // Conservative: the reverted span may have contained definitional
+        // changes, and re-deriving that from the tail is not worth the
+        // complexity — a rollback is rare enough that one spurious plan
+        // recompile does not matter.
+        if !tail.is_empty() {
+            self.bump_schema_epoch();
+        }
         for op in tail.into_iter().rev() {
             self.apply_undo(op);
         }
@@ -269,6 +286,21 @@ impl Database {
     /// True while an undo log is open.
     pub fn in_transaction(&self) -> bool {
         self.undo.is_some()
+    }
+
+    /// The current schema epoch: bumped by every definitional change
+    /// (class/IS-A/signature/computed-method) and conservatively by
+    /// every rollback. Plan caches key compiled statements on this
+    /// value so a stale plan can never execute (see `xsql::vm`).
+    pub fn schema_epoch(&self) -> u64 {
+        self.schema_epoch
+    }
+
+    /// Marks a definitional change. Called from every schema mutator,
+    /// including the redo-replay paths, so the epoch moves identically
+    /// under live execution and crash recovery.
+    fn bump_schema_epoch(&mut self) {
+        self.schema_epoch += 1;
     }
 
     /// Number of inverse operations recorded so far (0 when no log is
@@ -350,6 +382,18 @@ impl Database {
     /// Structural preconditions (referenced classes exist) are checked
     /// because recovery feeds this from disk.
     pub fn apply_redo(&mut self, op: &RedoOp) -> DbResult<()> {
+        // Definitional redo ops move the schema epoch exactly like their
+        // live counterparts, so plan caches stay sound under WAL replay.
+        if matches!(
+            op,
+            RedoOp::DefineClass { .. }
+                | RedoOp::AddIsA { .. }
+                | RedoOp::AddSignature { .. }
+                | RedoOp::AddMethodObject(_)
+                | RedoOp::SetResolution { .. }
+        ) {
+            self.bump_schema_epoch();
+        }
         match op {
             RedoOp::DefineClass { class, supers } => {
                 if self.classes.contains_key(class) {
@@ -519,6 +563,7 @@ impl Database {
             computed_order: Vec::new(),
             undo: None,
             redo: None,
+            schema_epoch: 0,
         };
         for ce in snap.classes {
             db.classes.insert(
@@ -693,6 +738,7 @@ impl Database {
         self.recompute_closure();
         self.record(UndoOp::UndefineClass(c));
         self.emit(RedoOp::DefineClass { class: c, supers });
+        self.bump_schema_epoch();
         Ok(c)
     }
 
@@ -716,6 +762,7 @@ impl Database {
             self.recompute_closure();
             self.record(UndoOp::RemoveIsA { sub, sup });
             self.emit(RedoOp::AddIsA { sub, sup });
+            self.bump_schema_epoch();
         }
         Ok(())
     }
@@ -842,6 +889,7 @@ impl Database {
             self.record(UndoOp::RestoreMethodObject { m, present: false });
             self.emit(RedoOp::AddMethodObject(m));
         }
+        self.bump_schema_epoch();
         Ok(m)
     }
 
@@ -916,6 +964,7 @@ impl Database {
             method,
             from: from_super,
         });
+        self.bump_schema_epoch();
         Ok(())
     }
 
@@ -1563,6 +1612,7 @@ impl Database {
         }
         let old = self.computed.insert(key, imp);
         self.record(UndoOp::RestoreComputed { key, old });
+        self.bump_schema_epoch();
         Ok(())
     }
 

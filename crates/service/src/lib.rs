@@ -537,6 +537,7 @@ impl Service {
             inner: Arc::clone(&self.inner),
             reader: None,
             txn: None,
+            prepared: std::collections::BTreeMap::new(),
         })
     }
 
@@ -643,9 +644,36 @@ pub struct SessionHandle {
     /// Cached reader session, valid for exactly one epoch: resolving a
     /// statement interns symbols (a mutation), so reads run on a
     /// private copy of the snapshot, rebuilt when the epoch advances.
-    reader: Option<(u64, Session)>,
+    reader: Option<CachedReader>,
     /// Buffered statements of the open handle transaction.
     txn: Option<Vec<String>>,
+    /// Prepared statements registered on this handle (`PREPARE name AS
+    /// …`). Per-connection, like the engine's: the stored PREPARE
+    /// source is replayed into each epoch's private reader session on
+    /// first EXECUTE (readers are rebuilt per epoch) and bundled with
+    /// write EXECUTEs so the writer unit is self-contained.
+    prepared: std::collections::BTreeMap<String, HandlePrepared>,
+}
+
+/// Per-epoch private reader state of one handle.
+struct CachedReader {
+    /// Epoch the session was built from.
+    seq: u64,
+    /// The published snapshot of that epoch (returned with each read).
+    snapshot: Arc<Database>,
+    /// Private session over a clone of the snapshot.
+    sess: Session,
+    /// Prepared-statement names already installed into `sess`.
+    prepared: std::collections::BTreeSet<String>,
+}
+
+/// One handle-registered prepared statement.
+#[derive(Debug, Clone)]
+struct HandlePrepared {
+    /// The full `PREPARE name AS …` source, replayed where needed.
+    prepare_src: String,
+    /// Whether the body is read-only (EXECUTE routes like the body).
+    read_only: bool,
 }
 
 impl std::fmt::Debug for SessionHandle {
@@ -739,6 +767,59 @@ impl SessionHandle {
                 self.txn.as_mut().expect("checked").push(src.to_string());
                 Ok(ExecResult::Buffered)
             }
+            // PREPARE registers on the handle without touching the
+            // database: readers get the statement lazily, and write
+            // EXECUTEs carry it to the writer themselves.
+            Stmt::Prepare {
+                ref name,
+                stmt: ref inner,
+            } => {
+                let read_only = is_read_only(inner);
+                self.prepared.insert(
+                    name.clone(),
+                    HandlePrepared {
+                        prepare_src: src.to_string(),
+                        read_only,
+                    },
+                );
+                // A re-PREPARE under the same name must displace the
+                // copy already installed in the cached reader.
+                if let Some(reader) = &mut self.reader {
+                    reader.prepared.remove(name);
+                }
+                let ep = self.inner.epoch.load();
+                Ok(ExecResult::Read(ReadResult {
+                    outcome: Outcome::Prepared { name: name.clone() },
+                    epoch: ep.seq,
+                    snapshot: ep.db,
+                }))
+            }
+            Stmt::Execute { ref name, .. } => {
+                let entry = self.prepared.get(name).cloned().ok_or_else(|| {
+                    ServiceError::Protocol(format!(
+                        "unknown prepared statement `{name}` (prepared statements are \
+                         per-connection; re-PREPARE after reconnect)"
+                    ))
+                })?;
+                if entry.read_only {
+                    self.read_prepared(src, name, &entry.prepare_src, ctx)
+                        .map(ExecResult::Read)
+                } else {
+                    // The writer session has its own prepared map;
+                    // bundle the PREPARE so the unit is self-contained
+                    // (and atomic: a failing EXECUTE drops the PREPARE
+                    // with the rest of the unit).
+                    self.submit_write(vec![entry.prepare_src, src.to_string()], true, ctx)
+                        .map(|mut ack| {
+                            // Drop the bundled PREPARE's outcome: the
+                            // client executed one statement.
+                            if !ack.outcomes.is_empty() {
+                                ack.outcomes.remove(0);
+                            }
+                            ExecResult::Write(ack)
+                        })
+                }
+            }
             ref s if is_read_only(s) => self.read(src, ctx).map(ExecResult::Read),
             _ => self
                 .submit_write(vec![src.to_string()], false, ctx)
@@ -778,6 +859,28 @@ impl SessionHandle {
     }
 
     fn read(&mut self, src: &str, ctx: &QueryContext) -> Result<ReadResult, ServiceError> {
+        self.read_gated(src, None, ctx)
+    }
+
+    /// A read-only `EXECUTE`: like [`SessionHandle::read`], but makes
+    /// sure the prepared statement is installed in this epoch's private
+    /// reader session first.
+    fn read_prepared(
+        &mut self,
+        src: &str,
+        name: &str,
+        prepare_src: &str,
+        ctx: &QueryContext,
+    ) -> Result<ReadResult, ServiceError> {
+        self.read_gated(src, Some((name, prepare_src)), ctx)
+    }
+
+    fn read_gated(
+        &mut self,
+        src: &str,
+        prep: Option<(&str, &str)>,
+        ctx: &QueryContext,
+    ) -> Result<ReadResult, ServiceError> {
         let inner = Arc::clone(&self.inner);
         let m = &inner.metrics;
         m.admitted_read.inc();
@@ -789,7 +892,7 @@ impl SessionHandle {
         let r = match slot {
             Ok(()) => {
                 let exec_started = Instant::now();
-                let r = self.read_in_slot(src, ctx, deadline);
+                let r = self.read_in_slot(src, prep, ctx, deadline);
                 m.exec_latency_read.observe_since(exec_started);
                 self.release_read_slot();
                 r
@@ -804,23 +907,29 @@ impl SessionHandle {
     fn read_in_slot(
         &mut self,
         src: &str,
+        prep: Option<(&str, &str)>,
         ctx: &QueryContext,
         deadline: Option<Instant>,
     ) -> Result<ReadResult, ServiceError> {
-        let ep = self.inner.epoch.load();
-        let stale = match &self.reader {
-            Some((seq, _)) => *seq != ep.seq,
-            None => true,
-        };
-        if stale {
+        // Staleness check on the lock-free sequence mirror: the warm
+        // path (epoch unchanged since the last read) costs one atomic
+        // load instead of the epoch lock plus cross-core refcount
+        // traffic on the shared snapshot Arc. `seq()` can lag `load()`
+        // one step during a publication, never lead it, so a matching
+        // cached reader is still a committed snapshot.
+        let fresh = matches!(&self.reader, Some(r) if r.seq == self.inner.epoch.seq());
+        if !fresh {
+            let ep = self.inner.epoch.load();
             // Private copy of the snapshot: resolution interns symbols,
             // which must never touch the shared published state.
-            self.reader = Some((
-                ep.seq,
-                Session::with_options((*ep.db).clone(), self.inner.base_opts.clone()),
-            ));
+            self.reader = Some(CachedReader {
+                seq: ep.seq,
+                snapshot: Arc::clone(&ep.db),
+                sess: Session::with_options((*ep.db).clone(), self.inner.base_opts.clone()),
+                prepared: std::collections::BTreeSet::new(),
+            });
         }
-        let (_, sess) = self.reader.as_mut().expect("just cached");
+        let reader = self.reader.as_mut().expect("just cached");
         let mut opts = self.inner.base_opts.clone();
         opts.cancel = ctx.cancel.clone();
         opts.budget.deadline = deadline;
@@ -828,12 +937,21 @@ impl SessionHandle {
         if self.inner.cfg.reader_parallelism > 0 {
             opts.parallelism = self.inner.cfg.reader_parallelism;
         }
-        sess.set_options(opts);
-        let outcome = sess.run(src)?;
+        reader.sess.set_options(opts);
+        // Install the prepared statement into this epoch's session on
+        // first use (reader sessions are rebuilt per epoch, and the
+        // engine's prepared map is session-local).
+        if let Some((name, prepare_src)) = prep {
+            if !reader.prepared.contains(name) {
+                reader.sess.run(prepare_src)?;
+                reader.prepared.insert(name.to_string());
+            }
+        }
+        let outcome = reader.sess.run(src)?;
         Ok(ReadResult {
             outcome,
-            epoch: ep.seq,
-            snapshot: ep.db,
+            epoch: reader.seq,
+            snapshot: Arc::clone(&reader.snapshot),
         })
     }
 
@@ -886,8 +1004,15 @@ impl SessionHandle {
     fn release_read_slot(&self) {
         let mut gate = self.inner.gate.lock().unwrap_or_else(|e| e.into_inner());
         gate.active -= 1;
+        // Only wake the condvar when a reader is actually parked.
+        // Below the concurrency cap nobody ever waits, and the
+        // unconditional futex wake was a measurable per-read cost at
+        // low reader counts.
+        let wake = gate.waiting > 0;
         drop(gate);
-        self.inner.gate_cv.notify_one();
+        if wake {
+            self.inner.gate_cv.notify_one();
+        }
     }
 
     fn submit_write(

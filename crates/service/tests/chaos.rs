@@ -294,11 +294,12 @@ fn chaos_round(seed: u64) {
                 .map(|_| {
                     let q = rng.gen_range(0..READS.len());
                     // 0 = plain, 1 = injected tick cancel, 2 = expired
-                    // deadline, 3 = yield first.
+                    // deadline, 3 = yield first, 4 = via PREPARE/EXECUTE
+                    // (exercises the plan cache across epoch changes).
                     let mode = if rng.gen_bool(0.6) {
                         0
                     } else {
-                        rng.gen_range(1..=3u8) as u8
+                        rng.gen_range(1..=4u8) as u8
                     };
                     (q, mode)
                 })
@@ -390,6 +391,8 @@ fn chaos_round(seed: u64) {
             let logs = Arc::clone(&logs);
             std::thread::spawn(move || {
                 let mut h = retry_connect(&svc);
+                let mut prepared: std::collections::BTreeSet<usize> =
+                    std::collections::BTreeSet::new();
                 for (q, mode) in plan {
                     if mode == 3 {
                         std::thread::yield_now();
@@ -399,7 +402,28 @@ fn chaos_round(seed: u64) {
                         deadline: (mode == 2).then(Instant::now),
                         ..QueryContext::default()
                     };
-                    match h.execute(READS[q], &ctx) {
+                    // Prepared-read mode: register the query once per
+                    // connection, then read through EXECUTE — results
+                    // must be indistinguishable from the plain read.
+                    let src = if mode == 4 {
+                        if !prepared.contains(&q)
+                            && h.execute(
+                                &format!("PREPARE p{q} AS {}", READS[q]),
+                                &QueryContext::default(),
+                            )
+                            .is_ok()
+                        {
+                            prepared.insert(q);
+                        }
+                        if prepared.contains(&q) {
+                            format!("EXECUTE p{q}")
+                        } else {
+                            READS[q].to_string()
+                        }
+                    } else {
+                        READS[q].to_string()
+                    };
+                    match h.execute(&src, &ctx) {
                         Ok(ExecResult::Read(r)) => {
                             let rel = match &r.outcome {
                                 xsql::Outcome::Relation(rel) => rel,
@@ -483,6 +507,16 @@ fn chaos_round(seed: u64) {
             "seed {seed}: {acked} acked units but only {wal_appends} WAL appends"
         );
     }
+
+    // Invariant 5: schema-epoch fencing. Definitional statements and
+    // statement-failure rollbacks bump the schema epoch mid-run; a plan
+    // compiled under an older epoch must be recompiled, never executed.
+    // The engine counts the should-be-impossible case defensively.
+    assert_eq!(
+        registry.counter_total("xsql_plan_cache_stale_executions_total"),
+        0,
+        "seed {seed}: a stale cached plan reached execution after an epoch bump"
+    );
 
     // Invariant 3b: shutdown completes under a watchdog (no deadlock).
     let svc = Arc::try_unwrap(svc).ok().expect("all clients joined");

@@ -88,6 +88,10 @@ pub enum IdTerm {
     Bool(bool),
     /// The object `nil` (§5).
     Nil,
+    /// Positional parameter `?n` (1-based) inside a `PREPARE`d
+    /// statement body. The resolver leaves parameters untouched; the VM
+    /// substitutes bound argument OIDs at `EXECUTE` time.
+    Param(u32),
     /// A variable of any sort.
     Var(Var),
     /// Id-function application, e.g. `CompSalaries(Y, W)` (§4.2).
@@ -109,6 +113,9 @@ impl IdTerm {
             IdTerm::Var(_) => false,
             IdTerm::Func(_, args) => args.iter().all(IdTerm::is_ground),
             IdTerm::PathArg(_) => false,
+            // A parameter denotes an unknown (though fixed) object until
+            // EXECUTE binds it, so treat it like a variable.
+            IdTerm::Param(_) => false,
             _ => true,
         }
     }
@@ -553,6 +560,25 @@ pub enum Stmt {
     /// `CHECKPOINT` — write a snapshot of the database to the store and
     /// truncate the WAL.
     Checkpoint,
+    /// `PREPARE name AS <stmt>` — compile a statement (which may
+    /// contain `?1`-style positional parameters) once and register it
+    /// under `name` in the session (engineering extension; see
+    /// docs/VM.md). Prepared statements are session-local and are not
+    /// logged to the WAL: after a crash the client must re-PREPARE.
+    Prepare {
+        /// The registration name.
+        name: String,
+        /// The statement body (parsed, unresolved).
+        stmt: Box<Stmt>,
+    },
+    /// `EXECUTE name (a1, …, ak)` — run a prepared statement with the
+    /// given ground argument terms bound to `?1…?k`.
+    Execute {
+        /// The registration name.
+        name: String,
+        /// Ground argument terms, positionally bound to `?1…?k`.
+        args: Vec<IdTerm>,
+    },
 }
 
 #[cfg(test)]

@@ -148,6 +148,16 @@ pub struct EvalOptions {
     /// to sequential. Floored at 2 — a 1-candidate partition is never
     /// split. Tests pin it low to force workers on toy extents.
     pub parallel_min_candidates: usize,
+    /// Let the bytecode VM (`crate::vm`) compile statements run through
+    /// [`Session::run`](crate::Session::run) and serve repeats from the
+    /// schema-epoch plan cache, and let `EXECUTE` run prepared programs
+    /// through the VM dispatch loop. Results are bit-identical to the
+    /// other engines (the differential suite crosses VM cold and warm
+    /// cache against naive/pipelined/planner/parallel). Defaults to on;
+    /// `XSQL_VM=0` disables compilation and caching wholesale — every
+    /// statement then takes today's parse→resolve→evaluate path
+    /// unchanged.
+    pub use_vm: bool,
     /// Optional execution-profile sink (`EXPLAIN ANALYZE`). When
     /// attached, the evaluator records strategy, partition, stage and
     /// cost information into it; recording sites are gated on the
@@ -175,6 +185,13 @@ fn env_planner() -> bool {
     std::env::var("XSQL_PLANNER").map_or(true, |v| v != "0")
 }
 
+/// Default VM switch: on unless the `XSQL_VM` environment variable is
+/// set to `0` (the compatibility leg in CI sweeps whole suites through
+/// the pre-VM paths this way).
+fn env_vm() -> bool {
+    std::env::var("XSQL_VM").map_or(true, |v| v != "0")
+}
+
 impl Default for EvalOptions {
     fn default() -> Self {
         EvalOptions {
@@ -187,6 +204,7 @@ impl Default for EvalOptions {
             parallelism: env_parallelism(),
             use_planner: env_planner(),
             parallel_min_candidates: 64,
+            use_vm: env_vm(),
             profile: None,
         }
     }
@@ -352,6 +370,38 @@ impl<'d> Ctx<'d> {
         // Poll on the first tick too, so an already-expired deadline or
         // pre-tripped token fails fast even on tiny statements.
         if w & DEADLINE_CHECK_MASK == 0 || w == 1 {
+            self.check_interrupts()?;
+        }
+        Ok(())
+    }
+
+    /// Accounts `n` units of work in one bump — same totals and limits
+    /// as `n` calls to [`Ctx::tick`], but the limit comparison and the
+    /// interrupt-poll test run once per batch. Emission loops use this
+    /// to charge a whole row at a time; the poll still fires whenever
+    /// the batch crosses a `DEADLINE_CHECK_MASK` boundary, so
+    /// responsiveness is bounded by the batch size, not lost.
+    #[inline]
+    pub fn tick_n(&self, n: u64) -> XsqlResult<()> {
+        if n == 0 {
+            return Ok(());
+        }
+        let prev = self.work.get();
+        let w = prev + n;
+        self.work.set(w);
+        let total = w + self.foreign.get();
+        if total > self.opts.work_limit {
+            return Err(XsqlError::WorkLimit(self.opts.work_limit));
+        }
+        if let Some(k) = self.opts.budget.cancel_at_tick {
+            if total >= k {
+                return Err(XsqlError::Cancelled {
+                    reason: format!("cancellation injected at tick {k}"),
+                });
+            }
+        }
+        let stride = DEADLINE_CHECK_MASK + 1;
+        if prev < 1 || w / stride != prev / stride {
             self.check_interrupts()?;
         }
         Ok(())

@@ -76,6 +76,30 @@ pub fn lex(src: &str) -> Result<Vec<Token>, XsqlError> {
                     offset: start,
                 });
             }
+            b'?' => {
+                let start = i;
+                i += 1;
+                let ds = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if ds == i {
+                    return Err(XsqlError::lex(
+                        start,
+                        "expected parameter number after `?` (e.g. `?1`)",
+                    ));
+                }
+                let n: u32 = src[ds..i]
+                    .parse()
+                    .map_err(|_| XsqlError::lex(start, "parameter number out of range"))?;
+                if n == 0 {
+                    return Err(XsqlError::lex(start, "parameters are numbered from ?1"));
+                }
+                toks.push(Token {
+                    kind: TokenKind::Param(n),
+                    offset: start,
+                });
+            }
             b'0'..=b'9' => {
                 let start = i;
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -276,6 +300,14 @@ mod tests {
     #[test]
     fn unterminated_string_is_error() {
         assert!(lex("'abc").is_err());
+    }
+
+    #[test]
+    fn params() {
+        assert_eq!(kinds("?1")[0], T::Param(1));
+        assert_eq!(kinds("?42")[0], T::Param(42));
+        assert!(lex("?").is_err());
+        assert!(lex("?0").is_err());
     }
 
     #[test]

@@ -53,3 +53,4 @@ pub mod plan;
 mod session;
 pub mod typing;
 mod unparse;
+pub mod vm;

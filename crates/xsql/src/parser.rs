@@ -247,6 +247,44 @@ impl Parser {
         if self.eat_kw("checkpoint") {
             return Ok(Stmt::Checkpoint);
         }
+        // Prepared statements (contextual keywords, statement-initial):
+        // `PREPARE name AS <stmt>` / `EXECUTE name (a1, …, ak)`.
+        if self.at_kw("prepare") && matches!(self.peek2(), TokenKind::Ident(_)) {
+            self.bump();
+            let name = self.ident()?;
+            self.expect_kw("as")?;
+            let inner_at = self.offset();
+            let inner = self.stmt()?;
+            return match inner {
+                Stmt::Prepare { .. } | Stmt::Execute { .. } => Err(XsqlError::parse(
+                    inner_at,
+                    "a prepared statement cannot itself be PREPARE or EXECUTE",
+                )),
+                Stmt::Explain { .. } => Err(XsqlError::parse(
+                    inner_at,
+                    "EXPLAIN cannot be prepared; prepare the SELECT itself",
+                )),
+                _ => Ok(Stmt::Prepare {
+                    name,
+                    stmt: Box::new(inner),
+                }),
+            };
+        }
+        if self.at_kw("execute") && matches!(self.peek2(), TokenKind::Ident(_)) {
+            self.bump();
+            let name = self.ident()?;
+            let mut args = Vec::new();
+            if self.eat(&TokenKind::LParen) {
+                if !matches!(self.peek(), TokenKind::RParen) {
+                    args.push(self.idterm()?);
+                    while self.eat(&TokenKind::Comma) {
+                        args.push(self.idterm()?);
+                    }
+                }
+                self.expect(TokenKind::RParen)?;
+            }
+            return Ok(Stmt::Execute { name, args });
+        }
         if self.at_kw("create") {
             return match self.peek2() {
                 TokenKind::Ident(k) if k.eq_ignore_ascii_case("class") => self.create_class(),
@@ -800,6 +838,10 @@ impl Parser {
             TokenKind::Str(s) => {
                 self.bump();
                 Ok(IdTerm::Str(s))
+            }
+            TokenKind::Param(n) => {
+                self.bump();
+                Ok(IdTerm::Param(n))
             }
             TokenKind::MethodVar(s) => {
                 self.bump();

@@ -45,13 +45,13 @@ type FastEdge<'a> = (&'a [f64], &'a [f64], CmpOp, bool, usize);
 /// normalized onto `0.0`; NaN elements are skipped by both build and
 /// probe sides (`elem_eq` with NaN is always false).
 #[derive(PartialEq, Eq, Hash, Clone, Copy)]
-enum CanonKey {
+pub(crate) enum CanonKey {
     Num(u64),
     Obj(Oid),
 }
 
 impl CanonKey {
-    fn of(ctx: &Ctx<'_>, e: Elem) -> Option<CanonKey> {
+    pub(crate) fn of(ctx: &Ctx<'_>, e: Elem) -> Option<CanonKey> {
         let num = match e {
             Elem::Num(n) => Some(n),
             Elem::Obj(o) => ctx.db.oids().as_number(o),
@@ -76,7 +76,7 @@ struct EdgeColumns {
     fast: Option<(Vec<f64>, Vec<f64>)>,
 }
 
-fn f64_cmp(op: CmpOp, x: f64, y: f64) -> bool {
+pub(crate) fn f64_cmp(op: CmpOp, x: f64, y: f64) -> bool {
     match op {
         CmpOp::Eq => x == y,
         CmpOp::Ne => x != y,

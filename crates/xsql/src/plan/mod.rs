@@ -49,7 +49,7 @@ use std::collections::BTreeSet;
 use std::ops::Bound;
 
 mod cost;
-mod exec;
+pub(crate) mod exec;
 
 /// One FROM variable of a planned query.
 pub struct PlanVar<'q> {
@@ -557,7 +557,7 @@ fn filter_probe(ctx: &Ctx<'_>, c: &Cond, var: &str) -> Option<Probe> {
 }
 
 /// `a op b` ⟺ `b flip(op) a`.
-fn flip(op: CmpOp) -> CmpOp {
+pub(crate) fn flip(op: CmpOp) -> CmpOp {
     match op {
         CmpOp::Lt => CmpOp::Gt,
         CmpOp::Gt => CmpOp::Lt,
@@ -572,7 +572,7 @@ fn flip(op: CmpOp) -> CmpOp {
 /// `elem_eq`); order probes scan one type family's contiguous run —
 /// numeric constants a numeric range, string constants a lexicographic
 /// range, mirroring `elem_lt`'s two comparable families.
-fn probe_for(ctx: &Ctx<'_>, method: Oid, op: CmpOp, konst: Oid) -> Option<Probe> {
+pub(crate) fn probe_for(ctx: &Ctx<'_>, method: Oid, op: CmpOp, konst: Oid) -> Option<Probe> {
     use oodb::OidData;
     let oids = ctx.db.oids();
     if op == CmpOp::Eq {

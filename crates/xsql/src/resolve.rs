@@ -160,6 +160,16 @@ impl Resolver<'_> {
             }
             Stmt::Update(u) => self.collect_update(u),
             Stmt::Explain { stmt: inner, .. } => self.collect_stmt(inner),
+            // The body of a PREPARE is resolved when the statement is
+            // compiled (Session::prepare), not here — its variables live
+            // in their own scope and must not leak into this one.
+            Stmt::Prepare { .. } => Ok(()),
+            Stmt::Execute { args, .. } => {
+                for a in args {
+                    self.collect_idterm(a)?;
+                }
+                Ok(())
+            }
         }
     }
 
@@ -397,6 +407,19 @@ impl Resolver<'_> {
             Stmt::WalOn => Stmt::WalOn,
             Stmt::WalOff => Stmt::WalOff,
             Stmt::Checkpoint => Stmt::Checkpoint,
+            // Passed through verbatim: the body is resolved (against the
+            // then-current schema) when the session compiles it.
+            Stmt::Prepare { name, stmt: inner } => Stmt::Prepare {
+                name: name.clone(),
+                stmt: inner.clone(),
+            },
+            Stmt::Execute { name, args } => Stmt::Execute {
+                name: name.clone(),
+                args: args
+                    .iter()
+                    .map(|a| self.rewrite_idterm(a))
+                    .collect::<XsqlResult<_>>()?,
+            },
         })
     }
 
@@ -618,6 +641,9 @@ impl Resolver<'_> {
             IdTerm::Str(s) => IdTerm::Oid(self.db.oids_mut().str(s)),
             IdTerm::Bool(v) => IdTerm::Oid(self.db.oids_mut().bool(*v)),
             IdTerm::Nil => IdTerm::Oid(self.db.oids_mut().nil()),
+            // Parameters survive resolution untouched; EXECUTE binds
+            // them to interned OIDs without re-resolving the body.
+            IdTerm::Param(n) => IdTerm::Param(*n),
             IdTerm::Var(v) => IdTerm::Var(self.final_var(&v.name)),
             IdTerm::Func(f, args) => {
                 self.db.oids_mut().sym(f);

@@ -8,6 +8,7 @@ use crate::eval::{create, method, update, Ctx, EvalOptions};
 use crate::parser::{parse, parse_script};
 use crate::resolve::resolve_stmt;
 use crate::unparse::unparse_stmt;
+use crate::vm;
 use oodb::{Database, Oid};
 use relalg::Relation;
 use std::collections::BTreeMap;
@@ -80,6 +81,11 @@ pub enum Outcome {
     TransactionCommitted,
     /// `ROLLBACK WORK` restored the `BEGIN WORK` state.
     TransactionRolledBack,
+    /// `PREPARE name AS <stmt>` compiled and stored a statement.
+    Prepared {
+        /// The prepared statement's name.
+        name: String,
+    },
     /// `WAL ON` enabled write-ahead logging (after a checkpoint).
     WalEnabled,
     /// `WAL OFF` disabled write-ahead logging.
@@ -159,6 +165,28 @@ pub struct Session {
     registry: std::sync::Arc<telemetry::Registry>,
     /// Cached handle so per-statement recording skips the registry lock.
     stmt_latency: std::sync::Arc<telemetry::Histogram>,
+    /// Named prepared statements (`PREPARE … AS`). Session-local and
+    /// never WAL-logged: a client must re-PREPARE after a crash or
+    /// reconnect. Entries compiled under an older schema epoch are
+    /// transparently recompiled at EXECUTE.
+    prepared: BTreeMap<String, PreparedEntry>,
+    /// The transparent plan cache: compiled programs keyed on
+    /// normalized statement text, fenced by schema epoch
+    /// ([`crate::vm::PlanCache`]). Consulted by [`Session::run`] when
+    /// [`EvalOptions::use_vm`] is on.
+    plan_cache: vm::PlanCache,
+    /// Cached plan-cache metric handles (re-derived on
+    /// [`Session::set_registry`]).
+    cache_metrics: vm::CacheMetrics,
+}
+
+/// One `PREPARE`d statement: the unresolved body (kept for
+/// re-resolution when the schema epoch moves) and the compiled program.
+#[derive(Debug, Clone)]
+struct PreparedEntry {
+    /// The statement as written (parameters intact, names unresolved).
+    src: Stmt,
+    program: std::sync::Arc<vm::Program>,
 }
 
 /// Summary of what crash recovery did when the session opened its
@@ -220,6 +248,11 @@ struct TxnState {
     views: BTreeMap<String, ViewDef>,
     anon_counter: usize,
     catalog_len: usize,
+    /// Prepared statements as of `BEGIN WORK`. `ROLLBACK WORK` restores
+    /// this snapshot: a program compiled inside the transaction may
+    /// reference OIDs the rollback un-interns, so in-transaction
+    /// PREPAREs must not survive it.
+    prepared: BTreeMap<String, PreparedEntry>,
 }
 
 /// How a committed statement is journaled in the WAL.
@@ -244,6 +277,7 @@ impl Session {
     pub fn with_options(db: Database, opts: EvalOptions) -> Session {
         let registry = std::sync::Arc::new(telemetry::Registry::from_env());
         let stmt_latency = registry.latency("xsql_stmt_latency_us", &[]);
+        let cache_metrics = vm::CacheMetrics::new(&registry);
         Session {
             db,
             opts,
@@ -259,6 +293,9 @@ impl Session {
             recovery: None,
             registry,
             stmt_latency,
+            prepared: BTreeMap::new(),
+            plan_cache: vm::PlanCache::new(),
+            cache_metrics,
         }
     }
 
@@ -485,6 +522,8 @@ impl Session {
     /// registry.
     pub fn set_registry(&mut self, registry: std::sync::Arc<telemetry::Registry>) {
         self.stmt_latency = registry.latency("xsql_stmt_latency_us", &[]);
+        self.cache_metrics = vm::CacheMetrics::new(&registry);
+        self.cache_metrics.size.set(self.plan_cache.len() as i64);
         if let Some(store) = &mut self.store {
             store.attach_registry(&registry);
         }
@@ -505,8 +544,64 @@ impl Session {
     /// explicit transaction a successful statement commits immediately;
     /// inside one it stays undoable until `COMMIT WORK`.
     pub fn run(&mut self, src: &str) -> XsqlResult<Outcome> {
+        if self.opts.use_vm {
+            return self.run_vm(src);
+        }
         let stmt = parse(src)?;
         self.execute(&stmt)
+    }
+
+    /// [`Session::run`] with the VM front end: the plan cache is
+    /// consulted on the normalized statement text under the current
+    /// schema epoch; a hit skips parse, resolve and lowering entirely.
+    /// On a miss, cacheable statements (plain SELECTs) are compiled,
+    /// run, and cached; everything else takes the stock path.
+    fn run_vm(&mut self, src: &str) -> XsqlResult<Outcome> {
+        let key = vm::normalize_src(src);
+        let epoch = self.db.schema_epoch();
+        if let Some(prog) = self.plan_cache.lookup(&key, epoch, &self.cache_metrics) {
+            return self.execute_program_gated(|s| s.run_program(&prog, &[]));
+        }
+        let stmt = parse(src)?;
+        if !vm::cacheable(&stmt) {
+            return self.execute(&stmt);
+        }
+        let mut compiled: Option<std::sync::Arc<vm::Program>> = None;
+        let out = self.execute_program_gated(|s| {
+            let resolved = resolve_stmt(&mut s.db, &stmt)?;
+            let prog = std::sync::Arc::new(vm::Program::compile(&s.db, &s.opts, resolved, 0));
+            let outcome = s.run_program(&prog, &[])?;
+            compiled = Some(prog);
+            Ok(outcome)
+        })?;
+        if let Some(prog) = compiled {
+            self.plan_cache.insert(key, prog, &self.cache_metrics);
+        }
+        Ok(out)
+    }
+
+    /// Runs a program-producing closure with the same telemetry span,
+    /// latency recording, poison gate, atomicity and poison-on-failure
+    /// rule as [`Session::execute`].
+    fn execute_program_gated(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> XsqlResult<Outcome>,
+    ) -> XsqlResult<Outcome> {
+        let registry = std::sync::Arc::clone(&self.registry);
+        let _span = registry.span("xsql.execute");
+        let started = std::time::Instant::now();
+        let result = match self.poison_gate() {
+            Ok(()) => {
+                let r = self.atomically_as(LogAs::Ops, f);
+                if let Err(e) = &r {
+                    self.note_statement_failure(e);
+                }
+                r
+            }
+            Err(e) => Err(e),
+        };
+        self.stmt_latency.observe_since(started);
+        result
     }
 
     /// Runs a `;`-separated script, returning the outcome of each
@@ -698,6 +793,15 @@ impl Session {
             Stmt::Checkpoint => return self.poison_gate().and_then(|()| self.checkpoint()),
             _ => self.poison_gate()?,
         }
+        // Parameters only bind through EXECUTE; a bare `?n` anywhere
+        // outside a PREPARE body can never receive a value.
+        if !matches!(stmt, Stmt::Prepare { .. }) && vm::max_param(stmt) > 0 {
+            let e = XsqlError::Resolve(
+                "parameters (`?1`, `?2`, …) are only allowed inside a PREPARE body".into(),
+            );
+            self.note_statement_failure(&e);
+            return Err(e);
+        }
         // Definitional statements install closures (computed methods,
         // view definitions) that redo ops cannot capture; they are
         // journaled as source text and re-executed on replay.
@@ -828,6 +932,7 @@ impl Session {
             views: self.views.clone(),
             anon_counter: self.anon_counter,
             catalog_len: self.catalog.len(),
+            prepared: self.prepared.clone(),
         });
         Ok(Outcome::TransactionStarted)
     }
@@ -870,6 +975,7 @@ impl Session {
         self.views = t.views;
         self.anon_counter = t.anon_counter;
         self.catalog.truncate(t.catalog_len);
+        self.prepared = t.prepared;
         self.pending.clear();
         Ok(Outcome::TransactionRolledBack)
     }
@@ -1075,6 +1181,65 @@ impl Session {
                 };
                 Ok(Outcome::Explained { report })
             }
+            Stmt::Prepare { name, stmt: inner } => {
+                // The body is resolved and compiled now; EXECUTE pays
+                // zero parse/resolve/lowering cost. The unresolved body
+                // is kept so a schema-epoch change can recompile.
+                let n_params = vm::max_param(inner);
+                let resolved = resolve_stmt(&mut self.db, inner)?;
+                let program = std::sync::Arc::new(vm::Program::compile(
+                    &self.db, &self.opts, resolved, n_params,
+                ));
+                self.prepared.insert(
+                    name.clone(),
+                    PreparedEntry {
+                        src: (**inner).clone(),
+                        program,
+                    },
+                );
+                Ok(Outcome::Prepared { name: name.clone() })
+            }
+            Stmt::Execute { name, args } => {
+                let entry = self.prepared.get(name).cloned().ok_or_else(|| {
+                    XsqlError::Resolve(format!(
+                        "unknown prepared statement `{name}` (prepared statements are \
+                         session-local; re-PREPARE after reconnect or crash)"
+                    ))
+                })?;
+                let epoch = self.db.schema_epoch();
+                let program = if entry.program.epoch == epoch {
+                    self.cache_metrics.hits.inc();
+                    entry.program
+                } else {
+                    // The schema moved since PREPARE: the compiled plan
+                    // is fenced out; re-resolve the stored body and
+                    // recompile under the current epoch.
+                    self.cache_metrics.invalidations.inc();
+                    let n_params = entry.program.n_params;
+                    let resolved = resolve_stmt(&mut self.db, &entry.src)?;
+                    let program = std::sync::Arc::new(vm::Program::compile(
+                        &self.db, &self.opts, resolved, n_params,
+                    ));
+                    self.prepared.insert(
+                        name.clone(),
+                        PreparedEntry {
+                            src: entry.src,
+                            program: std::sync::Arc::clone(&program),
+                        },
+                    );
+                    program
+                };
+                let oids: Vec<Oid> = args
+                    .iter()
+                    .map(|a| match a {
+                        IdTerm::Oid(o) => Ok(*o),
+                        other => Err(XsqlError::Resolve(format!(
+                            "EXECUTE arguments must be constants (got `{other:?}`)"
+                        ))),
+                    })
+                    .collect::<XsqlResult<_>>()?;
+                self.run_program(&program, &oids)
+            }
             Stmt::Stats => Ok(Outcome::Stats {
                 report: self.stats_report(),
             }),
@@ -1174,6 +1339,57 @@ impl Session {
         let ctx = Ctx::new(&self.db, &opts);
         eval_rows(&ctx, q)?;
         Ok(profile.render(self.registry.config().deterministic))
+    }
+
+    /// Executes a compiled program with the given EXECUTE arguments.
+    /// Bytecode bodies run through the VM dispatch loop; fallback
+    /// bodies re-enter [`Session::execute_resolved`] with the bound
+    /// statement (still skipping parse and resolve).
+    fn run_program(&mut self, prog: &vm::Program, args: &[Oid]) -> XsqlResult<Outcome> {
+        // The epoch fence: callers already validated (cache lookup /
+        // EXECUTE recompile), so a mismatch here is a bug — count it
+        // (the chaos harness asserts this stays 0) and refuse to run.
+        if prog.epoch != self.db.schema_epoch() {
+            self.cache_metrics.stale_executions.inc();
+            return Err(XsqlError::Internal(
+                "vm: stale plan reached execution (schema epoch changed since compilation)".into(),
+            ));
+        }
+        let bound;
+        let stmt = if prog.n_params == 0 && args.is_empty() {
+            &prog.stmt
+        } else {
+            bound = prog.bind(args, &self.db)?;
+            &bound
+        };
+        match (&prog.body, stmt) {
+            (vm::Body::Select(cs), Stmt::Select(q)) => {
+                let rows = {
+                    let ctx = Ctx::new(&self.db, &self.opts);
+                    vm::exec::run_select(&ctx, prog, q)?
+                };
+                let rel = match rows {
+                    // Bare-OID rows: distinct by construction, nothing
+                    // to intern — one bulk build.
+                    vm::exec::SelectRows::Atoms(tuples) => {
+                        Relation::from_tuples(cs.columns.clone(), tuples)
+                    }
+                    vm::exec::SelectRows::Cells(rows) => Relation::from_tuples(
+                        cs.columns.clone(),
+                        rows.into_iter().map(|row| {
+                            row.into_iter()
+                                .map(|c| c.into_oid(self.db.oids_mut()))
+                                .collect()
+                        }),
+                    ),
+                };
+                Ok(Outcome::Relation(rel))
+            }
+            _ => {
+                let stmt = stmt.clone();
+                self.execute_resolved(&stmt)
+            }
+        }
     }
 
     fn exec_select(&mut self, q: &SelectQuery) -> XsqlResult<Outcome> {

@@ -30,6 +30,9 @@ pub enum TokenKind {
     Real(f64),
     /// String literal `'newyork'`.
     Str(String),
+    /// Positional parameter `?1` in a prepared statement body
+    /// (1-based; `?0` is rejected by the lexer).
+    Param(u32),
     /// `.`
     Dot,
     /// `,`
@@ -89,6 +92,7 @@ impl fmt::Display for TokenKind {
             TokenKind::Int(v) => write!(f, "{v}"),
             TokenKind::Real(v) => write!(f, "{v}"),
             TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::Param(n) => write!(f, "`?{n}`"),
             TokenKind::Dot => f.write_str("`.`"),
             TokenKind::Comma => f.write_str("`,`"),
             TokenKind::Semi => f.write_str("`;`"),

@@ -104,6 +104,23 @@ fn stmt(s: &Stmt, out: &mut String) {
         Stmt::WalOn => out.push_str("WAL ON"),
         Stmt::WalOff => out.push_str("WAL OFF"),
         Stmt::Checkpoint => out.push_str("CHECKPOINT"),
+        Stmt::Prepare { name, stmt: inner } => {
+            let _ = write!(out, "PREPARE {name} AS ");
+            stmt(inner, out);
+        }
+        Stmt::Execute { name, args } => {
+            let _ = write!(out, "EXECUTE {name}");
+            if !args.is_empty() {
+                out.push_str(" (");
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    idterm(a, out);
+                }
+                out.push(')');
+            }
+        }
     }
 }
 
@@ -430,6 +447,9 @@ fn idterm(t: &IdTerm, out: &mut String) {
             let _ = write!(out, "{v}");
         }
         IdTerm::Nil => out.push_str("nil"),
+        IdTerm::Param(n) => {
+            let _ = write!(out, "?{n}");
+        }
         IdTerm::Var(v) => var_bare(v, out),
         IdTerm::Func(f, args) => {
             out.push_str(f);
@@ -491,6 +511,22 @@ mod tests {
             "SELECT X FROM Person X WHERE X.*P.City['austin']",
             "SELECT Y FROM Person X WHERE X.\"Y.City['newyork']",
             "SELECT X FROM Person X WHERE not X.FamMembers",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn roundtrips_prepared_statements() {
+        for src in [
+            "PREPARE q1 AS SELECT X FROM Employee X WHERE X.Salary > ?1",
+            "PREPARE pair AS SELECT X, Y FROM Employee X, Employee Y \
+             WHERE X.Salary > ?1 AND X.Age < ?2",
+            "PREPARE ddl AS CREATE CLASS Widget",
+            "EXECUTE q1 (35000)",
+            "EXECUTE pair (35000, 40)",
+            "EXECUTE noargs",
+            "EXECUTE strs ('newyork', mary123)",
         ] {
             roundtrip(src);
         }

@@ -111,6 +111,7 @@ fn main() {
                     s.db().render(class)
                 );
             }
+            Ok(Outcome::Prepared { name }) => println!("prepared `{name}`"),
             Ok(Outcome::Explained { report }) => println!("{report}"),
             Ok(Outcome::Stats { report }) => println!("{report}"),
             Ok(Outcome::TransactionStarted) => println!("transaction started"),

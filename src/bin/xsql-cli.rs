@@ -262,6 +262,7 @@ fn render_outcome(db: &Database, out: &Outcome) -> String {
             )
             .unwrap();
         }
+        Outcome::Prepared { name } => writeln!(t, "prepared `{name}`").unwrap(),
         Outcome::Explained { report } => writeln!(t, "{report}").unwrap(),
         Outcome::Stats { report } => writeln!(t, "{report}").unwrap(),
         Outcome::TransactionStarted => writeln!(t, "transaction started").unwrap(),

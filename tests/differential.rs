@@ -3,15 +3,16 @@
 //! specification semantics — on hand-written queries over the Figure 1
 //! instance and on property-generated queries over random databases.
 //! Every query additionally runs with the method index disabled, with
-//! parallel evaluation (4 workers), and through the cost-based planner
-//! (with and without index probes), which must all produce the same
-//! relation bit-for-bit.
+//! parallel evaluation (4 workers), through the cost-based planner
+//! (with and without index probes), and through the bytecode VM (a
+//! cold compile and a warm plan-cache hit), which must all produce the
+//! same relation bit-for-bit.
 
 use datagen::figure1_db;
 use oodb::{Database, DbBuilder, Oid};
 use proptest::prelude::*;
 use xsql::ast::Stmt;
-use xsql::{eval_select, parse, resolve_stmt, EvalOptions};
+use xsql::{eval_select, parse, resolve_stmt, EvalOptions, Outcome, Session};
 
 /// Evaluates `src` under every engine configuration that must agree:
 /// the pipelined engine with the planner disabled, the naive §3.4
@@ -71,10 +72,33 @@ fn engines(db: &mut Database, src: &str) -> Vec<(&'static str, relalg::Relation)
             },
         ),
     ];
-    configs
+    let mut results: Vec<(&'static str, relalg::Relation)> = configs
         .into_iter()
         .map(|(label, opts)| (label, eval_select(db, &q, &opts).unwrap()))
-        .collect()
+        .collect();
+    // Bytecode VM legs, driven through a session so the statement takes
+    // the real compile → cache → execute path: a cold run (plan-cache
+    // miss, fresh lowering) and a warm re-run of the same text (cache
+    // hit, same Program object) must both agree bit-for-bit. The
+    // session runs on a clone taken *after* the engine legs, so every
+    // result value is already interned and OIDs line up exactly.
+    let vm_opts = EvalOptions {
+        use_planner: true,
+        use_vm: true,
+        ..EvalOptions::default()
+    };
+    let mut sess = Session::with_options(db.clone(), vm_opts);
+    let mut vm_run = |label: &'static str| {
+        let Outcome::Relation(rel) = sess.run(src).unwrap() else {
+            panic!("vm leg did not return a relation for {src}")
+        };
+        (label, rel)
+    };
+    let cold = vm_run("vm");
+    let warm = vm_run("vm-warm");
+    results.push(cold);
+    results.push(warm);
+    results
 }
 
 fn assert_all_agree(db: &mut Database, src: &str) {
